@@ -1,0 +1,77 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Figure 9: running time for the polarization factor problem — PF-E
+// (enumeration baseline), PF-BS (binary search over MBC*), PF*-DOrder
+// (PF* with the degeneracy ordering) and PF* (with the polarization
+// ordering). Expected shape: PF* fastest; PF-BS ~one order of magnitude
+// slower than PF*; PF-E slower by several orders of magnitude.
+#include <cstdio>
+
+#include "src/benchlib/experiment.h"
+#include "src/benchlib/table.h"
+#include "src/common/timer.h"
+#include "src/pf/pf_bs.h"
+#include "src/pf/pf_e.h"
+#include "src/pf/pf_star.h"
+
+int main() {
+  using mbc::TablePrinter;
+  mbc::PrintExperimentHeader(
+      "Polarization factor runtime: PF-E / PF-BS / PF*-DOrder / PF*",
+      "Figure 9");
+  const double limit = mbc::BaselineTimeLimitSeconds();
+
+  TablePrinter table({"Dataset", "PF-E", "PF-BS", "PF*-DOrder", "PF*",
+                      "beta"});
+  for (const mbc::ExperimentDataset& dataset :
+       mbc::LoadExperimentDatasets()) {
+    mbc::Timer timer;
+    mbc::PfEOptions pfe_options;
+    pfe_options.time_limit_seconds = limit;
+    const mbc::PfEResult pfe =
+        mbc::PolarizationFactorEnum(dataset.graph, pfe_options);
+    const double pfe_seconds = timer.ElapsedSeconds();
+
+    timer.Restart();
+    const uint32_t pfbs_beta =
+        mbc::PolarizationFactorBinarySearch(dataset.graph).beta;
+    const double pfbs_seconds = timer.ElapsedSeconds();
+
+    timer.Restart();
+    mbc::PfStarOptions dorder_options;
+    dorder_options.ordering = mbc::PfStarOptions::Ordering::kDegeneracy;
+    dorder_options.time_limit_seconds = limit * 6;
+    const mbc::PfStarResult dorder =
+        mbc::PolarizationFactorStar(dataset.graph, dorder_options);
+    const double dorder_seconds = timer.ElapsedSeconds();
+
+    timer.Restart();
+    mbc::PfStarOptions star_options;
+    star_options.time_limit_seconds = limit * 6;
+    const mbc::PfStarResult star =
+        mbc::PolarizationFactorStar(dataset.graph, star_options);
+    const double star_seconds = timer.ElapsedSeconds();
+
+    if (!star.stats.timed_out && pfbs_beta != star.beta) {
+      std::fprintf(stderr, "BUG: PF-BS and PF* disagree on %s (%u vs %u)\n",
+                   dataset.spec.name.c_str(), pfbs_beta, star.beta);
+      return 1;
+    }
+    table.AddRow({dataset.spec.name,
+                  (pfe.timed_out ? ">" : "") +
+                      TablePrinter::FormatSeconds(pfe_seconds),
+                  TablePrinter::FormatSeconds(pfbs_seconds),
+                  (dorder.stats.timed_out ? ">" : "") +
+                      TablePrinter::FormatSeconds(dorder_seconds),
+                  (star.stats.timed_out ? ">" : "") +
+                      TablePrinter::FormatSeconds(star_seconds),
+                  std::to_string(star.beta)});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "(paper shape: PF* < PF*-DOrder < PF-BS << PF-E; the polarization\n"
+      " ordering beats the degeneracy ordering because it reaches a large\n"
+      " lower bound of beta(G) after the first few networks)\n");
+  return 0;
+}

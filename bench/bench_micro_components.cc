@@ -1,0 +1,167 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Micro-benchmarks (google-benchmark) for the substrates that dominate
+// MBC*'s cost profile: CSR construction, degeneracy peeling, dichromatic
+// network extraction, (τ_L,τ_R)-core peeling, coloring bounds and the MDC
+// solver on random dichromatic graphs.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/core/mbc_heu.h"
+#include "src/core/mbc_star.h"
+#include "src/core/mdc_solver.h"
+#include "src/core/reductions.h"
+#include "src/datasets/generators.h"
+#include "src/dichromatic/network_builder.h"
+#include "src/dichromatic/reductions.h"
+#include "src/graph/cores.h"
+#include "src/pf/pdecompose.h"
+
+namespace mbc {
+namespace {
+
+SignedGraph MakeGraph(VertexId n, EdgeCount m, uint64_t seed = 7) {
+  CommunityGraphOptions options;
+  options.num_vertices = n;
+  options.num_edges = m;
+  options.num_communities = 8;
+  options.negative_ratio = 0.3;
+  options.seed = seed;
+  return GenerateCommunitySignedGraph(options);
+}
+
+DichromaticGraph MakeDichromatic(uint32_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  DichromaticGraph graph(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    graph.SetSide(v, rng.NextBernoulli(0.5) ? Side::kLeft : Side::kRight);
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (rng.NextBernoulli(density)) graph.AddEdge(a, b);
+    }
+  }
+  return graph;
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto edges = static_cast<EdgeCount>(state.range(0));
+  for (auto _ : state) {
+    SignedGraph graph = MakeGraph(static_cast<VertexId>(edges / 8), edges);
+    benchmark::DoNotOptimize(graph.NumEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_CsrBuild)->Arg(10000)->Arg(100000);
+
+void BM_DegeneracyDecompose(benchmark::State& state) {
+  const SignedGraph graph =
+      MakeGraph(static_cast<VertexId>(state.range(0)),
+                static_cast<EdgeCount>(state.range(0)) * 8);
+  for (auto _ : state) {
+    DegeneracyResult result = DegeneracyDecompose(graph);
+    benchmark::DoNotOptimize(result.degeneracy);
+  }
+}
+BENCHMARK(BM_DegeneracyDecompose)->Arg(10000)->Arg(50000);
+
+void BM_PDecompose(benchmark::State& state) {
+  const SignedGraph graph =
+      MakeGraph(static_cast<VertexId>(state.range(0)),
+                static_cast<EdgeCount>(state.range(0)) * 8);
+  for (auto _ : state) {
+    PolarDecomposition result = PDecompose(graph);
+    benchmark::DoNotOptimize(result.max_polar_core);
+  }
+}
+BENCHMARK(BM_PDecompose)->Arg(10000)->Arg(50000);
+
+void BM_VertexReduction(benchmark::State& state) {
+  const SignedGraph graph = MakeGraph(20000, 160000);
+  for (auto _ : state) {
+    auto mask = VertexReductionMask(graph, 3);
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_VertexReduction);
+
+void BM_EdgeReduction(benchmark::State& state) {
+  const SignedGraph graph = MakeGraph(5000, 40000);
+  for (auto _ : state) {
+    SignedGraph reduced = EdgeReduction(graph, 3);
+    benchmark::DoNotOptimize(reduced.NumEdges());
+  }
+}
+BENCHMARK(BM_EdgeReduction);
+
+void BM_DichromaticNetworkBuild(benchmark::State& state) {
+  const SignedGraph graph = MakeGraph(20000, 300000);
+  const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
+  DichromaticNetworkBuilder builder(graph);
+  VertexId u = 0;
+  for (auto _ : state) {
+    DichromaticNetwork net =
+        builder.Build(degeneracy.order[u % graph.NumVertices()],
+                      degeneracy.rank.data());
+    benchmark::DoNotOptimize(net.graph.NumVertices());
+    ++u;
+  }
+}
+BENCHMARK(BM_DichromaticNetworkBuild);
+
+void BM_TwoSidedCore(benchmark::State& state) {
+  const DichromaticGraph graph =
+      MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.1, 3);
+  const Bitset all = graph.AllVertices();
+  for (auto _ : state) {
+    Bitset core = TwoSidedCoreWithin(graph, all, 3, 3);
+    benchmark::DoNotOptimize(core.Count());
+  }
+}
+BENCHMARK(BM_TwoSidedCore)->Arg(128)->Arg(512);
+
+void BM_ColoringBound(benchmark::State& state) {
+  const DichromaticGraph graph =
+      MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.2, 5);
+  const Bitset all = graph.AllVertices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ColoringBoundWithin(graph, all));
+  }
+}
+BENCHMARK(BM_ColoringBound)->Arg(128)->Arg(512);
+
+void BM_MdcSolve(benchmark::State& state) {
+  const DichromaticGraph graph =
+      MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.25, 11);
+  Bitset candidates = graph.AdjacencyOf(0);
+  for (auto _ : state) {
+    MdcSolver solver(graph);
+    std::vector<uint32_t> best;
+    solver.Solve({0}, candidates, 1, 2, 0, &best);
+    benchmark::DoNotOptimize(best.size());
+  }
+}
+BENCHMARK(BM_MdcSolve)->Arg(64)->Arg(128);
+
+void BM_MbcHeuristic(benchmark::State& state) {
+  const SignedGraph graph = MakeGraph(20000, 200000);
+  for (auto _ : state) {
+    BalancedClique clique = MbcHeuristic(graph, 2);
+    benchmark::DoNotOptimize(clique.size());
+  }
+}
+BENCHMARK(BM_MbcHeuristic);
+
+void BM_MbcStarEndToEnd(benchmark::State& state) {
+  SignedGraph base = MakeGraph(10000, 80000);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 5}}, 3);
+  for (auto _ : state) {
+    MbcStarResult result = MaxBalancedCliqueStar(graph, 3);
+    benchmark::DoNotOptimize(result.clique.size());
+  }
+}
+BENCHMARK(BM_MbcStarEndToEnd);
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,51 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Table IV: running statistics of MBC* and PF* for τ = 3 — the size of
+// the heuristic seed, the number of MDC / DCC instances that survive all
+// pruning, and the average edge-reduction ratios SR1 (after removing
+// conflicting edges) and SR2 (after the additional core reduction).
+// Expected shape: only a handful of instances reach the solvers, SR1
+// removes roughly half the ego-network edges and SR2 most of them.
+#include <cstdio>
+
+#include "src/benchlib/experiment.h"
+#include "src/benchlib/table.h"
+#include "src/core/mbc_star.h"
+#include "src/pf/pf_star.h"
+
+int main() {
+  using mbc::TablePrinter;
+  mbc::PrintExperimentHeader("Running statistics of MBC* and PF* (tau = 3)",
+                             "Table IV");
+  const double limit = mbc::BaselineTimeLimitSeconds() * 6;
+
+  TablePrinter table({"Dataset", "Heu", "#MDC", "SR1", "SR2",  //
+                      "pfHeu", "#DCC", "pfSR1", "pfSR2"});
+  for (const mbc::ExperimentDataset& dataset :
+       mbc::LoadExperimentDatasets()) {
+    mbc::MbcStarOptions star_options;
+    star_options.time_limit_seconds = limit;
+    const mbc::MbcStarResult star =
+        mbc::MaxBalancedCliqueStar(dataset.graph, 3, star_options);
+    mbc::PfStarOptions pf_options;
+    pf_options.time_limit_seconds = limit;
+    const mbc::PfStarResult pf =
+        mbc::PolarizationFactorStar(dataset.graph, pf_options);
+    table.AddRow({dataset.spec.name,
+                  std::to_string(star.stats.heuristic_size),
+                  TablePrinter::FormatCount(star.stats.num_mdc_instances),
+                  TablePrinter::FormatPercent(star.stats.avg_sr1),
+                  TablePrinter::FormatPercent(star.stats.avg_sr2),
+                  std::to_string(pf.stats.heuristic_tau),
+                  TablePrinter::FormatCount(pf.stats.num_dcc_instances),
+                  TablePrinter::FormatPercent(pf.stats.avg_sr1),
+                  TablePrinter::FormatPercent(pf.stats.avg_sr2)});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "(paper shape: #MDC/#DCC tiny compared with |V|; SR1 ~50%%, SR2 ~80%%;\n"
+      " '-' = no instance survived pruning, i.e. the heuristic seed was\n"
+      " already optimal)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Generalized maximum balanced clique exploration (Section V): generate a
+// synthetic social network with two planted polarized cores, compute β(G)
+// and a maximum balanced clique for every τ in [0, β(G)] with gMBC*, and
+// show how the optimum trades size for balance as τ grows — the
+// "no-threshold-needed" workflow the paper proposes for end users.
+#include <cstdio>
+
+#include "src/datasets/generators.h"
+#include "src/gmbc/gmbc.h"
+#include "src/polarseeds/metrics.h"
+
+int main() {
+  // A power-law community graph with two planted balanced cliques: a big
+  // skewed one (3 vs 20) and a smaller well-balanced one (8 vs 8).
+  mbc::CommunityGraphOptions options;
+  options.num_vertices = 20000;
+  options.num_edges = 120000;
+  options.num_communities = 10;
+  options.negative_ratio = 0.3;
+  options.seed = 2026;
+  const mbc::SignedGraph base = mbc::GenerateCommunitySignedGraph(options);
+  const mbc::SignedGraph graph =
+      mbc::PlantBalancedCliques(base, {{3, 20}, {8, 8}}, 7);
+
+  std::printf("social network: %u users, %llu signed ties\n\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  const mbc::GeneralizedMbcResult result = mbc::GeneralizedMbcStar(graph);
+  std::printf("polarization factor beta(G) = %u\n", result.beta);
+  std::printf("%-4s  %-6s  %-11s  %s\n", "tau", "size", "sides", "polarity");
+  for (uint32_t tau = 0; tau <= result.beta; ++tau) {
+    const mbc::BalancedClique& clique = result.cliques[tau];
+    const mbc::PolarizedCommunity community{clique.left, clique.right};
+    std::printf("%-4u  %-6zu  %3zu | %-5zu  %.2f\n", tau, clique.size(),
+                clique.left.size(), clique.right.size(),
+                mbc::Polarity(graph, community));
+  }
+  std::printf(
+      "\nSmall tau favors sheer size (skewed cliques); tau near beta(G)\n"
+      "favors balanced opposition. %zu distinct cliques cover all %u+1\n"
+      "thresholds, so a user can simply inspect them all.\n",
+      result.NumDistinctCliques(), result.beta);
+  return 0;
+}

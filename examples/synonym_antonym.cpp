@@ -1,0 +1,81 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Synonym/antonym group discovery (the paper's Table III case study). The
+// WordNet-style adjective graph has positive edges between synonyms and
+// negative edges between antonyms; the maximum balanced clique recovers a
+// significant synonym group that is antonymous with another.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/mbc_star.h"
+#include "src/graph/signed_graph_builder.h"
+#include "src/pf/pf_star.h"
+
+namespace {
+
+const std::vector<std::string> kWords = {
+    // The "good" cluster.
+    "good", "great", "excellent", "wonderful", "superb", "fantastic",
+    // The "bad" cluster.
+    "bad", "terrible", "awful", "horrible", "dreadful",
+    // Unrelated adjectives.
+    "fast", "slow", "bright", "dim",
+};
+
+mbc::SignedGraph BuildWordGraph() {
+  using mbc::Sign;
+  mbc::SignedGraphBuilder builder(
+      static_cast<mbc::VertexId>(kWords.size()));
+  // Synonyms within each sentiment cluster.
+  for (mbc::VertexId a = 0; a <= 5; ++a) {
+    for (mbc::VertexId b = a + 1; b <= 5; ++b) {
+      builder.AddEdge(a, b, Sign::kPositive);
+    }
+  }
+  for (mbc::VertexId a = 6; a <= 10; ++a) {
+    for (mbc::VertexId b = a + 1; b <= 10; ++b) {
+      builder.AddEdge(a, b, Sign::kPositive);
+    }
+  }
+  // Antonyms across the clusters.
+  for (mbc::VertexId a = 0; a <= 5; ++a) {
+    for (mbc::VertexId b = 6; b <= 10; ++b) {
+      builder.AddEdge(a, b, Sign::kNegative);
+    }
+  }
+  // fast/slow and bright/dim are antonym pairs of their own, with some
+  // synonym links into the clusters but not full membership.
+  builder.AddEdge(11, 12, Sign::kNegative);
+  builder.AddEdge(13, 14, Sign::kNegative);
+  builder.AddEdge(13, 0, Sign::kPositive);  // bright ~ good (loosely)
+  builder.AddEdge(14, 6, Sign::kPositive);  // dim ~ bad (loosely)
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+int main() {
+  const mbc::SignedGraph graph = BuildWordGraph();
+  std::printf("adjective graph: %u words, %llu relations\n\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  const mbc::PfStarResult pf = mbc::PolarizationFactorStar(graph);
+  std::printf("polarization factor beta(G) = %u\n\n", pf.beta);
+
+  const mbc::MbcStarResult result =
+      mbc::MaxBalancedCliqueStar(graph, pf.beta);
+  std::printf("largest antonymous synonym groups (tau=%u, %zu words):\n",
+              pf.beta, result.clique.size());
+  std::printf("  group 1:");
+  for (mbc::VertexId v : result.clique.left) {
+    std::printf(" %s", kWords[v].c_str());
+  }
+  std::printf("\n  group 2:");
+  for (mbc::VertexId v : result.clique.right) {
+    std::printf(" %s", kWords[v].c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/benchlib/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  MBC_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fmin", seconds / 60.0);
+  }
+  return buffer;
+}
+
+std::string TablePrinter::FormatCount(uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  const size_t n = digits.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string TablePrinter::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::FormatPercent(double fraction) {
+  if (fraction < 0.0) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.0f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace mbc

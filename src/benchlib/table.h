@@ -1,0 +1,40 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Minimal fixed-width table printer for the experiment binaries, which
+// reproduce the paper's tables/figures as aligned text rows.
+#ifndef MBC_BENCHLIB_TABLE_H_
+#define MBC_BENCHLIB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Formatting helpers used by the experiment binaries.
+  static std::string FormatSeconds(double seconds);
+  static std::string FormatCount(uint64_t count);
+  static std::string FormatDouble(double value, int precision = 2);
+  /// "x%" with no decimals, or "-" for negative sentinels.
+  static std::string FormatPercent(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_BENCHLIB_TABLE_H_

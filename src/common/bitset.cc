@@ -1,0 +1,113 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/bitset.h"
+
+#include <algorithm>
+
+namespace mbc {
+
+void Bitset::SetFirstN(size_t k) {
+  MBC_DCHECK_LE(k, num_bits_);
+  const size_t full = k / 64;
+  std::fill(words_.begin(), words_.begin() + static_cast<long>(full),
+            ~uint64_t{0});
+  std::fill(words_.begin() + static_cast<long>(full), words_.end(),
+            uint64_t{0});
+  if (k % 64 != 0) {
+    words_[full] = (uint64_t{1} << (k % 64)) - 1;
+  }
+}
+
+size_t Bitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool Bitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::AndNot(const Bitset& other) {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+size_t Bitset::CountAnd(const Bitset& other) const {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total +=
+        static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return npos;
+}
+
+size_t Bitset::FindNext(size_t i) const {
+  ++i;
+  if (i >= num_bits_) return npos;
+  size_t w = i >> 6;
+  uint64_t word = words_[w] & (~uint64_t{0} << (i & 63));
+  while (true) {
+    if (word != 0) {
+      return w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+    }
+    if (++w == words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+}  // namespace mbc

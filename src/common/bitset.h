@@ -1,0 +1,104 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Dynamic fixed-capacity bitset used for vertex sets of dichromatic
+// networks. Dichromatic networks have at most degeneracy(G)+1 vertices, so
+// these sets are small (a handful of 64-bit words); the branch-and-bound
+// solvers copy and intersect them heavily.
+#ifndef MBC_COMMON_BITSET_H_
+#define MBC_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+/// Fixed-size bitset with capacity chosen at construction. All binary
+/// operations require both operands to have the same capacity.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t capacity() const { return num_bits_; }
+
+  void Set(size_t i) {
+    MBC_DCHECK_LT(i, num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Reset(size_t i) {
+    MBC_DCHECK_LT(i, num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    MBC_DCHECK_LT(i, num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets bits [0, k).
+  void SetFirstN(size_t k);
+  void SetAll() { SetFirstN(num_bits_); }
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  size_t Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator^=(const Bitset& other);
+  /// this = this & ~other.
+  Bitset& AndNot(const Bitset& other);
+
+  friend Bitset operator&(Bitset lhs, const Bitset& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+  friend Bitset operator|(Bitset lhs, const Bitset& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Number of set bits in (this & other) without materializing it.
+  size_t CountAnd(const Bitset& other) const;
+  /// Whether (this & other) is non-empty.
+  bool Intersects(const Bitset& other) const;
+  /// Whether every set bit of this is also set in other.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// Index of the lowest set bit, or npos if empty.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t FindFirst() const;
+  /// Index of the lowest set bit strictly greater than i, or npos.
+  size_t FindNext(size_t i) const;
+
+  /// Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the set bits as a vector (mostly for tests and result output).
+  std::vector<uint32_t> ToVector() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_BITSET_H_

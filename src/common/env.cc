@@ -1,0 +1,32 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+namespace mbc {
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace mbc

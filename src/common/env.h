@@ -1,0 +1,21 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Small environment-variable helpers used by the experiment harness
+// (e.g. MBC_SCALE to shrink dataset stand-ins for quick runs).
+#ifndef MBC_COMMON_ENV_H_
+#define MBC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mbc {
+
+/// Returns the value of environment variable `name`, or `fallback` if unset
+/// or unparsable.
+double GetEnvDouble(const std::string& name, double fallback);
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_ENV_H_

@@ -1,0 +1,106 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Minimal logging and assertion facility, modeled after the CHECK/LOG macros
+// used throughout database engines (RocksDB, Arrow). Library code uses
+// MBC_CHECK for internal invariants that indicate programmer error; fallible
+// operations (I/O, parsing) return Status instead.
+#ifndef MBC_COMMON_LOGGING_H_
+#define MBC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/common/macros.h"
+
+namespace mbc {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal_logging {
+
+/// Stream-style log message; emits on destruction. A kFatal message aborts
+/// the process after printing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  MBC_DISALLOW_COPY_AND_ASSIGN(LogMessage);
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// A no-op sink so that disabled log statements compile away their stream
+/// arguments' formatting (but still evaluate them; keep them cheap).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Returns / sets the global minimum level emitted by MBC_LOG. Default:
+/// kWarning (benches raise to kInfo when verbose output is requested).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+#define MBC_LOG(level)                                            \
+  ::mbc::internal_logging::LogMessage(::mbc::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+// Internal invariant check: always on, aborts on failure. Algorithm code
+// relies on these to document and enforce preconditions.
+#define MBC_CHECK(condition)                                         \
+  if (MBC_PREDICT_FALSE(!(condition)))                               \
+  ::mbc::internal_logging::LogMessage(::mbc::LogLevel::kFatal,       \
+                                      __FILE__, __LINE__)            \
+      << "Check failed: " #condition " "
+
+#define MBC_CHECK_OP(op, a, b)                                       \
+  if (MBC_PREDICT_FALSE(!((a)op(b))))                                \
+  ::mbc::internal_logging::LogMessage(::mbc::LogLevel::kFatal,       \
+                                      __FILE__, __LINE__)            \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs "    \
+      << (b) << ") "
+
+#define MBC_CHECK_EQ(a, b) MBC_CHECK_OP(==, a, b)
+#define MBC_CHECK_NE(a, b) MBC_CHECK_OP(!=, a, b)
+#define MBC_CHECK_LT(a, b) MBC_CHECK_OP(<, a, b)
+#define MBC_CHECK_LE(a, b) MBC_CHECK_OP(<=, a, b)
+#define MBC_CHECK_GT(a, b) MBC_CHECK_OP(>, a, b)
+#define MBC_CHECK_GE(a, b) MBC_CHECK_OP(>=, a, b)
+
+// Debug-only check; compiles to nothing in release builds.
+#ifndef NDEBUG
+#define MBC_DCHECK(condition) MBC_CHECK(condition)
+#define MBC_DCHECK_LT(a, b) MBC_CHECK_LT(a, b)
+#define MBC_DCHECK_LE(a, b) MBC_CHECK_LE(a, b)
+#define MBC_DCHECK_EQ(a, b) MBC_CHECK_EQ(a, b)
+#else
+#define MBC_DCHECK(condition) \
+  if (false) ::mbc::internal_logging::NullStream()
+#define MBC_DCHECK_LT(a, b) MBC_DCHECK((a) < (b))
+#define MBC_DCHECK_LE(a, b) MBC_DCHECK((a) <= (b))
+#define MBC_DCHECK_EQ(a, b) MBC_DCHECK((a) == (b))
+#endif
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_LOGGING_H_

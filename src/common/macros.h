@@ -1,0 +1,22 @@
+// Copyright 2026 The balanced-clique Authors.
+// Project-wide helper macros. Kept deliberately tiny; prefer plain C++.
+#ifndef MBC_COMMON_MACROS_H_
+#define MBC_COMMON_MACROS_H_
+
+#define MBC_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+// Token pasting helpers used by MBC_ASSIGN_OR_RETURN.
+#define MBC_CONCAT_IMPL(x, y) x##y
+#define MBC_CONCAT(x, y) MBC_CONCAT_IMPL(x, y)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MBC_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define MBC_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define MBC_PREDICT_FALSE(x) (x)
+#define MBC_PREDICT_TRUE(x) (x)
+#endif
+
+#endif  // MBC_COMMON_MACROS_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mbc {
+namespace {
+
+// Reads a "Vm...: <kb> kB" field from /proc/self/status.
+uint64_t ReadProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len, ": %llu kB", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+}  // namespace mbc

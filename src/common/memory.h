@@ -1,0 +1,61 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Memory accounting for the Figure 11 experiment. The paper reports "the
+// maximum resident set size of the process during its lifetime" measured by
+// /usr/bin/time; we read the same quantity (VmHWM) from /proc/self/status so
+// one process can report a per-dataset series, and additionally expose a
+// logical MemoryTracker for structure-level accounting in tests.
+#ifndef MBC_COMMON_MEMORY_H_
+#define MBC_COMMON_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mbc {
+
+/// Peak resident set size (VmHWM) of this process in bytes, or 0 if
+/// unavailable (non-Linux).
+uint64_t PeakRssBytes();
+
+/// Current resident set size (VmRSS) in bytes, or 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+/// Logical byte counter for explicitly-accounted structures. Graphs and
+/// solvers report their footprint here so the memory experiment can separate
+/// "bytes the algorithm needs" from allocator noise.
+class MemoryTracker {
+ public:
+  void Add(size_t bytes) {
+    const uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(size_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  /// Process-wide tracker used by the graph structures.
+  static MemoryTracker& Global();
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_MEMORY_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/status.h"
+
+namespace mbc {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace mbc

@@ -1,0 +1,137 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Arrow/RocksDB-style Status and Result<T> for fallible operations (file
+// I/O, parsing, user-facing configuration). Library algorithms that cannot
+// fail given valid inputs do not use Status; they MBC_CHECK their
+// preconditions instead.
+#ifndef MBC_COMMON_STATUS_H_
+#define MBC_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/logging.h"
+#include "src/common/macros.h"
+
+namespace mbc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kCorruption = 4,
+  kUnimplemented = 5,
+};
+
+/// Lightweight status: OK is represented by a null payload so that the
+/// success path costs one pointer compare.
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so that `return value;` and `return status;`
+  // both work in functions returning Result<T>.
+  Result(T value) : var_(std::move(value)) {}           // NOLINT
+  Result(Status status) : var_(std::move(status)) {     // NOLINT
+    MBC_CHECK(!std::get<Status>(var_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    MBC_CHECK(ok()) << status().ToString();
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    MBC_CHECK(ok()) << status().ToString();
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    MBC_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(var_));
+  }
+
+  /// Aborts with the error message if not ok; convenience for tools/tests.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+#define MBC_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::mbc::Status _st = (expr);              \
+    if (MBC_PREDICT_FALSE(!_st.ok())) return _st; \
+  } while (false)
+
+#define MBC_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (MBC_PREDICT_FALSE(!result_name.ok()))                \
+    return result_name.status();                           \
+  lhs = std::move(result_name).value()
+
+#define MBC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MBC_ASSIGN_OR_RETURN_IMPL(MBC_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_STATUS_H_

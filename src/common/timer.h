@@ -1,0 +1,39 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Wall-clock timing. The paper measures "wall-clock time elapsed during the
+// program's execution"; all experiment harnesses use this Timer.
+#ifndef MBC_COMMON_TIMER_H_
+#define MBC_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mbc {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in integer microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_TIMER_H_

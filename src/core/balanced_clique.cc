@@ -1,0 +1,50 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/balanced_clique.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mbc {
+
+std::vector<VertexId> BalancedClique::AllVertices() const {
+  std::vector<VertexId> all;
+  all.reserve(size());
+  all.insert(all.end(), left.begin(), left.end());
+  all.insert(all.end(), right.begin(), right.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+void BalancedClique::Canonicalize() {
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+  const bool swap_sides =
+      (left.empty() && !right.empty()) ||
+      (!left.empty() && !right.empty() && right.front() < left.front());
+  if (swap_sides) std::swap(left, right);
+}
+
+void BalancedClique::MapToOriginal(const std::vector<VertexId>& to_original) {
+  for (VertexId& v : left) v = to_original[v];
+  for (VertexId& v : right) v = to_original[v];
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+}
+
+std::string BalancedClique::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << left[i];
+  }
+  out << " | ";
+  for (size_t i = 0; i < right.size(); ++i) {
+    if (i > 0) out << ' ';
+    out << right[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mbc

@@ -1,0 +1,50 @@
+// Copyright 2026 The balanced-clique Authors.
+#ifndef MBC_CORE_BALANCED_CLIQUE_H_
+#define MBC_CORE_BALANCED_CLIQUE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mbc {
+
+/// A structural balanced clique, represented by its two sides. The split
+/// into sides is unique up to swapping (Definition 1 of the paper); this
+/// struct stores one orientation. Either side may be empty (an all-positive
+/// clique). Both sides are kept sorted.
+struct BalancedClique {
+  std::vector<VertexId> left;   // C_L
+  std::vector<VertexId> right;  // C_R
+
+  size_t size() const { return left.size() + right.size(); }
+  bool empty() const { return left.empty() && right.empty(); }
+  size_t MinSide() const { return std::min(left.size(), right.size()); }
+
+  /// Sorted union of both sides.
+  std::vector<VertexId> AllVertices() const;
+
+  /// Whether this clique meets the polarization constraint τ.
+  bool SatisfiesThreshold(size_t tau) const {
+    return left.size() >= tau && right.size() >= tau;
+  }
+
+  /// Canonicalizes: sorts both sides and orients so that the side containing
+  /// the smallest vertex is `left` (ties impossible; equal-size empty sides
+  /// stay as-is). Makes cliques comparable in tests.
+  void Canonicalize();
+
+  /// Remaps all vertex ids through `to_original` (used after graph
+  /// reductions that renumber vertices).
+  void MapToOriginal(const std::vector<VertexId>& to_original);
+
+  /// Human-readable "{a b | c d}" form.
+  std::string ToString() const;
+
+  bool operator==(const BalancedClique& other) const = default;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_BALANCED_CLIQUE_H_

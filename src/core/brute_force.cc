@@ -1,0 +1,53 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/brute_force.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/core/verify.h"
+
+namespace mbc {
+namespace {
+
+// Invokes fn(split) for every vertex subset that forms a balanced clique.
+template <typename Fn>
+void ForEachBalancedSubset(const SignedGraph& graph, Fn&& fn) {
+  const VertexId n = graph.NumVertices();
+  MBC_CHECK_LE(n, 25u) << "brute force is exponential; graph too large";
+  std::vector<VertexId> members;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    members.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) members.push_back(v);
+    }
+    const std::optional<BalancedClique> split =
+        SplitIntoBalancedClique(graph, members);
+    if (split.has_value()) fn(*split);
+  }
+}
+
+}  // namespace
+
+BalancedClique BruteForceMaxBalancedClique(const SignedGraph& graph,
+                                           uint32_t tau) {
+  BalancedClique best;
+  bool found = false;
+  ForEachBalancedSubset(graph, [&](const BalancedClique& clique) {
+    if (!clique.SatisfiesThreshold(tau)) return;
+    if (!found || clique.size() > best.size()) {
+      best = clique;
+      found = true;
+    }
+  });
+  return found ? best : BalancedClique{};
+}
+
+uint32_t BruteForcePolarizationFactor(const SignedGraph& graph) {
+  uint32_t beta = 0;
+  ForEachBalancedSubset(graph, [&beta](const BalancedClique& clique) {
+    beta = std::max(beta, static_cast<uint32_t>(clique.MinSide()));
+  });
+  return beta;
+}
+
+}  // namespace mbc

@@ -1,0 +1,25 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Exponential reference implementations used as ground truth in tests.
+// Only suitable for graphs with at most ~25 vertices.
+#ifndef MBC_CORE_BRUTE_FORCE_H_
+#define MBC_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "src/core/balanced_clique.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Maximum balanced clique under threshold τ by enumerating all 2^n vertex
+/// subsets. Returns an empty clique if none satisfies τ.
+BalancedClique BruteForceMaxBalancedClique(const SignedGraph& graph,
+                                           uint32_t tau);
+
+/// Polarization factor β(G) by subset enumeration.
+uint32_t BruteForcePolarizationFactor(const SignedGraph& graph);
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_BRUTE_FORCE_H_

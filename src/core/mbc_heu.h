@@ -1,0 +1,30 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// MBC-Heu (Algorithm 3): a linear-time greedy heuristic that grows a
+// balanced clique inside the dichromatic network of a high-degree vertex,
+// alternating sides to keep |C_L| and |C_R| balanced. Used to seed the
+// lower bound of MBC* (Line 2 of Algorithm 2) and PF* (Line 1 of
+// Algorithm 4).
+#ifndef MBC_CORE_MBC_HEU_H_
+#define MBC_CORE_MBC_HEU_H_
+
+#include <cstdint>
+
+#include "src/core/balanced_clique.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Runs the greedy heuristic anchored at the vertex with the largest
+/// min{d+(u), d-(u)} (the paper's implementation choice). Returns a
+/// balanced clique satisfying τ, or an empty clique if the greedy result
+/// violates the constraint. O(m) time and space.
+BalancedClique MbcHeuristic(const SignedGraph& graph, uint32_t tau);
+
+/// As above, anchored at an explicit vertex (exposed for tests).
+BalancedClique MbcHeuristicAt(const SignedGraph& graph, VertexId anchor,
+                              uint32_t tau);
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_MBC_HEU_H_

@@ -1,0 +1,160 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mbc_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/core/mbc_heu.h"
+#include "src/core/mdc_solver.h"
+#include "src/core/reductions.h"
+#include "src/dichromatic/network_builder.h"
+#include "src/dichromatic/reductions.h"
+#include "src/graph/cores.h"
+
+namespace mbc {
+namespace {
+
+// Shared search state. `best_size` is the pruning bound every worker
+// reads; the clique itself is guarded by the mutex.
+struct SharedState {
+  std::atomic<size_t> best_size{0};
+  std::mutex mutex;
+  BalancedClique best;  // input-graph ids
+  std::atomic<size_t> cursor{0};
+  std::atomic<uint64_t> networks_built{0};
+  std::atomic<uint64_t> mdc_instances{0};
+};
+
+void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
+            const DegeneracyResult& degeneracy, uint32_t tau,
+            SharedState* state) {
+  DichromaticNetworkBuilder builder(work);
+  const size_t n = degeneracy.order.size();
+  while (true) {
+    const size_t i = state->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    // Reverse degeneracy order.
+    const VertexId u = degeneracy.order[n - 1 - i];
+
+    size_t bound = state->best_size.load(std::memory_order_relaxed);
+    uint32_t higher = 0;
+    for (VertexId v : work.PositiveNeighbors(u)) {
+      higher += degeneracy.rank[v] > degeneracy.rank[u];
+    }
+    for (VertexId v : work.NegativeNeighbors(u)) {
+      higher += degeneracy.rank[v] > degeneracy.rank[u];
+    }
+    if (static_cast<size_t>(higher) + 1 <= bound) continue;
+
+    DichromaticNetwork net = builder.Build(u, degeneracy.rank.data());
+    state->networks_built.fetch_add(1, std::memory_order_relaxed);
+    bound = state->best_size.load(std::memory_order_relaxed);
+    if (static_cast<size_t>(net.graph.NumVertices()) <= bound) continue;
+
+    Bitset alive = net.graph.AllVertices();
+    alive = KCoreWithin(net.graph, alive, static_cast<uint32_t>(bound));
+    if (!alive.Test(0) || alive.Count() <= bound) continue;
+    if (ColoringBoundWithin(net.graph, alive,
+                            static_cast<uint32_t>(bound)) <= bound) {
+      continue;
+    }
+
+    state->mdc_instances.fetch_add(1, std::memory_order_relaxed);
+    Bitset candidates = alive;
+    candidates.Reset(0);
+    MdcSolver solver(net.graph);
+    std::vector<uint32_t> solution;
+    if (!solver.Solve({0}, candidates, static_cast<int32_t>(tau) - 1,
+                      static_cast<int32_t>(tau), bound, &solution)) {
+      continue;
+    }
+
+    BalancedClique clique;
+    for (uint32_t local : solution) {
+      const VertexId v = to_input[net.to_original[local]];
+      (net.graph.IsLeft(local) ? clique.left : clique.right).push_back(v);
+    }
+    clique.Canonicalize();
+
+    std::lock_guard<std::mutex> lock(state->mutex);
+    // The bound may have moved while we searched; only a real improvement
+    // is published.
+    if (clique.size() > state->best.size() &&
+        clique.size() > state->best_size.load(std::memory_order_relaxed)) {
+      state->best = std::move(clique);
+      state->best_size.store(state->best.size(), std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+ParallelMbcResult ParallelMaxBalancedCliqueStar(
+    const SignedGraph& graph, uint32_t tau,
+    const ParallelMbcOptions& options) {
+  ParallelMbcResult result;
+
+  // Sequential preamble, identical to MBC*.
+  ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
+  BalancedClique best;
+  if (options.run_heuristic && reduced.graph.NumVertices() > 0) {
+    best = MbcHeuristic(reduced.graph, tau);
+    best.MapToOriginal(reduced.to_original);
+  }
+  size_t prune_bound = best.size();
+  if (tau >= 1) {
+    prune_bound = std::max<size_t>(prune_bound, 2 * size_t{tau} - 1);
+  }
+
+  const std::vector<uint8_t> core_alive =
+      KCoreMask(reduced.graph, static_cast<uint32_t>(prune_bound));
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < reduced.graph.NumVertices(); ++v) {
+    if (core_alive[v]) keep.push_back(v);
+  }
+  SignedGraph::InducedResult cored = reduced.graph.InducedSubgraph(keep);
+  const SignedGraph& work = cored.graph;
+  std::vector<VertexId> to_input(work.NumVertices());
+  for (VertexId v = 0; v < work.NumVertices(); ++v) {
+    to_input[v] = reduced.to_original[cored.to_original[v]];
+  }
+
+  SharedState state;
+  state.best = std::move(best);
+  state.best_size.store(prune_bound, std::memory_order_relaxed);
+
+  if (work.NumVertices() > 0) {
+    const DegeneracyResult degeneracy = DegeneracyDecompose(work);
+    uint32_t threads = options.num_threads;
+    if (threads == 0) {
+      threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    threads = std::min<uint32_t>(
+        threads, std::max<uint32_t>(1, work.NumVertices()));
+    result.threads_used = threads;
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back(Worker, std::cref(work), std::cref(to_input),
+                        std::cref(degeneracy), tau, &state);
+    }
+    for (std::thread& thread : pool) thread.join();
+  } else {
+    result.threads_used = 0;
+  }
+
+  result.clique = std::move(state.best);
+  result.num_networks_built =
+      state.networks_built.load(std::memory_order_relaxed);
+  result.num_mdc_instances =
+      state.mdc_instances.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace mbc

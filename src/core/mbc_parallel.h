@@ -1,0 +1,41 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Parallel MBC*: a multi-threaded variant of Algorithm 2 (an extension —
+// the paper's algorithm is sequential). The per-vertex dichromatic-network
+// searches are independent given a shared incumbent size, so worker
+// threads pull vertices (in reverse degeneracy order) from a shared cursor
+// and race to improve an atomic lower bound. Determinism of the *size* is
+// preserved (every run returns a maximum clique); the identity of the
+// returned clique may vary between runs when several optima exist.
+#ifndef MBC_CORE_MBC_PARALLEL_H_
+#define MBC_CORE_MBC_PARALLEL_H_
+
+#include <cstdint>
+
+#include "src/core/mbc_star.h"
+
+namespace mbc {
+
+struct ParallelMbcOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+  /// Seed the search with MBC-Heu (as in MBC*).
+  bool run_heuristic = true;
+};
+
+struct ParallelMbcResult {
+  BalancedClique clique;
+  uint32_t threads_used = 0;
+  uint64_t num_networks_built = 0;
+  uint64_t num_mdc_instances = 0;
+};
+
+/// Computes the maximum balanced clique of `graph` under threshold `tau`
+/// using multiple threads. Exact: always returns an optimum.
+ParallelMbcResult ParallelMaxBalancedCliqueStar(
+    const SignedGraph& graph, uint32_t tau,
+    const ParallelMbcOptions& options = {});
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_MBC_PARALLEL_H_

@@ -1,0 +1,198 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mbc_star.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/bitset.h"
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/core/mbc_heu.h"
+#include "src/core/mdc_solver.h"
+#include "src/core/reductions.h"
+#include "src/dichromatic/network_builder.h"
+#include "src/dichromatic/reductions.h"
+#include "src/graph/cores.h"
+
+namespace mbc {
+namespace {
+
+// Turns an MDC solution (local ids in `net`) into a BalancedClique in the
+// id space of the graph `net` was built from, then into input-graph ids via
+// `to_input` (empty = identity).
+BalancedClique MaterializeClique(const DichromaticNetwork& net,
+                                 const std::vector<uint32_t>& locals,
+                                 const std::vector<VertexId>& to_input) {
+  BalancedClique clique;
+  for (uint32_t local : locals) {
+    const VertexId mid = net.to_original[local];
+    const VertexId v = to_input.empty() ? mid : to_input[mid];
+    (net.graph.IsLeft(local) ? clique.left : clique.right).push_back(v);
+  }
+  clique.Canonicalize();
+  return clique;
+}
+
+}  // namespace
+
+MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
+                                    const MbcStarOptions& options) {
+  MbcStarResult result;
+  MbcStarStats& stats = result.stats;
+  Timer total_timer;
+
+  BalancedClique best;  // in input-graph ids
+  if (options.initial_clique != nullptr && !options.initial_clique->empty()) {
+    MBC_CHECK(options.initial_clique->SatisfiesThreshold(tau))
+        << "initial clique violates the polarization constraint";
+    best = *options.initial_clique;
+  }
+
+  // ---- Phase 1: graph reductions (Algorithm 2, Line 1). ----
+  Timer phase;
+  ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
+  if (options.apply_edge_reduction) {
+    reduced.graph =
+        EdgeReduction(reduced.graph, tau, options.time_limit_seconds);
+  }
+  stats.reduction_seconds = phase.ElapsedSeconds();
+
+  // ---- Phase 2: heuristic lower bound (Line 2). ----
+  phase.Restart();
+  if (options.run_heuristic && reduced.graph.NumVertices() > 0) {
+    BalancedClique heu = MbcHeuristic(reduced.graph, tau);
+    stats.heuristic_size = heu.size();
+    if (heu.size() > best.size()) {
+      heu.MapToOriginal(reduced.to_original);
+      best = std::move(heu);
+    }
+  }
+  stats.heuristic_seconds = phase.ElapsedSeconds();
+
+  if (options.existence_only && !best.empty()) {
+    result.clique = std::move(best);
+    return result;
+  }
+
+  // Any clique satisfying τ ≥ 1 has at least 2τ vertices, so sizes in
+  // (best, 2τ) can be ruled out a priori.
+  size_t prune_bound = best.size();
+  if (tau >= 1) {
+    prune_bound = std::max<size_t>(prune_bound, 2 * size_t{tau} - 1);
+  }
+
+  // ---- Phase 3: search (Lines 3-8). ----
+  phase.Restart();
+  // Line 3: reduce to the |C*|-core (signs ignored) and renumber.
+  const std::vector<uint8_t> core_alive =
+      KCoreMask(reduced.graph, static_cast<uint32_t>(prune_bound));
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < reduced.graph.NumVertices(); ++v) {
+    if (core_alive[v]) keep.push_back(v);
+  }
+  SignedGraph::InducedResult cored = reduced.graph.InducedSubgraph(keep);
+  const SignedGraph& work = cored.graph;
+  // work id -> input id.
+  std::vector<VertexId> to_input(work.NumVertices());
+  for (VertexId v = 0; v < work.NumVertices(); ++v) {
+    to_input[v] = reduced.to_original[cored.to_original[v]];
+  }
+
+  if (work.NumVertices() > 0) {
+    // Line 4: degeneracy ordering.
+    const DegeneracyResult degeneracy = DegeneracyDecompose(work);
+
+    DichromaticNetworkBuilder builder(work);
+    double sr1_sum = 0.0;
+    double sr2_sum = 0.0;
+    uint64_t sr_count = 0;
+
+    // Line 5: process vertices in reverse degeneracy order.
+    for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
+         ++it) {
+      if (options.time_limit_seconds.has_value() &&
+          total_timer.ElapsedSeconds() > *options.time_limit_seconds) {
+        stats.timed_out = true;
+        break;
+      }
+      const VertexId u = *it;
+      // Cheap pre-check: the network has 1 + (higher-ranked neighbors)
+      // vertices; if that cannot beat the incumbent, skip it without
+      // paying for the dense-bitset construction.
+      uint32_t higher = 0;
+      for (VertexId v : work.PositiveNeighbors(u)) {
+        higher += degeneracy.rank[v] > degeneracy.rank[u];
+      }
+      for (VertexId v : work.NegativeNeighbors(u)) {
+        higher += degeneracy.rank[v] > degeneracy.rank[u];
+      }
+      if (static_cast<size_t>(higher) + 1 <= prune_bound) continue;
+
+      // Line 6: dichromatic network over higher-ranked neighbors.
+      DichromaticNetwork net =
+          builder.Build(u, degeneracy.rank.data(), nullptr);
+      ++stats.num_networks_built;
+      const uint32_t k = net.graph.NumVertices();
+      if (static_cast<size_t>(k) <= prune_bound) continue;
+
+      // Line 7: |C*|-core of g_u (labels ignored).
+      Bitset alive = net.graph.AllVertices();
+      if (options.use_core_pruning) {
+        alive = KCoreWithin(net.graph, alive,
+                            static_cast<uint32_t>(prune_bound));
+        if (!alive.Test(0) || alive.Count() <= prune_bound) continue;
+      }
+
+      // Line 8: coloring-based pruning, then MDC.
+      if (options.use_coloring_bound &&
+          ColoringBoundWithin(net.graph, alive,
+                              static_cast<uint32_t>(prune_bound)) <=
+              prune_bound) {
+        continue;
+      }
+
+      ++stats.num_mdc_instances;
+      if (net.ego_edges > 0) {
+        Bitset alive_sans_u = alive;
+        alive_sans_u.Reset(0);
+        const uint64_t core_edges = net.graph.EdgesWithin(alive_sans_u);
+        sr1_sum += 1.0 - static_cast<double>(net.dichromatic_edges) /
+                             static_cast<double>(net.ego_edges);
+        sr2_sum += 1.0 - static_cast<double>(core_edges) /
+                             static_cast<double>(net.ego_edges);
+        ++sr_count;
+      }
+
+      Bitset candidates = alive;
+      candidates.Reset(0);
+      MdcSolver solver(net.graph);
+      solver.set_use_core_pruning(options.use_core_pruning);
+      solver.set_use_coloring_bound(options.use_coloring_bound);
+      if (options.time_limit_seconds.has_value()) {
+        solver.SetDeadline(&total_timer, *options.time_limit_seconds);
+      }
+      std::vector<uint32_t> solution;
+      const bool improved = solver.Solve(
+          /*seed=*/{0}, candidates, static_cast<int32_t>(tau) - 1,
+          static_cast<int32_t>(tau), prune_bound, &solution,
+          options.existence_only);
+      stats.mdc_branches += solver.branches();
+      if (solver.timed_out()) stats.timed_out = true;
+      if (improved) {
+        best = MaterializeClique(net, solution, to_input);
+        prune_bound = best.size();
+        if (options.existence_only) break;
+      }
+    }
+    if (sr_count > 0) {
+      stats.avg_sr1 = sr1_sum / static_cast<double>(sr_count);
+      stats.avg_sr2 = sr2_sum / static_cast<double>(sr_count);
+    }
+  }
+  stats.search_seconds = phase.ElapsedSeconds();
+
+  result.clique = std::move(best);
+  return result;
+}
+
+}  // namespace mbc

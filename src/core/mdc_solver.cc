@@ -1,0 +1,140 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mdc_solver.h"
+
+#include "src/common/logging.h"
+#include "src/dichromatic/reductions.h"
+
+namespace mbc {
+
+bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
+                      const Bitset& candidates, int32_t tau_l, int32_t tau_r,
+                      size_t lower_bound, std::vector<uint32_t>* best,
+                      bool existence_only) {
+  current_ = seed;
+  best_.clear();
+  best_size_ = lower_bound;
+  found_ = false;
+  existence_only_ = existence_only;
+  stop_ = false;
+  branches_ = 0;
+  timed_out_ = false;
+  Recurse(candidates, tau_l, tau_r);
+  if (found_) *best = best_;
+  return found_;
+}
+
+void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
+                        int32_t tau_r) {
+  ++branches_;
+  if ((branches_ & 0x3ff) == 0 && deadline_timer_ != nullptr &&
+      deadline_timer_->ElapsedSeconds() > deadline_seconds_) {
+    timed_out_ = true;
+    stop_ = true;
+  }
+  if (stop_) return;
+
+  // Line 10: record an improved feasible clique.
+  if (current_.size() > best_size_ && tau_l <= 0 && tau_r <= 0) {
+    best_ = current_;
+    best_size_ = current_.size();
+    found_ = true;
+    if (existence_only_) {
+      stop_ = true;
+      return;
+    }
+  }
+
+  // Line 11: degree-based pruning — any extension clique C' with
+  // |C ∪ C'| > best must lie in the (best - |C|)-core of the candidates.
+  Bitset cand = candidates;
+  if (use_core_pruning_ && best_size_ > current_.size()) {
+    cand = KCoreWithin(graph_, cand,
+                       static_cast<uint32_t>(best_size_ - current_.size()));
+  }
+
+  // Lines 12-13: infeasibility and coloring-bound pruning. The trivial
+  // size bound comes first (it is free and subsumes the coloring bound
+  // when even taking every candidate cannot beat the incumbent).
+  const size_t left_avail = cand.CountAnd(graph_.LeftMask());
+  const size_t right_avail = cand.Count() - left_avail;
+  if ((tau_l > 0 && left_avail < static_cast<size_t>(tau_l)) ||
+      (tau_r > 0 && right_avail < static_cast<size_t>(tau_r))) {
+    return;
+  }
+  if (cand.None()) return;
+  if (current_.size() + left_avail + right_avail <= best_size_) return;
+
+  // Clique shortcut: if the candidates already induce a clique, the
+  // maximum dichromatic clique through the current seed is all of them
+  // (the feasibility check above guarantees the side quotas). This
+  // collapses the deep "dive" into large planted/real cliques — the
+  // regime the TripAdvisor-like datasets live in — to a single step.
+  const size_t cand_count = left_avail + right_avail;
+  uint64_t twice_edges = 0;
+  cand.ForEach([this, &cand, &twice_edges](size_t v) {
+    twice_edges += graph_.AdjacencyOf(v).CountAnd(cand);
+  });
+  if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+    best_ = current_;
+    cand.ForEach([this](size_t v) {
+      best_.push_back(static_cast<uint32_t>(v));
+    });
+    best_size_ = best_.size();
+    found_ = true;
+    if (existence_only_) stop_ = true;
+    return;
+  }
+
+  // The coloring bound can only prune while it stays <= needed; beyond
+  // that it may stop early (see ColoringBoundWithin).
+  if (use_coloring_bound_) {
+    const uint32_t needed =
+        best_size_ > current_.size()
+            ? static_cast<uint32_t>(best_size_ - current_.size())
+            : 0;
+    const uint32_t color_bound = ColoringBoundWithin(graph_, cand, needed);
+    if (current_.size() + color_bound <= best_size_) return;
+  }
+
+  // Lines 14-16: choose the branching pool based on which side still needs
+  // vertices.
+  Bitset branch_pool = cand;
+  if (tau_l > 0 && tau_r <= 0) {
+    branch_pool &= graph_.LeftMask();
+  } else if (tau_l <= 0 && tau_r > 0) {
+    branch_pool.AndNot(graph_.LeftMask());
+  }
+
+  // Lines 17-22: branch on minimum-degree vertices. After each branch the
+  // incumbent may have grown, so re-check the free size bound before
+  // paying for the min-degree scan (this collapses the unwind after a
+  // deep successful dive from quadratic to linear).
+  Bitset remaining = cand;
+  while (branch_pool.Any()) {
+    if (current_.size() + remaining.Count() <= best_size_) return;
+    uint32_t v = 0;
+    uint32_t v_degree = 0;
+    bool v_found = false;
+    branch_pool.ForEach([&](size_t w) {
+      const uint32_t degree =
+          graph_.DegreeWithin(static_cast<uint32_t>(w), remaining);
+      if (!v_found || degree < v_degree) {
+        v_found = true;
+        v = static_cast<uint32_t>(w);
+        v_degree = degree;
+      }
+    });
+
+    const bool v_left = graph_.IsLeft(v);
+    current_.push_back(v);
+    Recurse(graph_.AdjacencyOf(v) & remaining, v_left ? tau_l - 1 : tau_l,
+            v_left ? tau_r : tau_r - 1);
+    current_.pop_back();
+    if (stop_) return;
+
+    branch_pool.Reset(v);
+    remaining.Reset(v);
+  }
+}
+
+}  // namespace mbc

@@ -1,0 +1,81 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// MDC (Algorithm 2, procedure MDC): branch-and-bound maximum dichromatic
+// clique search on a dichromatic network. Classic maximum-clique machinery
+// (degree-based pruning via k-core peeling, greedy-coloring upper bound,
+// minimum-degree branching) applies because the network is unsigned; the
+// two side thresholds τ_L / τ_R are the only signed-world residue.
+#ifndef MBC_CORE_MDC_SOLVER_H_
+#define MBC_CORE_MDC_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/timer.h"
+#include "src/dichromatic/dichromatic_graph.h"
+
+namespace mbc {
+
+/// One maximum-dichromatic-clique search over a fixed dichromatic graph.
+class MdcSolver {
+ public:
+  /// `graph` must outlive the solver.
+  explicit MdcSolver(const DichromaticGraph& graph) : graph_(graph) {}
+
+  /// Searches for the largest clique C' ⊆ candidates such that
+  /// |seed ∪ C'| > lower_bound, |C' ∩ V_L| ≥ tau_l and |C' ∩ V_R| ≥ tau_r
+  /// (thresholds may be negative, meaning already satisfied).
+  ///
+  /// `seed` is the clique grown so far (typically {u}); candidates must all
+  /// be adjacent to every seed vertex. On success, returns true and stores
+  /// seed ∪ C' in *best (local vertex ids); otherwise returns false and
+  /// leaves *best untouched.
+  ///
+  /// `existence_only`: stop at the first clique that satisfies the
+  /// thresholds (used by the PF-BS optimization of Section IV-B).
+  bool Solve(const std::vector<uint32_t>& seed, const Bitset& candidates,
+             int32_t tau_l, int32_t tau_r, size_t lower_bound,
+             std::vector<uint32_t>* best, bool existence_only = false);
+
+  /// Number of MDC branch invocations in the last Solve call.
+  uint64_t branches() const { return branches_; }
+
+  /// Optional wall-clock budget (safety net for experiment harnesses on
+  /// adversarial instances; the paper's algorithm has none). When the
+  /// elapsed time of `timer` exceeds `limit_seconds`, the search unwinds;
+  /// the result so far is still a valid (possibly non-optimal) clique.
+  void SetDeadline(const Timer* timer, double limit_seconds) {
+    deadline_timer_ = timer;
+    deadline_seconds_ = limit_seconds;
+  }
+  bool timed_out() const { return timed_out_; }
+
+  /// Ablation switches (both default on; used by bench_ablation_pruning
+  /// to quantify each bound's contribution).
+  void set_use_core_pruning(bool enabled) { use_core_pruning_ = enabled; }
+  void set_use_coloring_bound(bool enabled) {
+    use_coloring_bound_ = enabled;
+  }
+
+ private:
+  void Recurse(const Bitset& candidates, int32_t tau_l, int32_t tau_r);
+
+  const DichromaticGraph& graph_;
+  std::vector<uint32_t> current_;
+  std::vector<uint32_t> best_;
+  size_t best_size_ = 0;
+  bool found_ = false;
+  bool existence_only_ = false;
+  bool stop_ = false;
+  uint64_t branches_ = 0;
+  const Timer* deadline_timer_ = nullptr;
+  double deadline_seconds_ = 0.0;
+  bool timed_out_ = false;
+  bool use_core_pruning_ = true;
+  bool use_coloring_bound_ = true;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_MDC_SOLVER_H_

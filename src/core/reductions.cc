@@ -1,0 +1,116 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/reductions.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/graph/signed_graph_builder.h"
+#include "src/graph/triangles.h"
+
+namespace mbc {
+
+std::vector<uint8_t> VertexReductionMask(const SignedGraph& graph,
+                                         uint32_t tau) {
+  const VertexId n = graph.NumVertices();
+  std::vector<uint8_t> alive(n, 1);
+  if (tau == 0) return alive;
+  const uint32_t need_pos = tau - 1;
+  const uint32_t need_neg = tau;
+
+  std::vector<uint32_t> pos_degree(n);
+  std::vector<uint32_t> neg_degree(n);
+  std::vector<VertexId> pending;
+  for (VertexId v = 0; v < n; ++v) {
+    pos_degree[v] = graph.PositiveDegree(v);
+    neg_degree[v] = graph.NegativeDegree(v);
+    if (pos_degree[v] < need_pos || neg_degree[v] < need_neg) {
+      alive[v] = 0;
+      pending.push_back(v);
+    }
+  }
+  while (!pending.empty()) {
+    const VertexId v = pending.back();
+    pending.pop_back();
+    for (VertexId u : graph.PositiveNeighbors(v)) {
+      if (alive[u] && --pos_degree[u] < need_pos) {
+        alive[u] = 0;
+        pending.push_back(u);
+      }
+    }
+    for (VertexId u : graph.NegativeNeighbors(v)) {
+      if (alive[u] && --neg_degree[u] < need_neg) {
+        alive[u] = 0;
+        pending.push_back(u);
+      }
+    }
+  }
+  return alive;
+}
+
+ReducedSignedGraph ApplyVertexReduction(const SignedGraph& graph,
+                                        uint32_t tau) {
+  const std::vector<uint8_t> alive = VertexReductionMask(graph, tau);
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (alive[v]) keep.push_back(v);
+  }
+  SignedGraph::InducedResult induced = graph.InducedSubgraph(keep);
+  return ReducedSignedGraph{std::move(induced.graph),
+                            std::move(induced.to_original)};
+}
+
+SignedGraph EdgeReduction(const SignedGraph& graph, uint32_t tau,
+                          std::optional<double> time_limit_seconds) {
+  if (tau < 2) {
+    // For τ ≤ 1 the triangle conditions are vacuous for positive edges and
+    // (for τ == 1) require nothing beyond edge existence for negative ones.
+    return graph;
+  }
+  const uint32_t pos_need_pp = tau - 2;
+  const uint32_t pos_need_nn = tau;
+  const uint32_t neg_need_mixed = tau - 1;
+
+  SignedGraph current = graph;
+  Timer timer;
+  uint64_t processed = 0;
+  bool aborted = false;
+  while (!aborted) {
+    SignedGraphBuilder builder(current.NumVertices());
+    uint64_t removed = 0;
+    auto classify = [&](VertexId u, VertexId v, Sign sign) {
+      if ((++processed & 0xfff) == 0 && time_limit_seconds.has_value() &&
+          timer.ElapsedSeconds() > *time_limit_seconds) {
+        aborted = true;
+      }
+      if (aborted) return;  // partial round is discarded below
+      const EdgeTriangleCounts counts = CountEdgeTriangles(current, u, v);
+      bool keep = true;
+      if (sign == Sign::kPositive) {
+        keep = counts.pos_pos >= pos_need_pp && counts.neg_neg >= pos_need_nn;
+      } else {
+        keep =
+            counts.pos_neg >= neg_need_mixed && counts.neg_pos >= neg_need_mixed;
+      }
+      if (keep) {
+        builder.AddEdge(u, v, sign);
+      } else {
+        ++removed;
+      }
+    };
+    current.ForEachEdge(classify);
+    if (aborted || removed == 0) break;
+    SignedGraph next = std::move(builder).Build();
+    // Removing edges can invalidate the degree conditions; clear the
+    // adjacency of degree-violating vertices so their edges are retried.
+    const std::vector<uint8_t> alive = VertexReductionMask(next, tau);
+    SignedGraphBuilder filtered(next.NumVertices());
+    next.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+      if (alive[u] && alive[v]) filtered.AddEdge(u, v, sign);
+    });
+    current = std::move(filtered).Build();
+  }
+  return current;
+}
+
+}  // namespace mbc

@@ -1,0 +1,56 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/verify.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mbc {
+
+bool IsBalancedClique(const SignedGraph& graph,
+                      const BalancedClique& clique) {
+  const std::vector<VertexId> all = clique.AllVertices();
+  // No duplicates (AllVertices is sorted).
+  if (std::adjacent_find(all.begin(), all.end()) != all.end()) return false;
+  for (VertexId v : all) {
+    if (v >= graph.NumVertices()) return false;
+  }
+  for (size_t i = 0; i < clique.left.size(); ++i) {
+    for (size_t j = i + 1; j < clique.left.size(); ++j) {
+      if (!graph.HasPositiveEdge(clique.left[i], clique.left[j])) return false;
+    }
+  }
+  for (size_t i = 0; i < clique.right.size(); ++i) {
+    for (size_t j = i + 1; j < clique.right.size(); ++j) {
+      if (!graph.HasPositiveEdge(clique.right[i], clique.right[j])) {
+        return false;
+      }
+    }
+  }
+  for (VertexId u : clique.left) {
+    for (VertexId v : clique.right) {
+      if (!graph.HasNegativeEdge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<BalancedClique> SplitIntoBalancedClique(
+    const SignedGraph& graph, std::span<const VertexId> vertices) {
+  BalancedClique clique;
+  if (vertices.empty()) return clique;
+  // Anchor the first vertex left; classify the rest by their edge sign to
+  // the anchor; then verify the full sign pattern.
+  const VertexId anchor = vertices.front();
+  clique.left.push_back(anchor);
+  for (size_t i = 1; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    const std::optional<Sign> sign = graph.EdgeSign(anchor, v);
+    if (!sign.has_value()) return std::nullopt;  // not a clique
+    (sign == Sign::kPositive ? clique.left : clique.right).push_back(v);
+  }
+  clique.Canonicalize();
+  if (!IsBalancedClique(graph, clique)) return std::nullopt;
+  return clique;
+}
+
+}  // namespace mbc

@@ -1,0 +1,29 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Validation of balanced cliques. Used by tests and by callers that want to
+// double-check solver output against the input graph.
+#ifndef MBC_CORE_VERIFY_H_
+#define MBC_CORE_VERIFY_H_
+
+#include <optional>
+#include <span>
+
+#include "src/core/balanced_clique.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Whether `clique` is a structural balanced clique of `graph` with exactly
+/// the stored side split: every within-side pair joined by a positive edge,
+/// every cross-side pair by a negative edge, no repeated vertices.
+bool IsBalancedClique(const SignedGraph& graph, const BalancedClique& clique);
+
+/// Given a vertex set, determines whether it induces a balanced clique; if
+/// so returns the (unique up to swap) side split, otherwise nullopt.
+/// The split is derived by anchoring the first vertex on the left side.
+std::optional<BalancedClique> SplitIntoBalancedClique(
+    const SignedGraph& graph, std::span<const VertexId> vertices);
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_VERIFY_H_

@@ -1,0 +1,201 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+namespace {
+
+// Draws a vertex with weight(i) ∝ (i+1)^-alpha via the inverse-CDF of the
+// continuous approximation; alpha = 0 degenerates to uniform.
+VertexId DrawPowerLaw(Rng& rng, VertexId n, double alpha) {
+  if (alpha <= 0.0) return static_cast<VertexId>(rng.NextBounded(n));
+  const double u = rng.NextDouble();
+  const double idx = static_cast<double>(n) * std::pow(u, 1.0 / (1.0 - alpha));
+  VertexId v = static_cast<VertexId>(idx);
+  return std::min(v, n - 1);
+}
+
+}  // namespace
+
+SignedGraph GenerateCommunitySignedGraph(
+    const CommunityGraphOptions& options) {
+  const VertexId n = options.num_vertices;
+  MBC_CHECK_GT(n, 1u);
+  const uint32_t communities = std::max<uint32_t>(options.num_communities, 1);
+  const double bias = std::clamp(options.intra_community_bias, 0.0, 1.0);
+  const double rho = std::clamp(options.negative_ratio, 0.0, 1.0);
+
+  // Solve noise rates so E[negative ratio] == rho while keeping the
+  // structure "inter-community edges are the negative ones":
+  //   rho = bias * p_neg_intra + (1 - bias) * p_neg_inter.
+  double p_neg_inter = (1.0 - bias) > 0 ? std::min(1.0, rho / (1.0 - bias))
+                                        : 0.0;
+  double p_neg_intra =
+      bias > 0 ? std::clamp((rho - (1.0 - bias) * p_neg_inter) / bias, 0.0,
+                            1.0)
+               : 0.0;
+
+  // Communities are interleaved so hubs (low ids) spread across all of them.
+  auto community_of = [communities](VertexId v) { return v % communities; };
+
+  Rng rng(options.seed);
+  SignedGraphBuilder builder(n);
+  // The sign of a pair is a deterministic hash of the pair, so repeated
+  // samples of the same pair always agree — no sign conflicts, and the
+  // negative-edge ratio over *distinct* pairs matches the target even
+  // under heavy de-duplication on dense settings.
+  auto pair_sign = [&](VertexId u, VertexId v, double p_neg) {
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    key ^= options.seed * 0x9e3779b97f4a7c15ULL;
+    const uint64_t mixed = SplitMix64(key);
+    const double unit = (mixed >> 11) * 0x1.0p-53;
+    return unit < p_neg ? Sign::kNegative : Sign::kPositive;
+  };
+  auto sample_batch = [&](EdgeCount count) {
+    for (EdgeCount e = 0; e < count; ++e) {
+      const VertexId u = DrawPowerLaw(rng, n, options.powerlaw_alpha);
+      VertexId v = kInvalidVertex;
+      const bool intra = rng.NextBernoulli(bias);
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const VertexId candidate =
+            DrawPowerLaw(rng, n, options.powerlaw_alpha);
+        if (candidate == u) continue;
+        const bool same = community_of(candidate) == community_of(u);
+        if (same == intra) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v == kInvalidVertex) continue;  // extremely unlikely
+      builder.AddEdge(u, v,
+                      pair_sign(u, v, intra ? p_neg_intra : p_neg_inter));
+    }
+  };
+  // Power-law endpoints collide often, so de-duplication can eat a large
+  // fraction of the samples; top up in rounds until the distinct-edge
+  // count approaches the target (bounded, since the pair space may simply
+  // be too small on extreme settings).
+  sample_batch(options.num_edges);
+  SignedGraph graph = std::move(builder).Build();
+  for (int round = 0;
+       round < 4 && graph.NumEdges() < options.num_edges * 95 / 100;
+       ++round) {
+    builder = SignedGraphBuilder(n);
+    graph.ForEachEdge([&builder](VertexId u, VertexId v, Sign sign) {
+      builder.AddEdge(u, v, sign);
+    });
+    const EdgeCount missing = options.num_edges - graph.NumEdges();
+    sample_batch(missing + missing / 2);
+    graph = std::move(builder).Build();
+  }
+
+  // De-duplication is community-size dependent, which can skew the
+  // realized sign ratio on dense/small settings. Rebalance by flipping a
+  // deterministic random subset of distinct edges toward the target.
+  const double realized = graph.NegativeEdgeRatio();
+  if (std::fabs(realized - rho) > 0.005 && graph.NumEdges() > 0) {
+    const bool too_negative = realized > rho;
+    const double flip_prob =
+        too_negative ? (realized - rho) / std::max(realized, 1e-9)
+                     : (rho - realized) / std::max(1.0 - realized, 1e-9);
+    uint64_t flip_state = options.seed ^ 0xf1a9b2c3d4e5f607ULL;
+    SignedGraphBuilder rebalance(n);
+    graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+      const bool flippable =
+          (sign == Sign::kNegative) == too_negative;
+      if (flippable) {
+        uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+        key ^= flip_state;
+        const double unit = (SplitMix64(key) >> 11) * 0x1.0p-53;
+        if (unit < flip_prob) sign = FlipSign(sign);
+      }
+      rebalance.AddEdge(u, v, sign);
+    });
+    graph = std::move(rebalance).Build();
+  }
+  return graph;
+}
+
+SignedGraph PlantBalancedCliques(const SignedGraph& base,
+                                 const std::vector<PlantedClique>& specs,
+                                 uint64_t seed,
+                                 std::vector<PlantedCliqueMembers>* members) {
+  const VertexId n = base.NumVertices();
+  size_t total_needed = 0;
+  for (const PlantedClique& spec : specs) {
+    total_needed += spec.left_size + spec.right_size;
+  }
+  MBC_CHECK_LE(total_needed, static_cast<size_t>(n))
+      << "not enough vertices to plant the requested cliques";
+
+  // Choose members from a hub-leaning pool: shuffle a prefix of the id
+  // range (low ids have high expected degree under the power-law weights),
+  // then carve consecutive blocks per spec.
+  const VertexId pool_size = static_cast<VertexId>(
+      std::min<size_t>(n, total_needed * 4 + 64));
+  std::vector<VertexId> pool(pool_size);
+  std::iota(pool.begin(), pool.end(), 0);
+  Rng rng(seed);
+  for (VertexId i = 0; i + 1 < pool_size; ++i) {
+    const auto j = i + static_cast<VertexId>(rng.NextBounded(pool_size - i));
+    std::swap(pool[i], pool[j]);
+  }
+
+  // spec index per vertex, or -1.
+  std::vector<int32_t> spec_of(n, -1);
+  // side per planted vertex: true = left.
+  std::vector<uint8_t> is_left(n, 0);
+  std::vector<PlantedCliqueMembers> chosen(specs.size());
+  size_t cursor = 0;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    for (uint32_t i = 0; i < specs[s].left_size; ++i) {
+      const VertexId v = pool[cursor++];
+      spec_of[v] = static_cast<int32_t>(s);
+      is_left[v] = 1;
+      chosen[s].left.push_back(v);
+    }
+    for (uint32_t i = 0; i < specs[s].right_size; ++i) {
+      const VertexId v = pool[cursor++];
+      spec_of[v] = static_cast<int32_t>(s);
+      is_left[v] = 0;
+      chosen[s].right.push_back(v);
+    }
+    std::sort(chosen[s].left.begin(), chosen[s].left.end());
+    std::sort(chosen[s].right.begin(), chosen[s].right.end());
+  }
+
+  SignedGraphBuilder builder(n);
+  builder.set_sign_conflict_policy(
+      SignedGraphBuilder::SignConflictPolicy::kKeepNegative);
+  // Keep every base edge except those inside one planted clique — the
+  // clique fully prescribes those pairs.
+  base.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    if (spec_of[u] >= 0 && spec_of[u] == spec_of[v]) return;
+    builder.AddEdge(u, v, sign);
+  });
+  for (const PlantedCliqueMembers& m : chosen) {
+    std::vector<VertexId> all;
+    all.insert(all.end(), m.left.begin(), m.left.end());
+    all.insert(all.end(), m.right.begin(), m.right.end());
+    for (size_t i = 0; i < all.size(); ++i) {
+      for (size_t j = i + 1; j < all.size(); ++j) {
+        const Sign sign = (is_left[all[i]] == is_left[all[j]])
+                              ? Sign::kPositive
+                              : Sign::kNegative;
+        builder.AddEdge(all[i], all[j], sign);
+      }
+    }
+  }
+  if (members != nullptr) *members = std::move(chosen);
+  return std::move(builder).Build();
+}
+
+}  // namespace mbc

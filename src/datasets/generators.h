@@ -1,0 +1,65 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Synthetic signed-graph generators.
+//
+//   * GenerateCommunitySignedGraph — an SRN-style generator [32]: vertices
+//     with power-law weights are split into communities; intra-community
+//     edges are mostly positive and inter-community edges mostly negative,
+//     with noise rates solved so the expected negative-edge ratio matches a
+//     target. This is the model behind the paper's SN1/SN2 datasets and the
+//     structural stand-ins for its real datasets (DESIGN.md §4).
+//   * PlantBalancedClique — overrides edges so that a chosen vertex set
+//     forms a balanced clique with prescribed side sizes, giving
+//     ground-truth |C*| and β(G).
+#ifndef MBC_DATASETS_GENERATORS_H_
+#define MBC_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+struct CommunityGraphOptions {
+  VertexId num_vertices = 1000;
+  EdgeCount num_edges = 5000;
+  uint32_t num_communities = 8;
+  /// Probability that a sampled edge stays inside one community.
+  double intra_community_bias = 0.75;
+  /// Target expected fraction of negative edges.
+  double negative_ratio = 0.2;
+  /// Degree-weight exponent: weight(i) ∝ (i+1)^-alpha. 0 = uniform.
+  double powerlaw_alpha = 0.65;
+  uint64_t seed = 1;
+};
+
+/// Generates a community-structured signed graph. Duplicate samples are
+/// deduplicated (negative wins on a sign conflict), so the realized edge
+/// count is slightly below `num_edges` on dense settings.
+SignedGraph GenerateCommunitySignedGraph(const CommunityGraphOptions& options);
+
+struct PlantedClique {
+  uint32_t left_size = 0;
+  uint32_t right_size = 0;
+};
+
+/// Returns `base` with the given balanced cliques planted: for each spec,
+/// distinct vertices are chosen (deterministically from `seed`, disjoint
+/// across specs, preferring low ids = hubs under the power-law weighting)
+/// and all pairwise edges are set to the signs the balanced structure
+/// demands, overriding any existing edge. If `members` is non-null it
+/// receives, per spec, the chosen (left, right) vertex lists.
+struct PlantedCliqueMembers {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+};
+SignedGraph PlantBalancedCliques(const SignedGraph& base,
+                                 const std::vector<PlantedClique>& specs,
+                                 uint64_t seed,
+                                 std::vector<PlantedCliqueMembers>* members =
+                                     nullptr);
+
+}  // namespace mbc
+
+#endif  // MBC_DATASETS_GENERATORS_H_

@@ -1,0 +1,93 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/rating_converter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/common/random.h"
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+
+SignedGraph SignedGraphFromRatings(std::span<const Rating> ratings,
+                                   uint32_t num_users,
+                                   const RatingConversionOptions& options) {
+  // Bucket ratings by item.
+  std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, float>>>
+      by_item;
+  for (const Rating& r : ratings) {
+    MBC_CHECK_LT(r.user, num_users);
+    by_item[r.item].emplace_back(r.user, r.score);
+  }
+
+  // Per user pair: (co-rated, agreeing, disagreeing) counts.
+  struct PairCounts {
+    uint32_t common = 0;
+    uint32_t agree = 0;
+    uint32_t disagree = 0;
+  };
+  std::unordered_map<uint64_t, PairCounts> pair_counts;
+  const auto pair_key = [](uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (auto& [item, raters] : by_item) {
+    if (raters.size() < 2 || raters.size() > options.max_raters_per_item) {
+      continue;
+    }
+    for (size_t i = 0; i < raters.size(); ++i) {
+      for (size_t j = i + 1; j < raters.size(); ++j) {
+        if (raters[i].first == raters[j].first) continue;
+        PairCounts& counts =
+            pair_counts[pair_key(raters[i].first, raters[j].first)];
+        ++counts.common;
+        const double diff =
+            std::fabs(static_cast<double>(raters[i].second) -
+                      static_cast<double>(raters[j].second));
+        if (diff <= options.agree_threshold) ++counts.agree;
+        if (diff >= options.disagree_threshold) ++counts.disagree;
+      }
+    }
+  }
+
+  SignedGraphBuilder builder(num_users);
+  for (const auto& [key, counts] : pair_counts) {
+    if (counts.common < options.min_common_items) continue;
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xffffffffu);
+    const double need = options.majority * counts.common;
+    if (static_cast<double>(counts.agree) >= need) {
+      builder.AddEdge(u, v, Sign::kPositive);
+    } else if (static_cast<double>(counts.disagree) >= need) {
+      builder.AddEdge(u, v, Sign::kNegative);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<Rating> GenerateTwoCampRatings(uint32_t num_users,
+                                           uint32_t num_items,
+                                           uint32_t ratings_per_user,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rating> ratings;
+  ratings.reserve(static_cast<size_t>(num_users) * ratings_per_user);
+  for (uint32_t user = 0; user < num_users; ++user) {
+    const bool camp_a = (user % 2) == 0;
+    for (uint32_t k = 0; k < ratings_per_user; ++k) {
+      const auto item = static_cast<uint32_t>(rng.NextBounded(num_items));
+      // Camp A loves even items and hates odd ones; camp B the opposite.
+      const bool loves = ((item % 2) == 0) == camp_a;
+      const double base = loves ? 4.5 : 1.5;
+      const double jitter = rng.NextDouble() - 0.5;  // ±0.5 star
+      ratings.push_back(Rating{user, item,
+                               static_cast<float>(
+                                   std::clamp(base + jitter, 1.0, 5.0))});
+    }
+  }
+  return ratings;
+}
+
+}  // namespace mbc

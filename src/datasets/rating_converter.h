@@ -1,0 +1,55 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Rating-network → signed-graph conversion, the preprocessing the paper
+// applies to Amazon / BookCross / TripAdvisor / YahooSong: "For each pair
+// of users, if they have enough number of close (resp. opposite) rating
+// scores to a set of items, we assign a positive (resp. negative) edge
+// between them."
+#ifndef MBC_DATASETS_RATING_CONVERTER_H_
+#define MBC_DATASETS_RATING_CONVERTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+struct Rating {
+  uint32_t user = 0;
+  uint32_t item = 0;
+  float score = 0.0f;  // e.g. 1-5 stars
+};
+
+struct RatingConversionOptions {
+  /// Minimum co-rated items for a user pair to get an edge at all.
+  uint32_t min_common_items = 3;
+  /// |score difference| ≤ this counts as agreement on an item.
+  double agree_threshold = 1.0;
+  /// |score difference| ≥ this counts as disagreement.
+  double disagree_threshold = 2.5;
+  /// Fraction of co-rated items that must agree (resp. disagree) for a
+  /// positive (resp. negative) edge.
+  double majority = 0.6;
+  /// Items rated by more than this many users are skipped (pair blowup
+  /// guard, standard practice for rating-graph projections).
+  uint32_t max_raters_per_item = 500;
+};
+
+/// Projects a user-item rating list onto a signed user-user graph.
+SignedGraph SignedGraphFromRatings(std::span<const Rating> ratings,
+                                   uint32_t num_users,
+                                   const RatingConversionOptions& options = {});
+
+/// Generates a synthetic rating corpus with two "taste camps": users in the
+/// same camp rate items similarly, users across camps oppositely — the
+/// structure that makes rating projections yield balanced cliques.
+std::vector<Rating> GenerateTwoCampRatings(uint32_t num_users,
+                                           uint32_t num_items,
+                                           uint32_t ratings_per_user,
+                                           uint64_t seed);
+
+}  // namespace mbc
+
+#endif  // MBC_DATASETS_RATING_CONVERTER_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/dichromatic_graph.h"
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+DichromaticGraph::DichromaticGraph(uint32_t num_vertices)
+    : adjacency_(num_vertices, Bitset(num_vertices)),
+      left_mask_(num_vertices) {}
+
+void DichromaticGraph::SetSide(uint32_t v, Side side) {
+  MBC_DCHECK_LT(v, NumVertices());
+  if (side == Side::kLeft) {
+    left_mask_.Set(v);
+  } else {
+    left_mask_.Reset(v);
+  }
+}
+
+void DichromaticGraph::AddEdge(uint32_t a, uint32_t b) {
+  MBC_DCHECK(a != b);
+  adjacency_[a].Set(b);
+  adjacency_[b].Set(a);
+}
+
+uint64_t DichromaticGraph::EdgesWithin(const Bitset& within) const {
+  uint64_t twice = 0;
+  within.ForEach([this, &within, &twice](size_t v) {
+    twice += adjacency_[v].CountAnd(within);
+  });
+  return twice / 2;
+}
+
+Bitset DichromaticGraph::AllVertices() const {
+  Bitset all(NumVertices());
+  all.SetAll();
+  return all;
+}
+
+size_t DichromaticGraph::MemoryBytes() const {
+  const size_t words_per_row = (NumVertices() + 63) / 64;
+  return (adjacency_.size() + 1) * words_per_row * sizeof(uint64_t);
+}
+
+}  // namespace mbc

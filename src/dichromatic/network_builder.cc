@@ -1,0 +1,78 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/network_builder.h"
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+DichromaticNetworkBuilder::DichromaticNetworkBuilder(const SignedGraph& graph)
+    : graph_(graph),
+      local_id_(graph.NumVertices(), 0),
+      stamp_(graph.NumVertices(), 0) {}
+
+DichromaticNetwork DichromaticNetworkBuilder::Build(VertexId u,
+                                                    const uint32_t* rank,
+                                                    const uint8_t* alive) {
+  MBC_DCHECK(alive == nullptr || alive[u]);
+  ++current_stamp_;
+
+  DichromaticNetwork net;
+  net.to_original.push_back(u);  // local 0 = u
+
+  auto admit = [&](VertexId v) {
+    if (alive != nullptr && !alive[v]) return;
+    if (rank != nullptr && rank[v] <= rank[u]) return;
+    local_id_[v] = static_cast<uint32_t>(net.to_original.size());
+    stamp_[v] = current_stamp_;
+    net.to_original.push_back(v);
+  };
+  // V_L first (positive neighbors), then V_R (negative neighbors); the
+  // sides are recorded below by index range.
+  for (VertexId v : graph_.PositiveNeighbors(u)) admit(v);
+  const uint32_t num_left = static_cast<uint32_t>(net.to_original.size());
+  for (VertexId v : graph_.NegativeNeighbors(u)) admit(v);
+
+  const uint32_t k = static_cast<uint32_t>(net.to_original.size());
+  net.graph = DichromaticGraph(k);
+  for (uint32_t i = 0; i < num_left; ++i) net.graph.SetSide(i, Side::kLeft);
+  for (uint32_t i = num_left; i < k; ++i) net.graph.SetSide(i, Side::kRight);
+
+  // u is adjacent to every other member by construction, and those edges
+  // are never conflicting (positive to V_L, negative to V_R).
+  for (uint32_t i = 1; i < k; ++i) net.graph.AddEdge(0, i);
+
+  // Edges among the members (excluding u): classify against the sides.
+  for (uint32_t i = 1; i < k; ++i) {
+    const VertexId x = net.to_original[i];
+    const bool x_left = i < num_left;
+    for (VertexId y : graph_.PositiveNeighbors(x)) {
+      if (stamp_[y] != current_stamp_) continue;
+      const uint32_t j = local_id_[y];
+      if (j <= i) continue;  // count each pair once; j==0 impossible here
+      ++net.ego_edges;
+      const bool y_left = j < num_left;
+      // A positive edge is non-conflicting iff both endpoints are on the
+      // same side.
+      if (x_left == y_left) {
+        net.graph.AddEdge(i, j);
+        ++net.dichromatic_edges;
+      }
+    }
+    for (VertexId y : graph_.NegativeNeighbors(x)) {
+      if (stamp_[y] != current_stamp_) continue;
+      const uint32_t j = local_id_[y];
+      if (j <= i) continue;
+      ++net.ego_edges;
+      const bool y_left = j < num_left;
+      // A negative edge is non-conflicting iff the endpoints are on
+      // opposite sides.
+      if (x_left != y_left) {
+        net.graph.AddEdge(i, j);
+        ++net.dichromatic_edges;
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace mbc

@@ -1,0 +1,115 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/reductions.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
+                   uint32_t k) {
+  Bitset alive = candidates;
+  if (k == 0) return alive;
+  std::vector<uint32_t> pending;
+  alive.ForEach([&](size_t v) {
+    if (graph.DegreeWithin(static_cast<uint32_t>(v), alive) < k) {
+      pending.push_back(static_cast<uint32_t>(v));
+    }
+  });
+  while (!pending.empty()) {
+    const uint32_t v = pending.back();
+    pending.pop_back();
+    if (!alive.Test(v)) continue;
+    alive.Reset(v);
+    // Neighbors of v inside `alive` may have dropped below k.
+    Bitset affected = graph.AdjacencyOf(v) & alive;
+    affected.ForEach([&](size_t u) {
+      if (graph.DegreeWithin(static_cast<uint32_t>(u), alive) < k) {
+        pending.push_back(static_cast<uint32_t>(u));
+      }
+    });
+  }
+  return alive;
+}
+
+Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
+                          const Bitset& candidates, int32_t tau_l,
+                          int32_t tau_r) {
+  Bitset alive = candidates;
+  const Bitset& left = graph.LeftMask();
+  const auto need_l = [&](uint32_t v) -> uint32_t {
+    const int32_t need = graph.IsLeft(v) ? tau_l - 1 : tau_l;
+    return need > 0 ? static_cast<uint32_t>(need) : 0;
+  };
+  const auto need_r = [&](uint32_t v) -> uint32_t {
+    const int32_t need = graph.IsLeft(v) ? tau_r : tau_r - 1;
+    return need > 0 ? static_cast<uint32_t>(need) : 0;
+  };
+  auto violates = [&](uint32_t v) {
+    const Bitset neighborhood = graph.AdjacencyOf(v) & alive;
+    const size_t left_deg = neighborhood.CountAnd(left);
+    const size_t right_deg = neighborhood.Count() - left_deg;
+    return left_deg < need_l(v) || right_deg < need_r(v);
+  };
+
+  std::vector<uint32_t> pending;
+  alive.ForEach([&](size_t v) {
+    if (violates(static_cast<uint32_t>(v))) {
+      pending.push_back(static_cast<uint32_t>(v));
+    }
+  });
+  while (!pending.empty()) {
+    const uint32_t v = pending.back();
+    pending.pop_back();
+    if (!alive.Test(v)) continue;
+    alive.Reset(v);
+    Bitset affected = graph.AdjacencyOf(v) & alive;
+    affected.ForEach([&](size_t u) {
+      if (violates(static_cast<uint32_t>(u))) {
+        pending.push_back(static_cast<uint32_t>(u));
+      }
+    });
+  }
+  return alive;
+}
+
+uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
+                             const Bitset& candidates,
+                             uint32_t early_exit_above) {
+  // Collect candidates with their induced degrees; color in descending
+  // degree order (a standard effective heuristic for clique bounding).
+  std::vector<std::pair<uint32_t, uint32_t>> by_degree;  // (degree, vertex)
+  candidates.ForEach([&](size_t v) {
+    by_degree.emplace_back(graph.DegreeWithin(static_cast<uint32_t>(v),
+                                              candidates),
+                           static_cast<uint32_t>(v));
+  });
+  std::sort(by_degree.begin(), by_degree.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // color_members[c] = bitset of vertices assigned color c.
+  std::vector<Bitset> color_members;
+  for (const auto& [degree, v] : by_degree) {
+    (void)degree;
+    bool placed = false;
+    for (Bitset& members : color_members) {
+      if (!graph.AdjacencyOf(v).Intersects(members)) {
+        members.Set(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      if (color_members.size() > early_exit_above) {
+        return static_cast<uint32_t>(color_members.size() + 1);
+      }
+      color_members.emplace_back(graph.NumVertices());
+      color_members.back().Set(v);
+    }
+  }
+  return static_cast<uint32_t>(color_members.size());
+}
+
+}  // namespace mbc

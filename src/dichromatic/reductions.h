@@ -1,0 +1,47 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Pruning primitives on dichromatic graphs, used inside MDC (Algorithm 2)
+// and DCC (Algorithm 4): k-core peeling ignoring labels, the (τ_L, τ_R)-core
+// of Section IV-C, and the greedy-coloring clique upper bound. All operate
+// on a candidate subset passed as a bitset, leaving the graph untouched.
+#ifndef MBC_DICHROMATIC_REDUCTIONS_H_
+#define MBC_DICHROMATIC_REDUCTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/bitset.h"
+#include "src/dichromatic/dichromatic_graph.h"
+
+namespace mbc {
+
+/// Peels `candidates` to the k-core of the induced subgraph (labels
+/// ignored): the returned set is the maximal subset in which every vertex
+/// has at least k neighbors inside the subset.
+Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
+                   uint32_t k);
+
+/// The (τ_L, τ_R)-core (Section IV-C): the maximal subset in which every
+/// L-vertex has ≥ τ_L - 1 L-neighbors and ≥ τ_R R-neighbors, and every
+/// R-vertex has ≥ τ_L L-neighbors and ≥ τ_R - 1 R-neighbors. Negative
+/// thresholds are treated as 0.
+Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
+                          const Bitset& candidates, int32_t tau_l,
+                          int32_t tau_r);
+
+/// Greedy-coloring upper bound on the maximum clique size of the subgraph
+/// induced by `candidates` (labels ignored). Colors vertices in descending
+/// within-subgraph degree order.
+///
+/// `early_exit_above`: callers use the bound only to test
+/// "colorUB <= target"; once the class count exceeds `early_exit_above`
+/// the test is already decided, so the coloring stops and returns the
+/// (partial) class count. The return value is then a *lower* bound on the
+/// true coloring number — only the comparison against `early_exit_above`
+/// remains meaningful. Keeps the cost low on near-clique candidate sets.
+uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
+                             const Bitset& candidates,
+                             uint32_t early_exit_above = UINT32_MAX);
+
+}  // namespace mbc
+
+#endif  // MBC_DICHROMATIC_REDUCTIONS_H_

@@ -1,0 +1,57 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/signed_ego.h"
+
+namespace mbc {
+
+SignedEgoNetworkBuilder::SignedEgoNetworkBuilder(const SignedGraph& graph)
+    : graph_(graph),
+      local_id_(graph.NumVertices(), 0),
+      stamp_(graph.NumVertices(), 0) {}
+
+SignedEgoNetwork SignedEgoNetworkBuilder::Build(VertexId u,
+                                                const uint32_t* rank) {
+  ++current_stamp_;
+  SignedEgoNetwork net;
+  net.to_original.push_back(u);
+  auto admit = [&](VertexId v) {
+    if (rank != nullptr && rank[v] <= rank[u]) return;
+    local_id_[v] = static_cast<uint32_t>(net.to_original.size());
+    stamp_[v] = current_stamp_;
+    net.to_original.push_back(v);
+  };
+  for (VertexId v : graph_.PositiveNeighbors(u)) admit(v);
+  const uint32_t num_left = static_cast<uint32_t>(net.to_original.size());
+  for (VertexId v : graph_.NegativeNeighbors(u)) admit(v);
+
+  const uint32_t k = static_cast<uint32_t>(net.to_original.size());
+  net.pos.assign(k, Bitset(k));
+  net.neg.assign(k, Bitset(k));
+  net.skeleton = DichromaticGraph(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    net.skeleton.SetSide(i, i < num_left ? Side::kLeft : Side::kRight);
+  }
+  auto add = [&net](uint32_t i, uint32_t j, Sign sign) {
+    auto& rows = (sign == Sign::kPositive) ? net.pos : net.neg;
+    rows[i].Set(j);
+    rows[j].Set(i);
+    net.skeleton.AddEdge(i, j);
+  };
+  for (uint32_t i = 1; i < num_left; ++i) add(0, i, Sign::kPositive);
+  for (uint32_t i = num_left; i < k; ++i) add(0, i, Sign::kNegative);
+  for (uint32_t i = 1; i < k; ++i) {
+    const VertexId x = net.to_original[i];
+    for (VertexId y : graph_.PositiveNeighbors(x)) {
+      if (stamp_[y] == current_stamp_ && local_id_[y] > i) {
+        add(i, local_id_[y], Sign::kPositive);
+      }
+    }
+    for (VertexId y : graph_.NegativeNeighbors(x)) {
+      if (stamp_[y] == current_stamp_ && local_id_[y] > i) {
+        add(i, local_id_[y], Sign::kNegative);
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace mbc

@@ -1,0 +1,52 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Dense signed ego networks: the subgraph induced by a vertex and its
+// (optionally higher-ranked) neighbors with ALL edges kept, signs intact,
+// as dense bitset rows. Used by MBC-Adv (the no-transformation ablation)
+// and by the related-work signed-clique solvers.
+#ifndef MBC_DICHROMATIC_SIGNED_EGO_H_
+#define MBC_DICHROMATIC_SIGNED_EGO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/types.h"
+#include "src/dichromatic/dichromatic_graph.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Signed ego network of u. Local vertex 0 is u. Unlike the dichromatic
+/// network, ALL edges among the members are kept, with their signs.
+struct SignedEgoNetwork {
+  std::vector<Bitset> pos;
+  std::vector<Bitset> neg;
+  /// Unsigned skeleton (pos | neg) packed into a DichromaticGraph so the
+  /// bitset k-core / coloring helpers can be reused. Side labels record
+  /// whether a member is a positive (L) or negative (R) neighbor of u.
+  DichromaticGraph skeleton;
+  std::vector<VertexId> to_original;
+};
+
+/// Builds signed ego networks for successive vertices of one graph,
+/// keeping O(n) scratch (mirrors DichromaticNetworkBuilder).
+class SignedEgoNetworkBuilder {
+ public:
+  /// `graph` must outlive the builder.
+  explicit SignedEgoNetworkBuilder(const SignedGraph& graph);
+
+  /// Builds the ego network of u; if `rank` is non-null, only neighbors v
+  /// with rank[v] > rank[u] join.
+  SignedEgoNetwork Build(VertexId u, const uint32_t* rank = nullptr);
+
+ private:
+  const SignedGraph& graph_;
+  std::vector<uint32_t> local_id_;
+  std::vector<uint32_t> stamp_;
+  uint32_t current_stamp_ = 0;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_DICHROMATIC_SIGNED_EGO_H_

@@ -1,0 +1,99 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/gmbc/gmbc.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/core/mbc_star.h"
+#include "src/pf/pf_star.h"
+
+namespace mbc {
+
+size_t GeneralizedMbcResult::NumDistinctCliques() const {
+  std::set<std::vector<VertexId>> distinct;
+  for (const BalancedClique& clique : cliques) {
+    distinct.insert(clique.AllVertices());
+  }
+  return distinct.size();
+}
+
+namespace {
+
+// Remaining budget, or unset when unlimited.
+std::optional<double> Remaining(const GeneralizedMbcOptions& options,
+                                const Timer& timer) {
+  if (!options.time_limit_seconds.has_value()) return std::nullopt;
+  return std::max(0.0, *options.time_limit_seconds - timer.ElapsedSeconds());
+}
+
+}  // namespace
+
+GeneralizedMbcResult GeneralizedMbc(const SignedGraph& graph,
+                                    const GeneralizedMbcOptions& options) {
+  GeneralizedMbcResult result;
+  Timer timer;
+  for (uint32_t tau = 0;; ++tau) {
+    ++result.num_mbc_calls;
+    MbcStarOptions star_options;
+    star_options.time_limit_seconds = Remaining(options, timer);
+    MbcStarResult mbc = MaxBalancedCliqueStar(graph, tau, star_options);
+    result.timed_out |= mbc.stats.timed_out;
+    if (mbc.clique.empty()) break;  // τ > β(G); the probe at β+1 is free.
+    result.cliques.push_back(std::move(mbc.clique));
+    if (result.timed_out) break;
+  }
+  result.beta = result.cliques.empty()
+                    ? 0
+                    : static_cast<uint32_t>(result.cliques.size() - 1);
+  return result;
+}
+
+GeneralizedMbcResult GeneralizedMbcStar(const SignedGraph& graph,
+                                        const GeneralizedMbcOptions& options) {
+  GeneralizedMbcResult result;
+  if (graph.NumVertices() == 0) return result;
+  Timer timer;
+
+  // Line 1: β(G) via PF*.
+  PfStarOptions pf_options;
+  pf_options.time_limit_seconds = Remaining(options, timer);
+  const PfStarResult pf = PolarizationFactorStar(graph, pf_options);
+  result.timed_out |= pf.stats.timed_out;
+  result.beta = pf.beta;
+  result.cliques.resize(pf.beta + 1);
+
+  // Lines 2-7: decreasing τ, seeding each run with the previous solution.
+  // When the budget runs out, the incumbent (feasible by Lemma 6) is
+  // propagated to the remaining thresholds.
+  BalancedClique incumbent = pf.witness;  // feasible for τ = β(G)
+  for (int64_t tau = pf.beta; tau >= 0; --tau) {
+    const std::optional<double> remaining = Remaining(options, timer);
+    if (remaining.has_value() && *remaining <= 0.0 && !incumbent.empty()) {
+      // Budget exhausted: propagate the incumbent (feasible for every
+      // smaller τ by Lemma 6) without paying for further MBC* preambles.
+      result.timed_out = true;
+      result.cliques[static_cast<size_t>(tau)] = incumbent;
+      continue;
+    }
+    MbcStarOptions star_options;
+    if (!incumbent.empty()) star_options.initial_clique = &incumbent;
+    star_options.time_limit_seconds = remaining;
+    ++result.num_mbc_calls;
+    MbcStarResult mbc =
+        MaxBalancedCliqueStar(graph, static_cast<uint32_t>(tau),
+                              star_options);
+    result.timed_out |= mbc.stats.timed_out;
+    // MBC* returns at least the incumbent; for τ = β(G) feasibility is
+    // guaranteed by PF*'s witness.
+    MBC_CHECK(!mbc.clique.empty());
+    result.cliques[static_cast<size_t>(tau)] = mbc.clique;
+    incumbent = std::move(mbc.clique);
+  }
+  return result;
+}
+
+}  // namespace mbc

@@ -1,0 +1,141 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/balance.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+
+BalanceCheck CheckGraphBalance(const SignedGraph& graph) {
+  const VertexId n = graph.NumVertices();
+  BalanceCheck result;
+  std::vector<uint8_t> side(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<VertexId> parent(n, kInvalidVertex);
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    side[root] = 0;
+    std::queue<VertexId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      auto relax = [&](VertexId v, Sign sign) -> bool {
+        // The balance constraint: same side across positive edges,
+        // opposite sides across negative ones.
+        const uint8_t expected =
+            sign == Sign::kPositive ? side[u] : (1 - side[u]);
+        if (!visited[v]) {
+          visited[v] = 1;
+          side[v] = expected;
+          parent[v] = u;
+          frontier.push(v);
+          return true;
+        }
+        if (side[v] != expected) {
+          // Unbalanced: stitch the violating cycle from the BFS-tree
+          // paths of u and v to their common ancestor.
+          std::vector<VertexId> path_u{u};
+          std::vector<VertexId> path_v{v};
+          std::vector<uint8_t> on_u_path(n, 0);
+          for (VertexId x = u; x != kInvalidVertex; x = parent[x]) {
+            on_u_path[x] = 1;
+            if (x != u) path_u.push_back(x);
+          }
+          VertexId meet = v;
+          while (!on_u_path[meet]) {
+            meet = parent[meet];
+            path_v.push_back(meet);
+          }
+          // Trim path_u at the meeting point.
+          std::vector<VertexId> cycle;
+          for (VertexId x : path_u) {
+            cycle.push_back(x);
+            if (x == meet) break;
+          }
+          // Append v's side (excluding the repeated meet, reversed).
+          for (auto it = path_v.rbegin() + 1; it != path_v.rend(); ++it) {
+            cycle.push_back(*it);
+          }
+          result.violating_cycle = std::move(cycle);
+          return false;
+        }
+        return true;
+      };
+      for (VertexId v : graph.PositiveNeighbors(u)) {
+        if (!relax(v, Sign::kPositive)) return result;
+      }
+      for (VertexId v : graph.NegativeNeighbors(u)) {
+        if (!relax(v, Sign::kNegative)) return result;
+      }
+    }
+  }
+  result.balanced = true;
+  result.sides = std::move(side);
+  return result;
+}
+
+SignedGraph SwitchSigns(const SignedGraph& graph,
+                        const std::vector<uint8_t>& in_set) {
+  MBC_CHECK_EQ(in_set.size(), static_cast<size_t>(graph.NumVertices()));
+  SignedGraphBuilder builder(graph.NumVertices());
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    const bool crossing = (in_set[u] != 0) != (in_set[v] != 0);
+    builder.AddEdge(u, v, crossing ? FlipSign(sign) : sign);
+  });
+  return std::move(builder).Build();
+}
+
+uint64_t FrustrationCount(const SignedGraph& graph,
+                          const std::vector<uint8_t>& sides) {
+  MBC_CHECK_EQ(sides.size(), static_cast<size_t>(graph.NumVertices()));
+  uint64_t violations = 0;
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    const bool same_side = (sides[u] != 0) == (sides[v] != 0);
+    if (sign == Sign::kPositive ? !same_side : same_side) ++violations;
+  });
+  return violations;
+}
+
+uint32_t ConnectedComponents::LargestComponent() const {
+  if (sizes.empty()) return 0;
+  return static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+ConnectedComponents ComputeConnectedComponents(const SignedGraph& graph) {
+  const VertexId n = graph.NumVertices();
+  ConnectedComponents result;
+  result.component.assign(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    const uint32_t id = result.num_components++;
+    result.sizes.push_back(0);
+    visited[root] = 1;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      result.component[u] = id;
+      ++result.sizes[id];
+      auto visit = [&](VertexId v) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          stack.push_back(v);
+        }
+      };
+      for (VertexId v : graph.PositiveNeighbors(u)) visit(v);
+      for (VertexId v : graph.NegativeNeighbors(u)) visit(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace mbc

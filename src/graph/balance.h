@@ -1,0 +1,65 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Whole-graph structural balance utilities (Harary [6]):
+//   * a signed graph is balanced iff its vertices 2-color so that positive
+//     edges join like colors and negative edges unlike colors — checked in
+//     O(n + m) by BFS;
+//   * "switching" a vertex set S negates the sign of every edge crossing
+//     S; a graph is balanced iff some switching makes all edges positive;
+//   * the frustration count of a 2-coloring counts the edges violating it
+//     (0 iff the coloring certifies balance).
+// Connected components round out the substrate (solvers and analyses can
+// work per component).
+#ifndef MBC_GRAPH_BALANCE_H_
+#define MBC_GRAPH_BALANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Result of the whole-graph balance check.
+struct BalanceCheck {
+  /// True iff every connected component is structurally balanced.
+  bool balanced = false;
+  /// When balanced: a certifying side assignment (side[v] ∈ {0, 1}, one
+  /// orientation per component). When unbalanced: empty.
+  std::vector<uint8_t> sides;
+  /// When unbalanced: the vertices of one odd (sign-product-negative)
+  /// cycle witnessing it. When balanced: empty.
+  std::vector<VertexId> violating_cycle;
+};
+
+/// Checks whether the whole signed graph is structurally balanced.
+BalanceCheck CheckGraphBalance(const SignedGraph& graph);
+
+/// Switches the signs across `in_set`: every edge with exactly one
+/// endpoint in the set flips sign. Balance-invariant (Harary).
+SignedGraph SwitchSigns(const SignedGraph& graph,
+                        const std::vector<uint8_t>& in_set);
+
+/// Number of edges violating the given 2-coloring: positive edges across
+/// sides plus negative edges within a side. 0 iff `sides` certifies
+/// balance.
+uint64_t FrustrationCount(const SignedGraph& graph,
+                          const std::vector<uint8_t>& sides);
+
+/// Connected components (signs ignored). Returns component ids in
+/// [0, num_components) per vertex.
+struct ConnectedComponents {
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// Sizes indexed by component id.
+  std::vector<uint32_t> sizes;
+
+  /// Id of a largest component (0 for empty graphs).
+  uint32_t LargestComponent() const;
+};
+ConnectedComponents ComputeConnectedComponents(const SignedGraph& graph);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_BALANCE_H_

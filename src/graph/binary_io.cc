@@ -1,0 +1,148 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/binary_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'B', 'C', 'G'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1aMix(uint64_t hash, uint64_t value) {
+  hash ^= value;
+  hash *= 0x100000001b3ULL;
+  return hash;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+Status WriteSignedGraphBinary(const SignedGraph& graph,
+                              const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+
+  std::vector<uint32_t> pos;
+  std::vector<uint32_t> neg;
+  pos.reserve(graph.NumPositiveEdges() * 2);
+  neg.reserve(graph.NumNegativeEdges() * 2);
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    auto& out = (sign == Sign::kPositive) ? pos : neg;
+    out.push_back(u);
+    out.push_back(v);
+  });
+
+  const uint32_t n = graph.NumVertices();
+  const uint64_t num_pos = pos.size() / 2;
+  const uint64_t num_neg = neg.size() / 2;
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum = Fnv1aMix(checksum, n);
+  checksum = Fnv1aMix(checksum, num_pos);
+  checksum = Fnv1aMix(checksum, num_neg);
+  for (uint32_t word : pos) checksum = Fnv1aMix(checksum, word);
+  for (uint32_t word : neg) checksum = Fnv1aMix(checksum, word);
+
+  const bool ok =
+      WriteAll(file.get(), kMagic, sizeof(kMagic)) &&
+      WriteAll(file.get(), &kVersion, sizeof(kVersion)) &&
+      WriteAll(file.get(), &n, sizeof(n)) &&
+      WriteAll(file.get(), &num_pos, sizeof(num_pos)) &&
+      WriteAll(file.get(), &num_neg, sizeof(num_neg)) &&
+      (pos.empty() ||
+       WriteAll(file.get(), pos.data(), pos.size() * sizeof(uint32_t))) &&
+      (neg.empty() ||
+       WriteAll(file.get(), neg.data(), neg.size() * sizeof(uint32_t))) &&
+      WriteAll(file.get(), &checksum, sizeof(checksum));
+  if (!ok) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t n = 0;
+  uint64_t num_pos = 0;
+  uint64_t num_neg = 0;
+  if (!ReadAll(file.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!ReadAll(file.get(), &version, sizeof(version)) ||
+      version != kVersion) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  if (!ReadAll(file.get(), &n, sizeof(n)) ||
+      !ReadAll(file.get(), &num_pos, sizeof(num_pos)) ||
+      !ReadAll(file.get(), &num_neg, sizeof(num_neg))) {
+    return Status::Corruption(path + ": truncated header");
+  }
+
+  std::vector<uint32_t> pos(num_pos * 2);
+  std::vector<uint32_t> neg(num_neg * 2);
+  if ((!pos.empty() &&
+       !ReadAll(file.get(), pos.data(), pos.size() * sizeof(uint32_t))) ||
+      (!neg.empty() &&
+       !ReadAll(file.get(), neg.data(), neg.size() * sizeof(uint32_t)))) {
+    return Status::Corruption(path + ": truncated edge data");
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadAll(file.get(), &stored_checksum, sizeof(stored_checksum))) {
+    return Status::Corruption(path + ": missing checksum");
+  }
+
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum = Fnv1aMix(checksum, n);
+  checksum = Fnv1aMix(checksum, num_pos);
+  checksum = Fnv1aMix(checksum, num_neg);
+  for (uint32_t word : pos) checksum = Fnv1aMix(checksum, word);
+  for (uint32_t word : neg) checksum = Fnv1aMix(checksum, word);
+  if (checksum != stored_checksum) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+
+  SignedGraphBuilder builder(n);
+  for (size_t i = 0; i < pos.size(); i += 2) {
+    if (pos[i] >= n || pos[i + 1] >= n || pos[i] == pos[i + 1]) {
+      return Status::Corruption(path + ": invalid positive edge");
+    }
+    builder.AddEdge(pos[i], pos[i + 1], Sign::kPositive);
+  }
+  for (size_t i = 0; i < neg.size(); i += 2) {
+    if (neg[i] >= n || neg[i + 1] >= n || neg[i] == neg[i + 1]) {
+      return Status::Corruption(path + ": invalid negative edge");
+    }
+    builder.AddEdge(neg[i], neg[i + 1], Sign::kNegative);
+  }
+  return std::move(builder).BuildValidated();
+}
+
+}  // namespace mbc

@@ -1,0 +1,34 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Compact binary serialization for signed graphs. Used by the experiment
+// harness to cache generated dataset stand-ins across binaries (generation
+// of the multi-million-edge stand-ins would otherwise be repeated by every
+// experiment), and usable as a fast interchange format.
+//
+// Format (little-endian):
+//   magic "MBCG"  u32 version  u32 num_vertices
+//   u64 num_pos_edges  u64 num_neg_edges
+//   num_pos_edges x (u32 u, u32 v)   with u < v
+//   num_neg_edges x (u32 u, u32 v)   with u < v
+//   u64 checksum (FNV-1a over the payload words)
+#ifndef MBC_GRAPH_BINARY_IO_H_
+#define MBC_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Writes `graph` to `path` in the binary format.
+Status WriteSignedGraphBinary(const SignedGraph& graph,
+                              const std::string& path);
+
+/// Reads a binary signed graph from `path`. Verifies magic, version and
+/// checksum; returns Corruption on any mismatch.
+Result<SignedGraph> ReadSignedGraphBinary(const std::string& path);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_BINARY_IO_H_

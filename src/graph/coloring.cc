@@ -1,0 +1,43 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/coloring.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/graph/cores.h"
+
+namespace mbc {
+
+uint32_t GreedyColoring(const Graph& graph, std::vector<VertexId> order,
+                        std::vector<uint32_t>* colors) {
+  const VertexId n = graph.NumVertices();
+  if (order.empty()) {
+    DegeneracyResult degeneracy = DegeneracyDecompose(graph);
+    order.assign(degeneracy.order.rbegin(), degeneracy.order.rend());
+  }
+  MBC_CHECK_EQ(order.size(), static_cast<size_t>(n));
+
+  constexpr uint32_t kUncolored = static_cast<uint32_t>(-1);
+  colors->assign(n, kUncolored);
+  // Scratch: for each candidate color, the vertex that last blocked it.
+  std::vector<VertexId> blocked_by(n + 1, kInvalidVertex);
+  uint32_t num_colors = 0;
+  for (VertexId v : order) {
+    for (VertexId u : graph.Neighbors(v)) {
+      const uint32_t c = (*colors)[u];
+      if (c != kUncolored) blocked_by[c] = v;
+    }
+    uint32_t color = 0;
+    while (blocked_by[color] == v) ++color;
+    (*colors)[v] = color;
+    num_colors = std::max(num_colors, color + 1);
+  }
+  return num_colors;
+}
+
+uint32_t GreedyColoringBound(const Graph& graph, std::vector<VertexId> order) {
+  std::vector<uint32_t> colors;
+  return GreedyColoring(graph, std::move(order), &colors);
+}
+
+}  // namespace mbc

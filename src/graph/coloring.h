@@ -1,0 +1,29 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Greedy graph coloring, used as a clique-size upper bound (Lemma 2 of the
+// paper): the maximum clique size is at most the chromatic number, and a
+// greedy coloring gives an upper bound on the chromatic number in O(n + m).
+#ifndef MBC_GRAPH_COLORING_H_
+#define MBC_GRAPH_COLORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/graph.h"
+
+namespace mbc {
+
+/// Greedily colors `graph` processing vertices in the given order; returns
+/// the number of colors used. If `order` is empty, vertices are processed in
+/// reverse degeneracy order, which guarantees at most degeneracy+1 colors.
+uint32_t GreedyColoringBound(const Graph& graph,
+                             std::vector<VertexId> order = {});
+
+/// As above but also returns the color assigned to each vertex.
+uint32_t GreedyColoring(const Graph& graph, std::vector<VertexId> order,
+                        std::vector<uint32_t>* colors);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_COLORING_H_

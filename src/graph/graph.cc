@@ -1,0 +1,51 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace mbc {
+
+Graph::Graph(VertexId num_vertices,
+             std::span<const std::pair<VertexId, VertexId>> edges)
+    : num_vertices_(num_vertices) {
+  std::vector<uint32_t> degree(num_vertices, 0);
+  for (const auto& [u, v] : edges) {
+    MBC_CHECK_LT(u, num_vertices);
+    MBC_CHECK_LT(v, num_vertices);
+    MBC_CHECK_NE(u, v);
+    ++degree[u];
+    ++degree[v];
+  }
+  offsets_.assign(num_vertices + 1, 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  }
+  neighbors_.resize(offsets_[num_vertices]);
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors_[cursor[u]++] = v;
+    neighbors_[cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(neighbors_.begin() + static_cast<long>(offsets_[v]),
+              neighbors_.begin() + static_cast<long>(offsets_[v + 1]));
+  }
+}
+
+Graph Graph::FromSignedIgnoringSigns(const SignedGraph& signed_graph) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(signed_graph.NumEdges());
+  signed_graph.ForEachEdge(
+      [&edges](VertexId u, VertexId v, Sign) { edges.emplace_back(u, v); });
+  return Graph(signed_graph.NumVertices(), edges);
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto adj = Neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+}  // namespace mbc

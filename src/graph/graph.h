@@ -1,0 +1,55 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Unsigned CSR graph. Used where edge signs are deliberately ignored: the
+// MBC-Adv baseline, k-core / degeneracy computations, and coloring bounds.
+#ifndef MBC_GRAPH_GRAPH_H_
+#define MBC_GRAPH_GRAPH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Immutable unsigned graph in CSR form with sorted adjacency.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from undirected edge pairs. Duplicates and self-loops must have
+  /// been removed by the caller.
+  Graph(VertexId num_vertices,
+        std::span<const std::pair<VertexId, VertexId>> edges);
+
+  /// G with edge signs discarded.
+  static Graph FromSignedIgnoringSigns(const SignedGraph& signed_graph);
+
+  VertexId NumVertices() const { return num_vertices_; }
+  EdgeCount NumEdges() const { return neighbors_.size() / 2; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           neighbors_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;  // size n+1
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_GRAPH_H_

@@ -1,0 +1,140 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/graph_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+namespace {
+
+// Parses one `u v s` line. Returns false for blank/comment lines; a
+// non-OK status for malformed ones.
+struct ParsedEdge {
+  uint64_t u;
+  uint64_t v;
+  Sign sign;
+};
+
+Status ParseLine(std::string_view line, size_t line_no, bool* is_edge,
+                 ParsedEdge* out) {
+  *is_edge = false;
+  size_t pos = line.find_first_not_of(" \t\r");
+  if (pos == std::string_view::npos) return Status::OK();
+  if (line[pos] == '#' || line[pos] == '%') return Status::OK();
+
+  auto fail = [line_no](const char* what) {
+    std::ostringstream msg;
+    msg << "line " << line_no << ": " << what;
+    return Status::Corruption(msg.str());
+  };
+
+  auto parse_uint = [&](uint64_t* value) -> bool {
+    pos = line.find_first_not_of(" \t\r", pos);
+    if (pos == std::string_view::npos) return false;
+    const char* begin = line.data() + pos;
+    const char* end = line.data() + line.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *value);
+    if (ec != std::errc() || ptr == begin) return false;
+    pos = static_cast<size_t>(ptr - line.data());
+    return true;
+  };
+
+  if (!parse_uint(&out->u)) return fail("missing source vertex");
+  if (!parse_uint(&out->v)) return fail("missing target vertex");
+
+  pos = line.find_first_not_of(" \t\r", pos);
+  if (pos == std::string_view::npos) return fail("missing edge sign");
+  std::string_view token = line.substr(pos);
+  const size_t token_end = token.find_first_of(" \t\r");
+  if (token_end != std::string_view::npos) token = token.substr(0, token_end);
+
+  if (token == "1" || token == "+1" || token == "+") {
+    out->sign = Sign::kPositive;
+  } else if (token == "-1" || token == "-") {
+    out->sign = Sign::kNegative;
+  } else {
+    return fail("edge sign must be one of {1, +1, +, -1, -}");
+  }
+  *is_edge = true;
+  return Status::OK();
+}
+
+Result<SignedGraph> ParseStream(std::istream& in) {
+  SignedGraphBuilder builder;
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto dense_id = [&remap](uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    bool is_edge = false;
+    ParsedEdge edge;
+    MBC_RETURN_NOT_OK(ParseLine(line, line_no, &is_edge, &edge));
+    if (!is_edge) continue;
+    if (edge.u == edge.v) {
+      // Real-world signed edge lists occasionally contain self-loops (e.g.
+      // WikiConflict); a simple signed graph has none, so drop them.
+      continue;
+    }
+    // Two statements: argument evaluation order is unspecified, and ids
+    // should be assigned in reading order (u before v).
+    const VertexId u = dense_id(edge.u);
+    const VertexId v = dense_id(edge.v);
+    builder.AddEdge(u, v, edge.sign);
+  }
+  builder.set_sign_conflict_policy(
+      SignedGraphBuilder::SignConflictPolicy::kKeepNegative);
+  return std::move(builder).BuildValidated();
+}
+
+}  // namespace
+
+Result<SignedGraph> ReadSignedEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  return ParseStream(in);
+}
+
+Result<SignedGraph> ParseSignedEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in);
+}
+
+std::string SignedEdgeListToString(const SignedGraph& graph) {
+  std::ostringstream out;
+  out << "# signed edge list: " << graph.NumVertices() << " vertices, "
+      << graph.NumEdges() << " edges\n";
+  graph.ForEachEdge([&out](VertexId u, VertexId v, Sign sign) {
+    out << u << ' ' << v << ' ' << (sign == Sign::kPositive ? "1" : "-1")
+        << '\n';
+  });
+  return out.str();
+}
+
+Status WriteSignedEdgeList(const SignedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << SignedEdgeListToString(graph);
+  if (!out.good()) {
+    return Status::IOError("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace mbc

@@ -1,0 +1,32 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Text edge-list I/O for signed graphs. The format matches the common SNAP /
+// KONECT signed-network convention: one edge per line, `u v s` with
+// s ∈ {1, -1} (also accepts `+1`, `+`, `-`); lines starting with '#' or '%'
+// are comments. Vertex ids are arbitrary non-negative integers and are
+// remapped to a dense range.
+#ifndef MBC_GRAPH_GRAPH_IO_H_
+#define MBC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Reads a signed edge list from `path`.
+Result<SignedGraph> ReadSignedEdgeList(const std::string& path);
+
+/// Parses a signed edge list from a string (used by tests and examples).
+Result<SignedGraph> ParseSignedEdgeList(const std::string& text);
+
+/// Writes `graph` to `path` in the `u v s` format (s ∈ {1, -1}).
+Status WriteSignedEdgeList(const SignedGraph& graph, const std::string& path);
+
+/// Serializes `graph` to the `u v s` text format.
+std::string SignedEdgeListToString(const SignedGraph& graph);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_GRAPH_IO_H_

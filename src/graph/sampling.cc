@@ -1,0 +1,34 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/sampling.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+
+namespace mbc {
+
+SignedGraph SampleVertexInducedSubgraph(const SignedGraph& graph,
+                                        double fraction, uint64_t seed,
+                                        std::vector<VertexId>* to_original) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const VertexId n = graph.NumVertices();
+  const auto target =
+      static_cast<VertexId>(static_cast<double>(n) * fraction + 0.5);
+
+  // Fisher-Yates prefix shuffle to draw `target` distinct vertices.
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  Rng rng(seed);
+  for (VertexId i = 0; i < target && i + 1 < n; ++i) {
+    const auto j = i + static_cast<VertexId>(rng.NextBounded(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(target);
+  std::sort(ids.begin(), ids.end());
+
+  SignedGraph::InducedResult induced = graph.InducedSubgraph(ids);
+  if (to_original != nullptr) *to_original = std::move(induced.to_original);
+  return std::move(induced.graph);
+}
+
+}  // namespace mbc

@@ -1,0 +1,25 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Vertex sampling, matching the paper's scalability experiments (Figures 10
+// and 12): "randomly sample vertices from 20% to 100% ... obtain the induced
+// subgraph of the vertex set as the input data".
+#ifndef MBC_GRAPH_SAMPLING_H_
+#define MBC_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Induced subgraph on a uniform random `fraction` of the vertices.
+/// `fraction` is clamped to [0, 1]; `fraction == 1` copies the graph.
+/// If `to_original` is non-null it receives the new->old vertex mapping.
+SignedGraph SampleVertexInducedSubgraph(
+    const SignedGraph& graph, double fraction, uint64_t seed,
+    std::vector<VertexId>* to_original = nullptr);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_SAMPLING_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/signed_graph.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+namespace {
+
+bool SortedContains(std::span<const VertexId> sorted, VertexId target) {
+  return std::binary_search(sorted.begin(), sorted.end(), target);
+}
+
+}  // namespace
+
+bool SignedGraph::HasPositiveEdge(VertexId u, VertexId v) const {
+  // Probe the smaller adjacency list.
+  if (PositiveDegree(u) > PositiveDegree(v)) std::swap(u, v);
+  return SortedContains(PositiveNeighbors(u), v);
+}
+
+bool SignedGraph::HasNegativeEdge(VertexId u, VertexId v) const {
+  if (NegativeDegree(u) > NegativeDegree(v)) std::swap(u, v);
+  return SortedContains(NegativeNeighbors(u), v);
+}
+
+std::optional<Sign> SignedGraph::EdgeSign(VertexId u, VertexId v) const {
+  if (HasPositiveEdge(u, v)) return Sign::kPositive;
+  if (HasNegativeEdge(u, v)) return Sign::kNegative;
+  return std::nullopt;
+}
+
+double SignedGraph::NegativeEdgeRatio() const {
+  const EdgeCount total = NumEdges();
+  if (total == 0) return 0.0;
+  return static_cast<double>(NumNegativeEdges()) / static_cast<double>(total);
+}
+
+SignedGraph::InducedResult SignedGraph::InducedSubgraph(
+    std::span<const VertexId> vertices) const {
+  std::vector<VertexId> to_original(vertices.begin(), vertices.end());
+  // Map old id -> new id; kInvalidVertex marks "not selected".
+  std::vector<VertexId> to_new(num_vertices_, kInvalidVertex);
+  for (size_t i = 0; i < to_original.size(); ++i) {
+    const VertexId old_id = to_original[i];
+    MBC_CHECK_LT(old_id, num_vertices_);
+    MBC_CHECK(to_new[old_id] == kInvalidVertex)
+        << "duplicate vertex in induced subgraph selection";
+    to_new[old_id] = static_cast<VertexId>(i);
+  }
+
+  SignedGraphBuilder builder(static_cast<VertexId>(to_original.size()));
+  for (size_t i = 0; i < to_original.size(); ++i) {
+    const VertexId old_u = to_original[i];
+    const VertexId new_u = static_cast<VertexId>(i);
+    for (VertexId old_v : PositiveNeighbors(old_u)) {
+      const VertexId new_v = to_new[old_v];
+      if (new_v != kInvalidVertex && new_u < new_v) {
+        builder.AddEdge(new_u, new_v, Sign::kPositive);
+      }
+    }
+    for (VertexId old_v : NegativeNeighbors(old_u)) {
+      const VertexId new_v = to_new[old_v];
+      if (new_v != kInvalidVertex && new_u < new_v) {
+        builder.AddEdge(new_u, new_v, Sign::kNegative);
+      }
+    }
+  }
+  return InducedResult{std::move(builder).Build(), std::move(to_original)};
+}
+
+size_t SignedGraph::MemoryBytes() const {
+  return pos_offsets_.capacity() * sizeof(uint64_t) +
+         neg_offsets_.capacity() * sizeof(uint64_t) +
+         pos_neighbors_.capacity() * sizeof(VertexId) +
+         neg_neighbors_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace mbc

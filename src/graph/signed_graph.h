@@ -1,0 +1,112 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Immutable CSR representation of an undirected simple signed graph
+// G = (V, E+, E-). Positive and negative adjacency are stored separately,
+// each sorted by neighbor id, because every algorithm in the paper treats
+// the two signs asymmetrically (polar cores, dichromatic networks, ...).
+#ifndef MBC_GRAPH_SIGNED_GRAPH_H_
+#define MBC_GRAPH_SIGNED_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace mbc {
+
+class SignedGraphBuilder;
+
+/// Immutable signed graph. Construct via SignedGraphBuilder.
+///
+/// Vertices are dense ids in [0, NumVertices()). Both directions of every
+/// undirected edge are stored, so adjacency spans contain each neighbor
+/// exactly once and NumEdges() counts undirected edges.
+class SignedGraph {
+ public:
+  SignedGraph() = default;
+
+  SignedGraph(const SignedGraph&) = default;
+  SignedGraph& operator=(const SignedGraph&) = default;
+  SignedGraph(SignedGraph&&) = default;
+  SignedGraph& operator=(SignedGraph&&) = default;
+
+  VertexId NumVertices() const { return num_vertices_; }
+  /// Number of undirected edges |E| = |E+| + |E-|.
+  EdgeCount NumEdges() const {
+    return NumPositiveEdges() + NumNegativeEdges();
+  }
+  EdgeCount NumPositiveEdges() const { return pos_neighbors_.size() / 2; }
+  EdgeCount NumNegativeEdges() const { return neg_neighbors_.size() / 2; }
+
+  /// Positive neighbors of v, sorted ascending.
+  std::span<const VertexId> PositiveNeighbors(VertexId v) const {
+    return {pos_neighbors_.data() + pos_offsets_[v],
+            pos_neighbors_.data() + pos_offsets_[v + 1]};
+  }
+  /// Negative neighbors of v, sorted ascending.
+  std::span<const VertexId> NegativeNeighbors(VertexId v) const {
+    return {neg_neighbors_.data() + neg_offsets_[v],
+            neg_neighbors_.data() + neg_offsets_[v + 1]};
+  }
+
+  uint32_t PositiveDegree(VertexId v) const {
+    return static_cast<uint32_t>(pos_offsets_[v + 1] - pos_offsets_[v]);
+  }
+  uint32_t NegativeDegree(VertexId v) const {
+    return static_cast<uint32_t>(neg_offsets_[v + 1] - neg_offsets_[v]);
+  }
+  uint32_t Degree(VertexId v) const {
+    return PositiveDegree(v) + NegativeDegree(v);
+  }
+
+  bool HasPositiveEdge(VertexId u, VertexId v) const;
+  bool HasNegativeEdge(VertexId u, VertexId v) const;
+  /// Sign of edge (u, v), or nullopt if absent.
+  std::optional<Sign> EdgeSign(VertexId u, VertexId v) const;
+
+  /// Ratio |E-| / |E| (0 when the graph has no edges).
+  double NegativeEdgeRatio() const;
+
+  /// Subgraph induced by `vertices` (which need not be sorted; duplicates
+  /// are forbidden). Returns the subgraph plus `to_original`, mapping each
+  /// new vertex id to the id it had in this graph.
+  struct InducedResult;
+  InducedResult InducedSubgraph(std::span<const VertexId> vertices) const;
+
+  /// Bytes of heap memory held by the CSR arrays.
+  size_t MemoryBytes() const;
+
+  /// Invokes fn(u, v, sign) once per undirected edge (with u < v).
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (VertexId u = 0; u < num_vertices_; ++u) {
+      for (VertexId v : PositiveNeighbors(u)) {
+        if (u < v) fn(u, v, Sign::kPositive);
+      }
+      for (VertexId v : NegativeNeighbors(u)) {
+        if (u < v) fn(u, v, Sign::kNegative);
+      }
+    }
+  }
+
+ private:
+  friend class SignedGraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> pos_offsets_;  // size n+1
+  std::vector<VertexId> pos_neighbors_;
+  std::vector<uint64_t> neg_offsets_;  // size n+1
+  std::vector<VertexId> neg_neighbors_;
+};
+
+struct SignedGraph::InducedResult {
+  SignedGraph graph;
+  std::vector<VertexId> to_original;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_SIGNED_GRAPH_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The balanced-clique Authors.
+#ifndef MBC_GRAPH_SIGNED_GRAPH_BUILDER_H_
+#define MBC_GRAPH_SIGNED_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Accumulates undirected signed edges and produces an immutable
+/// SignedGraph. Self-loops are rejected; duplicate edges with the same sign
+/// are de-duplicated silently; an edge reported with both signs is resolved
+/// according to SignConflictPolicy.
+class SignedGraphBuilder {
+ public:
+  enum class SignConflictPolicy {
+    kError,      // Build aborts / BuildValidated returns Corruption.
+    kDropEdge,   // The edge is removed entirely.
+    kKeepNegative,  // Negative wins (common for distrust-dominant data).
+  };
+
+  /// `num_vertices` may be 0; AddEdge grows the vertex count as needed.
+  explicit SignedGraphBuilder(VertexId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds undirected edge {u, v} with the given sign. Precondition: u != v.
+  void AddEdge(VertexId u, VertexId v, Sign sign);
+
+  void set_sign_conflict_policy(SignConflictPolicy policy) {
+    conflict_policy_ = policy;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the graph; MBC_CHECK-fails on sign conflicts under kError.
+  /// Consumes the builder.
+  SignedGraph Build() &&;
+
+  /// Like Build but reports sign conflicts as a Corruption status (used by
+  /// file readers where the input is untrusted).
+  Result<SignedGraph> BuildValidated() &&;
+
+ private:
+  struct PendingEdge {
+    VertexId u;  // u < v
+    VertexId v;
+    Sign sign;
+  };
+
+  // Returns false on a sign conflict under kError policy.
+  bool Finalize(SignedGraph* out);
+
+  VertexId num_vertices_ = 0;
+  std::vector<PendingEdge> edges_;
+  SignConflictPolicy conflict_policy_ = SignConflictPolicy::kError;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_SIGNED_GRAPH_BUILDER_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/triangles.h"
+
+namespace mbc {
+
+SignedTriangleCensus CountSignedTriangles(const SignedGraph& graph) {
+  SignedTriangleCensus census;
+  // For each edge (u, v), classify the common neighbors w by the signs of
+  // (u, w) and (v, w); together with sign(u, v) this determines the
+  // triangle type. Each triangle is seen from its three edges, so divide
+  // by 3 at the end.
+  graph.ForEachEdge([&graph, &census](VertexId u, VertexId v, Sign sign) {
+    const EdgeTriangleCounts counts = CountEdgeTriangles(graph, u, v);
+    if (sign == Sign::kPositive) {
+      census.neg0 += counts.pos_pos;
+      census.neg1 += counts.pos_neg + counts.neg_pos;
+      census.neg2 += counts.neg_neg;
+    } else {
+      census.neg1 += counts.pos_pos;
+      census.neg2 += counts.pos_neg + counts.neg_pos;
+      census.neg3 += counts.neg_neg;
+    }
+  });
+  census.neg0 /= 3;
+  census.neg1 /= 3;
+  census.neg2 /= 3;
+  census.neg3 /= 3;
+  return census;
+}
+
+SignedDegreeStats ComputeDegreeStats(const SignedGraph& graph) {
+  SignedDegreeStats stats;
+  const VertexId n = graph.NumVertices();
+  uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t pos = graph.PositiveDegree(v);
+    const uint32_t neg = graph.NegativeDegree(v);
+    const uint32_t degree = pos + neg;
+    degree_sum += degree;
+    stats.max_degree = std::max(stats.max_degree, degree);
+    stats.max_positive_degree = std::max(stats.max_positive_degree, pos);
+    stats.max_negative_degree = std::max(stats.max_negative_degree, neg);
+    stats.max_polar_key =
+        std::max(stats.max_polar_key, std::min(pos + 1, neg));
+    stats.isolated += degree == 0;
+  }
+  stats.mean_degree =
+      n == 0 ? 0.0
+             : static_cast<double>(degree_sum) / static_cast<double>(n);
+  return stats;
+}
+
+double SignDegreeCorrelation(const SignedGraph& graph) {
+  // Pearson correlation between x = sign (+1/-1) and
+  // y = log(1 + d(u) * d(v)) over the edges.
+  uint64_t count = 0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_yy = 0.0;
+  double sum_xy = 0.0;
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    const double x = (sign == Sign::kPositive) ? 1.0 : -1.0;
+    const double y =
+        std::log1p(static_cast<double>(graph.Degree(u)) *
+                   static_cast<double>(graph.Degree(v)));
+    ++count;
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+    sum_xy += x * y;
+  });
+  if (count < 2) return 0.0;
+  const double m = static_cast<double>(count);
+  const double cov = sum_xy - sum_x * sum_y / m;
+  const double var_x = sum_xx - sum_x * sum_x / m;
+  const double var_y = sum_yy - sum_y * sum_y / m;
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+}  // namespace mbc

@@ -1,0 +1,60 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Structural statistics of signed graphs, centered on structural balance
+// theory: the signed triangle census (a triangle is balanced iff it has an
+// even number of negative edges), the resulting balance index, degree
+// distribution summaries and sign assortativity. Used by the analysis
+// tooling and as sanity checks on the dataset stand-ins.
+#ifndef MBC_GRAPH_STATISTICS_H_
+#define MBC_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// Signed triangle census: counts by number of negative edges.
+struct SignedTriangleCensus {
+  uint64_t neg0 = 0;  // +++ : balanced ("friend of friend is friend")
+  uint64_t neg1 = 0;  // ++- : unbalanced
+  uint64_t neg2 = 0;  // +-- : balanced ("enemy of enemy is friend")
+  uint64_t neg3 = 0;  // --- : unbalanced
+
+  uint64_t total() const { return neg0 + neg1 + neg2 + neg3; }
+  uint64_t balanced() const { return neg0 + neg2; }
+  /// Fraction of triangles consistent with structural balance theory
+  /// (1.0 when triangle-free).
+  double BalanceIndex() const {
+    const uint64_t all = total();
+    return all == 0 ? 1.0
+                    : static_cast<double>(balanced()) /
+                          static_cast<double>(all);
+  }
+};
+
+/// Full census in O(alpha * m).
+SignedTriangleCensus CountSignedTriangles(const SignedGraph& graph);
+
+struct SignedDegreeStats {
+  uint32_t max_degree = 0;
+  uint32_t max_positive_degree = 0;
+  uint32_t max_negative_degree = 0;
+  /// max over v of min{d+(v) + 1, d-(v)} — the PF-BS upper bound for β(G).
+  uint32_t max_polar_key = 0;
+  double mean_degree = 0.0;
+  /// Number of isolated vertices.
+  uint32_t isolated = 0;
+};
+
+SignedDegreeStats ComputeDegreeStats(const SignedGraph& graph);
+
+/// Sign assortativity: Pearson-style correlation between edge sign (+1/-1)
+/// and endpoint degree product, in [-1, 1]. Near 0 for sign-random graphs;
+/// strongly structured graphs deviate. Returns 0 for graphs with < 2 edges
+/// or zero variance.
+double SignDegreeCorrelation(const SignedGraph& graph);
+
+}  // namespace mbc
+
+#endif  // MBC_GRAPH_STATISTICS_H_

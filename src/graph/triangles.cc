@@ -1,0 +1,92 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/triangles.h"
+
+#include <span>
+
+namespace mbc {
+namespace {
+
+// Merged iterator over a vertex's positive and negative adjacency, yielding
+// (neighbor, sign) in ascending neighbor order. Both inputs are sorted.
+class SignedNeighborCursor {
+ public:
+  SignedNeighborCursor(std::span<const VertexId> pos,
+                       std::span<const VertexId> neg)
+      : pos_(pos), neg_(neg) {}
+
+  bool AtEnd() const { return pi_ >= pos_.size() && ni_ >= neg_.size(); }
+
+  VertexId Current() const {
+    if (pi_ >= pos_.size()) return neg_[ni_];
+    if (ni_ >= neg_.size()) return pos_[pi_];
+    return pos_[pi_] < neg_[ni_] ? pos_[pi_] : neg_[ni_];
+  }
+
+  Sign CurrentSign() const {
+    if (pi_ >= pos_.size()) return Sign::kNegative;
+    if (ni_ >= neg_.size()) return Sign::kPositive;
+    return pos_[pi_] < neg_[ni_] ? Sign::kPositive : Sign::kNegative;
+  }
+
+  void Advance() {
+    if (CurrentSign() == Sign::kPositive) {
+      ++pi_;
+    } else {
+      ++ni_;
+    }
+  }
+
+ private:
+  std::span<const VertexId> pos_;
+  std::span<const VertexId> neg_;
+  size_t pi_ = 0;
+  size_t ni_ = 0;
+};
+
+}  // namespace
+
+EdgeTriangleCounts CountEdgeTriangles(const SignedGraph& graph, VertexId u,
+                                      VertexId v) {
+  EdgeTriangleCounts counts;
+  SignedNeighborCursor cu(graph.PositiveNeighbors(u),
+                          graph.NegativeNeighbors(u));
+  SignedNeighborCursor cv(graph.PositiveNeighbors(v),
+                          graph.NegativeNeighbors(v));
+  while (!cu.AtEnd() && !cv.AtEnd()) {
+    const VertexId a = cu.Current();
+    const VertexId b = cv.Current();
+    if (a < b) {
+      cu.Advance();
+    } else if (b < a) {
+      cv.Advance();
+    } else {
+      // Common neighbor (including possibly u or v themselves; a common
+      // neighbor w equal to u or v is impossible in a simple graph).
+      const bool u_pos = cu.CurrentSign() == Sign::kPositive;
+      const bool v_pos = cv.CurrentSign() == Sign::kPositive;
+      if (u_pos && v_pos) {
+        ++counts.pos_pos;
+      } else if (!u_pos && !v_pos) {
+        ++counts.neg_neg;
+      } else if (u_pos) {
+        ++counts.pos_neg;
+      } else {
+        ++counts.neg_pos;
+      }
+      cu.Advance();
+      cv.Advance();
+    }
+  }
+  return counts;
+}
+
+uint64_t CountTriangles(const SignedGraph& graph) {
+  uint64_t total = 0;
+  graph.ForEachEdge([&graph, &total](VertexId u, VertexId v, Sign) {
+    const EdgeTriangleCounts c = CountEdgeTriangles(graph, u, v);
+    total += c.pos_pos + c.neg_neg + c.pos_neg + c.neg_pos;
+  });
+  return total / 3;  // each triangle is counted once per edge
+}
+
+}  // namespace mbc

@@ -1,0 +1,114 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/pf/dcc_solver.h"
+
+#include "src/dichromatic/reductions.h"
+
+namespace mbc {
+
+bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
+                      std::vector<uint32_t>* witness) {
+  current_.clear();
+  witness_ = witness;
+  branches_ = 0;
+  timed_out_ = false;
+  const uint32_t l = tau_l > 0 ? static_cast<uint32_t>(tau_l) : 0;
+  const uint32_t r = tau_r > 0 ? static_cast<uint32_t>(tau_r) : 0;
+  return Recurse(candidates, l, r);
+}
+
+bool DccSolver::Recurse(const Bitset& candidates, uint32_t tau_l,
+                        uint32_t tau_r) {
+  ++branches_;
+  if ((branches_ & 0x3ff) == 0 && deadline_timer_ != nullptr &&
+      deadline_timer_->ElapsedSeconds() > deadline_seconds_) {
+    timed_out_ = true;
+  }
+  if (timed_out_) return false;
+  // Line 10: both demands met — the grown clique is a witness.
+  if (tau_l == 0 && tau_r == 0) {
+    if (witness_ != nullptr) *witness_ = current_;
+    return true;
+  }
+
+  // Line 11: reduce to the (τ_L, τ_R)-core.
+  Bitset cand = TwoSidedCoreWithin(graph_, candidates,
+                                   static_cast<int32_t>(tau_l),
+                                   static_cast<int32_t>(tau_r));
+  if (cand.None()) return false;
+
+  // Clique shortcut: when the core is itself a clique with enough
+  // vertices on each side, any τ_L + τ_R of its members witness success.
+  {
+    const size_t left_avail = cand.CountAnd(graph_.LeftMask());
+    const size_t right_avail = cand.Count() - left_avail;
+    if (left_avail >= tau_l && right_avail >= tau_r) {
+      const size_t cand_count = left_avail + right_avail;
+      uint64_t twice_edges = 0;
+      cand.ForEach([this, &cand, &twice_edges](size_t v) {
+        twice_edges += graph_.AdjacencyOf(v).CountAnd(cand);
+      });
+      if (twice_edges ==
+          static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+        if (witness_ != nullptr) {
+          *witness_ = current_;
+          uint32_t need_l = tau_l;
+          uint32_t need_r = tau_r;
+          cand.ForEach([&](size_t v) {
+            uint32_t& need =
+                graph_.IsLeft(static_cast<uint32_t>(v)) ? need_l : need_r;
+            if (need > 0) {
+              witness_->push_back(static_cast<uint32_t>(v));
+              --need;
+            }
+          });
+        }
+        return true;
+      }
+    }
+  }
+
+  // Lines 12-14: restrict branching to the side that still needs vertices.
+  Bitset pool = cand;
+  if (tau_l > 0 && tau_r == 0) {
+    pool &= graph_.LeftMask();
+  } else if (tau_l == 0 && tau_r > 0) {
+    pool.AndNot(graph_.LeftMask());
+  }
+
+  // Lines 15-20: branch on minimum-degree vertices. Re-check feasibility
+  // as the pool drains — once a side cannot reach its demand, no further
+  // branch at this node can succeed.
+  Bitset remaining = cand;
+  while (pool.Any()) {
+    const size_t left_avail = remaining.CountAnd(graph_.LeftMask());
+    const size_t right_avail = remaining.Count() - left_avail;
+    if (left_avail < tau_l || right_avail < tau_r) return false;
+    uint32_t v = 0;
+    uint32_t v_degree = 0;
+    bool v_found = false;
+    pool.ForEach([&](size_t w) {
+      const uint32_t degree =
+          graph_.DegreeWithin(static_cast<uint32_t>(w), remaining);
+      if (!v_found || degree < v_degree) {
+        v_found = true;
+        v = static_cast<uint32_t>(w);
+        v_degree = degree;
+      }
+    });
+
+    const bool v_left = graph_.IsLeft(v);
+    current_.push_back(v);
+    const bool ok =
+        Recurse(graph_.AdjacencyOf(v) & remaining,
+                v_left && tau_l > 0 ? tau_l - 1 : tau_l,
+                !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
+    if (ok) return true;
+    current_.pop_back();
+
+    pool.Reset(v);
+    remaining.Reset(v);
+  }
+  return false;
+}
+
+}  // namespace mbc

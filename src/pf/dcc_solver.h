@@ -1,0 +1,58 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// DCC (Algorithm 4, procedure DCC): dichromatic clique *checking*. Unlike
+// MDC it does not maximize — it only decides whether the dichromatic graph
+// contains a clique with at least τ_L L-vertices and τ_R R-vertices, and
+// can therefore stop as soon as both thresholds reach zero.
+#ifndef MBC_PF_DCC_SOLVER_H_
+#define MBC_PF_DCC_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/timer.h"
+#include "src/dichromatic/dichromatic_graph.h"
+
+namespace mbc {
+
+/// One dichromatic-clique-checking search over a fixed dichromatic graph.
+class DccSolver {
+ public:
+  /// `graph` must outlive the solver.
+  explicit DccSolver(const DichromaticGraph& graph) : graph_(graph) {}
+
+  /// Returns true iff `candidates` contains a clique with ≥ tau_l
+  /// L-vertices and ≥ tau_r R-vertices (negative thresholds count as 0).
+  /// If `witness` is non-null and the answer is yes, stores one such clique
+  /// (local ids; exactly the greedily grown one, so its side counts equal
+  /// the clamped thresholds).
+  bool Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
+             std::vector<uint32_t>* witness = nullptr);
+
+  /// Number of DCC branch invocations in the last Check call.
+  uint64_t branches() const { return branches_; }
+
+  /// Optional wall-clock budget (see MdcSolver::SetDeadline). On expiry
+  /// Check returns false conservatively and timed_out() reports it.
+  void SetDeadline(const Timer* timer, double limit_seconds) {
+    deadline_timer_ = timer;
+    deadline_seconds_ = limit_seconds;
+  }
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  bool Recurse(const Bitset& candidates, uint32_t tau_l, uint32_t tau_r);
+
+  const DichromaticGraph& graph_;
+  std::vector<uint32_t> current_;
+  std::vector<uint32_t>* witness_ = nullptr;
+  uint64_t branches_ = 0;
+  const Timer* deadline_timer_ = nullptr;
+  double deadline_seconds_ = 0.0;
+  bool timed_out_ = false;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_PF_DCC_SOLVER_H_

@@ -1,0 +1,39 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/pf/pf_bs.h"
+
+#include <algorithm>
+
+#include "src/core/mbc_star.h"
+
+namespace mbc {
+
+PfBsResult PolarizationFactorBinarySearch(const SignedGraph& graph) {
+  PfBsResult result;
+  // Upper bound from the paper: β(G) ≤ max_v min{d+(v) + 1, d-(v)}.
+  uint32_t hi = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    hi = std::max(hi, std::min(graph.PositiveDegree(v) + 1,
+                               graph.NegativeDegree(v)));
+  }
+  uint32_t lo = 0;  // τ = 0 is always feasible (any single vertex).
+
+  auto exists = [&graph, &result](uint32_t tau) {
+    ++result.num_probes;
+    MbcStarOptions options;
+    options.existence_only = true;
+    return !MaxBalancedCliqueStar(graph, tau, options).clique.empty();
+  };
+
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    if (exists(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  result.beta = lo;
+  return result;
+}
+
+}  // namespace mbc

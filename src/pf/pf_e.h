@@ -1,0 +1,32 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// PF-E (Section IV-A): enumeration-based polarization factor baseline.
+// Enumerates maximal balanced cliques with MBCEnum [13] and reports the
+// largest min side seen (β is always achieved by some maximal clique).
+#ifndef MBC_PF_PF_E_H_
+#define MBC_PF_PF_E_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+struct PfEOptions {
+  /// Abort after this many seconds; the result is then a lower bound.
+  std::optional<double> time_limit_seconds;
+};
+
+struct PfEResult {
+  uint32_t beta = 0;
+  bool timed_out = false;
+  uint64_t cliques_enumerated = 0;
+};
+
+PfEResult PolarizationFactorEnum(const SignedGraph& graph,
+                                 const PfEOptions& options = {});
+
+}  // namespace mbc
+
+#endif  // MBC_PF_PF_E_H_

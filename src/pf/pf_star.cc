@@ -1,0 +1,151 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/pf/pf_star.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/logging.h"
+#include "src/core/mbc_heu.h"
+#include "src/core/reductions.h"
+#include "src/dichromatic/network_builder.h"
+#include "src/dichromatic/reductions.h"
+#include "src/graph/cores.h"
+#include "src/pf/dcc_solver.h"
+#include "src/pf/pdecompose.h"
+
+namespace mbc {
+
+PfStarResult PolarizationFactorStar(const SignedGraph& graph,
+                                    const PfStarOptions& options) {
+  PfStarResult result;
+  PfStarStats& stats = result.stats;
+  Timer total_timer;
+
+  // Line 1: heuristic lower bound τ* = min side of MBC-Heu(G, 0).
+  uint32_t tau = 0;
+  if (options.run_heuristic && graph.NumVertices() > 0) {
+    BalancedClique heu = MbcHeuristic(graph, /*tau=*/0);
+    tau = static_cast<uint32_t>(heu.MinSide());
+    stats.heuristic_tau = tau;
+    result.witness = std::move(heu);
+  }
+
+  // Line 2: VertexReduction for threshold τ* + 1 — we are only searching
+  // for cliques that push β beyond the current lower bound.
+  ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau + 1);
+  const SignedGraph& work = reduced.graph;
+  if (work.NumVertices() == 0) {
+    result.beta = tau;
+    return result;
+  }
+
+  // Line 3: processing order.
+  std::vector<VertexId> order;
+  std::vector<uint32_t> rank;
+  std::vector<uint32_t> polar_core_number;  // empty under DOrder
+  if (options.ordering == PfStarOptions::Ordering::kPolarization) {
+    PolarDecomposition polar = PDecompose(work);
+    order = std::move(polar.order);
+    rank = std::move(polar.rank);
+    polar_core_number = std::move(polar.polar_core_number);
+  } else {
+    DegeneracyResult degeneracy = DegeneracyDecompose(work);
+    order = std::move(degeneracy.order);
+    rank = std::move(degeneracy.rank);
+  }
+
+  DichromaticNetworkBuilder builder(work);
+  double sr1_sum = 0.0;
+  double sr2_sum = 0.0;
+  uint64_t sr_count = 0;
+
+  // Lines 4-8: process vertices in reverse order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (options.time_limit_seconds.has_value() &&
+        total_timer.ElapsedSeconds() > *options.time_limit_seconds) {
+      stats.timed_out = true;
+      break;
+    }
+    const VertexId u = *it;
+    // Lemma 5: γ(g_u) ≤ pn(u). Under the polarization order, pn is
+    // non-increasing along the (reversed) processing order, so the first
+    // vertex whose polar-core number cannot beat τ* ends the whole scan —
+    // the pruning that makes POrder the superior ordering.
+    if (!polar_core_number.empty() && polar_core_number[u] <= tau) break;
+    // Cheap pre-check: g_u needs at least τ*+... vertices on each side
+    // through u, so u itself needs enough higher-ranked positive and
+    // negative neighbors.
+    uint32_t higher_pos = 0;
+    for (VertexId v : work.PositiveNeighbors(u)) {
+      higher_pos += rank[v] > rank[u];
+    }
+    uint32_t higher_neg = 0;
+    for (VertexId v : work.NegativeNeighbors(u)) {
+      higher_neg += rank[v] > rank[u];
+    }
+    if (higher_pos < tau || higher_neg < tau + 1) continue;
+    DichromaticNetwork net = builder.Build(u, rank.data(), nullptr);
+    ++stats.num_networks_built;
+
+    // Line 6: reduce g_u to its (τ*+1, τ*+1)-core. Repeat whenever a DCC
+    // success raises τ*: Lemma 4 only bounds γ(g_u) relative to the best γ
+    // over *later* vertices, so a single network may push τ* up by more
+    // than one step when the heuristic seed was loose.
+    while (true) {
+      Bitset core = TwoSidedCoreWithin(
+          net.graph, net.graph.AllVertices(), static_cast<int32_t>(tau) + 1,
+          static_cast<int32_t>(tau) + 1);
+      // Line 7: u itself must survive (u ∈ V_L(g)); otherwise no
+      // dichromatic clique through u reaches τ*+1.
+      if (!core.Test(0)) break;
+
+      // Line 8: check for a dichromatic clique with τ*+1 per side. u is
+      // greedily committed (it is an L-vertex adjacent to all members).
+      ++stats.num_dcc_instances;
+      if (net.ego_edges > 0) {
+        Bitset core_sans_u = core;
+        core_sans_u.Reset(0);
+        const uint64_t core_edges = net.graph.EdgesWithin(core_sans_u);
+        sr1_sum += 1.0 - static_cast<double>(net.dichromatic_edges) /
+                             static_cast<double>(net.ego_edges);
+        sr2_sum += 1.0 - static_cast<double>(core_edges) /
+                             static_cast<double>(net.ego_edges);
+        ++sr_count;
+      }
+
+      Bitset candidates = core;
+      candidates.Reset(0);
+      DccSolver solver(net.graph);
+      if (options.time_limit_seconds.has_value()) {
+        solver.SetDeadline(&total_timer, *options.time_limit_seconds);
+      }
+      std::vector<uint32_t> witness_locals;
+      const bool found =
+          solver.Check(candidates, static_cast<int32_t>(tau),
+                       static_cast<int32_t>(tau) + 1, &witness_locals);
+      stats.dcc_branches += solver.branches();
+      if (solver.timed_out()) stats.timed_out = true;
+      if (!found) break;
+
+      ++tau;
+      BalancedClique witness;
+      witness.left.push_back(reduced.to_original[net.to_original[0]]);
+      for (uint32_t local : witness_locals) {
+        auto& side = net.graph.IsLeft(local) ? witness.left : witness.right;
+        side.push_back(reduced.to_original[net.to_original[local]]);
+      }
+      witness.Canonicalize();
+      result.witness = std::move(witness);
+    }
+  }
+
+  if (sr_count > 0) {
+    stats.avg_sr1 = sr1_sum / static_cast<double>(sr_count);
+    stats.avg_sr2 = sr2_sum / static_cast<double>(sr_count);
+  }
+  result.beta = tau;
+  return result;
+}
+
+}  // namespace mbc

@@ -1,0 +1,63 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// PF* (Algorithm 4): computes the polarization factor β(G) by transforming
+// the problem into a series of dichromatic clique *checking* problems over
+// the dichromatic networks, processed in reverse polarization order
+// (Lemma 3 + Lemma 4).
+#ifndef MBC_PF_PF_STAR_H_
+#define MBC_PF_PF_STAR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/balanced_clique.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+struct PfStarOptions {
+  enum class Ordering {
+    kPolarization,  // POrder from PDecompose (the paper's PF*)
+    kDegeneracy,    // DOrder (the paper's PF*-DOrder variant)
+  };
+  Ordering ordering = Ordering::kPolarization;
+
+  /// Seed τ* with MBC-Heu(G, 0) (Line 1). Disable only in tests.
+  bool run_heuristic = true;
+
+  /// Wall-clock safety budget (unset = unlimited, the paper's setting).
+  /// On expiry the current τ* is returned (a valid lower bound of β) with
+  /// stats.timed_out set.
+  std::optional<double> time_limit_seconds;
+};
+
+struct PfStarStats {
+  /// Initial lower bound of β(G) from the heuristic.
+  uint32_t heuristic_tau = 0;
+  /// Number of top-level DCC invocations.
+  uint64_t num_dcc_instances = 0;
+  uint64_t num_networks_built = 0;
+  uint64_t dcc_branches = 0;
+  /// Average SR1 / SR2 over DCC instances (see MbcStarStats); -1 if none.
+  double avg_sr1 = -1.0;
+  double avg_sr2 = -1.0;
+  /// True iff the optional time budget expired before completion.
+  bool timed_out = false;
+};
+
+struct PfStarResult {
+  /// β(G): the largest τ such that some balanced clique has both sides ≥ τ.
+  uint32_t beta = 0;
+  /// A balanced clique witnessing β (min side == beta); empty only when the
+  /// graph is empty.
+  BalancedClique witness;
+  PfStarStats stats;
+};
+
+/// Computes the polarization factor of `graph`.
+PfStarResult PolarizationFactorStar(const SignedGraph& graph,
+                                    const PfStarOptions& options = {});
+
+}  // namespace mbc
+
+#endif  // MBC_PF_PF_STAR_H_

@@ -1,0 +1,111 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/polarseeds/metrics.h"
+
+#include <unordered_map>
+
+namespace mbc {
+namespace {
+
+// Edge tallies over a community, computed in O(sum of member degrees).
+struct CommunityEdgeTally {
+  uint64_t pos_within_g1 = 0;
+  uint64_t pos_within_g2 = 0;
+  uint64_t pos_cross = 0;
+  uint64_t neg_within_g1 = 0;
+  uint64_t neg_within_g2 = 0;
+  uint64_t neg_cross = 0;
+  uint64_t boundary = 0;  // edges from S to V \ S (any sign)
+  uint64_t volume = 0;    // sum of total degrees of S
+};
+
+CommunityEdgeTally Tally(const SignedGraph& graph,
+                         const PolarizedCommunity& community) {
+  CommunityEdgeTally tally;
+  // membership: 0 = outside, 1 = group1, 2 = group2.
+  std::unordered_map<VertexId, int> membership;
+  membership.reserve(community.size() * 2);
+  for (VertexId v : community.group1) membership[v] = 1;
+  for (VertexId v : community.group2) membership[v] = 2;
+
+  auto scan = [&](VertexId v, int side) {
+    tally.volume += graph.Degree(v);
+    for (VertexId w : graph.PositiveNeighbors(v)) {
+      const auto it = membership.find(w);
+      if (it == membership.end()) {
+        ++tally.boundary;
+        continue;
+      }
+      if (w < v) continue;  // count internal edges once
+      if (it->second == side) {
+        (side == 1 ? tally.pos_within_g1 : tally.pos_within_g2) += 1;
+      } else {
+        ++tally.pos_cross;
+      }
+    }
+    for (VertexId w : graph.NegativeNeighbors(v)) {
+      const auto it = membership.find(w);
+      if (it == membership.end()) {
+        ++tally.boundary;
+        continue;
+      }
+      if (w < v) continue;
+      if (it->second == side) {
+        (side == 1 ? tally.neg_within_g1 : tally.neg_within_g2) += 1;
+      } else {
+        ++tally.neg_cross;
+      }
+    }
+  };
+  for (VertexId v : community.group1) scan(v, 1);
+  for (VertexId v : community.group2) scan(v, 2);
+  return tally;
+}
+
+}  // namespace
+
+double Polarity(const SignedGraph& graph,
+                const PolarizedCommunity& community) {
+  if (community.empty()) return 0.0;
+  const CommunityEdgeTally tally = Tally(graph, community);
+  const double agreeing =
+      static_cast<double>(tally.pos_within_g1 + tally.pos_within_g2) +
+      2.0 * static_cast<double>(tally.neg_cross);
+  return agreeing / static_cast<double>(community.size());
+}
+
+double SignedBipartitenessRatio(const SignedGraph& graph,
+                                const PolarizedCommunity& community) {
+  const CommunityEdgeTally tally = Tally(graph, community);
+  if (tally.volume == 0) return 0.0;
+  const double bad =
+      2.0 * static_cast<double>(tally.pos_cross + tally.neg_within_g1 +
+                                tally.neg_within_g2) +
+      static_cast<double>(tally.boundary);
+  return bad / static_cast<double>(tally.volume);
+}
+
+double HarmonicCohesionOpposition(const SignedGraph& graph,
+                                  const PolarizedCommunity& community) {
+  const CommunityEdgeTally tally = Tally(graph, community);
+  const auto pairs_within = [](size_t k) -> uint64_t {
+    return static_cast<uint64_t>(k) * (k - 1) / 2;
+  };
+  const uint64_t within_pairs = (community.group1.empty()
+                                     ? 0
+                                     : pairs_within(community.group1.size())) +
+                                (community.group2.empty()
+                                     ? 0
+                                     : pairs_within(community.group2.size()));
+  const uint64_t cross_pairs = static_cast<uint64_t>(community.group1.size()) *
+                               community.group2.size();
+  if (within_pairs == 0 || cross_pairs == 0) return 0.0;
+  const double cohesion =
+      static_cast<double>(tally.pos_within_g1 + tally.pos_within_g2) /
+      static_cast<double>(within_pairs);
+  const double opposition = static_cast<double>(tally.neg_cross) /
+                            static_cast<double>(cross_pairs);
+  if (cohesion + opposition == 0.0) return 0.0;
+  return 2.0 * cohesion * opposition / (cohesion + opposition);
+}
+
+}  // namespace mbc

@@ -1,0 +1,48 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Polarized-community quality metrics used by the paper's effectiveness
+// study (Figure 5 and the surrounding discussion):
+//   * Polarity [15], [16] — edges agreeing with the polarized structure,
+//     normalized by community size (higher is better);
+//   * SBR — signed bipartiteness ratio [16] (lower is better);
+//   * HAM — harmonic mean of cohesion and opposition [15] (higher is
+//     better; any balanced clique scores exactly 1).
+#ifndef MBC_POLARSEEDS_METRICS_H_
+#define MBC_POLARSEEDS_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+/// A polarized community: two disjoint vertex groups.
+struct PolarizedCommunity {
+  std::vector<VertexId> group1;
+  std::vector<VertexId> group2;
+
+  size_t size() const { return group1.size() + group2.size(); }
+  bool empty() const { return group1.empty() && group2.empty(); }
+};
+
+/// Polarity(C1, C2) = (|E+(C1)| + |E+(C2)| + 2|E-(C1, C2)|) / |C1 ∪ C2|.
+double Polarity(const SignedGraph& graph, const PolarizedCommunity& community);
+
+/// Signed bipartiteness ratio:
+///   (2(|E+(C1,C2)| + |E-(C1)| + |E-(C2)|) + |E(S, V\S)|) / vol(S),
+/// where S = C1 ∪ C2 and vol(S) is the sum of total degrees in S.
+/// Returns 0 for empty/zero-volume communities.
+double SignedBipartitenessRatio(const SignedGraph& graph,
+                                const PolarizedCommunity& community);
+
+/// HAM = harmonic mean of
+///   cohesion  = fraction of within-group pairs joined by a positive edge,
+///   opposition = fraction of cross-group pairs joined by a negative edge.
+double HarmonicCohesionOpposition(const SignedGraph& graph,
+                                  const PolarizedCommunity& community);
+
+}  // namespace mbc
+
+#endif  // MBC_POLARSEEDS_METRICS_H_

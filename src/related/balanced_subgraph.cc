@@ -1,0 +1,100 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/related/balanced_subgraph.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+
+namespace mbc {
+namespace {
+
+// Frustration contribution of vertex v under `sides` restricted to alive
+// vertices: edges to same-side negative or cross-side positive neighbors.
+uint32_t VertexFrustration(const SignedGraph& graph, VertexId v,
+                           const std::vector<uint8_t>& sides,
+                           const std::vector<uint8_t>& alive) {
+  uint32_t frustrated = 0;
+  for (VertexId u : graph.PositiveNeighbors(v)) {
+    frustrated += alive[u] && sides[u] != sides[v];
+  }
+  for (VertexId u : graph.NegativeNeighbors(v)) {
+    frustrated += alive[u] && sides[u] == sides[v];
+  }
+  return frustrated;
+}
+
+// Agreeing-edge count of v (the complement of frustration among alive
+// neighbors); used to compare flip gains.
+uint32_t VertexDegreeAlive(const SignedGraph& graph, VertexId v,
+                           const std::vector<uint8_t>& alive) {
+  uint32_t degree = 0;
+  for (VertexId u : graph.PositiveNeighbors(v)) degree += alive[u];
+  for (VertexId u : graph.NegativeNeighbors(v)) degree += alive[u];
+  return degree;
+}
+
+}  // namespace
+
+BalancedSubgraphResult LargeBalancedSubgraph(const SignedGraph& graph,
+                                             uint64_t seed) {
+  const VertexId n = graph.NumVertices();
+  BalancedSubgraphResult result;
+  if (n == 0) return result;
+
+  Rng rng(seed);
+  std::vector<uint8_t> sides(n);
+  for (VertexId v = 0; v < n; ++v) sides[v] = rng.NextBernoulli(0.5);
+  std::vector<uint8_t> alive(n, 1);
+
+  // Phase 1: switching descent — flip any vertex whose flip strictly
+  // reduces frustration; repeat until a local optimum (bounded passes).
+  for (int pass = 0; pass < 30; ++pass) {
+    bool improved = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const uint32_t current = VertexFrustration(graph, v, sides, alive);
+      const uint32_t degree = VertexDegreeAlive(graph, v, alive);
+      // Flipping v turns each frustrated incident edge into an agreeing
+      // one and vice versa.
+      if (degree - current < current) {
+        sides[v] = 1 - sides[v];
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  uint64_t frustration = 0;
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    const bool same = sides[u] == sides[v];
+    frustration += (sign == Sign::kPositive) ? !same : same;
+  });
+  result.residual_frustration = frustration;
+
+  // Phase 2: delete the currently most-frustrated vertex until no
+  // frustrated edge remains; the survivors induce a balanced subgraph
+  // certified by `sides`.
+  while (true) {
+    VertexId worst = kInvalidVertex;
+    uint32_t worst_frustration = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      const uint32_t f = VertexFrustration(graph, v, sides, alive);
+      if (f > worst_frustration) {
+        worst_frustration = f;
+        worst = v;
+      }
+    }
+    if (worst == kInvalidVertex) break;  // balanced
+    alive[worst] = 0;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) {
+      result.vertices.push_back(v);
+      result.sides.push_back(sides[v]);
+    }
+  }
+  return result;
+}
+
+}  // namespace mbc

@@ -1,0 +1,36 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Heuristic for the maximum balanced subgraph problem (Ordozgoiti et al.
+// [8]; Figueiredo & Frota [33]): find a large vertex set whose induced
+// subgraph is structurally balanced (no completeness requirement — the
+// contrast the paper's Related Work draws against balanced *cliques*).
+// NP-hard, so this is a heuristic: local-search sign switching to minimize
+// frustration, then greedy deletion of frustrated vertices.
+#ifndef MBC_RELATED_BALANCED_SUBGRAPH_H_
+#define MBC_RELATED_BALANCED_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+struct BalancedSubgraphResult {
+  /// Vertices of the balanced induced subgraph (sorted).
+  std::vector<VertexId> vertices;
+  /// Certifying side per *kept* vertex, aligned with `vertices`.
+  std::vector<uint8_t> sides;
+  /// Frustration of the best 2-coloring found before deletion.
+  uint64_t residual_frustration = 0;
+};
+
+/// Runs the heuristic: random sides → single-vertex switching descent →
+/// delete the most-frustrated vertices until balanced. Deterministic
+/// given `seed`; O(passes * m).
+BalancedSubgraphResult LargeBalancedSubgraph(const SignedGraph& graph,
+                                             uint64_t seed = 1);
+
+}  // namespace mbc
+
+#endif  // MBC_RELATED_BALANCED_SUBGRAPH_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/benchlib/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All lines except the separator have the same padded layout: the value
+  // column starts at a fixed offset.
+  const size_t header_pos = out.find("value");
+  const size_t row_pos = out.find("22");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(TablePrinterDeathTest, ArityMismatch) {
+  TablePrinter table({"one", "two"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Check failed");
+}
+
+TEST(TableFormatTest, Seconds) {
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.0000005), "0us");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.0005), "500us");
+  EXPECT_EQ(TablePrinter::FormatSeconds(0.25), "250.0ms");
+  EXPECT_EQ(TablePrinter::FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(TablePrinter::FormatSeconds(600), "10.0min");
+}
+
+TEST(TableFormatTest, CountWithThousandsSeparators) {
+  EXPECT_EQ(TablePrinter::FormatCount(0), "0");
+  EXPECT_EQ(TablePrinter::FormatCount(999), "999");
+  EXPECT_EQ(TablePrinter::FormatCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FormatCount(123456789), "123,456,789");
+}
+
+TEST(TableFormatTest, PercentAndDouble) {
+  EXPECT_EQ(TablePrinter::FormatPercent(0.41), "41%");
+  EXPECT_EQ(TablePrinter::FormatPercent(-1.0), "-");
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace mbc

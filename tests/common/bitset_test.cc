@@ -1,0 +1,173 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/bitset.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace mbc {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.capacity(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  EXPECT_FALSE(bits.Any());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, SetResetTest) {
+  Bitset bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(BitsetTest, SetFirstN) {
+  Bitset bits(130);
+  bits.SetFirstN(65);
+  EXPECT_EQ(bits.Count(), 65u);
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_FALSE(bits.Test(65));
+  bits.SetFirstN(3);
+  EXPECT_EQ(bits.Count(), 3u);
+  EXPECT_FALSE(bits.Test(64));
+}
+
+TEST(BitsetTest, SetAllAndClearAll) {
+  Bitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.ClearAll();
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(BitsetTest, BinaryOps) {
+  Bitset a(200);
+  Bitset b(200);
+  a.Set(3);
+  a.Set(100);
+  a.Set(150);
+  b.Set(100);
+  b.Set(199);
+
+  Bitset and_result = a & b;
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(100));
+
+  Bitset or_result = a | b;
+  EXPECT_EQ(or_result.Count(), 4u);
+
+  Bitset diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.Count(), 2u);
+  EXPECT_FALSE(diff.Test(100));
+  EXPECT_TRUE(diff.Test(3));
+
+  Bitset xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.Count(), 3u);
+  EXPECT_FALSE(xor_result.Test(100));
+}
+
+TEST(BitsetTest, CountAndIntersects) {
+  Bitset a(128);
+  Bitset b(128);
+  EXPECT_FALSE(a.Intersects(b));
+  a.Set(5);
+  a.Set(127);
+  b.Set(127);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.CountAnd(b), 1u);
+}
+
+TEST(BitsetTest, IsSubsetOf) {
+  Bitset a(64);
+  Bitset b(64);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  a.Set(10);
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  b.Set(10);
+  b.Set(20);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  Bitset bits(200);
+  EXPECT_EQ(bits.FindFirst(), Bitset::npos);
+  bits.Set(65);
+  bits.Set(66);
+  bits.Set(199);
+  EXPECT_EQ(bits.FindFirst(), 65u);
+  EXPECT_EQ(bits.FindNext(65), 66u);
+  EXPECT_EQ(bits.FindNext(66), 199u);
+  EXPECT_EQ(bits.FindNext(199), Bitset::npos);
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  Bitset bits(300);
+  const std::vector<size_t> expected = {0, 1, 63, 64, 128, 255, 299};
+  for (size_t i : expected) bits.Set(i);
+  std::vector<size_t> visited;
+  bits.ForEach([&visited](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(BitsetTest, ToVector) {
+  Bitset bits(80);
+  bits.Set(2);
+  bits.Set(79);
+  EXPECT_EQ(bits.ToVector(), (std::vector<uint32_t>{2, 79}));
+}
+
+TEST(BitsetTest, EqualityRespectsContentAndCapacity) {
+  Bitset a(64);
+  Bitset b(64);
+  EXPECT_EQ(a, b);
+  a.Set(1);
+  EXPECT_FALSE(a == b);
+  b.Set(1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == Bitset(65));
+}
+
+// Randomized differential test against std::set.
+TEST(BitsetTest, RandomizedAgainstReferenceSet) {
+  Rng rng(42);
+  constexpr size_t kBits = 257;
+  Bitset bits(kBits);
+  std::set<size_t> reference;
+  for (int step = 0; step < 4000; ++step) {
+    const size_t i = rng.NextBounded(kBits);
+    if (rng.NextBernoulli(0.5)) {
+      bits.Set(i);
+      reference.insert(i);
+    } else {
+      bits.Reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(bits.Count(), reference.size());
+  std::vector<uint32_t> from_bits = bits.ToVector();
+  std::vector<uint32_t> from_set(reference.begin(), reference.end());
+  EXPECT_EQ(from_bits, from_set);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,42 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(EnvTest, FallbackWhenUnset) {
+  unsetenv("MBC_TEST_UNSET");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MBC_TEST_UNSET", 2.5), 2.5);
+  EXPECT_EQ(GetEnvInt("MBC_TEST_UNSET", -7), -7);
+  EXPECT_EQ(GetEnvString("MBC_TEST_UNSET", "dflt"), "dflt");
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("MBC_TEST_VAL", "0.125", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MBC_TEST_VAL", 1.0), 0.125);
+  setenv("MBC_TEST_VAL", "42", 1);
+  EXPECT_EQ(GetEnvInt("MBC_TEST_VAL", 0), 42);
+  setenv("MBC_TEST_VAL", "hello", 1);
+  EXPECT_EQ(GetEnvString("MBC_TEST_VAL", ""), "hello");
+  unsetenv("MBC_TEST_VAL");
+}
+
+TEST(EnvTest, FallbackOnGarbage) {
+  setenv("MBC_TEST_BAD", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MBC_TEST_BAD", 3.0), 3.0);
+  EXPECT_EQ(GetEnvInt("MBC_TEST_BAD", 9), 9);
+  unsetenv("MBC_TEST_BAD");
+}
+
+TEST(EnvTest, EmptyStringTreatedAsUnset) {
+  setenv("MBC_TEST_EMPTY", "", 1);
+  EXPECT_EQ(GetEnvInt("MBC_TEST_EMPTY", 5), 5);
+  unsetenv("MBC_TEST_EMPTY");
+}
+
+}  // namespace
+}  // namespace mbc

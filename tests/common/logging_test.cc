@@ -1,0 +1,43 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, PassingChecksDoNotAbort) {
+  MBC_CHECK(true) << "never shown";
+  MBC_CHECK_EQ(1, 1);
+  MBC_CHECK_NE(1, 2);
+  MBC_CHECK_LT(1, 2);
+  MBC_CHECK_LE(2, 2);
+  MBC_CHECK_GT(3, 2);
+  MBC_CHECK_GE(3, 3);
+  MBC_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ MBC_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FailedCheckOpShowsValues) {
+  const int a = 3;
+  const int b = 4;
+  EXPECT_DEATH({ MBC_CHECK_EQ(a, b); }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ MBC_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,51 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/memory.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(MemoryTest, RssReadersReturnPlausibleValues) {
+  const uint64_t peak = PeakRssBytes();
+  const uint64_t current = CurrentRssBytes();
+  // On Linux both are populated; peak >= current (modulo sampling races).
+  EXPECT_GT(peak, 0u);
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak + (1 << 20), current);
+}
+
+TEST(MemoryTest, PeakRssGrowsWithAllocation) {
+  const uint64_t before = PeakRssBytes();
+  // Touch 64 MiB so the pages are actually resident.
+  std::vector<char> block(64 << 20, 1);
+  const uint64_t after = PeakRssBytes();
+  EXPECT_GE(after, before + (32 << 20));
+  EXPECT_NE(block[12345], 0);
+}
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.current_bytes(), 150u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.Sub(120);
+  EXPECT_EQ(tracker.current_bytes(), 30u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak_bytes(), 30u);
+  tracker.Add(10);
+  EXPECT_EQ(tracker.peak_bytes(), 40u);
+}
+
+TEST(MemoryTrackerTest, GlobalSingletonIsStable) {
+  MemoryTracker& a = MemoryTracker::Global();
+  MemoryTracker& b = MemoryTracker::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,92 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("tau must be non-negative");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.message(), "tau must be non-negative");
+  EXPECT_EQ(status.ToString(), "Invalid argument: tau must be non-negative");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, CopyableAndCheap) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "disk");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 41);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("gone"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status Doubled(int x, int* out) {
+  MBC_ASSIGN_OR_RETURN(const int value, ParsePositive(x));
+  *out = 2 * value;
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  int out = 0;
+  EXPECT_TRUE(helpers::Doubled(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status failed = helpers::Doubled(-1, &out);
+  EXPECT_TRUE(failed.IsInvalidArgument());
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  auto run = [](bool fail) -> Status {
+    MBC_RETURN_NOT_OK(fail ? Status::IOError("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(run(false).ok());
+  EXPECT_TRUE(run(true).IsIOError());
+}
+
+}  // namespace
+}  // namespace mbc

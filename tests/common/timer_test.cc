@@ -1,0 +1,51 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  const double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  double previous = first;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+namespace {
+// Busy-wait until the timer passes `seconds`.
+void SpinUntil(const Timer& timer, double seconds) {
+  while (timer.ElapsedSeconds() < seconds) {
+  }
+}
+}  // namespace
+
+TEST(TimerTest, MeasuresRealDelay) {
+  Timer timer;
+  SpinUntil(timer, 0.002);
+  EXPECT_GE(timer.ElapsedMicros(), 2000);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer timer;
+  SpinUntil(timer, 0.002);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.002);
+}
+
+TEST(TimerTest, MicrosAndSecondsAgree) {
+  Timer timer;
+  SpinUntil(timer, 0.001);
+  const double seconds = timer.ElapsedSeconds();
+  const int64_t micros = timer.ElapsedMicros();
+  EXPECT_NEAR(static_cast<double>(micros) / 1e6, seconds, 0.01);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,78 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// The ablation switches (core pruning, coloring bound, heuristic seed)
+// must never change the answer — every configuration is exact.
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+struct AblationCase {
+  bool use_core;
+  bool use_coloring;
+  bool use_heuristic;
+};
+
+class AblationSweep : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(AblationSweep, StaysExactOnRandomGraphs) {
+  const AblationCase& config = GetParam();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(15, 60, 0.45, seed);
+    for (uint32_t tau : {0u, 1u, 2u}) {
+      MbcStarOptions options;
+      options.use_core_pruning = config.use_core;
+      options.use_coloring_bound = config.use_coloring;
+      options.run_heuristic = config.use_heuristic;
+      const MbcStarResult result =
+          MaxBalancedCliqueStar(graph, tau, options);
+      EXPECT_EQ(result.clique.size(),
+                BruteForceMaxBalancedClique(graph, tau).size())
+          << "seed=" << seed << " tau=" << tau;
+      if (!result.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+      }
+    }
+  }
+}
+
+TEST_P(AblationSweep, StaysExactOnPaperExamples) {
+  const AblationCase& config = GetParam();
+  MbcStarOptions options;
+  options.use_core_pruning = config.use_core;
+  options.use_coloring_bound = config.use_coloring;
+  options.run_heuristic = config.use_heuristic;
+  EXPECT_EQ(
+      MaxBalancedCliqueStar(testing_util::Figure2Graph(), 2, options)
+          .clique.size(),
+      6u);
+  EXPECT_EQ(
+      MaxBalancedCliqueStar(testing_util::Figure3Graph(), 1, options)
+          .clique.size(),
+      2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, AblationSweep,
+    ::testing::Values(AblationCase{false, true, true},
+                      AblationCase{true, false, true},
+                      AblationCase{false, false, true},
+                      AblationCase{true, true, false},
+                      AblationCase{false, false, false}),
+    [](const ::testing::TestParamInfo<AblationCase>& param_info) {
+      std::string name;
+      name += param_info.param.use_core ? "core" : "nocore";
+      name += param_info.param.use_coloring ? "Color" : "NoColor";
+      name += param_info.param.use_heuristic ? "Heu" : "NoHeu";
+      return name;
+    });
+
+}  // namespace
+}  // namespace mbc

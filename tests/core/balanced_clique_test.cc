@@ -1,0 +1,82 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/balanced_clique.h"
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(BalancedCliqueTest, SizesAndEmptiness) {
+  BalancedClique clique;
+  EXPECT_TRUE(clique.empty());
+  EXPECT_EQ(clique.size(), 0u);
+  clique.left = {1, 2};
+  clique.right = {3};
+  EXPECT_FALSE(clique.empty());
+  EXPECT_EQ(clique.size(), 3u);
+  EXPECT_EQ(clique.MinSide(), 1u);
+}
+
+TEST(BalancedCliqueTest, SatisfiesThreshold) {
+  BalancedClique clique;
+  clique.left = {1, 2, 3};
+  clique.right = {4, 5};
+  EXPECT_TRUE(clique.SatisfiesThreshold(0));
+  EXPECT_TRUE(clique.SatisfiesThreshold(2));
+  EXPECT_FALSE(clique.SatisfiesThreshold(3));
+}
+
+TEST(BalancedCliqueTest, AllVerticesSortedUnion) {
+  BalancedClique clique;
+  clique.left = {5, 1};
+  clique.right = {3};
+  EXPECT_EQ(clique.AllVertices(), (std::vector<VertexId>{1, 3, 5}));
+}
+
+TEST(BalancedCliqueTest, CanonicalizeSortsAndOrients) {
+  BalancedClique clique;
+  clique.left = {9, 7};
+  clique.right = {2, 4};
+  clique.Canonicalize();
+  EXPECT_EQ(clique.left, (std::vector<VertexId>{2, 4}));
+  EXPECT_EQ(clique.right, (std::vector<VertexId>{7, 9}));
+}
+
+TEST(BalancedCliqueTest, CanonicalizeMovesEmptySideRight) {
+  BalancedClique clique;
+  clique.right = {3, 1};
+  clique.Canonicalize();
+  EXPECT_EQ(clique.left, (std::vector<VertexId>{1, 3}));
+  EXPECT_TRUE(clique.right.empty());
+}
+
+TEST(BalancedCliqueTest, MapToOriginal) {
+  BalancedClique clique;
+  clique.left = {0, 2};
+  clique.right = {1};
+  const std::vector<VertexId> mapping = {10, 20, 5};
+  clique.MapToOriginal(mapping);
+  EXPECT_EQ(clique.left, (std::vector<VertexId>{5, 10}));
+  EXPECT_EQ(clique.right, (std::vector<VertexId>{20}));
+}
+
+TEST(BalancedCliqueTest, ToStringShape) {
+  BalancedClique clique;
+  clique.left = {1, 2};
+  clique.right = {3};
+  EXPECT_EQ(clique.ToString(), "{1 2 | 3}");
+  EXPECT_EQ(BalancedClique{}.ToString(), "{ | }");
+}
+
+TEST(BalancedCliqueTest, EqualityIsStructural) {
+  BalancedClique a;
+  a.left = {1};
+  a.right = {2};
+  BalancedClique b = a;
+  EXPECT_EQ(a, b);
+  b.right = {3};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace mbc

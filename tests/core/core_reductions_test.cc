@@ -1,0 +1,119 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/reductions.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/verify.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::FromText;
+using testing_util::RandomSignedGraph;
+
+TEST(VertexReductionTest, TauZeroKeepsEverything) {
+  const SignedGraph graph = Figure2Graph();
+  const std::vector<uint8_t> alive = VertexReductionMask(graph, 0);
+  EXPECT_EQ(std::count(alive.begin(), alive.end(), 1),
+            static_cast<long>(graph.NumVertices()));
+}
+
+TEST(VertexReductionTest, DegreeThresholds) {
+  // Vertex 0: d+=1, d-=1. τ=1 requires d+ >= 0, d- >= 1 -> survives.
+  // τ=2 requires d+ >= 1 and d- >= 2 -> 0 has d-=1, removed.
+  const SignedGraph graph = FromText("0 1 1\n0 2 -1\n1 2 -1\n1 3 1\n2 3 1\n");
+  const std::vector<uint8_t> tau1 = VertexReductionMask(graph, 1);
+  EXPECT_TRUE(tau1[0]);
+  const std::vector<uint8_t> tau2 = VertexReductionMask(graph, 2);
+  EXPECT_FALSE(tau2[0]);
+}
+
+TEST(VertexReductionTest, CascadingRemoval) {
+  // Chain where removing the endpoint cascades down.
+  const SignedGraph graph = Figure2Graph();
+  // τ=3: every vertex needs d+ >= 2 and d- >= 3.
+  const std::vector<uint8_t> alive = VertexReductionMask(graph, 3);
+  // v1, v2 (ids 0, 1) have d+ = 1 -> removed. Their removal lowers the
+  // negative degree of v3, v4 to 3 (from 5); the core {2..7} survives.
+  EXPECT_FALSE(alive[0]);
+  EXPECT_FALSE(alive[1]);
+  for (VertexId v = 2; v <= 7; ++v) EXPECT_TRUE(alive[v]) << v;
+}
+
+TEST(VertexReductionTest, PreservesQualifyingCliques) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(18, 70, 0.45, seed);
+    for (uint32_t tau : {1u, 2u}) {
+      const BalancedClique best = BruteForceMaxBalancedClique(graph, tau);
+      if (best.empty()) continue;
+      const std::vector<uint8_t> alive = VertexReductionMask(graph, tau);
+      for (VertexId v : best.AllVertices()) {
+        EXPECT_TRUE(alive[v]) << "seed=" << seed << " tau=" << tau;
+      }
+    }
+  }
+}
+
+TEST(ApplyVertexReductionTest, MappingIsConsistent) {
+  const SignedGraph graph = Figure2Graph();
+  const ReducedSignedGraph reduced = ApplyVertexReduction(graph, 3);
+  EXPECT_EQ(reduced.graph.NumVertices(), 6u);
+  // Every edge of the reduced graph exists with the same sign in G.
+  reduced.graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    EXPECT_EQ(graph.EdgeSign(reduced.to_original[u], reduced.to_original[v]),
+              sign);
+  });
+}
+
+TEST(EdgeReductionTest, TauBelowTwoIsIdentity) {
+  const SignedGraph graph = Figure2Graph();
+  const SignedGraph reduced = EdgeReduction(graph, 1);
+  EXPECT_EQ(reduced.NumEdges(), graph.NumEdges());
+}
+
+TEST(EdgeReductionTest, RemovesTriangleDeficientEdges) {
+  // A single positive edge with no triangles cannot be in any τ=2 clique.
+  const SignedGraph graph = FromText("0 1 1\n2 3 -1\n");
+  const SignedGraph reduced = EdgeReduction(graph, 2);
+  EXPECT_EQ(reduced.NumEdges(), 0u);
+}
+
+TEST(EdgeReductionTest, KeepsPerfectBalancedClique) {
+  // Balanced clique with sides (2,2): every edge meets the τ=2 triangle
+  // conditions exactly.
+  const SignedGraph graph = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  const SignedGraph reduced = EdgeReduction(graph, 2);
+  EXPECT_EQ(reduced.NumEdges(), 6u);
+}
+
+TEST(EdgeReductionTest, FixpointCascades) {
+  // Balanced (2,2) clique plus a pendant positive edge 0-4 supported by
+  // no triangles: removing it must not disturb the clique.
+  const SignedGraph graph = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n0 4 1\n");
+  const SignedGraph reduced = EdgeReduction(graph, 2);
+  EXPECT_EQ(reduced.NumEdges(), 6u);
+  EXPECT_EQ(reduced.EdgeSign(0, 4), std::nullopt);
+}
+
+TEST(EdgeReductionTest, PreservesQualifyingCliquesRandomized) {
+  for (uint64_t seed = 11; seed <= 15; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 60, 0.45, seed);
+    for (uint32_t tau : {2u, 3u}) {
+      const BalancedClique best = BruteForceMaxBalancedClique(graph, tau);
+      if (best.empty()) continue;
+      const SignedGraph reduced = EdgeReduction(graph, tau);
+      EXPECT_TRUE(IsBalancedClique(reduced, best))
+          << "seed=" << seed << " tau=" << tau;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbc

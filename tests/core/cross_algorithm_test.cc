@@ -1,0 +1,138 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Cross-algorithm property tests: all four maximum-balanced-clique
+// algorithms (brute force, MBC, MBC-Adv, MBC*) must agree on the optimum
+// size for every (graph, τ) instance, and monotonicity in τ must hold.
+// Parameterized over random-graph seeds.
+#include <gtest/gtest.h>
+
+#include "src/common/env.h"
+#include "src/core/brute_force.h"
+#include "src/core/mbc_adv.h"
+#include "src/core/mbc_baseline.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+struct SweepCase {
+  uint64_t seed;
+  VertexId n;
+  EdgeCount m;
+  double neg_ratio;
+};
+
+class CrossAlgorithmSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CrossAlgorithmSweep, AllAlgorithmsAgreeWithBruteForce) {
+  const SweepCase& param = GetParam();
+  const SignedGraph graph =
+      RandomSignedGraph(param.n, param.m, param.neg_ratio, param.seed);
+  for (uint32_t tau = 0; tau <= 3; ++tau) {
+    const size_t expected = BruteForceMaxBalancedClique(graph, tau).size();
+    const MbcStarResult star = MaxBalancedCliqueStar(graph, tau);
+    const MbcBaselineResult baseline = MaxBalancedCliqueBaseline(graph, tau);
+    const MbcAdvResult adv = MaxBalancedCliqueAdv(graph, tau);
+    EXPECT_EQ(star.clique.size(), expected) << "MBC* tau=" << tau;
+    EXPECT_EQ(baseline.clique.size(), expected) << "MBC tau=" << tau;
+    EXPECT_EQ(adv.clique.size(), expected) << "MBC-Adv tau=" << tau;
+    if (!star.clique.empty()) {
+      EXPECT_TRUE(IsBalancedClique(graph, star.clique));
+      EXPECT_TRUE(star.clique.SatisfiesThreshold(tau));
+    }
+    if (!baseline.clique.empty()) {
+      EXPECT_TRUE(IsBalancedClique(graph, baseline.clique));
+    }
+    if (!adv.clique.empty()) {
+      EXPECT_TRUE(IsBalancedClique(graph, adv.clique));
+    }
+  }
+}
+
+TEST_P(CrossAlgorithmSweep, OptimumIsMonotoneInTau) {
+  const SweepCase& param = GetParam();
+  const SignedGraph graph =
+      RandomSignedGraph(param.n, param.m, param.neg_ratio, param.seed);
+  size_t previous = SIZE_MAX;
+  for (uint32_t tau = 0; tau <= 4; ++tau) {
+    const size_t size = MaxBalancedCliqueStar(graph, tau).clique.size();
+    EXPECT_LE(size, previous) << "tau=" << tau;  // Lemma 6
+    previous = size;
+  }
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    cases.push_back({seed, 14, 50, 0.45});
+    cases.push_back({seed + 100, 17, 75, 0.30});
+    cases.push_back({seed + 200, 12, 60, 0.60});  // dense, negative-heavy
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CrossAlgorithmSweep, ::testing::ValuesIn(MakeSweep()),
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.n);
+    });
+
+// Larger graphs where brute force is infeasible: the three solvers must
+// still agree among themselves.
+class SolverConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverConsistency, StarMatchesBaselineAndAdv) {
+  const SignedGraph graph = RandomSignedGraph(80, 500, 0.4, GetParam());
+  for (uint32_t tau : {1u, 2u}) {
+    const size_t star = MaxBalancedCliqueStar(graph, tau).clique.size();
+    EXPECT_EQ(star, MaxBalancedCliqueBaseline(graph, tau).clique.size())
+        << "tau=" << tau;
+    EXPECT_EQ(star, MaxBalancedCliqueAdv(graph, tau).clique.size())
+        << "tau=" << tau;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MediumGraphs, SolverConsistency,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// Opt-in deep sweep (set MBC_HEAVY_TESTS=1): hundreds of random instances
+// across densities and negative ratios, every solver against brute force.
+// Kept out of the default run to keep ctest fast.
+TEST(HeavySweepTest, HundredsOfInstancesAgainstBruteForce) {
+  if (GetEnvInt("MBC_HEAVY_TESTS", 0) == 0) {
+    GTEST_SKIP() << "set MBC_HEAVY_TESTS=1 to run the deep sweep";
+  }
+  int instances = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    for (const double neg_ratio : {0.2, 0.45, 0.7}) {
+      for (const VertexId n : {10u, 14u, 18u}) {
+        const SignedGraph graph =
+            RandomSignedGraph(n, n * 4, neg_ratio, seed * 1000 + n);
+        for (uint32_t tau = 0; tau <= 3; ++tau) {
+          const size_t expected =
+              BruteForceMaxBalancedClique(graph, tau).size();
+          ASSERT_EQ(MaxBalancedCliqueStar(graph, tau).clique.size(),
+                    expected)
+              << "MBC* seed=" << seed << " n=" << n << " rho=" << neg_ratio
+              << " tau=" << tau;
+          ASSERT_EQ(MaxBalancedCliqueBaseline(graph, tau).clique.size(),
+                    expected)
+              << "MBC seed=" << seed;
+          ASSERT_EQ(MaxBalancedCliqueAdv(graph, tau).clique.size(),
+                    expected)
+              << "MBC-Adv seed=" << seed;
+          ++instances;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(instances, 40 * 3 * 3 * 4);
+}
+
+}  // namespace
+}  // namespace mbc

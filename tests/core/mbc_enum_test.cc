@@ -1,0 +1,171 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mbc_enum.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/verify.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::FromText;
+using testing_util::RandomSignedGraph;
+
+std::vector<BalancedClique> Collect(const SignedGraph& graph, uint32_t tau,
+                                    MbcEnumOptions options = {}) {
+  std::vector<BalancedClique> cliques;
+  EnumerateMaximalBalancedCliques(
+      graph, tau,
+      [&cliques](const BalancedClique& clique) { cliques.push_back(clique); },
+      options);
+  return cliques;
+}
+
+TEST(MbcEnumTest, Figure2MaximalCliquesAtTau2) {
+  const std::vector<BalancedClique> cliques = Collect(Figure2Graph(), 2);
+  // Exactly two maximal balanced cliques satisfy τ=2: {v1,v2|v3,v4} and
+  // {v3,v4,v5|v6,v7,v8}.
+  ASSERT_EQ(cliques.size(), 2u);
+  std::set<std::vector<VertexId>> sets;
+  for (const BalancedClique& clique : cliques) {
+    sets.insert(clique.AllVertices());
+  }
+  EXPECT_TRUE(sets.count({0, 1, 2, 3}));
+  EXPECT_TRUE(sets.count({2, 3, 4, 5, 6, 7}));
+}
+
+TEST(MbcEnumTest, EveryReportedCliqueIsValidAndMaximal) {
+  const SignedGraph graph = RandomSignedGraph(14, 50, 0.45, 3);
+  const std::vector<BalancedClique> cliques = Collect(graph, 1);
+  for (const BalancedClique& clique : cliques) {
+    EXPECT_TRUE(IsBalancedClique(graph, clique));
+    EXPECT_TRUE(clique.SatisfiesThreshold(1));
+    // Maximality: no vertex extends either side.
+    for (VertexId w = 0; w < graph.NumVertices(); ++w) {
+      bool extends_left = true;
+      bool extends_right = true;
+      for (VertexId v : clique.left) {
+        if (v == w) extends_left = extends_right = false;
+        extends_left = extends_left && graph.HasPositiveEdge(v, w);
+        extends_right = extends_right && graph.HasNegativeEdge(v, w);
+      }
+      for (VertexId v : clique.right) {
+        if (v == w) extends_left = extends_right = false;
+        extends_left = extends_left && graph.HasNegativeEdge(v, w);
+        extends_right = extends_right && graph.HasPositiveEdge(v, w);
+      }
+      EXPECT_FALSE(extends_left) << "vertex " << w << " extends C_L of "
+                                 << clique.ToString();
+      EXPECT_FALSE(extends_right) << "vertex " << w << " extends C_R of "
+                                  << clique.ToString();
+    }
+  }
+}
+
+TEST(MbcEnumTest, NoDuplicatesReported) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(13, 45, 0.45, seed);
+    const std::vector<BalancedClique> cliques = Collect(graph, 1);
+    std::set<std::vector<VertexId>> sets;
+    for (const BalancedClique& clique : cliques) {
+      EXPECT_TRUE(sets.insert(clique.AllVertices()).second)
+          << "duplicate " << clique.ToString() << " seed=" << seed;
+    }
+  }
+}
+
+TEST(MbcEnumTest, LargestMaximalMatchesBruteForceMaximum) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(14, 55, 0.4, seed);
+    for (uint32_t tau : {1u, 2u}) {
+      size_t largest = 0;
+      for (const BalancedClique& clique : Collect(graph, tau)) {
+        largest = std::max(largest, clique.size());
+      }
+      EXPECT_EQ(largest, BruteForceMaxBalancedClique(graph, tau).size())
+          << "seed=" << seed << " tau=" << tau;
+    }
+  }
+}
+
+TEST(MbcEnumTest, ReductionVariantsAgreeOnCount) {
+  for (uint64_t seed = 2; seed <= 6; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(14, 50, 0.45, seed);
+    MbcEnumOptions raw;
+    raw.apply_reductions = false;
+    EXPECT_EQ(Collect(graph, 2).size(), Collect(graph, 2, raw).size())
+        << "seed=" << seed;
+  }
+}
+
+TEST(MbcEnumTest, MaxCliquesTruncates) {
+  const SignedGraph graph = RandomSignedGraph(30, 200, 0.45, 5);
+  MbcEnumOptions options;
+  options.max_cliques = 3;
+  std::vector<BalancedClique> cliques;
+  const MbcEnumStats stats = EnumerateMaximalBalancedCliques(
+      graph, 0,
+      [&cliques](const BalancedClique& clique) { cliques.push_back(clique); },
+      options);
+  EXPECT_EQ(cliques.size(), 3u);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.num_reported, 3u);
+}
+
+// Exact-set check against a brute-force maximal-clique oracle.
+TEST(MbcEnumTest, ExactSetMatchesBruteForceOracle) {
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(12, 40, 0.45, seed);
+    const uint32_t tau = 1;
+
+    // Oracle: all balanced cliques satisfying tau that are maximal among
+    // balanced cliques (subset test over the full enumeration).
+    std::vector<std::vector<VertexId>> balanced_sets;
+    const VertexId n = graph.NumVertices();
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<VertexId> set;
+      for (VertexId v = 0; v < n; ++v) {
+        if (mask & (1u << v)) set.push_back(v);
+      }
+      if (SplitIntoBalancedClique(graph, set).has_value()) {
+        balanced_sets.push_back(set);
+      }
+    }
+    std::set<std::vector<VertexId>> oracle;
+    for (const auto& candidate : balanced_sets) {
+      const auto split = SplitIntoBalancedClique(graph, candidate);
+      if (!split->SatisfiesThreshold(tau)) continue;
+      bool maximal = true;
+      for (const auto& other : balanced_sets) {
+        if (other.size() <= candidate.size()) continue;
+        maximal = !std::includes(other.begin(), other.end(),
+                                 candidate.begin(), candidate.end());
+        if (!maximal) break;
+      }
+      if (maximal) oracle.insert(candidate);
+    }
+
+    std::set<std::vector<VertexId>> reported;
+    for (const BalancedClique& clique : Collect(graph, tau)) {
+      reported.insert(clique.AllVertices());
+    }
+    EXPECT_EQ(reported, oracle) << "seed=" << seed;
+  }
+}
+
+TEST(MbcEnumTest, TauZeroIncludesAllPositiveCliques) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 1\n0 2 1\n");
+  const std::vector<BalancedClique> cliques = Collect(graph, 0);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].AllVertices(), (std::vector<VertexId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,94 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mbc_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+TEST(ParallelMbcTest, PaperFigure2Example) {
+  ParallelMbcOptions options;
+  options.num_threads = 4;
+  const ParallelMbcResult result =
+      ParallelMaxBalancedCliqueStar(Figure2Graph(), 2, options);
+  EXPECT_EQ(result.clique.size(), 6u);
+  EXPECT_TRUE(IsBalancedClique(Figure2Graph(), result.clique));
+}
+
+TEST(ParallelMbcTest, MatchesBruteForceRandomized) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 60, 0.45, seed);
+    for (uint32_t tau : {0u, 1u, 2u}) {
+      ParallelMbcOptions options;
+      options.num_threads = 3;
+      const ParallelMbcResult result =
+          ParallelMaxBalancedCliqueStar(graph, tau, options);
+      EXPECT_EQ(result.clique.size(),
+                BruteForceMaxBalancedClique(graph, tau).size())
+          << "seed=" << seed << " tau=" << tau;
+      if (!result.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+        EXPECT_TRUE(result.clique.SatisfiesThreshold(tau));
+      }
+    }
+  }
+}
+
+TEST(ParallelMbcTest, MatchesSequentialOnMediumGraphs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const SignedGraph base = RandomSignedGraph(1500, 9000, 0.4, seed);
+    const SignedGraph graph =
+        PlantBalancedCliques(base, {{4, 6}}, seed + 100);
+    const size_t sequential = MaxBalancedCliqueStar(graph, 2).clique.size();
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      ParallelMbcOptions options;
+      options.num_threads = threads;
+      const ParallelMbcResult result =
+          ParallelMaxBalancedCliqueStar(graph, 2, options);
+      EXPECT_EQ(result.clique.size(), sequential)
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+    }
+  }
+}
+
+TEST(ParallelMbcTest, RepeatedRunsAreSizeStable) {
+  const SignedGraph base = RandomSignedGraph(1000, 7000, 0.45, 77);
+  const SignedGraph graph = PlantBalancedCliques(base, {{5, 5}}, 7);
+  ParallelMbcOptions options;
+  options.num_threads = 8;
+  const size_t first =
+      ParallelMaxBalancedCliqueStar(graph, 3, options).clique.size();
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_EQ(ParallelMaxBalancedCliqueStar(graph, 3, options).clique.size(),
+              first);
+  }
+}
+
+TEST(ParallelMbcTest, EmptyGraphAndDefaults) {
+  const ParallelMbcResult result =
+      ParallelMaxBalancedCliqueStar(SignedGraph(), 0);
+  EXPECT_TRUE(result.clique.empty());
+  EXPECT_EQ(result.threads_used, 0u);
+}
+
+TEST(ParallelMbcTest, WithoutHeuristicStillExact) {
+  const SignedGraph graph = RandomSignedGraph(18, 70, 0.45, 31);
+  ParallelMbcOptions options;
+  options.num_threads = 4;
+  options.run_heuristic = false;
+  EXPECT_EQ(ParallelMaxBalancedCliqueStar(graph, 2, options).clique.size(),
+            BruteForceMaxBalancedClique(graph, 2).size());
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,161 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/mbc_star.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::Figure3Graph;
+using testing_util::FromText;
+using testing_util::RandomSignedGraph;
+
+TEST(MbcStarTest, PaperFigure2Example) {
+  const SignedGraph graph = Figure2Graph();
+  // "Both C = {v1..v4} and C* = {v3..v8} are balanced cliques satisfying
+  //  τ = 2, while C* is the largest one."
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2);
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+  EXPECT_EQ(result.clique.size(), 6u);
+  EXPECT_EQ(result.clique.AllVertices(),
+            (std::vector<VertexId>{2, 3, 4, 5, 6, 7}));
+}
+
+TEST(MbcStarTest, PaperFigure3Example) {
+  const SignedGraph graph = Figure3Graph();
+  // "The maximum balanced clique size is 3 for τ = 0, and is 2 for τ = 1."
+  EXPECT_EQ(MaxBalancedCliqueStar(graph, 0).clique.size(), 3u);
+  EXPECT_EQ(MaxBalancedCliqueStar(graph, 1).clique.size(), 2u);
+  EXPECT_TRUE(MaxBalancedCliqueStar(graph, 2).clique.empty());
+}
+
+TEST(MbcStarTest, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(MaxBalancedCliqueStar(SignedGraph(), 0).clique.empty());
+  SignedGraphBuilder one(1);
+  const SignedGraph single = std::move(one).Build();
+  EXPECT_EQ(MaxBalancedCliqueStar(single, 0).clique.size(), 1u);
+  EXPECT_TRUE(MaxBalancedCliqueStar(single, 1).clique.empty());
+}
+
+TEST(MbcStarTest, AllPositiveCliqueAtTauZero) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 1\n0 2 1\n2 3 1\n");
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 0);
+  EXPECT_EQ(result.clique.size(), 3u);
+  EXPECT_EQ(result.clique.MinSide(), 0u);
+}
+
+TEST(MbcStarTest, InfeasibleThresholdReturnsEmpty) {
+  const SignedGraph graph = Figure2Graph();
+  EXPECT_TRUE(MaxBalancedCliqueStar(graph, 4).clique.empty());
+}
+
+TEST(MbcStarTest, MatchesBruteForceRandomized) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 60, 0.45, seed);
+    for (uint32_t tau : {0u, 1u, 2u, 3u}) {
+      const BalancedClique expected = BruteForceMaxBalancedClique(graph, tau);
+      const MbcStarResult result = MaxBalancedCliqueStar(graph, tau);
+      EXPECT_EQ(result.clique.size(), expected.size())
+          << "seed=" << seed << " tau=" << tau;
+      if (!result.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+        EXPECT_TRUE(result.clique.SatisfiesThreshold(tau));
+      }
+    }
+  }
+}
+
+TEST(MbcStarTest, RecoversPlantedClique) {
+  const SignedGraph base = RandomSignedGraph(2000, 10000, 0.35, 9);
+  const SignedGraph graph = PlantBalancedCliques(base, {{8, 11}}, 13);
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 3);
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+  EXPECT_GE(result.clique.size(), 19u);
+  EXPECT_GE(result.clique.MinSide(), 3u);
+}
+
+TEST(MbcStarTest, InitialCliqueActsAsIncumbent) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique incumbent;
+  incumbent.left = {0, 1};
+  incumbent.right = {2, 3};
+  MbcStarOptions options;
+  options.initial_clique = &incumbent;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
+  EXPECT_EQ(result.clique.size(), 6u);  // still finds the better one
+}
+
+TEST(MbcStarTest, InitialCliqueReturnedWhenOptimal) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique incumbent;
+  incumbent.left = {2, 3, 4};
+  incumbent.right = {5, 6, 7};
+  MbcStarOptions options;
+  options.initial_clique = &incumbent;
+  options.run_heuristic = false;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
+  EXPECT_EQ(result.clique.size(), 6u);
+}
+
+TEST(MbcStarTest, ExistenceOnlyFindsSomeValidClique) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 60, 0.45, seed);
+    for (uint32_t tau : {1u, 2u}) {
+      MbcStarOptions options;
+      options.existence_only = true;
+      const MbcStarResult fast = MaxBalancedCliqueStar(graph, tau, options);
+      const BalancedClique expected = BruteForceMaxBalancedClique(graph, tau);
+      EXPECT_EQ(fast.clique.empty(), expected.empty())
+          << "seed=" << seed << " tau=" << tau;
+      if (!fast.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, fast.clique));
+        EXPECT_TRUE(fast.clique.SatisfiesThreshold(tau));
+      }
+    }
+  }
+}
+
+TEST(MbcStarTest, EdgeReductionVariantAgrees) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(20, 90, 0.4, seed);
+    MbcStarOptions with_er;
+    with_er.apply_edge_reduction = true;
+    EXPECT_EQ(MaxBalancedCliqueStar(graph, 2, with_er).clique.size(),
+              MaxBalancedCliqueStar(graph, 2).clique.size())
+        << "seed=" << seed;
+  }
+}
+
+TEST(MbcStarTest, StatsArePopulated) {
+  // Uniform degrees so the heuristic anchors inside the planted clique.
+  CommunityGraphOptions options;
+  options.num_vertices = 500;
+  options.num_edges = 3000;
+  options.negative_ratio = 0.4;
+  options.powerlaw_alpha = 0.0;
+  options.seed = 33;
+  const SignedGraph base = GenerateCommunitySignedGraph(options);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 5}}, 3);
+  // Without the heuristic seed the search must build dichromatic
+  // networks; with it, everything may be pruned (num_networks_built == 0
+  // is the desired outcome on heuristic-optimal instances).
+  MbcStarOptions no_heu;
+  no_heu.run_heuristic = false;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, no_heu);
+  EXPECT_GT(result.stats.num_networks_built, 0u);
+  EXPECT_GE(result.stats.search_seconds, 0.0);
+
+  // On the Figure 2 graph the greedy seed is the optimum itself (the
+  // heuristic-size column of the paper's Table IV).
+  const MbcStarResult figure2 = MaxBalancedCliqueStar(Figure2Graph(), 2);
+  EXPECT_EQ(figure2.stats.heuristic_size, 6u);
+}
+
+}  // namespace
+}  // namespace mbc

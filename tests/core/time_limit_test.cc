@@ -1,0 +1,98 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Failure-injection tests for the wall-clock safety nets: expired budgets
+// must degrade gracefully (valid partial results, flags set), never crash
+// or return invalid cliques.
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_star.h"
+#include "src/core/reductions.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "src/gmbc/gmbc.h"
+#include "src/pf/pf_star.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+TEST(TimeLimitTest, MbcStarZeroBudgetStillReturnsValidClique) {
+  const SignedGraph base = RandomSignedGraph(800, 6000, 0.4, 3);
+  const SignedGraph graph = PlantBalancedCliques(base, {{5, 6}}, 1);
+  MbcStarOptions options;
+  options.time_limit_seconds = 0.0;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
+  // The heuristic runs before the budget check, so a clique is returned.
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+  EXPECT_TRUE(result.stats.timed_out || result.clique.size() >= 4);
+}
+
+TEST(TimeLimitTest, MbcStarGenerousBudgetIsExact) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  MbcStarOptions options;
+  options.time_limit_seconds = 1e6;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
+  EXPECT_FALSE(result.stats.timed_out);
+  EXPECT_EQ(result.clique.size(), 6u);
+}
+
+TEST(TimeLimitTest, EdgeReductionZeroBudgetReturnsInput) {
+  // Large enough that the (periodic) budget check fires within the first
+  // round, which must then be discarded wholesale.
+  const SignedGraph graph = RandomSignedGraph(2000, 30000, 0.45, 5);
+  const SignedGraph reduced = EdgeReduction(graph, 3, 0.0);
+  EXPECT_EQ(reduced.NumEdges(), graph.NumEdges());
+}
+
+TEST(TimeLimitTest, EdgeReductionPartialIsSupersetOfFull) {
+  const SignedGraph graph = RandomSignedGraph(120, 900, 0.45, 9);
+  const SignedGraph full = EdgeReduction(graph, 3);
+  const SignedGraph partial = EdgeReduction(graph, 3, 0.0);
+  // Every edge surviving the full reduction also survives the partial one
+  // (partial = a prefix of the removal rounds).
+  full.ForEachEdge([&partial](VertexId u, VertexId v, Sign sign) {
+    EXPECT_EQ(partial.EdgeSign(u, v), sign);
+  });
+  EXPECT_GE(partial.NumEdges(), full.NumEdges());
+}
+
+TEST(TimeLimitTest, PfStarZeroBudgetReturnsHeuristicLowerBound) {
+  const SignedGraph base = RandomSignedGraph(600, 4000, 0.4, 7);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 4}}, 2);
+  PfStarOptions options;
+  options.time_limit_seconds = 0.0;
+  const PfStarResult result = PolarizationFactorStar(graph, options);
+  // The result is a valid lower bound with a valid witness.
+  EXPECT_TRUE(IsBalancedClique(graph, result.witness));
+  EXPECT_EQ(result.witness.MinSide(), result.beta);
+  const PfStarResult exact = PolarizationFactorStar(graph);
+  EXPECT_LE(result.beta, exact.beta);
+}
+
+TEST(TimeLimitTest, GmbcStarZeroBudgetKeepsInvariants) {
+  const SignedGraph base = RandomSignedGraph(500, 3500, 0.4, 11);
+  const SignedGraph graph = PlantBalancedCliques(base, {{3, 4}}, 5);
+  GeneralizedMbcOptions options;
+  options.time_limit_seconds = 0.0;
+  const GeneralizedMbcResult result = GeneralizedMbcStar(graph, options);
+  ASSERT_EQ(result.cliques.size(), static_cast<size_t>(result.beta) + 1);
+  for (uint32_t tau = 0; tau <= result.beta; ++tau) {
+    EXPECT_TRUE(IsBalancedClique(graph, result.cliques[tau]));
+    EXPECT_TRUE(result.cliques[tau].SatisfiesThreshold(tau));
+  }
+}
+
+TEST(TimeLimitTest, ExpiredBudgetSetsFlagOnHardInstance) {
+  // A dense graph where the search cannot finish instantly.
+  const SignedGraph graph = RandomSignedGraph(3000, 60000, 0.45, 13);
+  MbcStarOptions options;
+  options.time_limit_seconds = 0.0;
+  options.run_heuristic = false;
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 1, options);
+  EXPECT_TRUE(result.stats.timed_out);
+}
+
+}  // namespace
+}  // namespace mbc

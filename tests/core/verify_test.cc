@@ -1,0 +1,107 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+
+TEST(VerifyTest, AcceptsPaperExampleClique) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique clique;
+  clique.left = {0, 1};   // v1, v2
+  clique.right = {2, 3};  // v3, v4
+  EXPECT_TRUE(IsBalancedClique(graph, clique));
+}
+
+TEST(VerifyTest, AcceptsSwappedSides) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique clique;
+  clique.left = {2, 3};
+  clique.right = {0, 1};
+  EXPECT_TRUE(IsBalancedClique(graph, clique));
+}
+
+TEST(VerifyTest, RejectsWrongSideAssignment) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique clique;
+  clique.left = {0, 1, 2};  // v3 has negative edges to v1, v2
+  clique.right = {3};
+  EXPECT_FALSE(IsBalancedClique(graph, clique));
+}
+
+TEST(VerifyTest, RejectsNonClique) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique clique;
+  clique.left = {0, 4};  // v1 and v5 are not adjacent
+  clique.right = {};
+  EXPECT_FALSE(IsBalancedClique(graph, clique));
+}
+
+TEST(VerifyTest, RejectsDuplicatesAndOutOfRange) {
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique dup;
+  dup.left = {0};
+  dup.right = {0};
+  EXPECT_FALSE(IsBalancedClique(graph, dup));
+  BalancedClique oob;
+  oob.left = {100};
+  EXPECT_FALSE(IsBalancedClique(graph, oob));
+}
+
+TEST(VerifyTest, EmptyAndSingletonAreBalanced) {
+  const SignedGraph graph = Figure2Graph();
+  EXPECT_TRUE(IsBalancedClique(graph, BalancedClique{}));
+  BalancedClique single;
+  single.left = {5};
+  EXPECT_TRUE(IsBalancedClique(graph, single));
+}
+
+TEST(SplitTest, RecoversUniqueSplit) {
+  const SignedGraph graph = Figure2Graph();
+  const std::vector<VertexId> set = {2, 3, 4, 5, 6, 7};
+  const auto split = SplitIntoBalancedClique(graph, set);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->size(), 6u);
+  EXPECT_EQ(split->MinSide(), 3u);
+  // Sides must be {2,3,4} and {5,6,7} (orientation canonicalized).
+  EXPECT_EQ(split->left, (std::vector<VertexId>{2, 3, 4}));
+  EXPECT_EQ(split->right, (std::vector<VertexId>{5, 6, 7}));
+}
+
+TEST(SplitTest, RejectsUnbalancedOrNonClique) {
+  const SignedGraph graph = Figure2Graph();
+  // {0, 1, 4}: v1-v5 not adjacent.
+  EXPECT_FALSE(
+      SplitIntoBalancedClique(graph, std::vector<VertexId>{0, 1, 4})
+          .has_value());
+}
+
+TEST(SplitTest, DetectsSignInconsistency) {
+  // Triangle with exactly one negative edge is a clique but unbalanced.
+  const SignedGraph graph =
+      testing_util::FromText("0 1 1\n1 2 1\n0 2 -1\n");
+  EXPECT_FALSE(
+      SplitIntoBalancedClique(graph, std::vector<VertexId>{0, 1, 2})
+          .has_value());
+}
+
+TEST(SplitTest, AllNegativeTriangleIsUnbalanced) {
+  const SignedGraph graph =
+      testing_util::FromText("0 1 -1\n1 2 -1\n0 2 -1\n");
+  EXPECT_FALSE(
+      SplitIntoBalancedClique(graph, std::vector<VertexId>{0, 1, 2})
+          .has_value());
+}
+
+TEST(SplitTest, EmptySetIsBalanced) {
+  const SignedGraph graph = Figure2Graph();
+  EXPECT_TRUE(SplitIntoBalancedClique(graph, {}).has_value());
+}
+
+}  // namespace
+}  // namespace mbc

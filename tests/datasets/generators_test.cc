@@ -1,0 +1,137 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify.h"
+#include "src/graph/graph_io.h"
+
+namespace mbc {
+namespace {
+
+TEST(CommunityGeneratorTest, HitsTargetScale) {
+  CommunityGraphOptions options;
+  options.num_vertices = 5000;
+  options.num_edges = 30000;
+  options.negative_ratio = 0.25;
+  options.seed = 1;
+  const SignedGraph graph = GenerateCommunitySignedGraph(options);
+  EXPECT_EQ(graph.NumVertices(), 5000u);
+  // Top-up sampling compensates for de-duplication; the realized count
+  // lands within a few percent of the target on either side.
+  EXPECT_GT(graph.NumEdges(), 28500u);
+  EXPECT_LE(graph.NumEdges(), 33000u);
+  // Community-size-dependent de-duplication skews the realized ratio by a
+  // few percent on dense settings.
+  EXPECT_NEAR(graph.NegativeEdgeRatio(), 0.25, 0.05);
+}
+
+TEST(CommunityGeneratorTest, NegativeRatioAcrossRange) {
+  for (double rho : {0.05, 0.3, 0.63, 0.72}) {
+    CommunityGraphOptions options;
+    options.num_vertices = 4000;
+    options.num_edges = 40000;
+    options.negative_ratio = rho;
+    options.seed = 7;
+    const SignedGraph graph = GenerateCommunitySignedGraph(options);
+    EXPECT_NEAR(graph.NegativeEdgeRatio(), rho, 0.05) << "rho=" << rho;
+  }
+}
+
+TEST(CommunityGeneratorTest, DeterministicGivenSeed) {
+  CommunityGraphOptions options;
+  options.num_vertices = 1000;
+  options.num_edges = 5000;
+  options.seed = 11;
+  const SignedGraph a = GenerateCommunitySignedGraph(options);
+  const SignedGraph b = GenerateCommunitySignedGraph(options);
+  EXPECT_EQ(SignedEdgeListToString(a), SignedEdgeListToString(b));
+  options.seed = 12;
+  const SignedGraph c = GenerateCommunitySignedGraph(options);
+  EXPECT_NE(SignedEdgeListToString(a), SignedEdgeListToString(c));
+}
+
+TEST(CommunityGeneratorTest, PowerLawSkewsDegrees) {
+  CommunityGraphOptions options;
+  options.num_vertices = 5000;
+  options.num_edges = 30000;
+  options.powerlaw_alpha = 0.7;
+  options.seed = 3;
+  const SignedGraph skewed = GenerateCommunitySignedGraph(options);
+  options.powerlaw_alpha = 0.0;
+  const SignedGraph uniform = GenerateCommunitySignedGraph(options);
+  uint32_t skewed_max = 0;
+  uint32_t uniform_max = 0;
+  for (VertexId v = 0; v < 5000; ++v) {
+    skewed_max = std::max(skewed_max, skewed.Degree(v));
+    uniform_max = std::max(uniform_max, uniform.Degree(v));
+  }
+  EXPECT_GT(skewed_max, 2 * uniform_max);
+}
+
+TEST(PlantBalancedCliquesTest, PlantedCliqueIsValid) {
+  CommunityGraphOptions options;
+  options.num_vertices = 2000;
+  options.num_edges = 10000;
+  options.seed = 5;
+  const SignedGraph base = GenerateCommunitySignedGraph(options);
+  std::vector<PlantedCliqueMembers> members;
+  const SignedGraph graph =
+      PlantBalancedCliques(base, {{6, 8}, {0, 12}}, 9, &members);
+  ASSERT_EQ(members.size(), 2u);
+  ASSERT_EQ(members[0].left.size(), 6u);
+  ASSERT_EQ(members[0].right.size(), 8u);
+  ASSERT_EQ(members[1].right.size(), 12u);
+
+  BalancedClique first;
+  first.left = members[0].left;
+  first.right = members[0].right;
+  EXPECT_TRUE(IsBalancedClique(graph, first));
+  BalancedClique second;
+  second.left = members[1].right;  // all-positive clique
+  EXPECT_TRUE(IsBalancedClique(graph, second));
+}
+
+TEST(PlantBalancedCliquesTest, SpecsUseDisjointVertices) {
+  const SignedGraph base = [] {
+    CommunityGraphOptions options;
+    options.num_vertices = 500;
+    options.num_edges = 2000;
+    options.seed = 2;
+    return GenerateCommunitySignedGraph(options);
+  }();
+  std::vector<PlantedCliqueMembers> members;
+  PlantBalancedCliques(base, {{3, 3}, {4, 4}}, 1, &members);
+  std::vector<VertexId> all;
+  for (const auto& m : members) {
+    all.insert(all.end(), m.left.begin(), m.left.end());
+    all.insert(all.end(), m.right.begin(), m.right.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(PlantBalancedCliquesTest, PreservesOtherEdgesAndVertexCount) {
+  CommunityGraphOptions options;
+  options.num_vertices = 300;
+  options.num_edges = 1200;
+  options.seed = 8;
+  const SignedGraph base = GenerateCommunitySignedGraph(options);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 4}}, 6);
+  EXPECT_EQ(graph.NumVertices(), base.NumVertices());
+  // Edge count only grows (clique pairs get fully connected).
+  EXPECT_GE(graph.NumEdges() + 28, base.NumEdges());
+}
+
+TEST(PlantBalancedCliquesDeathTest, RejectsOversizedPlant) {
+  CommunityGraphOptions options;
+  options.num_vertices = 10;
+  options.num_edges = 20;
+  const SignedGraph base = GenerateCommunitySignedGraph(options);
+  EXPECT_DEATH(PlantBalancedCliques(base, {{8, 8}}, 1), "not enough");
+}
+
+}  // namespace
+}  // namespace mbc

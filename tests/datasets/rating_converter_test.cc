@@ -1,0 +1,83 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/rating_converter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+
+namespace mbc {
+namespace {
+
+TEST(RatingConverterTest, AgreementMakesPositiveEdge) {
+  // Users 0 and 1 agree on three items.
+  std::vector<Rating> ratings;
+  for (uint32_t item = 0; item < 3; ++item) {
+    ratings.push_back({0, item, 5.0f});
+    ratings.push_back({1, item, 4.5f});
+  }
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 2);
+  EXPECT_TRUE(graph.HasPositiveEdge(0, 1));
+}
+
+TEST(RatingConverterTest, DisagreementMakesNegativeEdge) {
+  std::vector<Rating> ratings;
+  for (uint32_t item = 0; item < 3; ++item) {
+    ratings.push_back({0, item, 5.0f});
+    ratings.push_back({1, item, 1.0f});
+  }
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 2);
+  EXPECT_TRUE(graph.HasNegativeEdge(0, 1));
+}
+
+TEST(RatingConverterTest, TooFewCommonItemsMeansNoEdge) {
+  std::vector<Rating> ratings = {{0, 0, 5.0f}, {1, 0, 5.0f},
+                                 {0, 1, 5.0f}, {1, 1, 5.0f}};
+  RatingConversionOptions options;
+  options.min_common_items = 3;
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 2, options);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+}
+
+TEST(RatingConverterTest, MixedSignalsMakeNoEdge) {
+  // Half agree, half disagree: neither majority reached.
+  std::vector<Rating> ratings;
+  for (uint32_t item = 0; item < 2; ++item) {
+    ratings.push_back({0, item, 5.0f});
+    ratings.push_back({1, item, 5.0f});
+  }
+  for (uint32_t item = 2; item < 4; ++item) {
+    ratings.push_back({0, item, 5.0f});
+    ratings.push_back({1, item, 1.0f});
+  }
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 4);
+  EXPECT_EQ(graph.EdgeSign(0, 1), std::nullopt);
+}
+
+TEST(RatingConverterTest, PopularItemsSkipped) {
+  RatingConversionOptions options;
+  options.max_raters_per_item = 2;
+  options.min_common_items = 1;
+  std::vector<Rating> ratings;
+  for (uint32_t user = 0; user < 5; ++user) {
+    ratings.push_back({user, 0, 5.0f});  // item 0 rated by 5 users
+  }
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 5, options);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+}
+
+TEST(RatingConverterTest, TwoCampCorpusYieldsBalancedStructure) {
+  const std::vector<Rating> ratings = GenerateTwoCampRatings(
+      /*num_users=*/40, /*num_items=*/30, /*ratings_per_user=*/20, 7);
+  const SignedGraph graph = SignedGraphFromRatings(ratings, 40);
+  EXPECT_GT(graph.NumEdges(), 50u);
+  // Within-camp edges should be positive, cross-camp negative: the
+  // maximum balanced clique at τ=3 must be substantial.
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 3);
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+  EXPECT_GE(result.clique.size(), 8u);
+  EXPECT_GE(result.clique.MinSide(), 3u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,90 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/registry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/pf/pf_star.h"
+
+namespace mbc {
+namespace {
+
+TEST(RegistryTest, HasAllFourteenPaperDatasets) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 14u);
+  std::set<std::string> names;
+  for (const DatasetSpec& spec : specs) names.insert(spec.name);
+  for (const char* expected :
+       {"Bitcoin", "AdjWordNet", "Reddit", "Referendum", "Epinions",
+        "WikiConflict", "Amazon", "BookCross", "DBLP", "Douban",
+        "TripAdvisor", "YahooSong", "SN1", "SN2"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(RegistryTest, FindByName) {
+  Result<DatasetSpec> found = FindDatasetSpec("Douban");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().paper_beta, 43u);
+  EXPECT_EQ(found.value().paper_cstar_tau3, 116u);
+  EXPECT_TRUE(FindDatasetSpec("NoSuchDataset").status().IsNotFound());
+}
+
+TEST(RegistryTest, SpecsMatchPaperTable1) {
+  const DatasetSpec spec = FindDatasetSpec("BookCross").ValueOrDie();
+  EXPECT_EQ(spec.paper_vertices, 63535u);
+  EXPECT_EQ(spec.paper_edges, 3890104u);
+  EXPECT_NEAR(spec.paper_negative_ratio, 0.07, 1e-9);
+  EXPECT_EQ(spec.paper_cstar_tau3, 550u);
+  EXPECT_EQ(spec.paper_beta, 118u);
+}
+
+TEST(RegistryTest, ScalingRespectsPlantedCliques) {
+  const DatasetSpec spec = FindDatasetSpec("TripAdvisor").ValueOrDie();
+  // Even at tiny scale, enough vertices for the planted 1916-clique.
+  EXPECT_GE(spec.ScaledVertices(0.001), 1916u * 4);
+  // Exempt datasets ignore the scale.
+  const DatasetSpec bitcoin = FindDatasetSpec("Bitcoin").ValueOrDie();
+  EXPECT_EQ(bitcoin.ScaledVertices(0.01), bitcoin.paper_vertices);
+}
+
+TEST(RegistryTest, GeneratedStandInHasGroundTruth) {
+  // Generate a small-scale Epinions stand-in and verify that the planted
+  // cliques make |C*| and β at least their paper values' planted parts.
+  const DatasetSpec spec = FindDatasetSpec("Epinions").ValueOrDie();
+  const SignedGraph graph = GenerateDataset(spec, 0.02);
+  const MbcStarResult mbc = MaxBalancedCliqueStar(graph, 3);
+  EXPECT_TRUE(IsBalancedClique(graph, mbc.clique));
+  EXPECT_GE(mbc.clique.size(), 15u);  // planted (3,12)
+  const PfStarResult pf = PolarizationFactorStar(graph);
+  EXPECT_GE(pf.beta, 6u);  // planted (6,6)
+}
+
+TEST(RegistryTest, NegativeRatioIsRespected) {
+  const DatasetSpec spec = FindDatasetSpec("WikiConflict").ValueOrDie();
+  const SignedGraph graph = GenerateDataset(spec, 0.02);
+  EXPECT_NEAR(graph.NegativeEdgeRatio(), spec.paper_negative_ratio, 0.08);
+}
+
+TEST(RegistryTest, GenerationIsDeterministic) {
+  const DatasetSpec spec = FindDatasetSpec("Bitcoin").ValueOrDie();
+  const SignedGraph a = GenerateDataset(spec, 1.0);
+  const SignedGraph b = GenerateDataset(spec, 1.0);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+}
+
+TEST(RegistryTest, ScaleFromEnvClamped) {
+  setenv("MBC_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 0.5);
+  setenv("MBC_SCALE", "7", 1);
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 1.0);
+  unsetenv("MBC_SCALE");
+  EXPECT_DOUBLE_EQ(DatasetScaleFromEnv(), 1.0 / 16.0);
+}
+
+}  // namespace
+}  // namespace mbc

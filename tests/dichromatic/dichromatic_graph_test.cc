@@ -1,0 +1,74 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/dichromatic_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(DichromaticGraphTest, SidesAndEdges) {
+  DichromaticGraph graph(5);
+  graph.SetSide(0, Side::kLeft);
+  graph.SetSide(1, Side::kLeft);
+  graph.SetSide(2, Side::kRight);
+  graph.SetSide(3, Side::kRight);
+  graph.SetSide(4, Side::kRight);
+  EXPECT_TRUE(graph.IsLeft(0));
+  EXPECT_FALSE(graph.IsLeft(2));
+  EXPECT_EQ(graph.GetSide(1), Side::kLeft);
+  EXPECT_EQ(graph.GetSide(4), Side::kRight);
+  EXPECT_EQ(graph.LeftMask().Count(), 2u);
+
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 1);
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_FALSE(graph.HasEdge(1, 2));
+  EXPECT_EQ(graph.AdjacencyOf(0).Count(), 2u);
+}
+
+TEST(DichromaticGraphTest, SideCanBeReassigned) {
+  DichromaticGraph graph(2);
+  graph.SetSide(0, Side::kLeft);
+  graph.SetSide(0, Side::kRight);
+  EXPECT_FALSE(graph.IsLeft(0));
+}
+
+TEST(DichromaticGraphTest, DegreeWithin) {
+  DichromaticGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  Bitset within(4);
+  within.Set(1);
+  within.Set(3);
+  EXPECT_EQ(graph.DegreeWithin(0, within), 2u);
+  within.Reset(3);
+  EXPECT_EQ(graph.DegreeWithin(0, within), 1u);
+}
+
+TEST(DichromaticGraphTest, EdgesWithin) {
+  DichromaticGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  Bitset subset(4);
+  subset.Set(0);
+  subset.Set(1);
+  subset.Set(2);
+  EXPECT_EQ(graph.EdgesWithin(subset), 2u);
+  EXPECT_EQ(graph.EdgesWithin(graph.AllVertices()), 3u);
+}
+
+TEST(DichromaticGraphTest, AllVertices) {
+  DichromaticGraph graph(7);
+  EXPECT_EQ(graph.AllVertices().Count(), 7u);
+}
+
+TEST(DichromaticGraphTest, MemoryBytesNonZero) {
+  DichromaticGraph graph(100);
+  EXPECT_GT(graph.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mbc

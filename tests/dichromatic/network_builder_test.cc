@@ -1,0 +1,139 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/dichromatic/network_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+// Reproduces the paper's Example 1 / Figure 4: the ego-network of v0 (as
+// the lowest-ranked vertex) excludes v2 and v8; it has 12 edges among v0's
+// neighbors, of which exactly 6 conflicting ones are removed.
+TEST(NetworkBuilderTest, PaperFigure4Example) {
+  const SignedGraph graph = testing_util::Figure4Graph();
+  // Rank v0 lowest; everyone else higher.
+  std::vector<uint32_t> rank(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) rank[v] = v;
+
+  DichromaticNetworkBuilder builder(graph);
+  const DichromaticNetwork net = builder.Build(0, rank.data());
+
+  // Members: v0 plus its 6 neighbors (v2 and v8 excluded).
+  ASSERT_EQ(net.graph.NumVertices(), 7u);
+  std::vector<VertexId> members = net.to_original;
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<VertexId>{0, 1, 3, 4, 5, 6, 7}));
+
+  // Edge-count bookkeeping of Example 1 (u's own edges excluded).
+  EXPECT_EQ(net.ego_edges, 12u);
+  EXPECT_EQ(net.dichromatic_edges, 6u);
+
+  // Local index lookup.
+  std::map<VertexId, uint32_t> local;
+  for (uint32_t i = 0; i < net.to_original.size(); ++i) {
+    local[net.to_original[i]] = i;
+  }
+
+  // Sides: V_L = {v0, v1, v3, v4}, V_R = {v5, v6, v7}.
+  EXPECT_TRUE(net.graph.IsLeft(local[0]));
+  EXPECT_TRUE(net.graph.IsLeft(local[1]));
+  EXPECT_TRUE(net.graph.IsLeft(local[3]));
+  EXPECT_TRUE(net.graph.IsLeft(local[4]));
+  EXPECT_FALSE(net.graph.IsLeft(local[5]));
+  EXPECT_FALSE(net.graph.IsLeft(local[6]));
+  EXPECT_FALSE(net.graph.IsLeft(local[7]));
+
+  // The six conflicting edges are gone...
+  EXPECT_FALSE(net.graph.HasEdge(local[1], local[4]));
+  EXPECT_FALSE(net.graph.HasEdge(local[1], local[5]));
+  EXPECT_FALSE(net.graph.HasEdge(local[3], local[5]));
+  EXPECT_FALSE(net.graph.HasEdge(local[4], local[5]));
+  EXPECT_FALSE(net.graph.HasEdge(local[3], local[7]));
+  EXPECT_FALSE(net.graph.HasEdge(local[4], local[7]));
+  // ...and the six non-conflicting ones survive.
+  EXPECT_TRUE(net.graph.HasEdge(local[1], local[3]));
+  EXPECT_TRUE(net.graph.HasEdge(local[3], local[4]));
+  EXPECT_TRUE(net.graph.HasEdge(local[6], local[7]));
+  EXPECT_TRUE(net.graph.HasEdge(local[5], local[6]));
+  EXPECT_TRUE(net.graph.HasEdge(local[1], local[6]));
+  EXPECT_TRUE(net.graph.HasEdge(local[4], local[6]));
+  // u is adjacent to every member.
+  for (uint32_t i = 1; i < net.graph.NumVertices(); ++i) {
+    EXPECT_TRUE(net.graph.HasEdge(0, i));
+  }
+}
+
+TEST(NetworkBuilderTest, RankFilterExcludesLowerRankedNeighbors) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  std::vector<uint32_t> rank(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) rank[v] = v;
+  DichromaticNetworkBuilder builder(graph);
+  // Vertex 4 (v5): neighbors are 2, 3 (positive) and 5, 6, 7 (negative).
+  // Only higher-ranked 5, 6, 7 survive the rank filter.
+  const DichromaticNetwork net = builder.Build(4, rank.data());
+  EXPECT_EQ(net.graph.NumVertices(), 4u);
+  EXPECT_EQ(net.graph.LeftMask().Count(), 1u);  // just u
+}
+
+TEST(NetworkBuilderTest, NoRankIncludesAllNeighbors) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  DichromaticNetworkBuilder builder(graph);
+  const DichromaticNetwork net = builder.Build(4);
+  EXPECT_EQ(net.graph.NumVertices(), 6u);  // u + 2 positive + 3 negative
+  EXPECT_EQ(net.graph.LeftMask().Count(), 3u);
+}
+
+TEST(NetworkBuilderTest, AliveFilter) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  std::vector<uint8_t> alive(graph.NumVertices(), 1);
+  alive[5] = 0;
+  alive[6] = 0;
+  DichromaticNetworkBuilder builder(graph);
+  const DichromaticNetwork net = builder.Build(4, nullptr, alive.data());
+  EXPECT_EQ(net.graph.NumVertices(), 4u);  // u, 2, 3, 7
+}
+
+TEST(NetworkBuilderTest, ReusableAcrossCalls) {
+  const SignedGraph graph = testing_util::Figure4Graph();
+  DichromaticNetworkBuilder builder(graph);
+  const DichromaticNetwork first = builder.Build(0);
+  const DichromaticNetwork second = builder.Build(2);  // degree-1 vertex
+  const DichromaticNetwork third = builder.Build(0);
+  EXPECT_EQ(first.graph.NumVertices(), third.graph.NumVertices());
+  EXPECT_EQ(first.ego_edges, third.ego_edges);
+  EXPECT_NE(first.graph.NumVertices(), second.graph.NumVertices());
+}
+
+// Every clique of the dichromatic network that contains u corresponds to a
+// balanced clique of the original graph (one direction of Theorem 2).
+TEST(NetworkBuilderTest, CliquesAreBalancedInOriginal) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(60, 400, 0.4, 21);
+  DichromaticNetworkBuilder builder(graph);
+  for (VertexId u = 0; u < graph.NumVertices(); u += 7) {
+    const DichromaticNetwork net = builder.Build(u);
+    const uint32_t k = net.graph.NumVertices();
+    // Check all edges of g_u: within-side edges must be positive in G,
+    // cross-side edges negative.
+    for (uint32_t i = 0; i < k; ++i) {
+      for (uint32_t j = i + 1; j < k; ++j) {
+        if (!net.graph.HasEdge(i, j)) continue;
+        const VertexId a = net.to_original[i];
+        const VertexId b = net.to_original[j];
+        if (net.graph.IsLeft(i) == net.graph.IsLeft(j)) {
+          EXPECT_TRUE(graph.HasPositiveEdge(a, b));
+        } else {
+          EXPECT_TRUE(graph.HasNegativeEdge(a, b));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,78 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Direct property test of Theorem 2, the paper's core reduction: the
+// maximum balanced clique size of G under constraint τ equals
+// max over u of δ(g_u, τ), where g_u is u's dichromatic network under any
+// total ordering and δ is the maximum dichromatic clique size through u.
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/brute_force.h"
+#include "src/core/mdc_solver.h"
+#include "src/dichromatic/network_builder.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+// Max dichromatic clique size through local vertex 0 of net for τ.
+size_t DeltaThroughU(const DichromaticNetwork& net, uint32_t tau) {
+  MdcSolver solver(net.graph);
+  std::vector<uint32_t> best;
+  if (!solver.Solve({0}, net.graph.AdjacencyOf(0),
+                    static_cast<int32_t>(tau) - 1, static_cast<int32_t>(tau),
+                    /*lower_bound=*/0, &best)) {
+    return 0;
+  }
+  return best.size();
+}
+
+class Theorem2Sweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem2Sweep, MaxOverNetworksEqualsMaxBalancedClique) {
+  const SignedGraph graph = RandomSignedGraph(14, 55, 0.45, GetParam());
+
+  for (uint32_t tau : {0u, 1u, 2u}) {
+    const size_t expected = BruteForceMaxBalancedClique(graph, tau).size();
+
+    // An arbitrary total ordering (identity) — Theorem 2 holds for any.
+    std::vector<uint32_t> rank(graph.NumVertices());
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) rank[v] = v;
+
+    DichromaticNetworkBuilder builder(graph);
+    size_t best = 0;
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      const DichromaticNetwork net = builder.Build(u, rank.data());
+      best = std::max(best, DeltaThroughU(net, tau));
+    }
+    EXPECT_EQ(best, expected) << "tau=" << tau;
+  }
+}
+
+// Same sweep under a random ordering: the theorem is ordering-invariant.
+TEST_P(Theorem2Sweep, HoldsUnderShuffledOrdering) {
+  const SignedGraph graph = RandomSignedGraph(13, 50, 0.5, GetParam() + 777);
+  const uint32_t tau = 1;
+  const size_t expected = BruteForceMaxBalancedClique(graph, tau).size();
+
+  std::vector<uint32_t> rank(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) rank[v] = v;
+  Rng rng(GetParam());
+  std::shuffle(rank.begin(), rank.end(), rng);
+
+  DichromaticNetworkBuilder builder(graph);
+  size_t best = 0;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    const DichromaticNetwork net = builder.Build(u, rank.data());
+    best = std::max(best, DeltaThroughU(net, tau));
+  }
+  EXPECT_EQ(best, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2Sweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace mbc

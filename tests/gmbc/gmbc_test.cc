@@ -1,0 +1,93 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/gmbc/gmbc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+void CheckResult(const SignedGraph& graph, const GeneralizedMbcResult& result) {
+  ASSERT_EQ(result.cliques.size(), static_cast<size_t>(result.beta) + 1);
+  size_t previous = SIZE_MAX;
+  for (uint32_t tau = 0; tau <= result.beta; ++tau) {
+    const BalancedClique& clique = result.cliques[tau];
+    EXPECT_TRUE(IsBalancedClique(graph, clique)) << "tau=" << tau;
+    EXPECT_TRUE(clique.SatisfiesThreshold(tau)) << "tau=" << tau;
+    // Sizes non-increasing in tau when read upward == non-decreasing when
+    // read downward.
+    EXPECT_LE(clique.size(), previous == SIZE_MAX ? SIZE_MAX : previous);
+    previous = clique.size();
+  }
+}
+
+TEST(GMbcTest, Figure2AllThresholds) {
+  const SignedGraph graph = Figure2Graph();
+  const GeneralizedMbcResult result = GeneralizedMbc(graph);
+  EXPECT_EQ(result.beta, 3u);
+  CheckResult(graph, result);
+  EXPECT_EQ(result.cliques[0].size(), 6u);
+  EXPECT_EQ(result.cliques[2].size(), 6u);
+  EXPECT_EQ(result.cliques[3].size(), 6u);
+}
+
+TEST(GMbcStarTest, Figure2AllThresholds) {
+  const SignedGraph graph = Figure2Graph();
+  const GeneralizedMbcResult result = GeneralizedMbcStar(graph);
+  EXPECT_EQ(result.beta, 3u);
+  CheckResult(graph, result);
+  EXPECT_EQ(result.cliques[3].size(), 6u);
+}
+
+TEST(GMbcTest, StarAndPlainAgreeRandomized) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 65, 0.5, seed);
+    const GeneralizedMbcResult plain = GeneralizedMbc(graph);
+    const GeneralizedMbcResult star = GeneralizedMbcStar(graph);
+    ASSERT_EQ(plain.beta, star.beta) << "seed=" << seed;
+    for (uint32_t tau = 0; tau <= plain.beta; ++tau) {
+      EXPECT_EQ(plain.cliques[tau].size(), star.cliques[tau].size())
+          << "seed=" << seed << " tau=" << tau;
+    }
+    CheckResult(graph, plain);
+    CheckResult(graph, star);
+  }
+}
+
+TEST(GMbcTest, MatchesBruteForcePerTau) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(14, 55, 0.5, seed);
+    const GeneralizedMbcResult result = GeneralizedMbcStar(graph);
+    EXPECT_EQ(result.beta, BruteForcePolarizationFactor(graph));
+    for (uint32_t tau = 0; tau <= result.beta; ++tau) {
+      EXPECT_EQ(result.cliques[tau].size(),
+                BruteForceMaxBalancedClique(graph, tau).size())
+          << "seed=" << seed << " tau=" << tau;
+    }
+  }
+}
+
+TEST(GMbcTest, DistinctCliqueCountAtMostBetaPlusOne) {
+  const SignedGraph base = RandomSignedGraph(800, 4000, 0.4, 9);
+  const SignedGraph graph = PlantBalancedCliques(base, {{5, 6}, {2, 9}}, 4);
+  const GeneralizedMbcResult result = GeneralizedMbcStar(graph);
+  const size_t distinct = result.NumDistinctCliques();
+  EXPECT_GE(distinct, 1u);
+  EXPECT_LE(distinct, static_cast<size_t>(result.beta) + 1);
+  CheckResult(graph, result);
+}
+
+TEST(GMbcTest, EmptyGraph) {
+  const GeneralizedMbcResult result = GeneralizedMbcStar(SignedGraph());
+  EXPECT_TRUE(result.cliques.empty());
+}
+
+}  // namespace
+}  // namespace mbc

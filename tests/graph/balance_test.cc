@@ -1,0 +1,137 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/balance.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::FromText;
+
+TEST(BalanceCheckTest, BalancedTwoCamps) {
+  // Two all-positive camps joined by negative edges: balanced.
+  const SignedGraph graph = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  const BalanceCheck check = CheckGraphBalance(graph);
+  ASSERT_TRUE(check.balanced);
+  ASSERT_EQ(check.sides.size(), 4u);
+  EXPECT_EQ(check.sides[0], check.sides[1]);
+  EXPECT_EQ(check.sides[2], check.sides[3]);
+  EXPECT_NE(check.sides[0], check.sides[2]);
+  EXPECT_EQ(FrustrationCount(graph, check.sides), 0u);
+}
+
+TEST(BalanceCheckTest, UnbalancedTriangle) {
+  // One negative edge in a triangle: classic unbalanced pattern.
+  const SignedGraph graph = FromText("0 1 1\n1 2 1\n0 2 -1\n");
+  const BalanceCheck check = CheckGraphBalance(graph);
+  EXPECT_FALSE(check.balanced);
+  // The witness cycle has odd negative-sign parity.
+  ASSERT_GE(check.violating_cycle.size(), 3u);
+  int negatives = 0;
+  for (size_t i = 0; i < check.violating_cycle.size(); ++i) {
+    const VertexId a = check.violating_cycle[i];
+    const VertexId b =
+        check.violating_cycle[(i + 1) % check.violating_cycle.size()];
+    const auto sign = graph.EdgeSign(a, b);
+    ASSERT_TRUE(sign.has_value()) << "witness is not a cycle";
+    negatives += (*sign == Sign::kNegative);
+  }
+  EXPECT_EQ(negatives % 2, 1);
+}
+
+TEST(BalanceCheckTest, AllNegativeTriangleUnbalanced) {
+  const SignedGraph graph = FromText("0 1 -1\n1 2 -1\n0 2 -1\n");
+  EXPECT_FALSE(CheckGraphBalance(graph).balanced);
+}
+
+TEST(BalanceCheckTest, MultiComponent) {
+  // A balanced component plus an unbalanced one.
+  const SignedGraph graph = FromText(
+      "0 1 1\n"
+      "2 3 1\n3 4 1\n2 4 -1\n");
+  EXPECT_FALSE(CheckGraphBalance(graph).balanced);
+  // Both components balanced -> overall balanced.
+  const SignedGraph ok = FromText("0 1 1\n2 3 -1\n");
+  EXPECT_TRUE(CheckGraphBalance(ok).balanced);
+}
+
+TEST(BalanceCheckTest, EmptyAndEdgelessAreBalanced) {
+  EXPECT_TRUE(CheckGraphBalance(SignedGraph()).balanced);
+  SignedGraphBuilder builder(3);
+  EXPECT_TRUE(CheckGraphBalance(std::move(builder).Build()).balanced);
+}
+
+TEST(SwitchSignsTest, SwitchingPreservesBalanceStatus) {
+  const SignedGraph balanced = testing_util::Figure2Graph();
+  std::vector<uint8_t> in_set(balanced.NumVertices(), 0);
+  in_set[2] = in_set[5] = in_set[7] = 1;
+  const SignedGraph switched = SwitchSigns(balanced, in_set);
+  // Figure 2's graph is NOT globally balanced (it has unbalanced
+  // triangles through v5's positive edges), so check invariance on a
+  // balanced instance instead:
+  const SignedGraph two_camps = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  std::vector<uint8_t> subset(4, 0);
+  subset[1] = subset[2] = 1;
+  EXPECT_TRUE(CheckGraphBalance(SwitchSigns(two_camps, subset)).balanced);
+  EXPECT_EQ(CheckGraphBalance(switched).balanced,
+            CheckGraphBalance(balanced).balanced);
+}
+
+TEST(SwitchSignsTest, SwitchingTheCertifyingSidesMakesAllPositive) {
+  const SignedGraph graph = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  const BalanceCheck check = CheckGraphBalance(graph);
+  ASSERT_TRUE(check.balanced);
+  const SignedGraph switched = SwitchSigns(graph, check.sides);
+  EXPECT_EQ(switched.NumNegativeEdges(), 0u);
+  EXPECT_EQ(switched.NumPositiveEdges(), graph.NumEdges());
+}
+
+TEST(SwitchSignsTest, DoubleSwitchIsIdentity) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(80, 400, 0.4, 9);
+  std::vector<uint8_t> subset(graph.NumVertices(), 0);
+  for (VertexId v = 0; v < graph.NumVertices(); v += 3) subset[v] = 1;
+  const SignedGraph twice = SwitchSigns(SwitchSigns(graph, subset), subset);
+  EXPECT_EQ(twice.NumPositiveEdges(), graph.NumPositiveEdges());
+  EXPECT_EQ(twice.NumNegativeEdges(), graph.NumNegativeEdges());
+  graph.ForEachEdge([&twice](VertexId u, VertexId v, Sign sign) {
+    EXPECT_EQ(twice.EdgeSign(u, v), sign);
+  });
+}
+
+TEST(FrustrationTest, CountsViolations) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 -1\n0 2 1\n");
+  // sides {0,0,0}: negative within -> 1 violation.
+  EXPECT_EQ(FrustrationCount(graph, {0, 0, 0}), 1u);
+  // sides {0,0,1}: (1,2)- across OK; (0,2)+ across -> violation.
+  EXPECT_EQ(FrustrationCount(graph, {0, 0, 1}), 1u);
+}
+
+TEST(ComponentsTest, CountsAndSizes) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 -1\n3 4 1\n");
+  SignedGraphBuilder with_isolated(6);
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign s) {
+    with_isolated.AddEdge(u, v, s);
+  });
+  const SignedGraph g = std::move(with_isolated).Build();
+  const ConnectedComponents cc = ComputeConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3u);
+  EXPECT_EQ(cc.component[0], cc.component[2]);
+  EXPECT_EQ(cc.component[3], cc.component[4]);
+  EXPECT_NE(cc.component[0], cc.component[3]);
+  EXPECT_EQ(cc.sizes[cc.LargestComponent()], 3u);
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  const ConnectedComponents cc = ComputeConnectedComponents(graph);
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_EQ(cc.sizes[0], graph.NumVertices());
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,122 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/binary_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_io.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// fread-based slurp (istreambuf_iterator trips GCC 12's
+// -Wnull-dereference false positive at -O2).
+std::string SlurpFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+TEST(BinaryIoTest, RoundTripSmall) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  const std::string path = TempPath("roundtrip_small.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  Result<SignedGraph> reread = ReadSignedGraphBinary(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(SignedEdgeListToString(reread.value()),
+            SignedEdgeListToString(graph));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripRandomLarge) {
+  const SignedGraph graph =
+      testing_util::RandomSignedGraph(5000, 40000, 0.35, 7);
+  const std::string path = TempPath("roundtrip_large.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  Result<SignedGraph> reread = ReadSignedGraphBinary(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().NumVertices(), graph.NumVertices());
+  EXPECT_EQ(reread.value().NumPositiveEdges(), graph.NumPositiveEdges());
+  EXPECT_EQ(reread.value().NumNegativeEdges(), graph.NumNegativeEdges());
+  // Spot-check adjacency equality.
+  for (VertexId v = 0; v < graph.NumVertices(); v += 97) {
+    const auto a = graph.PositiveNeighbors(v);
+    const auto b = reread.value().PositiveNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripEmptyAndEdgeless) {
+  const std::string path = TempPath("roundtrip_empty.mbcg");
+  SignedGraphBuilder builder(5);  // 5 isolated vertices
+  const SignedGraph graph = std::move(builder).Build();
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  Result<SignedGraph> reread = ReadSignedGraphBinary(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().NumVertices(), 5u);
+  EXPECT_EQ(reread.value().NumEdges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadSignedGraphBinary("/nonexistent/g.mbcg").status().IsIOError());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.mbcg");
+  std::ofstream(path) << "this is not a graph file at all";
+  Result<SignedGraph> result = ReadSignedGraphBinary(path);
+  EXPECT_TRUE(result.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  const SignedGraph graph = testing_util::Figure2Graph();
+  const std::string path = TempPath("truncated.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  // Truncate the file to half its size.
+  std::string contents = SlurpFile(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<long>(contents.size() / 2));
+  out.close();
+  Result<SignedGraph> result = ReadSignedGraphBinary(path);
+  EXPECT_TRUE(result.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, DetectsBitFlip) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(50, 200, 0.4, 3);
+  const std::string path = TempPath("bitflip.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  std::string contents = SlurpFile(path);
+  // Flip a bit in the middle of the edge payload.
+  contents[contents.size() / 2] =
+      static_cast<char>(contents[contents.size() / 2] ^ 0x10);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<long>(contents.size()));
+  out.close();
+  Result<SignedGraph> result = ReadSignedGraphBinary(path);
+  EXPECT_TRUE(result.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mbc

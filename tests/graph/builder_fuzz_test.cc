@@ -1,0 +1,105 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Randomized differential test: SignedGraphBuilder + SignedGraph queried
+// against a naive map-of-pairs reference model, over many random edge
+// scripts including duplicates.
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/graph/signed_graph_builder.h"
+
+namespace mbc {
+namespace {
+
+using EdgeKey = std::pair<VertexId, VertexId>;
+
+TEST(BuilderFuzzTest, MatchesReferenceModel) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const VertexId n = 3 + static_cast<VertexId>(rng.NextBounded(20));
+    const int ops = 5 + static_cast<int>(rng.NextBounded(120));
+
+    SignedGraphBuilder builder(n);
+    builder.set_sign_conflict_policy(
+        SignedGraphBuilder::SignConflictPolicy::kKeepNegative);
+    std::map<EdgeKey, bool> reference;  // true = has a negative report
+
+    for (int op = 0; op < ops; ++op) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const Sign sign =
+          rng.NextBernoulli(0.4) ? Sign::kNegative : Sign::kPositive;
+      builder.AddEdge(u, v, sign);
+      auto [it, inserted] =
+          reference.emplace(EdgeKey{u, v}, sign == Sign::kNegative);
+      if (!inserted) it->second |= (sign == Sign::kNegative);
+    }
+
+    const SignedGraph graph = std::move(builder).Build();
+    // Edge-by-edge agreement.
+    ASSERT_EQ(graph.NumEdges(), reference.size()) << "trial=" << trial;
+    for (const auto& [key, negative] : reference) {
+      EXPECT_EQ(graph.EdgeSign(key.first, key.second),
+                negative ? Sign::kNegative : Sign::kPositive)
+          << "trial=" << trial << " edge " << key.first << "," << key.second;
+    }
+    // Degree sums agree with the model.
+    uint64_t degree_sum = 0;
+    for (VertexId v = 0; v < n; ++v) degree_sum += graph.Degree(v);
+    EXPECT_EQ(degree_sum, 2 * reference.size());
+    // Adjacency sortedness invariant.
+    for (VertexId v = 0; v < n; ++v) {
+      const auto pos = graph.PositiveNeighbors(v);
+      EXPECT_TRUE(std::is_sorted(pos.begin(), pos.end()));
+      const auto neg = graph.NegativeNeighbors(v);
+      EXPECT_TRUE(std::is_sorted(neg.begin(), neg.end()));
+    }
+  }
+}
+
+TEST(BuilderFuzzTest, InducedSubgraphMatchesModel) {
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId n = 10 + static_cast<VertexId>(rng.NextBounded(20));
+    SignedGraphBuilder builder(n);
+    std::map<EdgeKey, Sign> reference;
+    for (int op = 0; op < 80; ++op) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (reference.count({u, v})) continue;
+      const Sign sign =
+          rng.NextBernoulli(0.5) ? Sign::kNegative : Sign::kPositive;
+      builder.AddEdge(u, v, sign);
+      reference.emplace(EdgeKey{u, v}, sign);
+    }
+    const SignedGraph graph = std::move(builder).Build();
+
+    // Random selection.
+    std::vector<VertexId> selection;
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.NextBernoulli(0.5)) selection.push_back(v);
+    }
+    const SignedGraph::InducedResult induced =
+        graph.InducedSubgraph(selection);
+    // Count expected surviving edges.
+    std::vector<uint8_t> in(n, 0);
+    for (VertexId v : selection) in[v] = 1;
+    uint64_t expected = 0;
+    for (const auto& [key, sign] : reference) {
+      (void)sign;
+      expected += in[key.first] && in[key.second];
+    }
+    EXPECT_EQ(induced.graph.NumEdges(), expected) << "trial=" << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mbc

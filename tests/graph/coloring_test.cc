@@ -1,0 +1,73 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/coloring.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/cores.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+Graph FromSigned(const std::string& text) {
+  return Graph::FromSignedIgnoringSigns(testing_util::FromText(text));
+}
+
+TEST(ColoringTest, PathNeedsTwoColors) {
+  const Graph graph = FromSigned("0 1 1\n1 2 1\n2 3 1\n");
+  EXPECT_EQ(GreedyColoringBound(graph), 2u);
+}
+
+TEST(ColoringTest, TriangleNeedsThree) {
+  const Graph graph = FromSigned("0 1 1\n1 2 1\n0 2 1\n");
+  EXPECT_EQ(GreedyColoringBound(graph), 3u);
+}
+
+TEST(ColoringTest, CompleteGraphNeedsN) {
+  // The paper's Figure 3 point: ignoring signs, K6 needs 6 colors.
+  const Graph graph =
+      Graph::FromSignedIgnoringSigns(testing_util::Figure3Graph());
+  EXPECT_EQ(GreedyColoringBound(graph), 6u);
+}
+
+TEST(ColoringTest, ColoringIsProper) {
+  const SignedGraph signed_graph =
+      testing_util::RandomSignedGraph(300, 1500, 0.3, 5);
+  const Graph graph = Graph::FromSignedIgnoringSigns(signed_graph);
+  std::vector<uint32_t> colors;
+  const uint32_t used = GreedyColoring(graph, {}, &colors);
+  EXPECT_GE(used, 1u);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_LT(colors[v], used);
+    for (VertexId u : graph.Neighbors(v)) {
+      EXPECT_NE(colors[u], colors[v]);
+    }
+  }
+}
+
+TEST(ColoringTest, DefaultOrderBoundedByDegeneracyPlusOne) {
+  const SignedGraph signed_graph =
+      testing_util::RandomSignedGraph(400, 2500, 0.4, 9);
+  const Graph graph = Graph::FromSignedIgnoringSigns(signed_graph);
+  const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
+  EXPECT_LE(GreedyColoringBound(graph), degeneracy.degeneracy + 1);
+}
+
+TEST(ColoringTest, ExplicitOrderIsUsed) {
+  const Graph graph = FromSigned("0 1 1\n1 2 1\n0 2 1\n2 3 1\n");
+  std::vector<uint32_t> colors;
+  const uint32_t used = GreedyColoring(graph, {3, 2, 1, 0}, &colors);
+  EXPECT_GE(used, 3u);
+  // 3 processed first gets color 0.
+  EXPECT_EQ(colors[3], 0u);
+}
+
+TEST(ColoringTest, EmptyGraph) {
+  EXPECT_EQ(GreedyColoringBound(Graph(0, {})), 0u);
+}
+
+}  // namespace
+}  // namespace mbc

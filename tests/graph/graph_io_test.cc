@@ -1,0 +1,98 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(GraphIoTest, ParsesBasicEdgeList) {
+  Result<SignedGraph> result = ParseSignedEdgeList("0 1 1\n1 2 -1\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SignedGraph& graph = result.value();
+  EXPECT_EQ(graph.NumVertices(), 3u);
+  EXPECT_EQ(graph.NumPositiveEdges(), 1u);
+  EXPECT_EQ(graph.NumNegativeEdges(), 1u);
+}
+
+TEST(GraphIoTest, AcceptsSignVariantsAndComments) {
+  const std::string text =
+      "# a comment\n"
+      "% another comment style\n"
+      "\n"
+      "10 20 +1\n"
+      "20 30 -\n"
+      "30 40 +\n"
+      "  40   50   -1  \n";
+  Result<SignedGraph> result = ParseSignedEdgeList(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().NumVertices(), 5u);
+  EXPECT_EQ(result.value().NumPositiveEdges(), 2u);
+  EXPECT_EQ(result.value().NumNegativeEdges(), 2u);
+}
+
+TEST(GraphIoTest, DensifiesSparseIds) {
+  Result<SignedGraph> result = ParseSignedEdgeList("1000000 5 1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumVertices(), 2u);
+}
+
+TEST(GraphIoTest, DropsSelfLoops) {
+  Result<SignedGraph> result = ParseSignedEdgeList("7 7 1\n1 2 1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, NegativeWinsOnConflict) {
+  Result<SignedGraph> result = ParseSignedEdgeList("1 2 1\n1 2 -1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().NumNegativeEdges(), 1u);
+  EXPECT_EQ(result.value().NumPositiveEdges(), 0u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLines) {
+  EXPECT_TRUE(ParseSignedEdgeList("1 2\n").status().IsCorruption());
+  EXPECT_TRUE(ParseSignedEdgeList("1 2 5\n").status().IsCorruption());
+  EXPECT_TRUE(ParseSignedEdgeList("x y 1\n").status().IsCorruption());
+}
+
+TEST(GraphIoTest, ErrorMessageNamesLine) {
+  Status status = ParseSignedEdgeList("0 1 1\n0 2 bogus\n").status();
+  ASSERT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  Result<SignedGraph> result =
+      ReadSignedEdgeList("/nonexistent/path/graph.txt");
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Result<SignedGraph> parsed = ParseSignedEdgeList("0 1 1\n1 2 -1\n0 2 -1\n");
+  ASSERT_TRUE(parsed.ok());
+  const std::string path = ::testing::TempDir() + "/mbc_io_roundtrip.txt";
+  ASSERT_TRUE(WriteSignedEdgeList(parsed.value(), path).ok());
+  Result<SignedGraph> reread = ReadSignedEdgeList(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.value().NumVertices(), parsed.value().NumVertices());
+  EXPECT_EQ(reread.value().NumPositiveEdges(),
+            parsed.value().NumPositiveEdges());
+  EXPECT_EQ(reread.value().NumNegativeEdges(),
+            parsed.value().NumNegativeEdges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ToStringContainsAllEdges) {
+  Result<SignedGraph> parsed = ParseSignedEdgeList("0 1 1\n1 2 -1\n");
+  ASSERT_TRUE(parsed.ok());
+  const std::string text = SignedEdgeListToString(parsed.value());
+  EXPECT_NE(text.find("0 1 1"), std::string::npos);
+  EXPECT_NE(text.find("1 2 -1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbc

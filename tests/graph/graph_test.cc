@@ -1,0 +1,53 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/graph.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+TEST(GraphTest, BuildFromEdgePairs) {
+  const std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  Graph graph(4, edges);
+  EXPECT_EQ(graph.NumVertices(), 4u);
+  EXPECT_EQ(graph.NumEdges(), 4u);
+  EXPECT_EQ(graph.Degree(2), 3u);
+  EXPECT_EQ(graph.Degree(3), 1u);
+  const auto n2 = graph.Neighbors(2);
+  EXPECT_EQ(std::vector<VertexId>(n2.begin(), n2.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(GraphTest, HasEdge) {
+  const std::vector<std::pair<VertexId, VertexId>> edges = {{0, 1}, {1, 2}};
+  Graph graph(3, edges);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+}
+
+TEST(GraphTest, FromSignedIgnoringSigns) {
+  SignedGraph signed_graph =
+      testing_util::FromText("0 1 1\n1 2 -1\n0 2 -1\n2 3 1\n");
+  Graph graph = Graph::FromSignedIgnoringSigns(signed_graph);
+  EXPECT_EQ(graph.NumVertices(), 4u);
+  EXPECT_EQ(graph.NumEdges(), 4u);
+  EXPECT_TRUE(graph.HasEdge(1, 2));  // was negative
+  EXPECT_TRUE(graph.HasEdge(0, 1));  // was positive
+  EXPECT_FALSE(graph.HasEdge(1, 3));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph graph(0, {});
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,56 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/sampling.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+TEST(SamplingTest, FullFractionKeepsEverything) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(100, 400, 0.3, 1);
+  const SignedGraph sample = SampleVertexInducedSubgraph(graph, 1.0, 42);
+  EXPECT_EQ(sample.NumVertices(), graph.NumVertices());
+  EXPECT_EQ(sample.NumEdges(), graph.NumEdges());
+}
+
+TEST(SamplingTest, ZeroFractionIsEmpty) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(100, 400, 0.3, 1);
+  const SignedGraph sample = SampleVertexInducedSubgraph(graph, 0.0, 42);
+  EXPECT_EQ(sample.NumVertices(), 0u);
+}
+
+TEST(SamplingTest, TargetsRequestedSize) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(1000, 4000, 0.3, 2);
+  const SignedGraph sample = SampleVertexInducedSubgraph(graph, 0.4, 7);
+  EXPECT_EQ(sample.NumVertices(), 400u);
+}
+
+TEST(SamplingTest, DeterministicGivenSeed) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(500, 2000, 0.3, 3);
+  std::vector<VertexId> map_a;
+  std::vector<VertexId> map_b;
+  SampleVertexInducedSubgraph(graph, 0.5, 99, &map_a);
+  SampleVertexInducedSubgraph(graph, 0.5, 99, &map_b);
+  EXPECT_EQ(map_a, map_b);
+  std::vector<VertexId> map_c;
+  SampleVertexInducedSubgraph(graph, 0.5, 100, &map_c);
+  EXPECT_NE(map_a, map_c);
+}
+
+TEST(SamplingTest, EdgesAreInduced) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(200, 1500, 0.4, 4);
+  std::vector<VertexId> to_original;
+  const SignedGraph sample =
+      SampleVertexInducedSubgraph(graph, 0.3, 5, &to_original);
+  ASSERT_EQ(to_original.size(), sample.NumVertices());
+  sample.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    EXPECT_EQ(graph.EdgeSign(to_original[u], to_original[v]), sign);
+  });
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,158 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/signed_graph.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/signed_graph_builder.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::FromText;
+
+TEST(SignedGraphTest, EmptyGraph) {
+  SignedGraph graph = SignedGraphBuilder(0).Build();
+  EXPECT_EQ(graph.NumVertices(), 0u);
+  EXPECT_EQ(graph.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(graph.NegativeEdgeRatio(), 0.0);
+}
+
+TEST(SignedGraphTest, BasicAccessors) {
+  SignedGraph graph = FromText("0 1 1\n0 2 -1\n1 2 -1\n2 3 1\n");
+  EXPECT_EQ(graph.NumVertices(), 4u);
+  EXPECT_EQ(graph.NumEdges(), 4u);
+  EXPECT_EQ(graph.NumPositiveEdges(), 2u);
+  EXPECT_EQ(graph.NumNegativeEdges(), 2u);
+  EXPECT_DOUBLE_EQ(graph.NegativeEdgeRatio(), 0.5);
+
+  EXPECT_EQ(graph.PositiveDegree(0), 1u);
+  EXPECT_EQ(graph.NegativeDegree(0), 1u);
+  EXPECT_EQ(graph.Degree(0), 2u);
+  EXPECT_EQ(graph.Degree(2), 3u);
+  EXPECT_EQ(graph.Degree(3), 1u);
+}
+
+TEST(SignedGraphTest, AdjacencyIsSortedAndSymmetric) {
+  SignedGraph graph = FromText("3 1 1\n3 0 1\n3 2 -1\n1 0 -1\n");
+  const auto pos3 = graph.PositiveNeighbors(3);
+  ASSERT_EQ(pos3.size(), 2u);
+  EXPECT_EQ(pos3[0], 0u);
+  EXPECT_EQ(pos3[1], 1u);
+  // Symmetry.
+  EXPECT_EQ(graph.PositiveNeighbors(0).size(), 1u);
+  EXPECT_EQ(graph.PositiveNeighbors(0)[0], 3u);
+  EXPECT_EQ(graph.NegativeNeighbors(2).size(), 1u);
+  EXPECT_EQ(graph.NegativeNeighbors(2)[0], 3u);
+}
+
+TEST(SignedGraphTest, EdgeQueries) {
+  SignedGraph graph = FromText("0 1 1\n1 2 -1\n");
+  EXPECT_TRUE(graph.HasPositiveEdge(0, 1));
+  EXPECT_TRUE(graph.HasPositiveEdge(1, 0));
+  EXPECT_FALSE(graph.HasNegativeEdge(0, 1));
+  EXPECT_TRUE(graph.HasNegativeEdge(2, 1));
+  EXPECT_FALSE(graph.HasPositiveEdge(0, 2));
+  EXPECT_EQ(graph.EdgeSign(0, 1), Sign::kPositive);
+  EXPECT_EQ(graph.EdgeSign(1, 2), Sign::kNegative);
+  EXPECT_EQ(graph.EdgeSign(0, 2), std::nullopt);
+}
+
+TEST(SignedGraphTest, ForEachEdgeVisitsOncePerEdge) {
+  SignedGraph graph = FromText("0 1 1\n1 2 -1\n0 2 1\n2 3 -1\n");
+  int positive = 0;
+  int negative = 0;
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign sign) {
+    EXPECT_LT(u, v);
+    (sign == Sign::kPositive ? positive : negative) += 1;
+  });
+  EXPECT_EQ(positive, 2);
+  EXPECT_EQ(negative, 2);
+}
+
+TEST(SignedGraphTest, BuilderDeduplicatesSameSign) {
+  SignedGraphBuilder builder;
+  builder.AddEdge(0, 1, Sign::kPositive);
+  builder.AddEdge(1, 0, Sign::kPositive);
+  builder.AddEdge(0, 1, Sign::kPositive);
+  SignedGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  EXPECT_EQ(graph.PositiveDegree(0), 1u);
+}
+
+TEST(SignedGraphTest, BuilderConflictPolicyKeepNegative) {
+  SignedGraphBuilder builder;
+  builder.set_sign_conflict_policy(
+      SignedGraphBuilder::SignConflictPolicy::kKeepNegative);
+  builder.AddEdge(0, 1, Sign::kPositive);
+  builder.AddEdge(0, 1, Sign::kNegative);
+  SignedGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  EXPECT_TRUE(graph.HasNegativeEdge(0, 1));
+  EXPECT_FALSE(graph.HasPositiveEdge(0, 1));
+}
+
+TEST(SignedGraphTest, BuilderConflictPolicyDropEdge) {
+  SignedGraphBuilder builder;
+  builder.set_sign_conflict_policy(
+      SignedGraphBuilder::SignConflictPolicy::kDropEdge);
+  builder.AddEdge(0, 1, Sign::kPositive);
+  builder.AddEdge(0, 1, Sign::kNegative);
+  builder.AddEdge(1, 2, Sign::kPositive);
+  SignedGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.NumEdges(), 1u);
+  EXPECT_EQ(graph.EdgeSign(0, 1), std::nullopt);
+}
+
+TEST(SignedGraphTest, BuildValidatedReportsConflict) {
+  SignedGraphBuilder builder;
+  builder.AddEdge(0, 1, Sign::kPositive);
+  builder.AddEdge(0, 1, Sign::kNegative);
+  Result<SignedGraph> result = std::move(builder).BuildValidated();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST(SignedGraphDeathTest, SelfLoopRejected) {
+  SignedGraphBuilder builder;
+  EXPECT_DEATH(builder.AddEdge(3, 3, Sign::kPositive), "self-loop");
+}
+
+TEST(SignedGraphTest, IsolatedVerticesPreserved) {
+  SignedGraphBuilder builder(10);
+  builder.AddEdge(0, 1, Sign::kPositive);
+  SignedGraph graph = std::move(builder).Build();
+  EXPECT_EQ(graph.NumVertices(), 10u);
+  EXPECT_EQ(graph.Degree(9), 0u);
+}
+
+TEST(SignedGraphTest, InducedSubgraphKeepsInternalEdges) {
+  // Path 0 -+ 1 -- 2 +- 3 plus chord (0,2) negative.
+  SignedGraph graph = FromText("0 1 1\n1 2 -1\n2 3 1\n0 2 -1\n");
+  const std::vector<VertexId> selection = {0, 2, 3};
+  SignedGraph::InducedResult induced = graph.InducedSubgraph(selection);
+  EXPECT_EQ(induced.graph.NumVertices(), 3u);
+  EXPECT_EQ(induced.to_original, selection);
+  // Edges kept: (0,2) negative -> new (0,1); (2,3) positive -> new (1,2).
+  EXPECT_EQ(induced.graph.NumEdges(), 2u);
+  EXPECT_TRUE(induced.graph.HasNegativeEdge(0, 1));
+  EXPECT_TRUE(induced.graph.HasPositiveEdge(1, 2));
+  EXPECT_EQ(induced.graph.EdgeSign(0, 2), std::nullopt);
+}
+
+TEST(SignedGraphTest, InducedSubgraphOfNothingIsEmpty) {
+  SignedGraph graph = FromText("0 1 1\n");
+  SignedGraph::InducedResult induced = graph.InducedSubgraph({});
+  EXPECT_EQ(induced.graph.NumVertices(), 0u);
+}
+
+TEST(SignedGraphTest, MemoryBytesScalesWithEdges) {
+  SignedGraph small = testing_util::RandomSignedGraph(100, 200, 0.3, 1);
+  SignedGraph large = testing_util::RandomSignedGraph(100, 2000, 0.3, 1);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace mbc

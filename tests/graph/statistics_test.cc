@@ -1,0 +1,96 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/triangles.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::FromText;
+
+TEST(TriangleCensusTest, ClassifiesAllFourTypes) {
+  // Four disjoint triangles, one of each sign pattern.
+  const SignedGraph graph = FromText(
+      "0 1 1\n1 2 1\n0 2 1\n"      // +++
+      "3 4 1\n4 5 1\n3 5 -1\n"     // ++-
+      "6 7 1\n7 8 -1\n6 8 -1\n"    // +--
+      "9 10 -1\n10 11 -1\n9 11 -1\n");  // ---
+  const SignedTriangleCensus census = CountSignedTriangles(graph);
+  EXPECT_EQ(census.neg0, 1u);
+  EXPECT_EQ(census.neg1, 1u);
+  EXPECT_EQ(census.neg2, 1u);
+  EXPECT_EQ(census.neg3, 1u);
+  EXPECT_EQ(census.total(), 4u);
+  EXPECT_EQ(census.balanced(), 2u);
+  EXPECT_DOUBLE_EQ(census.BalanceIndex(), 0.5);
+}
+
+TEST(TriangleCensusTest, BalancedCliqueIsFullyBalanced) {
+  // The Figure 2 graph's kernel is a balanced 6-clique: every triangle in
+  // a balanced clique is balanced.
+  const SignedGraph graph = testing_util::Figure2Graph();
+  const SignedTriangleCensus census = CountSignedTriangles(graph);
+  EXPECT_GT(census.total(), 0u);
+  EXPECT_EQ(census.neg1, 0u);
+  EXPECT_EQ(census.neg3, 0u);
+  EXPECT_DOUBLE_EQ(census.BalanceIndex(), 1.0);
+}
+
+TEST(TriangleCensusTest, TriangleFreeGraph) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 -1\n2 3 1\n");
+  const SignedTriangleCensus census = CountSignedTriangles(graph);
+  EXPECT_EQ(census.total(), 0u);
+  EXPECT_DOUBLE_EQ(census.BalanceIndex(), 1.0);
+}
+
+TEST(TriangleCensusTest, MatchesPlainTriangleCount) {
+  const SignedGraph graph =
+      testing_util::RandomSignedGraph(60, 400, 0.45, 11);
+  const SignedTriangleCensus census = CountSignedTriangles(graph);
+  EXPECT_EQ(census.total(), CountTriangles(graph));
+}
+
+TEST(DegreeStatsTest, HandExample) {
+  const SignedGraph graph = FromText("0 1 1\n0 2 -1\n0 3 -1\n");
+  SignedGraphBuilder with_isolated(5);
+  graph.ForEachEdge([&](VertexId u, VertexId v, Sign s) {
+    with_isolated.AddEdge(u, v, s);
+  });
+  const SignedGraph g = std::move(with_isolated).Build();
+  const SignedDegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_EQ(stats.max_positive_degree, 1u);
+  EXPECT_EQ(stats.max_negative_degree, 2u);
+  // Vertex 0: min(1+1, 2) = 2 is the best polar key.
+  EXPECT_EQ(stats.max_polar_key, 2u);
+  EXPECT_EQ(stats.isolated, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 6.0 / 5.0);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const SignedDegreeStats stats = ComputeDegreeStats(SignedGraph());
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+TEST(SignDegreeCorrelationTest, BoundedAndStable) {
+  const SignedGraph graph =
+      testing_util::RandomSignedGraph(300, 2000, 0.4, 17);
+  const double r = SignDegreeCorrelation(graph);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  EXPECT_DOUBLE_EQ(r, SignDegreeCorrelation(graph));  // deterministic
+}
+
+TEST(SignDegreeCorrelationTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(SignDegreeCorrelation(SignedGraph()), 0.0);
+  // All edges the same sign -> zero sign variance -> 0.
+  const SignedGraph all_positive = FromText("0 1 1\n1 2 1\n2 3 1\n");
+  EXPECT_DOUBLE_EQ(SignDegreeCorrelation(all_positive), 0.0);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,79 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/graph/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::FromText;
+
+TEST(TrianglesTest, ClassifiesSignPatterns) {
+  // Common neighbors of (0,1): 2 with (+,+), 3 with (-,-), 4 with (+,-),
+  // 5 with (-,+).
+  const SignedGraph graph = FromText(
+      "0 1 1\n"
+      "0 2 1\n1 2 1\n"
+      "0 3 -1\n1 3 -1\n"
+      "0 4 1\n1 4 -1\n"
+      "0 5 -1\n1 5 1\n");
+  const EdgeTriangleCounts counts = CountEdgeTriangles(graph, 0, 1);
+  EXPECT_EQ(counts.pos_pos, 1u);
+  EXPECT_EQ(counts.neg_neg, 1u);
+  EXPECT_EQ(counts.pos_neg, 1u);
+  EXPECT_EQ(counts.neg_pos, 1u);
+}
+
+TEST(TrianglesTest, OrientationMatters) {
+  const SignedGraph graph = FromText("0 1 -1\n0 2 1\n1 2 -1\n");
+  const EdgeTriangleCounts forward = CountEdgeTriangles(graph, 0, 1);
+  EXPECT_EQ(forward.pos_neg, 1u);
+  EXPECT_EQ(forward.neg_pos, 0u);
+  const EdgeTriangleCounts backward = CountEdgeTriangles(graph, 1, 0);
+  EXPECT_EQ(backward.pos_neg, 0u);
+  EXPECT_EQ(backward.neg_pos, 1u);
+}
+
+TEST(TrianglesTest, NoCommonNeighbors) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 1\n");
+  const EdgeTriangleCounts counts = CountEdgeTriangles(graph, 0, 1);
+  EXPECT_EQ(counts.pos_pos + counts.neg_neg + counts.pos_neg + counts.neg_pos,
+            0u);
+}
+
+TEST(TrianglesTest, TotalTriangleCount) {
+  // K4 has 4 triangles.
+  std::string text;
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) {
+      text += std::to_string(u) + " " + std::to_string(v) + " 1\n";
+    }
+  }
+  EXPECT_EQ(CountTriangles(FromText(text)), 4u);
+}
+
+TEST(TrianglesTest, TriangleFreeGraph) {
+  const SignedGraph graph = FromText("0 1 1\n1 2 -1\n2 3 1\n3 0 -1\n");
+  EXPECT_EQ(CountTriangles(graph), 0u);
+}
+
+// Differential check against an O(n^3) reference.
+TEST(TrianglesTest, RandomizedTotalMatchesBruteForce) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(40, 200, 0.4, 3);
+  uint64_t brute = 0;
+  for (VertexId a = 0; a < graph.NumVertices(); ++a) {
+    for (VertexId b = a + 1; b < graph.NumVertices(); ++b) {
+      if (!graph.EdgeSign(a, b).has_value()) continue;
+      for (VertexId c = b + 1; c < graph.NumVertices(); ++c) {
+        brute += graph.EdgeSign(a, c).has_value() &&
+                 graph.EdgeSign(b, c).has_value();
+      }
+    }
+  }
+  EXPECT_EQ(CountTriangles(graph), brute);
+}
+
+}  // namespace
+}  // namespace mbc

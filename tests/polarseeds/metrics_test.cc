@@ -1,0 +1,105 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/polarseeds/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_star.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+PolarizedCommunity AsCommunity(const BalancedClique& clique) {
+  return PolarizedCommunity{clique.left, clique.right};
+}
+
+TEST(PolarityTest, HandComputedExample) {
+  // Balanced (2,2) clique: 2 positive within edges + 4 negative cross.
+  // Polarity = (2 + 2*4) / 4 = 2.5.
+  const SignedGraph graph = testing_util::FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  PolarizedCommunity community{{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(Polarity(graph, community), 2.5);
+}
+
+TEST(PolarityTest, DisagreeingEdgesDoNotCount) {
+  // Negative edge inside group1 and positive cross edge contribute nothing.
+  const SignedGraph graph = testing_util::FromText("0 1 -1\n0 2 1\n");
+  PolarizedCommunity community{{0, 1}, {2}};
+  EXPECT_DOUBLE_EQ(Polarity(graph, community), 0.0);
+}
+
+TEST(PolarityTest, EmptyCommunityIsZero) {
+  EXPECT_DOUBLE_EQ(Polarity(Figure2Graph(), PolarizedCommunity{}), 0.0);
+}
+
+TEST(PolarityTest, GrowsWithBalancedCliqueSize) {
+  // For a balanced clique of size k, Polarity >= (k-1)/2 and the maximum
+  // balanced clique maximizes it among balanced cliques.
+  const SignedGraph graph = Figure2Graph();
+  BalancedClique small;
+  small.left = {0, 1};
+  small.right = {2, 3};
+  const MbcStarResult best = MaxBalancedCliqueStar(graph, 2);
+  EXPECT_GT(Polarity(graph, AsCommunity(best.clique)),
+            Polarity(graph, AsCommunity(small)));
+}
+
+TEST(SbrTest, PerfectIsolatedSplitIsZero) {
+  const SignedGraph graph = testing_util::FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  PolarizedCommunity community{{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(SignedBipartitenessRatio(graph, community), 0.0);
+}
+
+TEST(SbrTest, BadEdgesAndBoundaryPenalized) {
+  // Positive cross edge (bad) + boundary edge to vertex 3.
+  const SignedGraph graph =
+      testing_util::FromText("0 1 1\n0 2 1\n2 3 1\n");
+  PolarizedCommunity community{{0, 1}, {2}};
+  // vol = d(0)+d(1)+d(2) = 2+1+2 = 5; bad = 2*1 (pos cross 0-2) + 1
+  // boundary (2-3) = 3.
+  EXPECT_DOUBLE_EQ(SignedBipartitenessRatio(graph, community), 3.0 / 5.0);
+}
+
+TEST(HamTest, BalancedCliqueScoresOne) {
+  // The paper: "the HAM of balanced cliques is always 1".
+  const SignedGraph graph = Figure2Graph();
+  const MbcStarResult best = MaxBalancedCliqueStar(graph, 2);
+  EXPECT_DOUBLE_EQ(
+      HarmonicCohesionOpposition(graph, AsCommunity(best.clique)), 1.0);
+}
+
+TEST(HamTest, MissingEdgesLowerScore) {
+  // group1 pair not connected -> cohesion 1/2.
+  const SignedGraph graph = testing_util::FromText(
+      "0 1 1\n0 3 -1\n1 3 -1\n2 3 -1\n");
+  PolarizedCommunity community{{0, 1, 2}, {3}};
+  // cohesion = 1/3 (one positive among three within pairs),
+  // opposition = 3/3 = 1. HAM = 2*(1/3)*1 / (4/3) = 0.5.
+  EXPECT_DOUBLE_EQ(HarmonicCohesionOpposition(graph, community), 0.5);
+}
+
+TEST(HamTest, DegenerateShapesScoreZero) {
+  const SignedGraph graph = Figure2Graph();
+  EXPECT_DOUBLE_EQ(
+      HarmonicCohesionOpposition(graph, PolarizedCommunity{{0}, {}}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      HarmonicCohesionOpposition(graph, PolarizedCommunity{{0}, {2}}), 0.0);
+}
+
+TEST(MetricsTest, RandomBalancedCliquesAlwaysHamOne) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(50, 300, 0.45, seed);
+    const MbcStarResult best = MaxBalancedCliqueStar(graph, 2);
+    if (best.clique.empty()) continue;
+    EXPECT_DOUBLE_EQ(
+        HarmonicCohesionOpposition(graph, AsCommunity(best.clique)), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mbc

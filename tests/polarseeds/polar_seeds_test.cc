@@ -1,0 +1,89 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/polarseeds/polar_seeds.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+TEST(PickGoodSeedPairsTest, RespectsDefinition) {
+  const SignedGraph graph = RandomSignedGraph(500, 3000, 0.4, 7);
+  const auto pairs = PickGoodSeedPairs(graph, 20, 2, 99);
+  EXPECT_LE(pairs.size(), 20u);
+  EXPECT_FALSE(pairs.empty());
+  for (const auto& [u, v] : pairs) {
+    EXPECT_TRUE(graph.HasNegativeEdge(u, v));
+    EXPECT_GT(graph.PositiveDegree(u), 2u);
+    EXPECT_GT(graph.PositiveDegree(v), 2u);
+  }
+}
+
+TEST(PickGoodSeedPairsTest, DeterministicGivenSeed) {
+  const SignedGraph graph = RandomSignedGraph(300, 2000, 0.4, 3);
+  EXPECT_EQ(PickGoodSeedPairs(graph, 10, 1, 5),
+            PickGoodSeedPairs(graph, 10, 1, 5));
+}
+
+TEST(PickGoodSeedPairsTest, EmptyWhenNoEligiblePair) {
+  // All-positive graph has no negative edges at all.
+  const SignedGraph graph = testing_util::FromText("0 1 1\n1 2 1\n");
+  EXPECT_TRUE(PickGoodSeedPairs(graph, 10, 0, 1).empty());
+}
+
+TEST(PolarSeedsTest, SeparatesTwoPlantedCamps) {
+  // Two hostile camps: dense positive inside, negative across.
+  CommunityGraphOptions options;
+  options.num_vertices = 200;
+  options.num_edges = 3000;
+  options.num_communities = 2;
+  options.intra_community_bias = 0.7;
+  options.negative_ratio = 0.3;
+  options.powerlaw_alpha = 0.0;
+  options.seed = 17;
+  const SignedGraph graph = GenerateCommunitySignedGraph(options);
+
+  const auto pairs = PickGoodSeedPairs(graph, 5, 1, 11);
+  ASSERT_FALSE(pairs.empty());
+  const PolarizedCommunity community =
+      PolarSeedsCommunity(graph, pairs[0].first, pairs[0].second);
+  ASSERT_FALSE(community.empty());
+  EXPECT_FALSE(community.group1.empty());
+  EXPECT_FALSE(community.group2.empty());
+  // The sweep maximizes Polarity, so it should beat the trivial seed pair.
+  PolarizedCommunity trivial{{pairs[0].first}, {pairs[0].second}};
+  EXPECT_GE(Polarity(graph, community), Polarity(graph, trivial));
+}
+
+TEST(PolarSeedsTest, GroupsAreDisjoint) {
+  const SignedGraph graph = RandomSignedGraph(300, 2500, 0.4, 23);
+  const auto pairs = PickGoodSeedPairs(graph, 3, 1, 2);
+  ASSERT_FALSE(pairs.empty());
+  const PolarizedCommunity community =
+      PolarSeedsCommunity(graph, pairs[0].first, pairs[0].second);
+  std::vector<VertexId> all = community.group1;
+  all.insert(all.end(), community.group2.begin(), community.group2.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(PolarSeedsTest, DeterministicOutput) {
+  const SignedGraph graph = RandomSignedGraph(250, 2000, 0.35, 29);
+  const auto pairs = PickGoodSeedPairs(graph, 1, 1, 4);
+  ASSERT_FALSE(pairs.empty());
+  const PolarizedCommunity a =
+      PolarSeedsCommunity(graph, pairs[0].first, pairs[0].second);
+  const PolarizedCommunity b =
+      PolarSeedsCommunity(graph, pairs[0].first, pairs[0].second);
+  EXPECT_EQ(a.group1, b.group1);
+  EXPECT_EQ(a.group2, b.group2);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,75 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/related/balanced_subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_star.h"
+#include "src/graph/balance.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::FromText;
+using testing_util::RandomSignedGraph;
+
+// The result must always induce a balanced subgraph.
+TEST(BalancedSubgraphTest, ResultIsAlwaysBalanced) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(120, 700, 0.45, seed);
+    const BalancedSubgraphResult result = LargeBalancedSubgraph(graph, seed);
+    const SignedGraph::InducedResult induced =
+        graph.InducedSubgraph(result.vertices);
+    EXPECT_TRUE(CheckGraphBalance(induced.graph).balanced)
+        << "seed=" << seed;
+  }
+}
+
+TEST(BalancedSubgraphTest, KeepsEverythingWhenAlreadyBalanced) {
+  const SignedGraph graph = FromText(
+      "0 1 1\n2 3 1\n0 2 -1\n0 3 -1\n1 2 -1\n1 3 -1\n");
+  const BalancedSubgraphResult result = LargeBalancedSubgraph(graph, 1);
+  EXPECT_EQ(result.vertices.size(), 4u);
+  EXPECT_EQ(result.residual_frustration, 0u);
+}
+
+TEST(BalancedSubgraphTest, SidesCertifyTheSubgraph) {
+  const SignedGraph graph = RandomSignedGraph(100, 600, 0.4, 3);
+  const BalancedSubgraphResult result = LargeBalancedSubgraph(graph, 3);
+  ASSERT_EQ(result.sides.size(), result.vertices.size());
+  // No frustrated edge among the kept vertices under the kept sides.
+  for (size_t i = 0; i < result.vertices.size(); ++i) {
+    for (size_t j = i + 1; j < result.vertices.size(); ++j) {
+      const auto sign =
+          graph.EdgeSign(result.vertices[i], result.vertices[j]);
+      if (!sign.has_value()) continue;
+      const bool same = result.sides[i] == result.sides[j];
+      EXPECT_TRUE(*sign == Sign::kPositive ? same : !same);
+    }
+  }
+}
+
+TEST(BalancedSubgraphTest, ContainsAtLeastTheMaxBalancedCliqueSizeBound) {
+  // A balanced clique is a balanced subgraph, so a decent heuristic on a
+  // graph dominated by a planted balanced clique should keep a large
+  // vertex set (sanity bound: at least 2 vertices on any non-empty graph
+  // with an agreeing edge).
+  const SignedGraph graph = testing_util::Figure2Graph();
+  const BalancedSubgraphResult result = LargeBalancedSubgraph(graph, 5);
+  EXPECT_GE(result.vertices.size(), 2u);
+}
+
+TEST(BalancedSubgraphTest, EmptyGraph) {
+  const BalancedSubgraphResult result = LargeBalancedSubgraph(SignedGraph());
+  EXPECT_TRUE(result.vertices.empty());
+}
+
+TEST(BalancedSubgraphTest, DeterministicGivenSeed) {
+  const SignedGraph graph = RandomSignedGraph(150, 900, 0.4, 11);
+  const BalancedSubgraphResult a = LargeBalancedSubgraph(graph, 42);
+  const BalancedSubgraphResult b = LargeBalancedSubgraph(graph, 42);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,350 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Command-line driver for the library. Examples:
+//
+//   mbc_cli stats    --graph g.txt
+//   mbc_cli mbc      --graph g.txt --tau 3 [--algo star|baseline|adv]
+//   mbc_cli pf       --graph g.txt [--algo star|bs|enum]
+//   mbc_cli gmbc     --graph g.txt
+//   mbc_cli enum     --graph g.txt --tau 2 [--limit 100]
+//   mbc_cli generate --dataset Bitcoin --scale 0.0625 --out g.bin
+//   mbc_cli convert  --graph g.txt --out g.bin
+//
+// Graph files ending in ".bin"/".mbcg" are read/written in the binary
+// format; anything else as a `u v sign` text edge list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/mbc_adv.h"
+#include "src/core/mbc_baseline.h"
+#include "src/core/mbc_enum.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/datasets/registry.h"
+#include "src/gmbc/gmbc.h"
+#include "src/graph/binary_io.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/balance.h"
+#include "src/graph/statistics.h"
+#include "src/pf/pf_bs.h"
+#include "src/pf/pf_e.h"
+#include "src/pf/pf_star.h"
+#include "src/related/balanced_subgraph.h"
+#include "src/related/related_cliques.h"
+
+namespace {
+
+using mbc::Result;
+using mbc::SignedGraph;
+using mbc::Status;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mbc_cli <command> [--flag value]...\n"
+      "commands:\n"
+      "  stats    --graph FILE\n"
+      "  mbc      --graph FILE --tau T [--algo star|baseline|adv]\n"
+      "  pf       --graph FILE [--algo star|bs|enum]\n"
+      "  gmbc     --graph FILE\n"
+      "  enum     --graph FILE --tau T [--limit N]\n"
+      "  generate --dataset NAME --scale S --out FILE\n"
+      "  convert  --graph FILE --out FILE\n"
+      "  balance  --graph FILE\n"
+      "  related  --graph FILE [--alpha A --k K]\n"
+      "  datasets\n");
+  return 2;
+}
+
+// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      } else {
+        ok_ = false;
+      }
+    }
+    if ((argc - 2) % 2 != 0) ok_ = false;
+  }
+
+  bool ok() const { return ok_; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+bool IsBinaryPath(const std::string& path) {
+  return path.ends_with(".bin") || path.ends_with(".mbcg");
+}
+
+Result<SignedGraph> LoadGraph(const std::string& path) {
+  if (IsBinaryPath(path)) return mbc::ReadSignedGraphBinary(path);
+  return mbc::ReadSignedEdgeList(path);
+}
+
+Status SaveGraph(const SignedGraph& graph, const std::string& path) {
+  if (IsBinaryPath(path)) return mbc::WriteSignedGraphBinary(graph, path);
+  return mbc::WriteSignedEdgeList(graph, path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintClique(const mbc::BalancedClique& clique) {
+  std::printf("size=%zu |C_L|=%zu |C_R|=%zu\n", clique.size(),
+              clique.left.size(), clique.right.size());
+  std::printf("C_L:");
+  for (mbc::VertexId v : clique.left) std::printf(" %u", v);
+  std::printf("\nC_R:");
+  for (mbc::VertexId v : clique.right) std::printf(" %u", v);
+  std::printf("\n");
+}
+
+int CmdStats(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const SignedGraph& g = graph.value();
+  std::printf("vertices: %u\nedges: %llu (%llu positive, %llu negative)\n",
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()),
+              static_cast<unsigned long long>(g.NumPositiveEdges()),
+              static_cast<unsigned long long>(g.NumNegativeEdges()));
+  std::printf("negative ratio: %.4f\n", g.NegativeEdgeRatio());
+  const mbc::SignedDegreeStats degrees = mbc::ComputeDegreeStats(g);
+  std::printf("mean degree: %.2f  max degree: %u (d+ %u, d- %u)\n",
+              degrees.mean_degree, degrees.max_degree,
+              degrees.max_positive_degree, degrees.max_negative_degree);
+  std::printf("isolated vertices: %u\n", degrees.isolated);
+  std::printf("beta(G) upper bound (max polar key): %u\n",
+              degrees.max_polar_key);
+  const mbc::SignedTriangleCensus census = mbc::CountSignedTriangles(g);
+  std::printf("triangles: %llu total | +++ %llu, ++- %llu, +-- %llu, "
+              "--- %llu\n",
+              static_cast<unsigned long long>(census.total()),
+              static_cast<unsigned long long>(census.neg0),
+              static_cast<unsigned long long>(census.neg1),
+              static_cast<unsigned long long>(census.neg2),
+              static_cast<unsigned long long>(census.neg3));
+  std::printf("balance index: %.4f\n", census.BalanceIndex());
+  std::printf("sign-degree correlation: %.4f\n",
+              mbc::SignDegreeCorrelation(g));
+  return 0;
+}
+
+int CmdMbc(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const auto tau =
+      static_cast<uint32_t>(std::strtoul(flags.Get("tau", "3").c_str(),
+                                         nullptr, 10));
+  const std::string algo = flags.Get("algo", "star");
+  mbc::Timer timer;
+  mbc::BalancedClique clique;
+  if (algo == "star") {
+    clique = mbc::MaxBalancedCliqueStar(graph.value(), tau).clique;
+  } else if (algo == "baseline") {
+    clique = mbc::MaxBalancedCliqueBaseline(graph.value(), tau).clique;
+  } else if (algo == "adv") {
+    clique = mbc::MaxBalancedCliqueAdv(graph.value(), tau).clique;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+  std::printf("algorithm: %s  tau: %u  time: %.3fs\n", algo.c_str(), tau,
+              timer.ElapsedSeconds());
+  if (clique.empty()) {
+    std::printf("no balanced clique satisfies tau=%u\n", tau);
+    return 0;
+  }
+  PrintClique(clique);
+  std::printf("verified: %s\n",
+              mbc::IsBalancedClique(graph.value(), clique) ? "yes" : "NO");
+  return 0;
+}
+
+int CmdPf(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string algo = flags.Get("algo", "star");
+  mbc::Timer timer;
+  uint32_t beta = 0;
+  if (algo == "star") {
+    const mbc::PfStarResult result =
+        mbc::PolarizationFactorStar(graph.value());
+    beta = result.beta;
+    std::printf("witness: %s\n", result.witness.ToString().c_str());
+  } else if (algo == "bs") {
+    beta = mbc::PolarizationFactorBinarySearch(graph.value()).beta;
+  } else if (algo == "enum") {
+    beta = mbc::PolarizationFactorEnum(graph.value()).beta;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+  std::printf("beta(G) = %u  (%s, %.3fs)\n", beta, algo.c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int CmdGmbc(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const mbc::GeneralizedMbcResult result =
+      mbc::GeneralizedMbcStar(graph.value());
+  std::printf("beta(G) = %u, %zu distinct cliques\n", result.beta,
+              result.NumDistinctCliques());
+  for (uint32_t tau = 0; tau < result.cliques.size(); ++tau) {
+    const mbc::BalancedClique& clique = result.cliques[tau];
+    std::printf("tau=%-3u size=%-5zu (%zu|%zu)\n", tau, clique.size(),
+                clique.left.size(), clique.right.size());
+  }
+  return 0;
+}
+
+int CmdEnum(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const auto tau =
+      static_cast<uint32_t>(std::strtoul(flags.Get("tau", "1").c_str(),
+                                         nullptr, 10));
+  mbc::MbcEnumOptions options;
+  options.max_cliques =
+      std::strtoull(flags.Get("limit", "0").c_str(), nullptr, 10);
+  const mbc::MbcEnumStats stats = mbc::EnumerateMaximalBalancedCliques(
+      graph.value(), tau,
+      [](const mbc::BalancedClique& clique) {
+        std::printf("%s\n", clique.ToString().c_str());
+      },
+      options);
+  std::printf("# %llu maximal balanced clique(s)%s\n",
+              static_cast<unsigned long long>(stats.num_reported),
+              stats.truncated ? " (truncated)" : "");
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  Result<mbc::DatasetSpec> spec =
+      mbc::FindDatasetSpec(flags.Get("dataset", ""));
+  if (!spec.ok()) return Fail(spec.status());
+  const double scale = std::strtod(flags.Get("scale", "0.0625").c_str(),
+                                   nullptr);
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  const SignedGraph graph = mbc::GenerateDataset(spec.value(), scale);
+  const Status status = SaveGraph(graph, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+  return 0;
+}
+
+int CmdConvert(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  const Status status = SaveGraph(graph.value(), out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdBalance(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const mbc::BalanceCheck check = mbc::CheckGraphBalance(graph.value());
+  if (check.balanced) {
+    size_t side1 = 0;
+    for (uint8_t s : check.sides) side1 += s;
+    std::printf("balanced: yes (certifying split %zu | %zu)\n",
+                check.sides.size() - side1, side1);
+  } else {
+    std::printf("balanced: no; violating cycle:");
+    for (mbc::VertexId v : check.violating_cycle) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  const mbc::ConnectedComponents cc =
+      mbc::ComputeConnectedComponents(graph.value());
+  std::printf("connected components: %u (largest %u vertices)\n",
+              cc.num_components,
+              cc.sizes.empty() ? 0 : cc.sizes[cc.LargestComponent()]);
+  return 0;
+}
+
+int CmdRelated(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::vector<mbc::VertexId> trusted =
+      mbc::MaxTrustedClique(graph.value());
+  std::printf("maximum trusted clique: %zu vertices\n", trusted.size());
+  mbc::AlphaKCliqueOptions options;
+  options.alpha = std::strtod(flags.Get("alpha", "1").c_str(), nullptr);
+  options.k = static_cast<uint32_t>(
+      std::strtoul(flags.Get("k", "1").c_str(), nullptr, 10));
+  options.time_limit_seconds = 60.0;
+  const mbc::AlphaKCliqueResult ak =
+      mbc::MaxAlphaKClique(graph.value(), options);
+  std::printf("maximum (%.2f,%u)-clique: %zu vertices%s\n", options.alpha,
+              options.k, ak.clique.size(),
+              ak.timed_out ? " (time limit hit; lower bound)" : "");
+  const mbc::BalancedSubgraphResult subgraph =
+      mbc::LargeBalancedSubgraph(graph.value());
+  std::printf("large balanced subgraph: %zu vertices\n",
+              subgraph.vertices.size());
+  return 0;
+}
+
+int CmdDatasets() {
+  std::printf("%-14s %-10s %12s %14s %8s %6s\n", "name", "category",
+              "paper |V|", "paper |E|", "|C*|t3", "beta");
+  for (const mbc::DatasetSpec& spec : mbc::AllDatasetSpecs()) {
+    std::printf("%-14s %-10s %12u %14llu %8u %6u\n", spec.name.c_str(),
+                spec.category.c_str(), spec.paper_vertices,
+                static_cast<unsigned long long>(spec.paper_edges),
+                spec.paper_cstar_tau3, spec.paper_beta);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv);
+  if (!flags.ok()) return Usage();
+
+  if (command == "stats") return CmdStats(flags);
+  if (command == "mbc") return CmdMbc(flags);
+  if (command == "pf") return CmdPf(flags);
+  if (command == "gmbc") return CmdGmbc(flags);
+  if (command == "enum") return CmdEnum(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "balance") return CmdBalance(flags);
+  if (command == "related") return CmdRelated(flags);
+  if (command == "datasets") return CmdDatasets();
+  return Usage();
+}
