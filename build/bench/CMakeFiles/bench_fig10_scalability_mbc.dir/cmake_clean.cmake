@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_scalability_mbc.dir/bench_fig10_scalability_mbc.cc.o"
+  "CMakeFiles/bench_fig10_scalability_mbc.dir/bench_fig10_scalability_mbc.cc.o.d"
+  "bench_fig10_scalability_mbc"
+  "bench_fig10_scalability_mbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_scalability_mbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

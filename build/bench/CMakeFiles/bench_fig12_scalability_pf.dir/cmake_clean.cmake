@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scalability_pf.dir/bench_fig12_scalability_pf.cc.o"
+  "CMakeFiles/bench_fig12_scalability_pf.dir/bench_fig12_scalability_pf.cc.o.d"
+  "bench_fig12_scalability_pf"
+  "bench_fig12_scalability_pf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scalability_pf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_polarity.dir/bench_fig5_polarity.cc.o"
+  "CMakeFiles/bench_fig5_polarity.dir/bench_fig5_polarity.cc.o.d"
+  "bench_fig5_polarity"
+  "bench_fig5_polarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_polarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

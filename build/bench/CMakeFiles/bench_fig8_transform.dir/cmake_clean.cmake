@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_transform.dir/bench_fig8_transform.cc.o"
+  "CMakeFiles/bench_fig8_transform.dir/bench_fig8_transform.cc.o.d"
+  "bench_fig8_transform"
+  "bench_fig8_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

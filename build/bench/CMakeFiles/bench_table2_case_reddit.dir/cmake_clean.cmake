@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_case_reddit.dir/bench_table2_case_reddit.cc.o"
+  "CMakeFiles/bench_table2_case_reddit.dir/bench_table2_case_reddit.cc.o.d"
+  "bench_table2_case_reddit"
+  "bench_table2_case_reddit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_case_reddit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

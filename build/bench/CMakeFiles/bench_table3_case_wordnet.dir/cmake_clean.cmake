@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_case_wordnet.dir/bench_table3_case_wordnet.cc.o"
+  "CMakeFiles/bench_table3_case_wordnet.dir/bench_table3_case_wordnet.cc.o.d"
+  "bench_table3_case_wordnet"
+  "bench_table3_case_wordnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_case_wordnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

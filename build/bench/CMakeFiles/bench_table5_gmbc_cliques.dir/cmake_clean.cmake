@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gmbc_cliques.dir/bench_table5_gmbc_cliques.cc.o"
+  "CMakeFiles/bench_table5_gmbc_cliques.dir/bench_table5_gmbc_cliques.cc.o.d"
+  "bench_table5_gmbc_cliques"
+  "bench_table5_gmbc_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gmbc_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_gmbc_cliques.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_discovery.dir/conflict_discovery.cpp.o"
+  "CMakeFiles/conflict_discovery.dir/conflict_discovery.cpp.o.d"
+  "conflict_discovery"
+  "conflict_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

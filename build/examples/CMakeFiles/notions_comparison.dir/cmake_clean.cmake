@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notions_comparison.dir/notions_comparison.cpp.o"
+  "CMakeFiles/notions_comparison.dir/notions_comparison.cpp.o.d"
+  "notions_comparison"
+  "notions_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notions_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarization_explorer.dir/polarization_explorer.cpp.o"
+  "CMakeFiles/polarization_explorer.dir/polarization_explorer.cpp.o.d"
+  "polarization_explorer"
+  "polarization_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarization_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonym_antonym.dir/synonym_antonym.cpp.o"
+  "CMakeFiles/synonym_antonym.dir/synonym_antonym.cpp.o.d"
+  "synonym_antonym"
+  "synonym_antonym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonym_antonym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/experiment.cc" "src/CMakeFiles/mbc.dir/benchlib/experiment.cc.o" "gcc" "src/CMakeFiles/mbc.dir/benchlib/experiment.cc.o.d"
+  "/root/repo/src/benchlib/table.cc" "src/CMakeFiles/mbc.dir/benchlib/table.cc.o" "gcc" "src/CMakeFiles/mbc.dir/benchlib/table.cc.o.d"
+  "/root/repo/src/common/bitset.cc" "src/CMakeFiles/mbc.dir/common/bitset.cc.o" "gcc" "src/CMakeFiles/mbc.dir/common/bitset.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/mbc.dir/common/env.cc.o" "gcc" "src/CMakeFiles/mbc.dir/common/env.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mbc.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mbc.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/memory.cc" "src/CMakeFiles/mbc.dir/common/memory.cc.o" "gcc" "src/CMakeFiles/mbc.dir/common/memory.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mbc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mbc.dir/common/status.cc.o.d"
+  "/root/repo/src/core/balanced_clique.cc" "src/CMakeFiles/mbc.dir/core/balanced_clique.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/balanced_clique.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/mbc.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/mbc_adv.cc" "src/CMakeFiles/mbc.dir/core/mbc_adv.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_adv.cc.o.d"
+  "/root/repo/src/core/mbc_baseline.cc" "src/CMakeFiles/mbc.dir/core/mbc_baseline.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_baseline.cc.o.d"
+  "/root/repo/src/core/mbc_enum.cc" "src/CMakeFiles/mbc.dir/core/mbc_enum.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_enum.cc.o.d"
+  "/root/repo/src/core/mbc_heu.cc" "src/CMakeFiles/mbc.dir/core/mbc_heu.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_heu.cc.o.d"
+  "/root/repo/src/core/mbc_parallel.cc" "src/CMakeFiles/mbc.dir/core/mbc_parallel.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_parallel.cc.o.d"
+  "/root/repo/src/core/mbc_star.cc" "src/CMakeFiles/mbc.dir/core/mbc_star.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mbc_star.cc.o.d"
+  "/root/repo/src/core/mdc_solver.cc" "src/CMakeFiles/mbc.dir/core/mdc_solver.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/mdc_solver.cc.o.d"
+  "/root/repo/src/core/reductions.cc" "src/CMakeFiles/mbc.dir/core/reductions.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/reductions.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/mbc.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/mbc.dir/core/verify.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/mbc.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/mbc.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/rating_converter.cc" "src/CMakeFiles/mbc.dir/datasets/rating_converter.cc.o" "gcc" "src/CMakeFiles/mbc.dir/datasets/rating_converter.cc.o.d"
+  "/root/repo/src/datasets/registry.cc" "src/CMakeFiles/mbc.dir/datasets/registry.cc.o" "gcc" "src/CMakeFiles/mbc.dir/datasets/registry.cc.o.d"
+  "/root/repo/src/dichromatic/dichromatic_graph.cc" "src/CMakeFiles/mbc.dir/dichromatic/dichromatic_graph.cc.o" "gcc" "src/CMakeFiles/mbc.dir/dichromatic/dichromatic_graph.cc.o.d"
+  "/root/repo/src/dichromatic/network_builder.cc" "src/CMakeFiles/mbc.dir/dichromatic/network_builder.cc.o" "gcc" "src/CMakeFiles/mbc.dir/dichromatic/network_builder.cc.o.d"
+  "/root/repo/src/dichromatic/reductions.cc" "src/CMakeFiles/mbc.dir/dichromatic/reductions.cc.o" "gcc" "src/CMakeFiles/mbc.dir/dichromatic/reductions.cc.o.d"
+  "/root/repo/src/dichromatic/signed_ego.cc" "src/CMakeFiles/mbc.dir/dichromatic/signed_ego.cc.o" "gcc" "src/CMakeFiles/mbc.dir/dichromatic/signed_ego.cc.o.d"
+  "/root/repo/src/gmbc/gmbc.cc" "src/CMakeFiles/mbc.dir/gmbc/gmbc.cc.o" "gcc" "src/CMakeFiles/mbc.dir/gmbc/gmbc.cc.o.d"
+  "/root/repo/src/graph/balance.cc" "src/CMakeFiles/mbc.dir/graph/balance.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/balance.cc.o.d"
+  "/root/repo/src/graph/binary_io.cc" "src/CMakeFiles/mbc.dir/graph/binary_io.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/binary_io.cc.o.d"
+  "/root/repo/src/graph/coloring.cc" "src/CMakeFiles/mbc.dir/graph/coloring.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/coloring.cc.o.d"
+  "/root/repo/src/graph/cores.cc" "src/CMakeFiles/mbc.dir/graph/cores.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/cores.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/mbc.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/mbc.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/mbc.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/sampling.cc.o.d"
+  "/root/repo/src/graph/signed_graph.cc" "src/CMakeFiles/mbc.dir/graph/signed_graph.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/signed_graph.cc.o.d"
+  "/root/repo/src/graph/signed_graph_builder.cc" "src/CMakeFiles/mbc.dir/graph/signed_graph_builder.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/signed_graph_builder.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/CMakeFiles/mbc.dir/graph/statistics.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/statistics.cc.o.d"
+  "/root/repo/src/graph/triangles.cc" "src/CMakeFiles/mbc.dir/graph/triangles.cc.o" "gcc" "src/CMakeFiles/mbc.dir/graph/triangles.cc.o.d"
+  "/root/repo/src/pf/dcc_solver.cc" "src/CMakeFiles/mbc.dir/pf/dcc_solver.cc.o" "gcc" "src/CMakeFiles/mbc.dir/pf/dcc_solver.cc.o.d"
+  "/root/repo/src/pf/pdecompose.cc" "src/CMakeFiles/mbc.dir/pf/pdecompose.cc.o" "gcc" "src/CMakeFiles/mbc.dir/pf/pdecompose.cc.o.d"
+  "/root/repo/src/pf/pf_bs.cc" "src/CMakeFiles/mbc.dir/pf/pf_bs.cc.o" "gcc" "src/CMakeFiles/mbc.dir/pf/pf_bs.cc.o.d"
+  "/root/repo/src/pf/pf_e.cc" "src/CMakeFiles/mbc.dir/pf/pf_e.cc.o" "gcc" "src/CMakeFiles/mbc.dir/pf/pf_e.cc.o.d"
+  "/root/repo/src/pf/pf_star.cc" "src/CMakeFiles/mbc.dir/pf/pf_star.cc.o" "gcc" "src/CMakeFiles/mbc.dir/pf/pf_star.cc.o.d"
+  "/root/repo/src/polarseeds/metrics.cc" "src/CMakeFiles/mbc.dir/polarseeds/metrics.cc.o" "gcc" "src/CMakeFiles/mbc.dir/polarseeds/metrics.cc.o.d"
+  "/root/repo/src/polarseeds/polar_seeds.cc" "src/CMakeFiles/mbc.dir/polarseeds/polar_seeds.cc.o" "gcc" "src/CMakeFiles/mbc.dir/polarseeds/polar_seeds.cc.o.d"
+  "/root/repo/src/related/balanced_subgraph.cc" "src/CMakeFiles/mbc.dir/related/balanced_subgraph.cc.o" "gcc" "src/CMakeFiles/mbc.dir/related/balanced_subgraph.cc.o.d"
+  "/root/repo/src/related/related_cliques.cc" "src/CMakeFiles/mbc.dir/related/related_cliques.cc.o" "gcc" "src/CMakeFiles/mbc.dir/related/related_cliques.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

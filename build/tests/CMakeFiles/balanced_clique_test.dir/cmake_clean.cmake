@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_clique_test.dir/core/balanced_clique_test.cc.o"
+  "CMakeFiles/balanced_clique_test.dir/core/balanced_clique_test.cc.o.d"
+  "balanced_clique_test"
+  "balanced_clique_test.pdb"
+  "balanced_clique_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_clique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

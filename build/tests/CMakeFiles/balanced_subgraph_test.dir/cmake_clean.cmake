@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balanced_subgraph_test.dir/related/balanced_subgraph_test.cc.o"
+  "CMakeFiles/balanced_subgraph_test.dir/related/balanced_subgraph_test.cc.o.d"
+  "balanced_subgraph_test"
+  "balanced_subgraph_test.pdb"
+  "balanced_subgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balanced_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

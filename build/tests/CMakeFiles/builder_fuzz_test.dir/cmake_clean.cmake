@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_fuzz_test.dir/graph/builder_fuzz_test.cc.o"
+  "CMakeFiles/builder_fuzz_test.dir/graph/builder_fuzz_test.cc.o.d"
+  "builder_fuzz_test"
+  "builder_fuzz_test.pdb"
+  "builder_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

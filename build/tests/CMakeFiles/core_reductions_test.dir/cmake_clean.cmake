@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reductions_test.dir/core/core_reductions_test.cc.o"
+  "CMakeFiles/core_reductions_test.dir/core/core_reductions_test.cc.o.d"
+  "core_reductions_test"
+  "core_reductions_test.pdb"
+  "core_reductions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cores_test.dir/graph/cores_test.cc.o"
+  "CMakeFiles/cores_test.dir/graph/cores_test.cc.o.d"
+  "cores_test"
+  "cores_test.pdb"
+  "cores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_algorithm_test.dir/core/cross_algorithm_test.cc.o"
+  "CMakeFiles/cross_algorithm_test.dir/core/cross_algorithm_test.cc.o.d"
+  "cross_algorithm_test"
+  "cross_algorithm_test.pdb"
+  "cross_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

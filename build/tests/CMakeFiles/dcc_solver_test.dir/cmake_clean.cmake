@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcc_solver_test.dir/pf/dcc_solver_test.cc.o"
+  "CMakeFiles/dcc_solver_test.dir/pf/dcc_solver_test.cc.o.d"
+  "dcc_solver_test"
+  "dcc_solver_test.pdb"
+  "dcc_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcc_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichromatic_graph_test.dir/dichromatic/dichromatic_graph_test.cc.o"
+  "CMakeFiles/dichromatic_graph_test.dir/dichromatic/dichromatic_graph_test.cc.o.d"
+  "dichromatic_graph_test"
+  "dichromatic_graph_test.pdb"
+  "dichromatic_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichromatic_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

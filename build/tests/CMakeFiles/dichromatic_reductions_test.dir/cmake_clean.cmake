@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichromatic_reductions_test.dir/dichromatic/dichromatic_reductions_test.cc.o"
+  "CMakeFiles/dichromatic_reductions_test.dir/dichromatic/dichromatic_reductions_test.cc.o.d"
+  "dichromatic_reductions_test"
+  "dichromatic_reductions_test.pdb"
+  "dichromatic_reductions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichromatic_reductions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

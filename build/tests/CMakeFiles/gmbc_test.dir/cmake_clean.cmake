@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmbc_test.dir/gmbc/gmbc_test.cc.o"
+  "CMakeFiles/gmbc_test.dir/gmbc/gmbc_test.cc.o.d"
+  "gmbc_test"
+  "gmbc_test.pdb"
+  "gmbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

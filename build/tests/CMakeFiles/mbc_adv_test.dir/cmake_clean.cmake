@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_adv_test.dir/core/mbc_adv_test.cc.o"
+  "CMakeFiles/mbc_adv_test.dir/core/mbc_adv_test.cc.o.d"
+  "mbc_adv_test"
+  "mbc_adv_test.pdb"
+  "mbc_adv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_adv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

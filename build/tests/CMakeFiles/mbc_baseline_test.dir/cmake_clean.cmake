@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_baseline_test.dir/core/mbc_baseline_test.cc.o"
+  "CMakeFiles/mbc_baseline_test.dir/core/mbc_baseline_test.cc.o.d"
+  "mbc_baseline_test"
+  "mbc_baseline_test.pdb"
+  "mbc_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

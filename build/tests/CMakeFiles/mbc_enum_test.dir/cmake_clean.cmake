@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_enum_test.dir/core/mbc_enum_test.cc.o"
+  "CMakeFiles/mbc_enum_test.dir/core/mbc_enum_test.cc.o.d"
+  "mbc_enum_test"
+  "mbc_enum_test.pdb"
+  "mbc_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

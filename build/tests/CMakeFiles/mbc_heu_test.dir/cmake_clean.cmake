@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_heu_test.dir/core/mbc_heu_test.cc.o"
+  "CMakeFiles/mbc_heu_test.dir/core/mbc_heu_test.cc.o.d"
+  "mbc_heu_test"
+  "mbc_heu_test.pdb"
+  "mbc_heu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_heu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_parallel_test.dir/core/mbc_parallel_test.cc.o"
+  "CMakeFiles/mbc_parallel_test.dir/core/mbc_parallel_test.cc.o.d"
+  "mbc_parallel_test"
+  "mbc_parallel_test.pdb"
+  "mbc_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

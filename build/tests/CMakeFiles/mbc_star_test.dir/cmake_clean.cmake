@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_star_test.dir/core/mbc_star_test.cc.o"
+  "CMakeFiles/mbc_star_test.dir/core/mbc_star_test.cc.o.d"
+  "mbc_star_test"
+  "mbc_star_test.pdb"
+  "mbc_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_solver_test.dir/core/mdc_solver_test.cc.o"
+  "CMakeFiles/mdc_solver_test.dir/core/mdc_solver_test.cc.o.d"
+  "mdc_solver_test"
+  "mdc_solver_test.pdb"
+  "mdc_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_builder_test.dir/dichromatic/network_builder_test.cc.o"
+  "CMakeFiles/network_builder_test.dir/dichromatic/network_builder_test.cc.o.d"
+  "network_builder_test"
+  "network_builder_test.pdb"
+  "network_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

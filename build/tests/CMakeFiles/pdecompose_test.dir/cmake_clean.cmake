@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdecompose_test.dir/pf/pdecompose_test.cc.o"
+  "CMakeFiles/pdecompose_test.dir/pf/pdecompose_test.cc.o.d"
+  "pdecompose_test"
+  "pdecompose_test.pdb"
+  "pdecompose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdecompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polar_seeds_test.dir/polarseeds/polar_seeds_test.cc.o"
+  "CMakeFiles/polar_seeds_test.dir/polarseeds/polar_seeds_test.cc.o.d"
+  "polar_seeds_test"
+  "polar_seeds_test.pdb"
+  "polar_seeds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polar_seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rating_converter_test.dir/datasets/rating_converter_test.cc.o"
+  "CMakeFiles/rating_converter_test.dir/datasets/rating_converter_test.cc.o.d"
+  "rating_converter_test"
+  "rating_converter_test.pdb"
+  "rating_converter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rating_converter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

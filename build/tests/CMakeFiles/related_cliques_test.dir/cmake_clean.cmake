@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_cliques_test.dir/related/related_cliques_test.cc.o"
+  "CMakeFiles/related_cliques_test.dir/related/related_cliques_test.cc.o.d"
+  "related_cliques_test"
+  "related_cliques_test.pdb"
+  "related_cliques_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_cliques_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_graph_test.dir/graph/signed_graph_test.cc.o"
+  "CMakeFiles/signed_graph_test.dir/graph/signed_graph_test.cc.o.d"
+  "signed_graph_test"
+  "signed_graph_test.pdb"
+  "signed_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

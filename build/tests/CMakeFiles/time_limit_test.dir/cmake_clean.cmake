@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_limit_test.dir/core/time_limit_test.cc.o"
+  "CMakeFiles/time_limit_test.dir/core/time_limit_test.cc.o.d"
+  "time_limit_test"
+  "time_limit_test.pdb"
+  "time_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbc_cli.dir/mbc_cli.cc.o"
+  "CMakeFiles/mbc_cli.dir/mbc_cli.cc.o.d"
+  "mbc_cli"
+  "mbc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
