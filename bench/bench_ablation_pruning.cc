@@ -54,8 +54,8 @@ int main() {
       mbc::Timer timer;
       const mbc::MbcStarResult result =
           mbc::MaxBalancedCliqueStar(dataset.graph, 3, variant.options);
-      row.push_back((result.stats.timed_out ? ">" : "") +
-                    TablePrinter::FormatSeconds(timer.ElapsedSeconds()));
+      row.push_back(TablePrinter::MarkIf(result.stats.timed_out, '>',
+                    TablePrinter::FormatSeconds(timer.ElapsedSeconds())));
       if (variant.options.use_coloring_bound &&
           variant.options.use_core_pruning &&
           variant.options.run_heuristic) {

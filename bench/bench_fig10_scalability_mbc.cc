@@ -58,12 +58,12 @@ int main() {
       table.AddRow({dataset.spec.name, std::to_string(percent) + "%",
                     TablePrinter::FormatCount(sample.NumVertices()),
                     TablePrinter::FormatCount(sample.NumEdges()),
-                    (baseline.timed_out ? ">" : "") +
-                        TablePrinter::FormatSeconds(baseline_seconds),
-                    (adv.timed_out ? ">" : "") +
-                        TablePrinter::FormatSeconds(adv_seconds),
-                    (star.stats.timed_out ? ">" : "") +
-                        TablePrinter::FormatSeconds(star_seconds)});
+                    TablePrinter::MarkIf(baseline.timed_out, '>',
+                        TablePrinter::FormatSeconds(baseline_seconds)),
+                    TablePrinter::MarkIf(adv.timed_out, '>',
+                        TablePrinter::FormatSeconds(adv_seconds)),
+                    TablePrinter::MarkIf(star.stats.timed_out, '>',
+                        TablePrinter::FormatSeconds(star_seconds))});
     }
   }
   std::printf("\n");

@@ -35,12 +35,17 @@ int main() {
   for (const mbc::ExperimentDataset& dataset :
        mbc::LoadExperimentDatasets()) {
     const uint64_t before = mbc::PeakRssBytes();
+    // Each run gets a fresh governor: the deadline is absolute, and an
+    // optional MBC_MEMORY_LIMIT_MB budget bounds this memory experiment
+    // itself on constrained machines.
+    mbc::ExecutionContext star_exec;
     mbc::MbcStarOptions star_options;
-    star_options.time_limit_seconds = limit;
+    star_options.exec = mbc::ConfigureRunContext(&star_exec, limit);
     (void)mbc::MaxBalancedCliqueStar(dataset.graph, 3, star_options);
     const uint64_t after_star = mbc::PeakRssBytes();
+    mbc::ExecutionContext pf_exec;
     mbc::PfStarOptions pf_options;
-    pf_options.time_limit_seconds = limit;
+    pf_options.exec = mbc::ConfigureRunContext(&pf_exec, limit);
     (void)mbc::PolarizationFactorStar(dataset.graph, pf_options);
     const uint64_t after_pf = mbc::PeakRssBytes();
 

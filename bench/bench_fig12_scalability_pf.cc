@@ -52,11 +52,11 @@ int main() {
 
       table.AddRow({dataset.spec.name, std::to_string(percent) + "%",
                     TablePrinter::FormatCount(sample.NumVertices()),
-                    (pfe.timed_out ? ">" : "") +
-                        TablePrinter::FormatSeconds(pfe_seconds),
+                    TablePrinter::MarkIf(pfe.timed_out, '>',
+                        TablePrinter::FormatSeconds(pfe_seconds)),
                     TablePrinter::FormatSeconds(pfbs_seconds),
-                    (star.stats.timed_out ? ">" : "") +
-                        TablePrinter::FormatSeconds(star_seconds),
+                    TablePrinter::MarkIf(star.stats.timed_out, '>',
+                        TablePrinter::FormatSeconds(star_seconds)),
                     std::to_string(star.beta)});
     }
   }

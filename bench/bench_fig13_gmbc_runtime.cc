@@ -39,10 +39,10 @@ int main() {
       return 1;
     }
     table.AddRow({dataset.spec.name,
-                  (plain.timed_out ? ">" : "") +
-                      TablePrinter::FormatSeconds(plain_seconds),
-                  (star.timed_out ? ">" : "") +
-                      TablePrinter::FormatSeconds(star_seconds),
+                  TablePrinter::MarkIf(plain.timed_out, '>',
+                      TablePrinter::FormatSeconds(plain_seconds)),
+                  TablePrinter::MarkIf(star.timed_out, '>',
+                      TablePrinter::FormatSeconds(star_seconds)),
                   TablePrinter::FormatDouble(
                       star_seconds > 0 ? plain_seconds / star_seconds : 0.0,
                       1) +

@@ -16,10 +16,9 @@
 namespace {
 
 std::string TimeOrLimit(double seconds, bool timed_out) {
-  if (timed_out) {
-    return ">" + mbc::TablePrinter::FormatSeconds(seconds);
-  }
-  return mbc::TablePrinter::FormatSeconds(seconds);
+  std::string formatted = mbc::TablePrinter::FormatSeconds(seconds);
+  if (timed_out) formatted.insert(0, 1, '>');
+  return formatted;
 }
 
 }  // namespace

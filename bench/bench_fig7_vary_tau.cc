@@ -44,15 +44,16 @@ int main() {
           mbc::MaxBalancedCliqueStar(dataset.graph, tau, star_options);
       const double star_seconds = timer.ElapsedSeconds();
 
+      std::string baseline_cell =
+          TablePrinter::FormatSeconds(baseline_seconds);
+      if (baseline.timed_out) baseline_cell.insert(0, 1, '>');
+      std::string speedup_cell = TablePrinter::FormatDouble(
+          star_seconds > 0 ? baseline_seconds / star_seconds : 0.0, 0);
+      speedup_cell += 'x';
+      if (baseline.timed_out) speedup_cell += '+';
       table.AddRow(
-          {dataset.spec.name, std::to_string(tau),
-           (baseline.timed_out ? ">" : "") +
-               TablePrinter::FormatSeconds(baseline_seconds),
-           TablePrinter::FormatSeconds(star_seconds),
-           TablePrinter::FormatDouble(
-               star_seconds > 0 ? baseline_seconds / star_seconds : 0.0,
-               0) +
-               "x" + (baseline.timed_out ? "+" : ""),
+          {dataset.spec.name, std::to_string(tau), baseline_cell,
+           TablePrinter::FormatSeconds(star_seconds), speedup_cell,
            std::to_string(star.clique.size())});
     }
   }

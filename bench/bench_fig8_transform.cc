@@ -57,13 +57,13 @@ int main() {
 
     table.AddRow(
         {dataset.spec.name,
-         (adv.timed_out ? ">" : "") +
-             TablePrinter::FormatSeconds(adv_seconds),
+         TablePrinter::MarkIf(adv.timed_out, '>',
+             TablePrinter::FormatSeconds(adv_seconds)),
          TablePrinter::FormatSeconds(star_seconds),
-         (adv_noseed.timed_out ? ">" : "") +
-             TablePrinter::FormatSeconds(adv_noseed_seconds),
-         (star_noseed.stats.timed_out ? ">" : "") +
-             TablePrinter::FormatSeconds(star_noseed_seconds),
+         TablePrinter::MarkIf(adv_noseed.timed_out, '>',
+             TablePrinter::FormatSeconds(adv_noseed_seconds)),
+         TablePrinter::MarkIf(star_noseed.stats.timed_out, '>',
+             TablePrinter::FormatSeconds(star_noseed_seconds)),
          TablePrinter::FormatDouble(
              star_noseed_seconds > 0
                  ? adv_noseed_seconds / star_noseed_seconds

@@ -58,13 +58,13 @@ int main() {
       return 1;
     }
     table.AddRow({dataset.spec.name,
-                  (pfe.timed_out ? ">" : "") +
-                      TablePrinter::FormatSeconds(pfe_seconds),
+                  TablePrinter::MarkIf(pfe.timed_out, '>',
+                      TablePrinter::FormatSeconds(pfe_seconds)),
                   TablePrinter::FormatSeconds(pfbs_seconds),
-                  (dorder.stats.timed_out ? ">" : "") +
-                      TablePrinter::FormatSeconds(dorder_seconds),
-                  (star.stats.timed_out ? ">" : "") +
-                      TablePrinter::FormatSeconds(star_seconds),
+                  TablePrinter::MarkIf(dorder.stats.timed_out, '>',
+                      TablePrinter::FormatSeconds(dorder_seconds)),
+                  TablePrinter::MarkIf(star.stats.timed_out, '>',
+                      TablePrinter::FormatSeconds(star_seconds)),
                   std::to_string(star.beta)});
   }
   std::printf("\n");

@@ -41,8 +41,8 @@ int main() {
 
     std::vector<std::string> row{
         dataset.spec.name,
-        (sequential.stats.timed_out ? ">" : "") +
-            TablePrinter::FormatSeconds(seq_seconds)};
+        TablePrinter::MarkIf(sequential.stats.timed_out, '>',
+            TablePrinter::FormatSeconds(seq_seconds))};
     double t8_seconds = seq_seconds;
     bool consistent = true;
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {

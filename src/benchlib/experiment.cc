@@ -91,6 +91,19 @@ double BaselineTimeLimitSeconds() {
   return GetEnvDouble("MBC_TIME_LIMIT", 5.0);
 }
 
+ExecutionContext* ConfigureRunContext(ExecutionContext* exec,
+                                      double time_limit_seconds) {
+  if (time_limit_seconds > 0) {
+    exec->set_deadline(Deadline::After(time_limit_seconds));
+  }
+  const double limit_mib = GetEnvDouble("MBC_MEMORY_LIMIT_MB", 0.0);
+  if (limit_mib > 0) {
+    exec->set_memory_budget(MemoryBudget::Limit(
+        static_cast<uint64_t>(limit_mib * 1024.0 * 1024.0)));
+  }
+  return exec;
+}
+
 void PrintExperimentHeader(const std::string& title,
                            const std::string& paper_artifact) {
   std::printf("==================================================\n");

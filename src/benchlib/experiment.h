@@ -7,12 +7,15 @@
 //   MBC_DATASETS     comma-separated dataset-name filter (default: all)
 //   MBC_TIME_LIMIT   per-run budget in seconds for exponential baselines
 //                    (default 5; the paper instead waited hours)
+//   MBC_MEMORY_LIMIT_MB  optional memory budget applied by
+//                    ConfigureRunContext (unset = unlimited)
 #ifndef MBC_BENCHLIB_EXPERIMENT_H_
 #define MBC_BENCHLIB_EXPERIMENT_H_
 
 #include <string>
 #include <vector>
 
+#include "src/common/execution.h"
 #include "src/datasets/registry.h"
 #include "src/graph/signed_graph.h"
 
@@ -29,6 +32,13 @@ std::vector<ExperimentDataset> LoadExperimentDatasets();
 
 /// Per-run time budget for exponential baselines (MBC, PF-E).
 double BaselineTimeLimitSeconds();
+
+/// Configures `exec` from the environment: a deadline of
+/// `time_limit_seconds` (pass e.g. BaselineTimeLimitSeconds(); <= 0 means
+/// no deadline) and a memory budget of MBC_MEMORY_LIMIT_MB megabytes when
+/// that variable is set. Returns `exec` for one-line call sites.
+ExecutionContext* ConfigureRunContext(ExecutionContext* exec,
+                                      double time_limit_seconds);
 
 /// Prints the standard experiment banner (title + scale + substitutions
 /// note).

@@ -85,4 +85,9 @@ std::string TablePrinter::FormatPercent(double fraction) {
   return buffer;
 }
 
+std::string TablePrinter::MarkIf(bool mark, char marker, std::string cell) {
+  if (mark) cell.insert(0, 1, marker);
+  return cell;
+}
+
 }  // namespace mbc

@@ -29,6 +29,9 @@ class TablePrinter {
   static std::string FormatDouble(double value, int precision = 2);
   /// "x%" with no decimals, or "-" for negative sentinels.
   static std::string FormatPercent(double fraction);
+  /// `cell` prefixed with `marker` when `mark` is set — the ">1.2s"
+  /// timeout convention of the experiment tables.
+  static std::string MarkIf(bool mark, char marker, std::string cell);
 
  private:
   std::vector<std::string> headers_;

@@ -1,0 +1,173 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/execution.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "src/common/env.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace mbc {
+namespace {
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kDefaultFaultSeed = 0x5eedULL;
+
+// Probability scaled to 2^64; UINT64_MAX means "always trip".
+uint64_t FaultThreshold(double probability) {
+  if (probability <= 0.0) return 0;
+  if (probability >= 1.0) return UINT64_MAX;
+  const double scaled = std::ldexp(probability, 64);
+  if (scaled >= std::ldexp(1.0, 64)) return UINT64_MAX;
+  return static_cast<uint64_t>(scaled);
+}
+
+struct FaultSpec {
+  double probability = 0.0;
+  uint64_t seed = kDefaultFaultSeed;
+};
+
+// MBC_FAULT_INJECT="<probability>[,<seed>]", parsed once per process.
+const FaultSpec& EnvFaultSpec() {
+  static const FaultSpec spec = [] {
+    FaultSpec parsed;
+    const std::string raw = GetEnvString("MBC_FAULT_INJECT", "");
+    if (raw.empty()) return parsed;
+    char* end = nullptr;
+    const double p = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || !(p > 0.0)) {
+      MBC_LOG(Warning) << "ignoring malformed MBC_FAULT_INJECT=\"" << raw
+                       << "\" (want \"<probability>[,<seed>]\")";
+      return parsed;
+    }
+    parsed.probability = p;
+    if (*end == ',') {
+      parsed.seed = std::strtoull(end + 1, nullptr, 0);
+    }
+    return parsed;
+  }();
+  return spec;
+}
+
+}  // namespace
+
+const char* InterruptReasonName(InterruptReason reason) {
+  switch (reason) {
+    case InterruptReason::kNone:
+      return "none";
+    case InterruptReason::kDeadline:
+      return "deadline";
+    case InterruptReason::kCancelled:
+      return "cancelled";
+    case InterruptReason::kMemoryBudget:
+      return "memory-budget";
+    case InterruptReason::kInjectedFault:
+      return "injected-fault";
+  }
+  return "unknown";
+}
+
+Status InterruptStatus(InterruptReason reason) {
+  switch (reason) {
+    case InterruptReason::kNone:
+      return Status::OK();
+    case InterruptReason::kCancelled:
+      return Status::Cancelled("execution cancelled");
+    case InterruptReason::kInjectedFault:
+      return Status::Cancelled("injected fault tripped");
+    case InterruptReason::kDeadline:
+      return Status::ResourceExhausted("deadline exceeded");
+    case InterruptReason::kMemoryBudget:
+      return Status::ResourceExhausted("memory budget exceeded");
+  }
+  return Status::Cancelled("unknown interrupt");
+}
+
+Deadline Deadline::After(double seconds) {
+  Deadline deadline;
+  const auto now = Clock::now();
+  if (seconds <= 0.0) {
+    deadline.when_ = now;
+    return deadline;
+  }
+  // Saturate: a huge budget must not overflow the time_point arithmetic.
+  const double max_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::time_point::max() - now)
+          .count();
+  if (seconds >= max_seconds) return Deadline::Infinite();
+  deadline.when_ =
+      now + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+  return deadline;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (IsInfinite()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             when_ - Clock::now())
+      .count();
+}
+
+bool MemoryBudget::Exceeded() const {
+  if (Unlimited()) return false;
+  if (tracker_ != nullptr && tracker_->current_bytes() > limit_bytes_) {
+    return true;
+  }
+  if (include_rss_) {
+    const uint64_t rss = CurrentRssBytes();
+    if (rss > limit_bytes_) return true;
+  }
+  return false;
+}
+
+ExecutionContext::ExecutionContext() : ExecutionContext(Deadline::Infinite()) {}
+
+ExecutionContext::ExecutionContext(Deadline deadline) {
+  const FaultSpec& spec = EnvFaultSpec();
+  if (spec.probability > 0.0) ArmFaultInjection(spec.probability, spec.seed);
+  set_deadline(deadline);
+}
+
+void ExecutionContext::ArmFaultInjection(double probability, uint64_t seed) {
+  fault_threshold_ = FaultThreshold(probability);
+  fault_state_.store(seed, std::memory_order_relaxed);
+}
+
+bool ExecutionContext::Probe() {
+  if (Interrupted()) return true;
+  if (cancel_.cancelled()) {
+    Interrupt(InterruptReason::kCancelled);
+    return true;
+  }
+  if (deadline_.Expired()) {
+    Interrupt(InterruptReason::kDeadline);
+    return true;
+  }
+  if (memory_.Exceeded()) {
+    Interrupt(InterruptReason::kMemoryBudget);
+    return true;
+  }
+  if (fault_threshold_ != 0) {
+    // Thread-safe SplitMix64: advancing the state atomically hands each
+    // probe a distinct position in one deterministic stream.
+    uint64_t state = fault_state_.fetch_add(kGolden, std::memory_order_relaxed);
+    const uint64_t draw = SplitMix64(state);
+    if (fault_threshold_ == UINT64_MAX || draw < fault_threshold_) {
+      Interrupt(InterruptReason::kInjectedFault);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExecutionContext::Interrupt(InterruptReason reason) {
+  InterruptReason expected = InterruptReason::kNone;
+  reason_.compare_exchange_strong(expected, reason, std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+}  // namespace mbc

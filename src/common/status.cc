@@ -18,6 +18,10 @@ const char* CodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

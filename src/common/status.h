@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kNotFound = 3,
   kCorruption = 4,
   kUnimplemented = 5,
+  kCancelled = 6,
+  kResourceExhausted = 7,
 };
 
 /// Lightweight status: OK is represented by a null payload so that the
@@ -48,6 +50,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -64,6 +72,10 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
  private:
   struct Rep {

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "src/common/bitset.h"
-#include "src/common/timer.h"
 #include "src/core/mbc_heu.h"
 #include "src/core/reductions.h"
 #include "src/dichromatic/dichromatic_graph.h"
@@ -20,9 +19,8 @@ namespace {
 // Branch-and-bound over one signed ego network.
 class AdvSearcher {
  public:
-  AdvSearcher(const SignedEgoNetwork& net, const Timer& timer,
-              std::optional<double> time_limit)
-      : net_(net), timer_(timer), time_limit_(time_limit) {}
+  AdvSearcher(const SignedEgoNetwork& net, ExecutionContext* exec)
+      : net_(net), exec_(exec) {}
 
   // current clique = {u}; returns true if a clique better than lower_bound
   // satisfying the thresholds was found.
@@ -44,10 +42,7 @@ class AdvSearcher {
  private:
   void Recurse(Bitset p_l, Bitset p_r, int32_t tau_l, int32_t tau_r) {
     ++branches_;
-    if ((branches_ & 0x3ff) == 0 && time_limit_.has_value() &&
-        timer_.ElapsedSeconds() > *time_limit_) {
-      timed_out_ = true;
-    }
+    if (exec_->Checkpoint()) timed_out_ = true;
     if (timed_out_) return;
 
     if (current_.size() > best_size_ && tau_l <= 0 && tau_r <= 0) {
@@ -126,8 +121,7 @@ class AdvSearcher {
   }
 
   const SignedEgoNetwork& net_;
-  const Timer& timer_;
-  const std::optional<double> time_limit_;
+  ExecutionContext* const exec_;
   std::vector<std::pair<uint32_t, bool>> current_;  // (local id, is_left)
   std::vector<std::pair<uint32_t, bool>> best_;
   size_t best_size_ = 0;
@@ -141,7 +135,8 @@ class AdvSearcher {
 MbcAdvResult MaxBalancedCliqueAdv(const SignedGraph& graph, uint32_t tau,
                                   const MbcAdvOptions& options) {
   MbcAdvResult result;
-  Timer timer;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
 
@@ -173,11 +168,7 @@ MbcAdvResult MaxBalancedCliqueAdv(const SignedGraph& graph, uint32_t tau,
     SignedEgoNetworkBuilder builder(work);
     for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
          ++it) {
-      if (options.time_limit_seconds.has_value() &&
-          timer.ElapsedSeconds() > *options.time_limit_seconds) {
-        result.timed_out = true;
-        break;
-      }
+      if (exec->Probe()) break;
       const VertexId u = *it;
       // Cheap pre-check mirroring MBC*'s (network size bound from u's
       // higher-ranked degree).
@@ -209,13 +200,12 @@ MbcAdvResult MaxBalancedCliqueAdv(const SignedGraph& graph, uint32_t tau,
 
       Bitset p_l = net.pos[0] & alive;
       Bitset p_r = net.neg[0] & alive;
-      AdvSearcher searcher(net, timer, options.time_limit_seconds);
+      AdvSearcher searcher(net, exec);
       std::vector<std::pair<uint32_t, bool>> solution;
       const bool improved =
           searcher.Solve(p_l, p_r, static_cast<int32_t>(tau) - 1,
                          static_cast<int32_t>(tau), prune_bound, &solution);
       result.branches += searcher.branches();
-      if (searcher.timed_out()) result.timed_out = true;
       if (improved) {
         BalancedClique clique;
         for (const auto& [local, is_left] : solution) {
@@ -226,10 +216,12 @@ MbcAdvResult MaxBalancedCliqueAdv(const SignedGraph& graph, uint32_t tau,
         best = std::move(clique);
         prune_bound = best.size();
       }
-      if (result.timed_out) break;
+      if (exec->Interrupted()) break;
     }
   }
 
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
   result.clique = std::move(best);
   return result;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -20,15 +21,21 @@ namespace mbc {
 
 struct MbcAdvOptions {
   /// Abort after this many seconds, returning the best clique found.
+  /// Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
   /// Seed with MBC-Heu (disable to expose pure search behaviour, e.g. in
   /// the Figure 8 transformation comparison).
   bool run_heuristic = true;
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct MbcAdvResult {
   BalancedClique clique;
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
   uint64_t num_networks_built = 0;
   uint64_t branches = 0;
 };

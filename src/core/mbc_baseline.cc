@@ -25,19 +25,17 @@ std::vector<VertexId> SortedIntersect(std::span<const VertexId> a,
 
 class Enumerator {
  public:
-  Enumerator(const SignedGraph& graph, uint32_t tau,
-             std::optional<double> time_limit)
-      : graph_(graph), tau_(tau), time_limit_(time_limit) {}
+  Enumerator(const SignedGraph& graph, uint32_t tau, ExecutionContext* exec)
+      : graph_(graph), tau_(tau), exec_(exec) {}
 
   // Runs the search; returns best clique as (left, right) vertex vectors.
   void Run(std::vector<VertexId>* best_left, std::vector<VertexId>* best_right,
-           bool* timed_out, uint64_t* calls) {
+           uint64_t* calls) {
     std::vector<VertexId> all(graph_.NumVertices());
     for (VertexId v = 0; v < graph_.NumVertices(); ++v) all[v] = v;
     Enum({}, {}, all, all);
     *best_left = std::move(best_left_);
     *best_right = std::move(best_right_);
-    *timed_out = stopped_;
     *calls = calls_;
   }
 
@@ -53,10 +51,7 @@ class Enumerator {
   void Enum(std::vector<VertexId> c_l, std::vector<VertexId> c_r,
             std::vector<VertexId> p_l, std::vector<VertexId> p_r) {
     ++calls_;
-    if ((calls_ & 0x3ff) == 0 && time_limit_.has_value() &&
-        timer_.ElapsedSeconds() > *time_limit_) {
-      stopped_ = true;
-    }
+    if (exec_->Checkpoint()) stopped_ = true;
     if (stopped_) return;
 
     // Lines 5-6: record improvements.
@@ -108,8 +103,7 @@ class Enumerator {
 
   const SignedGraph& graph_;
   const size_t tau_;
-  const std::optional<double> time_limit_;
-  Timer timer_;
+  ExecutionContext* const exec_;
   bool stopped_ = false;
   uint64_t calls_ = 0;
   std::vector<VertexId> best_left_;
@@ -122,27 +116,27 @@ MbcBaselineResult MaxBalancedCliqueBaseline(const SignedGraph& graph,
                                             uint32_t tau,
                                             const MbcBaselineOptions& options) {
   MbcBaselineResult result;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   Timer phase;
   // Line 1: VertexReduction and (optionally) EdgeReduction of [13]. The
-  // wall-clock budget spans both the reduction and the search.
+  // governor's budget spans both the reduction and the search (the
+  // deadline is absolute, so no per-phase budget split is needed).
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
   if (options.apply_edge_reduction) {
-    reduced.graph =
-        EdgeReduction(reduced.graph, tau, options.time_limit_seconds);
+    reduced.graph = EdgeReduction(reduced.graph, tau, exec);
   }
   result.reduction_seconds = phase.ElapsedSeconds();
 
-  std::optional<double> search_budget = options.time_limit_seconds;
-  if (search_budget.has_value()) {
-    *search_budget = std::max(0.0, *search_budget - result.reduction_seconds);
-  }
   phase.Restart();
-  Enumerator enumerator(reduced.graph, tau, search_budget);
+  Enumerator enumerator(reduced.graph, tau, exec);
   std::vector<VertexId> left;
   std::vector<VertexId> right;
-  enumerator.Run(&left, &right, &result.timed_out, &result.recursive_calls);
+  enumerator.Run(&left, &right, &result.recursive_calls);
   result.search_seconds = phase.ElapsedSeconds();
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
 
   result.clique.left = std::move(left);
   result.clique.right = std::move(right);

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -22,12 +23,19 @@ struct MbcBaselineOptions {
 
   /// Abort the search after this many seconds, returning the best clique
   /// found so far with `timed_out` set. Unset = run to completion.
+  /// Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct MbcBaselineResult {
   BalancedClique clique;
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
   /// Number of Enum(...) invocations.
   uint64_t recursive_calls = 0;
   double reduction_seconds = 0.0;

@@ -6,7 +6,6 @@
 #include <utility>
 #include <vector>
 
-#include "src/common/timer.h"
 #include "src/core/reductions.h"
 
 namespace mbc {
@@ -26,12 +25,14 @@ class Enumerator {
   Enumerator(const SignedGraph& graph, uint32_t tau,
              const std::vector<VertexId>& to_original,
              const std::function<void(const BalancedClique&)>& callback,
-             const MbcEnumOptions& options, MbcEnumStats* stats)
+             const MbcEnumOptions& options, ExecutionContext* exec,
+             MbcEnumStats* stats)
       : graph_(graph),
         tau_(tau),
         to_original_(to_original),
         callback_(callback),
         options_(options),
+        exec_(exec),
         stats_(stats) {}
 
   void Run() {
@@ -77,9 +78,7 @@ class Enumerator {
 
   void Recurse(Sets sets) {
     ++stats_->recursive_calls;
-    if ((stats_->recursive_calls & 0x3ff) == 0 &&
-        options_.time_limit_seconds.has_value() &&
-        timer_.ElapsedSeconds() > *options_.time_limit_seconds) {
+    if (exec_->Checkpoint()) {
       stopped_ = true;
       stats_->truncated = true;
     }
@@ -145,8 +144,8 @@ class Enumerator {
   const std::vector<VertexId>& to_original_;
   const std::function<void(const BalancedClique&)>& callback_;
   const MbcEnumOptions& options_;
+  ExecutionContext* const exec_;
   MbcEnumStats* stats_;
-  Timer timer_;
   bool stopped_ = false;
   std::vector<VertexId> c_l_;
   std::vector<VertexId> c_r_;
@@ -159,14 +158,15 @@ MbcEnumStats EnumerateMaximalBalancedCliques(
     const std::function<void(const BalancedClique&)>& callback,
     const MbcEnumOptions& options) {
   MbcEnumStats stats;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   SignedGraph reduced_storage;
   std::vector<VertexId> to_original;
   const SignedGraph* working = &graph;
   if (options.apply_reductions) {
     ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
-    reduced_storage =
-        EdgeReduction(reduced.graph, tau, options.time_limit_seconds);
+    reduced_storage = EdgeReduction(reduced.graph, tau, exec);
     to_original = std::move(reduced.to_original);
     working = &reduced_storage;
   } else {
@@ -174,9 +174,11 @@ MbcEnumStats EnumerateMaximalBalancedCliques(
     for (VertexId v = 0; v < graph.NumVertices(); ++v) to_original[v] = v;
   }
 
-  Enumerator enumerator(*working, tau, to_original, callback, options,
+  Enumerator enumerator(*working, tau, to_original, callback, options, exec,
                         &stats);
   enumerator.Run();
+  stats.interrupt_reason = exec->reason();
+  if (exec->Interrupted()) stats.truncated = true;
   return stats;
 }
 

@@ -15,6 +15,7 @@
 #include <functional>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -28,14 +29,20 @@ struct MbcEnumOptions {
   /// Stop after reporting this many cliques (0 = unlimited).
   uint64_t max_cliques = 0;
 
-  /// Abort after this many seconds.
+  /// Abort after this many seconds. Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct MbcEnumStats {
   uint64_t num_reported = 0;
-  /// True if the enumeration stopped early (limit or timeout).
+  /// True if the enumeration stopped early (max_cliques or interrupt).
   bool truncated = false;
+  /// Why the run was interrupted (kNone also covers a max_cliques stop).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
   uint64_t recursive_calls = 0;
 };
 

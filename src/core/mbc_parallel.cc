@@ -32,10 +32,13 @@ struct SharedState {
 
 void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
             const DegeneracyResult& degeneracy, uint32_t tau,
-            SharedState* state) {
+            ExecutionContext* exec, SharedState* state) {
   DichromaticNetworkBuilder builder(work);
   const size_t n = degeneracy.order.size();
   while (true) {
+    // One full probe per network keeps cancellation latency bounded by a
+    // single MDC search's checkpoint stride.
+    if (exec->Probe()) return;
     const size_t i = state->cursor.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
     // Reverse degeneracy order.
@@ -68,6 +71,7 @@ void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
     Bitset candidates = alive;
     candidates.Reset(0);
     MdcSolver solver(net.graph);
+    solver.SetExecution(exec);
     std::vector<uint32_t> solution;
     if (!solver.Solve({0}, candidates, static_cast<int32_t>(tau) - 1,
                       static_cast<int32_t>(tau), bound, &solution)) {
@@ -98,6 +102,8 @@ ParallelMbcResult ParallelMaxBalancedCliqueStar(
     const SignedGraph& graph, uint32_t tau,
     const ParallelMbcOptions& options) {
   ParallelMbcResult result;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   // Sequential preamble, identical to MBC*.
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
@@ -142,7 +148,7 @@ ParallelMbcResult ParallelMaxBalancedCliqueStar(
     pool.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t) {
       pool.emplace_back(Worker, std::cref(work), std::cref(to_input),
-                        std::cref(degeneracy), tau, &state);
+                        std::cref(degeneracy), tau, exec, &state);
     }
     for (std::thread& thread : pool) thread.join();
   } else {
@@ -154,6 +160,8 @@ ParallelMbcResult ParallelMaxBalancedCliqueStar(
       state.networks_built.load(std::memory_order_relaxed);
   result.num_mdc_instances =
       state.mdc_instances.load(std::memory_order_relaxed);
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
   return result;
 }
 

@@ -11,7 +11,9 @@
 #define MBC_CORE_MBC_PARALLEL_H_
 
 #include <cstdint>
+#include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/mbc_star.h"
 
 namespace mbc {
@@ -21,6 +23,13 @@ struct ParallelMbcOptions {
   uint32_t num_threads = 0;
   /// Seed the search with MBC-Heu (as in MBC*).
   bool run_heuristic = true;
+  /// Wall-clock safety budget (unset = unlimited). Ignored when `exec`
+  /// is supplied.
+  std::optional<double> time_limit_seconds;
+  /// Shared execution governor. All workers probe the same context, so
+  /// cancelling it (from any thread) stops the whole search; the best
+  /// clique found so far is returned. Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct ParallelMbcResult {
@@ -28,10 +37,15 @@ struct ParallelMbcResult {
   uint32_t threads_used = 0;
   uint64_t num_networks_built = 0;
   uint64_t num_mdc_instances = 0;
+  /// True iff the run was interrupted before completing the search.
+  bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
 };
 
 /// Computes the maximum balanced clique of `graph` under threshold `tau`
-/// using multiple threads. Exact: always returns an optimum.
+/// using multiple threads. Exact when not interrupted: always returns an
+/// optimum.
 ParallelMbcResult ParallelMaxBalancedCliqueStar(
     const SignedGraph& graph, uint32_t tau,
     const ParallelMbcOptions& options = {});

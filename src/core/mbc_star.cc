@@ -39,7 +39,8 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
                                     const MbcStarOptions& options) {
   MbcStarResult result;
   MbcStarStats& stats = result.stats;
-  Timer total_timer;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   BalancedClique best;  // in input-graph ids
   if (options.initial_clique != nullptr && !options.initial_clique->empty()) {
@@ -52,8 +53,7 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
   Timer phase;
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
   if (options.apply_edge_reduction) {
-    reduced.graph =
-        EdgeReduction(reduced.graph, tau, options.time_limit_seconds);
+    reduced.graph = EdgeReduction(reduced.graph, tau, exec);
   }
   stats.reduction_seconds = phase.ElapsedSeconds();
 
@@ -70,6 +70,8 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
   stats.heuristic_seconds = phase.ElapsedSeconds();
 
   if (options.existence_only && !best.empty()) {
+    stats.interrupt_reason = exec->reason();
+    stats.timed_out = exec->Interrupted();
     result.clique = std::move(best);
     return result;
   }
@@ -110,11 +112,7 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
     // Line 5: process vertices in reverse degeneracy order.
     for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
          ++it) {
-      if (options.time_limit_seconds.has_value() &&
-          total_timer.ElapsedSeconds() > *options.time_limit_seconds) {
-        stats.timed_out = true;
-        break;
-      }
+      if (exec->Probe()) break;
       const VertexId u = *it;
       // Cheap pre-check: the network has 1 + (higher-ranked neighbors)
       // vertices; if that cannot beat the incumbent, skip it without
@@ -168,16 +166,13 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
       MdcSolver solver(net.graph);
       solver.set_use_core_pruning(options.use_core_pruning);
       solver.set_use_coloring_bound(options.use_coloring_bound);
-      if (options.time_limit_seconds.has_value()) {
-        solver.SetDeadline(&total_timer, *options.time_limit_seconds);
-      }
+      solver.SetExecution(exec);
       std::vector<uint32_t> solution;
       const bool improved = solver.Solve(
           /*seed=*/{0}, candidates, static_cast<int32_t>(tau) - 1,
           static_cast<int32_t>(tau), prune_bound, &solution,
           options.existence_only);
       stats.mdc_branches += solver.branches();
-      if (solver.timed_out()) stats.timed_out = true;
       if (improved) {
         best = MaterializeClique(net, solution, to_input);
         prune_bound = best.size();
@@ -191,6 +186,8 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
   }
   stats.search_seconds = phase.ElapsedSeconds();
 
+  stats.interrupt_reason = exec->reason();
+  stats.timed_out = exec->Interrupted();
   result.clique = std::move(best);
   return result;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -38,7 +39,14 @@ struct MbcStarOptions {
   /// Wall-clock safety budget (unset = unlimited, the paper's setting).
   /// On expiry the best clique found so far is returned with
   /// stats.timed_out set; it is valid but possibly not maximum.
+  /// Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor (deadline, cancellation, memory budget,
+  /// fault injection). Takes precedence over time_limit_seconds. Owned by
+  /// the caller; may be null, in which case a private context is derived
+  /// from time_limit_seconds.
+  ExecutionContext* exec = nullptr;
 
   /// Ablation switches for the two classic prunings (Lemmas 1 and 2);
   /// both default on. Turning either off keeps the algorithm correct but
@@ -67,8 +75,10 @@ struct MbcStarStats {
   double reduction_seconds = 0.0;
   double heuristic_seconds = 0.0;
   double search_seconds = 0.0;
-  /// True iff the optional time budget expired before the search finished.
+  /// True iff the run was interrupted (any reason) before completion.
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
 };
 
 struct MbcStarResult {

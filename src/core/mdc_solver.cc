@@ -17,7 +17,7 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
   existence_only_ = existence_only;
   stop_ = false;
   branches_ = 0;
-  timed_out_ = false;
+  interrupted_ = false;
   Recurse(candidates, tau_l, tau_r);
   if (found_) *best = best_;
   return found_;
@@ -26,9 +26,8 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
 void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
                         int32_t tau_r) {
   ++branches_;
-  if ((branches_ & 0x3ff) == 0 && deadline_timer_ != nullptr &&
-      deadline_timer_->ElapsedSeconds() > deadline_seconds_) {
-    timed_out_ = true;
+  if (exec_ != nullptr && exec_->Checkpoint()) {
+    interrupted_ = true;
     stop_ = true;
   }
   if (stop_) return;

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "src/common/bitset.h"
-#include "src/common/timer.h"
+#include "src/common/execution.h"
 #include "src/dichromatic/dichromatic_graph.h"
 
 namespace mbc {
@@ -41,15 +41,17 @@ class MdcSolver {
   /// Number of MDC branch invocations in the last Solve call.
   uint64_t branches() const { return branches_; }
 
-  /// Optional wall-clock budget (safety net for experiment harnesses on
-  /// adversarial instances; the paper's algorithm has none). When the
-  /// elapsed time of `timer` exceeds `limit_seconds`, the search unwinds;
-  /// the result so far is still a valid (possibly non-optimal) clique.
-  void SetDeadline(const Timer* timer, double limit_seconds) {
-    deadline_timer_ = timer;
-    deadline_seconds_ = limit_seconds;
+  /// Optional execution governor (deadline / cancellation / memory budget
+  /// / fault injection; the paper's algorithm has none). When `exec`
+  /// reports an interrupt, the search unwinds; the result so far is still
+  /// a valid (possibly non-optimal) clique. `exec` must outlive the
+  /// solver; nullptr disables governance.
+  void SetExecution(ExecutionContext* exec) { exec_ = exec; }
+  bool timed_out() const { return interrupted_; }
+  /// Why the last Solve call stopped early (kNone if it ran to completion).
+  InterruptReason interrupt_reason() const {
+    return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
-  bool timed_out() const { return timed_out_; }
 
   /// Ablation switches (both default on; used by bench_ablation_pruning
   /// to quantify each bound's contribution).
@@ -69,9 +71,8 @@ class MdcSolver {
   bool existence_only_ = false;
   bool stop_ = false;
   uint64_t branches_ = 0;
-  const Timer* deadline_timer_ = nullptr;
-  double deadline_seconds_ = 0.0;
-  bool timed_out_ = false;
+  ExecutionContext* exec_ = nullptr;
+  bool interrupted_ = false;
   bool use_core_pruning_ = true;
   bool use_coloring_bound_ = true;
 };

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/common/timer.h"
 #include "src/graph/signed_graph_builder.h"
 #include "src/graph/triangles.h"
 
@@ -61,7 +60,7 @@ ReducedSignedGraph ApplyVertexReduction(const SignedGraph& graph,
 }
 
 SignedGraph EdgeReduction(const SignedGraph& graph, uint32_t tau,
-                          std::optional<double> time_limit_seconds) {
+                          ExecutionContext* exec) {
   if (tau < 2) {
     // For τ ≤ 1 the triangle conditions are vacuous for positive edges and
     // (for τ == 1) require nothing beyond edge existence for negative ones.
@@ -72,17 +71,12 @@ SignedGraph EdgeReduction(const SignedGraph& graph, uint32_t tau,
   const uint32_t neg_need_mixed = tau - 1;
 
   SignedGraph current = graph;
-  Timer timer;
-  uint64_t processed = 0;
-  bool aborted = false;
+  bool aborted = exec != nullptr && exec->Probe();
   while (!aborted) {
     SignedGraphBuilder builder(current.NumVertices());
     uint64_t removed = 0;
     auto classify = [&](VertexId u, VertexId v, Sign sign) {
-      if ((++processed & 0xfff) == 0 && time_limit_seconds.has_value() &&
-          timer.ElapsedSeconds() > *time_limit_seconds) {
-        aborted = true;
-      }
+      if (exec != nullptr && exec->Checkpoint()) aborted = true;
       if (aborted) return;  // partial round is discarded below
       const EdgeTriangleCounts counts = CountEdgeTriangles(current, u, v);
       bool keep = true;

@@ -7,9 +7,9 @@
 #define MBC_CORE_REDUCTIONS_H_
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
+#include "src/common/execution.h"
 #include "src/graph/signed_graph.h"
 
 namespace mbc {
@@ -31,11 +31,11 @@ std::vector<uint8_t> VertexReductionMask(const SignedGraph& graph,
 /// fixpoint. Returns a graph over the same vertex ids with the surviving
 /// edges; removed vertices simply become isolated. O(rounds · α·m).
 ///
-/// `time_limit_seconds`: optional wall-clock budget; when exceeded, the
-/// result of the last *completed* round is returned (every removal is
-/// individually sound, so a partial reduction is still a valid one).
+/// `exec`: optional execution governor; on an interrupt, the result of the
+/// last *completed* round is returned (every removal is individually
+/// sound, so a partial reduction is still a valid one).
 SignedGraph EdgeReduction(const SignedGraph& graph, uint32_t tau,
-                          std::optional<double> time_limit_seconds = {});
+                          ExecutionContext* exec = nullptr);
 
 /// Applies VertexReduction and materializes the reduced graph.
 struct ReducedSignedGraph {

@@ -1,13 +1,10 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/gmbc/gmbc.h"
 
-#include <algorithm>
-#include <optional>
 #include <set>
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/common/timer.h"
 #include "src/core/mbc_star.h"
 #include "src/pf/pf_star.h"
 
@@ -21,31 +18,24 @@ size_t GeneralizedMbcResult::NumDistinctCliques() const {
   return distinct.size();
 }
 
-namespace {
-
-// Remaining budget, or unset when unlimited.
-std::optional<double> Remaining(const GeneralizedMbcOptions& options,
-                                const Timer& timer) {
-  if (!options.time_limit_seconds.has_value()) return std::nullopt;
-  return std::max(0.0, *options.time_limit_seconds - timer.ElapsedSeconds());
-}
-
-}  // namespace
-
 GeneralizedMbcResult GeneralizedMbc(const SignedGraph& graph,
                                     const GeneralizedMbcOptions& options) {
   GeneralizedMbcResult result;
-  Timer timer;
+  // One governor spans the whole sweep: the deadline is absolute, so the
+  // per-τ runs share the budget without any remaining-time bookkeeping.
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
   for (uint32_t tau = 0;; ++tau) {
     ++result.num_mbc_calls;
     MbcStarOptions star_options;
-    star_options.time_limit_seconds = Remaining(options, timer);
+    star_options.exec = exec;
     MbcStarResult mbc = MaxBalancedCliqueStar(graph, tau, star_options);
-    result.timed_out |= mbc.stats.timed_out;
     if (mbc.clique.empty()) break;  // τ > β(G); the probe at β+1 is free.
     result.cliques.push_back(std::move(mbc.clique));
-    if (result.timed_out) break;
+    if (exec->Interrupted()) break;
   }
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
   result.beta = result.cliques.empty()
                     ? 0
                     : static_cast<uint32_t>(result.cliques.size() - 1);
@@ -56,43 +46,42 @@ GeneralizedMbcResult GeneralizedMbcStar(const SignedGraph& graph,
                                         const GeneralizedMbcOptions& options) {
   GeneralizedMbcResult result;
   if (graph.NumVertices() == 0) return result;
-  Timer timer;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   // Line 1: β(G) via PF*.
   PfStarOptions pf_options;
-  pf_options.time_limit_seconds = Remaining(options, timer);
+  pf_options.exec = exec;
   const PfStarResult pf = PolarizationFactorStar(graph, pf_options);
-  result.timed_out |= pf.stats.timed_out;
   result.beta = pf.beta;
   result.cliques.resize(pf.beta + 1);
 
   // Lines 2-7: decreasing τ, seeding each run with the previous solution.
-  // When the budget runs out, the incumbent (feasible by Lemma 6) is
-  // propagated to the remaining thresholds.
+  // On an interrupt, the incumbent (feasible by Lemma 6) is propagated to
+  // the remaining thresholds.
   BalancedClique incumbent = pf.witness;  // feasible for τ = β(G)
   for (int64_t tau = pf.beta; tau >= 0; --tau) {
-    const std::optional<double> remaining = Remaining(options, timer);
-    if (remaining.has_value() && *remaining <= 0.0 && !incumbent.empty()) {
-      // Budget exhausted: propagate the incumbent (feasible for every
-      // smaller τ by Lemma 6) without paying for further MBC* preambles.
-      result.timed_out = true;
+    if (exec->Probe() && !incumbent.empty()) {
+      // Interrupted: propagate the incumbent (feasible for every smaller
+      // τ by Lemma 6) without paying for further MBC* preambles.
       result.cliques[static_cast<size_t>(tau)] = incumbent;
       continue;
     }
     MbcStarOptions star_options;
     if (!incumbent.empty()) star_options.initial_clique = &incumbent;
-    star_options.time_limit_seconds = remaining;
+    star_options.exec = exec;
     ++result.num_mbc_calls;
     MbcStarResult mbc =
         MaxBalancedCliqueStar(graph, static_cast<uint32_t>(tau),
                               star_options);
-    result.timed_out |= mbc.stats.timed_out;
     // MBC* returns at least the incumbent; for τ = β(G) feasibility is
     // guaranteed by PF*'s witness.
     MBC_CHECK(!mbc.clique.empty());
     result.cliques[static_cast<size_t>(tau)] = mbc.clique;
     incumbent = std::move(mbc.clique);
   }
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -25,7 +26,13 @@ struct GeneralizedMbcOptions {
   /// the paper's setting). On expiry, remaining thresholds inherit the
   /// best-known feasible clique (gMBC*) or stop the upward sweep (gMBC),
   /// and `timed_out` is set: sizes are then lower bounds.
+  /// Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor spanning the whole sweep (PF* plus every
+  /// per-τ MBC* run); takes precedence over time_limit_seconds. Owned by
+  /// the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct GeneralizedMbcResult {
@@ -35,8 +42,10 @@ struct GeneralizedMbcResult {
   uint32_t beta = 0;
   /// Number of MBC* invocations (PF* not included).
   uint32_t num_mbc_calls = 0;
-  /// True iff the optional time budget expired.
+  /// True iff the sweep was interrupted (any reason).
   bool timed_out = false;
+  /// Why the sweep stopped early (kNone = ran to completion, exact).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
 
   /// Number of *distinct* cliques in `cliques` (the |ℂ| column of the
   /// paper's Table V).

@@ -106,6 +106,30 @@ Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
     return Status::Corruption(path + ": truncated header");
   }
 
+  // Validate the payload length against the actual file size before
+  // allocating anything: a corrupted edge count must fail cleanly here,
+  // not drive a multi-gigabyte allocation (or overflow the size math).
+  constexpr uint64_t kBytesPerEdge = 2 * sizeof(uint32_t);
+  if (num_pos > UINT64_MAX / (2 * kBytesPerEdge) ||
+      num_neg > UINT64_MAX / (2 * kBytesPerEdge)) {
+    return Status::Corruption(path + ": edge count overflows file size");
+  }
+  const uint64_t payload_bytes = (num_pos + num_neg) * kBytesPerEdge;
+  const long header_end = std::ftell(file.get());
+  if (header_end < 0 || std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return Status::IOError(path + ": not seekable");
+  }
+  const long file_end = std::ftell(file.get());
+  if (file_end < 0 ||
+      std::fseek(file.get(), header_end, SEEK_SET) != 0) {
+    return Status::IOError(path + ": not seekable");
+  }
+  const uint64_t remaining =
+      static_cast<uint64_t>(file_end) - static_cast<uint64_t>(header_end);
+  if (remaining != payload_bytes + sizeof(uint64_t)) {
+    return Status::Corruption(path + ": file size does not match header");
+  }
+
   std::vector<uint32_t> pos(num_pos * 2);
   std::vector<uint32_t> neg(num_neg * 2);
   if ((!pos.empty() &&

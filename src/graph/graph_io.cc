@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string_view>
 #include <unordered_map>
@@ -68,11 +69,15 @@ Status ParseLine(std::string_view line, size_t line_no, bool* is_edge,
 Result<SignedGraph> ParseStream(std::istream& in) {
   SignedGraphBuilder builder;
   std::unordered_map<uint64_t, VertexId> remap;
-  auto dense_id = [&remap](uint64_t raw) {
+  // Dense renumbering must not silently wrap VertexId on inputs with more
+  // distinct raw ids than the id type can address.
+  constexpr size_t kMaxVertices = std::numeric_limits<VertexId>::max();
+  auto dense_id = [&remap](uint64_t raw, VertexId* id) -> bool {
     auto [it, inserted] =
         remap.emplace(raw, static_cast<VertexId>(remap.size()));
-    (void)inserted;
-    return it->second;
+    if (inserted && remap.size() > kMaxVertices) return false;
+    *id = it->second;
+    return true;
   };
 
   std::string line;
@@ -90,8 +95,14 @@ Result<SignedGraph> ParseStream(std::istream& in) {
     }
     // Two statements: argument evaluation order is unspecified, and ids
     // should be assigned in reading order (u before v).
-    const VertexId u = dense_id(edge.u);
-    const VertexId v = dense_id(edge.v);
+    VertexId u = 0;
+    VertexId v = 0;
+    if (!dense_id(edge.u, &u) || !dense_id(edge.v, &v)) {
+      std::ostringstream msg;
+      msg << "line " << line_no << ": more than " << kMaxVertices
+          << " distinct vertex ids";
+      return Status::Corruption(msg.str());
+    }
     builder.AddEdge(u, v, edge.sign);
   }
   builder.set_sign_conflict_policy(

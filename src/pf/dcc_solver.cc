@@ -10,7 +10,7 @@ bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
   current_.clear();
   witness_ = witness;
   branches_ = 0;
-  timed_out_ = false;
+  interrupted_ = false;
   const uint32_t l = tau_l > 0 ? static_cast<uint32_t>(tau_l) : 0;
   const uint32_t r = tau_r > 0 ? static_cast<uint32_t>(tau_r) : 0;
   return Recurse(candidates, l, r);
@@ -19,11 +19,11 @@ bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
 bool DccSolver::Recurse(const Bitset& candidates, uint32_t tau_l,
                         uint32_t tau_r) {
   ++branches_;
-  if ((branches_ & 0x3ff) == 0 && deadline_timer_ != nullptr &&
-      deadline_timer_->ElapsedSeconds() > deadline_seconds_) {
-    timed_out_ = true;
+  if (interrupted_) return false;
+  if (exec_ != nullptr && exec_->Checkpoint()) {
+    interrupted_ = true;
+    return false;
   }
-  if (timed_out_) return false;
   // Line 10: both demands met — the grown clique is a witness.
   if (tau_l == 0 && tau_r == 0) {
     if (witness_ != nullptr) *witness_ = current_;

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/common/bitset.h"
-#include "src/common/timer.h"
+#include "src/common/execution.h"
 #include "src/dichromatic/dichromatic_graph.h"
 
 namespace mbc {
@@ -33,13 +33,15 @@ class DccSolver {
   /// Number of DCC branch invocations in the last Check call.
   uint64_t branches() const { return branches_; }
 
-  /// Optional wall-clock budget (see MdcSolver::SetDeadline). On expiry
-  /// Check returns false conservatively and timed_out() reports it.
-  void SetDeadline(const Timer* timer, double limit_seconds) {
-    deadline_timer_ = timer;
-    deadline_seconds_ = limit_seconds;
+  /// Optional execution governor (see MdcSolver::SetExecution). On an
+  /// interrupt Check returns false conservatively and timed_out() reports
+  /// it. `exec` must outlive the solver; nullptr disables governance.
+  void SetExecution(ExecutionContext* exec) { exec_ = exec; }
+  bool timed_out() const { return interrupted_; }
+  /// Why the last Check call stopped early (kNone if it ran to completion).
+  InterruptReason interrupt_reason() const {
+    return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
-  bool timed_out() const { return timed_out_; }
 
  private:
   bool Recurse(const Bitset& candidates, uint32_t tau_l, uint32_t tau_r);
@@ -48,9 +50,8 @@ class DccSolver {
   std::vector<uint32_t> current_;
   std::vector<uint32_t>* witness_ = nullptr;
   uint64_t branches_ = 0;
-  const Timer* deadline_timer_ = nullptr;
-  double deadline_seconds_ = 0.0;
-  bool timed_out_ = false;
+  ExecutionContext* exec_ = nullptr;
+  bool interrupted_ = false;
 };
 
 }  // namespace mbc

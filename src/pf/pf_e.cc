@@ -14,6 +14,7 @@ PfEResult PolarizationFactorEnum(const SignedGraph& graph,
   // with τ = 1 (β defaults to 0 when nothing qualifies).
   MbcEnumOptions enum_options;
   enum_options.time_limit_seconds = options.time_limit_seconds;
+  enum_options.exec = options.exec;
   const MbcEnumStats stats = EnumerateMaximalBalancedCliques(
       graph, /*tau=*/1,
       [&result](const BalancedClique& clique) {
@@ -22,6 +23,7 @@ PfEResult PolarizationFactorEnum(const SignedGraph& graph,
       },
       enum_options);
   result.timed_out = stats.truncated;
+  result.interrupt_reason = stats.interrupt_reason;
   result.cliques_enumerated = stats.num_reported;
   return result;
 }

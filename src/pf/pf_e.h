@@ -9,18 +9,26 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/graph/signed_graph.h"
 
 namespace mbc {
 
 struct PfEOptions {
   /// Abort after this many seconds; the result is then a lower bound.
+  /// Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct PfEResult {
   uint32_t beta = 0;
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
   uint64_t cliques_enumerated = 0;
 };
 

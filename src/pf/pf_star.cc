@@ -20,7 +20,8 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
                                     const PfStarOptions& options) {
   PfStarResult result;
   PfStarStats& stats = result.stats;
-  Timer total_timer;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   // Line 1: heuristic lower bound τ* = min side of MBC-Heu(G, 0).
   uint32_t tau = 0;
@@ -36,6 +37,8 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau + 1);
   const SignedGraph& work = reduced.graph;
   if (work.NumVertices() == 0) {
+    stats.interrupt_reason = exec->reason();
+    stats.timed_out = exec->Interrupted();
     result.beta = tau;
     return result;
   }
@@ -62,11 +65,7 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
 
   // Lines 4-8: process vertices in reverse order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (options.time_limit_seconds.has_value() &&
-        total_timer.ElapsedSeconds() > *options.time_limit_seconds) {
-      stats.timed_out = true;
-      break;
-    }
+    if (exec->Probe()) break;
     const VertexId u = *it;
     // Lemma 5: γ(g_u) ≤ pn(u). Under the polarization order, pn is
     // non-increasing along the (reversed) processing order, so the first
@@ -117,15 +116,12 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
       Bitset candidates = core;
       candidates.Reset(0);
       DccSolver solver(net.graph);
-      if (options.time_limit_seconds.has_value()) {
-        solver.SetDeadline(&total_timer, *options.time_limit_seconds);
-      }
+      solver.SetExecution(exec);
       std::vector<uint32_t> witness_locals;
       const bool found =
           solver.Check(candidates, static_cast<int32_t>(tau),
                        static_cast<int32_t>(tau) + 1, &witness_locals);
       stats.dcc_branches += solver.branches();
-      if (solver.timed_out()) stats.timed_out = true;
       if (!found) break;
 
       ++tau;
@@ -144,6 +140,8 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
     stats.avg_sr1 = sr1_sum / static_cast<double>(sr_count);
     stats.avg_sr2 = sr2_sum / static_cast<double>(sr_count);
   }
+  stats.interrupt_reason = exec->reason();
+  stats.timed_out = exec->Interrupted();
   result.beta = tau;
   return result;
 }

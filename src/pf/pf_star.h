@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/common/execution.h"
 #include "src/core/balanced_clique.h"
 #include "src/graph/signed_graph.h"
 
@@ -27,8 +28,12 @@ struct PfStarOptions {
 
   /// Wall-clock safety budget (unset = unlimited, the paper's setting).
   /// On expiry the current τ* is returned (a valid lower bound of β) with
-  /// stats.timed_out set.
+  /// stats.timed_out set. Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct PfStarStats {
@@ -41,8 +46,10 @@ struct PfStarStats {
   /// Average SR1 / SR2 over DCC instances (see MbcStarStats); -1 if none.
   double avg_sr1 = -1.0;
   double avg_sr2 = -1.0;
-  /// True iff the optional time budget expired before completion.
+  /// True iff the run was interrupted (any reason) before completion.
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
 };
 
 struct PfStarResult {

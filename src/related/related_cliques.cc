@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "src/common/bitset.h"
-#include "src/common/timer.h"
+#include "src/common/execution.h"
 #include "src/core/mdc_solver.h"
 #include "src/dichromatic/reductions.h"
 #include "src/dichromatic/signed_ego.h"
@@ -51,7 +51,8 @@ DichromaticGraph BuildPositiveEgo(const SignedGraph& graph, VertexId u,
 
 }  // namespace
 
-std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph) {
+std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph,
+                                       ExecutionContext* exec) {
   const VertexId n = graph.NumVertices();
   if (n == 0) return {};
   const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
@@ -59,6 +60,7 @@ std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph) {
   std::vector<VertexId> best;
   for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
        ++it) {
+    if (exec != nullptr && exec->Probe()) break;
     const VertexId u = *it;
     // Size pre-check against the incumbent.
     uint32_t higher = 0;
@@ -82,6 +84,7 @@ std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph) {
     Bitset candidates = alive;
     candidates.Reset(0);
     MdcSolver solver(ego);
+    solver.SetExecution(exec);
     std::vector<uint32_t> solution;
     if (solver.Solve({0}, candidates, 0, 0, best.size(), &solution)) {
       best.clear();
@@ -122,12 +125,11 @@ namespace {
 class AlphaKSearcher {
  public:
   AlphaKSearcher(const SignedEgoNetwork& net, double alpha, uint32_t k,
-                 const Timer& timer, std::optional<double> limit)
+                 ExecutionContext* exec)
       : net_(net),
         min_pos_(alpha * static_cast<double>(k)),
         k_(k),
-        timer_(timer),
-        limit_(limit) {}
+        exec_(exec) {}
 
   // Returns true if a clique larger than lower_bound was found.
   bool Solve(size_t lower_bound, std::vector<uint32_t>* best) {
@@ -142,15 +144,15 @@ class AlphaKSearcher {
     return found_;
   }
 
-  bool timed_out() const { return timed_out_; }
+  bool interrupted() const { return interrupted_; }
 
  private:
   void Recurse(const Bitset& candidates) {
-    if ((++ticks_ & 0x3ff) == 0 && limit_.has_value() &&
-        timer_.ElapsedSeconds() > *limit_) {
-      timed_out_ = true;
+    if (interrupted_) return;
+    if (exec_->Checkpoint()) {
+      interrupted_ = true;
+      return;
     }
-    if (timed_out_) return;
 
     // Record: all members need ≥ α·k positive and ≤ k negative neighbors
     // inside C (negative already enforced during growth).
@@ -195,7 +197,7 @@ class AlphaKSearcher {
     }
 
     Bitset remaining = cand;
-    while (remaining.Any() && !timed_out_) {
+    while (remaining.Any() && !interrupted_) {
       if (current_.size() + remaining.Count() <= best_size_) return;
       const auto v = static_cast<uint32_t>(remaining.FindFirst());
       remaining.Reset(v);
@@ -233,15 +235,13 @@ class AlphaKSearcher {
   const SignedEgoNetwork& net_;
   const double min_pos_;
   const uint32_t k_;
-  const Timer& timer_;
-  const std::optional<double> limit_;
+  ExecutionContext* const exec_;
   std::vector<uint32_t> current_;
   std::vector<uint32_t> best_;
   std::vector<uint32_t> neg_within_;
   size_t best_size_ = 0;
   bool found_ = false;
-  bool timed_out_ = false;
-  uint64_t ticks_ = 0;
+  bool interrupted_ = false;
 };
 
 }  // namespace
@@ -251,18 +251,15 @@ AlphaKCliqueResult MaxAlphaKClique(const SignedGraph& graph,
   AlphaKCliqueResult result;
   const VertexId n = graph.NumVertices();
   if (n == 0) return result;
-  Timer timer;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
 
   const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
   SignedEgoNetworkBuilder builder(graph);
   std::vector<VertexId> best;
   for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
        ++it) {
-    if (options.time_limit_seconds.has_value() &&
-        timer.ElapsedSeconds() > *options.time_limit_seconds) {
-      result.timed_out = true;
-      break;
-    }
+    if (exec->Probe()) break;
     const VertexId u = *it;
     uint32_t higher = 0;
     for (VertexId v : graph.PositiveNeighbors(u)) {
@@ -274,8 +271,7 @@ AlphaKCliqueResult MaxAlphaKClique(const SignedGraph& graph,
     if (static_cast<size_t>(higher) + 1 <= best.size()) continue;
 
     const SignedEgoNetwork net = builder.Build(u, degeneracy.rank.data());
-    AlphaKSearcher searcher(net, options.alpha, options.k, timer,
-                            options.time_limit_seconds);
+    AlphaKSearcher searcher(net, options.alpha, options.k, exec);
     std::vector<uint32_t> solution;
     if (searcher.Solve(best.size(), &solution)) {
       best.clear();
@@ -284,12 +280,13 @@ AlphaKCliqueResult MaxAlphaKClique(const SignedGraph& graph,
       }
       std::sort(best.begin(), best.end());
     }
-    if (searcher.timed_out()) result.timed_out = true;
   }
 
   // Single vertices satisfy the constraints vacuously only when α·k == 0.
   if (best.empty() && options.alpha * options.k <= 0.0) best.push_back(0);
   result.clique = std::move(best);
+  result.interrupt_reason = exec->reason();
+  result.timed_out = exec->Interrupted();
   return result;
 }
 

@@ -21,14 +21,18 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/execution.h"
 #include "src/common/types.h"
 #include "src/graph/signed_graph.h"
 
 namespace mbc {
 
 /// Maximum all-positive clique ("trusted clique" [34]). Returns the
-/// vertex set (empty only for empty graphs).
-std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph);
+/// vertex set (empty only for empty graphs). On an interrupt of `exec`
+/// (optional) the best clique found so far is returned; query
+/// exec->reason() to distinguish exact from best-effort.
+std::vector<VertexId> MaxTrustedClique(const SignedGraph& graph,
+                                       ExecutionContext* exec = nullptr);
 
 struct AlphaKCliqueOptions {
   /// Every member may have at most `k` negative neighbors inside the
@@ -36,13 +40,18 @@ struct AlphaKCliqueOptions {
   uint32_t k = 1;
   /// ...and must have at least `alpha * k` positive neighbors inside.
   double alpha = 1.0;
-  /// Wall-clock safety budget.
+  /// Wall-clock safety budget. Ignored when `exec` is supplied.
   std::optional<double> time_limit_seconds;
+  /// Shared execution governor; takes precedence over time_limit_seconds.
+  /// Owned by the caller; may be null.
+  ExecutionContext* exec = nullptr;
 };
 
 struct AlphaKCliqueResult {
   std::vector<VertexId> clique;
   bool timed_out = false;
+  /// Why the run stopped early (kNone = ran to completion, exact answer).
+  InterruptReason interrupt_reason = InterruptReason::kNone;
 };
 
 /// Maximum (α, k)-clique [31].

@@ -28,6 +28,27 @@ TEST(StatusTest, AllConstructorsSetCodes) {
   EXPECT_TRUE(Status::NotFound("x").IsNotFound());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, GovernorCodesRenderDistinctly) {
+  const Status cancelled = Status::Cancelled("user hit Ctrl-C");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: user hit Ctrl-C");
+
+  const Status exhausted = Status::ResourceExhausted("deadline exceeded");
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exhausted.ToString(), "Resource exhausted: deadline exceeded");
+
+  // The two governor codes are distinct from each other and from the
+  // pre-existing ones (a cancelled run is not a corrupt or failed one).
+  EXPECT_FALSE(cancelled.IsResourceExhausted());
+  EXPECT_FALSE(exhausted.IsCancelled());
+  EXPECT_FALSE(cancelled.IsIOError());
+  EXPECT_FALSE(exhausted.IsCorruption());
 }
 
 TEST(StatusTest, CopyableAndCheap) {

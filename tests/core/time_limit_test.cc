@@ -1,10 +1,13 @@
 // Copyright 2026 The balanced-clique Authors.
 //
-// Failure-injection tests for the wall-clock safety nets: expired budgets
-// must degrade gracefully (valid partial results, flags set), never crash
-// or return invalid cliques.
+// Failure-injection tests for the execution governor's wall-clock path:
+// expired budgets must degrade gracefully (valid partial results, flags
+// set), never crash or return invalid cliques. All interrupt trips here
+// are deterministic: ExecutionContext::Checkpoint() probes on its very
+// first call, so a zero deadline fires before any search work happens.
 #include <gtest/gtest.h>
 
+#include "src/common/execution.h"
 #include "src/core/mbc_star.h"
 #include "src/core/reductions.h"
 #include "src/core/verify.h"
@@ -26,7 +29,8 @@ TEST(TimeLimitTest, MbcStarZeroBudgetStillReturnsValidClique) {
   const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
   // The heuristic runs before the budget check, so a clique is returned.
   EXPECT_TRUE(IsBalancedClique(graph, result.clique));
-  EXPECT_TRUE(result.stats.timed_out || result.clique.size() >= 4);
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kDeadline);
 }
 
 TEST(TimeLimitTest, MbcStarGenerousBudgetIsExact) {
@@ -35,21 +39,24 @@ TEST(TimeLimitTest, MbcStarGenerousBudgetIsExact) {
   options.time_limit_seconds = 1e6;
   const MbcStarResult result = MaxBalancedCliqueStar(graph, 2, options);
   EXPECT_FALSE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kNone);
   EXPECT_EQ(result.clique.size(), 6u);
 }
 
 TEST(TimeLimitTest, EdgeReductionZeroBudgetReturnsInput) {
-  // Large enough that the (periodic) budget check fires within the first
-  // round, which must then be discarded wholesale.
   const SignedGraph graph = RandomSignedGraph(2000, 30000, 0.45, 5);
-  const SignedGraph reduced = EdgeReduction(graph, 3, 0.0);
+  ExecutionContext exec(Deadline::After(0.0));
+  const SignedGraph reduced = EdgeReduction(graph, 3, &exec);
+  // The pre-loop probe trips, and a partial round is discarded wholesale.
   EXPECT_EQ(reduced.NumEdges(), graph.NumEdges());
+  EXPECT_TRUE(exec.Interrupted());
 }
 
 TEST(TimeLimitTest, EdgeReductionPartialIsSupersetOfFull) {
   const SignedGraph graph = RandomSignedGraph(120, 900, 0.45, 9);
   const SignedGraph full = EdgeReduction(graph, 3);
-  const SignedGraph partial = EdgeReduction(graph, 3, 0.0);
+  ExecutionContext exec(Deadline::After(0.0));
+  const SignedGraph partial = EdgeReduction(graph, 3, &exec);
   // Every edge surviving the full reduction also survives the partial one
   // (partial = a prefix of the removal rounds).
   full.ForEachEdge([&partial](VertexId u, VertexId v, Sign sign) {
@@ -67,6 +74,7 @@ TEST(TimeLimitTest, PfStarZeroBudgetReturnsHeuristicLowerBound) {
   // The result is a valid lower bound with a valid witness.
   EXPECT_TRUE(IsBalancedClique(graph, result.witness));
   EXPECT_EQ(result.witness.MinSide(), result.beta);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kDeadline);
   const PfStarResult exact = PolarizationFactorStar(graph);
   EXPECT_LE(result.beta, exact.beta);
 }
@@ -82,16 +90,32 @@ TEST(TimeLimitTest, GmbcStarZeroBudgetKeepsInvariants) {
     EXPECT_TRUE(IsBalancedClique(graph, result.cliques[tau]));
     EXPECT_TRUE(result.cliques[tau].SatisfiesThreshold(tau));
   }
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.interrupt_reason, InterruptReason::kDeadline);
 }
 
 TEST(TimeLimitTest, ExpiredBudgetSetsFlagOnHardInstance) {
-  // A dense graph where the search cannot finish instantly.
   const SignedGraph graph = RandomSignedGraph(3000, 60000, 0.45, 13);
   MbcStarOptions options;
   options.time_limit_seconds = 0.0;
   options.run_heuristic = false;
   const MbcStarResult result = MaxBalancedCliqueStar(graph, 1, options);
   EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kDeadline);
+}
+
+TEST(TimeLimitTest, SharedContextDeadlineIsObservedBySolver) {
+  // A caller-owned context with an already-expired deadline must win over
+  // (and not be clobbered by) the legacy time_limit_seconds option.
+  const SignedGraph graph = RandomSignedGraph(400, 3000, 0.4, 17);
+  ExecutionContext exec(Deadline::After(0.0));
+  MbcStarOptions options;
+  options.exec = &exec;
+  options.time_limit_seconds = 1e6;  // ignored: exec takes precedence
+  const MbcStarResult result = MaxBalancedCliqueStar(graph, 1, options);
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kDeadline);
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
 }
 
 }  // namespace

@@ -12,6 +12,14 @@
 //
 // Graph files ending in ".bin"/".mbcg" are read/written in the binary
 // format; anything else as a `u v sign` text edge list.
+//
+// Every solver command honors the global governor flags:
+//   --time-limit SECONDS     wall-clock budget (best-effort result on expiry)
+//   --memory-limit-mb MB     logical memory budget (tracker + RSS)
+// and Ctrl-C (SIGINT), which cancels the run cooperatively: the solver
+// unwinds at its next checkpoint and the best result found so far is
+// printed, annotated with the interrupt reason.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/execution.h"
 #include "src/common/timer.h"
 #include "src/core/mbc_adv.h"
 #include "src/core/mbc_baseline.h"
@@ -43,6 +52,21 @@ using mbc::Result;
 using mbc::SignedGraph;
 using mbc::Status;
 
+// One governor for the whole invocation; the SIGINT handler cancels it
+// (CancellationToken::Cancel is a lock-free atomic store, so it is
+// async-signal-safe).
+mbc::ExecutionContext g_execution;
+
+void HandleSigint(int /*signum*/) { g_execution.RequestCancel(); }
+
+// Prints the governor verdict once a command finishes.
+void ReportInterrupt() {
+  if (g_execution.Interrupted()) {
+    std::printf("interrupted: %s (best-effort result)\n",
+                mbc::InterruptReasonName(g_execution.reason()));
+  }
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -57,7 +81,11 @@ int Usage() {
       "  convert  --graph FILE --out FILE\n"
       "  balance  --graph FILE\n"
       "  related  --graph FILE [--alpha A --k K]\n"
-      "  datasets\n");
+      "  datasets\n"
+      "global flags (solver commands):\n"
+      "  --time-limit SECONDS   wall-clock budget\n"
+      "  --memory-limit-mb MB   memory budget\n"
+      "Ctrl-C cancels cooperatively; the best-effort result is printed.\n");
   return 2;
 }
 
@@ -157,17 +185,25 @@ int CmdMbc(const Flags& flags) {
   mbc::Timer timer;
   mbc::BalancedClique clique;
   if (algo == "star") {
-    clique = mbc::MaxBalancedCliqueStar(graph.value(), tau).clique;
+    mbc::MbcStarOptions options;
+    options.exec = &g_execution;
+    clique = mbc::MaxBalancedCliqueStar(graph.value(), tau, options).clique;
   } else if (algo == "baseline") {
-    clique = mbc::MaxBalancedCliqueBaseline(graph.value(), tau).clique;
+    mbc::MbcBaselineOptions options;
+    options.exec = &g_execution;
+    clique =
+        mbc::MaxBalancedCliqueBaseline(graph.value(), tau, options).clique;
   } else if (algo == "adv") {
-    clique = mbc::MaxBalancedCliqueAdv(graph.value(), tau).clique;
+    mbc::MbcAdvOptions options;
+    options.exec = &g_execution;
+    clique = mbc::MaxBalancedCliqueAdv(graph.value(), tau, options).clique;
   } else {
     std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
     return 2;
   }
   std::printf("algorithm: %s  tau: %u  time: %.3fs\n", algo.c_str(), tau,
               timer.ElapsedSeconds());
+  ReportInterrupt();
   if (clique.empty()) {
     std::printf("no balanced clique satisfies tau=%u\n", tau);
     return 0;
@@ -185,18 +221,25 @@ int CmdPf(const Flags& flags) {
   mbc::Timer timer;
   uint32_t beta = 0;
   if (algo == "star") {
+    mbc::PfStarOptions options;
+    options.exec = &g_execution;
     const mbc::PfStarResult result =
-        mbc::PolarizationFactorStar(graph.value());
+        mbc::PolarizationFactorStar(graph.value(), options);
     beta = result.beta;
     std::printf("witness: %s\n", result.witness.ToString().c_str());
   } else if (algo == "bs") {
-    beta = mbc::PolarizationFactorBinarySearch(graph.value()).beta;
+    mbc::PfBsOptions options;
+    options.exec = &g_execution;
+    beta = mbc::PolarizationFactorBinarySearch(graph.value(), options).beta;
   } else if (algo == "enum") {
-    beta = mbc::PolarizationFactorEnum(graph.value()).beta;
+    mbc::PfEOptions options;
+    options.exec = &g_execution;
+    beta = mbc::PolarizationFactorEnum(graph.value(), options).beta;
   } else {
     std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
     return 2;
   }
+  ReportInterrupt();
   std::printf("beta(G) = %u  (%s, %.3fs)\n", beta, algo.c_str(),
               timer.ElapsedSeconds());
   return 0;
@@ -205,8 +248,11 @@ int CmdPf(const Flags& flags) {
 int CmdGmbc(const Flags& flags) {
   Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
+  mbc::GeneralizedMbcOptions options;
+  options.exec = &g_execution;
   const mbc::GeneralizedMbcResult result =
-      mbc::GeneralizedMbcStar(graph.value());
+      mbc::GeneralizedMbcStar(graph.value(), options);
+  ReportInterrupt();
   std::printf("beta(G) = %u, %zu distinct cliques\n", result.beta,
               result.NumDistinctCliques());
   for (uint32_t tau = 0; tau < result.cliques.size(); ++tau) {
@@ -224,6 +270,7 @@ int CmdEnum(const Flags& flags) {
       static_cast<uint32_t>(std::strtoul(flags.Get("tau", "1").c_str(),
                                          nullptr, 10));
   mbc::MbcEnumOptions options;
+  options.exec = &g_execution;
   options.max_cliques =
       std::strtoull(flags.Get("limit", "0").c_str(), nullptr, 10);
   const mbc::MbcEnumStats stats = mbc::EnumerateMaximalBalancedCliques(
@@ -232,6 +279,7 @@ int CmdEnum(const Flags& flags) {
         std::printf("%s\n", clique.ToString().c_str());
       },
       options);
+  ReportInterrupt();
   std::printf("# %llu maximal balanced clique(s)%s\n",
               static_cast<unsigned long long>(stats.num_reported),
               stats.truncated ? " (truncated)" : "");
@@ -296,19 +344,24 @@ int CmdBalance(const Flags& flags) {
 int CmdRelated(const Flags& flags) {
   Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
   if (!graph.ok()) return Fail(graph.status());
+  // Keep the historical 60s safety cap on this exponential command unless
+  // the user picked a budget explicitly with --time-limit.
+  if (!flags.Has("time-limit")) {
+    g_execution.set_deadline(mbc::Deadline::After(60.0));
+  }
   const std::vector<mbc::VertexId> trusted =
-      mbc::MaxTrustedClique(graph.value());
+      mbc::MaxTrustedClique(graph.value(), &g_execution);
   std::printf("maximum trusted clique: %zu vertices\n", trusted.size());
   mbc::AlphaKCliqueOptions options;
+  options.exec = &g_execution;
   options.alpha = std::strtod(flags.Get("alpha", "1").c_str(), nullptr);
   options.k = static_cast<uint32_t>(
       std::strtoul(flags.Get("k", "1").c_str(), nullptr, 10));
-  options.time_limit_seconds = 60.0;
   const mbc::AlphaKCliqueResult ak =
       mbc::MaxAlphaKClique(graph.value(), options);
   std::printf("maximum (%.2f,%u)-clique: %zu vertices%s\n", options.alpha,
               options.k, ak.clique.size(),
-              ak.timed_out ? " (time limit hit; lower bound)" : "");
+              ak.timed_out ? " (interrupted; lower bound)" : "");
   const mbc::BalancedSubgraphResult subgraph =
       mbc::LargeBalancedSubgraph(graph.value());
   std::printf("large balanced subgraph: %zu vertices\n",
@@ -335,6 +388,20 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Flags flags(argc, argv);
   if (!flags.ok()) return Usage();
+
+  if (flags.Has("time-limit")) {
+    g_execution.set_deadline(mbc::Deadline::After(
+        std::strtod(flags.Get("time-limit", "0").c_str(), nullptr)));
+  }
+  if (flags.Has("memory-limit-mb")) {
+    const double mib = std::strtod(
+        flags.Get("memory-limit-mb", "0").c_str(), nullptr);
+    if (mib > 0) {
+      g_execution.set_memory_budget(mbc::MemoryBudget::Limit(
+          static_cast<uint64_t>(mib * 1024.0 * 1024.0)));
+    }
+  }
+  std::signal(SIGINT, HandleSigint);
 
   if (command == "stats") return CmdStats(flags);
   if (command == "mbc") return CmdMbc(flags);
