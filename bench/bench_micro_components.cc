@@ -4,8 +4,28 @@
 // MBC*'s cost profile: CSR construction, degeneracy peeling, dichromatic
 // network extraction, (τ_L,τ_R)-core peeling, coloring bounds and the MDC
 // solver on random dichromatic graphs.
+//
+// Besides the google-benchmark suite, the binary ends with a kernel
+// report that pits the arena MDC kernel against the pre-arena (legacy)
+// kernel on identical instances, counting wall-clock time, branches and
+// true heap allocations (global operator new hooks), and writes the
+// machine-readable result to BENCH_kernel.json (see docs/perf.md).
+//
+//   MBC_BENCH_KERNEL_JSON=path  output path (default BENCH_kernel.json)
+//   MBC_BENCH_STRICT=1          exit non-zero if the arena kernel performs
+//                               any steady-state heap allocation
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "src/common/memory.h"
 #include "src/common/random.h"
 #include "src/core/mbc_heu.h"
 #include "src/core/mbc_star.h"
@@ -17,8 +37,45 @@
 #include "src/graph/cores.h"
 #include "src/pf/pdecompose.h"
 
+// ---------------------------------------------------------------------------
+// Global allocation counters. Every path through operator new lands here,
+// which is what lets the kernel report prove "zero allocations in steady
+// state" rather than inferring it from the MemoryTracker's logical ledger.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a mismatched
+// new/delete pair; the pairing is correct (our operator new mallocs).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 namespace mbc {
 namespace {
+
+uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 SignedGraph MakeGraph(VertexId n, EdgeCount m, uint64_t seed = 7) {
   CommunityGraphOptions options;
@@ -110,6 +167,24 @@ void BM_DichromaticNetworkBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DichromaticNetworkBuild);
 
+// Same extraction through the clear-and-refill path: one network object,
+// grown once, refilled per iteration. The gap to BM_DichromaticNetworkBuild
+// is the construction overhead the arena call sites no longer pay.
+void BM_DichromaticNetworkBuildInto(benchmark::State& state) {
+  const SignedGraph graph = MakeGraph(20000, 300000);
+  const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
+  DichromaticNetworkBuilder builder(graph);
+  DichromaticNetwork net;
+  VertexId u = 0;
+  for (auto _ : state) {
+    builder.BuildInto(degeneracy.order[u % graph.NumVertices()],
+                      degeneracy.rank.data(), nullptr, &net);
+    benchmark::DoNotOptimize(net.graph.NumVertices());
+    ++u;
+  }
+}
+BENCHMARK(BM_DichromaticNetworkBuildInto);
+
 void BM_TwoSidedCore(benchmark::State& state) {
   const DichromaticGraph graph =
       MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.1, 3);
@@ -131,18 +206,42 @@ void BM_ColoringBound(benchmark::State& state) {
 }
 BENCHMARK(BM_ColoringBound)->Arg(128)->Arg(512);
 
-void BM_MdcSolve(benchmark::State& state) {
+// The two MDC kernels on identical instances. Arena reuses one solver
+// across iterations (the production calling convention); legacy runs the
+// pre-arena recursion through the same reused solver object, so the gap
+// is the kernel, not the setup. Each reports allocations per iteration.
+void RunMdcKernelBenchmark(benchmark::State& state, bool use_arena) {
   const DichromaticGraph graph =
       MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.25, 11);
   Bitset candidates = graph.AdjacencyOf(0);
+  MdcSolver solver(graph);
+  solver.set_use_arena(use_arena);
+  std::vector<uint32_t> best;
+  const std::vector<uint32_t> seed{0};
+  solver.Solve(seed, candidates, 1, 2, 0, &best);  // warm-up
+  const uint64_t allocs_before = AllocCount();
+  uint64_t branches = 0;
   for (auto _ : state) {
-    MdcSolver solver(graph);
-    std::vector<uint32_t> best;
-    solver.Solve({0}, candidates, 1, 2, 0, &best);
+    solver.Solve(seed, candidates, 1, 2, 0, &best);
+    branches += solver.branches();
     benchmark::DoNotOptimize(best.size());
   }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(AllocCount() - allocs_before) / iters);
+  state.counters["branches"] =
+      benchmark::Counter(static_cast<double>(branches) / iters);
 }
-BENCHMARK(BM_MdcSolve)->Arg(64)->Arg(128);
+
+void BM_MdcSolveArena(benchmark::State& state) {
+  RunMdcKernelBenchmark(state, /*use_arena=*/true);
+}
+BENCHMARK(BM_MdcSolveArena)->Arg(64)->Arg(128);
+
+void BM_MdcSolveLegacy(benchmark::State& state) {
+  RunMdcKernelBenchmark(state, /*use_arena=*/false);
+}
+BENCHMARK(BM_MdcSolveLegacy)->Arg(64)->Arg(128);
 
 void BM_MbcHeuristic(benchmark::State& state) {
   const SignedGraph graph = MakeGraph(20000, 200000);
@@ -163,5 +262,195 @@ void BM_MbcStarEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_MbcStarEndToEnd);
 
+// ---------------------------------------------------------------------------
+// Kernel report: arena vs legacy on a fixed instance pool, 100 steady-state
+// solves per kernel, written to BENCH_kernel.json.
+// ---------------------------------------------------------------------------
+
+struct KernelInstance {
+  uint32_t n;
+  double density;
+  uint64_t seed;
+  DichromaticGraph graph;
+  Bitset candidates;
+};
+
+struct KernelMeasurement {
+  double seconds = 0.0;
+  uint64_t branches = 0;
+  uint64_t solves = 0;
+  uint64_t steady_allocs = 0;   // operator-new calls across all solves
+  int64_t tracker_delta = 0;    // MemoryTracker byte drift across solves
+  size_t best_size = 0;         // checksum: total clique vertices found
+};
+
+constexpr int kSteadySolves = 100;
+
+KernelMeasurement MeasureKernel(std::vector<KernelInstance>& instances,
+                                bool use_arena) {
+  KernelMeasurement m;
+  MdcSolver solver;
+  solver.set_use_arena(use_arena);
+  std::vector<uint32_t> best;
+  const std::vector<uint32_t> seed{0};
+  // Warm-up: two passes over the pool. The first grows every buffer
+  // (arena frames, result vectors) to its high-water size; the second lets
+  // the arena's MemoryTracker account settle (it is booked at BindNetwork,
+  // so growth during a solve is only recorded at the next bind).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (KernelInstance& inst : instances) {
+      solver.Rebind(inst.graph);
+      solver.Solve(seed, inst.candidates, 1, 2, 0, &best);
+    }
+  }
+  const uint64_t allocs_before = AllocCount();
+  const int64_t tracker_before =
+      static_cast<int64_t>(MemoryTracker::Global().current_bytes());
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kSteadySolves; ++round) {
+    KernelInstance& inst = instances[static_cast<size_t>(round) %
+                                     instances.size()];
+    solver.Rebind(inst.graph);
+    best.clear();
+    if (solver.Solve(seed, inst.candidates, 1, 2, 0, &best)) {
+      m.best_size += best.size();
+    }
+    m.branches += solver.branches();
+    ++m.solves;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  m.seconds = std::chrono::duration<double>(stop - start).count();
+  m.steady_allocs = AllocCount() - allocs_before;
+  m.tracker_delta =
+      static_cast<int64_t>(MemoryTracker::Global().current_bytes()) -
+      tracker_before;
+  return m;
+}
+
+void AppendKernelJson(std::string* out, const char* name,
+                      const KernelMeasurement& m) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"seconds\": %.6f,\n"
+      "    \"solves\": %llu,\n"
+      "    \"branches\": %llu,\n"
+      "    \"branches_per_sec\": %.1f,\n"
+      "    \"steady_state_allocs\": %llu,\n"
+      "    \"allocs_per_solve\": %.2f,\n"
+      "    \"tracker_delta_bytes\": %lld,\n"
+      "    \"solution_checksum\": %zu\n"
+      "  }",
+      name, m.seconds, static_cast<unsigned long long>(m.solves),
+      static_cast<unsigned long long>(m.branches),
+      m.seconds > 0 ? static_cast<double>(m.branches) / m.seconds : 0.0,
+      static_cast<unsigned long long>(m.steady_allocs),
+      static_cast<double>(m.steady_allocs) / static_cast<double>(m.solves),
+      static_cast<long long>(m.tracker_delta), m.best_size);
+  *out += buf;
+}
+
+int RunKernelReport() {
+  // The instance pool mirrors the networks MBC* hands to MDC: dense enough
+  // that the branch-and-bound actually recurses, small enough to finish
+  // instantly in Debug.
+  struct Spec {
+    uint32_t n;
+    double density;
+    uint64_t seed;
+  };
+  const Spec specs[] = {
+      {64, 0.25, 11}, {64, 0.40, 12}, {96, 0.30, 13}, {128, 0.25, 14},
+  };
+  std::vector<KernelInstance> instances;
+  instances.reserve(std::size(specs));
+  for (const Spec& spec : specs) {
+    KernelInstance inst{spec.n, spec.density, spec.seed,
+                        MakeDichromatic(spec.n, spec.density, spec.seed),
+                        Bitset()};
+    inst.candidates = inst.graph.AdjacencyOf(0);
+    instances.push_back(std::move(inst));
+  }
+
+  const KernelMeasurement legacy = MeasureKernel(instances, false);
+  const KernelMeasurement arena = MeasureKernel(instances, true);
+
+  const double speedup =
+      arena.seconds > 0 ? legacy.seconds / arena.seconds : 0.0;
+  const bool zero_alloc = arena.steady_allocs == 0 && arena.tracker_delta == 0;
+  const bool same_answers = legacy.best_size == arena.best_size &&
+                            legacy.branches == arena.branches;
+
+  std::string json = "{\n  \"schema\": \"mbc-kernel-bench-v1\",\n";
+  json += "  \"steady_state_solves\": ";
+  json += std::to_string(kSteadySolves);
+  json += ",\n  \"instances\": [\n";
+  for (size_t i = 0; i < instances.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"n\": %u, \"density\": %.2f, \"seed\": %llu}%s\n",
+                  instances[i].n, instances[i].density,
+                  static_cast<unsigned long long>(instances[i].seed),
+                  i + 1 < instances.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  AppendKernelJson(&json, "legacy", legacy);
+  json += ",\n";
+  AppendKernelJson(&json, "arena", arena);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                ",\n  \"speedup\": %.3f,\n  \"zero_alloc_steady_state\": "
+                "%s,\n  \"kernels_agree\": %s\n}\n",
+                speedup, zero_alloc ? "true" : "false",
+                same_answers ? "true" : "false");
+  json += tail;
+
+  const char* path_env = std::getenv("MBC_BENCH_KERNEL_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_kernel.json";
+  std::ofstream out(path);
+  out << json;
+  out.close();
+
+  std::printf("\nMDC kernel report (%d steady-state solves) -> %s\n",
+              kSteadySolves, path.c_str());
+  std::printf("  legacy: %.4fs, %llu branches, %llu allocs\n", legacy.seconds,
+              static_cast<unsigned long long>(legacy.branches),
+              static_cast<unsigned long long>(legacy.steady_allocs));
+  std::printf("  arena:  %.4fs, %llu branches, %llu allocs, tracker drift "
+              "%lld bytes\n",
+              arena.seconds, static_cast<unsigned long long>(arena.branches),
+              static_cast<unsigned long long>(arena.steady_allocs),
+              static_cast<long long>(arena.tracker_delta));
+  std::printf("  speedup: %.2fx, zero-alloc: %s, kernels agree: %s\n", speedup,
+              zero_alloc ? "yes" : "NO", same_answers ? "yes" : "NO");
+
+  const char* strict = std::getenv("MBC_BENCH_STRICT");
+  if (strict != nullptr && strict[0] == '1') {
+    if (!zero_alloc) {
+      std::fprintf(stderr,
+                   "FAIL: arena kernel allocated in steady state "
+                   "(%llu allocs, %lld tracker bytes)\n",
+                   static_cast<unsigned long long>(arena.steady_allocs),
+                   static_cast<long long>(arena.tracker_delta));
+      return 1;
+    }
+    if (!same_answers) {
+      std::fprintf(stderr, "FAIL: arena and legacy kernels disagree\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace mbc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return mbc::RunKernelReport();
+}

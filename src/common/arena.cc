@@ -1,0 +1,53 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/arena.h"
+
+#include "src/common/memory.h"
+
+namespace mbc {
+
+SearchArena::~SearchArena() {
+  if (accounted_bytes_ > 0) {
+    MemoryTracker::Global().Sub(accounted_bytes_);
+  }
+}
+
+void SearchArena::BindNetwork(size_t num_bits) {
+  num_bits_ = num_bits;
+  // Settle the tracker account once per search: growth from the previous
+  // search (new frames, larger rows) becomes visible here, and a steady
+  // state shows up as a zero per-solve delta.
+  const size_t bytes = MemoryBytes();
+  if (bytes > accounted_bytes_) {
+    MemoryTracker::Global().Add(bytes - accounted_bytes_);
+  } else if (bytes < accounted_bytes_) {
+    MemoryTracker::Global().Sub(accounted_bytes_ - bytes);
+  }
+  accounted_bytes_ = bytes;
+}
+
+SearchArena::Frame& SearchArena::FrameAt(size_t depth) {
+  while (frames_.size() <= depth) frames_.emplace_back();
+  Frame& frame = frames_[depth];
+  // resize (not assign): entries are fully initialized by the solver for
+  // every vertex it reads, so stale values from the previous search are
+  // never observed and the common case is a no-op.
+  if (frame.degrees.size() != num_bits_) frame.degrees.resize(num_bits_);
+  return frame;
+}
+
+size_t SearchArena::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Frame& frame : frames_) {
+    bytes += frame.cand.AllocatedBytes() + frame.pool.AllocatedBytes() +
+             frame.remaining.AllocatedBytes() +
+             frame.scratch.AllocatedBytes() +
+             frame.degrees.capacity() * sizeof(uint32_t) + sizeof(Frame);
+  }
+  bytes += pending_.capacity() * sizeof(uint32_t);
+  bytes += pairs_.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+  for (const Bitset& row : color_rows_) bytes += row.AllocatedBytes();
+  bytes += color_rows_.capacity() * sizeof(Bitset);
+  return bytes;
+}
+
+}  // namespace mbc

@@ -1,0 +1,87 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// SearchArena: a depth-indexed pool of pre-sized Bitset rows plus flat
+// scratch vectors for the branch-and-bound kernels (MDC / DCC). The
+// recursion depth of those searches is bounded by the network size, and
+// dichromatic networks are rebuilt thousands of times per run, so the
+// arena keeps one Frame per recursion depth and re-dimensions it lazily
+// instead of heap-allocating three bitsets per recursion node. Storage
+// only ever grows (to the high-water network size / depth), so after
+// warm-up an entire search runs with zero heap allocations.
+//
+// The arena is owned per-solver (one per worker thread in the parallel
+// solver); it is not thread-safe.
+#ifndef MBC_COMMON_ARENA_H_
+#define MBC_COMMON_ARENA_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitset.h"
+
+namespace mbc {
+
+class SearchArena {
+ public:
+  /// Per-depth scratch for one branch-and-bound node. The bitset rows are
+  /// written via Reshape/CopyFrom/AssignAnd, which adopt the network's
+  /// current universe size while reusing word storage.
+  struct Frame {
+    Bitset cand;       ///< candidate set after pruning at this depth
+    Bitset pool;       ///< branching pool (side-restricted candidates)
+    Bitset remaining;  ///< candidates not yet branched away
+    Bitset scratch;    ///< transient neighborhood/peeling buffer
+    /// degrees[v] = degree of v within `remaining`, maintained
+    /// incrementally as vertices leave `remaining` (see docs/perf.md for
+    /// the invariant).
+    std::vector<uint32_t> degrees;
+  };
+
+  SearchArena() = default;
+  ~SearchArena();
+  SearchArena(const SearchArena&) = delete;
+  SearchArena& operator=(const SearchArena&) = delete;
+
+  /// Declares the universe size of the next search (the network's vertex
+  /// count). Frames are re-dimensioned lazily by FrameAt. Also settles the
+  /// arena's MemoryTracker account, so per-solve tracker deltas expose any
+  /// steady-state growth.
+  void BindNetwork(size_t num_bits);
+
+  size_t bound_bits() const { return num_bits_; }
+
+  /// Frame for recursion depth `depth`. References stay valid across later
+  /// FrameAt calls (frames live in a deque). The frame's `degrees` array is
+  /// sized to the bound universe; its bitsets keep whatever shape the
+  /// previous search left and must be written before being read.
+  Frame& FrameAt(size_t depth);
+
+  /// Flat scratch shared by the non-recursive helpers (k-core peeling
+  /// stacks, coloring order). Never live across a recursive call.
+  std::vector<uint32_t>& pending() { return pending_; }
+  std::vector<std::pair<uint32_t, uint32_t>>& pairs() { return pairs_; }
+  /// Color-class rows for the greedy coloring bound. Callers Reshape the
+  /// prefix they use; rows are only ever appended, never shrunk.
+  std::vector<Bitset>& color_rows() { return color_rows_; }
+
+  /// Number of frames materialized so far (high-water recursion depth).
+  size_t depth_capacity() const { return frames_.size(); }
+
+  /// Bytes of heap storage currently reserved by the arena.
+  size_t MemoryBytes() const;
+
+ private:
+  std::deque<Frame> frames_;
+  std::vector<uint32_t> pending_;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+  std::vector<Bitset> color_rows_;
+  size_t num_bits_ = 0;
+  /// Bytes currently reported to MemoryTracker::Global().
+  size_t accounted_bytes_ = 0;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_ARENA_H_

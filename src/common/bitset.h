@@ -42,6 +42,30 @@ class Bitset {
   void SetAll() { SetFirstN(num_bits_); }
   void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
 
+  /// Re-dimensions the set to `num_bits` and clears every bit. Unlike
+  /// constructing a fresh Bitset, the word storage is retained whenever it
+  /// already suffices, so repeated Reshape calls bounded by a high-water
+  /// capacity never touch the heap (the search-arena reuse contract).
+  void Reshape(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  /// this = other (capacity included), reusing existing word storage.
+  void CopyFrom(const Bitset& other) {
+    num_bits_ = other.num_bits_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  /// this = a & b without materializing a temporary. a and b must have the
+  /// same capacity; this may have any prior shape (storage is reused).
+  void AssignAnd(const Bitset& a, const Bitset& b);
+
+  /// Bytes of heap storage currently reserved by this bitset.
+  size_t AllocatedBytes() const {
+    return words_.capacity() * sizeof(uint64_t);
+  }
+
   size_t Count() const;
   bool Any() const;
   bool None() const { return !Any(); }
@@ -67,6 +91,8 @@ class Bitset {
 
   /// Number of set bits in (this & other) without materializing it.
   size_t CountAnd(const Bitset& other) const;
+  /// Number of set bits in (this & b & c) without materializing it.
+  size_t CountAndAnd(const Bitset& b, const Bitset& c) const;
   /// Whether (this & other) is non-empty.
   bool Intersects(const Bitset& other) const;
   /// Whether every set bit of this is also set in other.

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/core/mbc_heu.h"
 #include "src/core/mdc_solver.h"
@@ -34,6 +35,18 @@ void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
             const DegeneracyResult& degeneracy, uint32_t tau,
             ExecutionContext* exec, SharedState* state) {
   DichromaticNetworkBuilder builder(work);
+  // Per-worker reusable search state: each thread owns one network, one
+  // solver (whose arena spans all the MDC instances the worker claims)
+  // and the pruning scratch, so the steady-state claim loop below does
+  // not touch the heap.
+  DichromaticNetwork net;
+  MdcSolver solver;
+  solver.SetExecution(exec);
+  SearchArena prune_arena;
+  Bitset alive;
+  Bitset candidates;
+  std::vector<uint32_t> solution;
+  const std::vector<uint32_t> seed{0};
   const size_t n = degeneracy.order.size();
   while (true) {
     // One full probe per network keeps cancellation latency bounded by a
@@ -54,26 +67,29 @@ void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
     }
     if (static_cast<size_t>(higher) + 1 <= bound) continue;
 
-    DichromaticNetwork net = builder.Build(u, degeneracy.rank.data());
+    builder.BuildInto(u, degeneracy.rank.data(), nullptr, &net);
     state->networks_built.fetch_add(1, std::memory_order_relaxed);
     bound = state->best_size.load(std::memory_order_relaxed);
-    if (static_cast<size_t>(net.graph.NumVertices()) <= bound) continue;
+    const uint32_t k = net.graph.NumVertices();
+    if (static_cast<size_t>(k) <= bound) continue;
 
-    Bitset alive = net.graph.AllVertices();
-    alive = KCoreWithin(net.graph, alive, static_cast<uint32_t>(bound));
+    prune_arena.BindNetwork(k);
+    alive.Reshape(k);
+    alive.SetAll();
+    KCoreWithinInPlace(net.graph, &alive, static_cast<uint32_t>(bound),
+                       &prune_arena.pending(),
+                       &prune_arena.FrameAt(0).scratch);
     if (!alive.Test(0) || alive.Count() <= bound) continue;
-    if (ColoringBoundWithin(net.graph, alive,
-                            static_cast<uint32_t>(bound)) <= bound) {
+    if (ColoringBoundWithin(net.graph, alive, static_cast<uint32_t>(bound),
+                            &prune_arena) <= bound) {
       continue;
     }
 
     state->mdc_instances.fetch_add(1, std::memory_order_relaxed);
-    Bitset candidates = alive;
+    candidates.CopyFrom(alive);
     candidates.Reset(0);
-    MdcSolver solver(net.graph);
-    solver.SetExecution(exec);
-    std::vector<uint32_t> solution;
-    if (!solver.Solve({0}, candidates, static_cast<int32_t>(tau) - 1,
+    solver.Rebind(net.graph);
+    if (!solver.Solve(seed, candidates, static_cast<int32_t>(tau) - 1,
                       static_cast<int32_t>(tau), bound, &solution)) {
       continue;
     }
@@ -152,7 +168,9 @@ ParallelMbcResult ParallelMaxBalancedCliqueStar(
     }
     for (std::thread& thread : pool) thread.join();
   } else {
-    result.threads_used = 0;
+    // Degenerate/empty work still runs on the calling thread; report the
+    // actual thread count instead of 0.
+    result.threads_used = 1;
   }
 
   result.clique = std::move(state.best);

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
@@ -109,6 +110,22 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
     double sr2_sum = 0.0;
     uint64_t sr_count = 0;
 
+    // Reusable per-search state, hoisted out of the vertex loop: the
+    // network, the solver (whose arena amortizes across all MDC
+    // instances), and the pruning scratch all grow to a high-water size
+    // once and then stop touching the heap.
+    DichromaticNetwork net;
+    MdcSolver solver;
+    solver.SetOptions({options.use_arena, options.use_core_pruning,
+                       options.use_coloring_bound});
+    solver.SetExecution(exec);
+    SearchArena prune_arena;  // outer k-core / coloring-bound scratch
+    Bitset alive;
+    Bitset alive_sans_u;
+    Bitset candidates;
+    std::vector<uint32_t> solution;
+    const std::vector<uint32_t> seed{0};  // u is local vertex 0
+
     // Line 5: process vertices in reverse degeneracy order.
     for (auto it = degeneracy.order.rbegin(); it != degeneracy.order.rend();
          ++it) {
@@ -126,32 +143,36 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
       }
       if (static_cast<size_t>(higher) + 1 <= prune_bound) continue;
 
-      // Line 6: dichromatic network over higher-ranked neighbors.
-      DichromaticNetwork net =
-          builder.Build(u, degeneracy.rank.data(), nullptr);
+      // Line 6: dichromatic network over higher-ranked neighbors
+      // (clear-and-refill into the hoisted network).
+      builder.BuildInto(u, degeneracy.rank.data(), nullptr, &net);
       ++stats.num_networks_built;
       const uint32_t k = net.graph.NumVertices();
       if (static_cast<size_t>(k) <= prune_bound) continue;
 
       // Line 7: |C*|-core of g_u (labels ignored).
-      Bitset alive = net.graph.AllVertices();
+      prune_arena.BindNetwork(k);
+      alive.Reshape(k);
+      alive.SetAll();
       if (options.use_core_pruning) {
-        alive = KCoreWithin(net.graph, alive,
-                            static_cast<uint32_t>(prune_bound));
+        KCoreWithinInPlace(net.graph, &alive,
+                           static_cast<uint32_t>(prune_bound),
+                           &prune_arena.pending(),
+                           &prune_arena.FrameAt(0).scratch);
         if (!alive.Test(0) || alive.Count() <= prune_bound) continue;
       }
 
       // Line 8: coloring-based pruning, then MDC.
       if (options.use_coloring_bound &&
           ColoringBoundWithin(net.graph, alive,
-                              static_cast<uint32_t>(prune_bound)) <=
-              prune_bound) {
+                              static_cast<uint32_t>(prune_bound),
+                              &prune_arena) <= prune_bound) {
         continue;
       }
 
       ++stats.num_mdc_instances;
       if (net.ego_edges > 0) {
-        Bitset alive_sans_u = alive;
+        alive_sans_u.CopyFrom(alive);
         alive_sans_u.Reset(0);
         const uint64_t core_edges = net.graph.EdgesWithin(alive_sans_u);
         sr1_sum += 1.0 - static_cast<double>(net.dichromatic_edges) /
@@ -161,15 +182,11 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
         ++sr_count;
       }
 
-      Bitset candidates = alive;
+      candidates.CopyFrom(alive);
       candidates.Reset(0);
-      MdcSolver solver(net.graph);
-      solver.set_use_core_pruning(options.use_core_pruning);
-      solver.set_use_coloring_bound(options.use_coloring_bound);
-      solver.SetExecution(exec);
-      std::vector<uint32_t> solution;
+      solver.Rebind(net.graph);
       const bool improved = solver.Solve(
-          /*seed=*/{0}, candidates, static_cast<int32_t>(tau) - 1,
+          seed, candidates, static_cast<int32_t>(tau) - 1,
           static_cast<int32_t>(tau), prune_bound, &solution,
           options.existence_only);
       stats.mdc_branches += solver.branches();

@@ -53,6 +53,11 @@ struct MbcStarOptions {
   /// quantifies that bound's contribution (bench_ablation_pruning).
   bool use_core_pruning = true;
   bool use_coloring_bound = true;
+
+  /// Run the MDC search on the allocation-free arena kernel (default) or
+  /// the pre-arena kernel (escape hatch kept for one release; exercised by
+  /// the differential tests).
+  bool use_arena = true;
 };
 
 /// Counters surfaced for the Table IV experiment.

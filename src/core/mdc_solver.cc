@@ -5,12 +5,29 @@
 #include "src/dichromatic/reductions.h"
 
 namespace mbc {
+namespace {
+
+// The clique shortcut below scans every candidate's adjacency row — O(E)
+// of the candidate subgraph. On small pools that collapses deep dives
+// into planted/real cliques to a single step, but on large pools the
+// coloring bound is about to do comparable work anyway, so the scan only
+// pays for itself up to this cap (when the coloring bound is disabled the
+// shortcut stays unconditional — it is then the only dive-collapser).
+constexpr size_t kCliqueShortcutCap = 64;
+
+}  // namespace
 
 bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
                       const Bitset& candidates, int32_t tau_l, int32_t tau_r,
                       size_t lower_bound, std::vector<uint32_t>* best,
                       bool existence_only) {
-  current_ = seed;
+  MBC_CHECK(graph_ != nullptr) << "MdcSolver::Solve without a bound graph";
+  const size_t n = graph_->NumVertices();
+  // Result buffers can hold seed + every network vertex; reserving once
+  // keeps the push/pop and incumbent copies below allocation-free.
+  current_.reserve(seed.size() + n);
+  best_.reserve(seed.size() + n);
+  current_.assign(seed.begin(), seed.end());
   best_.clear();
   best_size_ = lower_bound;
   found_ = false;
@@ -18,13 +35,30 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
   stop_ = false;
   branches_ = 0;
   interrupted_ = false;
-  Recurse(candidates, tau_l, tau_r);
+  if (options_.use_arena) {
+    arena_.BindNetwork(n);
+    SearchArena::Frame& root = arena_.FrameAt(0);
+    root.cand.CopyFrom(candidates);
+    RecurseArena(0, tau_l, tau_r);
+  } else {
+    RecurseLegacy(candidates, tau_l, tau_r);
+  }
   if (found_) *best = best_;
   return found_;
 }
 
-void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
-                        int32_t tau_r) {
+void MdcSolver::RecordCliqueShortcut(const Bitset& cand) {
+  best_ = current_;
+  cand.ForEach(
+      [this](size_t v) { best_.push_back(static_cast<uint32_t>(v)); });
+  best_size_ = best_.size();
+  found_ = true;
+}
+
+// The allocation-free kernel. The caller owns frame `depth` and has
+// populated its `cand` row (the root from Solve, recursive calls via
+// AssignAnd below); everything else in the frame is written here.
+void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r) {
   ++branches_;
   if (exec_ != nullptr && exec_->Checkpoint()) {
     interrupted_ = true;
@@ -43,18 +77,21 @@ void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
     }
   }
 
+  SearchArena::Frame& frame = arena_.FrameAt(depth);
+  Bitset& cand = frame.cand;
+
   // Line 11: degree-based pruning — any extension clique C' with
   // |C ∪ C'| > best must lie in the (best - |C|)-core of the candidates.
-  Bitset cand = candidates;
-  if (use_core_pruning_ && best_size_ > current_.size()) {
-    cand = KCoreWithin(graph_, cand,
-                       static_cast<uint32_t>(best_size_ - current_.size()));
+  if (options_.use_core_pruning && best_size_ > current_.size()) {
+    KCoreWithinInPlace(*graph_, &cand,
+                       static_cast<uint32_t>(best_size_ - current_.size()),
+                       &arena_.pending(), &frame.scratch);
   }
 
   // Lines 12-13: infeasibility and coloring-bound pruning. The trivial
   // size bound comes first (it is free and subsumes the coloring bound
   // when even taking every candidate cannot beat the incumbent).
-  const size_t left_avail = cand.CountAnd(graph_.LeftMask());
+  const size_t left_avail = cand.CountAnd(graph_->LeftMask());
   const size_t right_avail = cand.Count() - left_avail;
   if ((tau_l > 0 && left_avail < static_cast<size_t>(tau_l)) ||
       (tau_r > 0 && right_avail < static_cast<size_t>(tau_r))) {
@@ -65,49 +102,156 @@ void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
 
   // Clique shortcut: if the candidates already induce a clique, the
   // maximum dichromatic clique through the current seed is all of them
-  // (the feasibility check above guarantees the side quotas). This
-  // collapses the deep "dive" into large planted/real cliques — the
-  // regime the TripAdvisor-like datasets live in — to a single step.
+  // (the feasibility check above guarantees the side quotas).
   const size_t cand_count = left_avail + right_avail;
-  uint64_t twice_edges = 0;
-  cand.ForEach([this, &cand, &twice_edges](size_t v) {
-    twice_edges += graph_.AdjacencyOf(v).CountAnd(cand);
-  });
-  if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
-    best_ = current_;
-    cand.ForEach([this](size_t v) {
-      best_.push_back(static_cast<uint32_t>(v));
+  if (cand_count <= kCliqueShortcutCap || !options_.use_coloring_bound) {
+    uint64_t twice_edges = 0;
+    cand.ForEach([this, &cand, &twice_edges](size_t v) {
+      twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
     });
-    best_size_ = best_.size();
-    found_ = true;
-    if (existence_only_) stop_ = true;
-    return;
+    if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+      RecordCliqueShortcut(cand);
+      if (existence_only_) stop_ = true;
+      return;
+    }
   }
 
   // The coloring bound can only prune while it stays <= needed; beyond
   // that it may stop early (see ColoringBoundWithin).
-  if (use_coloring_bound_) {
+  if (options_.use_coloring_bound) {
     const uint32_t needed =
         best_size_ > current_.size()
             ? static_cast<uint32_t>(best_size_ - current_.size())
             : 0;
-    const uint32_t color_bound = ColoringBoundWithin(graph_, cand, needed);
+    const uint32_t color_bound =
+        ColoringBoundWithin(*graph_, cand, needed, &arena_);
     if (current_.size() + color_bound <= best_size_) return;
   }
 
   // Lines 14-16: choose the branching pool based on which side still needs
   // vertices.
-  Bitset branch_pool = cand;
+  Bitset& pool = frame.pool;
+  pool.CopyFrom(cand);
   if (tau_l > 0 && tau_r <= 0) {
-    branch_pool &= graph_.LeftMask();
+    pool &= graph_->LeftMask();
   } else if (tau_l <= 0 && tau_r > 0) {
-    branch_pool.AndNot(graph_.LeftMask());
+    pool.AndNot(graph_->LeftMask());
   }
 
+  Bitset& remaining = frame.remaining;
+  remaining.CopyFrom(cand);
+
+  // Candidate degrees within `remaining`, maintained incrementally: full
+  // O(|cand|) bitset scans happen once per node, and each branch then
+  // pays only deg(v) decrements instead of the legacy kernel's full
+  // O(|pool|²) rescan per min-degree pick.
+  std::vector<uint32_t>& degrees = frame.degrees;
+  cand.ForEach([&](size_t v) {
+    degrees[v] = graph_->DegreeWithin(static_cast<uint32_t>(v), cand);
+  });
+
   // Lines 17-22: branch on minimum-degree vertices. After each branch the
-  // incumbent may have grown, so re-check the free size bound before
-  // paying for the min-degree scan (this collapses the unwind after a
-  // deep successful dive from quadratic to linear).
+  // incumbent may have grown, so re-check the free size bound before the
+  // min-degree pick (this collapses the unwind after a deep successful
+  // dive from quadratic to linear).
+  while (pool.Any()) {
+    if (current_.size() + remaining.Count() <= best_size_) return;
+    uint32_t v = 0;
+    uint32_t v_degree = 0;
+    bool v_found = false;
+    pool.ForEach([&](size_t w) {
+      const uint32_t degree = degrees[w];
+      if (!v_found || degree < v_degree) {
+        v_found = true;
+        v = static_cast<uint32_t>(w);
+        v_degree = degree;
+      }
+    });
+
+    const bool v_left = graph_->IsLeft(v);
+    current_.push_back(v);
+    SearchArena::Frame& child = arena_.FrameAt(depth + 1);
+    child.cand.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    RecurseArena(depth + 1, v_left ? tau_l - 1 : tau_l,
+                 v_left ? tau_r : tau_r - 1);
+    current_.pop_back();
+    if (stop_) return;
+
+    pool.Reset(v);
+    remaining.Reset(v);
+    // Restore the degree invariant: v left `remaining`, so each of its
+    // still-remaining neighbors loses one within-remaining neighbor.
+    frame.scratch.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    frame.scratch.ForEach([&degrees](size_t w) { --degrees[w]; });
+  }
+}
+
+// The pre-arena kernel (escape hatch, kept for one release). Identical
+// search tree to RecurseArena — the differential tests assert equal
+// results and equal branch counts between the two.
+void MdcSolver::RecurseLegacy(const Bitset& candidates, int32_t tau_l,
+                              int32_t tau_r) {
+  ++branches_;
+  if (exec_ != nullptr && exec_->Checkpoint()) {
+    interrupted_ = true;
+    stop_ = true;
+  }
+  if (stop_) return;
+
+  if (current_.size() > best_size_ && tau_l <= 0 && tau_r <= 0) {
+    best_ = current_;
+    best_size_ = current_.size();
+    found_ = true;
+    if (existence_only_) {
+      stop_ = true;
+      return;
+    }
+  }
+
+  Bitset cand = candidates;
+  if (options_.use_core_pruning && best_size_ > current_.size()) {
+    cand = KCoreWithin(*graph_, cand,
+                       static_cast<uint32_t>(best_size_ - current_.size()));
+  }
+
+  const size_t left_avail = cand.CountAnd(graph_->LeftMask());
+  const size_t right_avail = cand.Count() - left_avail;
+  if ((tau_l > 0 && left_avail < static_cast<size_t>(tau_l)) ||
+      (tau_r > 0 && right_avail < static_cast<size_t>(tau_r))) {
+    return;
+  }
+  if (cand.None()) return;
+  if (current_.size() + left_avail + right_avail <= best_size_) return;
+
+  const size_t cand_count = left_avail + right_avail;
+  if (cand_count <= kCliqueShortcutCap || !options_.use_coloring_bound) {
+    uint64_t twice_edges = 0;
+    cand.ForEach([this, &cand, &twice_edges](size_t v) {
+      twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
+    });
+    if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+      RecordCliqueShortcut(cand);
+      if (existence_only_) stop_ = true;
+      return;
+    }
+  }
+
+  if (options_.use_coloring_bound) {
+    const uint32_t needed =
+        best_size_ > current_.size()
+            ? static_cast<uint32_t>(best_size_ - current_.size())
+            : 0;
+    const uint32_t color_bound = ColoringBoundWithin(*graph_, cand, needed);
+    if (current_.size() + color_bound <= best_size_) return;
+  }
+
+  Bitset branch_pool = cand;
+  if (tau_l > 0 && tau_r <= 0) {
+    branch_pool &= graph_->LeftMask();
+  } else if (tau_l <= 0 && tau_r > 0) {
+    branch_pool.AndNot(graph_->LeftMask());
+  }
+
   Bitset remaining = cand;
   while (branch_pool.Any()) {
     if (current_.size() + remaining.Count() <= best_size_) return;
@@ -116,7 +260,7 @@ void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
     bool v_found = false;
     branch_pool.ForEach([&](size_t w) {
       const uint32_t degree =
-          graph_.DegreeWithin(static_cast<uint32_t>(w), remaining);
+          graph_->DegreeWithin(static_cast<uint32_t>(w), remaining);
       if (!v_found || degree < v_degree) {
         v_found = true;
         v = static_cast<uint32_t>(w);
@@ -124,10 +268,10 @@ void MdcSolver::Recurse(const Bitset& candidates, int32_t tau_l,
       }
     });
 
-    const bool v_left = graph_.IsLeft(v);
+    const bool v_left = graph_->IsLeft(v);
     current_.push_back(v);
-    Recurse(graph_.AdjacencyOf(v) & remaining, v_left ? tau_l - 1 : tau_l,
-            v_left ? tau_r : tau_r - 1);
+    RecurseLegacy(graph_->AdjacencyOf(v) & remaining,
+                  v_left ? tau_l - 1 : tau_l, v_left ? tau_r : tau_r - 1);
     current_.pop_back();
     if (stop_) return;
 

@@ -5,23 +5,49 @@
 // (degree-based pruning via k-core peeling, greedy-coloring upper bound,
 // minimum-degree branching) applies because the network is unsigned; the
 // two side thresholds τ_L / τ_R are the only signed-world residue.
+//
+// The default kernel runs on a SearchArena (depth-indexed bitset frames +
+// incrementally maintained candidate degrees) and performs zero heap
+// allocations once the arena has warmed up to the largest network /
+// recursion depth it has seen; see docs/perf.md. The pre-arena kernel is
+// retained for one release behind MdcOptions::use_arena as an escape
+// hatch and as a differential-testing oracle.
 #ifndef MBC_CORE_MDC_SOLVER_H_
 #define MBC_CORE_MDC_SOLVER_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/common/execution.h"
 #include "src/dichromatic/dichromatic_graph.h"
 
 namespace mbc {
 
-/// One maximum-dichromatic-clique search over a fixed dichromatic graph.
+/// Kernel knobs (defaults reproduce the paper's MDC with the fast arena
+/// kernel). `use_core_pruning` / `use_coloring_bound` are the ablation
+/// switches used by bench_ablation_pruning; `use_arena` selects the
+/// allocation-free kernel (the legacy kernel is kept for one release).
+struct MdcOptions {
+  bool use_arena = true;
+  bool use_core_pruning = true;
+  bool use_coloring_bound = true;
+};
+
+/// Maximum-dichromatic-clique search. One solver instance is meant to be
+/// reused across the many dichromatic networks of an MBC*/PF* run
+/// (Rebind per network); its arena and result buffers then stop touching
+/// the heap after the first few networks.
 class MdcSolver {
  public:
-  /// `graph` must outlive the solver.
-  explicit MdcSolver(const DichromaticGraph& graph) : graph_(graph) {}
+  /// A solver with no graph bound yet; call Rebind before Solve.
+  MdcSolver() = default;
+  /// `graph` must outlive the solver (or be superseded via Rebind).
+  explicit MdcSolver(const DichromaticGraph& graph) : graph_(&graph) {}
+
+  /// Re-points the solver at another network, keeping all scratch storage.
+  void Rebind(const DichromaticGraph& graph) { graph_ = &graph; }
 
   /// Searches for the largest clique C' ⊆ candidates such that
   /// |seed ∪ C'| > lower_bound, |C' ∩ V_L| ≥ tau_l and |C' ∩ V_R| ≥ tau_r
@@ -53,17 +79,29 @@ class MdcSolver {
     return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
 
+  void SetOptions(const MdcOptions& options) { options_ = options; }
   /// Ablation switches (both default on; used by bench_ablation_pruning
   /// to quantify each bound's contribution).
-  void set_use_core_pruning(bool enabled) { use_core_pruning_ = enabled; }
-  void set_use_coloring_bound(bool enabled) {
-    use_coloring_bound_ = enabled;
+  void set_use_core_pruning(bool enabled) {
+    options_.use_core_pruning = enabled;
   }
+  void set_use_coloring_bound(bool enabled) {
+    options_.use_coloring_bound = enabled;
+  }
+  /// Escape hatch to the pre-arena kernel (kept for one release).
+  void set_use_arena(bool enabled) { options_.use_arena = enabled; }
+
+  /// Scratch bytes currently held by the solver's arena.
+  size_t ArenaMemoryBytes() const { return arena_.MemoryBytes(); }
 
  private:
-  void Recurse(const Bitset& candidates, int32_t tau_l, int32_t tau_r);
+  void RecurseLegacy(const Bitset& candidates, int32_t tau_l, int32_t tau_r);
+  void RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r);
+  /// Records current_ ∪ cand as the new incumbent (cand is a clique).
+  void RecordCliqueShortcut(const Bitset& cand);
 
-  const DichromaticGraph& graph_;
+  const DichromaticGraph* graph_ = nullptr;
+  SearchArena arena_;
   std::vector<uint32_t> current_;
   std::vector<uint32_t> best_;
   size_t best_size_ = 0;
@@ -73,8 +111,7 @@ class MdcSolver {
   uint64_t branches_ = 0;
   ExecutionContext* exec_ = nullptr;
   bool interrupted_ = false;
-  bool use_core_pruning_ = true;
-  bool use_coloring_bound_ = true;
+  MdcOptions options_;
 };
 
 }  // namespace mbc

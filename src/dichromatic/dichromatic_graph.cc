@@ -5,9 +5,14 @@
 
 namespace mbc {
 
-DichromaticGraph::DichromaticGraph(uint32_t num_vertices)
-    : adjacency_(num_vertices, Bitset(num_vertices)),
-      left_mask_(num_vertices) {}
+void DichromaticGraph::Reset(uint32_t num_vertices) {
+  num_vertices_ = num_vertices;
+  if (adjacency_.size() < num_vertices) adjacency_.resize(num_vertices);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    adjacency_[v].Reshape(num_vertices);
+  }
+  left_mask_.Reshape(num_vertices);
+}
 
 void DichromaticGraph::SetSide(uint32_t v, Side side) {
   MBC_DCHECK_LT(v, NumVertices());
@@ -39,8 +44,9 @@ Bitset DichromaticGraph::AllVertices() const {
 }
 
 size_t DichromaticGraph::MemoryBytes() const {
-  const size_t words_per_row = (NumVertices() + 63) / 64;
-  return (adjacency_.size() + 1) * words_per_row * sizeof(uint64_t);
+  size_t bytes = left_mask_.AllocatedBytes();
+  for (const Bitset& row : adjacency_) bytes += row.AllocatedBytes();
+  return bytes;
 }
 
 }  // namespace mbc

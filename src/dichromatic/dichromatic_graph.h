@@ -23,11 +23,16 @@ enum class Side : uint8_t { kLeft = 0, kRight = 1 };
 class DichromaticGraph {
  public:
   DichromaticGraph() = default;
-  explicit DichromaticGraph(uint32_t num_vertices);
+  explicit DichromaticGraph(uint32_t num_vertices) { Reset(num_vertices); }
 
-  uint32_t NumVertices() const {
-    return static_cast<uint32_t>(adjacency_.size());
-  }
+  /// Re-dimensions to `num_vertices` isolated R-vertices, reusing the
+  /// adjacency rows of previous incarnations. Rows beyond num_vertices stay
+  /// allocated (the reuse contract of DichromaticNetworkBuilder::BuildInto:
+  /// storage grows to the high-water network size, then refills are
+  /// allocation-free).
+  void Reset(uint32_t num_vertices);
+
+  uint32_t NumVertices() const { return num_vertices_; }
 
   void SetSide(uint32_t v, Side side);
   Side GetSide(uint32_t v) const {
@@ -59,8 +64,10 @@ class DichromaticGraph {
   size_t MemoryBytes() const;
 
  private:
+  // Rows [0, num_vertices_) are live; the tail is retained capacity.
   std::vector<Bitset> adjacency_;
   Bitset left_mask_;
+  uint32_t num_vertices_ = 0;
 };
 
 }  // namespace mbc

@@ -13,10 +13,21 @@ DichromaticNetworkBuilder::DichromaticNetworkBuilder(const SignedGraph& graph)
 DichromaticNetwork DichromaticNetworkBuilder::Build(VertexId u,
                                                     const uint32_t* rank,
                                                     const uint8_t* alive) {
+  DichromaticNetwork net;
+  BuildInto(u, rank, alive, &net);
+  return net;
+}
+
+void DichromaticNetworkBuilder::BuildInto(VertexId u, const uint32_t* rank,
+                                          const uint8_t* alive,
+                                          DichromaticNetwork* out) {
   MBC_DCHECK(alive == nullptr || alive[u]);
   ++current_stamp_;
 
-  DichromaticNetwork net;
+  DichromaticNetwork& net = *out;
+  net.to_original.clear();
+  net.ego_edges = 0;
+  net.dichromatic_edges = 0;
   net.to_original.push_back(u);  // local 0 = u
 
   auto admit = [&](VertexId v) {
@@ -33,7 +44,7 @@ DichromaticNetwork DichromaticNetworkBuilder::Build(VertexId u,
   for (VertexId v : graph_.NegativeNeighbors(u)) admit(v);
 
   const uint32_t k = static_cast<uint32_t>(net.to_original.size());
-  net.graph = DichromaticGraph(k);
+  net.graph.Reset(k);
   for (uint32_t i = 0; i < num_left; ++i) net.graph.SetSide(i, Side::kLeft);
   for (uint32_t i = num_left; i < k; ++i) net.graph.SetSide(i, Side::kRight);
 
@@ -72,7 +83,6 @@ DichromaticNetwork DichromaticNetworkBuilder::Build(VertexId u,
       }
     }
   }
-  return net;
 }
 
 }  // namespace mbc

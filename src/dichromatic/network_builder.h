@@ -50,6 +50,14 @@ class DichromaticNetworkBuilder {
   DichromaticNetwork Build(VertexId u, const uint32_t* rank = nullptr,
                            const uint8_t* alive = nullptr);
 
+  /// Clear-and-refill variant: emits g_u into a caller-owned network whose
+  /// storage is reused across calls. After the reused network has seen its
+  /// largest g_u, further refills perform no heap allocation; callers in
+  /// the MBC*/PF* vertex loops hoist one DichromaticNetwork out of the
+  /// loop and pass it here for every u.
+  void BuildInto(VertexId u, const uint32_t* rank, const uint8_t* alive,
+                 DichromaticNetwork* net);
+
  private:
   const SignedGraph& graph_;
   // old vertex id -> local id, valid only when stamp matches.

@@ -2,6 +2,7 @@
 #include "src/dichromatic/reductions.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -11,8 +12,19 @@ namespace mbc {
 Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
                    uint32_t k) {
   Bitset alive = candidates;
-  if (k == 0) return alive;
   std::vector<uint32_t> pending;
+  Bitset scratch;
+  KCoreWithinInPlace(graph, &alive, k, &pending, &scratch);
+  return alive;
+}
+
+void KCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive_set,
+                        uint32_t k, std::vector<uint32_t>* pending_stack,
+                        Bitset* scratch) {
+  Bitset& alive = *alive_set;
+  if (k == 0) return;
+  std::vector<uint32_t>& pending = *pending_stack;
+  pending.clear();
   alive.ForEach([&](size_t v) {
     if (graph.DegreeWithin(static_cast<uint32_t>(v), alive) < k) {
       pending.push_back(static_cast<uint32_t>(v));
@@ -24,20 +36,31 @@ Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
     if (!alive.Test(v)) continue;
     alive.Reset(v);
     // Neighbors of v inside `alive` may have dropped below k.
-    Bitset affected = graph.AdjacencyOf(v) & alive;
-    affected.ForEach([&](size_t u) {
+    scratch->AssignAnd(graph.AdjacencyOf(v), alive);
+    scratch->ForEach([&](size_t u) {
       if (graph.DegreeWithin(static_cast<uint32_t>(u), alive) < k) {
         pending.push_back(static_cast<uint32_t>(u));
       }
     });
   }
-  return alive;
 }
 
 Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
                           const Bitset& candidates, int32_t tau_l,
                           int32_t tau_r) {
   Bitset alive = candidates;
+  std::vector<uint32_t> pending;
+  Bitset scratch;
+  TwoSidedCoreWithinInPlace(graph, &alive, tau_l, tau_r, &pending, &scratch);
+  return alive;
+}
+
+void TwoSidedCoreWithinInPlace(const DichromaticGraph& graph,
+                               Bitset* alive_set, int32_t tau_l,
+                               int32_t tau_r,
+                               std::vector<uint32_t>* pending_stack,
+                               Bitset* scratch) {
+  Bitset& alive = *alive_set;
   const Bitset& left = graph.LeftMask();
   const auto need_l = [&](uint32_t v) -> uint32_t {
     const int32_t need = graph.IsLeft(v) ? tau_l - 1 : tau_l;
@@ -48,13 +71,14 @@ Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
     return need > 0 ? static_cast<uint32_t>(need) : 0;
   };
   auto violates = [&](uint32_t v) {
-    const Bitset neighborhood = graph.AdjacencyOf(v) & alive;
-    const size_t left_deg = neighborhood.CountAnd(left);
-    const size_t right_deg = neighborhood.Count() - left_deg;
+    const Bitset& neighborhood = graph.AdjacencyOf(v);
+    const size_t left_deg = neighborhood.CountAndAnd(alive, left);
+    const size_t right_deg = neighborhood.CountAnd(alive) - left_deg;
     return left_deg < need_l(v) || right_deg < need_r(v);
   };
 
-  std::vector<uint32_t> pending;
+  std::vector<uint32_t>& pending = *pending_stack;
+  pending.clear();
   alive.ForEach([&](size_t v) {
     if (violates(static_cast<uint32_t>(v))) {
       pending.push_back(static_cast<uint32_t>(v));
@@ -65,36 +89,45 @@ Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
     pending.pop_back();
     if (!alive.Test(v)) continue;
     alive.Reset(v);
-    Bitset affected = graph.AdjacencyOf(v) & alive;
-    affected.ForEach([&](size_t u) {
+    scratch->AssignAnd(graph.AdjacencyOf(v), alive);
+    scratch->ForEach([&](size_t u) {
       if (violates(static_cast<uint32_t>(u))) {
         pending.push_back(static_cast<uint32_t>(u));
       }
     });
   }
-  return alive;
 }
 
-uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
-                             const Bitset& candidates,
-                             uint32_t early_exit_above) {
+namespace {
+
+// Shared greedy-coloring body; the two public overloads differ only in
+// where the scratch lives.
+uint32_t ColoringBoundImpl(
+    const DichromaticGraph& graph, const Bitset& candidates,
+    uint32_t early_exit_above,
+    std::vector<std::pair<uint32_t, uint32_t>>* by_degree_scratch,
+    std::vector<Bitset>* color_rows) {
   // Collect candidates with their induced degrees; color in descending
   // degree order (a standard effective heuristic for clique bounding).
-  std::vector<std::pair<uint32_t, uint32_t>> by_degree;  // (degree, vertex)
+  std::vector<std::pair<uint32_t, uint32_t>>& by_degree = *by_degree_scratch;
+  by_degree.clear();
   candidates.ForEach([&](size_t v) {
-    by_degree.emplace_back(graph.DegreeWithin(static_cast<uint32_t>(v),
-                                              candidates),
-                           static_cast<uint32_t>(v));
+    by_degree.emplace_back(
+        graph.DegreeWithin(static_cast<uint32_t>(v), candidates),
+        static_cast<uint32_t>(v));
   });
   std::sort(by_degree.begin(), by_degree.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
-  // color_members[c] = bitset of vertices assigned color c.
-  std::vector<Bitset> color_members;
+  // (*color_rows)[c], for c < num_colors, holds the vertices assigned
+  // color c. Rows past num_colors are retained capacity from earlier
+  // calls and must be Reshaped before first use in this call.
+  size_t num_colors = 0;
   for (const auto& [degree, v] : by_degree) {
     (void)degree;
     bool placed = false;
-    for (Bitset& members : color_members) {
+    for (size_t c = 0; c < num_colors; ++c) {
+      Bitset& members = (*color_rows)[c];
       if (!graph.AdjacencyOf(v).Intersects(members)) {
         members.Set(v);
         placed = true;
@@ -102,14 +135,37 @@ uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
       }
     }
     if (!placed) {
-      if (color_members.size() > early_exit_above) {
-        return static_cast<uint32_t>(color_members.size() + 1);
+      if (num_colors > early_exit_above) {
+        return static_cast<uint32_t>(num_colors + 1);
       }
-      color_members.emplace_back(graph.NumVertices());
-      color_members.back().Set(v);
+      if (color_rows->size() == num_colors) {
+        color_rows->emplace_back(graph.NumVertices());
+      } else {
+        (*color_rows)[num_colors].Reshape(graph.NumVertices());
+      }
+      (*color_rows)[num_colors].Set(v);
+      ++num_colors;
     }
   }
-  return static_cast<uint32_t>(color_members.size());
+  return static_cast<uint32_t>(num_colors);
+}
+
+}  // namespace
+
+uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
+                             const Bitset& candidates,
+                             uint32_t early_exit_above) {
+  std::vector<std::pair<uint32_t, uint32_t>> by_degree;
+  std::vector<Bitset> color_rows;
+  return ColoringBoundImpl(graph, candidates, early_exit_above, &by_degree,
+                           &color_rows);
+}
+
+uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
+                             const Bitset& candidates,
+                             uint32_t early_exit_above, SearchArena* arena) {
+  return ColoringBoundImpl(graph, candidates, early_exit_above,
+                           &arena->pairs(), &arena->color_rows());
 }
 
 }  // namespace mbc

@@ -8,7 +8,9 @@
 #define MBC_DICHROMATIC_REDUCTIONS_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/dichromatic/dichromatic_graph.h"
 
@@ -20,6 +22,13 @@ namespace mbc {
 Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
                    uint32_t k);
 
+/// Allocation-free variant: peels *alive in place. `pending` and `scratch`
+/// are caller-owned scratch (cleared here; capacity is reused), typically
+/// a SearchArena's pending stack and the current frame's scratch row.
+void KCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive,
+                        uint32_t k, std::vector<uint32_t>* pending,
+                        Bitset* scratch);
+
 /// The (τ_L, τ_R)-core (Section IV-C): the maximal subset in which every
 /// L-vertex has ≥ τ_L - 1 L-neighbors and ≥ τ_R R-neighbors, and every
 /// R-vertex has ≥ τ_L L-neighbors and ≥ τ_R - 1 R-neighbors. Negative
@@ -27,6 +36,13 @@ Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
 Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
                           const Bitset& candidates, int32_t tau_l,
                           int32_t tau_r);
+
+/// Allocation-free variant of TwoSidedCoreWithin (see KCoreWithinInPlace
+/// for the scratch contract).
+void TwoSidedCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive,
+                               int32_t tau_l, int32_t tau_r,
+                               std::vector<uint32_t>* pending,
+                               Bitset* scratch);
 
 /// Greedy-coloring upper bound on the maximum clique size of the subgraph
 /// induced by `candidates` (labels ignored). Colors vertices in descending
@@ -41,6 +57,14 @@ Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
 uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
                              const Bitset& candidates,
                              uint32_t early_exit_above = UINT32_MAX);
+
+/// Allocation-free variant backed by `arena`'s flat scratch (the pair
+/// vector and the color-class rows). Must not be called while another
+/// arena-backed coloring on the same arena is in flight; the MDC/DCC
+/// kernels call it only between recursive descents, where that holds.
+uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
+                             const Bitset& candidates,
+                             uint32_t early_exit_above, SearchArena* arena);
 
 }  // namespace mbc
 

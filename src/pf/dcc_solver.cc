@@ -1,23 +1,64 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/pf/dcc_solver.h"
 
+#include "src/common/logging.h"
 #include "src/dichromatic/reductions.h"
 
 namespace mbc {
 
 bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
                       std::vector<uint32_t>* witness) {
+  MBC_CHECK(graph_ != nullptr) << "DccSolver::Check without a bound graph";
+  const size_t n = graph_->NumVertices();
   current_.clear();
+  current_.reserve(n);
   witness_ = witness;
   branches_ = 0;
   interrupted_ = false;
   const uint32_t l = tau_l > 0 ? static_cast<uint32_t>(tau_l) : 0;
   const uint32_t r = tau_r > 0 ? static_cast<uint32_t>(tau_r) : 0;
-  return Recurse(candidates, l, r);
+  if (use_arena_) {
+    arena_.BindNetwork(n);
+    SearchArena::Frame& root = arena_.FrameAt(0);
+    root.cand.CopyFrom(candidates);
+    return RecurseArena(0, l, r);
+  }
+  return RecurseLegacy(candidates, l, r);
 }
 
-bool DccSolver::Recurse(const Bitset& candidates, uint32_t tau_l,
-                        uint32_t tau_r) {
+// Clique shortcut: when the core is itself a clique with enough vertices
+// on each side, any τ_L + τ_R of its members witness success.
+bool DccSolver::TryCliqueShortcut(const Bitset& cand, size_t left_avail,
+                                  size_t right_avail, uint32_t tau_l,
+                                  uint32_t tau_r) {
+  if (left_avail < tau_l || right_avail < tau_r) return false;
+  const size_t cand_count = left_avail + right_avail;
+  uint64_t twice_edges = 0;
+  cand.ForEach([this, &cand, &twice_edges](size_t v) {
+    twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
+  });
+  if (twice_edges != static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+    return false;
+  }
+  if (witness_ != nullptr) {
+    *witness_ = current_;
+    uint32_t need_l = tau_l;
+    uint32_t need_r = tau_r;
+    cand.ForEach([&](size_t v) {
+      uint32_t& need =
+          graph_->IsLeft(static_cast<uint32_t>(v)) ? need_l : need_r;
+      if (need > 0) {
+        witness_->push_back(static_cast<uint32_t>(v));
+        --need;
+      }
+    });
+  }
+  return true;
+}
+
+// The allocation-free kernel; see MdcSolver::RecurseArena for the frame
+// ownership and degree-invariant conventions (identical here).
+bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r) {
   ++branches_;
   if (interrupted_) return false;
   if (exec_ != nullptr && exec_->Checkpoint()) {
@@ -30,65 +71,54 @@ bool DccSolver::Recurse(const Bitset& candidates, uint32_t tau_l,
     return true;
   }
 
+  SearchArena::Frame& frame = arena_.FrameAt(depth);
+  Bitset& cand = frame.cand;
+
   // Line 11: reduce to the (τ_L, τ_R)-core.
-  Bitset cand = TwoSidedCoreWithin(graph_, candidates,
-                                   static_cast<int32_t>(tau_l),
-                                   static_cast<int32_t>(tau_r));
+  TwoSidedCoreWithinInPlace(*graph_, &cand, static_cast<int32_t>(tau_l),
+                            static_cast<int32_t>(tau_r), &arena_.pending(),
+                            &frame.scratch);
   if (cand.None()) return false;
 
-  // Clique shortcut: when the core is itself a clique with enough
-  // vertices on each side, any τ_L + τ_R of its members witness success.
   {
-    const size_t left_avail = cand.CountAnd(graph_.LeftMask());
+    const size_t left_avail = cand.CountAnd(graph_->LeftMask());
     const size_t right_avail = cand.Count() - left_avail;
-    if (left_avail >= tau_l && right_avail >= tau_r) {
-      const size_t cand_count = left_avail + right_avail;
-      uint64_t twice_edges = 0;
-      cand.ForEach([this, &cand, &twice_edges](size_t v) {
-        twice_edges += graph_.AdjacencyOf(v).CountAnd(cand);
-      });
-      if (twice_edges ==
-          static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
-        if (witness_ != nullptr) {
-          *witness_ = current_;
-          uint32_t need_l = tau_l;
-          uint32_t need_r = tau_r;
-          cand.ForEach([&](size_t v) {
-            uint32_t& need =
-                graph_.IsLeft(static_cast<uint32_t>(v)) ? need_l : need_r;
-            if (need > 0) {
-              witness_->push_back(static_cast<uint32_t>(v));
-              --need;
-            }
-          });
-        }
-        return true;
-      }
+    if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r)) {
+      return true;
     }
   }
 
   // Lines 12-14: restrict branching to the side that still needs vertices.
-  Bitset pool = cand;
+  Bitset& pool = frame.pool;
+  pool.CopyFrom(cand);
   if (tau_l > 0 && tau_r == 0) {
-    pool &= graph_.LeftMask();
+    pool &= graph_->LeftMask();
   } else if (tau_l == 0 && tau_r > 0) {
-    pool.AndNot(graph_.LeftMask());
+    pool.AndNot(graph_->LeftMask());
   }
+
+  Bitset& remaining = frame.remaining;
+  remaining.CopyFrom(cand);
+
+  // Candidate degrees within `remaining`, maintained incrementally (the
+  // same invariant as MdcSolver::RecurseArena).
+  std::vector<uint32_t>& degrees = frame.degrees;
+  cand.ForEach([&](size_t v) {
+    degrees[v] = graph_->DegreeWithin(static_cast<uint32_t>(v), cand);
+  });
 
   // Lines 15-20: branch on minimum-degree vertices. Re-check feasibility
   // as the pool drains — once a side cannot reach its demand, no further
   // branch at this node can succeed.
-  Bitset remaining = cand;
   while (pool.Any()) {
-    const size_t left_avail = remaining.CountAnd(graph_.LeftMask());
+    const size_t left_avail = remaining.CountAnd(graph_->LeftMask());
     const size_t right_avail = remaining.Count() - left_avail;
     if (left_avail < tau_l || right_avail < tau_r) return false;
     uint32_t v = 0;
     uint32_t v_degree = 0;
     bool v_found = false;
     pool.ForEach([&](size_t w) {
-      const uint32_t degree =
-          graph_.DegreeWithin(static_cast<uint32_t>(w), remaining);
+      const uint32_t degree = degrees[w];
       if (!v_found || degree < v_degree) {
         v_found = true;
         v = static_cast<uint32_t>(w);
@@ -96,12 +126,85 @@ bool DccSolver::Recurse(const Bitset& candidates, uint32_t tau_l,
       }
     });
 
-    const bool v_left = graph_.IsLeft(v);
+    const bool v_left = graph_->IsLeft(v);
+    current_.push_back(v);
+    SearchArena::Frame& child = arena_.FrameAt(depth + 1);
+    child.cand.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    const bool ok =
+        RecurseArena(depth + 1, v_left && tau_l > 0 ? tau_l - 1 : tau_l,
+                     !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
+    if (ok) return true;
+    current_.pop_back();
+
+    pool.Reset(v);
+    remaining.Reset(v);
+    // Restore the degree invariant after v leaves `remaining`.
+    frame.scratch.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    frame.scratch.ForEach([&degrees](size_t w) { --degrees[w]; });
+  }
+  return false;
+}
+
+// The pre-arena kernel (escape hatch, kept for one release). Identical
+// search tree to RecurseArena — the differential tests assert equal
+// answers and equal branch counts between the two.
+bool DccSolver::RecurseLegacy(const Bitset& candidates, uint32_t tau_l,
+                              uint32_t tau_r) {
+  ++branches_;
+  if (interrupted_) return false;
+  if (exec_ != nullptr && exec_->Checkpoint()) {
+    interrupted_ = true;
+    return false;
+  }
+  if (tau_l == 0 && tau_r == 0) {
+    if (witness_ != nullptr) *witness_ = current_;
+    return true;
+  }
+
+  Bitset cand = TwoSidedCoreWithin(*graph_, candidates,
+                                   static_cast<int32_t>(tau_l),
+                                   static_cast<int32_t>(tau_r));
+  if (cand.None()) return false;
+
+  {
+    const size_t left_avail = cand.CountAnd(graph_->LeftMask());
+    const size_t right_avail = cand.Count() - left_avail;
+    if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r)) {
+      return true;
+    }
+  }
+
+  Bitset pool = cand;
+  if (tau_l > 0 && tau_r == 0) {
+    pool &= graph_->LeftMask();
+  } else if (tau_l == 0 && tau_r > 0) {
+    pool.AndNot(graph_->LeftMask());
+  }
+
+  Bitset remaining = cand;
+  while (pool.Any()) {
+    const size_t left_avail = remaining.CountAnd(graph_->LeftMask());
+    const size_t right_avail = remaining.Count() - left_avail;
+    if (left_avail < tau_l || right_avail < tau_r) return false;
+    uint32_t v = 0;
+    uint32_t v_degree = 0;
+    bool v_found = false;
+    pool.ForEach([&](size_t w) {
+      const uint32_t degree =
+          graph_->DegreeWithin(static_cast<uint32_t>(w), remaining);
+      if (!v_found || degree < v_degree) {
+        v_found = true;
+        v = static_cast<uint32_t>(w);
+        v_degree = degree;
+      }
+    });
+
+    const bool v_left = graph_->IsLeft(v);
     current_.push_back(v);
     const bool ok =
-        Recurse(graph_.AdjacencyOf(v) & remaining,
-                v_left && tau_l > 0 ? tau_l - 1 : tau_l,
-                !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
+        RecurseLegacy(graph_->AdjacencyOf(v) & remaining,
+                      v_left && tau_l > 0 ? tau_l - 1 : tau_l,
+                      !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
     if (ok) return true;
     current_.pop_back();
 

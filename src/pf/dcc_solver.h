@@ -4,23 +4,34 @@
 // MDC it does not maximize — it only decides whether the dichromatic graph
 // contains a clique with at least τ_L L-vertices and τ_R R-vertices, and
 // can therefore stop as soon as both thresholds reach zero.
+//
+// Like MdcSolver, the default kernel runs on a SearchArena (depth-indexed
+// bitset frames + incremental candidate degrees) and is allocation-free
+// after warm-up; the pre-arena kernel is retained for one release behind
+// set_use_arena(false) as a differential-testing oracle.
 #ifndef MBC_PF_DCC_SOLVER_H_
 #define MBC_PF_DCC_SOLVER_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/common/execution.h"
 #include "src/dichromatic/dichromatic_graph.h"
 
 namespace mbc {
 
-/// One dichromatic-clique-checking search over a fixed dichromatic graph.
+/// Dichromatic-clique-checking search; reusable across networks (Rebind).
 class DccSolver {
  public:
-  /// `graph` must outlive the solver.
-  explicit DccSolver(const DichromaticGraph& graph) : graph_(graph) {}
+  /// A solver with no graph bound yet; call Rebind before Check.
+  DccSolver() = default;
+  /// `graph` must outlive the solver (or be superseded via Rebind).
+  explicit DccSolver(const DichromaticGraph& graph) : graph_(&graph) {}
+
+  /// Re-points the solver at another network, keeping all scratch storage.
+  void Rebind(const DichromaticGraph& graph) { graph_ = &graph; }
 
   /// Returns true iff `candidates` contains a clique with ≥ tau_l
   /// L-vertices and ≥ tau_r R-vertices (negative thresholds count as 0).
@@ -43,15 +54,24 @@ class DccSolver {
     return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
 
- private:
-  bool Recurse(const Bitset& candidates, uint32_t tau_l, uint32_t tau_r);
+  /// Escape hatch to the pre-arena kernel (kept for one release).
+  void set_use_arena(bool enabled) { use_arena_ = enabled; }
 
-  const DichromaticGraph& graph_;
+ private:
+  bool RecurseLegacy(const Bitset& candidates, uint32_t tau_l,
+                     uint32_t tau_r);
+  bool RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r);
+  bool TryCliqueShortcut(const Bitset& cand, size_t left_avail,
+                         size_t right_avail, uint32_t tau_l, uint32_t tau_r);
+
+  const DichromaticGraph* graph_ = nullptr;
+  SearchArena arena_;
   std::vector<uint32_t> current_;
   std::vector<uint32_t>* witness_ = nullptr;
   uint64_t branches_ = 0;
   ExecutionContext* exec_ = nullptr;
   bool interrupted_ = false;
+  bool use_arena_ = true;
 };
 
 }  // namespace mbc

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
 #include "src/common/logging.h"
 #include "src/core/mbc_heu.h"
@@ -63,6 +64,18 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
   double sr2_sum = 0.0;
   uint64_t sr_count = 0;
 
+  // Reusable per-search state hoisted out of the vertex loop (see
+  // docs/perf.md): one network, one DCC solver (arena-backed), and the
+  // two-sided-core scratch, all grown to a high-water size once.
+  DichromaticNetwork net;
+  DccSolver solver;
+  solver.SetExecution(exec);
+  SearchArena prune_arena;
+  Bitset core;
+  Bitset core_sans_u;
+  Bitset candidates;
+  std::vector<uint32_t> witness_locals;
+
   // Lines 4-8: process vertices in reverse order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if (exec->Probe()) break;
@@ -84,17 +97,23 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
       higher_neg += rank[v] > rank[u];
     }
     if (higher_pos < tau || higher_neg < tau + 1) continue;
-    DichromaticNetwork net = builder.Build(u, rank.data(), nullptr);
+    builder.BuildInto(u, rank.data(), nullptr, &net);
     ++stats.num_networks_built;
+    const uint32_t k = net.graph.NumVertices();
+    prune_arena.BindNetwork(k);
 
     // Line 6: reduce g_u to its (τ*+1, τ*+1)-core. Repeat whenever a DCC
     // success raises τ*: Lemma 4 only bounds γ(g_u) relative to the best γ
     // over *later* vertices, so a single network may push τ* up by more
     // than one step when the heuristic seed was loose.
     while (true) {
-      Bitset core = TwoSidedCoreWithin(
-          net.graph, net.graph.AllVertices(), static_cast<int32_t>(tau) + 1,
-          static_cast<int32_t>(tau) + 1);
+      core.Reshape(k);
+      core.SetAll();
+      TwoSidedCoreWithinInPlace(net.graph, &core,
+                                static_cast<int32_t>(tau) + 1,
+                                static_cast<int32_t>(tau) + 1,
+                                &prune_arena.pending(),
+                                &prune_arena.FrameAt(0).scratch);
       // Line 7: u itself must survive (u ∈ V_L(g)); otherwise no
       // dichromatic clique through u reaches τ*+1.
       if (!core.Test(0)) break;
@@ -103,7 +122,7 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
       // greedily committed (it is an L-vertex adjacent to all members).
       ++stats.num_dcc_instances;
       if (net.ego_edges > 0) {
-        Bitset core_sans_u = core;
+        core_sans_u.CopyFrom(core);
         core_sans_u.Reset(0);
         const uint64_t core_edges = net.graph.EdgesWithin(core_sans_u);
         sr1_sum += 1.0 - static_cast<double>(net.dichromatic_edges) /
@@ -113,11 +132,10 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
         ++sr_count;
       }
 
-      Bitset candidates = core;
+      candidates.CopyFrom(core);
       candidates.Reset(0);
-      DccSolver solver(net.graph);
-      solver.SetExecution(exec);
-      std::vector<uint32_t> witness_locals;
+      solver.Rebind(net.graph);
+      witness_locals.clear();
       const bool found =
           solver.Check(candidates, static_cast<int32_t>(tau),
                        static_cast<int32_t>(tau) + 1, &witness_locals);

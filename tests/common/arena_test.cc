@@ -1,0 +1,84 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/memory.h"
+
+namespace mbc {
+namespace {
+
+TEST(SearchArenaTest, BindSizesDegreesAndTracksBounds) {
+  SearchArena arena;
+  EXPECT_EQ(arena.bound_bits(), 0u);
+  EXPECT_EQ(arena.depth_capacity(), 0u);
+
+  arena.BindNetwork(100);
+  EXPECT_EQ(arena.bound_bits(), 100u);
+  SearchArena::Frame& frame = arena.FrameAt(0);
+  EXPECT_EQ(frame.degrees.size(), 100u);
+  EXPECT_GE(arena.depth_capacity(), 1u);
+}
+
+TEST(SearchArenaTest, FrameReferencesSurviveDeeperGrowth) {
+  SearchArena arena;
+  arena.BindNetwork(64);
+  SearchArena::Frame& root = arena.FrameAt(0);
+  root.cand.Reshape(64);
+  root.cand.Set(7);
+  // Materialize many deeper frames; the deque must not move frame 0.
+  for (size_t depth = 1; depth < 40; ++depth) {
+    arena.FrameAt(depth).cand.Reshape(64);
+  }
+  EXPECT_TRUE(root.cand.Test(7));
+  EXPECT_EQ(&root, &arena.FrameAt(0));
+  EXPECT_EQ(arena.depth_capacity(), 40u);
+}
+
+TEST(SearchArenaTest, RebindShrinksLogicalSizeKeepsCapacity) {
+  SearchArena arena;
+  arena.BindNetwork(256);
+  arena.FrameAt(0).cand.Reshape(256);
+  const size_t big = arena.MemoryBytes();
+
+  // Binding a smaller network must not release storage (monotone
+  // high-water growth is what makes steady state allocation-free).
+  arena.BindNetwork(16);
+  EXPECT_EQ(arena.FrameAt(0).degrees.size(), 16u);
+  EXPECT_GE(arena.MemoryBytes(), big);
+}
+
+TEST(SearchArenaTest, MemoryTrackerAccountSettlesAndReleases) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  const uint64_t before = tracker.current_bytes();
+  {
+    SearchArena arena;
+    arena.BindNetwork(128);
+    arena.FrameAt(0).cand.Reshape(128);
+    arena.FrameAt(1).cand.Reshape(128);
+    // The account is settled at bind time; a fresh bind books the growth
+    // from the frames materialized above.
+    arena.BindNetwork(128);
+    EXPECT_EQ(tracker.current_bytes(), before + arena.MemoryBytes());
+  }
+  // Destruction returns every accounted byte.
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(SearchArenaTest, FlatScratchIsReusable) {
+  SearchArena arena;
+  arena.BindNetwork(32);
+  arena.pending().push_back(3);
+  arena.pairs().emplace_back(1, 2);
+  arena.color_rows().emplace_back(32);
+  EXPECT_EQ(arena.pending().size(), 1u);
+  EXPECT_EQ(arena.pairs().size(), 1u);
+  EXPECT_EQ(arena.color_rows().size(), 1u);
+  // Rebinding does not clear flat scratch (callers own the protocol), but
+  // the arena keeps accounting for it.
+  arena.BindNetwork(32);
+  EXPECT_GT(arena.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -78,7 +78,9 @@ TEST(ParallelMbcTest, EmptyGraphAndDefaults) {
   const ParallelMbcResult result =
       ParallelMaxBalancedCliqueStar(SignedGraph(), 0);
   EXPECT_TRUE(result.clique.empty());
-  EXPECT_EQ(result.threads_used, 0u);
+  // Even when the reduced graph is empty the preamble ran on the calling
+  // thread, so the reported thread count is 1, never 0.
+  EXPECT_EQ(result.threads_used, 1u);
 }
 
 TEST(ParallelMbcTest, WithoutHeuristicStillExact) {

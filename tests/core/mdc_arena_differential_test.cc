@@ -1,0 +1,181 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Differential property tests for the arena MDC/DCC kernels. The arena
+// and legacy (pre-arena) kernels are designed to explore *identical*
+// search trees — same bound order, same minimum-degree tie-breaking — so
+// beyond equal answers we also assert equal branch counts, which catches
+// any silent divergence in the incremental degree bookkeeping.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/brute_force.h"
+#include "src/core/mbc_star.h"
+#include "src/core/mdc_solver.h"
+#include "src/core/verify.h"
+#include "src/dichromatic/dichromatic_graph.h"
+#include "src/pf/dcc_solver.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+DichromaticGraph RandomDichromatic(uint32_t n, double density,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  DichromaticGraph graph(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    graph.SetSide(v, rng.NextBernoulli(0.5) ? Side::kLeft : Side::kRight);
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) {
+      if (rng.NextBernoulli(density)) graph.AddEdge(a, b);
+    }
+  }
+  return graph;
+}
+
+// End-to-end: MBC* on the arena kernel vs the legacy kernel vs brute
+// force, over 200 seeded random signed graphs and τ ∈ {1, 2}.
+TEST(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const VertexId n = 10 + static_cast<VertexId>(seed % 7);
+    const EdgeCount m = static_cast<EdgeCount>(n) * (2 + seed % 3);
+    const double neg = 0.25 + 0.1 * static_cast<double>(seed % 4);
+    const SignedGraph graph = RandomSignedGraph(n, m, neg, seed + 1);
+    const uint32_t tau = 1 + static_cast<uint32_t>(seed % 2);
+
+    MbcStarOptions arena_options;
+    arena_options.use_arena = true;
+    MbcStarOptions legacy_options;
+    legacy_options.use_arena = false;
+
+    const MbcStarResult arena = MaxBalancedCliqueStar(graph, tau,
+                                                      arena_options);
+    const MbcStarResult legacy = MaxBalancedCliqueStar(graph, tau,
+                                                       legacy_options);
+    const BalancedClique truth = BruteForceMaxBalancedClique(graph, tau);
+
+    ASSERT_EQ(arena.clique.size(), truth.size())
+        << "arena kernel wrong size at seed " << seed;
+    ASSERT_EQ(legacy.clique.size(), truth.size())
+        << "legacy kernel wrong size at seed " << seed;
+    ASSERT_EQ(arena.stats.mdc_branches, legacy.stats.mdc_branches)
+        << "kernels explored different search trees at seed " << seed;
+    if (!arena.clique.empty()) {
+      ASSERT_TRUE(IsBalancedClique(graph, arena.clique))
+          << "invalid arena clique at seed " << seed;
+      ASSERT_TRUE(arena.clique.SatisfiesThreshold(tau))
+          << "arena clique violates tau at seed " << seed;
+    }
+  }
+}
+
+// Kernel-level: MdcSolver arena vs legacy on random dichromatic networks,
+// asserting identical verdicts, sizes and branch counts.
+TEST(MdcArenaDifferentialTest, MdcKernelsExploreIdenticalTrees) {
+  MdcSolver arena_solver;
+  MdcSolver legacy_solver;
+  legacy_solver.set_use_arena(false);
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const uint32_t n = 8 + static_cast<uint32_t>(seed % 25);
+    const double density = 0.15 + 0.05 * static_cast<double>(seed % 10);
+    const DichromaticGraph graph = RandomDichromatic(n, density, seed + 17);
+    const Bitset candidates = graph.AdjacencyOf(0);
+    const int32_t tau_l = static_cast<int32_t>(seed % 3) - 1;
+    const int32_t tau_r = static_cast<int32_t>((seed / 3) % 3);
+
+    arena_solver.Rebind(graph);
+    legacy_solver.Rebind(graph);
+    std::vector<uint32_t> arena_best;
+    std::vector<uint32_t> legacy_best;
+    const bool arena_found = arena_solver.Solve({0}, candidates, tau_l,
+                                                tau_r, 1, &arena_best);
+    const bool legacy_found = legacy_solver.Solve({0}, candidates, tau_l,
+                                                  tau_r, 1, &legacy_best);
+
+    ASSERT_EQ(arena_found, legacy_found) << "verdicts differ at seed "
+                                         << seed;
+    ASSERT_EQ(arena_solver.branches(), legacy_solver.branches())
+        << "branch counts differ at seed " << seed;
+    if (arena_found) {
+      ASSERT_EQ(arena_best.size(), legacy_best.size())
+          << "sizes differ at seed " << seed;
+    }
+  }
+}
+
+// DCC (existence checking): same differential for the polarization-factor
+// kernel, including witness validity.
+TEST(MdcArenaDifferentialTest, DccKernelsExploreIdenticalTrees) {
+  DccSolver arena_solver;
+  DccSolver legacy_solver;
+  legacy_solver.set_use_arena(false);
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const uint32_t n = 6 + static_cast<uint32_t>(seed % 20);
+    const double density = 0.2 + 0.05 * static_cast<double>(seed % 8);
+    const DichromaticGraph graph = RandomDichromatic(n, density, seed + 99);
+    const int32_t tau_l = static_cast<int32_t>(seed % 3);
+    const int32_t tau_r = static_cast<int32_t>((seed / 2) % 3);
+
+    arena_solver.Rebind(graph);
+    legacy_solver.Rebind(graph);
+    std::vector<uint32_t> witness;
+    const bool arena_found = arena_solver.Check(graph.AllVertices(), tau_l,
+                                                tau_r, &witness);
+    const bool legacy_found = legacy_solver.Check(graph.AllVertices(), tau_l,
+                                                  tau_r, nullptr);
+
+    ASSERT_EQ(arena_found, legacy_found) << "verdicts differ at seed "
+                                         << seed;
+    ASSERT_EQ(arena_solver.branches(), legacy_solver.branches())
+        << "branch counts differ at seed " << seed;
+    if (arena_found) {
+      // The witness must be a dichromatic clique meeting the quotas.
+      int32_t left = 0;
+      int32_t right = 0;
+      for (size_t i = 0; i < witness.size(); ++i) {
+        (graph.IsLeft(witness[i]) ? left : right) += 1;
+        for (size_t j = i + 1; j < witness.size(); ++j) {
+          ASSERT_TRUE(graph.HasEdge(witness[i], witness[j]))
+              << "witness not a clique at seed " << seed;
+        }
+      }
+      ASSERT_GE(left, tau_l) << "left quota unmet at seed " << seed;
+      ASSERT_GE(right, tau_r) << "right quota unmet at seed " << seed;
+    }
+  }
+}
+
+// Repeated Solve calls on one solver (the production calling convention)
+// must behave identically to fresh solvers: the arena carries state
+// between solves and must not leak any of it into the answers.
+TEST(MdcArenaDifferentialTest, SolverReuseMatchesFreshSolver) {
+  MdcSolver reused;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const uint32_t n = 10 + static_cast<uint32_t>(seed % 30);
+    const DichromaticGraph graph = RandomDichromatic(n, 0.3, seed + 7);
+    const Bitset candidates = graph.AdjacencyOf(0);
+
+    reused.Rebind(graph);
+    MdcSolver fresh(graph);
+    std::vector<uint32_t> reused_best;
+    std::vector<uint32_t> fresh_best;
+    const bool reused_found = reused.Solve({0}, candidates, 0, 1, 1,
+                                           &reused_best);
+    const bool fresh_found = fresh.Solve({0}, candidates, 0, 1, 1,
+                                         &fresh_best);
+    ASSERT_EQ(reused_found, fresh_found) << "seed " << seed;
+    ASSERT_EQ(reused.branches(), fresh.branches()) << "seed " << seed;
+    if (reused_found) {
+      ASSERT_EQ(reused_best.size(), fresh_best.size()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbc

@@ -95,6 +95,51 @@ TEST(MdcSolverTest, SeedOnlyCountsTowardSize) {
   EXPECT_EQ(best, (std::vector<uint32_t>{0}));
 }
 
+DichromaticGraph CompleteDichromatic(uint32_t n) {
+  DichromaticGraph graph(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    graph.SetSide(v, v % 2 == 0 ? Side::kLeft : Side::kRight);
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    for (uint32_t b = a + 1; b < n; ++b) graph.AddEdge(a, b);
+  }
+  return graph;
+}
+
+// A planted clique must be recognized by the clique shortcut in a single
+// branch — the regression guard for the shortcut's pool-size gate.
+TEST(MdcSolverTest, CliqueShortcutCollapsesPlantedClique) {
+  const DichromaticGraph graph = CompleteDichromatic(6);
+  for (const bool use_arena : {true, false}) {
+    MdcSolver solver(graph);
+    solver.set_use_arena(use_arena);
+    std::vector<uint32_t> best;
+    ASSERT_TRUE(solver.Solve({0}, graph.AdjacencyOf(0), -5, -5, 0, &best));
+    EXPECT_EQ(best.size(), 6u) << "use_arena=" << use_arena;
+    EXPECT_EQ(solver.branches(), 1u) << "use_arena=" << use_arena;
+  }
+}
+
+// Above the gate cap the shortcut's O(E) scan is deferred to the coloring
+// bound; disabling the coloring bound makes the shortcut unconditional
+// again. Either way the answer is the full clique.
+TEST(MdcSolverTest, CliqueShortcutGateOnLargePools) {
+  const DichromaticGraph graph = CompleteDichromatic(80);
+  MdcSolver gated(graph);
+  std::vector<uint32_t> best;
+  ASSERT_TRUE(gated.Solve({0}, graph.AdjacencyOf(0), -5, -5, 0, &best));
+  EXPECT_EQ(best.size(), 80u);
+  EXPECT_GT(gated.branches(), 1u);
+
+  MdcSolver unconditional(graph);
+  unconditional.set_use_coloring_bound(false);
+  best.clear();
+  ASSERT_TRUE(
+      unconditional.Solve({0}, graph.AdjacencyOf(0), -5, -5, 0, &best));
+  EXPECT_EQ(best.size(), 80u);
+  EXPECT_EQ(unconditional.branches(), 1u);
+}
+
 // Differential test against brute-force enumeration on random graphs.
 TEST(MdcSolverTest, MatchesBruteForceRandomized) {
   Rng rng(321);

@@ -110,6 +110,37 @@ TEST(NetworkBuilderTest, ReusableAcrossCalls) {
   EXPECT_NE(first.graph.NumVertices(), second.graph.NumVertices());
 }
 
+// BuildInto (the clear-and-refill path) must be indistinguishable from a
+// fresh Build, including when the reused network shrinks and re-grows —
+// stale adjacency rows from a larger previous network must not leak.
+TEST(NetworkBuilderTest, BuildIntoMatchesFreshBuild) {
+  const SignedGraph graph = testing_util::RandomSignedGraph(50, 350, 0.4, 9);
+  DichromaticNetworkBuilder builder(graph);
+  DichromaticNetwork reused;
+  // Visit every vertex twice in opposite orders so each network is
+  // refilled over both larger and smaller predecessors.
+  std::vector<VertexId> visits;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) visits.push_back(u);
+  for (VertexId u = graph.NumVertices(); u > 0; --u) visits.push_back(u - 1);
+  for (VertexId u : visits) {
+    const DichromaticNetwork fresh = builder.Build(u);
+    builder.BuildInto(u, nullptr, nullptr, &reused);
+    ASSERT_EQ(reused.graph.NumVertices(), fresh.graph.NumVertices())
+        << "u=" << u;
+    ASSERT_EQ(reused.to_original, fresh.to_original) << "u=" << u;
+    ASSERT_EQ(reused.ego_edges, fresh.ego_edges) << "u=" << u;
+    ASSERT_EQ(reused.dichromatic_edges, fresh.dichromatic_edges) << "u=" << u;
+    const uint32_t k = fresh.graph.NumVertices();
+    for (uint32_t i = 0; i < k; ++i) {
+      ASSERT_EQ(reused.graph.IsLeft(i), fresh.graph.IsLeft(i)) << "u=" << u;
+      for (uint32_t j = 0; j < k; ++j) {
+        ASSERT_EQ(reused.graph.HasEdge(i, j), fresh.graph.HasEdge(i, j))
+            << "u=" << u << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
 // Every clique of the dichromatic network that contains u corresponds to a
 // balanced clique of the original graph (one direction of Theorem 2).
 TEST(NetworkBuilderTest, CliquesAreBalancedInOriginal) {
