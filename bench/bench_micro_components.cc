@@ -6,14 +6,17 @@
 // solver on random dichromatic graphs.
 //
 // Besides the google-benchmark suite, the binary ends with a kernel
-// report that pits the arena MDC kernel against the pre-arena (legacy)
-// kernel on identical instances, counting wall-clock time, branches and
-// true heap allocations (global operator new hooks), and writes the
-// machine-readable result to BENCH_kernel.json (see docs/perf.md).
+// report that pits the arena MDC kernel — under both the scalar and the
+// dispatched SIMD tables — against the pre-arena (legacy) kernel on
+// identical instance families, counting wall-clock time, branches, true
+// heap allocations (global operator new hooks) and a solution hash, and
+// writes the machine-readable result to BENCH_kernel.json (docs/perf.md).
 //
 //   MBC_BENCH_KERNEL_JSON=path  output path (default BENCH_kernel.json)
 //   MBC_BENCH_STRICT=1          exit non-zero if the arena kernel performs
-//                               any steady-state heap allocation
+//                               any steady-state heap allocation, or if
+//                               legacy/scalar/SIMD disagree on solutions
+//                               or branch counts
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -27,6 +30,7 @@
 
 #include "src/common/memory.h"
 #include "src/common/random.h"
+#include "src/common/simd.h"
 #include "src/core/mbc_heu.h"
 #include "src/core/mbc_star.h"
 #include "src/core/mdc_solver.h"
@@ -263,8 +267,13 @@ void BM_MbcStarEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_MbcStarEndToEnd);
 
 // ---------------------------------------------------------------------------
-// Kernel report: arena vs legacy on a fixed instance pool, 100 steady-state
-// solves per kernel, written to BENCH_kernel.json.
+// Kernel report: three kernel configurations — legacy (scalar), arena
+// (scalar) and arena (dispatched SIMD) — on a fixed instance pool of three
+// families, 100 steady-state solves per family per configuration, written
+// to BENCH_kernel.json. The "random" family is the pre-SIMD report's pool,
+// kept unchanged so successive reports stay comparable; "planted_clique"
+// and "high_degeneracy" exercise the dive-collapsing shortcut and the
+// multi-word bitsets where the vector kernels actually pay.
 // ---------------------------------------------------------------------------
 
 struct KernelInstance {
@@ -275,6 +284,11 @@ struct KernelInstance {
   Bitset candidates;
 };
 
+struct KernelFamily {
+  const char* name;
+  std::vector<KernelInstance> instances;
+};
+
 struct KernelMeasurement {
   double seconds = 0.0;
   uint64_t branches = 0;
@@ -282,13 +296,37 @@ struct KernelMeasurement {
   uint64_t steady_allocs = 0;   // operator-new calls across all solves
   int64_t tracker_delta = 0;    // MemoryTracker byte drift across solves
   size_t best_size = 0;         // checksum: total clique vertices found
+  uint64_t solution_hash = 0;   // FNV-1a over every solution's vertex ids
+
+  void Accumulate(const KernelMeasurement& other) {
+    seconds += other.seconds;
+    branches += other.branches;
+    solves += other.solves;
+    steady_allocs += other.steady_allocs;
+    tracker_delta += other.tracker_delta;
+    best_size += other.best_size;
+    solution_hash ^= other.solution_hash;
+  }
 };
 
-constexpr int kSteadySolves = 100;
+constexpr int kSteadySolves = 200;
+// Each configuration's timed block runs kReps times; the reported seconds
+// are the fastest repetition (standard noise rejection — the pool is
+// deterministic, so repetitions only differ by scheduling jitter).
+constexpr int kReps = 3;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  return (hash ^ value) * 0x100000001b3ull;
+}
 
 KernelMeasurement MeasureKernel(std::vector<KernelInstance>& instances,
-                                bool use_arena) {
+                                bool use_arena, const char* isa) {
+  if (!simd::SetActive(isa)) {
+    std::fprintf(stderr, "cannot activate SIMD kernels '%s'\n", isa);
+    std::exit(1);
+  }
   KernelMeasurement m;
+  m.solution_hash = 0xcbf29ce484222325ull;
   MdcSolver solver;
   solver.set_use_arena(use_arena);
   std::vector<uint32_t> best;
@@ -303,108 +341,239 @@ KernelMeasurement MeasureKernel(std::vector<KernelInstance>& instances,
       solver.Solve(seed, inst.candidates, 1, 2, 0, &best);
     }
   }
-  const uint64_t allocs_before = AllocCount();
-  const int64_t tracker_before =
-      static_cast<int64_t>(MemoryTracker::Global().current_bytes());
-  const auto start = std::chrono::steady_clock::now();
-  for (int round = 0; round < kSteadySolves; ++round) {
-    KernelInstance& inst = instances[static_cast<size_t>(round) %
-                                     instances.size()];
-    solver.Rebind(inst.graph);
-    best.clear();
-    if (solver.Solve(seed, inst.candidates, 1, 2, 0, &best)) {
-      m.best_size += best.size();
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Stats (branches, hashes, allocations) are recorded on the first
+    // repetition only — the workload is deterministic, so later reps can
+    // contribute nothing but a cleaner timing sample.
+    const bool record = rep == 0;
+    const uint64_t allocs_before = AllocCount();
+    const int64_t tracker_before =
+        static_cast<int64_t>(MemoryTracker::Global().current_bytes());
+    const auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < kSteadySolves; ++round) {
+      KernelInstance& inst = instances[static_cast<size_t>(round) %
+                                       instances.size()];
+      solver.Rebind(inst.graph);
+      best.clear();
+      const bool found = solver.Solve(seed, inst.candidates, 1, 2, 0, &best);
+      if (!record) continue;
+      if (found) m.best_size += best.size();
+      // Hash the exact solution — the scalar/SIMD gate requires
+      // byte-identical cliques, not merely equal sizes.
+      m.solution_hash = FnvMix(m.solution_hash, best.size());
+      for (uint32_t v : best) m.solution_hash = FnvMix(m.solution_hash, v);
+      m.branches += solver.branches();
+      ++m.solves;
     }
-    m.branches += solver.branches();
-    ++m.solves;
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < m.seconds) m.seconds = seconds;
+    if (record) {
+      m.steady_allocs = AllocCount() - allocs_before;
+      m.tracker_delta =
+          static_cast<int64_t>(MemoryTracker::Global().current_bytes()) -
+          tracker_before;
+    }
   }
-  const auto stop = std::chrono::steady_clock::now();
-  m.seconds = std::chrono::duration<double>(stop - start).count();
-  m.steady_allocs = AllocCount() - allocs_before;
-  m.tracker_delta =
-      static_cast<int64_t>(MemoryTracker::Global().current_bytes()) -
-      tracker_before;
   return m;
 }
 
-void AppendKernelJson(std::string* out, const char* name,
+void AppendKernelJson(std::string* out, const char* indent, const char* name,
                       const KernelMeasurement& m) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "  \"%s\": {\n"
-      "    \"seconds\": %.6f,\n"
-      "    \"solves\": %llu,\n"
-      "    \"branches\": %llu,\n"
-      "    \"branches_per_sec\": %.1f,\n"
-      "    \"steady_state_allocs\": %llu,\n"
-      "    \"allocs_per_solve\": %.2f,\n"
-      "    \"tracker_delta_bytes\": %lld,\n"
-      "    \"solution_checksum\": %zu\n"
-      "  }",
-      name, m.seconds, static_cast<unsigned long long>(m.solves),
-      static_cast<unsigned long long>(m.branches),
+      "%s\"%s\": {\n"
+      "%s  \"seconds\": %.6f,\n"
+      "%s  \"solves\": %llu,\n"
+      "%s  \"branches\": %llu,\n"
+      "%s  \"branches_per_sec\": %.1f,\n"
+      "%s  \"steady_state_allocs\": %llu,\n"
+      "%s  \"allocs_per_solve\": %.2f,\n"
+      "%s  \"tracker_delta_bytes\": %lld,\n"
+      "%s  \"solution_checksum\": %zu,\n"
+      "%s  \"solution_hash\": \"%016llx\"\n"
+      "%s}",
+      indent, name, indent, m.seconds, indent,
+      static_cast<unsigned long long>(m.solves), indent,
+      static_cast<unsigned long long>(m.branches), indent,
       m.seconds > 0 ? static_cast<double>(m.branches) / m.seconds : 0.0,
-      static_cast<unsigned long long>(m.steady_allocs),
+      indent, static_cast<unsigned long long>(m.steady_allocs), indent,
       static_cast<double>(m.steady_allocs) / static_cast<double>(m.solves),
-      static_cast<long long>(m.tracker_delta), m.best_size);
+      indent, static_cast<long long>(m.tracker_delta), indent, m.best_size,
+      indent, static_cast<unsigned long long>(m.solution_hash), indent);
   *out += buf;
 }
 
-int RunKernelReport() {
-  // The instance pool mirrors the networks MBC* hands to MDC: dense enough
-  // that the branch-and-bound actually recurses, small enough to finish
-  // instantly in Debug.
+std::vector<KernelFamily> BuildKernelFamilies() {
   struct Spec {
     uint32_t n;
     double density;
     uint64_t seed;
+    uint32_t plant;  // clique planted through vertex 0 (0 = none)
   };
-  const Spec specs[] = {
-      {64, 0.25, 11}, {64, 0.40, 12}, {96, 0.30, 13}, {128, 0.25, 14},
+  // "random" is the pre-SIMD report's pool, byte-for-byte; do not edit it,
+  // successive BENCH_kernel.json files are compared on this family.
+  const Spec random_specs[] = {
+      {64, 0.25, 11, 0}, {64, 0.40, 12, 0}, {96, 0.30, 13, 0},
+      {128, 0.25, 14, 0},
   };
-  std::vector<KernelInstance> instances;
-  instances.reserve(std::size(specs));
-  for (const Spec& spec : specs) {
-    KernelInstance inst{spec.n, spec.density, spec.seed,
-                        MakeDichromatic(spec.n, spec.density, spec.seed),
-                        Bitset()};
-    inst.candidates = inst.graph.AdjacencyOf(0);
-    instances.push_back(std::move(inst));
+  // Sparse backgrounds with a planted clique through vertex 0: the
+  // instances where the clique shortcut collapses deep dives.
+  const Spec planted_specs[] = {
+      {96, 0.15, 21, 18}, {128, 0.12, 22, 22}, {160, 0.10, 23, 24},
+  };
+  // Dense, multi-word networks (3-4 words per row) — the high-degeneracy
+  // regime where the dispatched vector kernels actually get full lanes.
+  const Spec dense_specs[] = {
+      {192, 0.45, 31, 0}, {256, 0.35, 32, 0},
+  };
+
+  auto build = [](const char* name, const Spec* specs, size_t count) {
+    KernelFamily family{name, {}};
+    family.instances.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const Spec& spec = specs[i];
+      KernelInstance inst{spec.n, spec.density, spec.seed,
+                          MakeDichromatic(spec.n, spec.density, spec.seed),
+                          Bitset()};
+      for (uint32_t a = 0; a < spec.plant; ++a) {
+        for (uint32_t b = a + 1; b < spec.plant; ++b) {
+          inst.graph.AddEdge(a, b);
+        }
+      }
+      inst.candidates = inst.graph.AdjacencyOf(0);
+      family.instances.push_back(std::move(inst));
+    }
+    return family;
+  };
+  std::vector<KernelFamily> families;
+  families.push_back(build("random", random_specs, std::size(random_specs)));
+  families.push_back(
+      build("planted_clique", planted_specs, std::size(planted_specs)));
+  families.push_back(
+      build("high_degeneracy", dense_specs, std::size(dense_specs)));
+  return families;
+}
+
+int RunKernelReport() {
+  std::vector<KernelFamily> families = BuildKernelFamilies();
+  // "auto" resolves MBC_SIMD / Best(); whatever it lands on is the table
+  // the production binaries dispatch to, so that is the "simd" row.
+  simd::SetActive("auto");
+  const std::string best_isa = simd::ActiveName();
+
+  // The three configurations. "legacy" runs the pre-arena kernel on the
+  // scalar table, approximating the pre-SIMD report's baseline; the two
+  // arena rows isolate the SIMD dispatch contribution from everything the
+  // arena restructuring already bought.
+  struct Config {
+    const char* name;
+    bool use_arena;
+    const char* isa;
+  };
+  const Config configs[] = {
+      {"legacy", false, "scalar"},
+      {"arena_scalar", true, "scalar"},
+      {"arena_simd", true, best_isa.c_str()},
+  };
+  constexpr size_t kNumConfigs = std::size(configs);
+
+  // per_family[f][c]: family f measured under configuration c.
+  std::vector<std::vector<KernelMeasurement>> per_family(families.size());
+  KernelMeasurement totals[kNumConfigs];
+  for (size_t f = 0; f < families.size(); ++f) {
+    per_family[f].resize(kNumConfigs);
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      per_family[f][c] = MeasureKernel(families[f].instances,
+                                       configs[c].use_arena, configs[c].isa);
+      totals[c].Accumulate(per_family[f][c]);
+    }
+  }
+  simd::SetActive("auto");
+
+  const auto speedup = [](const KernelMeasurement& base,
+                          const KernelMeasurement& fast) {
+    return fast.seconds > 0 ? base.seconds / fast.seconds : 0.0;
+  };
+  const double total_speedup_simd = speedup(totals[0], totals[2]);
+  const double total_speedup_scalar = speedup(totals[0], totals[1]);
+  // The "random" family is the previous report's entire pool; its committed
+  // arena-vs-legacy ratio (2.15x) is the baseline this PR must improve on.
+  const double prev_arena_speedup = 2.15;
+  const double random_speedup_simd =
+      speedup(per_family[0][0], per_family[0][2]);
+  const double speedup_vs_prev_arena = random_speedup_simd /
+                                       prev_arena_speedup;
+
+  bool zero_alloc = true;
+  bool kernels_agree = true;
+  bool scalar_simd_identical = true;
+  for (size_t f = 0; f < families.size(); ++f) {
+    const KernelMeasurement& legacy = per_family[f][0];
+    const KernelMeasurement& scalar = per_family[f][1];
+    const KernelMeasurement& simd_m = per_family[f][2];
+    zero_alloc = zero_alloc && scalar.steady_allocs == 0 &&
+                 scalar.tracker_delta == 0 && simd_m.steady_allocs == 0 &&
+                 simd_m.tracker_delta == 0;
+    kernels_agree = kernels_agree && legacy.branches == scalar.branches &&
+                    legacy.solution_hash == scalar.solution_hash;
+    scalar_simd_identical = scalar_simd_identical &&
+                            scalar.branches == simd_m.branches &&
+                            scalar.solution_hash == simd_m.solution_hash;
   }
 
-  const KernelMeasurement legacy = MeasureKernel(instances, false);
-  const KernelMeasurement arena = MeasureKernel(instances, true);
-
-  const double speedup =
-      arena.seconds > 0 ? legacy.seconds / arena.seconds : 0.0;
-  const bool zero_alloc = arena.steady_allocs == 0 && arena.tracker_delta == 0;
-  const bool same_answers = legacy.best_size == arena.best_size &&
-                            legacy.branches == arena.branches;
-
-  std::string json = "{\n  \"schema\": \"mbc-kernel-bench-v1\",\n";
-  json += "  \"steady_state_solves\": ";
+  std::string json = "{\n  \"schema\": \"mbc-kernel-bench-v2\",\n";
+  json += "  \"simd_isa\": \"" + best_isa + "\",\n";
+  json += "  \"steady_state_solves_per_family\": ";
   json += std::to_string(kSteadySolves);
-  json += ",\n  \"instances\": [\n";
-  for (size_t i = 0; i < instances.size(); ++i) {
-    char buf[128];
+  json += ",\n  \"families\": {\n";
+  for (size_t f = 0; f < families.size(); ++f) {
+    json += "    \"";
+    json += families[f].name;
+    json += "\": {\n      \"instances\": [\n";
+    const std::vector<KernelInstance>& instances = families[f].instances;
+    for (size_t i = 0; i < instances.size(); ++i) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "        {\"n\": %u, \"density\": %.2f, \"seed\": %llu}%s\n",
+                    instances[i].n, instances[i].density,
+                    static_cast<unsigned long long>(instances[i].seed),
+                    i + 1 < instances.size() ? "," : "");
+      json += buf;
+    }
+    json += "      ],\n";
+    for (size_t c = 0; c < kNumConfigs; ++c) {
+      AppendKernelJson(&json, "      ", configs[c].name, per_family[f][c]);
+      json += ",\n";
+    }
+    char buf[96];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"n\": %u, \"density\": %.2f, \"seed\": %llu}%s\n",
-                  instances[i].n, instances[i].density,
-                  static_cast<unsigned long long>(instances[i].seed),
-                  i + 1 < instances.size() ? "," : "");
+                  "      \"speedup_simd_vs_legacy\": %.3f\n    }%s\n",
+                  speedup(per_family[f][0], per_family[f][2]),
+                  f + 1 < families.size() ? "," : "");
     json += buf;
   }
-  json += "  ],\n";
-  AppendKernelJson(&json, "legacy", legacy);
-  json += ",\n";
-  AppendKernelJson(&json, "arena", arena);
-  char tail[160];
-  std::snprintf(tail, sizeof(tail),
-                ",\n  \"speedup\": %.3f,\n  \"zero_alloc_steady_state\": "
-                "%s,\n  \"kernels_agree\": %s\n}\n",
-                speedup, zero_alloc ? "true" : "false",
-                same_answers ? "true" : "false");
+  json += "  },\n";
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    AppendKernelJson(&json, "  ", configs[c].name, totals[c]);
+    json += ",\n";
+  }
+  char tail[512];
+  std::snprintf(
+      tail, sizeof(tail),
+      "  \"speedup_arena_scalar_vs_legacy\": %.3f,\n"
+      "  \"speedup_arena_simd_vs_legacy\": %.3f,\n"
+      "  \"prev_arena_speedup_baseline\": %.2f,\n"
+      "  \"speedup_vs_prev_arena\": %.3f,\n"
+      "  \"zero_alloc_steady_state\": %s,\n"
+      "  \"kernels_agree\": %s,\n"
+      "  \"scalar_simd_identical\": %s\n}\n",
+      total_speedup_scalar, total_speedup_simd, prev_arena_speedup,
+      speedup_vs_prev_arena, zero_alloc ? "true" : "false",
+      kernels_agree ? "true" : "false",
+      scalar_simd_identical ? "true" : "false");
   json += tail;
 
   const char* path_env = std::getenv("MBC_BENCH_KERNEL_JSON");
@@ -413,31 +582,38 @@ int RunKernelReport() {
   out << json;
   out.close();
 
-  std::printf("\nMDC kernel report (%d steady-state solves) -> %s\n",
-              kSteadySolves, path.c_str());
-  std::printf("  legacy: %.4fs, %llu branches, %llu allocs\n", legacy.seconds,
-              static_cast<unsigned long long>(legacy.branches),
-              static_cast<unsigned long long>(legacy.steady_allocs));
-  std::printf("  arena:  %.4fs, %llu branches, %llu allocs, tracker drift "
-              "%lld bytes\n",
-              arena.seconds, static_cast<unsigned long long>(arena.branches),
-              static_cast<unsigned long long>(arena.steady_allocs),
-              static_cast<long long>(arena.tracker_delta));
-  std::printf("  speedup: %.2fx, zero-alloc: %s, kernels agree: %s\n", speedup,
-              zero_alloc ? "yes" : "NO", same_answers ? "yes" : "NO");
+  std::printf("\nMDC kernel report (%d steady-state solves/family, isa=%s) "
+              "-> %s\n",
+              kSteadySolves, best_isa.c_str(), path.c_str());
+  for (size_t c = 0; c < kNumConfigs; ++c) {
+    std::printf("  %-12s %.4fs, %llu branches, %llu allocs\n",
+                configs[c].name, totals[c].seconds,
+                static_cast<unsigned long long>(totals[c].branches),
+                static_cast<unsigned long long>(totals[c].steady_allocs));
+  }
+  std::printf("  arena_simd vs legacy: %.2fx (scalar arena: %.2fx); "
+              "random-family vs previous arena baseline: %.2fx\n",
+              total_speedup_simd, total_speedup_scalar,
+              speedup_vs_prev_arena);
+  std::printf("  zero-alloc: %s, kernels agree: %s, scalar==simd: %s\n",
+              zero_alloc ? "yes" : "NO", kernels_agree ? "yes" : "NO",
+              scalar_simd_identical ? "yes" : "NO");
 
   const char* strict = std::getenv("MBC_BENCH_STRICT");
   if (strict != nullptr && strict[0] == '1') {
     if (!zero_alloc) {
       std::fprintf(stderr,
-                   "FAIL: arena kernel allocated in steady state "
-                   "(%llu allocs, %lld tracker bytes)\n",
-                   static_cast<unsigned long long>(arena.steady_allocs),
-                   static_cast<long long>(arena.tracker_delta));
+                   "FAIL: arena kernel allocated in steady state\n");
       return 1;
     }
-    if (!same_answers) {
+    if (!kernels_agree) {
       std::fprintf(stderr, "FAIL: arena and legacy kernels disagree\n");
+      return 1;
+    }
+    if (!scalar_simd_identical) {
+      std::fprintf(stderr,
+                   "FAIL: scalar and SIMD kernels diverge (solutions or "
+                   "branch counts)\n");
       return 1;
     }
   }

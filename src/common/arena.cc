@@ -40,7 +40,6 @@ size_t SearchArena::MemoryBytes() const {
   for (const Frame& frame : frames_) {
     bytes += frame.cand.AllocatedBytes() + frame.pool.AllocatedBytes() +
              frame.remaining.AllocatedBytes() +
-             frame.scratch.AllocatedBytes() +
              frame.degrees.capacity() * sizeof(uint32_t) + sizeof(Frame);
   }
   bytes += pending_.capacity() * sizeof(uint32_t);

@@ -32,7 +32,6 @@ class SearchArena {
     Bitset cand;       ///< candidate set after pruning at this depth
     Bitset pool;       ///< branching pool (side-restricted candidates)
     Bitset remaining;  ///< candidates not yet branched away
-    Bitset scratch;    ///< transient neighborhood/peeling buffer
     /// degrees[v] = degree of v within `remaining`, maintained
     /// incrementally as vertices leave `remaining` (see docs/perf.md for
     /// the invariant).

@@ -17,12 +17,6 @@ void Bitset::SetFirstN(size_t k) {
   }
 }
 
-size_t Bitset::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
-  return total;
-}
-
 bool Bitset::Any() const {
   for (uint64_t w : words_) {
     if (w != 0) return true;
@@ -46,42 +40,6 @@ Bitset& Bitset::operator^=(const Bitset& other) {
   MBC_DCHECK_EQ(num_bits_, other.num_bits_);
   for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
-}
-
-Bitset& Bitset::AndNot(const Bitset& other) {
-  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
-}
-
-void Bitset::AssignAnd(const Bitset& a, const Bitset& b) {
-  MBC_DCHECK_EQ(a.num_bits_, b.num_bits_);
-  num_bits_ = a.num_bits_;
-  words_.resize(a.words_.size());
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = a.words_[i] & b.words_[i];
-  }
-}
-
-size_t Bitset::CountAnd(const Bitset& other) const {
-  MBC_DCHECK_EQ(num_bits_, other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total +=
-        static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return total;
-}
-
-size_t Bitset::CountAndAnd(const Bitset& b, const Bitset& c) const {
-  MBC_DCHECK_EQ(num_bits_, b.num_bits_);
-  MBC_DCHECK_EQ(num_bits_, c.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & b.words_[i] & c.words_[i]));
-  }
-  return total;
 }
 
 bool Bitset::Intersects(const Bitset& other) const {

@@ -4,13 +4,21 @@
 // networks. Dichromatic networks have at most degeneracy(G)+1 vertices, so
 // these sets are small (a handful of 64-bit words); the branch-and-bound
 // solvers copy and intersect them heavily.
+//
+// The word-loop operations route through the runtime-dispatched SIMD layer
+// (src/common/simd.h) behind an inline fast path for one- and two-word
+// sets, where the indirect call would cost more than the loop. The
+// dispatched choice is bit-exact across ISAs, so results never depend on
+// the selected kernels.
 #ifndef MBC_COMMON_BITSET_H_
 #define MBC_COMMON_BITSET_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/simd.h"
 
 namespace mbc {
 
@@ -51,6 +59,22 @@ class Bitset {
     words_.assign((num_bits + 63) / 64, 0);
   }
 
+  /// Re-dimensions to `num_bits` WITHOUT clearing: retained words keep
+  /// whatever they held. Only valid when the caller immediately overwrites
+  /// every word — SetAll, SetFirstN(capacity()) or CopyFrom — before any
+  /// read; using it for anything else reads stale bits. Exists because
+  /// Reshape+SetAll in the hot loops zeroed every word only to fill it
+  /// again one call later. Debug builds poison the words so a missing
+  /// overwrite fails loudly under the DCHECK-enabled test legs.
+  void ReshapeUninit(size_t num_bits) {
+    num_bits_ = num_bits;
+    const size_t n = (num_bits + 63) / 64;
+    if (words_.size() != n) words_.resize(n);
+#ifndef NDEBUG
+    std::fill(words_.begin(), words_.end(), kDebugPoison);
+#endif
+  }
+
   /// this = other (capacity included), reusing existing word storage.
   void CopyFrom(const Bitset& other) {
     num_bits_ = other.num_bits_;
@@ -59,14 +83,53 @@ class Bitset {
 
   /// this = a & b without materializing a temporary. a and b must have the
   /// same capacity; this may have any prior shape (storage is reused).
-  void AssignAnd(const Bitset& a, const Bitset& b);
+  void AssignAnd(const Bitset& a, const Bitset& b) {
+    const size_t n = AdoptShapeOf(a, b);
+    if (n <= 2) {
+      const uint64_t* aw = a.words_.data();
+      const uint64_t* bw = b.words_.data();
+      for (size_t i = 0; i < n; ++i) words_[i] = aw[i] & bw[i];
+      return;
+    }
+    simd::Active().assign_and(words_.data(), a.words_.data(), b.words_.data(),
+                              n);
+  }
+
+  /// this = a & b, returning the number of set bits of the result — the
+  /// fused kernel that saves the child-candidate Count() pass in the
+  /// branch-and-bound solvers.
+  size_t AssignAndCount(const Bitset& a, const Bitset& b) {
+    const size_t n = AdoptShapeOf(a, b);
+    if (n <= 2) {
+      const uint64_t* aw = a.words_.data();
+      const uint64_t* bw = b.words_.data();
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        words_[i] = aw[i] & bw[i];
+        total += static_cast<size_t>(__builtin_popcountll(words_[i]));
+      }
+      return total;
+    }
+    return static_cast<size_t>(simd::Active().assign_and_count(
+        words_.data(), a.words_.data(), b.words_.data(), n));
+  }
 
   /// Bytes of heap storage currently reserved by this bitset.
   size_t AllocatedBytes() const {
     return words_.capacity() * sizeof(uint64_t);
   }
 
-  size_t Count() const;
+  size_t Count() const {
+    const size_t n = words_.size();
+    if (n <= 2) {
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        total += static_cast<size_t>(__builtin_popcountll(words_[i]));
+      }
+      return total;
+    }
+    return static_cast<size_t>(simd::Active().count(words_.data(), n));
+  }
   bool Any() const;
   bool None() const { return !Any(); }
 
@@ -74,7 +137,16 @@ class Bitset {
   Bitset& operator|=(const Bitset& other);
   Bitset& operator^=(const Bitset& other);
   /// this = this & ~other.
-  Bitset& AndNot(const Bitset& other);
+  Bitset& AndNot(const Bitset& other) {
+    MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+    const size_t n = words_.size();
+    if (n <= 2) {
+      for (size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+      return *this;
+    }
+    simd::Active().and_not(words_.data(), other.words_.data(), n);
+    return *this;
+  }
 
   friend Bitset operator&(Bitset lhs, const Bitset& rhs) {
     lhs &= rhs;
@@ -90,9 +162,36 @@ class Bitset {
   }
 
   /// Number of set bits in (this & other) without materializing it.
-  size_t CountAnd(const Bitset& other) const;
+  size_t CountAnd(const Bitset& other) const {
+    MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+    const size_t n = words_.size();
+    if (n <= 2) {
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        total += static_cast<size_t>(
+            __builtin_popcountll(words_[i] & other.words_[i]));
+      }
+      return total;
+    }
+    return static_cast<size_t>(
+        simd::Active().count_and(words_.data(), other.words_.data(), n));
+  }
   /// Number of set bits in (this & b & c) without materializing it.
-  size_t CountAndAnd(const Bitset& b, const Bitset& c) const;
+  size_t CountAndAnd(const Bitset& b, const Bitset& c) const {
+    MBC_DCHECK_EQ(num_bits_, b.num_bits_);
+    MBC_DCHECK_EQ(num_bits_, c.num_bits_);
+    const size_t n = words_.size();
+    if (n <= 2) {
+      size_t total = 0;
+      for (size_t i = 0; i < n; ++i) {
+        total += static_cast<size_t>(
+            __builtin_popcountll(words_[i] & b.words_[i] & c.words_[i]));
+      }
+      return total;
+    }
+    return static_cast<size_t>(simd::Active().count_and_and(
+        words_.data(), b.words_.data(), c.words_.data(), n));
+  }
   /// Whether (this & other) is non-empty.
   bool Intersects(const Bitset& other) const;
   /// Whether every set bit of this is also set in other.
@@ -117,10 +216,46 @@ class Bitset {
     }
   }
 
+  /// Invokes fn(index) for every set bit of (this & other) in ascending
+  /// order, without materializing the intersection — the word-parallel
+  /// replacement for the old AssignAnd-into-scratch-then-ForEach pattern
+  /// in the degree-maintenance and peeling loops. `other` must not change
+  /// during the iteration.
+  template <typename Fn>
+  void ForEachAnd(const Bitset& other, Fn&& fn) const {
+    MBC_DCHECK_EQ(num_bits_, other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w] & other.words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
   /// Returns the set bits as a vector (mostly for tests and result output).
   std::vector<uint32_t> ToVector() const;
 
  private:
+#ifndef NDEBUG
+  /// ReshapeUninit poison: makes "reshaped but never overwritten" visible.
+  static constexpr uint64_t kDebugPoison = 0xDEADBEEFDEADBEEFull;
+#endif
+
+  /// Adopts the shape of binary-op operands a and b (which must agree) and
+  /// returns the word count, resizing storage only when the word count
+  /// actually changes (the arena reuse contract keeps this a no-op after
+  /// warm-up).
+  size_t AdoptShapeOf(const Bitset& a, const Bitset& b) {
+    (void)b;  // only read by the debug check below
+    MBC_DCHECK_EQ(a.num_bits_, b.num_bits_);
+    num_bits_ = a.num_bits_;
+    const size_t n = a.words_.size();
+    if (words_.size() != n) words_.resize(n);
+    return n;
+  }
+
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;
 };

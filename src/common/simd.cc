@@ -1,0 +1,406 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/simd.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MBC_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace mbc {
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels. GCC/Clang auto-vectorize the logical loops to the baseline
+// ISA; the popcount loops run four words per iteration so the popcnt chains
+// overlap (the classic unrolled-popcnt layout, which beats 256-bit
+// Harley-Seal until arrays get much larger than any dichromatic network).
+// ---------------------------------------------------------------------------
+
+void AssignAndScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+uint64_t AssignAndCountScalar(uint64_t* dst, const uint64_t* a,
+                              const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t word = a[i] & b[i];
+    dst[i] = word;
+    total += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+uint64_t CountScalar(const uint64_t* a, size_t n) {
+  uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 += static_cast<uint64_t>(__builtin_popcountll(a[i]));
+    t1 += static_cast<uint64_t>(__builtin_popcountll(a[i + 1]));
+    t2 += static_cast<uint64_t>(__builtin_popcountll(a[i + 2]));
+    t3 += static_cast<uint64_t>(__builtin_popcountll(a[i + 3]));
+  }
+  for (; i < n; ++i) {
+    t0 += static_cast<uint64_t>(__builtin_popcountll(a[i]));
+  }
+  return t0 + t1 + t2 + t3;
+}
+
+uint64_t CountAndScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t t0 = 0, t1 = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    t0 += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+    t1 += static_cast<uint64_t>(__builtin_popcountll(a[i + 1] & b[i + 1]));
+  }
+  if (i < n) t0 += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  return t0 + t1;
+}
+
+uint64_t CountAndAndScalar(const uint64_t* a, const uint64_t* b,
+                           const uint64_t* c, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i] & c[i]));
+  }
+  return total;
+}
+
+void AndNotScalar(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+constexpr Kernels kScalar = {
+    "scalar",     AssignAndScalar, AssignAndCountScalar, CountScalar,
+    CountAndScalar, CountAndAndScalar, AndNotScalar,
+};
+
+#if defined(MBC_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels: 256-bit logical ops; counts popcnt the four lanes directly
+// (no Harley-Seal — dichromatic bitsets rarely exceed a dozen words, where
+// the lane-popcnt layout wins).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2,popcnt"))) void AssignAndAvx2(uint64_t* dst,
+                                                          const uint64_t* a,
+                                                          const uint64_t* b,
+                                                          size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t AssignAndCountAvx2(
+    uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 1))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 2))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 3))));
+  }
+  for (; i < n; ++i) {
+    const uint64_t word = a[i] & b[i];
+    dst[i] = word;
+    total += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t CountAvx2(const uint64_t* a,
+                                                          size_t n) {
+  return CountScalar(a, n);  // unrolled popcnt is optimal at these sizes
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t CountAndAvx2(
+    const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 1))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 2))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 3))));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t CountAndAndAvx2(
+    const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+    const __m256i v = _mm256_and_si256(_mm256_and_si256(va, vb), vc);
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 1))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 2))));
+    total += static_cast<uint64_t>(
+        __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 3))));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i] & c[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2,popcnt"))) void AndNotAvx2(uint64_t* dst,
+                                                       const uint64_t* src,
+                                                       size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vd =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i vs =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // andnot computes ~first & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(vs, vd));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+constexpr Kernels kAvx2 = {
+    "avx2",       AssignAndAvx2, AssignAndCountAvx2, CountAvx2,
+    CountAndAvx2, CountAndAndAvx2, AndNotAvx2,
+};
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels: 512-bit logical ops (F is enough for the integer ANDs);
+// counts land the vector in a stack buffer and popcnt the lanes, since the
+// machines this targets lack VPOPCNTDQ.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx512f,popcnt"))) void AssignAndAvx512(
+    uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx512f,popcnt"))) uint64_t AssignAndCountAvx512(
+    uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  alignas(64) uint64_t lanes[8];
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    _mm512_storeu_si512(dst + i, v);
+    _mm512_store_si512(lanes, v);
+    for (int k = 0; k < 8; ++k) {
+      total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
+    }
+  }
+  for (; i < n; ++i) {
+    const uint64_t word = a[i] & b[i];
+    dst[i] = word;
+    total += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,popcnt"))) uint64_t CountAvx512(
+    const uint64_t* a, size_t n) {
+  return CountScalar(a, n);
+}
+
+__attribute__((target("avx512f,popcnt"))) uint64_t CountAndAvx512(
+    const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  alignas(64) uint64_t lanes[8];
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v =
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+    _mm512_store_si512(lanes, v);
+    for (int k = 0; k < 8; ++k) {
+      total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
+    }
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,popcnt"))) uint64_t CountAndAndAvx512(
+    const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  alignas(64) uint64_t lanes[8];
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_and_si512(
+        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i)),
+        _mm512_loadu_si512(c + i));
+    _mm512_store_si512(lanes, v);
+    for (int k = 0; k < 8; ++k) {
+      total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
+    }
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i] & c[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,popcnt"))) void AndNotAvx512(
+    uint64_t* dst, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vd = _mm512_loadu_si512(dst + i);
+    const __m512i vs = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(vs, vd));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+constexpr Kernels kAvx512 = {
+    "avx512",       AssignAndAvx512, AssignAndCountAvx512, CountAvx512,
+    CountAndAvx512, CountAndAndAvx512, AndNotAvx512,
+};
+
+#endif  // MBC_SIMD_X86
+
+bool CpuSupports(const std::string& name) {
+  if (name == "scalar") return true;
+#if defined(MBC_SIMD_X86)
+  if (name == "avx2") return __builtin_cpu_supports("avx2") != 0;
+  if (name == "avx512") {
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("popcnt") != 0;
+  }
+#endif
+  return false;
+}
+
+const Kernels* Find(const std::string& name) {
+  if (name == "scalar") return &kScalar;
+#if defined(MBC_SIMD_X86)
+  if (name == "avx2" && CpuSupports("avx2")) return &kAvx2;
+  if (name == "avx512" && CpuSupports("avx512")) return &kAvx512;
+#endif
+  return nullptr;
+}
+
+const Kernels* Best() {
+#if defined(MBC_SIMD_X86)
+  // AVX2 is preferred over AVX-512 by default: without VPOPCNTDQ the wider
+  // vectors bring no extra popcount throughput and may downclock. AVX-512
+  // remains selectable explicitly (MBC_SIMD=avx512 / SetActive).
+  if (CpuSupports("avx2")) return &kAvx2;
+#endif
+  return &kScalar;
+}
+
+// Upgrades the statically-selected scalar kernels to the best supported ISA
+// (or the MBC_SIMD override) as soon as static initialization reaches this
+// translation unit.
+struct StartupSelect {
+  StartupSelect() {
+    const char* env = std::getenv("MBC_SIMD");
+    if (env != nullptr && env[0] != '\0') {
+      if (!SetActive(env)) {
+        internal::g_active = Best();
+        MBC_LOG(Warning) << "MBC_SIMD=" << env
+                         << " unknown or unsupported on this CPU; using "
+                         << ActiveName();
+      }
+    } else {
+      internal::g_active = Best();
+    }
+  }
+};
+StartupSelect g_startup_select;
+
+}  // namespace
+
+namespace internal {
+const Kernels* g_active = &kScalar;
+}  // namespace internal
+
+const char* ActiveName() { return internal::g_active->name; }
+
+bool Supported(const std::string& name) { return CpuSupports(name); }
+
+std::vector<std::string> SupportedIsas() {
+  std::vector<std::string> isas{"scalar"};
+  for (const char* name : {"avx2", "avx512"}) {
+    if (CpuSupports(name)) isas.emplace_back(name);
+  }
+  return isas;
+}
+
+bool SetActive(const std::string& name) {
+  if (name == "auto") {
+    // "auto" re-runs the startup resolution: a valid MBC_SIMD pin wins,
+    // otherwise the best supported ISA. This keeps a pinned process
+    // pinned even after code (tests, the bench report) toggles tables.
+    const char* env = std::getenv("MBC_SIMD");
+    if (env != nullptr && env[0] != '\0' && std::string(env) != "auto") {
+      if (const Kernels* kernels = Find(env)) {
+        internal::g_active = kernels;
+        return true;
+      }
+    }
+    internal::g_active = Best();
+    return true;
+  }
+  const Kernels* kernels = Find(name);
+  if (kernels == nullptr) return false;
+  internal::g_active = kernels;
+  return true;
+}
+
+}  // namespace simd
+}  // namespace mbc

@@ -1,0 +1,81 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Runtime-dispatched SIMD kernels for the 64-bit word loops behind Bitset.
+// The branch-and-bound solvers are memory-bound on a handful of intersect /
+// popcount primitives; this layer provides scalar, AVX2 and AVX-512
+// implementations of exactly those primitives and selects one at process
+// start (CPUID, overridable with MBC_SIMD=scalar|avx2|avx512 for testing).
+//
+// All kernels operate on raw uint64_t word arrays and are bit-exact across
+// ISAs: the dispatched choice can never change a search result, only its
+// speed. Bitset (src/common/bitset.h) routes its hot operations here and
+// keeps a branch-free inline path for one- and two-word sets (dichromatic
+// networks are often that small), so the dispatch only pays off — and only
+// differs — above two words.
+#ifndef MBC_COMMON_SIMD_H_
+#define MBC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbc {
+namespace simd {
+
+/// One ISA's implementation of the bitset micro-kernels. All counts return
+/// the number of set bits; `n` is the word count (not bits, not bytes).
+struct Kernels {
+  const char* name;
+  /// dst[i] = a[i] & b[i].
+  void (*assign_and)(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     size_t n);
+  /// dst[i] = a[i] & b[i]; returns popcount(dst) — the fused kernel the
+  /// child-candidate construction uses to avoid a second pass.
+  uint64_t (*assign_and_count)(uint64_t* dst, const uint64_t* a,
+                               const uint64_t* b, size_t n);
+  /// popcount(a).
+  uint64_t (*count)(const uint64_t* a, size_t n);
+  /// popcount(a & b).
+  uint64_t (*count_and)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// popcount(a & b & c).
+  uint64_t (*count_and_and)(const uint64_t* a, const uint64_t* b,
+                            const uint64_t* c, size_t n);
+  /// dst[i] &= ~src[i].
+  void (*and_not)(uint64_t* dst, const uint64_t* src, size_t n);
+};
+
+namespace internal {
+/// The active kernel table. Statically initialized to the scalar kernels
+/// (so calls during static initialization are always safe) and upgraded to
+/// the best supported ISA — or the MBC_SIMD override — by a dynamic
+/// initializer in simd.cc. Mutated afterwards only by SetActive (tests and
+/// the kernel benchmark), never concurrently with running solvers.
+extern const Kernels* g_active;
+}  // namespace internal
+
+/// The kernel table all Bitset operations dispatch through.
+inline const Kernels& Active() { return *internal::g_active; }
+
+/// Name of the active kernel table: "scalar", "avx2" or "avx512".
+const char* ActiveName();
+
+/// Whether this CPU (and build) supports the named ISA.
+bool Supported(const std::string& name);
+
+/// ISAs usable in this process, in ascending preference order; always
+/// contains at least "scalar".
+std::vector<std::string> SupportedIsas();
+
+/// Selects the active kernels: "scalar", "avx2", "avx512", or "auto"
+/// (the startup resolution: a valid MBC_SIMD pin if set, else the best
+/// supported ISA). Returns false — and leaves the active kernels unchanged —
+/// if the name is unknown or the ISA is unsupported on this CPU. Not
+/// thread-safe; call only while no solver is running (tests, benchmark
+/// setup, process start).
+bool SetActive(const std::string& name);
+
+}  // namespace simd
+}  // namespace mbc
+
+#endif  // MBC_COMMON_SIMD_H_

@@ -74,12 +74,12 @@ void Worker(const SignedGraph& work, const std::vector<VertexId>& to_input,
     if (static_cast<size_t>(k) <= bound) continue;
 
     prune_arena.BindNetwork(k);
-    alive.Reshape(k);
+    alive.ReshapeUninit(k);
     alive.SetAll();
+    size_t alive_count = k;
     KCoreWithinInPlace(net.graph, &alive, static_cast<uint32_t>(bound),
-                       &prune_arena.pending(),
-                       &prune_arena.FrameAt(0).scratch);
-    if (!alive.Test(0) || alive.Count() <= bound) continue;
+                       &prune_arena.pending(), &alive_count);
+    if (!alive.Test(0) || alive_count <= bound) continue;
     if (ColoringBoundWithin(net.graph, alive, static_cast<uint32_t>(bound),
                             &prune_arena) <= bound) {
       continue;

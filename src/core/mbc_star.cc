@@ -152,14 +152,16 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
 
       // Line 7: |C*|-core of g_u (labels ignored).
       prune_arena.BindNetwork(k);
-      alive.Reshape(k);
+      // ReshapeUninit + SetAll: the full overwrite makes the cleared words
+      // of a plain Reshape dead stores.
+      alive.ReshapeUninit(k);
       alive.SetAll();
+      size_t alive_count = k;
       if (options.use_core_pruning) {
         KCoreWithinInPlace(net.graph, &alive,
                            static_cast<uint32_t>(prune_bound),
-                           &prune_arena.pending(),
-                           &prune_arena.FrameAt(0).scratch);
-        if (!alive.Test(0) || alive.Count() <= prune_bound) continue;
+                           &prune_arena.pending(), &alive_count);
+        if (!alive.Test(0) || alive_count <= prune_bound) continue;
       }
 
       // Line 8: coloring-based pruning, then MDC.

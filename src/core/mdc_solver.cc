@@ -39,7 +39,7 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
     arena_.BindNetwork(n);
     SearchArena::Frame& root = arena_.FrameAt(0);
     root.cand.CopyFrom(candidates);
-    RecurseArena(0, tau_l, tau_r);
+    RecurseArena(0, tau_l, tau_r, candidates.Count());
   } else {
     RecurseLegacy(candidates, tau_l, tau_r);
   }
@@ -56,9 +56,12 @@ void MdcSolver::RecordCliqueShortcut(const Bitset& cand) {
 }
 
 // The allocation-free kernel. The caller owns frame `depth` and has
-// populated its `cand` row (the root from Solve, recursive calls via
-// AssignAnd below); everything else in the frame is written here.
-void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r) {
+// populated its `cand` row (the root from Solve, recursive calls via the
+// fused AssignAndCount below); everything else in the frame is written
+// here. `cand_count` carries |cand| in, so the node never recounts sets
+// it (or its parent) already counted while building them.
+void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
+                             size_t cand_count) {
   ++branches_;
   if (exec_ != nullptr && exec_->Checkpoint()) {
     interrupted_ = true;
@@ -79,36 +82,55 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r) {
 
   SearchArena::Frame& frame = arena_.FrameAt(depth);
   Bitset& cand = frame.cand;
+  MBC_DCHECK_EQ(cand_count, cand.Count());
 
   // Line 11: degree-based pruning — any extension clique C' with
   // |C ∪ C'| > best must lie in the (best - |C|)-core of the candidates.
+  // The peel doubles as this node's degree sweep: it leaves
+  // DegreeWithin(v, cand) for every survivor in `degrees`.
+  std::vector<uint32_t>& degrees = frame.degrees;
+  bool degrees_ready = false;
   if (options_.use_core_pruning && best_size_ > current_.size()) {
     KCoreWithinInPlace(*graph_, &cand,
                        static_cast<uint32_t>(best_size_ - current_.size()),
-                       &arena_.pending(), &frame.scratch);
+                       &arena_.pending(), &cand_count, &degrees);
+    degrees_ready = true;
   }
 
   // Lines 12-13: infeasibility and coloring-bound pruning. The trivial
   // size bound comes first (it is free and subsumes the coloring bound
   // when even taking every candidate cannot beat the incumbent).
   const size_t left_avail = cand.CountAnd(graph_->LeftMask());
-  const size_t right_avail = cand.Count() - left_avail;
+  const size_t right_avail = cand_count - left_avail;
   if ((tau_l > 0 && left_avail < static_cast<size_t>(tau_l)) ||
       (tau_r > 0 && right_avail < static_cast<size_t>(tau_r))) {
     return;
   }
-  if (cand.None()) return;
-  if (current_.size() + left_avail + right_avail <= best_size_) return;
+  if (cand_count == 0) return;
+  if (current_.size() + cand_count <= best_size_) return;
+
+  // Candidate degrees within `cand`, shared three ways: their sum is
+  // 2|E(cand)| for the clique shortcut, they are the coloring bound's
+  // sort keys, and they seed the branch loop's min-degree picks
+  // (maintained incrementally there). When the k-core peel ran it already
+  // left them behind; otherwise pay the one sweep here. The legacy kernel
+  // pays this sweep up to four times per node.
+  uint64_t twice_edges = 0;
+  if (degrees_ready) {
+    cand.ForEach([&](size_t v) { twice_edges += degrees[v]; });
+  } else {
+    cand.ForEach([&](size_t v) {
+      const uint32_t degree =
+          graph_->DegreeWithin(static_cast<uint32_t>(v), cand);
+      degrees[v] = degree;
+      twice_edges += degree;
+    });
+  }
 
   // Clique shortcut: if the candidates already induce a clique, the
   // maximum dichromatic clique through the current seed is all of them
   // (the feasibility check above guarantees the side quotas).
-  const size_t cand_count = left_avail + right_avail;
   if (cand_count <= kCliqueShortcutCap || !options_.use_coloring_bound) {
-    uint64_t twice_edges = 0;
-    cand.ForEach([this, &cand, &twice_edges](size_t v) {
-      twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
-    });
     if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
       RecordCliqueShortcut(cand);
       if (existence_only_) stop_ = true;
@@ -124,38 +146,38 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r) {
             ? static_cast<uint32_t>(best_size_ - current_.size())
             : 0;
     const uint32_t color_bound =
-        ColoringBoundWithin(*graph_, cand, needed, &arena_);
+        ColoringBoundWithin(*graph_, cand, needed, &arena_, &degrees);
     if (current_.size() + color_bound <= best_size_) return;
   }
 
   // Lines 14-16: choose the branching pool based on which side still needs
-  // vertices.
+  // vertices. The pool population falls out of the side counts already in
+  // hand, so no branch of this if re-counts the pool.
   Bitset& pool = frame.pool;
   pool.CopyFrom(cand);
+  size_t pool_count = cand_count;
   if (tau_l > 0 && tau_r <= 0) {
     pool &= graph_->LeftMask();
+    pool_count = left_avail;
   } else if (tau_l <= 0 && tau_r > 0) {
     pool.AndNot(graph_->LeftMask());
+    pool_count = right_avail;
   }
 
   Bitset& remaining = frame.remaining;
   remaining.CopyFrom(cand);
-
-  // Candidate degrees within `remaining`, maintained incrementally: full
-  // O(|cand|) bitset scans happen once per node, and each branch then
-  // pays only deg(v) decrements instead of the legacy kernel's full
-  // O(|pool|²) rescan per min-degree pick.
-  std::vector<uint32_t>& degrees = frame.degrees;
-  cand.ForEach([&](size_t v) {
-    degrees[v] = graph_->DegreeWithin(static_cast<uint32_t>(v), cand);
-  });
+  size_t remaining_count = cand_count;
+  // `degrees` (computed above, within `cand` == initial `remaining`) is
+  // maintained incrementally from here: each branch pays only deg(v)
+  // decrements instead of the legacy kernel's full O(|pool|²) rescan per
+  // min-degree pick.
 
   // Lines 17-22: branch on minimum-degree vertices. After each branch the
   // incumbent may have grown, so re-check the free size bound before the
   // min-degree pick (this collapses the unwind after a deep successful
   // dive from quadratic to linear).
-  while (pool.Any()) {
-    if (current_.size() + remaining.Count() <= best_size_) return;
+  while (pool_count > 0) {
+    if (current_.size() + remaining_count <= best_size_) return;
     uint32_t v = 0;
     uint32_t v_degree = 0;
     bool v_found = false;
@@ -171,18 +193,25 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r) {
     const bool v_left = graph_->IsLeft(v);
     current_.push_back(v);
     SearchArena::Frame& child = arena_.FrameAt(depth + 1);
-    child.cand.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    // Fused intersect+popcount: the child receives its candidate count
+    // with the construction, so the child node starts without a Count().
+    const size_t child_count =
+        child.cand.AssignAndCount(graph_->AdjacencyOf(v), remaining);
     RecurseArena(depth + 1, v_left ? tau_l - 1 : tau_l,
-                 v_left ? tau_r : tau_r - 1);
+                 v_left ? tau_r : tau_r - 1, child_count);
     current_.pop_back();
     if (stop_) return;
 
     pool.Reset(v);
+    --pool_count;
     remaining.Reset(v);
+    --remaining_count;
     // Restore the degree invariant: v left `remaining`, so each of its
     // still-remaining neighbors loses one within-remaining neighbor.
-    frame.scratch.AssignAnd(graph_->AdjacencyOf(v), remaining);
-    frame.scratch.ForEach([&degrees](size_t w) { --degrees[w]; });
+    // ForEachAnd iterates the intersection directly — no scratch bitset
+    // is materialized.
+    graph_->AdjacencyOf(v).ForEachAnd(
+        remaining, [&degrees](size_t w) { --degrees[w]; });
   }
 }
 

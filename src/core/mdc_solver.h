@@ -96,7 +96,11 @@ class MdcSolver {
 
  private:
   void RecurseLegacy(const Bitset& candidates, int32_t tau_l, int32_t tau_r);
-  void RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r);
+  /// `cand_count` must equal |frame(depth).cand| — the population is
+  /// threaded through the recursion (fused AssignAndCount at the call
+  /// site) so the kernel never re-counts a candidate set it built.
+  void RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
+                    size_t cand_count);
   /// Records current_ ∪ cand as the new incumbent (cand is a clique).
   void RecordCliqueShortcut(const Bitset& cand);
 

@@ -5,6 +5,12 @@
 // networks g_u have at most degeneracy(G)+1 vertices, so adjacency is stored
 // as dense bitset rows; the MDC/DCC branch-and-bound solvers pass candidate
 // sets down as bitsets and never copy the graph.
+//
+// Besides the plain adjacency row, every vertex keeps a side-split
+// adjacency bitmap: one row of its L-neighbors and one of its R-neighbors,
+// maintained by AddEdge/SetSide. The (τ_L, τ_R)-core peeling and the DCC
+// feasibility checks then read a side degree as a single intersect+popcount
+// over the matching row instead of a three-operand mask pass.
 #ifndef MBC_DICHROMATIC_DICHROMATIC_GRAPH_H_
 #define MBC_DICHROMATIC_DICHROMATIC_GRAPH_H_
 
@@ -47,6 +53,10 @@ class DichromaticGraph {
   }
 
   const Bitset& AdjacencyOf(uint32_t v) const { return adjacency_[v]; }
+  /// The L-neighbors of v (AdjacencyOf(v) ∩ LeftMask(), precomputed).
+  const Bitset& LeftAdjacencyOf(uint32_t v) const { return adj_left_[v]; }
+  /// The R-neighbors of v (AdjacencyOf(v) \ LeftMask(), precomputed).
+  const Bitset& RightAdjacencyOf(uint32_t v) const { return adj_right_[v]; }
   /// Bitset of L-vertices (capacity == NumVertices()).
   const Bitset& LeftMask() const { return left_mask_; }
 
@@ -66,6 +76,12 @@ class DichromaticGraph {
  private:
   // Rows [0, num_vertices_) are live; the tail is retained capacity.
   std::vector<Bitset> adjacency_;
+  // Side-split companions of adjacency_: adj_left_[v] holds v's neighbors
+  // that are L-vertices, adj_right_[v] those that are R-vertices. Their
+  // union is adjacency_[v]; SetSide keeps them consistent when a labelled
+  // vertex changes sides after edges exist.
+  std::vector<Bitset> adj_left_;
+  std::vector<Bitset> adj_right_;
   Bitset left_mask_;
   uint32_t num_vertices_ = 0;
 };

@@ -13,17 +13,43 @@ Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
                    uint32_t k) {
   Bitset alive = candidates;
   std::vector<uint32_t> pending;
-  Bitset scratch;
-  KCoreWithinInPlace(graph, &alive, k, &pending, &scratch);
+  size_t alive_count = alive.Count();
+  KCoreWithinInPlace(graph, &alive, k, &pending, &alive_count);
   return alive;
 }
 
 void KCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive_set,
                         uint32_t k, std::vector<uint32_t>* pending_stack,
-                        Bitset* scratch) {
+                        size_t* alive_count,
+                        std::vector<uint32_t>* degrees) {
   Bitset& alive = *alive_set;
-  if (k == 0) return;
+  MBC_DCHECK_EQ(*alive_count, alive.Count());
   std::vector<uint32_t>& pending = *pending_stack;
+  if (degrees != nullptr) {
+    // Decrement-maintained peel: one intersect+popcount sweep total, and
+    // the caller keeps the surviving degrees.
+    std::vector<uint32_t>& deg = *degrees;
+    pending.clear();
+    alive.ForEach([&](size_t v) {
+      const uint32_t d = graph.DegreeWithin(static_cast<uint32_t>(v), alive);
+      deg[v] = d;
+      if (d < k) pending.push_back(static_cast<uint32_t>(v));
+    });
+    while (!pending.empty()) {
+      const uint32_t v = pending.back();
+      pending.pop_back();
+      if (!alive.Test(v)) continue;
+      alive.Reset(v);
+      --*alive_count;
+      // A neighbor is pushed exactly when its degree crosses below k;
+      // anything already below entered via the initial sweep.
+      graph.AdjacencyOf(v).ForEachAnd(alive, [&](size_t u) {
+        if (--deg[u] == k - 1) pending.push_back(static_cast<uint32_t>(u));
+      });
+    }
+    return;
+  }
+  if (k == 0) return;
   pending.clear();
   alive.ForEach([&](size_t v) {
     if (graph.DegreeWithin(static_cast<uint32_t>(v), alive) < k) {
@@ -35,9 +61,9 @@ void KCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive_set,
     pending.pop_back();
     if (!alive.Test(v)) continue;
     alive.Reset(v);
+    --*alive_count;
     // Neighbors of v inside `alive` may have dropped below k.
-    scratch->AssignAnd(graph.AdjacencyOf(v), alive);
-    scratch->ForEach([&](size_t u) {
+    graph.AdjacencyOf(v).ForEachAnd(alive, [&](size_t u) {
       if (graph.DegreeWithin(static_cast<uint32_t>(u), alive) < k) {
         pending.push_back(static_cast<uint32_t>(u));
       }
@@ -50,8 +76,9 @@ Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
                           int32_t tau_r) {
   Bitset alive = candidates;
   std::vector<uint32_t> pending;
-  Bitset scratch;
-  TwoSidedCoreWithinInPlace(graph, &alive, tau_l, tau_r, &pending, &scratch);
+  size_t alive_count = alive.Count();
+  TwoSidedCoreWithinInPlace(graph, &alive, tau_l, tau_r, &pending,
+                            &alive_count);
   return alive;
 }
 
@@ -59,9 +86,10 @@ void TwoSidedCoreWithinInPlace(const DichromaticGraph& graph,
                                Bitset* alive_set, int32_t tau_l,
                                int32_t tau_r,
                                std::vector<uint32_t>* pending_stack,
-                               Bitset* scratch) {
+                               size_t* alive_count,
+                               std::vector<uint32_t>* degrees) {
   Bitset& alive = *alive_set;
-  const Bitset& left = graph.LeftMask();
+  MBC_DCHECK_EQ(*alive_count, alive.Count());
   const auto need_l = [&](uint32_t v) -> uint32_t {
     const int32_t need = graph.IsLeft(v) ? tau_l - 1 : tau_l;
     return need > 0 ? static_cast<uint32_t>(need) : 0;
@@ -70,27 +98,42 @@ void TwoSidedCoreWithinInPlace(const DichromaticGraph& graph,
     const int32_t need = graph.IsLeft(v) ? tau_r : tau_r - 1;
     return need > 0 ? static_cast<uint32_t>(need) : 0;
   };
+  // The split adjacency rows turn each side degree into one
+  // intersect+popcount, where the unsplit row needed a three-operand mask
+  // pass plus a subtraction.
   auto violates = [&](uint32_t v) {
-    const Bitset& neighborhood = graph.AdjacencyOf(v);
-    const size_t left_deg = neighborhood.CountAndAnd(alive, left);
-    const size_t right_deg = neighborhood.CountAnd(alive) - left_deg;
-    return left_deg < need_l(v) || right_deg < need_r(v);
+    return graph.LeftAdjacencyOf(v).CountAnd(alive) < need_l(v) ||
+           graph.RightAdjacencyOf(v).CountAnd(alive) < need_r(v);
   };
 
   std::vector<uint32_t>& pending = *pending_stack;
   pending.clear();
-  alive.ForEach([&](size_t v) {
-    if (violates(static_cast<uint32_t>(v))) {
-      pending.push_back(static_cast<uint32_t>(v));
-    }
-  });
+  if (degrees != nullptr) {
+    // Record total degrees during the violation sweep (both side counts
+    // are in hand anyway) and keep them current by decrement in the peel.
+    std::vector<uint32_t>& deg = *degrees;
+    alive.ForEach([&](size_t v) {
+      const uint32_t u = static_cast<uint32_t>(v);
+      const size_t dl = graph.LeftAdjacencyOf(u).CountAnd(alive);
+      const size_t dr = graph.RightAdjacencyOf(u).CountAnd(alive);
+      deg[u] = static_cast<uint32_t>(dl + dr);
+      if (dl < need_l(u) || dr < need_r(u)) pending.push_back(u);
+    });
+  } else {
+    alive.ForEach([&](size_t v) {
+      if (violates(static_cast<uint32_t>(v))) {
+        pending.push_back(static_cast<uint32_t>(v));
+      }
+    });
+  }
   while (!pending.empty()) {
     const uint32_t v = pending.back();
     pending.pop_back();
     if (!alive.Test(v)) continue;
     alive.Reset(v);
-    scratch->AssignAnd(graph.AdjacencyOf(v), alive);
-    scratch->ForEach([&](size_t u) {
+    --*alive_count;
+    graph.AdjacencyOf(v).ForEachAnd(alive, [&](size_t u) {
+      if (degrees != nullptr) --(*degrees)[u];
       if (violates(static_cast<uint32_t>(u))) {
         pending.push_back(static_cast<uint32_t>(u));
       }
@@ -106,16 +149,26 @@ uint32_t ColoringBoundImpl(
     const DichromaticGraph& graph, const Bitset& candidates,
     uint32_t early_exit_above,
     std::vector<std::pair<uint32_t, uint32_t>>* by_degree_scratch,
-    std::vector<Bitset>* color_rows) {
+    std::vector<Bitset>* color_rows,
+    const std::vector<uint32_t>* degrees = nullptr) {
   // Collect candidates with their induced degrees; color in descending
   // degree order (a standard effective heuristic for clique bounding).
+  // When the caller already holds the degrees (the branch-and-bound
+  // kernels compute them once per node), reuse them instead of paying a
+  // second intersect+popcount sweep.
   std::vector<std::pair<uint32_t, uint32_t>>& by_degree = *by_degree_scratch;
   by_degree.clear();
-  candidates.ForEach([&](size_t v) {
-    by_degree.emplace_back(
-        graph.DegreeWithin(static_cast<uint32_t>(v), candidates),
-        static_cast<uint32_t>(v));
-  });
+  if (degrees != nullptr) {
+    candidates.ForEach([&](size_t v) {
+      by_degree.emplace_back((*degrees)[v], static_cast<uint32_t>(v));
+    });
+  } else {
+    candidates.ForEach([&](size_t v) {
+      by_degree.emplace_back(
+          graph.DegreeWithin(static_cast<uint32_t>(v), candidates),
+          static_cast<uint32_t>(v));
+    });
+  }
   std::sort(by_degree.begin(), by_degree.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
@@ -163,9 +216,10 @@ uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
 
 uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
                              const Bitset& candidates,
-                             uint32_t early_exit_above, SearchArena* arena) {
+                             uint32_t early_exit_above, SearchArena* arena,
+                             const std::vector<uint32_t>* degrees) {
   return ColoringBoundImpl(graph, candidates, early_exit_above,
-                           &arena->pairs(), &arena->color_rows());
+                           &arena->pairs(), &arena->color_rows(), degrees);
 }
 
 }  // namespace mbc

@@ -22,12 +22,23 @@ namespace mbc {
 Bitset KCoreWithin(const DichromaticGraph& graph, const Bitset& candidates,
                    uint32_t k);
 
-/// Allocation-free variant: peels *alive in place. `pending` and `scratch`
-/// are caller-owned scratch (cleared here; capacity is reused), typically
-/// a SearchArena's pending stack and the current frame's scratch row.
+/// Allocation-free variant: peels *alive in place. `pending` is
+/// caller-owned scratch (cleared here; capacity is reused), typically a
+/// SearchArena's pending stack. `alive_count` is in/out: it must hold
+/// |*alive| on entry and is decremented per peeled vertex, so callers get
+/// the surviving population without a Count() pass.
+///
+/// `degrees`, when non-null, is a vertex-indexed table (size ≥
+/// NumVertices) that on return holds DegreeWithin(v, *alive) for every
+/// surviving v (entries of peeled vertices are stale). The peel then runs
+/// decrement-maintained instead of recomputing degrees in the cascade, so
+/// the initial sweep is the only intersect+popcount pass — and the caller
+/// inherits the degree table its own node logic needs. The surviving set
+/// is identical either way (the k-core is canonical).
 void KCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive,
                         uint32_t k, std::vector<uint32_t>* pending,
-                        Bitset* scratch);
+                        size_t* alive_count,
+                        std::vector<uint32_t>* degrees = nullptr);
 
 /// The (τ_L, τ_R)-core (Section IV-C): the maximal subset in which every
 /// L-vertex has ≥ τ_L - 1 L-neighbors and ≥ τ_R R-neighbors, and every
@@ -38,11 +49,15 @@ Bitset TwoSidedCoreWithin(const DichromaticGraph& graph,
                           int32_t tau_r);
 
 /// Allocation-free variant of TwoSidedCoreWithin (see KCoreWithinInPlace
-/// for the scratch contract).
+/// for the pending / alive_count / degrees contracts; here `degrees`
+/// receives *total* within-set degrees, maintained by decrement during
+/// the peel). Side degrees read the graph's split adjacency bitmap, one
+/// intersect+popcount per side.
 void TwoSidedCoreWithinInPlace(const DichromaticGraph& graph, Bitset* alive,
                                int32_t tau_l, int32_t tau_r,
                                std::vector<uint32_t>* pending,
-                               Bitset* scratch);
+                               size_t* alive_count,
+                               std::vector<uint32_t>* degrees = nullptr);
 
 /// Greedy-coloring upper bound on the maximum clique size of the subgraph
 /// induced by `candidates` (labels ignored). Colors vertices in descending
@@ -62,9 +77,16 @@ uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
 /// vector and the color-class rows). Must not be called while another
 /// arena-backed coloring on the same arena is in flight; the MDC/DCC
 /// kernels call it only between recursive descents, where that holds.
+///
+/// `degrees`, when non-null, is a vertex-indexed table that already holds
+/// DegreeWithin(v, candidates) for every candidate v; the coloring then
+/// skips its own degree sweep. The values MUST equal what DegreeWithin
+/// would return — the sort order (and thus the bound) is identical either
+/// way, which the differential suites rely on.
 uint32_t ColoringBoundWithin(const DichromaticGraph& graph,
                              const Bitset& candidates,
-                             uint32_t early_exit_above, SearchArena* arena);
+                             uint32_t early_exit_above, SearchArena* arena,
+                             const std::vector<uint32_t>* degrees = nullptr);
 
 }  // namespace mbc
 

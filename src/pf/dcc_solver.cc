@@ -21,7 +21,7 @@ bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
     arena_.BindNetwork(n);
     SearchArena::Frame& root = arena_.FrameAt(0);
     root.cand.CopyFrom(candidates);
-    return RecurseArena(0, l, r);
+    return RecurseArena(0, l, r, candidates.Count());
   }
   return RecurseLegacy(candidates, l, r);
 }
@@ -30,14 +30,19 @@ bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
 // on each side, any τ_L + τ_R of its members witness success.
 bool DccSolver::TryCliqueShortcut(const Bitset& cand, size_t left_avail,
                                   size_t right_avail, uint32_t tau_l,
-                                  uint32_t tau_r) {
+                                  uint32_t tau_r,
+                                  const uint64_t* twice_edges) {
   if (left_avail < tau_l || right_avail < tau_r) return false;
   const size_t cand_count = left_avail + right_avail;
-  uint64_t twice_edges = 0;
-  cand.ForEach([this, &cand, &twice_edges](size_t v) {
-    twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
-  });
-  if (twice_edges != static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+  uint64_t edge_ends = 0;
+  if (twice_edges != nullptr) {
+    edge_ends = *twice_edges;
+  } else {
+    cand.ForEach([this, &cand, &edge_ends](size_t v) {
+      edge_ends += graph_->AdjacencyOf(v).CountAnd(cand);
+    });
+  }
+  if (edge_ends != static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
     return false;
   }
   if (witness_ != nullptr) {
@@ -57,8 +62,11 @@ bool DccSolver::TryCliqueShortcut(const Bitset& cand, size_t left_avail,
 }
 
 // The allocation-free kernel; see MdcSolver::RecurseArena for the frame
-// ownership and degree-invariant conventions (identical here).
-bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r) {
+// ownership, count-threading and degree-invariant conventions (identical
+// here, with the side populations additionally maintained across the
+// branch loop instead of recounted per drained vertex).
+bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r,
+                             size_t cand_count) {
   ++branches_;
   if (interrupted_) return false;
   if (exec_ != nullptr && exec_->Checkpoint()) {
@@ -73,47 +81,56 @@ bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r) {
 
   SearchArena::Frame& frame = arena_.FrameAt(depth);
   Bitset& cand = frame.cand;
+  MBC_DCHECK_EQ(cand_count, cand.Count());
 
-  // Line 11: reduce to the (τ_L, τ_R)-core.
+  // Line 11: reduce to the (τ_L, τ_R)-core. The peel doubles as this
+  // node's degree sweep: it leaves DegreeWithin(v, cand) for every
+  // survivor in `degrees`, which the clique shortcut sums to 2|E(cand)|
+  // and the branch loop consumes as its min-degree seed.
+  std::vector<uint32_t>& degrees = frame.degrees;
   TwoSidedCoreWithinInPlace(*graph_, &cand, static_cast<int32_t>(tau_l),
                             static_cast<int32_t>(tau_r), &arena_.pending(),
-                            &frame.scratch);
-  if (cand.None()) return false;
+                            &cand_count, &degrees);
+  if (cand_count == 0) return false;
 
-  {
-    const size_t left_avail = cand.CountAnd(graph_->LeftMask());
-    const size_t right_avail = cand.Count() - left_avail;
-    if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r)) {
-      return true;
-    }
+  const size_t left_avail = cand.CountAnd(graph_->LeftMask());
+  const size_t right_avail = cand_count - left_avail;
+
+  uint64_t twice_edges = 0;
+  cand.ForEach([&](size_t v) { twice_edges += degrees[v]; });
+  if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r,
+                        &twice_edges)) {
+    return true;
   }
 
   // Lines 12-14: restrict branching to the side that still needs vertices.
   Bitset& pool = frame.pool;
   pool.CopyFrom(cand);
+  size_t pool_count = cand_count;
   if (tau_l > 0 && tau_r == 0) {
     pool &= graph_->LeftMask();
+    pool_count = left_avail;
   } else if (tau_l == 0 && tau_r > 0) {
     pool.AndNot(graph_->LeftMask());
+    pool_count = right_avail;
   }
 
   Bitset& remaining = frame.remaining;
   remaining.CopyFrom(cand);
+  // Side populations of `remaining`, maintained as vertices drain out of
+  // the branch loop (the old kernel recounted both sides per iteration).
+  size_t left_remaining = left_avail;
+  size_t right_remaining = right_avail;
 
-  // Candidate degrees within `remaining`, maintained incrementally (the
-  // same invariant as MdcSolver::RecurseArena).
-  std::vector<uint32_t>& degrees = frame.degrees;
-  cand.ForEach([&](size_t v) {
-    degrees[v] = graph_->DegreeWithin(static_cast<uint32_t>(v), cand);
-  });
+  // `degrees` (computed above, within `cand` == initial `remaining`) is
+  // maintained incrementally from here (the same invariant as
+  // MdcSolver::RecurseArena).
 
   // Lines 15-20: branch on minimum-degree vertices. Re-check feasibility
   // as the pool drains — once a side cannot reach its demand, no further
   // branch at this node can succeed.
-  while (pool.Any()) {
-    const size_t left_avail = remaining.CountAnd(graph_->LeftMask());
-    const size_t right_avail = remaining.Count() - left_avail;
-    if (left_avail < tau_l || right_avail < tau_r) return false;
+  while (pool_count > 0) {
+    if (left_remaining < tau_l || right_remaining < tau_r) return false;
     uint32_t v = 0;
     uint32_t v_degree = 0;
     bool v_found = false;
@@ -129,18 +146,25 @@ bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r) {
     const bool v_left = graph_->IsLeft(v);
     current_.push_back(v);
     SearchArena::Frame& child = arena_.FrameAt(depth + 1);
-    child.cand.AssignAnd(graph_->AdjacencyOf(v), remaining);
+    const size_t child_count =
+        child.cand.AssignAndCount(graph_->AdjacencyOf(v), remaining);
     const bool ok =
         RecurseArena(depth + 1, v_left && tau_l > 0 ? tau_l - 1 : tau_l,
-                     !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
+                     !v_left && tau_r > 0 ? tau_r - 1 : tau_r, child_count);
     if (ok) return true;
     current_.pop_back();
 
     pool.Reset(v);
+    --pool_count;
     remaining.Reset(v);
+    if (v_left) {
+      --left_remaining;
+    } else {
+      --right_remaining;
+    }
     // Restore the degree invariant after v leaves `remaining`.
-    frame.scratch.AssignAnd(graph_->AdjacencyOf(v), remaining);
-    frame.scratch.ForEach([&degrees](size_t w) { --degrees[w]; });
+    graph_->AdjacencyOf(v).ForEachAnd(
+        remaining, [&degrees](size_t w) { --degrees[w]; });
   }
   return false;
 }

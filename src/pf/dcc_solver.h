@@ -60,9 +60,16 @@ class DccSolver {
  private:
   bool RecurseLegacy(const Bitset& candidates, uint32_t tau_l,
                      uint32_t tau_r);
-  bool RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r);
+  /// `cand_count` must equal |frame(depth).cand| (threaded through the
+  /// recursion via the fused AssignAndCount, as in MdcSolver).
+  bool RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r,
+                    size_t cand_count);
+  /// `twice_edges`, when non-null, must hold Σ_v DegreeWithin(v, cand)
+  /// (the arena kernel has it as a byproduct of its degree sweep); when
+  /// null the shortcut pays its own intersect+popcount pass.
   bool TryCliqueShortcut(const Bitset& cand, size_t left_avail,
-                         size_t right_avail, uint32_t tau_l, uint32_t tau_r);
+                         size_t right_avail, uint32_t tau_l, uint32_t tau_r,
+                         const uint64_t* twice_edges = nullptr);
 
   const DichromaticGraph* graph_ = nullptr;
   SearchArena arena_;

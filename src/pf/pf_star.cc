@@ -107,13 +107,13 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
     // over *later* vertices, so a single network may push τ* up by more
     // than one step when the heuristic seed was loose.
     while (true) {
-      core.Reshape(k);
+      core.ReshapeUninit(k);
       core.SetAll();
+      size_t core_count = k;
       TwoSidedCoreWithinInPlace(net.graph, &core,
                                 static_cast<int32_t>(tau) + 1,
                                 static_cast<int32_t>(tau) + 1,
-                                &prune_arena.pending(),
-                                &prune_arena.FrameAt(0).scratch);
+                                &prune_arena.pending(), &core_count);
       // Line 7: u itself must survive (u ∈ V_L(g)); otherwise no
       // dichromatic clique through u reaches τ*+1.
       if (!core.Test(0)) break;

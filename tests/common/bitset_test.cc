@@ -169,5 +169,66 @@ TEST(BitsetTest, RandomizedAgainstReferenceSet) {
   EXPECT_EQ(from_bits, from_set);
 }
 
+// ReshapeUninit followed by a full overwrite must be indistinguishable
+// from Reshape followed by the same overwrite (the only legal usage).
+TEST(BitsetTest, ReshapeUninitThenFullOverwrite) {
+  Bitset bits(130);
+  bits.Set(0);
+  bits.Set(129);
+  bits.ReshapeUninit(130);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 130u);
+  bits.ReshapeUninit(70);
+  bits.SetFirstN(70);
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.ReshapeUninit(70);
+  bits.SetFirstN(3);
+  EXPECT_EQ(bits.ToVector(), (std::vector<uint32_t>{0, 1, 2}));
+
+  Bitset source(200);
+  source.Set(5);
+  source.Set(199);
+  bits.ReshapeUninit(64);
+  bits.CopyFrom(source);
+  EXPECT_EQ(bits.capacity(), 200u);
+  EXPECT_EQ(bits.ToVector(), (std::vector<uint32_t>{5, 199}));
+}
+
+TEST(BitsetTest, AssignAndCountMatchesAssignAndPlusCount) {
+  Rng rng(7);
+  for (const size_t bits : {5u, 64u, 128u, 200u, 513u}) {
+    Bitset a(bits);
+    Bitset b(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextBernoulli(0.4)) a.Set(i);
+      if (rng.NextBernoulli(0.4)) b.Set(i);
+    }
+    Bitset via_assign;
+    via_assign.AssignAnd(a, b);
+    Bitset via_fused;
+    const size_t fused = via_fused.AssignAndCount(a, b);
+    EXPECT_EQ(via_fused, via_assign) << bits;
+    EXPECT_EQ(fused, via_assign.Count()) << bits;
+    EXPECT_EQ(fused, a.CountAnd(b)) << bits;
+  }
+}
+
+TEST(BitsetTest, ForEachAndVisitsExactlyTheIntersection) {
+  Rng rng(11);
+  for (const size_t bits : {1u, 64u, 129u, 400u}) {
+    Bitset a(bits);
+    Bitset b(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextBernoulli(0.5)) a.Set(i);
+      if (rng.NextBernoulli(0.5)) b.Set(i);
+    }
+    std::vector<uint32_t> visited;
+    a.ForEachAnd(b, [&visited](size_t i) {
+      visited.push_back(static_cast<uint32_t>(i));
+    });
+    EXPECT_EQ(visited, (a & b).ToVector()) << bits;
+  }
+}
+
 }  // namespace
 }  // namespace mbc

@@ -1,0 +1,134 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Tests for the runtime-dispatched SIMD kernel layer. Every ISA the host
+// supports must be bit-exact against the scalar reference on every word
+// count around the vector widths (tail handling is where bugs live), and
+// the dispatch controls must fail closed on unsupported names.
+#include "src/common/simd.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitset.h"
+#include "src/common/random.h"
+
+namespace mbc {
+namespace simd {
+namespace {
+
+std::vector<uint64_t> RandomWords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) w = rng.Next();
+  return words;
+}
+
+class SimdKernelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { SetActive("auto"); }
+};
+
+// Each ISA's six kernels must agree with the scalar kernels on word
+// counts spanning sub-lane, exact-lane and lane+tail sizes.
+TEST_P(SimdKernelTest, BitExactAgainstScalar) {
+  ASSERT_TRUE(SetActive("scalar"));
+  const Kernels& scalar = Active();
+  ASSERT_TRUE(SetActive(GetParam()));
+  const Kernels& tested = Active();
+
+  for (size_t n = 0; n <= 21; ++n) {
+    const std::vector<uint64_t> a = RandomWords(n, 1000 + n);
+    const std::vector<uint64_t> b = RandomWords(n, 2000 + n);
+    const std::vector<uint64_t> c = RandomWords(n, 3000 + n);
+
+    std::vector<uint64_t> dst_scalar(n, 0);
+    std::vector<uint64_t> dst_tested(n, 1);
+    scalar.assign_and(dst_scalar.data(), a.data(), b.data(), n);
+    tested.assign_and(dst_tested.data(), a.data(), b.data(), n);
+    EXPECT_EQ(dst_scalar, dst_tested) << "assign_and, n=" << n;
+
+    std::fill(dst_tested.begin(), dst_tested.end(), 1);
+    const uint64_t fused_count =
+        tested.assign_and_count(dst_tested.data(), a.data(), b.data(), n);
+    EXPECT_EQ(dst_scalar, dst_tested) << "assign_and_count dst, n=" << n;
+    EXPECT_EQ(fused_count, scalar.count(dst_scalar.data(), n))
+        << "assign_and_count count, n=" << n;
+
+    EXPECT_EQ(tested.count(a.data(), n), scalar.count(a.data(), n))
+        << "count, n=" << n;
+    EXPECT_EQ(tested.count_and(a.data(), b.data(), n),
+              scalar.count_and(a.data(), b.data(), n))
+        << "count_and, n=" << n;
+    EXPECT_EQ(tested.count_and_and(a.data(), b.data(), c.data(), n),
+              scalar.count_and_and(a.data(), b.data(), c.data(), n))
+        << "count_and_and, n=" << n;
+
+    std::vector<uint64_t> an_scalar = a;
+    std::vector<uint64_t> an_tested = a;
+    scalar.and_not(an_scalar.data(), b.data(), n);
+    tested.and_not(an_tested.data(), b.data(), n);
+    EXPECT_EQ(an_scalar, an_tested) << "and_not, n=" << n;
+  }
+}
+
+// Bitset's inline fast path and the dispatched slow path must agree: the
+// same logical operation on 2-word and 20-word sets with the same bit
+// pattern prefix returns consistent counts under every ISA.
+TEST_P(SimdKernelTest, BitsetOperationsConsistentAcrossSizes) {
+  ASSERT_TRUE(SetActive(GetParam()));
+  for (const size_t bits : {64u, 128u, 192u, 512u, 1000u}) {
+    Rng rng(bits);
+    Bitset a(bits);
+    Bitset b(bits);
+    size_t expected_and = 0;
+    for (size_t i = 0; i < bits; ++i) {
+      const bool in_a = rng.NextBernoulli(0.5);
+      const bool in_b = rng.NextBernoulli(0.5);
+      if (in_a) a.Set(i);
+      if (in_b) b.Set(i);
+      expected_and += in_a && in_b;
+    }
+    EXPECT_EQ(a.CountAnd(b), expected_and) << bits;
+    Bitset dst;
+    EXPECT_EQ(dst.AssignAndCount(a, b), expected_and) << bits;
+    EXPECT_EQ(dst.Count(), expected_and) << bits;
+    EXPECT_EQ(a.CountAndAnd(b, b), expected_and) << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, SimdKernelTest, ::testing::ValuesIn(SupportedIsas()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(SimdDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(Supported("scalar"));
+  const std::vector<std::string> isas = SupportedIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), "scalar");
+}
+
+TEST(SimdDispatchTest, SetActiveRejectsUnknownAndKeepsCurrent) {
+  ASSERT_TRUE(SetActive("scalar"));
+  EXPECT_FALSE(SetActive("sse9000"));
+  EXPECT_STREQ(ActiveName(), "scalar");
+  EXPECT_FALSE(SetActive(""));
+  EXPECT_STREQ(ActiveName(), "scalar");
+  SetActive("auto");
+}
+
+TEST(SimdDispatchTest, SetActiveRoundTripsEverySupportedIsa) {
+  for (const std::string& isa : SupportedIsas()) {
+    ASSERT_TRUE(SetActive(isa)) << isa;
+    EXPECT_EQ(std::string(ActiveName()), isa);
+  }
+  ASSERT_TRUE(SetActive("auto"));
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace mbc

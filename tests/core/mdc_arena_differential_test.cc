@@ -5,12 +5,20 @@
 // search trees — same bound order, same minimum-degree tie-breaking — so
 // beyond equal answers we also assert equal branch counts, which catches
 // any silent divergence in the incremental degree bookkeeping.
+//
+// The whole suite is parameterized over the SIMD kernel tables supported
+// by the host (scalar always; AVX2/AVX-512 where available): every
+// differential property must hold under every ISA, and a dedicated
+// cross-ISA test additionally asserts that the scalar and vector builds
+// return byte-identical cliques with equal branch counts.
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/common/simd.h"
 #include "src/core/brute_force.h"
 #include "src/core/mbc_star.h"
 #include "src/core/mdc_solver.h"
@@ -39,9 +47,16 @@ DichromaticGraph RandomDichromatic(uint32_t n, double density,
   return graph;
 }
 
+class MdcArenaDifferentialTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { ASSERT_TRUE(simd::SetActive(GetParam())); }
+  void TearDown() override { simd::SetActive("auto"); }
+};
+
 // End-to-end: MBC* on the arena kernel vs the legacy kernel vs brute
 // force, over 200 seeded random signed graphs and τ ∈ {1, 2}.
-TEST(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
+TEST_P(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
   for (uint64_t seed = 0; seed < 200; ++seed) {
     const VertexId n = 10 + static_cast<VertexId>(seed % 7);
     const EdgeCount m = static_cast<EdgeCount>(n) * (2 + seed % 3);
@@ -77,7 +92,7 @@ TEST(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
 
 // Kernel-level: MdcSolver arena vs legacy on random dichromatic networks,
 // asserting identical verdicts, sizes and branch counts.
-TEST(MdcArenaDifferentialTest, MdcKernelsExploreIdenticalTrees) {
+TEST_P(MdcArenaDifferentialTest, MdcKernelsExploreIdenticalTrees) {
   MdcSolver arena_solver;
   MdcSolver legacy_solver;
   legacy_solver.set_use_arena(false);
@@ -111,7 +126,7 @@ TEST(MdcArenaDifferentialTest, MdcKernelsExploreIdenticalTrees) {
 
 // DCC (existence checking): same differential for the polarization-factor
 // kernel, including witness validity.
-TEST(MdcArenaDifferentialTest, DccKernelsExploreIdenticalTrees) {
+TEST_P(MdcArenaDifferentialTest, DccKernelsExploreIdenticalTrees) {
   DccSolver arena_solver;
   DccSolver legacy_solver;
   legacy_solver.set_use_arena(false);
@@ -154,7 +169,7 @@ TEST(MdcArenaDifferentialTest, DccKernelsExploreIdenticalTrees) {
 // Repeated Solve calls on one solver (the production calling convention)
 // must behave identically to fresh solvers: the arena carries state
 // between solves and must not leak any of it into the answers.
-TEST(MdcArenaDifferentialTest, SolverReuseMatchesFreshSolver) {
+TEST_P(MdcArenaDifferentialTest, SolverReuseMatchesFreshSolver) {
   MdcSolver reused;
   for (uint64_t seed = 0; seed < 50; ++seed) {
     const uint32_t n = 10 + static_cast<uint32_t>(seed % 30);
@@ -175,6 +190,42 @@ TEST(MdcArenaDifferentialTest, SolverReuseMatchesFreshSolver) {
       ASSERT_EQ(reused_best.size(), fresh_best.size()) << "seed " << seed;
     }
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, MdcArenaDifferentialTest,
+    ::testing::ValuesIn(simd::SupportedIsas()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+// Cross-ISA: the scalar build is the reference; every vector ISA must
+// return the byte-identical clique (not just the same size — the same
+// vertices in the same canonical order) with equal branch counts.
+TEST(SimdCrossIsaTest, MbcStarByteIdenticalAcrossIsas) {
+  const std::vector<std::string> isas = simd::SupportedIsas();
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    const VertexId n = 12 + static_cast<VertexId>(seed % 9);
+    const EdgeCount m = static_cast<EdgeCount>(n) * (2 + seed % 4);
+    const SignedGraph graph = RandomSignedGraph(n, m, 0.3, seed + 5);
+    const uint32_t tau = 1 + static_cast<uint32_t>(seed % 2);
+
+    ASSERT_TRUE(simd::SetActive("scalar"));
+    const MbcStarResult reference = MaxBalancedCliqueStar(graph, tau);
+
+    for (const std::string& isa : isas) {
+      if (isa == "scalar") continue;
+      ASSERT_TRUE(simd::SetActive(isa));
+      const MbcStarResult vectored = MaxBalancedCliqueStar(graph, tau);
+      ASSERT_EQ(vectored.clique.left, reference.clique.left)
+          << isa << " diverged (left side) at seed " << seed;
+      ASSERT_EQ(vectored.clique.right, reference.clique.right)
+          << isa << " diverged (right side) at seed " << seed;
+      ASSERT_EQ(vectored.stats.mdc_branches, reference.stats.mdc_branches)
+          << isa << " explored a different search tree at seed " << seed;
+    }
+  }
+  simd::SetActive("auto");
 }
 
 }  // namespace

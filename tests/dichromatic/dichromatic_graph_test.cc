@@ -70,5 +70,72 @@ TEST(DichromaticGraphTest, MemoryBytesNonZero) {
   EXPECT_GT(graph.MemoryBytes(), 0u);
 }
 
+// The split adjacency rows must always partition the plain adjacency row
+// by the neighbor's side.
+TEST(DichromaticGraphTest, SplitAdjacencyPartitionsNeighborhood) {
+  DichromaticGraph graph(6);
+  graph.SetSide(0, Side::kLeft);
+  graph.SetSide(1, Side::kLeft);
+  graph.SetSide(2, Side::kRight);
+  graph.SetSide(3, Side::kRight);
+  graph.SetSide(4, Side::kLeft);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(0, 4);
+  graph.AddEdge(1, 2);
+
+  EXPECT_EQ(graph.LeftAdjacencyOf(0).ToVector(),
+            (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(graph.RightAdjacencyOf(0).ToVector(),
+            (std::vector<uint32_t>{2, 3}));
+  EXPECT_EQ(graph.LeftAdjacencyOf(2).ToVector(),
+            (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(graph.RightAdjacencyOf(2).None());
+  for (uint32_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(graph.LeftAdjacencyOf(v) | graph.RightAdjacencyOf(v),
+              graph.AdjacencyOf(v))
+        << v;
+    EXPECT_FALSE(graph.LeftAdjacencyOf(v).Intersects(
+        graph.RightAdjacencyOf(v)))
+        << v;
+  }
+}
+
+// Relabelling an already-connected vertex must migrate its bit between
+// every neighbor's split rows (the SetSide fix-up path).
+TEST(DichromaticGraphTest, SplitAdjacencyFollowsSideReassignment) {
+  DichromaticGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  // All vertices start as R-vertices: edges land in the R-rows.
+  EXPECT_TRUE(graph.RightAdjacencyOf(0).Test(1));
+  EXPECT_TRUE(graph.LeftAdjacencyOf(0).None());
+
+  graph.SetSide(1, Side::kLeft);
+  EXPECT_TRUE(graph.LeftAdjacencyOf(0).Test(1));
+  EXPECT_FALSE(graph.RightAdjacencyOf(0).Test(1));
+  EXPECT_TRUE(graph.LeftAdjacencyOf(2).Test(1));
+
+  graph.SetSide(1, Side::kRight);
+  EXPECT_FALSE(graph.LeftAdjacencyOf(0).Test(1));
+  EXPECT_TRUE(graph.RightAdjacencyOf(0).Test(1));
+  // Redundant relabel is a no-op.
+  graph.SetSide(1, Side::kRight);
+  EXPECT_TRUE(graph.RightAdjacencyOf(0).Test(1));
+}
+
+// Reset must clear the split rows of the retained storage along with the
+// plain rows (the BuildInto refill contract).
+TEST(DichromaticGraphTest, ResetClearsSplitRows) {
+  DichromaticGraph graph(5);
+  graph.SetSide(1, Side::kLeft);
+  graph.AddEdge(0, 1);
+  graph.Reset(5);
+  EXPECT_TRUE(graph.LeftAdjacencyOf(0).None());
+  EXPECT_TRUE(graph.RightAdjacencyOf(0).None());
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+}
+
 }  // namespace
 }  // namespace mbc
