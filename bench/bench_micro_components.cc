@@ -6,17 +6,19 @@
 // solver on random dichromatic graphs.
 //
 // Besides the google-benchmark suite, the binary ends with a kernel
-// report that pits the arena MDC kernel — under both the scalar and the
-// dispatched SIMD tables — against the pre-arena (legacy) kernel on
-// identical instance families, counting wall-clock time, branches, true
-// heap allocations (global operator new hooks) and a solution hash, and
-// writes the machine-readable result to BENCH_kernel.json (docs/perf.md).
+// report that runs the arena MDC kernel under both the scalar and the
+// dispatched SIMD tables on identical instance families, counting
+// wall-clock time, branches, true heap allocations (global operator new
+// hooks) and a solution hash, and writes the machine-readable result to
+// BENCH_kernel.json (docs/perf.md). The pre-arena kernel column was
+// retired with the kernel itself once its differential gate had baked
+// for a release.
 //
 //   MBC_BENCH_KERNEL_JSON=path  output path (default BENCH_kernel.json)
 //   MBC_BENCH_STRICT=1          exit non-zero if the arena kernel performs
 //                               any steady-state heap allocation, or if
-//                               legacy/scalar/SIMD disagree on solutions
-//                               or branch counts
+//                               scalar/SIMD disagree on solutions or
+//                               branch counts
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -210,16 +212,13 @@ void BM_ColoringBound(benchmark::State& state) {
 }
 BENCHMARK(BM_ColoringBound)->Arg(128)->Arg(512);
 
-// The two MDC kernels on identical instances. Arena reuses one solver
-// across iterations (the production calling convention); legacy runs the
-// pre-arena recursion through the same reused solver object, so the gap
-// is the kernel, not the setup. Each reports allocations per iteration.
-void RunMdcKernelBenchmark(benchmark::State& state, bool use_arena) {
+// The MDC kernel with one solver reused across iterations (the production
+// calling convention); reports allocations and branches per iteration.
+void BM_MdcSolveArena(benchmark::State& state) {
   const DichromaticGraph graph =
       MakeDichromatic(static_cast<uint32_t>(state.range(0)), 0.25, 11);
   Bitset candidates = graph.AdjacencyOf(0);
   MdcSolver solver(graph);
-  solver.set_use_arena(use_arena);
   std::vector<uint32_t> best;
   const std::vector<uint32_t> seed{0};
   solver.Solve(seed, candidates, 1, 2, 0, &best);  // warm-up
@@ -236,16 +235,7 @@ void RunMdcKernelBenchmark(benchmark::State& state, bool use_arena) {
   state.counters["branches"] =
       benchmark::Counter(static_cast<double>(branches) / iters);
 }
-
-void BM_MdcSolveArena(benchmark::State& state) {
-  RunMdcKernelBenchmark(state, /*use_arena=*/true);
-}
 BENCHMARK(BM_MdcSolveArena)->Arg(64)->Arg(128);
-
-void BM_MdcSolveLegacy(benchmark::State& state) {
-  RunMdcKernelBenchmark(state, /*use_arena=*/false);
-}
-BENCHMARK(BM_MdcSolveLegacy)->Arg(64)->Arg(128);
 
 void BM_MbcHeuristic(benchmark::State& state) {
   const SignedGraph graph = MakeGraph(20000, 200000);
@@ -267,10 +257,10 @@ void BM_MbcStarEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_MbcStarEndToEnd);
 
 // ---------------------------------------------------------------------------
-// Kernel report: three kernel configurations — legacy (scalar), arena
-// (scalar) and arena (dispatched SIMD) — on a fixed instance pool of three
-// families, 100 steady-state solves per family per configuration, written
-// to BENCH_kernel.json. The "random" family is the pre-SIMD report's pool,
+// Kernel report: the arena kernel under the scalar and the dispatched SIMD
+// tables on a fixed instance pool of three families, with a fixed number of
+// steady-state solves per family per configuration, written to
+// BENCH_kernel.json. The "random" family is the pre-SIMD report's pool,
 // kept unchanged so successive reports stay comparable; "planted_clique"
 // and "high_degeneracy" exercise the dive-collapsing shortcut and the
 // multi-word bitsets where the vector kernels actually pay.
@@ -320,7 +310,7 @@ uint64_t FnvMix(uint64_t hash, uint64_t value) {
 }
 
 KernelMeasurement MeasureKernel(std::vector<KernelInstance>& instances,
-                                bool use_arena, const char* isa) {
+                                const char* isa) {
   if (!simd::SetActive(isa)) {
     std::fprintf(stderr, "cannot activate SIMD kernels '%s'\n", isa);
     std::exit(1);
@@ -328,7 +318,6 @@ KernelMeasurement MeasureKernel(std::vector<KernelInstance>& instances,
   KernelMeasurement m;
   m.solution_hash = 0xcbf29ce484222325ull;
   MdcSolver solver;
-  solver.set_use_arena(use_arena);
   std::vector<uint32_t> best;
   const std::vector<uint32_t> seed{0};
   // Warm-up: two passes over the pool. The first grows every buffer
@@ -464,19 +453,16 @@ int RunKernelReport() {
   simd::SetActive("auto");
   const std::string best_isa = simd::ActiveName();
 
-  // The three configurations. "legacy" runs the pre-arena kernel on the
-  // scalar table, approximating the pre-SIMD report's baseline; the two
-  // arena rows isolate the SIMD dispatch contribution from everything the
-  // arena restructuring already bought.
+  // The two configurations isolate the SIMD dispatch contribution: both
+  // run the arena kernel, one pinned to the scalar table and one on
+  // whatever table `auto` dispatched to.
   struct Config {
     const char* name;
-    bool use_arena;
     const char* isa;
   };
   const Config configs[] = {
-      {"legacy", false, "scalar"},
-      {"arena_scalar", true, "scalar"},
-      {"arena_simd", true, best_isa.c_str()},
+      {"arena_scalar", "scalar"},
+      {"arena_simd", best_isa.c_str()},
   };
   constexpr size_t kNumConfigs = std::size(configs);
 
@@ -486,8 +472,8 @@ int RunKernelReport() {
   for (size_t f = 0; f < families.size(); ++f) {
     per_family[f].resize(kNumConfigs);
     for (size_t c = 0; c < kNumConfigs; ++c) {
-      per_family[f][c] = MeasureKernel(families[f].instances,
-                                       configs[c].use_arena, configs[c].isa);
+      per_family[f][c] =
+          MeasureKernel(families[f].instances, configs[c].isa);
       totals[c].Accumulate(per_family[f][c]);
     }
   }
@@ -497,34 +483,22 @@ int RunKernelReport() {
                           const KernelMeasurement& fast) {
     return fast.seconds > 0 ? base.seconds / fast.seconds : 0.0;
   };
-  const double total_speedup_simd = speedup(totals[0], totals[2]);
-  const double total_speedup_scalar = speedup(totals[0], totals[1]);
-  // The "random" family is the previous report's entire pool; its committed
-  // arena-vs-legacy ratio (2.15x) is the baseline this PR must improve on.
-  const double prev_arena_speedup = 2.15;
-  const double random_speedup_simd =
-      speedup(per_family[0][0], per_family[0][2]);
-  const double speedup_vs_prev_arena = random_speedup_simd /
-                                       prev_arena_speedup;
+  const double total_speedup_simd = speedup(totals[0], totals[1]);
 
   bool zero_alloc = true;
-  bool kernels_agree = true;
   bool scalar_simd_identical = true;
   for (size_t f = 0; f < families.size(); ++f) {
-    const KernelMeasurement& legacy = per_family[f][0];
-    const KernelMeasurement& scalar = per_family[f][1];
-    const KernelMeasurement& simd_m = per_family[f][2];
+    const KernelMeasurement& scalar = per_family[f][0];
+    const KernelMeasurement& simd_m = per_family[f][1];
     zero_alloc = zero_alloc && scalar.steady_allocs == 0 &&
                  scalar.tracker_delta == 0 && simd_m.steady_allocs == 0 &&
                  simd_m.tracker_delta == 0;
-    kernels_agree = kernels_agree && legacy.branches == scalar.branches &&
-                    legacy.solution_hash == scalar.solution_hash;
     scalar_simd_identical = scalar_simd_identical &&
                             scalar.branches == simd_m.branches &&
                             scalar.solution_hash == simd_m.solution_hash;
   }
 
-  std::string json = "{\n  \"schema\": \"mbc-kernel-bench-v2\",\n";
+  std::string json = "{\n  \"schema\": \"mbc-kernel-bench-v3\",\n";
   json += "  \"simd_isa\": \"" + best_isa + "\",\n";
   json += "  \"steady_state_solves_per_family\": ";
   json += std::to_string(kSteadySolves);
@@ -550,8 +524,8 @@ int RunKernelReport() {
     }
     char buf[96];
     std::snprintf(buf, sizeof(buf),
-                  "      \"speedup_simd_vs_legacy\": %.3f\n    }%s\n",
-                  speedup(per_family[f][0], per_family[f][2]),
+                  "      \"speedup_simd_vs_scalar\": %.3f\n    }%s\n",
+                  speedup(per_family[f][0], per_family[f][1]),
                   f + 1 < families.size() ? "," : "");
     json += buf;
   }
@@ -560,19 +534,13 @@ int RunKernelReport() {
     AppendKernelJson(&json, "  ", configs[c].name, totals[c]);
     json += ",\n";
   }
-  char tail[512];
+  char tail[256];
   std::snprintf(
       tail, sizeof(tail),
-      "  \"speedup_arena_scalar_vs_legacy\": %.3f,\n"
-      "  \"speedup_arena_simd_vs_legacy\": %.3f,\n"
-      "  \"prev_arena_speedup_baseline\": %.2f,\n"
-      "  \"speedup_vs_prev_arena\": %.3f,\n"
+      "  \"speedup_simd_vs_scalar\": %.3f,\n"
       "  \"zero_alloc_steady_state\": %s,\n"
-      "  \"kernels_agree\": %s,\n"
       "  \"scalar_simd_identical\": %s\n}\n",
-      total_speedup_scalar, total_speedup_simd, prev_arena_speedup,
-      speedup_vs_prev_arena, zero_alloc ? "true" : "false",
-      kernels_agree ? "true" : "false",
+      total_speedup_simd, zero_alloc ? "true" : "false",
       scalar_simd_identical ? "true" : "false");
   json += tail;
 
@@ -591,12 +559,9 @@ int RunKernelReport() {
                 static_cast<unsigned long long>(totals[c].branches),
                 static_cast<unsigned long long>(totals[c].steady_allocs));
   }
-  std::printf("  arena_simd vs legacy: %.2fx (scalar arena: %.2fx); "
-              "random-family vs previous arena baseline: %.2fx\n",
-              total_speedup_simd, total_speedup_scalar,
-              speedup_vs_prev_arena);
-  std::printf("  zero-alloc: %s, kernels agree: %s, scalar==simd: %s\n",
-              zero_alloc ? "yes" : "NO", kernels_agree ? "yes" : "NO",
+  std::printf("  arena_simd vs arena_scalar: %.2fx\n", total_speedup_simd);
+  std::printf("  zero-alloc: %s, scalar==simd: %s\n",
+              zero_alloc ? "yes" : "NO",
               scalar_simd_identical ? "yes" : "NO");
 
   const char* strict = std::getenv("MBC_BENCH_STRICT");
@@ -604,10 +569,6 @@ int RunKernelReport() {
     if (!zero_alloc) {
       std::fprintf(stderr,
                    "FAIL: arena kernel allocated in steady state\n");
-      return 1;
-    }
-    if (!kernels_agree) {
-      std::fprintf(stderr, "FAIL: arena and legacy kernels disagree\n");
       return 1;
     }
     if (!scalar_simd_identical) {

@@ -35,12 +35,23 @@ SearchArena::Frame& SearchArena::FrameAt(size_t depth) {
   return frame;
 }
 
+SearchArena::VectorFrame& SearchArena::VectorFrameAt(size_t depth) {
+  while (vector_frames_.size() <= depth) vector_frames_.emplace_back();
+  return vector_frames_[depth];
+}
+
 size_t SearchArena::MemoryBytes() const {
   size_t bytes = 0;
   for (const Frame& frame : frames_) {
     bytes += frame.cand.AllocatedBytes() + frame.pool.AllocatedBytes() +
              frame.remaining.AllocatedBytes() +
              frame.degrees.capacity() * sizeof(uint32_t) + sizeof(Frame);
+  }
+  for (const VectorFrame& frame : vector_frames_) {
+    bytes += (frame.p_l.capacity() + frame.p_r.capacity() +
+              frame.x_l.capacity() + frame.x_r.capacity()) *
+                 sizeof(uint32_t) +
+             sizeof(VectorFrame);
   }
   bytes += pending_.capacity() * sizeof(uint32_t);
   bytes += pairs_.capacity() * sizeof(std::pair<uint32_t, uint32_t>);

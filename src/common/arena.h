@@ -9,6 +9,12 @@
 // only ever grows (to the high-water network size / depth), so after
 // warm-up an entire search runs with zero heap allocations.
 //
+// The vector-set enumerators (MBC baseline, MBCEnum) use the same
+// discipline through VectorFrame: four sorted vertex lists per recursion
+// depth whose capacity persists across nodes, so the per-node
+// set-intersections write into reused storage instead of constructing
+// fresh vectors.
+//
 // The arena is owned per-solver (one per worker thread in the parallel
 // solver); it is not thread-safe.
 #ifndef MBC_COMMON_ARENA_H_
@@ -57,6 +63,18 @@ class SearchArena {
   /// previous search left and must be written before being read.
   Frame& FrameAt(size_t depth);
 
+  /// Per-depth scratch for the vector-set enumerators: the two candidate
+  /// pools and the two Bron-Kerbosch exclusion sets of one recursion node
+  /// (the baseline leaves x_l/x_r untouched). Contents are stale from the
+  /// previous search; callers overwrite before reading.
+  struct VectorFrame {
+    std::vector<uint32_t> p_l, p_r, x_l, x_r;
+  };
+
+  /// VectorFrame for recursion depth `depth`; same lifetime and lazy-growth
+  /// rules as FrameAt.
+  VectorFrame& VectorFrameAt(size_t depth);
+
   /// Flat scratch shared by the non-recursive helpers (k-core peeling
   /// stacks, coloring order). Never live across a recursive call.
   std::vector<uint32_t>& pending() { return pending_; }
@@ -73,6 +91,7 @@ class SearchArena {
 
  private:
   std::deque<Frame> frames_;
+  std::deque<VectorFrame> vector_frames_;
   std::vector<uint32_t> pending_;
   std::vector<std::pair<uint32_t, uint32_t>> pairs_;
   std::vector<Bitset> color_rows_;

@@ -1,0 +1,23 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/fingerprint.h"
+
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+uint64_t FingerprintSignedGraph(const SignedGraph& graph) {
+  Fnv1aHasher hasher;
+  const VertexId n = graph.NumVertices();
+  hasher.Mix(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto pos = graph.PositiveNeighbors(v);
+    hasher.Mix(pos.size());
+    for (const VertexId w : pos) hasher.Mix(w);
+    const auto neg = graph.NegativeNeighbors(v);
+    hasher.Mix(neg.size());
+    for (const VertexId w : neg) hasher.Mix(w);
+  }
+  return hasher.hash();
+}
+
+}  // namespace mbc

@@ -1,0 +1,57 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Content fingerprints for immutable structures. The query service keys
+// its result cache on graph *content*, not graph names or pointers, so a
+// graph reloaded under another name (or on another daemon) hits the same
+// cache entries, and a name rebound to different content cannot serve
+// stale results.
+#ifndef MBC_COMMON_FINGERPRINT_H_
+#define MBC_COMMON_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mbc {
+
+class SignedGraph;
+
+/// Incremental FNV-1a (64-bit). Order-sensitive: mixing the same values in
+/// a different order yields a different hash, which is exactly right for
+/// fingerprinting CSR arrays.
+class Fnv1aHasher {
+ public:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+  /// Folds one 64-bit value in, byte by byte (so the hash is independent
+  /// of how callers chunk their input into Mix calls of fixed width).
+  void Mix(uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ = (hash_ ^ (value & 0xffu)) * kPrime;
+      value >>= 8;
+    }
+  }
+
+  void MixBytes(std::string_view bytes) {
+    for (const char c : bytes) {
+      hash_ = (hash_ ^ static_cast<uint8_t>(c)) * kPrime;
+    }
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+/// Content fingerprint of a signed graph: FNV-1a over the vertex count and
+/// both CSR adjacency structures (per vertex: positive then negative
+/// neighbor lists, each prefixed with its length). Two graphs share a
+/// fingerprint iff they have identical vertex ids, edges and signs;
+/// isomorphic-but-relabelled graphs do not. O(n + m).
+uint64_t FingerprintSignedGraph(const SignedGraph& graph);
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_FINGERPRINT_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/histogram.h"
+
+#include <cmath>
+
+namespace mbc {
+
+size_t LatencyHistogram::BucketFor(double seconds) {
+  const double micros = seconds * 1e6;
+  if (!(micros > 1.0)) return 0;  // also catches NaN
+  const double bucket = std::floor(std::log2(micros) * 4.0);
+  if (bucket >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(bucket);
+}
+
+double LatencyHistogram::BucketMidpointSeconds(size_t bucket) {
+  // Geometric midpoint of [2^(b/4), 2^((b+1)/4)) microseconds.
+  const double micros =
+      std::exp2((static_cast<double>(bucket) + 0.5) / 4.0);
+  return micros * 1e-6;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  const uint64_t rank =
+      q <= 0 ? 1
+             : static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpointSeconds(b);
+  }
+  return BucketMidpointSeconds(kNumBuckets - 1);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+}  // namespace mbc

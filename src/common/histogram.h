@@ -1,0 +1,48 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Streaming latency histogram with logarithmic buckets: O(1) record from
+// any thread, approximate quantiles with bounded relative error, constant
+// memory. The query service uses one to report p50/p95 without retaining
+// per-request samples.
+#ifndef MBC_COMMON_HISTOGRAM_H_
+#define MBC_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mbc {
+
+/// Thread-safe histogram over positive durations. Bucket i covers
+/// [2^(i/4), 2^((i+1)/4)) microseconds — four buckets per octave, so any
+/// reported quantile is within ~19% of the true value, plenty for latency
+/// monitoring. Durations below 1us land in bucket 0; durations beyond the
+/// last bucket saturate into it.
+class LatencyHistogram {
+ public:
+  /// 4 buckets/octave * 40 octaves ≈ [1us, ~18 minutes].
+  static constexpr size_t kNumBuckets = 160;
+
+  void Record(double seconds);
+
+  /// Approximate q-quantile (q in [0, 1]) in seconds: the geometric
+  /// midpoint of the bucket holding the q-th sample. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all recorded durations (seconds); with count() gives the mean.
+  double total_seconds() const;
+
+ private:
+  static size_t BucketFor(double seconds);
+  static double BucketMidpointSeconds(size_t bucket);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  /// Total in nanoseconds so the sum can stay a lock-free integer.
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_HISTOGRAM_H_

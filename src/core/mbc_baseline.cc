@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/timer.h"
 #include "src/core/reductions.h"
 #include "src/core/verify.h"
@@ -13,14 +14,12 @@
 namespace mbc {
 namespace {
 
-// Intersection of two sorted vertex sequences.
-std::vector<VertexId> SortedIntersect(std::span<const VertexId> a,
-                                      std::span<const VertexId> b) {
-  std::vector<VertexId> out;
-  out.reserve(std::min(a.size(), b.size()));
+// Intersection of two sorted vertex sequences into reused storage.
+void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+                   std::vector<VertexId>* out) {
+  out->clear();
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+                        std::back_inserter(*out));
 }
 
 class Enumerator {
@@ -31,9 +30,13 @@ class Enumerator {
   // Runs the search; returns best clique as (left, right) vertex vectors.
   void Run(std::vector<VertexId>* best_left, std::vector<VertexId>* best_right,
            uint64_t* calls) {
-    std::vector<VertexId> all(graph_.NumVertices());
-    for (VertexId v = 0; v < graph_.NumVertices(); ++v) all[v] = v;
-    Enum({}, {}, all, all);
+    const VertexId n = graph_.NumVertices();
+    arena_.BindNetwork(n);
+    SearchArena::VectorFrame& root = arena_.VectorFrameAt(0);
+    root.p_l.resize(n);
+    root.p_r.resize(n);
+    for (VertexId v = 0; v < n; ++v) root.p_l[v] = root.p_r[v] = v;
+    Enum(0);
     *best_left = std::move(best_left_);
     *best_right = std::move(best_right_);
     *calls = calls_;
@@ -48,24 +51,33 @@ class Enumerator {
   // also collapses the mirror symmetry). The paper's Lines 11-12 "process
   // the two sides in alternating order" heuristic is realized by drawing
   // from the pool of the currently smaller side first.
-  void Enum(std::vector<VertexId> c_l, std::vector<VertexId> c_r,
-            std::vector<VertexId> p_l, std::vector<VertexId> p_r) {
+  //
+  // The node's pools live in arena frame `depth` (filled by the caller);
+  // the grown clique is the shared c_l_ / c_r_ pair, pushed and popped
+  // around each branch. Child pools are intersected directly into frame
+  // `depth + 1`, so the whole search reuses one vector per (depth, set)
+  // pair instead of constructing fresh vectors per node.
+  void Enum(size_t depth) {
     ++calls_;
     if (exec_->Checkpoint()) stopped_ = true;
     if (stopped_) return;
 
+    SearchArena::VectorFrame& frame = arena_.VectorFrameAt(depth);
+    std::vector<VertexId>& p_l = frame.p_l;
+    std::vector<VertexId>& p_r = frame.p_r;
+
     // Lines 5-6: record improvements.
-    if (c_l.size() >= tau_ && c_r.size() >= tau_ &&
-        c_l.size() + c_r.size() > best_left_.size() + best_right_.size()) {
-      best_left_ = c_l;
-      best_right_ = c_r;
+    if (c_l_.size() >= tau_ && c_r_.size() >= tau_ &&
+        c_l_.size() + c_r_.size() > best_left_.size() + best_right_.size()) {
+      best_left_ = c_l_;
+      best_right_ = c_r_;
     }
 
     // Line 10 bounds, applied at the node level.
-    if (c_l.size() + p_l.size() < tau_ || c_r.size() + p_r.size() < tau_) {
+    if (c_l_.size() + p_l.size() < tau_ || c_r_.size() + p_r.size() < tau_) {
       return;
     }
-    if (c_l.size() + p_l.size() + c_r.size() + p_r.size() <=
+    if (c_l_.size() + p_l.size() + c_r_.size() + p_r.size() <=
         best_left_.size() + best_right_.size()) {
       return;
     }
@@ -73,7 +85,7 @@ class Enumerator {
     while ((!p_l.empty() || !p_r.empty()) && !stopped_) {
       // Alternation heuristic: grow the smaller side when possible.
       const bool from_left =
-          !p_l.empty() && (p_r.empty() || c_l.size() <= c_r.size());
+          !p_l.empty() && (p_r.empty() || c_l_.size() <= c_r_.size());
       std::vector<VertexId>& pool = from_left ? p_l : p_r;
       const VertexId v = pool.back();
       pool.pop_back();
@@ -82,16 +94,13 @@ class Enumerator {
       const auto neg = graph_.NegativeNeighbors(v);
       // Vertices joining C_L need positive edges to C_L and negative ones
       // to C_R; symmetrically for C_R.
-      std::vector<VertexId> new_pl =
-          SortedIntersect(from_left ? pos : neg, p_l);
-      std::vector<VertexId> new_pr =
-          SortedIntersect(from_left ? neg : pos, p_r);
+      SearchArena::VectorFrame& child = arena_.VectorFrameAt(depth + 1);
+      IntersectInto(from_left ? pos : neg, p_l, &child.p_l);
+      IntersectInto(from_left ? neg : pos, p_r, &child.p_r);
 
-      std::vector<VertexId> new_cl = c_l;
-      std::vector<VertexId> new_cr = c_r;
-      (from_left ? new_cl : new_cr).push_back(v);
-      Enum(std::move(new_cl), std::move(new_cr), std::move(new_pl),
-           std::move(new_pr));
+      (from_left ? c_l_ : c_r_).push_back(v);
+      Enum(depth + 1);
+      (from_left ? c_l_ : c_r_).pop_back();
 
       // Remove v from the opposite pool too (only relevant at the root,
       // where both pools start as V; it suppresses mirrored duplicates).
@@ -104,8 +113,11 @@ class Enumerator {
   const SignedGraph& graph_;
   const size_t tau_;
   ExecutionContext* const exec_;
+  SearchArena arena_;
   bool stopped_ = false;
   uint64_t calls_ = 0;
+  std::vector<VertexId> c_l_;
+  std::vector<VertexId> c_r_;
   std::vector<VertexId> best_left_;
   std::vector<VertexId> best_right_;
 };

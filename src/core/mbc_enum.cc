@@ -6,18 +6,18 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/core/reductions.h"
 
 namespace mbc {
 namespace {
 
-std::vector<VertexId> SortedIntersect(std::span<const VertexId> a,
-                                      std::span<const VertexId> b) {
-  std::vector<VertexId> out;
-  out.reserve(std::min(a.size(), b.size()));
+// Intersection of two sorted vertex sequences into reused storage.
+void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+                   std::vector<VertexId>* out) {
+  out->clear();
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+                        std::back_inserter(*out));
 }
 
 class Enumerator {
@@ -40,26 +40,28 @@ class Enumerator {
     // placed (WLOG) on the left side. Vertices processed earlier join the
     // exclusion sets, guaranteeing each maximal clique is found once.
     const VertexId n = graph_.NumVertices();
+    arena_.BindNetwork(n);
     std::vector<uint8_t> processed(n, 0);
     for (VertexId v = 0; v < n && !stopped_; ++v) {
-      Sets sets;
+      SearchArena::VectorFrame& root = arena_.VectorFrameAt(0);
+      root.p_l.clear();
+      root.p_r.clear();
+      root.x_l.clear();
+      root.x_r.clear();
       for (VertexId w : graph_.PositiveNeighbors(v)) {
-        (processed[w] ? sets.x_l : sets.p_l).push_back(w);
+        (processed[w] ? root.x_l : root.p_l).push_back(w);
       }
       for (VertexId w : graph_.NegativeNeighbors(v)) {
-        (processed[w] ? sets.x_r : sets.p_r).push_back(w);
+        (processed[w] ? root.x_r : root.p_r).push_back(w);
       }
       c_l_.assign(1, v);
       c_r_.clear();
-      Recurse(std::move(sets));
+      Recurse(0);
       processed[v] = 1;
     }
   }
 
  private:
-  struct Sets {
-    std::vector<VertexId> p_l, p_r, x_l, x_r;
-  };
 
   void Report() {
     BalancedClique clique;
@@ -76,13 +78,19 @@ class Enumerator {
     }
   }
 
-  void Recurse(Sets sets) {
+  // The node's four sets live in arena frame `depth` (filled by the
+  // caller); child sets are intersected directly into frame `depth + 1`,
+  // so every recursion node reuses the capacity of its depth's vectors
+  // instead of constructing four fresh ones.
+  void Recurse(size_t depth) {
     ++stats_->recursive_calls;
     if (exec_->Checkpoint()) {
       stopped_ = true;
       stats_->truncated = true;
     }
     if (stopped_) return;
+
+    SearchArena::VectorFrame& sets = arena_.VectorFrameAt(depth);
 
     // Feasibility pruning: a reported clique needs ≥ τ on each side.
     if (c_l_.size() + sets.p_l.size() < tau_ ||
@@ -112,23 +120,23 @@ class Enumerator {
       // to C_R) and C_R otherwise.
       const auto pos = graph_.PositiveNeighbors(v);
       const auto neg = graph_.NegativeNeighbors(v);
-      Sets child;
+      SearchArena::VectorFrame& child = arena_.VectorFrameAt(depth + 1);
       if (from_left) {
-        child.p_l = SortedIntersect(pos, sets.p_l);
-        child.p_r = SortedIntersect(neg, sets.p_r);
-        child.x_l = SortedIntersect(pos, sets.x_l);
-        child.x_r = SortedIntersect(neg, sets.x_r);
+        IntersectInto(pos, sets.p_l, &child.p_l);
+        IntersectInto(neg, sets.p_r, &child.p_r);
+        IntersectInto(pos, sets.x_l, &child.x_l);
+        IntersectInto(neg, sets.x_r, &child.x_r);
         c_l_.push_back(v);
-        Recurse(std::move(child));
+        Recurse(depth + 1);
         c_l_.pop_back();
         InsertSorted(&sets.x_l, v);
       } else {
-        child.p_l = SortedIntersect(neg, sets.p_l);
-        child.p_r = SortedIntersect(pos, sets.p_r);
-        child.x_l = SortedIntersect(neg, sets.x_l);
-        child.x_r = SortedIntersect(pos, sets.x_r);
+        IntersectInto(neg, sets.p_l, &child.p_l);
+        IntersectInto(pos, sets.p_r, &child.p_r);
+        IntersectInto(neg, sets.x_l, &child.x_l);
+        IntersectInto(pos, sets.x_r, &child.x_r);
         c_r_.push_back(v);
-        Recurse(std::move(child));
+        Recurse(depth + 1);
         c_r_.pop_back();
         InsertSorted(&sets.x_r, v);
       }
@@ -146,6 +154,7 @@ class Enumerator {
   const MbcEnumOptions& options_;
   ExecutionContext* const exec_;
   MbcEnumStats* stats_;
+  SearchArena arena_;
   bool stopped_ = false;
   std::vector<VertexId> c_l_;
   std::vector<VertexId> c_r_;

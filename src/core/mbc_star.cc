@@ -115,9 +115,12 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
     // instances), and the pruning scratch all grow to a high-water size
     // once and then stop touching the heap.
     DichromaticNetwork net;
-    MdcSolver solver;
-    solver.SetOptions({options.use_arena, options.use_core_pruning,
-                       options.use_coloring_bound});
+    MdcSolver local_solver;
+    MdcSolver& solver = options.shared_solver != nullptr
+                            ? *options.shared_solver
+                            : local_solver;
+    solver.SetOptions(
+        {options.use_core_pruning, options.use_coloring_bound});
     solver.SetExecution(exec);
     SearchArena prune_arena;  // outer k-core / coloring-bound scratch
     Bitset alive;

@@ -18,6 +18,8 @@
 
 namespace mbc {
 
+class MdcSolver;
+
 /// Knobs for MBC* (the defaults reproduce the paper's MBC* exactly).
 struct MbcStarOptions {
   /// MBC*-withER variant: also run the O(m^1.5) EdgeReduction of [13]
@@ -54,10 +56,11 @@ struct MbcStarOptions {
   bool use_core_pruning = true;
   bool use_coloring_bound = true;
 
-  /// Run the MDC search on the allocation-free arena kernel (default) or
-  /// the pre-arena kernel (escape hatch kept for one release; exercised by
-  /// the differential tests).
-  bool use_arena = true;
+  /// Caller-owned MDC solver to run the search through instead of a
+  /// run-local one. The query service hands each worker thread its own
+  /// solver so the arena's warm-up amortizes across requests; must not be
+  /// shared between concurrent runs. May be null.
+  MdcSolver* shared_solver = nullptr;
 };
 
 /// Counters surfaced for the Table IV experiment.

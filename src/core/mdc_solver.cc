@@ -35,14 +35,10 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
   stop_ = false;
   branches_ = 0;
   interrupted_ = false;
-  if (options_.use_arena) {
-    arena_.BindNetwork(n);
-    SearchArena::Frame& root = arena_.FrameAt(0);
-    root.cand.CopyFrom(candidates);
-    RecurseArena(0, tau_l, tau_r, candidates.Count());
-  } else {
-    RecurseLegacy(candidates, tau_l, tau_r);
-  }
+  arena_.BindNetwork(n);
+  SearchArena::Frame& root = arena_.FrameAt(0);
+  root.cand.CopyFrom(candidates);
+  RecurseArena(0, tau_l, tau_r, candidates.Count());
   if (found_) *best = best_;
   return found_;
 }
@@ -212,100 +208,6 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
     // is materialized.
     graph_->AdjacencyOf(v).ForEachAnd(
         remaining, [&degrees](size_t w) { --degrees[w]; });
-  }
-}
-
-// The pre-arena kernel (escape hatch, kept for one release). Identical
-// search tree to RecurseArena — the differential tests assert equal
-// results and equal branch counts between the two.
-void MdcSolver::RecurseLegacy(const Bitset& candidates, int32_t tau_l,
-                              int32_t tau_r) {
-  ++branches_;
-  if (exec_ != nullptr && exec_->Checkpoint()) {
-    interrupted_ = true;
-    stop_ = true;
-  }
-  if (stop_) return;
-
-  if (current_.size() > best_size_ && tau_l <= 0 && tau_r <= 0) {
-    best_ = current_;
-    best_size_ = current_.size();
-    found_ = true;
-    if (existence_only_) {
-      stop_ = true;
-      return;
-    }
-  }
-
-  Bitset cand = candidates;
-  if (options_.use_core_pruning && best_size_ > current_.size()) {
-    cand = KCoreWithin(*graph_, cand,
-                       static_cast<uint32_t>(best_size_ - current_.size()));
-  }
-
-  const size_t left_avail = cand.CountAnd(graph_->LeftMask());
-  const size_t right_avail = cand.Count() - left_avail;
-  if ((tau_l > 0 && left_avail < static_cast<size_t>(tau_l)) ||
-      (tau_r > 0 && right_avail < static_cast<size_t>(tau_r))) {
-    return;
-  }
-  if (cand.None()) return;
-  if (current_.size() + left_avail + right_avail <= best_size_) return;
-
-  const size_t cand_count = left_avail + right_avail;
-  if (cand_count <= kCliqueShortcutCap || !options_.use_coloring_bound) {
-    uint64_t twice_edges = 0;
-    cand.ForEach([this, &cand, &twice_edges](size_t v) {
-      twice_edges += graph_->AdjacencyOf(v).CountAnd(cand);
-    });
-    if (twice_edges == static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
-      RecordCliqueShortcut(cand);
-      if (existence_only_) stop_ = true;
-      return;
-    }
-  }
-
-  if (options_.use_coloring_bound) {
-    const uint32_t needed =
-        best_size_ > current_.size()
-            ? static_cast<uint32_t>(best_size_ - current_.size())
-            : 0;
-    const uint32_t color_bound = ColoringBoundWithin(*graph_, cand, needed);
-    if (current_.size() + color_bound <= best_size_) return;
-  }
-
-  Bitset branch_pool = cand;
-  if (tau_l > 0 && tau_r <= 0) {
-    branch_pool &= graph_->LeftMask();
-  } else if (tau_l <= 0 && tau_r > 0) {
-    branch_pool.AndNot(graph_->LeftMask());
-  }
-
-  Bitset remaining = cand;
-  while (branch_pool.Any()) {
-    if (current_.size() + remaining.Count() <= best_size_) return;
-    uint32_t v = 0;
-    uint32_t v_degree = 0;
-    bool v_found = false;
-    branch_pool.ForEach([&](size_t w) {
-      const uint32_t degree =
-          graph_->DegreeWithin(static_cast<uint32_t>(w), remaining);
-      if (!v_found || degree < v_degree) {
-        v_found = true;
-        v = static_cast<uint32_t>(w);
-        v_degree = degree;
-      }
-    });
-
-    const bool v_left = graph_->IsLeft(v);
-    current_.push_back(v);
-    RecurseLegacy(graph_->AdjacencyOf(v) & remaining,
-                  v_left ? tau_l - 1 : tau_l, v_left ? tau_r : tau_r - 1);
-    current_.pop_back();
-    if (stop_) return;
-
-    branch_pool.Reset(v);
-    remaining.Reset(v);
   }
 }
 

@@ -6,12 +6,12 @@
 // minimum-degree branching) applies because the network is unsigned; the
 // two side thresholds τ_L / τ_R are the only signed-world residue.
 //
-// The default kernel runs on a SearchArena (depth-indexed bitset frames +
+// The kernel runs on a SearchArena (depth-indexed bitset frames +
 // incrementally maintained candidate degrees) and performs zero heap
 // allocations once the arena has warmed up to the largest network /
-// recursion depth it has seen; see docs/perf.md. The pre-arena kernel is
-// retained for one release behind MdcOptions::use_arena as an escape
-// hatch and as a differential-testing oracle.
+// recursion depth it has seen; see docs/perf.md. The pre-arena kernel
+// was removed after one release of baking; the differential tests now
+// compare against the brute-force oracle.
 #ifndef MBC_CORE_MDC_SOLVER_H_
 #define MBC_CORE_MDC_SOLVER_H_
 
@@ -25,12 +25,10 @@
 
 namespace mbc {
 
-/// Kernel knobs (defaults reproduce the paper's MDC with the fast arena
-/// kernel). `use_core_pruning` / `use_coloring_bound` are the ablation
-/// switches used by bench_ablation_pruning; `use_arena` selects the
-/// allocation-free kernel (the legacy kernel is kept for one release).
+/// Kernel knobs (defaults reproduce the paper's MDC). `use_core_pruning`
+/// and `use_coloring_bound` are the ablation switches used by
+/// bench_ablation_pruning.
 struct MdcOptions {
-  bool use_arena = true;
   bool use_core_pruning = true;
   bool use_coloring_bound = true;
 };
@@ -88,14 +86,11 @@ class MdcSolver {
   void set_use_coloring_bound(bool enabled) {
     options_.use_coloring_bound = enabled;
   }
-  /// Escape hatch to the pre-arena kernel (kept for one release).
-  void set_use_arena(bool enabled) { options_.use_arena = enabled; }
 
   /// Scratch bytes currently held by the solver's arena.
   size_t ArenaMemoryBytes() const { return arena_.MemoryBytes(); }
 
  private:
-  void RecurseLegacy(const Bitset& candidates, int32_t tau_l, int32_t tau_r);
   /// `cand_count` must equal |frame(depth).cand| — the population is
   /// threaded through the recursion (fused AssignAndCount at the call
   /// site) so the kernel never re-counts a candidate set it built.

@@ -17,32 +17,20 @@ bool DccSolver::Check(const Bitset& candidates, int32_t tau_l, int32_t tau_r,
   interrupted_ = false;
   const uint32_t l = tau_l > 0 ? static_cast<uint32_t>(tau_l) : 0;
   const uint32_t r = tau_r > 0 ? static_cast<uint32_t>(tau_r) : 0;
-  if (use_arena_) {
-    arena_.BindNetwork(n);
-    SearchArena::Frame& root = arena_.FrameAt(0);
-    root.cand.CopyFrom(candidates);
-    return RecurseArena(0, l, r, candidates.Count());
-  }
-  return RecurseLegacy(candidates, l, r);
+  arena_.BindNetwork(n);
+  SearchArena::Frame& root = arena_.FrameAt(0);
+  root.cand.CopyFrom(candidates);
+  return RecurseArena(0, l, r, candidates.Count());
 }
 
 // Clique shortcut: when the core is itself a clique with enough vertices
 // on each side, any τ_L + τ_R of its members witness success.
 bool DccSolver::TryCliqueShortcut(const Bitset& cand, size_t left_avail,
                                   size_t right_avail, uint32_t tau_l,
-                                  uint32_t tau_r,
-                                  const uint64_t* twice_edges) {
+                                  uint32_t tau_r, uint64_t twice_edges) {
   if (left_avail < tau_l || right_avail < tau_r) return false;
   const size_t cand_count = left_avail + right_avail;
-  uint64_t edge_ends = 0;
-  if (twice_edges != nullptr) {
-    edge_ends = *twice_edges;
-  } else {
-    cand.ForEach([this, &cand, &edge_ends](size_t v) {
-      edge_ends += graph_->AdjacencyOf(v).CountAnd(cand);
-    });
-  }
-  if (edge_ends != static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
+  if (twice_edges != static_cast<uint64_t>(cand_count) * (cand_count - 1)) {
     return false;
   }
   if (witness_ != nullptr) {
@@ -99,7 +87,7 @@ bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r,
   uint64_t twice_edges = 0;
   cand.ForEach([&](size_t v) { twice_edges += degrees[v]; });
   if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r,
-                        &twice_edges)) {
+                        twice_edges)) {
     return true;
   }
 
@@ -165,75 +153,6 @@ bool DccSolver::RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r,
     // Restore the degree invariant after v leaves `remaining`.
     graph_->AdjacencyOf(v).ForEachAnd(
         remaining, [&degrees](size_t w) { --degrees[w]; });
-  }
-  return false;
-}
-
-// The pre-arena kernel (escape hatch, kept for one release). Identical
-// search tree to RecurseArena — the differential tests assert equal
-// answers and equal branch counts between the two.
-bool DccSolver::RecurseLegacy(const Bitset& candidates, uint32_t tau_l,
-                              uint32_t tau_r) {
-  ++branches_;
-  if (interrupted_) return false;
-  if (exec_ != nullptr && exec_->Checkpoint()) {
-    interrupted_ = true;
-    return false;
-  }
-  if (tau_l == 0 && tau_r == 0) {
-    if (witness_ != nullptr) *witness_ = current_;
-    return true;
-  }
-
-  Bitset cand = TwoSidedCoreWithin(*graph_, candidates,
-                                   static_cast<int32_t>(tau_l),
-                                   static_cast<int32_t>(tau_r));
-  if (cand.None()) return false;
-
-  {
-    const size_t left_avail = cand.CountAnd(graph_->LeftMask());
-    const size_t right_avail = cand.Count() - left_avail;
-    if (TryCliqueShortcut(cand, left_avail, right_avail, tau_l, tau_r)) {
-      return true;
-    }
-  }
-
-  Bitset pool = cand;
-  if (tau_l > 0 && tau_r == 0) {
-    pool &= graph_->LeftMask();
-  } else if (tau_l == 0 && tau_r > 0) {
-    pool.AndNot(graph_->LeftMask());
-  }
-
-  Bitset remaining = cand;
-  while (pool.Any()) {
-    const size_t left_avail = remaining.CountAnd(graph_->LeftMask());
-    const size_t right_avail = remaining.Count() - left_avail;
-    if (left_avail < tau_l || right_avail < tau_r) return false;
-    uint32_t v = 0;
-    uint32_t v_degree = 0;
-    bool v_found = false;
-    pool.ForEach([&](size_t w) {
-      const uint32_t degree =
-          graph_->DegreeWithin(static_cast<uint32_t>(w), remaining);
-      if (!v_found || degree < v_degree) {
-        v_found = true;
-        v = static_cast<uint32_t>(w);
-        v_degree = degree;
-      }
-    });
-
-    const bool v_left = graph_->IsLeft(v);
-    current_.push_back(v);
-    const bool ok =
-        RecurseLegacy(graph_->AdjacencyOf(v) & remaining,
-                      v_left && tau_l > 0 ? tau_l - 1 : tau_l,
-                      !v_left && tau_r > 0 ? tau_r - 1 : tau_r);
-    if (ok) return true;
-    current_.pop_back();
-
-    pool.Reset(v);
-    remaining.Reset(v);
   }
   return false;
 }

@@ -5,10 +5,9 @@
 // contains a clique with at least τ_L L-vertices and τ_R R-vertices, and
 // can therefore stop as soon as both thresholds reach zero.
 //
-// Like MdcSolver, the default kernel runs on a SearchArena (depth-indexed
-// bitset frames + incremental candidate degrees) and is allocation-free
-// after warm-up; the pre-arena kernel is retained for one release behind
-// set_use_arena(false) as a differential-testing oracle.
+// Like MdcSolver, the kernel runs on a SearchArena (depth-indexed bitset
+// frames + incremental candidate degrees) and is allocation-free after
+// warm-up; the pre-arena kernel was removed after one release of baking.
 #ifndef MBC_PF_DCC_SOLVER_H_
 #define MBC_PF_DCC_SOLVER_H_
 
@@ -54,22 +53,16 @@ class DccSolver {
     return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
 
-  /// Escape hatch to the pre-arena kernel (kept for one release).
-  void set_use_arena(bool enabled) { use_arena_ = enabled; }
-
  private:
-  bool RecurseLegacy(const Bitset& candidates, uint32_t tau_l,
-                     uint32_t tau_r);
   /// `cand_count` must equal |frame(depth).cand| (threaded through the
   /// recursion via the fused AssignAndCount, as in MdcSolver).
   bool RecurseArena(size_t depth, uint32_t tau_l, uint32_t tau_r,
                     size_t cand_count);
-  /// `twice_edges`, when non-null, must hold Σ_v DegreeWithin(v, cand)
-  /// (the arena kernel has it as a byproduct of its degree sweep); when
-  /// null the shortcut pays its own intersect+popcount pass.
+  /// `twice_edges` must hold Σ_v DegreeWithin(v, cand) — the kernel has
+  /// it as a byproduct of its degree sweep.
   bool TryCliqueShortcut(const Bitset& cand, size_t left_avail,
                          size_t right_avail, uint32_t tau_l, uint32_t tau_r,
-                         const uint64_t* twice_edges = nullptr);
+                         uint64_t twice_edges);
 
   const DichromaticGraph* graph_ = nullptr;
   SearchArena arena_;
@@ -78,7 +71,6 @@ class DccSolver {
   uint64_t branches_ = 0;
   ExecutionContext* exec_ = nullptr;
   bool interrupted_ = false;
-  bool use_arena_ = true;
 };
 
 }  // namespace mbc

@@ -68,7 +68,10 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
   // docs/perf.md): one network, one DCC solver (arena-backed), and the
   // two-sided-core scratch, all grown to a high-water size once.
   DichromaticNetwork net;
-  DccSolver solver;
+  DccSolver local_solver;
+  DccSolver& solver = options.shared_solver != nullptr
+                          ? *options.shared_solver
+                          : local_solver;
   solver.SetExecution(exec);
   SearchArena prune_arena;
   Bitset core;

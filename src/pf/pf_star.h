@@ -16,6 +16,8 @@
 
 namespace mbc {
 
+class DccSolver;
+
 struct PfStarOptions {
   enum class Ordering {
     kPolarization,  // POrder from PDecompose (the paper's PF*)
@@ -34,6 +36,10 @@ struct PfStarOptions {
   /// Shared execution governor; takes precedence over time_limit_seconds.
   /// Owned by the caller; may be null.
   ExecutionContext* exec = nullptr;
+
+  /// Caller-owned DCC solver to run the checks through instead of a
+  /// run-local one (see MbcStarOptions::shared_solver). May be null.
+  DccSolver* shared_solver = nullptr;
 };
 
 struct PfStarStats {

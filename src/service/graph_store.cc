@@ -1,0 +1,96 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/graph_store.h"
+
+#include <mutex>
+#include <utility>
+
+#include "src/common/fingerprint.h"
+#include "src/common/memory.h"
+#include "src/graph/binary_io.h"
+#include "src/graph/graph_io.h"
+
+namespace mbc {
+
+GraphStore::Snapshot::Snapshot(std::string name, SignedGraph graph)
+    : name_(std::move(name)),
+      graph_(std::move(graph)),
+      fingerprint_(FingerprintSignedGraph(graph_)),
+      memory_bytes_(graph_.MemoryBytes() + sizeof(Snapshot)) {
+  MemoryTracker::Global().Add(memory_bytes_);
+}
+
+GraphStore::Snapshot::~Snapshot() {
+  MemoryTracker::Global().Sub(memory_bytes_);
+}
+
+Status GraphStore::Load(const std::string& name, SignedGraph graph) {
+  if (name.empty()) {
+    return Status::InvalidArgument("graph name must be non-empty");
+  }
+  auto snapshot = std::make_shared<const Snapshot>(name, std::move(graph));
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = snapshots_.emplace(name, std::move(snapshot));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' is already loaded; evict it first");
+  }
+  return Status::OK();
+}
+
+Status GraphStore::LoadFromFile(const std::string& name,
+                                const std::string& path) {
+  Result<SignedGraph> graph =
+      path.ends_with(".bin") || path.ends_with(".mbcg")
+          ? ReadSignedGraphBinary(path)
+          : ReadSignedEdgeList(path);
+  if (!graph.ok()) return graph.status();
+  return Load(name, std::move(graph).value());
+}
+
+Status GraphStore::Evict(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  if (snapshots_.erase(name) == 0) {
+    return Status::NotFound("graph '" + name + "' is not loaded");
+  }
+  return Status::OK();
+}
+
+Result<GraphStore::SnapshotPtr> GraphStore::Find(
+    const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("graph '" + name + "' is not loaded");
+  }
+  return it->second;
+}
+
+std::vector<GraphStore::ListEntry> GraphStore::List() const {
+  std::shared_lock lock(mutex_);
+  std::vector<ListEntry> entries;
+  entries.reserve(snapshots_.size());
+  for (const auto& [name, snapshot] : snapshots_) {
+    entries.push_back({name, snapshot->fingerprint(),
+                       snapshot->graph().NumVertices(),
+                       snapshot->graph().NumEdges(),
+                       snapshot->memory_bytes()});
+  }
+  return entries;
+}
+
+size_t GraphStore::size() const {
+  std::shared_lock lock(mutex_);
+  return snapshots_.size();
+}
+
+size_t GraphStore::TotalMemoryBytes() const {
+  std::shared_lock lock(mutex_);
+  size_t total = 0;
+  for (const auto& [name, snapshot] : snapshots_) {
+    total += snapshot->memory_bytes();
+  }
+  return total;
+}
+
+}  // namespace mbc

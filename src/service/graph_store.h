@@ -1,0 +1,87 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// GraphStore: named, immutable, reference-counted SignedGraph snapshots.
+// Queries resolve a name to a shared_ptr snapshot and keep it alive for
+// the duration of the solve, so Evict never invalidates a running query —
+// it only unlinks the name; the bytes go away when the last query drops
+// its reference. Each snapshot carries a content fingerprint (FNV-1a over
+// the CSR arrays) that the ResultCache keys on.
+#ifndef MBC_SERVICE_GRAPH_STORE_H_
+#define MBC_SERVICE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+class GraphStore {
+ public:
+  /// One immutable snapshot. The MemoryTracker account is settled by the
+  /// snapshot's own lifetime (registered on load, released when the last
+  /// reference — store entry or in-flight query — drops).
+  class Snapshot {
+   public:
+    Snapshot(std::string name, SignedGraph graph);
+    ~Snapshot();
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    const std::string& name() const { return name_; }
+    const SignedGraph& graph() const { return graph_; }
+    uint64_t fingerprint() const { return fingerprint_; }
+    size_t memory_bytes() const { return memory_bytes_; }
+
+   private:
+    const std::string name_;
+    const SignedGraph graph_;
+    const uint64_t fingerprint_;
+    const size_t memory_bytes_;
+  };
+
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  struct ListEntry {
+    std::string name;
+    uint64_t fingerprint = 0;
+    VertexId num_vertices = 0;
+    EdgeCount num_edges = 0;
+    size_t memory_bytes = 0;
+  };
+
+  /// Registers `graph` under `name`. Fails with InvalidArgument if the
+  /// name is already bound (evict first — silent rebinding would make two
+  /// same-name responses incomparable).
+  Status Load(const std::string& name, SignedGraph graph);
+
+  /// Loads from a graph file (binary .bin/.mbcg or text edge list).
+  Status LoadFromFile(const std::string& name, const std::string& path);
+
+  /// Unbinds `name`. In-flight queries holding the snapshot are
+  /// unaffected. NotFound if the name is not bound.
+  Status Evict(const std::string& name);
+
+  /// Snapshot bound to `name`, or NotFound.
+  Result<SnapshotPtr> Find(const std::string& name) const;
+
+  /// All bound snapshots, sorted by name.
+  std::vector<ListEntry> List() const;
+
+  size_t size() const;
+  /// Sum of memory_bytes over currently bound snapshots.
+  size_t TotalMemoryBytes() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, SnapshotPtr> snapshots_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_GRAPH_STORE_H_

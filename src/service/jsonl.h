@@ -1,0 +1,71 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// The JSONL wire format of mbc_serve and the mbc_cli batch command: one
+// request object per input line, one response object per output line, in
+// request order. Five ops:
+//
+//   {"op":"load","name":"g","path":"graph.txt"}
+//   {"op":"query","id":"q1","graph":"g","kind":"mbc","tau":3,"algo":"star"}
+//   {"op":"evict","name":"g"}
+//   {"op":"list"}
+//   {"op":"stats"}
+//
+// A line without an "op" field is a query — batch files of pure queries
+// need no boilerplate. Query fields other than "graph" are optional
+// (kind defaults to "mbc", tau to 1, algo to the solver default); see
+// QueryRequest for the full set, including per-request
+// "time_limit_seconds", "memory_limit_mb" and "no_cache".
+//
+// The parser accepts exactly the subset of JSON the protocol needs: one
+// flat object of string / number / boolean fields per line. Nested
+// containers are rejected, not silently mangled.
+#ifndef MBC_SERVICE_JSONL_H_
+#define MBC_SERVICE_JSONL_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/service/query.h"
+#include "src/service/query_service.h"
+
+namespace mbc {
+
+/// One parsed request line: field name -> decoded scalar value (strings
+/// are unescaped; numbers and booleans keep their literal spelling).
+using JsonlFields = std::map<std::string, std::string>;
+
+/// Parses one flat JSON object. Fails with InvalidArgument on malformed
+/// input, nested values, or duplicate keys.
+Result<JsonlFields> ParseJsonlLine(const std::string& line);
+
+/// Builds a QueryRequest from parsed fields. Unknown fields fail (typos
+/// in budget knobs must not silently become unlimited runs).
+Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields);
+
+struct JsonlOptions {
+  /// Omit the per-response "cached" and "seconds" fields, whose values
+  /// depend on timing and worker interleaving. With this set, batch output
+  /// is byte-identical for any worker count — what the CI golden diff and
+  /// the determinism tests rely on.
+  bool deterministic = false;
+};
+
+/// Serializes one query response (success or error) as a single line,
+/// without trailing newline.
+std::string SerializeResponse(const QueryRequest& request,
+                              const QueryResponse& response,
+                              const JsonlOptions& options);
+
+/// Drives a whole JSONL session: reads requests from `in` line by line,
+/// pipelines queries through `service` (queries run concurrently up to the
+/// worker count; responses are emitted in request order), executes control
+/// ops inline after draining pending queries. Returns non-OK only for I/O
+/// failure; per-request errors become error response lines.
+Status RunJsonlStream(QueryService& service, std::istream& in,
+                      std::ostream& out, const JsonlOptions& options);
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_JSONL_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Request / response types of the query service. One QueryRequest names a
+// stored graph, a problem (MBC / PF / gMBC) and its parameters; one
+// QueryResponse carries either the solver result or an error status. Both
+// sides have flat JSON encodings (see jsonl.h) used by mbc_serve and the
+// mbc_cli batch command.
+#ifndef MBC_SERVICE_QUERY_H_
+#define MBC_SERVICE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/balanced_clique.h"
+
+namespace mbc {
+
+enum class QueryKind : uint8_t {
+  kMbc = 0,   // maximum balanced clique under tau
+  kPf = 1,    // polarization factor beta(G)
+  kGmbc = 2,  // one maximum clique per tau in [0, beta]
+};
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMbc:
+      return "mbc";
+    case QueryKind::kPf:
+      return "pf";
+    case QueryKind::kGmbc:
+      return "gmbc";
+  }
+  return "unknown";
+}
+
+struct QueryRequest {
+  /// Echoed verbatim into the response; callers use it to correlate.
+  std::string id;
+  /// Name of the graph in the GraphStore.
+  std::string graph;
+  QueryKind kind = QueryKind::kMbc;
+  /// Polarization threshold (kMbc only).
+  uint32_t tau = 1;
+  /// Algorithm variant: kMbc accepts "star" (default), "baseline", "adv";
+  /// kPf accepts "star" (default), "bs".
+  std::string algo;
+  /// Per-request governor budgets; 0 = the service default / unlimited.
+  double time_limit_seconds = 0.0;
+  uint64_t memory_limit_mb = 0;
+  /// Bypass the result cache (both lookup and insert) for this request.
+  bool no_cache = false;
+};
+
+/// The solver payload of a successful response. Which fields are
+/// meaningful depends on the request kind; unused ones keep their
+/// defaults and are omitted from the JSON encoding.
+struct QueryResult {
+  /// kMbc: the maximum balanced clique (empty = none satisfies tau).
+  BalancedClique clique;
+  /// kPf / kGmbc: beta(G).
+  uint32_t beta = 0;
+  /// kGmbc: |C*| per tau in [0, beta] (sizes only; the full cliques would
+  /// bloat cache entries for little monitoring value).
+  std::vector<uint32_t> gmbc_sizes;
+
+  /// Logical size of this payload, for cache accounting.
+  size_t MemoryBytes() const {
+    return sizeof(QueryResult) +
+           (clique.left.capacity() + clique.right.capacity() +
+            gmbc_sizes.capacity()) *
+               sizeof(uint32_t);
+  }
+};
+
+struct QueryResponse {
+  std::string id;
+  Status status;  // OK, or why the query failed / was interrupted
+  QueryResult result;
+  /// Served from the ResultCache without running a solver.
+  bool cached = false;
+  /// Wall-clock seconds spent serving (queue wait + solve).
+  double seconds = 0.0;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_QUERY_H_

@@ -1,0 +1,335 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/query_service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/execution.h"
+#include "src/core/mbc_adv.h"
+#include "src/core/mbc_baseline.h"
+#include "src/core/mbc_star.h"
+#include "src/core/mdc_solver.h"
+#include "src/gmbc/gmbc.h"
+#include "src/pf/dcc_solver.h"
+#include "src/pf/pf_bs.h"
+#include "src/pf/pf_star.h"
+
+namespace mbc {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Algorithm label after defaulting: the cache must treat "star" and ""
+/// as one key.
+std::string NormalizedAlgo(const QueryRequest& request) {
+  if (!request.algo.empty()) return request.algo;
+  return "star";
+}
+
+}  // namespace
+
+struct QueryService::WorkerState {
+  MdcSolver mdc_solver;
+  DccSolver dcc_solver;
+};
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options), cache_(options.cache_capacity_bytes) {
+  if (options_.start_workers) StartWorkers();
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::StartWorkers() {
+  std::lock_guard lock(mutex_);
+  if (workers_started_ || stopping_) return;
+  workers_started_ = true;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void QueryService::Shutdown() {
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  for (Task& task : orphaned) {
+    QueryResponse response;
+    response.id = task.request.id;
+    response.status = Status::Cancelled("service shut down before the query ran");
+    task.promise.set_value(std::move(response));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResponse> future = task.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      return Status::Cancelled("service is shut down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission queue is full (" + std::to_string(options_.max_queue) +
+          " pending queries)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+Result<std::future<QueryResponse>> QueryService::SubmitBlocking(
+    QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResponse> future = task.promise.get_future();
+  {
+    std::unique_lock lock(mutex_);
+    space_available_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.max_queue;
+    });
+    if (stopping_) {
+      return Status::Cancelled("service is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::Query(QueryRequest request) {
+  const std::string id = request.id;
+  Result<std::future<QueryResponse>> submitted =
+      SubmitBlocking(std::move(request));
+  if (!submitted.ok()) {
+    QueryResponse response;
+    response.id = id;
+    response.status = submitted.status();
+    return response;
+  }
+  return submitted.value().get();
+}
+
+void QueryService::WorkerLoop(size_t worker_index) {
+  (void)worker_index;
+  WorkerState state;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_available_.notify_one();
+    task.promise.set_value(Execute(state, task.request));
+  }
+}
+
+QueryResponse QueryService::Execute(WorkerState& state,
+                                    const QueryRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  QueryResponse response;
+  response.id = request.id;
+
+  const auto finish = [&](QueryResponse&& done) {
+    done.seconds = SecondsSince(start);
+    latency_.Record(done.seconds);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!done.status.ok()) {
+      queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::move(done);
+  };
+
+  Result<GraphStore::SnapshotPtr> snapshot = store_.Find(request.graph);
+  if (!snapshot.ok()) {
+    response.status = snapshot.status();
+    return finish(std::move(response));
+  }
+  const SignedGraph& graph = snapshot.value()->graph();
+  const std::string algo = NormalizedAlgo(request);
+
+  // PF / gMBC answers don't depend on the request's tau; pin it in the key
+  // so "pf tau=1" and "pf tau=7" share an entry.
+  CacheKey key;
+  key.graph_fingerprint = snapshot.value()->fingerprint();
+  key.kind = request.kind;
+  key.tau = request.kind == QueryKind::kMbc ? request.tau : 0;
+  key.algo = algo;
+
+  if (!request.no_cache) {
+    if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
+      response.result = std::move(*hit);
+      response.cached = true;
+      return finish(std::move(response));
+    }
+  }
+
+  ExecutionContext exec;
+  const double time_limit = request.time_limit_seconds > 0
+                                ? request.time_limit_seconds
+                                : options_.default_time_limit_seconds;
+  if (time_limit > 0) exec.set_deadline(Deadline::After(time_limit));
+  if (request.memory_limit_mb > 0) {
+    exec.set_memory_budget(
+        MemoryBudget::Limit(request.memory_limit_mb << 20));
+  }
+
+  InterruptReason interrupt = InterruptReason::kNone;
+  switch (request.kind) {
+    case QueryKind::kMbc: {
+      if (algo == "star") {
+        MbcStarOptions options;
+        options.exec = &exec;
+        options.shared_solver = &state.mdc_solver;
+        MbcStarResult result =
+            MaxBalancedCliqueStar(graph, request.tau, options);
+        response.result.clique = std::move(result.clique);
+        interrupt = result.stats.interrupt_reason;
+      } else if (algo == "baseline") {
+        MbcBaselineOptions options;
+        options.exec = &exec;
+        MbcBaselineResult result =
+            MaxBalancedCliqueBaseline(graph, request.tau, options);
+        response.result.clique = std::move(result.clique);
+        interrupt = result.interrupt_reason;
+      } else if (algo == "adv") {
+        MbcAdvOptions options;
+        options.exec = &exec;
+        MbcAdvResult result = MaxBalancedCliqueAdv(graph, request.tau, options);
+        response.result.clique = std::move(result.clique);
+        interrupt = result.interrupt_reason;
+      } else {
+        response.status =
+            Status::InvalidArgument("unknown mbc algo '" + algo + "'");
+        return finish(std::move(response));
+      }
+      response.result.clique.Canonicalize();
+      break;
+    }
+    case QueryKind::kPf: {
+      if (algo == "star") {
+        PfStarOptions options;
+        options.exec = &exec;
+        options.shared_solver = &state.dcc_solver;
+        PfStarResult result = PolarizationFactorStar(graph, options);
+        response.result.beta = result.beta;
+        interrupt = result.stats.interrupt_reason;
+      } else if (algo == "bs") {
+        PfBsOptions options;
+        options.exec = &exec;
+        PfBsResult result = PolarizationFactorBinarySearch(graph, options);
+        response.result.beta = result.beta;
+        interrupt = result.interrupt_reason;
+      } else {
+        response.status =
+            Status::InvalidArgument("unknown pf algo '" + algo + "'");
+        return finish(std::move(response));
+      }
+      break;
+    }
+    case QueryKind::kGmbc: {
+      GeneralizedMbcOptions options;
+      options.exec = &exec;
+      GeneralizedMbcResult result;
+      if (algo == "star") {
+        result = GeneralizedMbcStar(graph, options);
+      } else if (algo == "basic") {
+        result = GeneralizedMbc(graph, options);
+      } else {
+        response.status =
+            Status::InvalidArgument("unknown gmbc algo '" + algo + "'");
+        return finish(std::move(response));
+      }
+      response.result.beta = result.beta;
+      response.result.gmbc_sizes.reserve(result.cliques.size());
+      for (const BalancedClique& clique : result.cliques) {
+        response.result.gmbc_sizes.push_back(
+            static_cast<uint32_t>(clique.size()));
+      }
+      interrupt = result.interrupt_reason;
+      break;
+    }
+  }
+
+  if (interrupt != InterruptReason::kNone) {
+    // Partial answers stay in `result` (best-effort), but are reported as
+    // interrupted and never cached: a later identical query must re-run.
+    response.status = InterruptStatus(interrupt);
+    return finish(std::move(response));
+  }
+  if (!request.no_cache) cache_.Insert(key, response.result);
+  return finish(std::move(response));
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats stats;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    stats.queue_depth = queue_.size();
+    stats.num_workers = workers_.size();
+  }
+  stats.graphs_loaded = store_.size();
+  stats.latency_p50_seconds = latency_.Quantile(0.5);
+  stats.latency_p95_seconds = latency_.Quantile(0.95);
+  const uint64_t count = latency_.count();
+  stats.latency_mean_seconds =
+      count == 0 ? 0.0 : latency_.total_seconds() / static_cast<double>(count);
+  stats.cache = cache_.Stats();
+  return stats;
+}
+
+std::string QueryService::StatsJson() const {
+  const ServiceStats stats = Stats();
+  char buffer[768];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"queries_served\":%llu,\"queries_rejected\":%llu,"
+      "\"queries_failed\":%llu,\"queue_depth\":%zu,\"num_workers\":%zu,"
+      "\"graphs_loaded\":%zu,\"latency_p50_seconds\":%.6f,"
+      "\"latency_p95_seconds\":%.6f,\"latency_mean_seconds\":%.6f,"
+      "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+      "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
+      "\"hit_rate\":%.4f}}",
+      static_cast<unsigned long long>(stats.queries_served),
+      static_cast<unsigned long long>(stats.queries_rejected),
+      static_cast<unsigned long long>(stats.queries_failed),
+      stats.queue_depth, stats.num_workers, stats.graphs_loaded,
+      stats.latency_p50_seconds, stats.latency_p95_seconds,
+      stats.latency_mean_seconds,
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.insertions),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate());
+  return buffer;
+}
+
+}  // namespace mbc

@@ -1,0 +1,129 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// QueryService: the long-lived serving layer. Owns a GraphStore of named
+// snapshots, a ResultCache of completed answers, and a fixed pool of
+// worker threads draining a bounded admission queue. Each worker keeps its
+// own MdcSolver / DccSolver so the search arenas stay warm across
+// requests; each request runs under its own ExecutionContext so a
+// deadline, cancellation, or memory budget interrupts exactly one query.
+#ifndef MBC_SERVICE_QUERY_SERVICE_H_
+#define MBC_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/service/graph_store.h"
+#include "src/service/query.h"
+#include "src/service/result_cache.h"
+
+namespace mbc {
+
+struct ServiceOptions {
+  /// Worker threads. 1 serializes everything (useful as the determinism
+  /// reference); the JSONL frontends default to a small pool.
+  size_t num_workers = 4;
+  /// Admission queue bound. A Submit() beyond this fails with
+  /// kResourceExhausted instead of buffering unboundedly.
+  size_t max_queue = 256;
+  /// Result cache budget; 0 disables caching.
+  size_t cache_capacity_bytes = 64ull << 20;
+  /// Applied to requests that don't carry their own time limit;
+  /// 0 = unlimited.
+  double default_time_limit_seconds = 0.0;
+  /// When false the pool starts idle and queued work only runs after
+  /// StartWorkers(); lets tests fill the queue deterministically.
+  bool start_workers = true;
+};
+
+/// Point-in-time service counters, exported as JSON by StatsJson().
+struct ServiceStats {
+  uint64_t queries_served = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_failed = 0;  // served, but with a non-OK status
+  size_t queue_depth = 0;
+  size_t num_workers = 0;
+  size_t graphs_loaded = 0;
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_mean_seconds = 0.0;
+  CacheStats cache;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  /// Joins the pool; queued-but-unstarted requests resolve to kCancelled.
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  GraphStore& store() { return store_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Admits `request` into the queue. Fails with kResourceExhausted when
+  /// the queue is full (backpressure — the caller decides whether to
+  /// retry, shed, or block) and kCancelled after Shutdown().
+  Result<std::future<QueryResponse>> Submit(QueryRequest request);
+
+  /// Like Submit() but waits for queue space instead of failing. Still
+  /// fails with kCancelled after Shutdown().
+  Result<std::future<QueryResponse>> SubmitBlocking(QueryRequest request);
+
+  /// Submit + wait. Admission failures come back as an error response
+  /// with the request id echoed, so callers have one result shape.
+  QueryResponse Query(QueryRequest request);
+
+  /// Starts the pool when constructed with start_workers = false. No-op
+  /// if already running.
+  void StartWorkers();
+
+  /// Stops accepting work, fails queued requests with kCancelled, joins
+  /// the pool. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServiceStats Stats() const;
+  /// Stats as a single-line JSON object (the `stats` op of the JSONL
+  /// protocol and the mbc_serve exit summary).
+  std::string StatsJson() const;
+
+ private:
+  struct Task {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+  /// Per-worker reusable state: solvers keep their arenas across requests.
+  struct WorkerState;
+
+  void WorkerLoop(size_t worker_index);
+  QueryResponse Execute(WorkerState& state, const QueryRequest& request);
+
+  const ServiceOptions options_;
+  GraphStore store_;
+  ResultCache cache_;
+  LatencyHistogram latency_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable space_available_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  bool workers_started_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_QUERY_SERVICE_H_

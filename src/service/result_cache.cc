@@ -1,0 +1,118 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/result_cache.h"
+
+#include <utility>
+
+#include "src/common/fingerprint.h"
+#include "src/common/memory.h"
+
+namespace mbc {
+
+namespace {
+
+size_t EntryBytes(const CacheKey& key, const QueryResult& result) {
+  // Key + payload + a flat allowance for the list node and index slot;
+  // exactness doesn't matter, bounded growth does.
+  return sizeof(CacheKey) + key.algo.capacity() + result.MemoryBytes() + 64;
+}
+
+}  // namespace
+
+size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
+  Fnv1aHasher hasher;
+  hasher.Mix(key.graph_fingerprint);
+  hasher.Mix(static_cast<uint64_t>(key.kind));
+  hasher.Mix(static_cast<uint64_t>(key.tau));
+  hasher.MixBytes(key.algo);
+  return static_cast<size_t>(hasher.hash());
+}
+
+ResultCache::ResultCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_bytes_(capacity_bytes / kNumShards) {}
+
+ResultCache::~ResultCache() { Clear(); }
+
+ResultCache::Shard& ResultCache::ShardFor(const CacheKey& key) {
+  // Spread by the upper fingerprint bits: the lower ones already feed the
+  // per-shard hash map, and queries against one graph should still fan out.
+  const size_t hash = KeyHash{}(key);
+  return shards_[(hash >> 56) % kNumShards];
+}
+
+std::optional<QueryResult> ResultCache::Lookup(const CacheKey& key) {
+  if (capacity_bytes_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
+  if (capacity_bytes_ == 0) return;
+  const size_t bytes = EntryBytes(key, result);
+  if (bytes > shard_capacity_bytes_) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same key ⇒ same result; just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, result, bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  MemoryTracker::Global().Add(bytes);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictOverBudget(shard);
+}
+
+void ResultCache::EvictOverBudget(Shard& shard) {
+  while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    MemoryTracker::Global().Sub(victim.bytes);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      MemoryTracker::Global().Sub(entry.bytes);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    stats.entries += shard.lru.size();
+    stats.memory_bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace mbc

@@ -1,0 +1,115 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// ResultCache: sharded LRU over completed query results. Keys combine the
+// graph content fingerprint with the full problem description, so a cache
+// entry survives evict+reload of an identical graph and can never be
+// served for a graph whose bytes differ. Only exact (non-interrupted)
+// results are inserted; a deadline hit or cancellation yields no entry.
+#ifndef MBC_SERVICE_RESULT_CACHE_H_
+#define MBC_SERVICE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/service/query.h"
+
+namespace mbc {
+
+/// Everything that influences a query answer. Two requests with equal keys
+/// are guaranteed to produce identical results, so caching is exact.
+struct CacheKey {
+  uint64_t graph_fingerprint = 0;
+  QueryKind kind = QueryKind::kMbc;
+  uint32_t tau = 0;
+  std::string algo;
+
+  bool operator==(const CacheKey& other) const {
+    return graph_fingerprint == other.graph_fingerprint &&
+           kind == other.kind && tau == other.tau && algo == other.algo;
+  }
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t memory_bytes = 0;
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe LRU cache, sharded by key hash so concurrent workers rarely
+/// contend on the same mutex. Capacity is a global byte budget split evenly
+/// across shards; each shard evicts its own LRU tail when over budget.
+/// Entry bytes are charged to the process MemoryTracker.
+class ResultCache {
+ public:
+  static constexpr size_t kNumShards = 8;
+
+  /// `capacity_bytes` = 0 disables caching entirely (all lookups miss,
+  /// inserts are dropped).
+  explicit ResultCache(size_t capacity_bytes);
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result and refreshes its recency, or nullopt.
+  std::optional<QueryResult> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) `result` under `key`, then evicts LRU entries
+  /// until the shard is back under budget. An entry larger than the whole
+  /// shard budget is dropped immediately.
+  void Insert(const CacheKey& key, const QueryResult& result);
+
+  /// Drops every entry (counted as evictions).
+  void Clear();
+
+  CacheStats Stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    QueryResult result;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+  /// Caller holds shard.mutex. Evicts from the tail until under budget.
+  void EvictOverBudget(Shard& shard);
+
+  const size_t capacity_bytes_;
+  const size_t shard_capacity_bytes_;
+  Shard shards_[kNumShards];
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_RESULT_CACHE_H_

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -13,7 +16,10 @@ namespace {
 class ExperimentEnvTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    cache_dir_ = ::testing::TempDir() + "/mbc_cache_test";
+    // Unique per process: ctest runs each case of this fixture as its own
+    // process in parallel, and they must not share (and remove_all) one dir.
+    cache_dir_ = ::testing::TempDir() + "/mbc_cache_test_" +
+                 std::to_string(static_cast<long>(getpid()));
     std::filesystem::remove_all(cache_dir_);
     setenv("MBC_CACHE_DIR", cache_dir_.c_str(), 1);
     setenv("MBC_DATASETS", "Bitcoin", 1);

@@ -1,10 +1,12 @@
 // Copyright 2026 The balanced-clique Authors.
 //
-// Differential property tests for the arena MDC/DCC kernels. The arena
-// and legacy (pre-arena) kernels are designed to explore *identical*
-// search trees — same bound order, same minimum-degree tie-breaking — so
-// beyond equal answers we also assert equal branch counts, which catches
-// any silent divergence in the incremental degree bookkeeping.
+// Differential property tests for the arena MDC/DCC kernels against a
+// pruning-free brute-force oracle (the pre-arena kernel they used to be
+// compared with was removed after one release of baking). The oracle
+// enumerates every clique of the instance by plain backtracking — no
+// bounds, no orderings — so any bookkeeping bug in the arena kernels
+// (incremental degrees, side counts, frame reuse) shows up as a wrong
+// verdict or a wrong size.
 //
 // The whole suite is parameterized over the SIMD kernel tables supported
 // by the host (scalar always; AVX2/AVX-512 where available): every
@@ -47,6 +49,33 @@ DichromaticGraph RandomDichromatic(uint32_t n, double density,
   return graph;
 }
 
+// Brute-force clique enumeration: visits every clique of the subgraph
+// induced by `cands` (including the empty one), reporting its side
+// populations. Plain backtracking, no pruning — the oracle shares no code
+// with the kernels under test.
+template <typename Visit>
+void ForEachClique(const DichromaticGraph& graph,
+                   const std::vector<uint32_t>& cands, uint32_t left,
+                   uint32_t right, const Visit& visit) {
+  visit(left, right);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const uint32_t v = cands[i];
+    std::vector<uint32_t> next;
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      if (graph.HasEdge(v, cands[j])) next.push_back(cands[j]);
+    }
+    ForEachClique(graph, next,
+                  left + (graph.IsLeft(v) ? 1u : 0u),
+                  right + (graph.IsLeft(v) ? 0u : 1u), visit);
+  }
+}
+
+std::vector<uint32_t> BitsetToVector(const Bitset& bits) {
+  std::vector<uint32_t> out;
+  bits.ForEach([&out](size_t v) { out.push_back(static_cast<uint32_t>(v)); });
+  return out;
+}
+
 class MdcArenaDifferentialTest
     : public ::testing::TestWithParam<std::string> {
  protected:
@@ -54,9 +83,9 @@ class MdcArenaDifferentialTest
   void TearDown() override { simd::SetActive("auto"); }
 };
 
-// End-to-end: MBC* on the arena kernel vs the legacy kernel vs brute
-// force, over 200 seeded random signed graphs and τ ∈ {1, 2}.
-TEST_P(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
+// End-to-end: MBC* (arena kernel) vs brute force over 200 seeded random
+// signed graphs and τ ∈ {1, 2}.
+TEST_P(MdcArenaDifferentialTest, MbcStarMatchesBruteForce) {
   for (uint64_t seed = 0; seed < 200; ++seed) {
     const VertexId n = 10 + static_cast<VertexId>(seed % 7);
     const EdgeCount m = static_cast<EdgeCount>(n) * (2 + seed % 3);
@@ -64,92 +93,104 @@ TEST_P(MdcArenaDifferentialTest, MbcStarMatchesLegacyAndBruteForce) {
     const SignedGraph graph = RandomSignedGraph(n, m, neg, seed + 1);
     const uint32_t tau = 1 + static_cast<uint32_t>(seed % 2);
 
-    MbcStarOptions arena_options;
-    arena_options.use_arena = true;
-    MbcStarOptions legacy_options;
-    legacy_options.use_arena = false;
-
-    const MbcStarResult arena = MaxBalancedCliqueStar(graph, tau,
-                                                      arena_options);
-    const MbcStarResult legacy = MaxBalancedCliqueStar(graph, tau,
-                                                       legacy_options);
+    const MbcStarResult result = MaxBalancedCliqueStar(graph, tau);
     const BalancedClique truth = BruteForceMaxBalancedClique(graph, tau);
 
-    ASSERT_EQ(arena.clique.size(), truth.size())
+    ASSERT_EQ(result.clique.size(), truth.size())
         << "arena kernel wrong size at seed " << seed;
-    ASSERT_EQ(legacy.clique.size(), truth.size())
-        << "legacy kernel wrong size at seed " << seed;
-    ASSERT_EQ(arena.stats.mdc_branches, legacy.stats.mdc_branches)
-        << "kernels explored different search trees at seed " << seed;
-    if (!arena.clique.empty()) {
-      ASSERT_TRUE(IsBalancedClique(graph, arena.clique))
-          << "invalid arena clique at seed " << seed;
-      ASSERT_TRUE(arena.clique.SatisfiesThreshold(tau))
-          << "arena clique violates tau at seed " << seed;
+    if (!result.clique.empty()) {
+      ASSERT_TRUE(IsBalancedClique(graph, result.clique))
+          << "invalid clique at seed " << seed;
+      ASSERT_TRUE(result.clique.SatisfiesThreshold(tau))
+          << "clique violates tau at seed " << seed;
     }
   }
 }
 
-// Kernel-level: MdcSolver arena vs legacy on random dichromatic networks,
-// asserting identical verdicts, sizes and branch counts.
-TEST_P(MdcArenaDifferentialTest, MdcKernelsExploreIdenticalTrees) {
-  MdcSolver arena_solver;
-  MdcSolver legacy_solver;
-  legacy_solver.set_use_arena(false);
+// Kernel-level: MdcSolver vs the brute-force clique enumerator on random
+// dichromatic networks, asserting identical verdicts and sizes.
+TEST_P(MdcArenaDifferentialTest, MdcKernelMatchesBruteForce) {
+  MdcSolver solver;
   for (uint64_t seed = 0; seed < 200; ++seed) {
-    const uint32_t n = 8 + static_cast<uint32_t>(seed % 25);
+    const uint32_t n = 8 + static_cast<uint32_t>(seed % 17);
     const double density = 0.15 + 0.05 * static_cast<double>(seed % 10);
     const DichromaticGraph graph = RandomDichromatic(n, density, seed + 17);
     const Bitset candidates = graph.AdjacencyOf(0);
     const int32_t tau_l = static_cast<int32_t>(seed % 3) - 1;
     const int32_t tau_r = static_cast<int32_t>((seed / 3) % 3);
+    const size_t lower_bound = 1;
 
-    arena_solver.Rebind(graph);
-    legacy_solver.Rebind(graph);
-    std::vector<uint32_t> arena_best;
-    std::vector<uint32_t> legacy_best;
-    const bool arena_found = arena_solver.Solve({0}, candidates, tau_l,
-                                                tau_r, 1, &arena_best);
-    const bool legacy_found = legacy_solver.Solve({0}, candidates, tau_l,
-                                                  tau_r, 1, &legacy_best);
+    // Oracle: the largest clique C' within the candidates (all adjacent to
+    // the seed vertex 0 by construction) whose side populations meet the
+    // thresholds and with |{0} ∪ C'| > lower_bound.
+    size_t brute_best = 0;
+    bool brute_found = false;
+    ForEachClique(
+        graph, BitsetToVector(candidates), 0, 0,
+        [&](uint32_t left, uint32_t right) {
+          if (tau_l > 0 && left < static_cast<uint32_t>(tau_l)) return;
+          if (tau_r > 0 && right < static_cast<uint32_t>(tau_r)) return;
+          const size_t total = 1 + left + right;
+          if (total <= lower_bound) return;
+          if (!brute_found || total > brute_best) {
+            brute_found = true;
+            brute_best = total;
+          }
+        });
 
-    ASSERT_EQ(arena_found, legacy_found) << "verdicts differ at seed "
-                                         << seed;
-    ASSERT_EQ(arena_solver.branches(), legacy_solver.branches())
-        << "branch counts differ at seed " << seed;
-    if (arena_found) {
-      ASSERT_EQ(arena_best.size(), legacy_best.size())
-          << "sizes differ at seed " << seed;
+    solver.Rebind(graph);
+    std::vector<uint32_t> best;
+    const bool found = solver.Solve({0}, candidates, tau_l, tau_r,
+                                    lower_bound, &best);
+    ASSERT_EQ(found, brute_found) << "verdicts differ at seed " << seed;
+    if (found) {
+      ASSERT_EQ(best.size(), brute_best) << "sizes differ at seed " << seed;
+      // The solution must be a clique through the seed with valid quotas.
+      int32_t left = 0;
+      int32_t right = 0;
+      for (size_t i = 0; i < best.size(); ++i) {
+        if (best[i] != 0) (graph.IsLeft(best[i]) ? left : right) += 1;
+        for (size_t j = i + 1; j < best.size(); ++j) {
+          ASSERT_TRUE(graph.HasEdge(best[i], best[j]))
+              << "solution not a clique at seed " << seed;
+        }
+      }
+      if (tau_l > 0) {
+        ASSERT_GE(left, tau_l) << "seed " << seed;
+      }
+      if (tau_r > 0) {
+        ASSERT_GE(right, tau_r) << "seed " << seed;
+      }
     }
   }
 }
 
-// DCC (existence checking): same differential for the polarization-factor
-// kernel, including witness validity.
-TEST_P(MdcArenaDifferentialTest, DccKernelsExploreIdenticalTrees) {
-  DccSolver arena_solver;
-  DccSolver legacy_solver;
-  legacy_solver.set_use_arena(false);
+// DCC (existence checking): same brute-force differential for the
+// polarization-factor kernel, including witness validity.
+TEST_P(MdcArenaDifferentialTest, DccKernelMatchesBruteForce) {
+  DccSolver solver;
   for (uint64_t seed = 0; seed < 200; ++seed) {
-    const uint32_t n = 6 + static_cast<uint32_t>(seed % 20);
+    const uint32_t n = 6 + static_cast<uint32_t>(seed % 15);
     const double density = 0.2 + 0.05 * static_cast<double>(seed % 8);
     const DichromaticGraph graph = RandomDichromatic(n, density, seed + 99);
     const int32_t tau_l = static_cast<int32_t>(seed % 3);
     const int32_t tau_r = static_cast<int32_t>((seed / 2) % 3);
 
-    arena_solver.Rebind(graph);
-    legacy_solver.Rebind(graph);
-    std::vector<uint32_t> witness;
-    const bool arena_found = arena_solver.Check(graph.AllVertices(), tau_l,
-                                                tau_r, &witness);
-    const bool legacy_found = legacy_solver.Check(graph.AllVertices(), tau_l,
-                                                  tau_r, nullptr);
+    bool brute_found = false;
+    ForEachClique(graph, BitsetToVector(graph.AllVertices()), 0, 0,
+                  [&](uint32_t left, uint32_t right) {
+                    brute_found =
+                        brute_found ||
+                        (left >= static_cast<uint32_t>(tau_l) &&
+                         right >= static_cast<uint32_t>(tau_r));
+                  });
 
-    ASSERT_EQ(arena_found, legacy_found) << "verdicts differ at seed "
-                                         << seed;
-    ASSERT_EQ(arena_solver.branches(), legacy_solver.branches())
-        << "branch counts differ at seed " << seed;
-    if (arena_found) {
+    solver.Rebind(graph);
+    std::vector<uint32_t> witness;
+    const bool found =
+        solver.Check(graph.AllVertices(), tau_l, tau_r, &witness);
+    ASSERT_EQ(found, brute_found) << "verdicts differ at seed " << seed;
+    if (found) {
       // The witness must be a dichromatic clique meeting the quotas.
       int32_t left = 0;
       int32_t right = 0;

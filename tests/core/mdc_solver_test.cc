@@ -110,14 +110,11 @@ DichromaticGraph CompleteDichromatic(uint32_t n) {
 // branch — the regression guard for the shortcut's pool-size gate.
 TEST(MdcSolverTest, CliqueShortcutCollapsesPlantedClique) {
   const DichromaticGraph graph = CompleteDichromatic(6);
-  for (const bool use_arena : {true, false}) {
-    MdcSolver solver(graph);
-    solver.set_use_arena(use_arena);
-    std::vector<uint32_t> best;
-    ASSERT_TRUE(solver.Solve({0}, graph.AdjacencyOf(0), -5, -5, 0, &best));
-    EXPECT_EQ(best.size(), 6u) << "use_arena=" << use_arena;
-    EXPECT_EQ(solver.branches(), 1u) << "use_arena=" << use_arena;
-  }
+  MdcSolver solver(graph);
+  std::vector<uint32_t> best;
+  ASSERT_TRUE(solver.Solve({0}, graph.AdjacencyOf(0), -5, -5, 0, &best));
+  EXPECT_EQ(best.size(), 6u);
+  EXPECT_EQ(solver.branches(), 1u);
 }
 
 // Above the gate cap the shortcut's O(E) scan is deferred to the coloring

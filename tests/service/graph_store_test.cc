@@ -1,0 +1,132 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/graph_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/fingerprint.h"
+#include "src/common/memory.h"
+#include "src/common/status.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+TEST(GraphStoreTest, LoadFindEvictRoundTrip) {
+  GraphStore store;
+  ASSERT_TRUE(store.Load("fig2", Figure2Graph()).ok());
+  EXPECT_EQ(store.size(), 1u);
+
+  Result<GraphStore::SnapshotPtr> found = store.Find("fig2");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value()->name(), "fig2");
+  EXPECT_EQ(found.value()->graph().NumVertices(),
+            Figure2Graph().NumVertices());
+
+  ASSERT_TRUE(store.Evict("fig2").ok());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Find("fig2").status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphStoreTest, FindUnknownNameIsNotFound) {
+  GraphStore store;
+  EXPECT_EQ(store.Find("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Evict("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(GraphStoreTest, DuplicateLoadIsRejected) {
+  GraphStore store;
+  ASSERT_TRUE(store.Load("g", Figure2Graph()).ok());
+  const Status again = store.Load("g", Figure2Graph());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(GraphStoreTest, EmptyNameIsRejected) {
+  GraphStore store;
+  EXPECT_EQ(store.Load("", Figure2Graph()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphStoreTest, FingerprintIsContentAddressed) {
+  GraphStore store;
+  // The same bytes under two names fingerprint identically; a different
+  // graph fingerprints differently.
+  ASSERT_TRUE(store.Load("a", RandomSignedGraph(64, 400, 0.4, 7)).ok());
+  ASSERT_TRUE(store.Load("b", RandomSignedGraph(64, 400, 0.4, 7)).ok());
+  ASSERT_TRUE(store.Load("c", RandomSignedGraph(64, 400, 0.4, 8)).ok());
+  const uint64_t fp_a = store.Find("a").value()->fingerprint();
+  const uint64_t fp_b = store.Find("b").value()->fingerprint();
+  const uint64_t fp_c = store.Find("c").value()->fingerprint();
+  EXPECT_EQ(fp_a, fp_b);
+  EXPECT_NE(fp_a, fp_c);
+}
+
+TEST(GraphStoreTest, FingerprintSurvivesEvictAndReload) {
+  GraphStore store;
+  ASSERT_TRUE(store.Load("g", RandomSignedGraph(32, 150, 0.5, 3)).ok());
+  const uint64_t before = store.Find("g").value()->fingerprint();
+  ASSERT_TRUE(store.Evict("g").ok());
+  ASSERT_TRUE(store.Load("g", RandomSignedGraph(32, 150, 0.5, 3)).ok());
+  EXPECT_EQ(store.Find("g").value()->fingerprint(), before);
+}
+
+TEST(GraphStoreTest, EvictedSnapshotStaysAliveWhileHeld) {
+  GraphStore store;
+  ASSERT_TRUE(store.Load("g", Figure2Graph()).ok());
+  GraphStore::SnapshotPtr held = store.Find("g").value();
+  ASSERT_TRUE(store.Evict("g").ok());
+  // The snapshot (and the graph inside it) must remain valid: a running
+  // query holds exactly this kind of reference across an evict.
+  EXPECT_EQ(held->graph().NumVertices(), Figure2Graph().NumVertices());
+  EXPECT_NE(held->fingerprint(), 0u);
+}
+
+TEST(GraphStoreTest, MemoryAccountingSettles) {
+  const size_t baseline = MemoryTracker::Global().current_bytes();
+  {
+    GraphStore store;
+    ASSERT_TRUE(store.Load("g", RandomSignedGraph(128, 800, 0.4, 1)).ok());
+    EXPECT_GT(MemoryTracker::Global().current_bytes(), baseline);
+    EXPECT_GT(store.TotalMemoryBytes(), 0u);
+    ASSERT_TRUE(store.Evict("g").ok());
+  }
+  EXPECT_EQ(MemoryTracker::Global().current_bytes(), baseline);
+}
+
+TEST(GraphStoreTest, ListIsSortedAndComplete) {
+  GraphStore store;
+  ASSERT_TRUE(store.Load("zeta", Figure2Graph()).ok());
+  ASSERT_TRUE(store.Load("alpha", RandomSignedGraph(16, 40, 0.5, 2)).ok());
+  const std::vector<GraphStore::ListEntry> entries = store.List();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "alpha");
+  EXPECT_EQ(entries[1].name, "zeta");
+  EXPECT_EQ(entries[1].num_vertices, Figure2Graph().NumVertices());
+  EXPECT_GT(entries[0].memory_bytes, 0u);
+}
+
+TEST(GraphStoreTest, LoadFromMissingFileFails) {
+  GraphStore store;
+  EXPECT_FALSE(store.LoadFromFile("g", "/nonexistent/graph.txt").ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FingerprintTest, HasherIsDeterministicAndOrderSensitive) {
+  Fnv1aHasher a;
+  a.Mix(1);
+  a.Mix(2);
+  Fnv1aHasher b;
+  b.Mix(2);
+  b.Mix(1);
+  Fnv1aHasher c;
+  c.Mix(1);
+  c.Mix(2);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+}  // namespace
+}  // namespace mbc

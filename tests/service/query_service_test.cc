@@ -1,0 +1,233 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/mbc_star.h"
+#include "src/gmbc/gmbc.h"
+#include "src/pf/pf_star.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+QueryRequest MbcRequest(const std::string& graph, uint32_t tau,
+                        const std::string& id = "q") {
+  QueryRequest request;
+  request.id = id;
+  request.graph = graph;
+  request.kind = QueryKind::kMbc;
+  request.tau = tau;
+  return request;
+}
+
+TEST(QueryServiceTest, AnswersMatchDirectSolverCalls) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  // Figure 2 ground truth: |C*| = 6 at tau=2, beta = 3.
+  QueryResponse mbc = service.Query(MbcRequest("fig2", 2));
+  ASSERT_TRUE(mbc.status.ok()) << mbc.status.ToString();
+  EXPECT_EQ(mbc.result.clique.size(), 6u);
+
+  QueryRequest pf;
+  pf.graph = "fig2";
+  pf.kind = QueryKind::kPf;
+  QueryResponse pf_response = service.Query(pf);
+  ASSERT_TRUE(pf_response.status.ok());
+  EXPECT_EQ(pf_response.result.beta, 3u);
+
+  QueryRequest gmbc;
+  gmbc.graph = "fig2";
+  gmbc.kind = QueryKind::kGmbc;
+  QueryResponse gmbc_response = service.Query(gmbc);
+  ASSERT_TRUE(gmbc_response.status.ok());
+  const GeneralizedMbcResult direct = GeneralizedMbcStar(Figure2Graph());
+  EXPECT_EQ(gmbc_response.result.beta, direct.beta);
+  ASSERT_EQ(gmbc_response.result.gmbc_sizes.size(), direct.cliques.size());
+  for (size_t tau = 0; tau < direct.cliques.size(); ++tau) {
+    EXPECT_EQ(gmbc_response.result.gmbc_sizes[tau],
+              direct.cliques[tau].size());
+  }
+}
+
+TEST(QueryServiceTest, AllMbcAlgosAgree) {
+  QueryService service;
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(24, 130, 0.45, 11)).ok());
+  std::vector<size_t> sizes;
+  for (const char* algo : {"star", "baseline", "adv"}) {
+    QueryRequest request = MbcRequest("g", 1);
+    request.algo = algo;
+    QueryResponse response = service.Query(std::move(request));
+    ASSERT_TRUE(response.status.ok()) << algo;
+    sizes.push_back(response.result.clique.size());
+  }
+  EXPECT_EQ(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[0], sizes[2]);
+}
+
+TEST(QueryServiceTest, UnknownGraphIsNotFound) {
+  QueryService service;
+  QueryResponse response = service.Query(MbcRequest("missing", 1));
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(response.id, "q");
+}
+
+TEST(QueryServiceTest, UnknownAlgoIsInvalidArgument) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  QueryRequest request = MbcRequest("fig2", 2);
+  request.algo = "quantum";
+  EXPECT_EQ(service.Query(std::move(request)).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, RepeatQueryHitsCache) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  QueryResponse first = service.Query(MbcRequest("fig2", 2, "a"));
+  QueryResponse second = service.Query(MbcRequest("fig2", 2, "b"));
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(first.result.clique.left, second.result.clique.left);
+  EXPECT_EQ(first.result.clique.right, second.result.clique.right);
+  EXPECT_EQ(service.Stats().cache.hits, 1u);
+}
+
+TEST(QueryServiceTest, NoCacheBypassesLookupAndInsert) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  QueryRequest request = MbcRequest("fig2", 2);
+  request.no_cache = true;
+  EXPECT_FALSE(service.Query(request).cached);
+  EXPECT_FALSE(service.Query(request).cached);
+  EXPECT_EQ(service.Stats().cache.insertions, 0u);
+  EXPECT_EQ(service.Stats().cache.hits, 0u);
+}
+
+TEST(QueryServiceTest, CacheIsContentAddressedAcrossReload) {
+  QueryService service;
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(20, 80, 0.5, 4)).ok());
+  ASSERT_TRUE(service.Query(MbcRequest("g", 1)).status.ok());
+  ASSERT_TRUE(service.store().Evict("g").ok());
+  // Identical bytes under the same name: the entry must survive.
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(20, 80, 0.5, 4)).ok());
+  EXPECT_TRUE(service.Query(MbcRequest("g", 1)).cached);
+  ASSERT_TRUE(service.store().Evict("g").ok());
+  // Different bytes under the same name: the entry must NOT be served.
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(20, 80, 0.5, 5)).ok());
+  EXPECT_FALSE(service.Query(MbcRequest("g", 1)).cached);
+}
+
+TEST(QueryServiceTest, PerQueryTauKeysSeparateCacheEntries) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  ASSERT_TRUE(service.Query(MbcRequest("fig2", 1)).status.ok());
+  QueryResponse other_tau = service.Query(MbcRequest("fig2", 2));
+  EXPECT_FALSE(other_tau.cached);
+  // PF ignores tau, so two PF queries with different tau share one entry.
+  QueryRequest pf;
+  pf.graph = "fig2";
+  pf.kind = QueryKind::kPf;
+  pf.tau = 1;
+  ASSERT_TRUE(service.Query(pf).status.ok());
+  pf.tau = 7;
+  EXPECT_TRUE(service.Query(pf).cached);
+}
+
+TEST(QueryServiceTest, ExpiredDeadlineIsReportedAndNotCached) {
+  QueryService service;
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(64, 600, 0.4, 2)).ok());
+  QueryRequest request = MbcRequest("g", 1);
+  request.time_limit_seconds = 1e-9;  // expires before the first checkpoint
+  QueryResponse response = service.Query(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(service.Stats().cache.insertions, 0u);
+  // The same query without the bad budget must run fresh, not hit a
+  // poisoned entry.
+  QueryResponse good = service.Query(MbcRequest("g", 1));
+  EXPECT_TRUE(good.status.ok());
+  EXPECT_FALSE(good.cached);
+}
+
+TEST(QueryServiceTest, BackpressureRejectsWhenQueueIsFull) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue = 4;
+  options.start_workers = false;  // queue fills deterministically
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  std::vector<std::future<QueryResponse>> accepted;
+  for (size_t i = 0; i < options.max_queue; ++i) {
+    Result<std::future<QueryResponse>> submitted =
+        service.Submit(MbcRequest("fig2", 2, "ok" + std::to_string(i)));
+    ASSERT_TRUE(submitted.ok()) << i;
+    accepted.push_back(std::move(submitted).value());
+  }
+  Result<std::future<QueryResponse>> overflow =
+      service.Submit(MbcRequest("fig2", 2, "overflow"));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.Stats().queries_rejected, 1u);
+  EXPECT_EQ(service.Stats().queue_depth, options.max_queue);
+
+  service.StartWorkers();
+  for (auto& future : accepted) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  EXPECT_EQ(service.Stats().queries_served, options.max_queue);
+}
+
+TEST(QueryServiceTest, ShutdownCancelsQueuedRequests) {
+  ServiceOptions options;
+  options.start_workers = false;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  Result<std::future<QueryResponse>> submitted =
+      service.Submit(MbcRequest("fig2", 2, "doomed"));
+  ASSERT_TRUE(submitted.ok());
+  service.Shutdown();
+  QueryResponse response = submitted.value().get();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(response.id, "doomed");
+  // Submitting after shutdown fails immediately.
+  EXPECT_EQ(service.Submit(MbcRequest("fig2", 2)).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(service.Query(MbcRequest("fig2", 2)).status.code(),
+            StatusCode::kCancelled);
+}
+
+TEST(QueryServiceTest, StatsJsonContainsTheCounters) {
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  ASSERT_TRUE(service.Query(MbcRequest("fig2", 2)).status.ok());
+  ASSERT_TRUE(service.Query(MbcRequest("fig2", 2)).status.ok());
+  const std::string json = service.StatsJson();
+  EXPECT_NE(json.find("\"queries_served\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"graphs_loaded\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hit_rate\":0.5"), std::string::npos) << json;
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_GT(stats.latency_p50_seconds, 0.0);
+  EXPECT_GE(stats.latency_p95_seconds, stats.latency_p50_seconds);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,130 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/memory.h"
+
+namespace mbc {
+namespace {
+
+CacheKey KeyFor(uint64_t fingerprint, uint32_t tau = 1,
+                const std::string& algo = "star") {
+  CacheKey key;
+  key.graph_fingerprint = fingerprint;
+  key.kind = QueryKind::kMbc;
+  key.tau = tau;
+  key.algo = algo;
+  return key;
+}
+
+QueryResult ResultOfSize(size_t vertices) {
+  QueryResult result;
+  for (size_t i = 0; i < vertices; ++i) {
+    result.clique.left.push_back(static_cast<VertexId>(2 * i));
+    result.clique.right.push_back(static_cast<VertexId>(2 * i + 1));
+  }
+  return result;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(1 << 20);
+  const CacheKey key = KeyFor(42);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  cache.Insert(key, ResultOfSize(3));
+  const std::optional<QueryResult> hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->clique.size(), 6u);
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ResultCacheTest, KeyDistinguishesEveryField) {
+  ResultCache cache(1 << 20);
+  cache.Insert(KeyFor(1, 2, "star"), ResultOfSize(1));
+  EXPECT_TRUE(cache.Lookup(KeyFor(1, 2, "star")).has_value());
+  EXPECT_FALSE(cache.Lookup(KeyFor(2, 2, "star")).has_value());  // fingerprint
+  EXPECT_FALSE(cache.Lookup(KeyFor(1, 3, "star")).has_value());  // tau
+  EXPECT_FALSE(cache.Lookup(KeyFor(1, 2, "adv")).has_value());   // algo
+  CacheKey pf = KeyFor(1, 2, "star");
+  pf.kind = QueryKind::kPf;
+  EXPECT_FALSE(cache.Lookup(pf).has_value());  // kind
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const CacheKey key = KeyFor(7);
+  cache.Insert(key, ResultOfSize(2));
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  // Tiny budget: each entry is ~a few hundred bytes, so a flood of inserts
+  // must evict, and the cache may never exceed its configured capacity.
+  ResultCache cache(8 << 10);
+  for (uint64_t i = 0; i < 512; ++i) {
+    cache.Insert(KeyFor(i), ResultOfSize(8));
+    EXPECT_LE(cache.Stats().memory_bytes, cache.capacity_bytes());
+  }
+  const CacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.entries, 0u);
+  EXPECT_LT(stats.entries, 512u);
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+  // With one shard's worth of keys that all collide into the same shard we
+  // can't easily force exact LRU order across shards, but repeated
+  // lookups of one key must keep it resident through a flood of inserts
+  // that evicts most others.
+  ResultCache cache(16 << 10);
+  const CacheKey hot = KeyFor(99999);
+  cache.Insert(hot, ResultOfSize(4));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    cache.Insert(KeyFor(i), ResultOfSize(4));
+    ASSERT_TRUE(cache.Lookup(hot).has_value()) << "evicted after " << i;
+  }
+}
+
+TEST(ResultCacheTest, OversizedEntryIsDropped) {
+  ResultCache cache(1 << 10);  // shard budget = 128 bytes
+  cache.Insert(KeyFor(5), ResultOfSize(1000));
+  EXPECT_FALSE(cache.Lookup(KeyFor(5)).has_value());
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, MemoryTrackerSettlesOnClearAndDestruction) {
+  const size_t baseline = MemoryTracker::Global().current_bytes();
+  {
+    ResultCache cache(1 << 20);
+    for (uint64_t i = 0; i < 64; ++i) {
+      cache.Insert(KeyFor(i), ResultOfSize(16));
+    }
+    EXPECT_GT(MemoryTracker::Global().current_bytes(), baseline);
+    cache.Clear();
+    EXPECT_EQ(MemoryTracker::Global().current_bytes(), baseline);
+    EXPECT_EQ(cache.Stats().entries, 0u);
+    cache.Insert(KeyFor(1), ResultOfSize(16));
+  }
+  EXPECT_EQ(MemoryTracker::Global().current_bytes(), baseline);
+}
+
+TEST(ResultCacheTest, ReinsertSameKeyKeepsOneEntry) {
+  ResultCache cache(1 << 20);
+  cache.Insert(KeyFor(3), ResultOfSize(2));
+  cache.Insert(KeyFor(3), ResultOfSize(2));
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  EXPECT_EQ(cache.Stats().insertions, 1u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,198 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Concurrency stress for the query service: many client threads fire
+// mixed MBC / PF / gMBC queries at a shared service while graphs are
+// loaded and evicted underneath them, and every answer must equal the
+// single-threaded reference. Sizes are kept small so the test stays fast
+// under ThreadSanitizer, which is the main point: any data race between
+// workers, the cache shards, the store's shared_mutex, or the stats
+// counters shows up here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/query_service.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+struct ReferenceAnswers {
+  std::map<uint32_t, size_t> mbc_size_by_tau;  // tau -> |C*|
+  uint32_t beta = 0;
+  std::vector<uint32_t> gmbc_sizes;
+};
+
+constexpr uint32_t kNumGraphs = 3;
+constexpr uint32_t kMaxTau = 3;
+
+std::string GraphName(uint32_t g) { return "g" + std::to_string(g); }
+
+SignedGraph MakeGraph(uint32_t g) {
+  return RandomSignedGraph(28 + 4 * g, 160 + 30 * g, 0.45, 100 + g);
+}
+
+TEST(ServiceStressTest, ConcurrentMixedQueriesMatchSequentialAnswers) {
+  // Phase 1: single-threaded reference through the same service API.
+  std::vector<ReferenceAnswers> expected(kNumGraphs);
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    QueryService reference(options);
+    for (uint32_t g = 0; g < kNumGraphs; ++g) {
+      ASSERT_TRUE(reference.store().Load(GraphName(g), MakeGraph(g)).ok());
+      for (uint32_t tau = 1; tau <= kMaxTau; ++tau) {
+        QueryRequest request;
+        request.graph = GraphName(g);
+        request.kind = QueryKind::kMbc;
+        request.tau = tau;
+        QueryResponse response = reference.Query(request);
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        expected[g].mbc_size_by_tau[tau] = response.result.clique.size();
+      }
+      QueryRequest pf;
+      pf.graph = GraphName(g);
+      pf.kind = QueryKind::kPf;
+      QueryResponse pf_response = reference.Query(pf);
+      ASSERT_TRUE(pf_response.status.ok());
+      expected[g].beta = pf_response.result.beta;
+      QueryRequest gmbc;
+      gmbc.graph = GraphName(g);
+      gmbc.kind = QueryKind::kGmbc;
+      QueryResponse gmbc_response = reference.Query(gmbc);
+      ASSERT_TRUE(gmbc_response.status.ok());
+      expected[g].gmbc_sizes = gmbc_response.result.gmbc_sizes;
+    }
+  }
+
+  // Phase 2: hammer a fresh service from many threads.
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 64;
+  QueryService service(options);
+  for (uint32_t g = 0; g < kNumGraphs; ++g) {
+    ASSERT_TRUE(service.store().Load(GraphName(g), MakeGraph(g)).ok());
+  }
+
+  constexpr uint32_t kClientThreads = 8;
+  constexpr uint32_t kQueriesPerThread = 60;
+  std::atomic<uint32_t> mismatches{0};
+  std::atomic<uint32_t> failures{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (uint32_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      // Deterministic per-thread schedule; a cheap LCG mixes the stream.
+      uint64_t state = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (uint32_t i = 0; i < kQueriesPerThread; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const uint32_t g = static_cast<uint32_t>((state >> 33) % kNumGraphs);
+        const uint32_t pick = static_cast<uint32_t>((state >> 17) % 10);
+        QueryRequest request;
+        request.graph = GraphName(g);
+        // Every 4th request of half the threads bypasses the cache, so the
+        // solvers themselves (not just cache plumbing) run concurrently.
+        request.no_cache = (t % 2 == 0) && (i % 4 == 0);
+        if (pick < 6) {
+          request.kind = QueryKind::kMbc;
+          request.tau = 1 + static_cast<uint32_t>((state >> 7) % kMaxTau);
+        } else if (pick < 9) {
+          request.kind = QueryKind::kPf;
+        } else {
+          request.kind = QueryKind::kGmbc;
+        }
+        QueryResponse response = service.Query(request);
+        if (!response.status.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        bool match = true;
+        switch (request.kind) {
+          case QueryKind::kMbc:
+            match = response.result.clique.size() ==
+                    expected[g].mbc_size_by_tau[request.tau];
+            break;
+          case QueryKind::kPf:
+            match = response.result.beta == expected[g].beta;
+            break;
+          case QueryKind::kGmbc:
+            match = response.result.beta == expected[g].beta &&
+                    response.result.gmbc_sizes == expected[g].gmbc_sizes;
+            break;
+        }
+        if (!match) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queries_served, kClientThreads * kQueriesPerThread);
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(ServiceStressTest, ConcurrentLoadEvictUnderQueries) {
+  // Clients query "stable" while a churn thread loads/evicts other names.
+  // Queries must either succeed with the right answer or fail NotFound
+  // (when they race an evicted name) — never crash, hang, or corrupt.
+  ServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("stable", MakeGraph(0)).ok());
+
+  QueryRequest probe;
+  probe.graph = "stable";
+  probe.kind = QueryKind::kMbc;
+  probe.tau = 1;
+  const size_t expected_size = service.Query(probe).result.clique.size();
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    uint32_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string name = "churn" + std::to_string(round % 2);
+      if (service.store().Load(name, MakeGraph(1 + round % 2)).ok()) {
+        QueryRequest request;
+        request.graph = name;
+        request.kind = QueryKind::kMbc;
+        request.tau = 1;
+        service.Query(request);
+        service.store().Evict(name);
+      }
+      ++round;
+    }
+  });
+
+  std::atomic<uint32_t> bad{0};
+  std::vector<std::thread> clients;
+  for (uint32_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (uint32_t i = 0; i < 40; ++i) {
+        QueryRequest request = probe;
+        request.no_cache = i % 2 == 0;
+        QueryResponse response = service.Query(request);
+        if (!response.status.ok() ||
+            response.result.clique.size() != expected_size) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  stop.store(true);
+  churn.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -7,6 +7,7 @@
 //   mbc_cli pf       --graph g.txt [--algo star|bs|enum]
 //   mbc_cli gmbc     --graph g.txt
 //   mbc_cli enum     --graph g.txt --tau 2 [--limit 100]
+//   mbc_cli batch    --input queries.jsonl --workers 4
 //   mbc_cli generate --dataset Bitcoin --scale 0.0625 --out g.bin
 //   mbc_cli convert  --graph g.txt --out g.bin
 //
@@ -23,6 +24,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,6 +48,8 @@
 #include "src/pf/pf_star.h"
 #include "src/related/balanced_subgraph.h"
 #include "src/related/related_cliques.h"
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
 
 namespace {
 
@@ -81,6 +86,7 @@ int Usage() {
       "  convert  --graph FILE --out FILE\n"
       "  balance  --graph FILE\n"
       "  related  --graph FILE [--alpha A --k K]\n"
+      "  batch    --input FILE [--workers N] [--deterministic true]\n"
       "  datasets\n"
       "global flags (solver commands):\n"
       "  --time-limit SECONDS   wall-clock budget\n"
@@ -369,6 +375,46 @@ int CmdRelated(const Flags& flags) {
   return 0;
 }
 
+// Runs a JSONL request file through the same service layer as mbc_serve
+// (worker pool, result cache, per-request governor), writing responses to
+// stdout in request order.
+int CmdBatch(const Flags& flags) {
+  const std::string input = flags.Get("input", "");
+  if (input.empty()) {
+    std::fprintf(stderr, "--input is required (JSONL request file, - for "
+                         "stdin)\n");
+    return 2;
+  }
+  mbc::ServiceOptions options;
+  options.num_workers = static_cast<size_t>(
+      std::strtoul(flags.Get("workers", "4").c_str(), nullptr, 10));
+  if (options.num_workers == 0) options.num_workers = 1;
+  options.cache_capacity_bytes =
+      std::strtoull(flags.Get("cache-mb", "64").c_str(), nullptr, 10) << 20;
+  options.default_time_limit_seconds =
+      std::strtod(flags.Get("time-limit", "0").c_str(), nullptr);
+  mbc::QueryService service(options);
+  mbc::JsonlOptions jsonl;
+  jsonl.deterministic = flags.Get("deterministic", "false") == "true";
+  mbc::Status status;
+  if (input == "-") {
+    status = mbc::RunJsonlStream(service, std::cin, std::cout, jsonl);
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", input.c_str());
+      return 1;
+    }
+    status = mbc::RunJsonlStream(service, in, std::cout, jsonl);
+  }
+  std::cout.flush();
+  if (flags.Get("stats", "false") == "true") {
+    std::fprintf(stderr, "%s\n", service.StatsJson().c_str());
+  }
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
 int CmdDatasets() {
   std::printf("%-14s %-10s %12s %14s %8s %6s\n", "name", "category",
               "paper |V|", "paper |E|", "|C*|t3", "beta");
@@ -412,6 +458,7 @@ int main(int argc, char** argv) {
   if (command == "convert") return CmdConvert(flags);
   if (command == "balance") return CmdBalance(flags);
   if (command == "related") return CmdRelated(flags);
+  if (command == "batch") return CmdBatch(flags);
   if (command == "datasets") return CmdDatasets();
   return Usage();
 }

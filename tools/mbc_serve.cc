@@ -1,0 +1,135 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// mbc_serve: the JSONL query daemon. Reads one request object per line
+// from stdin (or --batch FILE), writes one response object per line to
+// stdout in request order, and keeps graphs, solver arenas and the result
+// cache warm between requests. See src/service/jsonl.h for the protocol.
+//
+//   mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]
+//             [--time-limit SECONDS] [--deterministic]
+//             [--load NAME=PATH]... [--batch FILE] [--stats]
+//
+//   --load NAME=PATH  preload a graph before serving (repeatable)
+//   --batch FILE      serve the requests in FILE, then exit
+//   --time-limit S    default per-query budget (requests may override)
+//   --deterministic   omit timing-dependent response fields ("cached",
+//                     "seconds") so output is diffable across runs
+//   --stats           print the service stats JSON to stderr on exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]\n"
+      "                 [--time-limit SECONDS] [--deterministic]\n"
+      "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n");
+  return 2;
+}
+
+struct ServeArgs {
+  mbc::ServiceOptions service;
+  mbc::JsonlOptions jsonl;
+  std::vector<std::pair<std::string, std::string>> preloads;
+  std::string batch_path;  // empty = stdin
+  bool print_stats = false;
+  bool ok = true;
+};
+
+ServeArgs ParseArgs(int argc, char** argv) {
+  ServeArgs args;
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      args.ok = false;
+      return "";
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc && args.ok; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--workers") {
+      args.service.num_workers =
+          static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
+      if (args.service.num_workers == 0) args.ok = false;
+    } else if (flag == "--max-queue") {
+      args.service.max_queue =
+          static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
+      if (args.service.max_queue == 0) args.ok = false;
+    } else if (flag == "--cache-mb") {
+      args.service.cache_capacity_bytes =
+          std::strtoull(value(i), nullptr, 10) << 20;
+    } else if (flag == "--time-limit") {
+      args.service.default_time_limit_seconds =
+          std::strtod(value(i), nullptr);
+    } else if (flag == "--deterministic") {
+      args.jsonl.deterministic = true;
+    } else if (flag == "--stats") {
+      args.print_stats = true;
+    } else if (flag == "--batch") {
+      args.batch_path = value(i);
+    } else if (flag == "--load") {
+      const std::string spec = value(i);
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--load wants NAME=PATH, got '%s'\n",
+                     spec.c_str());
+        args.ok = false;
+      } else {
+        args.preloads.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeArgs args = ParseArgs(argc, argv);
+  if (!args.ok) return Usage();
+
+  mbc::QueryService service(args.service);
+  for (const auto& [name, path] : args.preloads) {
+    const mbc::Status status = service.store().LoadFromFile(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "preload '%s' failed: %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  mbc::Status status;
+  if (args.batch_path.empty()) {
+    status = mbc::RunJsonlStream(service, std::cin, std::cout, args.jsonl);
+  } else {
+    std::ifstream in(args.batch_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open batch file '%s'\n",
+                   args.batch_path.c_str());
+      return 1;
+    }
+    status = mbc::RunJsonlStream(service, in, std::cout, args.jsonl);
+  }
+  std::cout.flush();
+  if (args.print_stats) {
+    std::fprintf(stderr, "%s\n", service.StatsJson().c_str());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
