@@ -43,6 +43,9 @@ class DccSolver {
   /// Number of DCC branch invocations in the last Check call.
   uint64_t branches() const { return branches_; }
 
+  /// Scratch bytes currently held by the solver's arena.
+  size_t ArenaMemoryBytes() const { return arena_.MemoryBytes(); }
+
   /// Optional execution governor (see MdcSolver::SetExecution). On an
   /// interrupt Check returns false conservatively and timed_out() reports
   /// it. `exec` must outlive the solver; nullptr disables governance.

@@ -5,10 +5,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <future>
-#include <istream>
-#include <ostream>
 #include <utility>
 #include <vector>
 
@@ -205,7 +201,16 @@ Result<bool> FieldAsBool(const std::string& name, const std::string& value) {
                                  "' must be true or false, got " + value);
 }
 
-std::string ErrorLine(const std::string& id, const Status& status) {
+std::string HexFingerprint(uint64_t fingerprint) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace
+
+std::string JsonlErrorLine(const std::string& id, const Status& status) {
   std::string out;
   bool first = true;
   if (!id.empty()) AppendStringField("id", id, &first, &out);
@@ -216,14 +221,11 @@ std::string ErrorLine(const std::string& id, const Status& status) {
   return out;
 }
 
-std::string HexFingerprint(uint64_t fingerprint) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return buffer;
+bool IsJsonlSkippableLine(const std::string& line) {
+  size_t begin = 0;
+  SkipSpace(line, &begin);
+  return begin == line.size() || line[begin] == '#';
 }
-
-}  // namespace
 
 Result<JsonlFields> ParseJsonlLine(const std::string& line) {
   JsonlFields fields;
@@ -326,7 +328,7 @@ std::string SerializeResponse(const QueryRequest& request,
                               const QueryResponse& response,
                               const JsonlOptions& options) {
   if (!response.status.ok()) {
-    return ErrorLine(response.id, response.status);
+    return JsonlErrorLine(response.id, response.status);
   }
   std::string out;
   bool first = true;
@@ -374,28 +376,25 @@ std::string SerializeResponse(const QueryRequest& request,
   return out;
 }
 
-namespace {
-
-std::string GetField(const JsonlFields& fields, const char* name) {
+std::string JsonlField(const JsonlFields& fields, const char* name) {
   const auto it = fields.find(name);
   return it == fields.end() ? std::string() : it->second;
 }
 
-/// Executes one control op and returns its response line.
-std::string RunControlOp(QueryService& service, const std::string& op,
-                         const JsonlFields& fields) {
-  const std::string id = GetField(fields, "id");
+std::string RunJsonlControlOp(QueryService& service, const std::string& op,
+                              const JsonlFields& fields) {
+  const std::string id = JsonlField(fields, "id");
   if (op == "load") {
-    const std::string name = GetField(fields, "name");
-    const std::string path = GetField(fields, "path");
+    const std::string name = JsonlField(fields, "name");
+    const std::string path = JsonlField(fields, "path");
     if (name.empty() || path.empty()) {
-      return ErrorLine(
+      return JsonlErrorLine(
           id, Status::InvalidArgument("load needs 'name' and 'path' fields"));
     }
     const Status status = service.store().LoadFromFile(name, path);
-    if (!status.ok()) return ErrorLine(id, status);
+    if (!status.ok()) return JsonlErrorLine(id, status);
     Result<GraphStore::SnapshotPtr> snapshot = service.store().Find(name);
-    if (!snapshot.ok()) return ErrorLine(id, snapshot.status());
+    if (!snapshot.ok()) return JsonlErrorLine(id, snapshot.status());
     std::string out;
     bool first = true;
     if (!id.empty()) AppendStringField("id", id, &first, &out);
@@ -414,13 +413,13 @@ std::string RunControlOp(QueryService& service, const std::string& op,
     return out;
   }
   if (op == "evict") {
-    const std::string name = GetField(fields, "name");
+    const std::string name = JsonlField(fields, "name");
     if (name.empty()) {
-      return ErrorLine(id,
-                       Status::InvalidArgument("evict needs a 'name' field"));
+      return JsonlErrorLine(
+          id, Status::InvalidArgument("evict needs a 'name' field"));
     }
     const Status status = service.store().Evict(name);
-    if (!status.ok()) return ErrorLine(id, status);
+    if (!status.ok()) return JsonlErrorLine(id, status);
     std::string out;
     bool first = true;
     if (!id.empty()) AppendStringField("id", id, &first, &out);
@@ -459,65 +458,7 @@ std::string RunControlOp(QueryService& service, const std::string& op,
     out += '}';
     return out;
   }
-  return ErrorLine(id, Status::InvalidArgument("unknown op '" + op + "'"));
-}
-
-}  // namespace
-
-Status RunJsonlStream(QueryService& service, std::istream& in,
-                      std::ostream& out, const JsonlOptions& options) {
-  // In-flight queries, in request order. Control ops are barriers: they
-  // drain this queue so "load g; query on g; evict g; load g ..." behaves
-  // sequentially even though queries themselves run concurrently.
-  std::deque<std::pair<QueryRequest, std::future<QueryResponse>>> pending;
-  const auto drain = [&] {
-    while (!pending.empty()) {
-      auto& [request, future] = pending.front();
-      out << SerializeResponse(request, future.get(), options) << '\n';
-      pending.pop_front();
-    }
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    size_t begin = 0;
-    SkipSpace(line, &begin);
-    if (begin == line.size()) continue;  // blank line
-    if (line[begin] == '#') continue;    // comment, for batch files
-    Result<JsonlFields> fields = ParseJsonlLine(line);
-    if (!fields.ok()) {
-      drain();
-      out << ErrorLine("", fields.status()) << '\n';
-      continue;
-    }
-    const std::string op_field = GetField(fields.value(), "op");
-    const std::string op = op_field.empty() ? "query" : op_field;
-    if (op != "query") {
-      drain();
-      out << RunControlOp(service, op, fields.value()) << '\n';
-      continue;
-    }
-    Result<QueryRequest> request = QueryRequestFromFields(fields.value());
-    if (!request.ok()) {
-      drain();
-      out << ErrorLine(GetField(fields.value(), "id"), request.status())
-          << '\n';
-      continue;
-    }
-    QueryRequest submitted = request.value();
-    Result<std::future<QueryResponse>> future =
-        service.SubmitBlocking(std::move(request).value());
-    if (!future.ok()) {
-      drain();
-      out << ErrorLine(submitted.id, future.status()) << '\n';
-      continue;
-    }
-    pending.emplace_back(std::move(submitted), std::move(future).value());
-  }
-  drain();
-  if (in.bad()) return Status::IOError("failed reading request stream");
-  if (!out.good()) return Status::IOError("failed writing response stream");
-  return Status::OK();
+  return JsonlErrorLine(id, Status::InvalidArgument("unknown op '" + op + "'"));
 }
 
 }  // namespace mbc

@@ -44,12 +44,34 @@ Result<JsonlFields> ParseJsonlLine(const std::string& line);
 /// in budget knobs must not silently become unlimited runs).
 Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields);
 
+/// Looks up `name` in parsed fields; empty string when absent.
+std::string JsonlField(const JsonlFields& fields, const char* name);
+
+/// The canonical error response line: {"id":...,"ok":false,"error":...,
+/// "message":...}. Every transport answers a failed frame with exactly
+/// this shape, so clients parse one error format.
+std::string JsonlErrorLine(const std::string& id, const Status& status);
+
+/// Executes one control op (load / evict / list / stats) against the
+/// service and returns its single response line. The caller has already
+/// established that fields["op"] == `op` and that `op` is not "query".
+std::string RunJsonlControlOp(QueryService& service, const std::string& op,
+                              const JsonlFields& fields);
+
+/// True for lines the protocol skips without a response: blank lines and
+/// '#' comments (for batch files).
+bool IsJsonlSkippableLine(const std::string& line);
+
 struct JsonlOptions {
   /// Omit the per-response "cached" and "seconds" fields, whose values
   /// depend on timing and worker interleaving. With this set, batch output
   /// is byte-identical for any worker count — what the CI golden diff and
   /// the determinism tests rely on.
   bool deterministic = false;
+  /// Bound on one request line, enforced identically by every transport:
+  /// a longer line is answered with a single invalid_argument error frame
+  /// and its bytes are discarded up to the next newline.
+  size_t max_line_bytes = 1 << 20;
 };
 
 /// Serializes one query response (success or error) as a single line,
@@ -58,11 +80,14 @@ std::string SerializeResponse(const QueryRequest& request,
                               const QueryResponse& response,
                               const JsonlOptions& options);
 
-/// Drives a whole JSONL session: reads requests from `in` line by line,
+/// Drives a whole JSONL session over an istream/ostream pair (stdin mode
+/// of mbc_serve, mbc_cli batch, tests): reads requests line by line,
 /// pipelines queries through `service` (queries run concurrently up to the
 /// worker count; responses are emitted in request order), executes control
-/// ops inline after draining pending queries. Returns non-OK only for I/O
-/// failure; per-request errors become error response lines.
+/// ops as per-session barriers. Implemented on the same JsonlSession as
+/// the socket transport (see session.h), so both frontends share one
+/// protocol behavior. Returns non-OK only for I/O failure; per-request
+/// errors become error response lines.
 Status RunJsonlStream(QueryService& service, std::istream& in,
                       std::ostream& out, const JsonlOptions& options);
 

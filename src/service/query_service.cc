@@ -41,6 +41,10 @@ struct QueryService::WorkerState {
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options), cache_(options.cache_capacity_bytes) {
+  worker_counters_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    worker_counters_.push_back(std::make_unique<WorkerCounters>());
+  }
   if (options_.start_workers) StartWorkers();
 }
 
@@ -71,6 +75,7 @@ void QueryService::Shutdown() {
     response.id = task.request.id;
     response.status = Status::Cancelled("service shut down before the query ran");
     task.promise.set_value(std::move(response));
+    if (options_.on_task_complete) options_.on_task_complete();
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -92,6 +97,25 @@ Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
       return Status::ResourceExhausted(
           "admission queue is full (" + std::to_string(options_.max_queue) +
           " pending queries)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+Result<std::future<QueryResponse>> QueryService::TrySubmit(
+    QueryRequest request) {
+  Task task;
+  task.request = std::move(request);
+  std::future<QueryResponse> future = task.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      return Status::Cancelled("service is shut down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      return Status::ResourceExhausted("admission queue is full");
     }
     queue_.push_back(std::move(task));
   }
@@ -132,8 +156,8 @@ QueryResponse QueryService::Query(QueryRequest request) {
 }
 
 void QueryService::WorkerLoop(size_t worker_index) {
-  (void)worker_index;
   WorkerState state;
+  WorkerCounters& counters = *worker_counters_[worker_index];
   for (;;) {
     Task task;
     {
@@ -145,7 +169,23 @@ void QueryService::WorkerLoop(size_t worker_index) {
       queue_.pop_front();
     }
     space_available_.notify_one();
-    task.promise.set_value(Execute(state, task.request));
+    QueryResponse response = Execute(state, task.request);
+    // Publish this worker's counters and arena footprint (as a running
+    // max — the mark is monotone by construction even if a solver is
+    // ever rebound) BEFORE fulfilling the promise, so a caller that sees
+    // the response also sees the stats that produced it.
+    counters.queries.fetch_add(1, std::memory_order_relaxed);
+    const auto raise = [](std::atomic<uint64_t>& mark, uint64_t seen) {
+      uint64_t current = mark.load(std::memory_order_relaxed);
+      while (seen > current &&
+             !mark.compare_exchange_weak(current, seen,
+                                         std::memory_order_relaxed)) {
+      }
+    };
+    raise(counters.mdc_arena_hwm_bytes, state.mdc_solver.ArenaMemoryBytes());
+    raise(counters.dcc_arena_hwm_bytes, state.dcc_solver.ArenaMemoryBytes());
+    task.promise.set_value(std::move(response));
+    if (options_.on_task_complete) options_.on_task_complete();
   }
 }
 
@@ -303,12 +343,32 @@ ServiceStats QueryService::Stats() const {
   stats.latency_mean_seconds =
       count == 0 ? 0.0 : latency_.total_seconds() / static_cast<double>(count);
   stats.cache = cache_.Stats();
+  stats.transport.connections_accepted =
+      transport_counters_.connections_accepted.load(std::memory_order_relaxed);
+  stats.transport.connections_rejected =
+      transport_counters_.connections_rejected.load(std::memory_order_relaxed);
+  stats.transport.connections_active =
+      transport_counters_.connections_active.load(std::memory_order_relaxed);
+  stats.transport.frames_in =
+      transport_counters_.frames_in.load(std::memory_order_relaxed);
+  stats.transport.frames_out =
+      transport_counters_.frames_out.load(std::memory_order_relaxed);
+  stats.workers.reserve(worker_counters_.size());
+  for (const auto& counters : worker_counters_) {
+    WorkerStats worker;
+    worker.queries = counters->queries.load(std::memory_order_relaxed);
+    worker.mdc_arena_hwm_bytes =
+        counters->mdc_arena_hwm_bytes.load(std::memory_order_relaxed);
+    worker.dcc_arena_hwm_bytes =
+        counters->dcc_arena_hwm_bytes.load(std::memory_order_relaxed);
+    stats.workers.push_back(worker);
+  }
   return stats;
 }
 
 std::string QueryService::StatsJson() const {
   const ServiceStats stats = Stats();
-  char buffer[768];
+  char buffer[1024];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\":%llu,\"queries_rejected\":%llu,"
@@ -317,7 +377,10 @@ std::string QueryService::StatsJson() const {
       "\"latency_p95_seconds\":%.6f,\"latency_mean_seconds\":%.6f,"
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
-      "\"hit_rate\":%.4f}}",
+      "\"hit_rate\":%.4f},"
+      "\"transport\":{\"connections_accepted\":%llu,"
+      "\"connections_rejected\":%llu,\"connections_active\":%lld,"
+      "\"frames_in\":%llu,\"frames_out\":%llu}",
       static_cast<unsigned long long>(stats.queries_served),
       static_cast<unsigned long long>(stats.queries_rejected),
       static_cast<unsigned long long>(stats.queries_failed),
@@ -328,8 +391,27 @@ std::string QueryService::StatsJson() const {
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.insertions),
       static_cast<unsigned long long>(stats.cache.evictions),
-      stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate());
-  return buffer;
+      stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate(),
+      static_cast<unsigned long long>(stats.transport.connections_accepted),
+      static_cast<unsigned long long>(stats.transport.connections_rejected),
+      static_cast<long long>(stats.transport.connections_active),
+      static_cast<unsigned long long>(stats.transport.frames_in),
+      static_cast<unsigned long long>(stats.transport.frames_out));
+  std::string out = buffer;
+  out += ",\"workers\":[";
+  for (size_t i = 0; i < stats.workers.size(); ++i) {
+    const WorkerStats& worker = stats.workers[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"queries\":%llu,\"mdc_arena_hwm_bytes\":%llu,"
+                  "\"dcc_arena_hwm_bytes\":%llu}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(worker.queries),
+                  static_cast<unsigned long long>(worker.mdc_arena_hwm_bytes),
+                  static_cast<unsigned long long>(worker.dcc_arena_hwm_bytes));
+    out += buffer;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace mbc

@@ -13,7 +13,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,6 +44,41 @@ struct ServiceOptions {
   /// When false the pool starts idle and queued work only runs after
   /// StartWorkers(); lets tests fill the queue deterministically.
   bool start_workers = true;
+  /// Invoked by a worker after each response future is fulfilled. The
+  /// socket event loop points this at its wake pipe so poll() returns as
+  /// soon as a pipelined response becomes emittable, instead of on the
+  /// next timeout tick. Must be thread-safe and must not block.
+  std::function<void()> on_task_complete;
+};
+
+/// Frontend-level counters, owned by the service so every transport
+/// (stdio, socket) feeds one set of stats. All relaxed atomics: these are
+/// monitoring counters, not synchronization.
+struct TransportCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};  // over --max-connections
+  std::atomic<int64_t> connections_active{0};
+  std::atomic<uint64_t> frames_in{0};   // complete request lines consumed
+  std::atomic<uint64_t> frames_out{0};  // response lines written
+};
+
+/// Plain-value snapshot of TransportCounters for Stats().
+struct TransportStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  int64_t connections_active = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+};
+
+/// Point-in-time view of one worker's reusable state: how many queries it
+/// ran and the high-water scratch footprint of its two solver arenas.
+/// The high-water marks are monotone — they only ever grow toward the
+/// largest network / recursion depth the worker has seen.
+struct WorkerStats {
+  uint64_t queries = 0;
+  uint64_t mdc_arena_hwm_bytes = 0;
+  uint64_t dcc_arena_hwm_bytes = 0;
 };
 
 /// Point-in-time service counters, exported as JSON by StatsJson().
@@ -56,6 +93,9 @@ struct ServiceStats {
   double latency_p95_seconds = 0.0;
   double latency_mean_seconds = 0.0;
   CacheStats cache;
+  TransportStats transport;
+  /// One entry per worker, in worker index order.
+  std::vector<WorkerStats> workers;
 };
 
 class QueryService {
@@ -68,6 +108,9 @@ class QueryService {
 
   GraphStore& store() { return store_; }
   const ServiceOptions& options() const { return options_; }
+  /// Counters the frontends update as they accept connections and move
+  /// frames; exported through Stats()/StatsJson().
+  TransportCounters& transport_counters() { return transport_counters_; }
 
   /// Admits `request` into the queue. Fails with kResourceExhausted when
   /// the queue is full (backpressure — the caller decides whether to
@@ -77,6 +120,12 @@ class QueryService {
   /// Like Submit() but waits for queue space instead of failing. Still
   /// fails with kCancelled after Shutdown().
   Result<std::future<QueryResponse>> SubmitBlocking(QueryRequest request);
+
+  /// Like Submit() but a full queue is NOT counted as a rejection: the
+  /// caller is applying backpressure (it keeps the request and retries),
+  /// not shedding it. Used by the socket event loop, which must never
+  /// block but must not inflate queries_rejected with its retries.
+  Result<std::future<QueryResponse>> TrySubmit(QueryRequest request);
 
   /// Submit + wait. Admission failures come back as an error response
   /// with the request id echoed, so callers have one result shape.
@@ -102,6 +151,13 @@ class QueryService {
   };
   /// Per-worker reusable state: solvers keep their arenas across requests.
   struct WorkerState;
+  /// Per-worker counters, written by the owning worker after each request
+  /// and read (relaxed) by Stats() from any thread.
+  struct WorkerCounters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> mdc_arena_hwm_bytes{0};
+    std::atomic<uint64_t> dcc_arena_hwm_bytes{0};
+  };
 
   void WorkerLoop(size_t worker_index);
   QueryResponse Execute(WorkerState& state, const QueryRequest& request);
@@ -110,6 +166,8 @@ class QueryService {
   GraphStore store_;
   ResultCache cache_;
   LatencyHistogram latency_;
+  TransportCounters transport_counters_;
+  std::vector<std::unique_ptr<WorkerCounters>> worker_counters_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

@@ -1,0 +1,184 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/session.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+namespace mbc {
+
+JsonlSession::JsonlSession(QueryService& service, const JsonlOptions& options,
+                           bool blocking_submit)
+    : service_(service),
+      options_(options),
+      blocking_submit_(blocking_submit) {}
+
+bool JsonlSession::HandleLine(std::string line) {
+  if (IsJsonlSkippableLine(line)) return false;
+  backlog_.push_back(std::move(line));
+  Pump();
+  return true;
+}
+
+// An input line can never contain '\n' (transports split on it), so this
+// marker cannot collide with real traffic.
+const std::string JsonlSession::kOversizedMarker = "\n__oversized__";
+
+void JsonlSession::HandleOversizedLine() {
+  // The rejection rides the same in-order backlog the line itself would
+  // have used, so it cannot overtake earlier barrier-stalled lines.
+  backlog_.push_back(kOversizedMarker);
+  Pump();
+}
+
+void JsonlSession::Pump() {
+  while (!backlog_.empty()) {
+    if (controls_pending_ > 0) return;  // barrier: later lines wait
+    const std::string& line = backlog_.front();
+    Pending pending;
+    if (line == kOversizedMarker) {
+      pending.kind = Pending::Kind::kImmediate;
+      pending.immediate = JsonlErrorLine(
+          "", Status::InvalidArgument(
+                  "request line exceeds the " +
+                  std::to_string(options_.max_line_bytes) +
+                  " byte frame limit"));
+      pending_.push_back(std::move(pending));
+      backlog_.pop_front();
+      continue;
+    }
+    Result<JsonlFields> fields = ParseJsonlLine(line);
+    if (!fields.ok()) {
+      pending.kind = Pending::Kind::kImmediate;
+      pending.immediate = JsonlErrorLine("", fields.status());
+      pending_.push_back(std::move(pending));
+      backlog_.pop_front();
+      continue;
+    }
+    const std::string op_field = JsonlField(fields.value(), "op");
+    const std::string op = op_field.empty() ? "query" : op_field;
+    if (op != "query") {
+      pending.kind = Pending::Kind::kControl;
+      pending.op = op;
+      pending.fields = std::move(fields).value();
+      pending_.push_back(std::move(pending));
+      ++controls_pending_;
+      backlog_.pop_front();
+      continue;  // next iteration stalls on the barrier
+    }
+    Result<QueryRequest> request = QueryRequestFromFields(fields.value());
+    if (!request.ok()) {
+      pending.kind = Pending::Kind::kImmediate;
+      pending.immediate =
+          JsonlErrorLine(JsonlField(fields.value(), "id"), request.status());
+      pending_.push_back(std::move(pending));
+      backlog_.pop_front();
+      continue;
+    }
+    QueryRequest submitted = request.value();
+    Result<std::future<QueryResponse>> future =
+        blocking_submit_ ? service_.SubmitBlocking(std::move(request).value())
+                         : service_.TrySubmit(std::move(request).value());
+    if (!future.ok()) {
+      if (future.status().code() == StatusCode::kResourceExhausted) {
+        // Admission queue full: keep the line and retry on the next poll.
+        // The transport throttles reads once the backlog builds up, so
+        // this is bounded backpressure, not a spin.
+        return;
+      }
+      pending.kind = Pending::Kind::kImmediate;
+      pending.immediate = JsonlErrorLine(submitted.id, future.status());
+      pending_.push_back(std::move(pending));
+      backlog_.pop_front();
+      continue;
+    }
+    pending.kind = Pending::Kind::kQuery;
+    pending.request = std::move(submitted);
+    pending.future = std::move(future).value();
+    pending_.push_back(std::move(pending));
+    backlog_.pop_front();
+  }
+}
+
+bool JsonlSession::PollResponses(std::vector<std::string>* out) {
+  const size_t before = out->size();
+  for (;;) {
+    Pump();
+    if (pending_.empty()) break;
+    Pending& front = pending_.front();
+    if (front.kind == Pending::Kind::kImmediate) {
+      out->push_back(std::move(front.immediate));
+      pending_.pop_front();
+      continue;
+    }
+    if (front.kind == Pending::Kind::kQuery) {
+      if (front.future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        break;
+      }
+      out->push_back(
+          SerializeResponse(front.request, front.future.get(), options_));
+      pending_.pop_front();
+      continue;
+    }
+    // kControl at the front: every earlier query has been emitted (and
+    // therefore finished), so the per-session barrier holds — run it.
+    out->push_back(RunJsonlControlOp(service_, front.op, front.fields));
+    pending_.pop_front();
+    --controls_pending_;
+  }
+  return out->size() != before;
+}
+
+void JsonlSession::DrainBlocking(std::vector<std::string>* out) {
+  for (;;) {
+    PollResponses(out);
+    if (idle()) return;
+    if (!pending_.empty() &&
+        pending_.front().kind == Pending::Kind::kQuery) {
+      pending_.front().future.wait();
+      continue;
+    }
+    // The backlog is stalled on a full admission queue while nothing of
+    // our own is in flight — other sessions hold every slot. Yield until
+    // one frees up. (Unreachable in blocking_submit mode.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Status RunJsonlStream(QueryService& service, std::istream& in,
+                      std::ostream& out, const JsonlOptions& options) {
+  TransportCounters& counters = service.transport_counters();
+  counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  counters.connections_active.fetch_add(1, std::memory_order_relaxed);
+  JsonlSession session(service, options, /*blocking_submit=*/true);
+  std::vector<std::string> responses;
+  const auto flush = [&] {
+    for (const std::string& response : responses) {
+      out << response << '\n';
+      counters.frames_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    responses.clear();
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > options.max_line_bytes) {
+      counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+      session.HandleOversizedLine();
+    } else if (session.HandleLine(std::move(line))) {
+      counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+    }
+    session.PollResponses(&responses);
+    flush();
+  }
+  session.DrainBlocking(&responses);
+  flush();
+  counters.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  if (in.bad()) return Status::IOError("failed reading request stream");
+  if (!out.good()) return Status::IOError("failed writing response stream");
+  return Status::OK();
+}
+
+}  // namespace mbc

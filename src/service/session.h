@@ -1,0 +1,95 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// JsonlSession: the transport-independent half of the JSONL protocol.
+// One session corresponds to one client connection (or the whole stdin
+// stream): it consumes complete request lines, pipelines queries through
+// the shared QueryService, and hands back response lines strictly in
+// request order. Control ops (load / evict / list / stats) are barriers
+// *within the session*: they run only after every earlier query of this
+// session has been answered, and later lines wait until they have run —
+// so "load g; query g; evict g" behaves sequentially per connection even
+// while other connections interleave freely on the same worker pool.
+//
+// The session never blocks unless asked to: HandleLine() buffers,
+// PollResponses() moves whatever has become emittable, DrainBlocking()
+// waits everything out (the stdio path at EOF). That split is what lets
+// one poll()-driven thread serve many connections (see transport.h).
+#ifndef MBC_SERVICE_SESSION_H_
+#define MBC_SERVICE_SESSION_H_
+
+#include <deque>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/service/jsonl.h"
+#include "src/service/query.h"
+#include "src/service/query_service.h"
+
+namespace mbc {
+
+class JsonlSession {
+ public:
+  /// With `blocking_submit` a full admission queue blocks inside the
+  /// session until space frees up (stdin-style backpressure: the caller
+  /// simply stops reading input). Without it the session keeps the line
+  /// in its backlog and retries on the next poll — the socket event loop
+  /// must never block on one connection's behalf.
+  JsonlSession(QueryService& service, const JsonlOptions& options,
+               bool blocking_submit);
+
+  /// Feeds one complete request line (no trailing newline). Returns true
+  /// if the line was a protocol frame, false if it was skipped (blank /
+  /// '#' comment) — what the frames_in counter counts.
+  bool HandleLine(std::string line);
+
+  /// Records that the transport discarded an over-long input line; the
+  /// session answers it with exactly one error frame, in order.
+  void HandleOversizedLine();
+
+  /// Appends every response line that has become emittable (in request
+  /// order) to `out`, without blocking on unfinished queries. Executes a
+  /// control op when it reaches the front of the pipeline. Returns true
+  /// if anything was appended.
+  bool PollResponses(std::vector<std::string>* out);
+
+  /// Blocks until every buffered line has been processed and answered.
+  void DrainBlocking(std::vector<std::string>* out);
+
+  /// No buffered input and no in-flight responses.
+  bool idle() const { return backlog_.empty() && pending_.empty(); }
+  /// Lines accepted but not yet dispatched (barrier or full queue).
+  size_t backlog_size() const { return backlog_.size(); }
+  /// Dispatched requests whose responses have not been emitted yet.
+  size_t pending_size() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    enum class Kind { kImmediate, kQuery, kControl };
+    Kind kind = Kind::kImmediate;
+    std::string immediate;              // kImmediate: the finished line
+    QueryRequest request;               // kQuery
+    std::future<QueryResponse> future;  // kQuery
+    std::string op;                     // kControl
+    JsonlFields fields;                 // kControl
+  };
+
+  /// Moves backlog lines into the pending pipeline until a barrier, a
+  /// full admission queue (non-blocking mode), or the backlog empties.
+  void Pump();
+
+  /// Backlog entry standing in for a discarded over-long line.
+  static const std::string kOversizedMarker;
+
+  QueryService& service_;
+  const JsonlOptions options_;
+  const bool blocking_submit_;
+  std::deque<std::string> backlog_;
+  std::deque<Pending> pending_;
+  /// Control ops sitting in pending_; > 0 stalls Pump (barrier).
+  size_t controls_pending_ = 0;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_SESSION_H_

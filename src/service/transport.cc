@@ -1,0 +1,591 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/transport.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "src/service/session.h"
+
+namespace mbc {
+
+namespace {
+
+// Per-connection flow control for the event loop: stop reading a socket
+// whose session already has this many undispatched lines (admission queue
+// full or barrier stall) or whose peer is not draining its responses.
+// The kernel socket buffer then backpressures the client naturally.
+constexpr size_t kMaxBufferedLines = 256;
+constexpr size_t kMaxOutbufBytes = 4u << 20;
+constexpr size_t kReadChunk = 16384;
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+Status LastErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// getaddrinfo for a numeric-port IPv4 TCP endpoint.
+Result<int> OpenSocket(const std::string& host, uint16_t port, bool listening,
+                       struct sockaddr_storage* bound_addr,
+                       socklen_t* bound_len) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (listening ? AI_PASSIVE : 0);
+  struct addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  Status status = Status::IOError("no usable address for '" + host + "'");
+  int fd = -1;
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = LastErrno("socket");
+      continue;
+    }
+    if (listening) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+          ::listen(fd, 128) != 0) {
+        status = LastErrno("bind/listen");
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+    } else {
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+        status = LastErrno("connect");
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+    }
+    if (bound_addr != nullptr) {
+      *bound_len = sizeof(*bound_addr);
+      ::getsockname(fd, reinterpret_cast<struct sockaddr*>(bound_addr),
+                    bound_len);
+    }
+    break;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) return status;
+  return fd;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LineFramer
+
+void LineFramer::Feed(const char* data, size_t size) {
+  while (size > 0) {
+    const char* newline =
+        static_cast<const char*>(std::memchr(data, '\n', size));
+    const size_t span = newline != nullptr
+                            ? static_cast<size_t>(newline - data)
+                            : size;
+    if (!discarding_) {
+      if (partial_.size() + span > max_line_bytes_) {
+        discarding_ = true;
+        partial_.clear();
+        partial_.shrink_to_fit();  // never hold more than the limit
+      } else {
+        partial_.append(data, span);
+      }
+    }
+    if (newline == nullptr) return;
+    Line line;
+    line.oversized = discarding_;
+    line.text = std::move(partial_);
+    partial_.clear();
+    discarding_ = false;
+    ready_.push_back(std::move(line));
+    data = newline + 1;
+    size -= span + 1;
+  }
+}
+
+void LineFramer::Finish() {
+  if (partial_.empty() && !discarding_) return;
+  Line line;
+  line.oversized = discarding_;
+  line.text = std::move(partial_);
+  partial_.clear();
+  discarding_ = false;
+  ready_.push_back(std::move(line));
+}
+
+bool LineFramer::Next(Line* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// StdioTransport
+
+Status StdioTransport::Serve(QueryService& service,
+                             const JsonlOptions& options) {
+  return RunJsonlStream(service, in_, out_, options);
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer
+
+struct SocketServer::Connection {
+  Connection(int fd_in, QueryService& service, const JsonlOptions& options)
+      : fd(fd_in),
+        framer(options.max_line_bytes),
+        session(service, options, /*blocking_submit=*/false),
+        last_activity(std::chrono::steady_clock::now()) {}
+
+  int fd;
+  LineFramer framer;
+  JsonlSession session;
+  std::string outbuf;
+  size_t outpos = 0;
+  bool read_closed = false;
+  std::chrono::steady_clock::time_point last_activity;
+  std::vector<std::string> response_scratch;
+};
+
+SocketServer::SocketServer(SocketServerOptions options)
+    : options_(std::move(options)) {}
+
+SocketServer::~SocketServer() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+Status SocketServer::Start() {
+  if (listen_fd_ >= 0) return Status::OK();
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return LastErrno("pipe2");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  struct sockaddr_storage addr;
+  socklen_t addr_len = 0;
+  MBC_ASSIGN_OR_RETURN(
+      listen_fd_,
+      OpenSocket(options_.host, options_.port, /*listening=*/true, &addr,
+                 &addr_len));
+  SetNonBlocking(listen_fd_);
+  port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+  return Status::OK();
+}
+
+void SocketServer::Wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void SocketServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  Wake();
+}
+
+void SocketServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  Wake();
+}
+
+void SocketServer::AcceptPending(QueryService& service) {
+  TransportCounters& counters = service.transport_counters();
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept failure — retry on next poll
+    }
+    if (drain_requested_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      // Fail fast: one machine-readable frame, then close. The client is
+      // told why instead of hanging in a never-served queue.
+      counters.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      const std::string frame =
+          JsonlErrorLine("", Status::ResourceExhausted(
+                                 "connection limit (" +
+                                 std::to_string(options_.max_connections) +
+                                 ") reached")) +
+          "\n";
+      [[maybe_unused]] const ssize_t n =
+          ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    counters.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters.connections_active.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(fd, std::make_unique<Connection>(
+                                 fd, service, serve_options_));
+  }
+}
+
+bool SocketServer::FlushWrites(Connection& conn) {
+  while (conn.outpos < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outpos,
+               conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outpos += static_cast<size_t>(n);
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer is gone; the connection is dropped
+  }
+  if (conn.outpos == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outpos = 0;
+  }
+  return true;
+}
+
+bool SocketServer::PumpConnection(Connection& conn, QueryService& service,
+                                  const JsonlOptions& options) {
+  (void)options;
+  TransportCounters& counters = service.transport_counters();
+  LineFramer::Line line;
+  while (conn.session.backlog_size() < kMaxBufferedLines &&
+         conn.framer.Next(&line)) {
+    if (line.oversized) {
+      counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+      conn.session.HandleOversizedLine();
+    } else if (conn.session.HandleLine(std::move(line.text))) {
+      counters.frames_in.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  conn.response_scratch.clear();
+  conn.session.PollResponses(&conn.response_scratch);
+  for (const std::string& response : conn.response_scratch) {
+    conn.outbuf += response;
+    conn.outbuf += '\n';
+    counters.frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!FlushWrites(conn)) return false;
+  // A finished connection: the peer half-closed, every buffered line has
+  // been answered, and every byte has been written back.
+  if (conn.read_closed && conn.framer.ready_size() == 0 &&
+      conn.session.idle() && conn.outbuf.empty()) {
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::CloseConnection(QueryService& service, int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::close(fd);
+  connections_.erase(it);
+  service.transport_counters().connections_active.fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+Status SocketServer::Serve(QueryService& service,
+                           const JsonlOptions& options) {
+  MBC_RETURN_NOT_OK(Start());
+  serve_options_ = options;
+  std::vector<struct pollfd> poll_fds;
+  std::vector<int> poll_conn_fds;  // parallel to poll_fds; -1 = not a conn
+  std::vector<int> doomed;
+  char read_buffer[kReadChunk];
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    const bool draining = drain_requested_.load(std::memory_order_relaxed);
+    if (draining && listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      // Treat every connection's input as finished: already-received
+      // requests still run to completion and are flushed, new bytes are
+      // ignored.
+      for (auto& [fd, conn] : connections_) {
+        if (!conn->read_closed) {
+          conn->read_closed = true;
+          conn->framer.Finish();
+        }
+      }
+    }
+
+    // Move every connection forward: framer → session → socket.
+    doomed.clear();
+    for (auto& [fd, conn] : connections_) {
+      if (!PumpConnection(*conn, service, options)) doomed.push_back(fd);
+    }
+    for (const int fd : doomed) CloseConnection(service, fd);
+    if (draining && connections_.empty()) break;
+
+    // Assemble the poll set.
+    poll_fds.clear();
+    poll_conn_fds.clear();
+    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    poll_conn_fds.push_back(-1);
+    if (listen_fd_ >= 0) {
+      poll_fds.push_back({listen_fd_, POLLIN, 0});
+      poll_conn_fds.push_back(-1);
+    }
+    bool any_inflight = false;
+    const auto now = std::chrono::steady_clock::now();
+    double min_idle_remaining = -1.0;
+    for (auto& [fd, conn] : connections_) {
+      short events = 0;
+      const bool throttled =
+          conn->session.backlog_size() >= kMaxBufferedLines ||
+          conn->framer.ready_size() >= kMaxBufferedLines ||
+          conn->outbuf.size() - conn->outpos >= kMaxOutbufBytes;
+      if (!conn->read_closed && !throttled) events |= POLLIN;
+      if (conn->outpos < conn->outbuf.size()) events |= POLLOUT;
+      poll_fds.push_back({fd, events, 0});
+      poll_conn_fds.push_back(fd);
+      if (!conn->session.idle()) any_inflight = true;
+      if (options_.idle_timeout_seconds > 0 && !conn->read_closed &&
+          conn->session.idle() && conn->outbuf.empty()) {
+        const double remaining = options_.idle_timeout_seconds -
+                                 SecondsBetween(conn->last_activity, now);
+        if (min_idle_remaining < 0 || remaining < min_idle_remaining) {
+          min_idle_remaining = remaining;
+        }
+      }
+    }
+
+    // With the completion hook wired to Wake() the loop sleeps until real
+    // work arrives; the 20ms tick is the fallback when it is not.
+    int timeout_ms = -1;
+    if (any_inflight) timeout_ms = 20;
+    if (min_idle_remaining >= 0) {
+      const int idle_ms =
+          std::max(0, static_cast<int>(min_idle_remaining * 1000.0) + 1);
+      timeout_ms = timeout_ms < 0 ? idle_ms : std::min(timeout_ms, idle_ms);
+    }
+
+    const int ready = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      return LastErrno("poll");
+    }
+
+    for (size_t i = 0; i < poll_fds.size(); ++i) {
+      if (poll_fds[i].revents == 0) continue;
+      if (poll_fds[i].fd == wake_read_fd_) {
+        char drain_buffer[256];
+        while (::read(wake_read_fd_, drain_buffer, sizeof(drain_buffer)) > 0) {
+        }
+        continue;
+      }
+      if (poll_fds[i].fd == listen_fd_) {
+        AcceptPending(service);
+        continue;
+      }
+      const int fd = poll_conn_fds[i];
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if ((poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !conn.read_closed) {
+        for (;;) {
+          const ssize_t n = ::recv(conn.fd, read_buffer, sizeof(read_buffer),
+                                   0);
+          if (n > 0) {
+            conn.framer.Feed(read_buffer, static_cast<size_t>(n));
+            conn.last_activity = std::chrono::steady_clock::now();
+            if (conn.framer.ready_size() >= kMaxBufferedLines) break;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          // 0 = orderly half-close; anything else (reset, ...) is an
+          // abrupt disconnect. Either way: no more input, finish what is
+          // already buffered, flush, then close.
+          conn.read_closed = true;
+          conn.framer.Finish();
+          break;
+        }
+      }
+      if ((poll_fds[i].revents & POLLOUT) != 0) {
+        if (!FlushWrites(conn)) {
+          CloseConnection(service, fd);
+          continue;
+        }
+      }
+    }
+
+    // Idle-timeout sweep: only connections with nothing buffered and
+    // nothing in flight are eligible.
+    if (options_.idle_timeout_seconds > 0) {
+      const auto sweep_now = std::chrono::steady_clock::now();
+      for (auto& [fd, conn] : connections_) {
+        if (conn->read_closed || !conn->session.idle() ||
+            !conn->outbuf.empty()) {
+          continue;
+        }
+        if (SecondsBetween(conn->last_activity, sweep_now) >=
+            options_.idle_timeout_seconds) {
+          conn->outbuf +=
+              JsonlErrorLine(
+                  "", Status::Cancelled(
+                          "idle timeout after " +
+                          std::to_string(options_.idle_timeout_seconds) +
+                          " seconds")) +
+              "\n";
+          service.transport_counters().frames_out.fetch_add(
+              1, std::memory_order_relaxed);
+          conn->read_closed = true;  // close once the frame is flushed
+        }
+      }
+    }
+  }
+
+  for (auto& [fd, conn] : connections_) {
+    ::close(fd);
+    service.transport_counters().connections_active.fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Socket client
+
+Status RunJsonlSocketClient(const std::string& host, uint16_t port,
+                            std::istream& in, std::ostream& out) {
+  MBC_ASSIGN_OR_RETURN(const int fd,
+                       OpenSocket(host, port, /*listening=*/false, nullptr,
+                                  nullptr));
+  SetNonBlocking(fd);
+  std::string send_buffer;
+  size_t send_pos = 0;
+  bool input_done = false;
+  bool write_closed = false;
+  char buffer[kReadChunk];
+  for (;;) {
+    // Refill the send buffer from the request stream.
+    if (!input_done && send_buffer.size() - send_pos < kReadChunk) {
+      in.read(buffer, sizeof(buffer));
+      const std::streamsize n = in.gcount();
+      if (n > 0) send_buffer.append(buffer, static_cast<size_t>(n));
+      if (n == 0 || in.eof()) input_done = true;
+    }
+    if (send_pos > 0 && send_pos == send_buffer.size()) {
+      send_buffer.clear();
+      send_pos = 0;
+    }
+    if (input_done && send_pos == send_buffer.size() && !write_closed) {
+      ::shutdown(fd, SHUT_WR);  // half-close: tells the server we're done
+      write_closed = true;
+    }
+
+    struct pollfd poll_fd = {fd, POLLIN, 0};
+    if (send_pos < send_buffer.size()) poll_fd.events |= POLLOUT;
+    if (::poll(&poll_fd, 1, -1) < 0 && errno != EINTR) {
+      ::close(fd);
+      return LastErrno("poll");
+    }
+
+    if ((poll_fd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      for (;;) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+          out.write(buffer, n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        ::close(fd);
+        if (n < 0) return LastErrno("recv");
+        out.flush();
+        if (!out.good()) {
+          return Status::IOError("failed writing response stream");
+        }
+        return Status::OK();  // server closed: session complete
+      }
+    }
+
+    if (send_pos < send_buffer.size()) {
+      const ssize_t n = ::send(fd, send_buffer.data() + send_pos,
+                               send_buffer.size() - send_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        send_pos += static_cast<size_t>(n);
+      } else if (n < 0 && !(errno == EAGAIN || errno == EWOULDBLOCK ||
+                            errno == EINTR)) {
+        // The server closed on us mid-send (e.g. an admission reject).
+        // Its closing frames are still in flight: stop sending, read out
+        // whatever it said.
+        input_done = true;
+        send_buffer.clear();
+        send_pos = 0;
+        write_closed = true;
+      }
+    }
+  }
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("want HOST:PORT, got '" + spec + "'");
+  }
+  std::string host = spec.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) {
+    return Status::InvalidArgument("want HOST:PORT, got '" + spec + "'");
+  }
+  uint32_t port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("port must be numeric, got '" +
+                                     port_text + "'");
+    }
+    port = port * 10 + static_cast<uint32_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range: " + port_text);
+    }
+  }
+  return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+}
+
+}  // namespace mbc

@@ -1,0 +1,170 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Transports for the JSONL protocol: where request lines come from and
+// response lines go to. The protocol logic itself lives in JsonlSession
+// (session.h); a transport only frames bytes into lines and moves the
+// session's output back out, so every frontend — stdin, a batch file, a
+// TCP socket — exhibits identical protocol behavior by construction.
+//
+// Two implementations:
+//
+//   StdioTransport   blocking line loop over an istream/ostream pair
+//                    (mbc_serve's stdin mode, mbc_cli batch, tests);
+//   SocketServer     a poll()-driven TCP listener serving many
+//                    connections from one thread, each with its own
+//                    LineFramer + JsonlSession and in-order response
+//                    stream, all sharing one QueryService worker pool.
+//
+// The SocketServer enforces --max-connections with fail-fast admission
+// (the over-limit client gets one resource_exhausted error frame, then
+// close), a per-connection idle timeout, and a bounded frame size: an
+// over-long line is discarded as it streams in and answered with exactly
+// one invalid_argument error frame. RequestDrain() (wired to SIGINT /
+// SIGTERM by mbc_serve) stops accepting, lets in-flight queries finish,
+// flushes every connection and returns — a graceful drain.
+#ifndef MBC_SERVICE_TRANSPORT_H_
+#define MBC_SERVICE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+
+namespace mbc {
+
+/// Incremental byte-stream → line splitter with a bounded frame size.
+/// Bytes of an over-long line are discarded as they arrive (the framer
+/// never buffers more than the limit) and the line surfaces once, marked
+/// oversized, when its terminating newline (or EOF) shows up.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  struct Line {
+    std::string text;
+    bool oversized = false;
+  };
+
+  /// Appends raw bytes; complete lines become available via Next().
+  void Feed(const char* data, size_t size);
+
+  /// Marks end of stream: a trailing newline-less partial line (or a
+  /// truncated oversized one) is flushed as a final complete line.
+  void Finish();
+
+  /// Pops the next complete line. Returns false when none is ready.
+  bool Next(Line* out);
+
+  /// Complete lines buffered and ready to pop.
+  size_t ready_size() const { return ready_.size(); }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string partial_;
+  bool discarding_ = false;  // inside an over-long line
+  std::deque<Line> ready_;
+};
+
+/// A serving frontend: runs a whole JSONL session (or many, for the
+/// socket server) against `service` until its input ends or it is asked
+/// to stop.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Status Serve(QueryService& service, const JsonlOptions& options) = 0;
+};
+
+/// The blocking single-session transport over C++ streams.
+class StdioTransport : public Transport {
+ public:
+  StdioTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  Status Serve(QueryService& service, const JsonlOptions& options) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+struct SocketServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; port() reports the one the kernel chose.
+  uint16_t port = 0;
+  /// Fail-fast admission bound: connection max_connections+1 is answered
+  /// with one resource_exhausted error frame and closed.
+  size_t max_connections = 64;
+  /// Close a connection with no traffic and no in-flight work for this
+  /// long (one cancelled error frame is sent first). 0 = never.
+  double idle_timeout_seconds = 0.0;
+};
+
+class SocketServer : public Transport {
+ public:
+  explicit SocketServer(SocketServerOptions options);
+  ~SocketServer() override;
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. After this, port() is the actual bound port.
+  Status Start();
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop until RequestStop() / RequestDrain(). Start()
+  /// is called implicitly if it hasn't been. Point the service's
+  /// ServiceOptions::on_task_complete at Wake() for low-latency response
+  /// emission; without it the loop falls back to a short poll tick.
+  Status Serve(QueryService& service, const JsonlOptions& options) override;
+
+  /// Pokes the event loop (async-signal-safe, callable from any thread).
+  void Wake();
+  /// Graceful: stop accepting, finish in-flight queries, flush and close
+  /// every connection, then return from Serve(). Async-signal-safe.
+  void RequestDrain();
+  /// Immediate: abandon connections and return. Async-signal-safe.
+  void RequestStop();
+
+ private:
+  struct Connection;
+
+  void AcceptPending(QueryService& service);
+  /// Framer → session → outbuf for one connection. Returns false when
+  /// the connection should be dropped.
+  bool PumpConnection(Connection& conn, QueryService& service,
+                      const JsonlOptions& options);
+  bool FlushWrites(Connection& conn);
+  void CloseConnection(QueryService& service, int fd);
+
+  const SocketServerOptions options_;
+  JsonlOptions serve_options_;  // captured by Serve() for AcceptPending
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::map<int, std::unique_ptr<Connection>> connections_;
+};
+
+/// The client half of the socket transport: streams `in` to the server
+/// and copies response bytes to `out`, interleaving reads and writes so
+/// deep pipelines cannot deadlock on filled kernel buffers. Sends EOF
+/// (half-close) after the last request byte and returns once the server
+/// closes. Used by `mbc_cli batch --connect` and the conformance tests.
+Status RunJsonlSocketClient(const std::string& host, uint16_t port,
+                            std::istream& in, std::ostream& out);
+
+/// Parses "HOST:PORT" (host may be empty → 127.0.0.1).
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec);
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_TRANSPORT_H_

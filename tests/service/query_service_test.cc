@@ -229,5 +229,91 @@ TEST(QueryServiceTest, StatsJsonContainsTheCounters) {
   EXPECT_GE(stats.latency_p95_seconds, stats.latency_p50_seconds);
 }
 
+TEST(QueryServiceTest, StatsJsonContainsTransportAndWorkerSections) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  ASSERT_TRUE(service.Query(MbcRequest("fig2", 2)).status.ok());
+  const std::string json = service.StatsJson();
+  EXPECT_NE(json.find("\"transport\":{\"connections_accepted\":"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"frames_in\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"workers\":[{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mdc_arena_hwm_bytes\":"), std::string::npos) << json;
+}
+
+// The per-worker counters and arena high-water marks only ever go up,
+// the marks reflect real arena bytes once the solver has run, and the
+// worker query counts sum to queries_served.
+TEST(QueryServiceTest, WorkerStatsAreMonotone) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(options);
+  // Dense enough that the MDC search actually recurses (a sparse graph
+  // can be fully solved by reductions without touching the arena).
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(48, 700, 0.3, 77)).ok());
+
+  std::vector<WorkerStats> previous(options.num_workers);
+  for (uint32_t round = 0; round < 4; ++round) {
+    QueryRequest request = MbcRequest("g", 1 + round % 3);
+    request.no_cache = true;  // every round must reach a worker's solver
+    ASSERT_TRUE(service.Query(request).status.ok());
+
+    const ServiceStats stats = service.Stats();
+    ASSERT_EQ(stats.workers.size(), options.num_workers);
+    uint64_t total_queries = 0;
+    uint64_t total_hwm = 0;
+    for (size_t w = 0; w < stats.workers.size(); ++w) {
+      EXPECT_GE(stats.workers[w].queries, previous[w].queries)
+          << "worker " << w << " round " << round;
+      EXPECT_GE(stats.workers[w].mdc_arena_hwm_bytes,
+                previous[w].mdc_arena_hwm_bytes)
+          << "worker " << w << " round " << round;
+      EXPECT_GE(stats.workers[w].dcc_arena_hwm_bytes,
+                previous[w].dcc_arena_hwm_bytes)
+          << "worker " << w << " round " << round;
+      total_queries += stats.workers[w].queries;
+      total_hwm += stats.workers[w].mdc_arena_hwm_bytes;
+      previous[w] = stats.workers[w];
+    }
+    EXPECT_EQ(total_queries, stats.queries_served);
+    EXPECT_GT(total_hwm, 0u) << "an MDC query ran, so some worker's "
+                                "arena must have a footprint";
+  }
+}
+
+TEST(QueryServiceTest, TrySubmitFullQueueDoesNotCountAsRejected) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  // Saturate: one request on the worker, one in the queue, then TrySubmit
+  // until it reports exhaustion.
+  std::vector<std::future<QueryResponse>> inflight;
+  Status full = Status::OK();
+  for (uint32_t i = 0; i < 64; ++i) {
+    QueryRequest request = MbcRequest("fig2", 1 + i % 3, "t" + std::to_string(i));
+    request.no_cache = true;
+    Result<std::future<QueryResponse>> submitted =
+        service.TrySubmit(std::move(request));
+    if (!submitted.ok()) {
+      full = submitted.status();
+      break;
+    }
+    inflight.push_back(std::move(submitted).value());
+  }
+  for (std::future<QueryResponse>& future : inflight) future.wait();
+  if (!full.ok()) {
+    EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  }
+  // Backpressure retries are not shed requests: the rejected counter only
+  // moves for Submit(), never TrySubmit().
+  EXPECT_EQ(service.Stats().queries_rejected, 0u);
+}
+
 }  // namespace
 }  // namespace mbc

@@ -1,0 +1,197 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Multi-client loopback stress: N concurrent socket clients drive one
+// server with a mixed MBC/PF/gMBC load while a churn client loads and
+// evicts its own graph in a loop and one client disconnects mid-pipeline.
+// Every surviving client's responses must be byte-identical to a
+// sequential single-worker reference, the churn must never produce a
+// failure on another client's graphs (eviction never kills an in-flight
+// query), and the per-connection counters must reconcile. This test is
+// part of the TSan CI leg: the interesting property is that one poll
+// thread, four workers and six client threads share a QueryService
+// without a data race.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/graph/graph_io.h"
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+#include "src/service/transport.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::ConnectLoopback;
+using testing_util::RandomSignedGraph;
+using testing_util::SendAll;
+
+constexpr uint32_t kNumClients = 4;
+constexpr uint32_t kQueriesPerClient = 60;
+constexpr uint32_t kNumGraphs = 3;
+
+SignedGraph MakeGraph(uint32_t g) {
+  return RandomSignedGraph(26 + 4 * g, 140 + 25 * g, 0.42, 9000 + g);
+}
+
+/// Client c's deterministic batch over the preloaded graphs g0..g2.
+std::string ClientBatch(uint32_t c) {
+  std::ostringstream batch;
+  uint64_t state = 100 + c;
+  for (uint32_t i = 0; i < kQueriesPerClient; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const uint32_t g = static_cast<uint32_t>((state >> 33) % kNumGraphs);
+    const uint32_t pick = static_cast<uint32_t>((state >> 17) % 6);
+    batch << "{\"id\":\"c" << c << "q" << i << "\",\"graph\":\"g" << g
+          << "\"";
+    if (pick < 3) {
+      batch << ",\"kind\":\"mbc\",\"tau\":"
+            << 1 + static_cast<uint32_t>((state >> 7) % 3);
+    } else if (pick < 5) {
+      batch << ",\"kind\":\"pf\"";
+    } else {
+      batch << ",\"kind\":\"gmbc\"";
+    }
+    batch << "}\n";
+  }
+  return batch.str();
+}
+
+JsonlOptions DeterministicOptions() {
+  JsonlOptions jsonl;
+  jsonl.deterministic = true;
+  return jsonl;
+}
+
+/// The sequential ground truth: each client's batch through a fresh
+/// single-worker service over the same graphs.
+std::string SequentialReference(uint32_t c) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(options);
+  for (uint32_t g = 0; g < kNumGraphs; ++g) {
+    EXPECT_TRUE(
+        service.store().Load("g" + std::to_string(g), MakeGraph(g)).ok());
+  }
+  std::istringstream in(ClientBatch(c));
+  std::ostringstream out;
+  StdioTransport transport(in, out);
+  EXPECT_TRUE(transport.Serve(service, DeterministicOptions()).ok());
+  return out.str();
+}
+
+TEST(SocketStressTest, ConcurrentClientsChurnAndDisconnects) {
+  SocketServer server(SocketServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.max_queue = 32;
+  options.on_task_complete = [&server] { server.Wake(); };
+  QueryService service(options);
+  for (uint32_t g = 0; g < kNumGraphs; ++g) {
+    ASSERT_TRUE(
+        service.store().Load("g" + std::to_string(g), MakeGraph(g)).ok());
+  }
+  // The churn graph lives on disk so the load op can re-read it.
+  const std::string churn_path = ::testing::TempDir() + "/stress_churn.txt";
+  ASSERT_TRUE(WriteSignedEdgeList(MakeGraph(0), churn_path).ok());
+
+  std::thread serving([&] {
+    EXPECT_TRUE(server.Serve(service, DeterministicOptions()).ok());
+  });
+
+  // Query clients: full pipelined batch over RunJsonlSocketClient.
+  std::vector<std::string> outputs(kNumClients);
+  std::vector<Status> statuses(kNumClients, Status::OK());
+  std::vector<std::thread> clients;
+  clients.reserve(kNumClients);
+  for (uint32_t c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::istringstream in(ClientBatch(c));
+      std::ostringstream out;
+      statuses[c] =
+          RunJsonlSocketClient("127.0.0.1", server.port(), in, out);
+      outputs[c] = out.str();
+    });
+  }
+
+  // Churn client: load/query/evict its own graph in a loop. Its queries
+  // sit between its own load/evict barriers, so they must all succeed —
+  // eviction never kills an in-flight query.
+  std::string churn_output;
+  Status churn_status = Status::OK();
+  std::thread churner([&] {
+    std::ostringstream batch;
+    for (uint32_t round = 0; round < 12; ++round) {
+      batch << "{\"op\":\"load\",\"name\":\"churn\",\"path\":\""
+            << churn_path << "\"}\n";
+      batch << "{\"id\":\"churn" << round
+            << "\",\"graph\":\"churn\",\"kind\":\"mbc\",\"tau\":2}\n";
+      batch << "{\"op\":\"evict\",\"name\":\"churn\"}\n";
+    }
+    std::istringstream in(batch.str());
+    std::ostringstream out;
+    churn_status = RunJsonlSocketClient("127.0.0.1", server.port(), in, out);
+    churn_output = out.str();
+  });
+
+  // Saboteur: pipelines a burst of queries, then drops the connection
+  // without reading a byte of the responses.
+  std::thread saboteur([&] {
+    const int fd = ConnectLoopback(server.port());
+    if (fd < 0) return;
+    std::string burst;
+    for (uint32_t i = 0; i < 16; ++i) {
+      burst += "{\"graph\":\"g1\",\"kind\":\"mbc\",\"tau\":2}\n";
+    }
+    burst += "{\"graph\":\"g2\",\"kind\":\"pf\"";  // cut mid-object
+    SendAll(fd, burst);
+    ::close(fd);
+  });
+
+  for (std::thread& client : clients) client.join();
+  churner.join();
+  saboteur.join();
+  server.RequestDrain();
+  serving.join();
+
+  for (uint32_t c = 0; c < kNumClients; ++c) {
+    ASSERT_TRUE(statuses[c].ok()) << statuses[c].ToString();
+    EXPECT_EQ(outputs[c], SequentialReference(c)) << "client " << c;
+  }
+  ASSERT_TRUE(churn_status.ok()) << churn_status.ToString();
+  // Every churn round: load ok, query ok (never not_found), evict ok.
+  size_t churn_lines = 0;
+  std::istringstream churn_in(churn_output);
+  for (std::string line; std::getline(churn_in, line);) {
+    EXPECT_EQ(line.find("\"ok\":false"), std::string::npos) << line;
+    ++churn_lines;
+  }
+  EXPECT_EQ(churn_lines, 3u * 12u);
+
+  // Counter reconciliation: every client thread accounted for, nobody
+  // left active, and the workers' query counts sum to what actually ran.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.transport.connections_accepted, kNumClients + 2u);
+  EXPECT_EQ(stats.transport.connections_active, 0);
+  EXPECT_EQ(stats.transport.connections_rejected, 0u);
+  EXPECT_GE(stats.transport.frames_in,
+            static_cast<uint64_t>(kNumClients) * kQueriesPerClient);
+  uint64_t worker_queries = 0;
+  ASSERT_EQ(stats.workers.size(), 4u);
+  for (const WorkerStats& worker : stats.workers) {
+    worker_queries += worker.queries;
+  }
+  EXPECT_EQ(worker_queries, stats.queries_served);
+}
+
+}  // namespace
+}  // namespace mbc

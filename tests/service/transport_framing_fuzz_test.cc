@@ -1,0 +1,289 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Adversarial framing: the transport layer must survive anything the
+// network hands it — lines split at arbitrary byte boundaries, many
+// lines merged into one write, oversized lines, truncated multi-byte
+// UTF-8, abrupt disconnects mid-line, binary garbage — without crashing,
+// reordering responses, or answering a malformed frame with anything but
+// exactly one error frame. Seeded LCG throughout, so every run replays
+// the same adversity.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+#include "src/service/transport.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::ConnectLoopback;
+using testing_util::RandomSignedGraph;
+using testing_util::RecvAll;
+using testing_util::SendAll;
+
+constexpr size_t kMaxLineBytes = 256;
+
+uint64_t Advance(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 16;
+}
+
+// ---------------------------------------------------------------------------
+// LineFramer properties (deterministic chunking, no sockets involved).
+
+std::vector<LineFramer::Line> FrameInChunks(const std::string& bytes,
+                                            uint64_t seed) {
+  LineFramer framer(kMaxLineBytes);
+  std::vector<LineFramer::Line> lines;
+  uint64_t state = seed;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Chunk sizes from 1 byte up to "everything at once".
+    const size_t max_chunk = 1 + Advance(&state) % (bytes.size() + 16);
+    const size_t chunk = std::min(max_chunk, bytes.size() - pos);
+    framer.Feed(bytes.data() + pos, chunk);
+    pos += chunk;
+    LineFramer::Line line;
+    while (framer.Next(&line)) lines.push_back(std::move(line));
+  }
+  framer.Finish();
+  LineFramer::Line line;
+  while (framer.Next(&line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+TEST(LineFramerFuzzTest, ChunkingNeverChangesTheLines) {
+  uint64_t state = 7;
+  for (uint32_t round = 0; round < 50; ++round) {
+    // Build a random stream: short lines, empty lines, oversized lines,
+    // binary garbage, an optional trailing newline-less fragment.
+    std::string bytes;
+    std::vector<std::pair<std::string, bool>> expected;  // text, oversized
+    const uint32_t num_lines = 1 + Advance(&state) % 12;
+    for (uint32_t i = 0; i < num_lines; ++i) {
+      const uint32_t pick = Advance(&state) % 5;
+      std::string text;
+      if (pick == 0) {
+        // empty line
+      } else if (pick == 1) {
+        text = std::string(kMaxLineBytes + 1 + Advance(&state) % 64, 'y');
+      } else if (pick == 2) {
+        // Binary garbage including NUL and truncated UTF-8 lead bytes.
+        const size_t len = 1 + Advance(&state) % 40;
+        for (size_t b = 0; b < len; ++b) {
+          char c = static_cast<char>(Advance(&state) % 256);
+          if (c == '\n') c = '\xe2';  // a dangling UTF-8 lead byte
+          text += c;
+        }
+      } else {
+        text = "{\"id\":\"r" + std::to_string(i) + "\"}";
+      }
+      const bool oversized = text.size() > kMaxLineBytes;
+      expected.emplace_back(oversized ? "" : text, oversized);
+      bytes += text;
+      bytes += '\n';
+    }
+    const bool trailing_fragment = Advance(&state) % 2 == 0;
+    if (trailing_fragment) {
+      bytes += "{\"tail\":";  // cut off mid-object, no newline
+      expected.emplace_back("{\"tail\":", false);
+    }
+
+    for (const uint64_t chunk_seed :
+         {uint64_t{1}, uint64_t{99}, uint64_t{state}}) {
+      const std::vector<LineFramer::Line> lines =
+          FrameInChunks(bytes, chunk_seed);
+      ASSERT_EQ(lines.size(), expected.size()) << "round " << round;
+      for (size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i].oversized, expected[i].second)
+            << "round " << round << " line " << i;
+        if (!lines[i].oversized) {
+          EXPECT_EQ(lines[i].text, expected[i].first)
+              << "round " << round << " line " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(LineFramerFuzzTest, OversizedBytesAreDiscardedNotBuffered) {
+  LineFramer framer(64);
+  // Stream 1 MiB of a single unterminated line through the framer; it
+  // must not accumulate the payload (the discard path clears partial_).
+  const std::string blast(4096, 'z');
+  for (int i = 0; i < 256; ++i) framer.Feed(blast.data(), blast.size());
+  framer.Feed("\n", 1);
+  LineFramer::Line line;
+  ASSERT_TRUE(framer.Next(&line));
+  EXPECT_TRUE(line.oversized);
+  EXPECT_TRUE(line.text.empty());
+  EXPECT_FALSE(framer.Next(&line));
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level adversity against a live server.
+
+class FramingFuzzServer {
+ public:
+  FramingFuzzServer() : server_(SocketServerOptions{}) {
+    EXPECT_TRUE(server_.Start().ok());
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.on_task_complete = [this] { server_.Wake(); };
+    service_ = std::make_unique<QueryService>(options);
+    EXPECT_TRUE(
+        service_->store().Load("g", RandomSignedGraph(24, 110, 0.4, 41)).ok());
+    JsonlOptions jsonl;
+    jsonl.deterministic = true;
+    jsonl.max_line_bytes = kMaxLineBytes;
+    thread_ = std::thread(
+        [this, jsonl] { EXPECT_TRUE(server_.Serve(*service_, jsonl).ok()); });
+  }
+
+  ~FramingFuzzServer() {
+    server_.RequestDrain();
+    thread_.join();
+  }
+
+  uint16_t port() const { return server_.port(); }
+  QueryService& service() { return *service_; }
+
+ private:
+  SocketServer server_;
+  std::unique_ptr<QueryService> service_;
+  std::thread thread_;
+};
+
+size_t CountLines(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+// A batch with interleaved valid queries and malformed frames, written
+// over the socket in randomized fragments: every response arrives, in
+// order, with exactly one error frame per malformed line.
+TEST(TransportFramingFuzzTest, SplitAndMergedWritesPreserveTheProtocol) {
+  FramingFuzzServer server;
+  uint64_t state = 1234;
+  for (uint32_t round = 0; round < 8; ++round) {
+    std::string batch;
+    uint32_t valid = 0;
+    uint32_t malformed = 0;
+    uint32_t oversized = 0;
+    const uint32_t num_lines = 12 + Advance(&state) % 12;
+    for (uint32_t i = 0; i < num_lines; ++i) {
+      switch (Advance(&state) % 6) {
+        case 0:
+          batch += "{\"bad json\n";
+          ++malformed;
+          break;
+        case 1:
+          batch += "{\"graph\":\"g\",\"nope\":true}\n";
+          ++malformed;
+          break;
+        case 2:
+          batch +=
+              "{\"pad\":\"" + std::string(kMaxLineBytes, 'p') + "\"}\n";
+          ++oversized;
+          break;
+        case 3:
+          batch += "\xff\xfe\xe2\x28garbage\n";  // invalid UTF-8 bytes
+          ++malformed;
+          break;
+        default:
+          batch += "{\"id\":\"v" + std::to_string(i) +
+                   "\",\"graph\":\"g\",\"kind\":\"mbc\",\"tau\":" +
+                   std::to_string(1 + i % 3) + "}\n";
+          ++valid;
+          break;
+      }
+    }
+
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    // Random fragmentation: 1-byte dribbles up to multi-line merges.
+    size_t pos = 0;
+    while (pos < batch.size()) {
+      const size_t chunk =
+          std::min(1 + Advance(&state) % 96, batch.size() - pos);
+      ASSERT_TRUE(SendAll(fd, batch.substr(pos, chunk)));
+      pos += chunk;
+    }
+    ::shutdown(fd, SHUT_WR);
+    const std::string response = RecvAll(fd);
+    ::close(fd);
+
+    EXPECT_EQ(CountLines(response, "\"ok\":true"), valid)
+        << "round " << round << "\n" << response;
+    EXPECT_EQ(CountLines(response, "\"ok\":false"), malformed + oversized)
+        << "round " << round << "\n" << response;
+    EXPECT_EQ(CountLines(response, "frame limit"), oversized)
+        << "round " << round << "\n" << response;
+    // In-order: the i-th "v<i>" id appears before the (i+1)-th.
+    size_t cursor = 0;
+    for (uint32_t i = 0; i < num_lines; ++i) {
+      const std::string id = "\"id\":\"v" + std::to_string(i) + "\"";
+      const size_t at = response.find(id);
+      if (at == std::string::npos) continue;
+      EXPECT_GE(at, cursor) << "response out of order at v" << i;
+      cursor = at;
+    }
+  }
+}
+
+// Abrupt disconnects at random points — mid-line, mid-pipeline, before
+// reading any response — must never take the server down: a follow-up
+// well-formed client still gets full service.
+TEST(TransportFramingFuzzTest, AbruptDisconnectsDoNotKillTheServer) {
+  FramingFuzzServer server;
+  uint64_t state = 777;
+  for (uint32_t round = 0; round < 12; ++round) {
+    const int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string payload;
+    for (uint32_t i = 0; i < 4; ++i) {
+      payload += "{\"graph\":\"g\",\"kind\":\"mbc\",\"tau\":2}\n";
+    }
+    payload += "{\"graph\":\"g\",\"kind\":\"pf\"";  // cut mid-object
+    const size_t cut = 1 + Advance(&state) % payload.size();
+    SendAll(fd, payload.substr(0, cut));
+    if (Advance(&state) % 2 == 0) {
+      // Half the rounds disconnect without reading a single byte back,
+      // leaving the server's write buffer to hit a dead peer.
+      struct linger hard = {1, 0};  // RST on close
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    }
+    ::close(fd);
+  }
+
+  // The server is still fully functional.
+  const int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(
+      SendAll(fd, "{\"id\":\"alive\",\"graph\":\"g\",\"kind\":\"mbc\","
+                  "\"tau\":2}\n"));
+  ::shutdown(fd, SHUT_WR);
+  const std::string response = RecvAll(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("\"id\":\"alive\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+}
+
+}  // namespace
+}  // namespace mbc

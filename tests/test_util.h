@@ -5,6 +5,11 @@
 #ifndef MBC_TESTS_TEST_UTIL_H_
 #define MBC_TESTS_TEST_UTIL_H_
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <sstream>
 #include <string>
 
@@ -121,6 +126,49 @@ inline SignedGraph RandomSignedGraph(VertexId n, EdgeCount m,
   options.powerlaw_alpha = 0.4;
   options.seed = seed;
   return GenerateCommunitySignedGraph(options);
+}
+
+/// Raw blocking loopback client for transport tests that need finer
+/// control than RunJsonlSocketClient (held-open connections, partial
+/// writes, abrupt disconnects). Returns the connected fd, or -1.
+inline int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocking send of the whole buffer. Returns false on any error.
+inline bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read until the peer closes (or errors). Returns the bytes.
+inline std::string RecvAll(int fd) {
+  std::string out;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return out;
+    out.append(buffer, static_cast<size_t>(n));
+  }
 }
 
 }  // namespace testing_util

@@ -50,6 +50,7 @@
 #include "src/related/related_cliques.h"
 #include "src/service/jsonl.h"
 #include "src/service/query_service.h"
+#include "src/service/transport.h"
 
 namespace {
 
@@ -87,6 +88,7 @@ int Usage() {
       "  balance  --graph FILE\n"
       "  related  --graph FILE [--alpha A --k K]\n"
       "  batch    --input FILE [--workers N] [--deterministic true]\n"
+      "           [--connect HOST:PORT]  send to a running mbc_serve\n"
       "  datasets\n"
       "global flags (solver commands):\n"
       "  --time-limit SECONDS   wall-clock budget\n"
@@ -377,13 +379,42 @@ int CmdRelated(const Flags& flags) {
 
 // Runs a JSONL request file through the same service layer as mbc_serve
 // (worker pool, result cache, per-request governor), writing responses to
-// stdout in request order.
+// stdout in request order. With --connect HOST:PORT the requests are sent
+// to a running `mbc_serve --listen` daemon instead of an in-process pool.
 int CmdBatch(const Flags& flags) {
   const std::string input = flags.Get("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "--input is required (JSONL request file, - for "
                          "stdin)\n");
     return 2;
+  }
+  const std::string connect = flags.Get("connect", "");
+  if (!connect.empty()) {
+    mbc::Result<std::pair<std::string, uint16_t>> endpoint =
+        mbc::ParseHostPort(connect);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "--connect: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    mbc::Status status;
+    if (input == "-") {
+      status = mbc::RunJsonlSocketClient(endpoint.value().first,
+                                         endpoint.value().second, std::cin,
+                                         std::cout);
+    } else {
+      std::ifstream in(input);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", input.c_str());
+        return 1;
+      }
+      status = mbc::RunJsonlSocketClient(endpoint.value().first,
+                                         endpoint.value().second, in,
+                                         std::cout);
+    }
+    std::cout.flush();
+    if (!status.ok()) return Fail(status);
+    return 0;
   }
   mbc::ServiceOptions options;
   options.num_workers = static_cast<size_t>(

@@ -1,13 +1,17 @@
 // Copyright 2026 The balanced-clique Authors.
 //
 // mbc_serve: the JSONL query daemon. Reads one request object per line
-// from stdin (or --batch FILE), writes one response object per line to
-// stdout in request order, and keeps graphs, solver arenas and the result
-// cache warm between requests. See src/service/jsonl.h for the protocol.
+// from stdin (or --batch FILE, or a TCP socket with --listen), writes one
+// response object per line in request order, and keeps graphs, solver
+// arenas and the result cache warm between requests. See
+// src/service/jsonl.h for the protocol and src/service/transport.h for
+// the transports.
 //
 //   mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]
 //             [--time-limit SECONDS] [--deterministic]
 //             [--load NAME=PATH]... [--batch FILE] [--stats]
+//             [--listen HOST:PORT] [--max-connections N]
+//             [--idle-timeout SECONDS] [--max-line-bytes N]
 //
 //   --load NAME=PATH  preload a graph before serving (repeatable)
 //   --batch FILE      serve the requests in FILE, then exit
@@ -15,6 +19,17 @@
 //   --deterministic   omit timing-dependent response fields ("cached",
 //                     "seconds") so output is diffable across runs
 //   --stats           print the service stats JSON to stderr on exit
+//   --listen H:P      serve TCP connections instead of stdin; with port
+//                     0 the kernel picks one and the bare port number is
+//                     printed on stdout (for scripts and tests). SIGINT /
+//                     SIGTERM drain gracefully: stop accepting, finish
+//                     in-flight queries, flush, exit 0.
+//   --max-connections N  admission bound; over-limit clients get one
+//                     resource_exhausted error frame (default 64)
+//   --idle-timeout S  close connections idle this long (default: never)
+//   --max-line-bytes N  frame-size bound; longer request lines are
+//                     rejected with one error frame (default 1 MiB)
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +40,7 @@
 
 #include "src/service/jsonl.h"
 #include "src/service/query_service.h"
+#include "src/service/transport.h"
 
 namespace {
 
@@ -33,15 +49,19 @@ int Usage() {
       stderr,
       "usage: mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]\n"
       "                 [--time-limit SECONDS] [--deterministic]\n"
-      "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n");
+      "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n"
+      "                 [--listen HOST:PORT] [--max-connections N]\n"
+      "                 [--idle-timeout SECONDS] [--max-line-bytes N]\n");
   return 2;
 }
 
 struct ServeArgs {
   mbc::ServiceOptions service;
   mbc::JsonlOptions jsonl;
+  mbc::SocketServerOptions socket;
   std::vector<std::pair<std::string, std::string>> preloads;
   std::string batch_path;  // empty = stdin
+  bool listen = false;
   bool print_stats = false;
   bool ok = true;
 };
@@ -77,6 +97,28 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.print_stats = true;
     } else if (flag == "--batch") {
       args.batch_path = value(i);
+    } else if (flag == "--listen") {
+      mbc::Result<std::pair<std::string, uint16_t>> endpoint =
+          mbc::ParseHostPort(value(i));
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "--listen: %s\n",
+                     endpoint.status().ToString().c_str());
+        args.ok = false;
+      } else {
+        args.listen = true;
+        args.socket.host = endpoint.value().first;
+        args.socket.port = endpoint.value().second;
+      }
+    } else if (flag == "--max-connections") {
+      args.socket.max_connections =
+          static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
+      if (args.socket.max_connections == 0) args.ok = false;
+    } else if (flag == "--idle-timeout") {
+      args.socket.idle_timeout_seconds = std::strtod(value(i), nullptr);
+    } else if (flag == "--max-line-bytes") {
+      args.jsonl.max_line_bytes =
+          static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
+      if (args.jsonl.max_line_bytes == 0) args.ok = false;
     } else if (flag == "--load") {
       const std::string spec = value(i);
       const size_t eq = spec.find('=');
@@ -92,14 +134,41 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.ok = false;
     }
   }
+  if (args.listen && !args.batch_path.empty()) {
+    std::fprintf(stderr, "--listen and --batch are mutually exclusive\n");
+    args.ok = false;
+  }
   return args;
+}
+
+// The signal handler only touches the SocketServer's atomics and wake
+// pipe (both async-signal-safe).
+mbc::SocketServer* g_server = nullptr;
+
+void HandleDrainSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestDrain();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const ServeArgs args = ParseArgs(argc, argv);
+  ServeArgs args = ParseArgs(argc, argv);
   if (!args.ok) return Usage();
+
+  mbc::SocketServer server(args.socket);
+  if (args.listen) {
+    // Bind before constructing the service so the completion hook can be
+    // wired first, and so a bad endpoint fails before threads spin up.
+    const mbc::Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot listen on %s:%u: %s\n",
+                   args.socket.host.c_str(),
+                   static_cast<unsigned>(args.socket.port),
+                   status.ToString().c_str());
+      return 1;
+    }
+    args.service.on_task_complete = [&server] { server.Wake(); };
+  }
 
   mbc::QueryService service(args.service);
   for (const auto& [name, path] : args.preloads) {
@@ -112,8 +181,22 @@ int main(int argc, char** argv) {
   }
 
   mbc::Status status;
-  if (args.batch_path.empty()) {
-    status = mbc::RunJsonlStream(service, std::cin, std::cout, args.jsonl);
+  if (args.listen) {
+    g_server = &server;
+    std::signal(SIGINT, HandleDrainSignal);
+    std::signal(SIGTERM, HandleDrainSignal);
+    // The bare port alone on stdout: scripts do PORT=$(mbc_serve ... &).
+    std::printf("%u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    std::fprintf(stderr, "mbc_serve: listening on %s:%u (%zu workers)\n",
+                 args.socket.host.c_str(),
+                 static_cast<unsigned>(server.port()),
+                 args.service.num_workers);
+    status = server.Serve(service, args.jsonl);
+    g_server = nullptr;
+  } else if (args.batch_path.empty()) {
+    mbc::StdioTransport transport(std::cin, std::cout);
+    status = transport.Serve(service, args.jsonl);
   } else {
     std::ifstream in(args.batch_path);
     if (!in) {
@@ -121,7 +204,8 @@ int main(int argc, char** argv) {
                    args.batch_path.c_str());
       return 1;
     }
-    status = mbc::RunJsonlStream(service, in, std::cout, args.jsonl);
+    mbc::StdioTransport transport(in, std::cout);
+    status = transport.Serve(service, args.jsonl);
   }
   std::cout.flush();
   if (args.print_stats) {
