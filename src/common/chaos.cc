@@ -1,0 +1,117 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/common/chaos.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/env.h"
+#include "src/common/logging.h"
+#include "src/common/random.h"
+
+namespace mbc {
+namespace {
+
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+// Probability scaled to 2^64; UINT64_MAX means "always trip". Mirrors the
+// execution-governor fault threshold so the two injectors draw alike.
+uint64_t FaultThreshold(double probability) {
+  if (probability <= 0.0) return 0;
+  if (probability >= 1.0) return UINT64_MAX;
+  const double scaled = std::ldexp(probability, 64);
+  if (scaled >= std::ldexp(1.0, 64)) return UINT64_MAX;
+  return static_cast<uint64_t>(scaled);
+}
+
+Status ParseKeyValue(const std::string& key, const std::string& value,
+                     ServiceFaultOptions* options) {
+  char* end = nullptr;
+  const double number = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !(number >= 0)) {
+    return Status::InvalidArgument("chaos key '" + key +
+                                   "' wants a non-negative number, got '" +
+                                   value + "'");
+  }
+  if (key == "stall") {
+    options->worker_stall_probability = number;
+  } else if (key == "stall_ms") {
+    options->worker_stall_ms = number;
+  } else if (key == "alloc") {
+    options->alloc_fail_probability = number;
+  } else if (key == "slow") {
+    options->slow_write_probability = number;
+  } else if (key == "slow_bytes") {
+    options->slow_write_bytes = static_cast<size_t>(number);
+  } else if (key == "seed") {
+    options->seed = std::strtoull(value.c_str(), nullptr, 0);
+  } else {
+    return Status::InvalidArgument("unknown chaos key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServiceFaultOptions> ParseServiceFaultSpec(const std::string& spec) {
+  ServiceFaultOptions options;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("chaos spec item '" + item +
+                                     "' wants key=value");
+    }
+    MBC_RETURN_NOT_OK(
+        ParseKeyValue(item.substr(0, eq), item.substr(eq + 1), &options));
+  }
+  return options;
+}
+
+const ServiceFaultOptions& EnvServiceFaultOptions() {
+  static const ServiceFaultOptions options = [] {
+    const std::string raw = GetEnvString("MBC_FAULT_INJECT_SERVICE", "");
+    if (raw.empty()) return ServiceFaultOptions{};
+    Result<ServiceFaultOptions> parsed = ParseServiceFaultSpec(raw);
+    if (!parsed.ok()) {
+      MBC_LOG(Warning) << "ignoring malformed MBC_FAULT_INJECT_SERVICE=\""
+                       << raw << "\": " << parsed.status().ToString();
+      return ServiceFaultOptions{};
+    }
+    return parsed.value();
+  }();
+  return options;
+}
+
+ServiceFaultInjector::ServiceFaultInjector(const ServiceFaultOptions& options)
+    : options_(options),
+      stall_threshold_(FaultThreshold(options.worker_stall_probability)),
+      alloc_threshold_(FaultThreshold(options.alloc_fail_probability)),
+      slow_threshold_(FaultThreshold(options.slow_write_probability)),
+      state_(options.seed) {}
+
+bool ServiceFaultInjector::DrawBelow(uint64_t threshold) {
+  if (threshold == 0) return false;
+  uint64_t state = state_.fetch_add(kGolden, std::memory_order_relaxed);
+  const uint64_t draw = SplitMix64(state);
+  return threshold == UINT64_MAX || draw < threshold;
+}
+
+bool ServiceFaultInjector::DrawWorkerStall() {
+  return DrawBelow(stall_threshold_);
+}
+
+bool ServiceFaultInjector::DrawAllocFail() {
+  return DrawBelow(alloc_threshold_);
+}
+
+size_t ServiceFaultInjector::DrawWriteCap() {
+  if (!DrawBelow(slow_threshold_)) return 0;
+  return options_.slow_write_bytes > 0 ? options_.slow_write_bytes : 1;
+}
+
+}  // namespace mbc

@@ -1,0 +1,91 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Service-layer chaos injection: the serving-stack counterpart of the
+// solver-level MBC_FAULT_INJECT knob in execution.h. Where the execution
+// governor trips a *search* mid-run, this injector perturbs the machinery
+// around it — worker stalls before a query executes, simulated allocation
+// failures that fail a query without running it, and slow-loris socket
+// writes that trickle response bytes out a few at a time. Every draw comes
+// from one deterministic SplitMix64 stream per injector, so a failing
+// chaos schedule replays exactly from its seed.
+//
+// Armed either programmatically (tests pass ServiceFaultOptions into
+// ServiceOptions / SocketServerOptions) or process-wide via
+//
+//   MBC_FAULT_INJECT_SERVICE="stall=0.05,stall_ms=2,alloc=0.02,slow=0.3,
+//                             slow_bytes=8,seed=42"
+//
+// (any subset of keys; unknown keys are rejected with a warning so typos
+// do not silently disarm a soak run).
+#ifndef MBC_COMMON_CHAOS_H_
+#define MBC_COMMON_CHAOS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mbc {
+
+struct ServiceFaultOptions {
+  /// Probability that a worker sleeps `worker_stall_ms` before executing a
+  /// query (models a descheduled / page-faulting worker).
+  double worker_stall_probability = 0.0;
+  double worker_stall_ms = 2.0;
+  /// Probability that a query fails with resource_exhausted before its
+  /// solver runs (models an allocation failure inside the service).
+  double alloc_fail_probability = 0.0;
+  /// Probability that one socket flush is capped to `slow_write_bytes`
+  /// (models a peer draining a byte at a time — slow-loris on the write
+  /// side). Reads are capped symmetrically when this is armed.
+  double slow_write_probability = 0.0;
+  size_t slow_write_bytes = 8;
+  uint64_t seed = 0x5eed;
+
+  bool armed() const {
+    return worker_stall_probability > 0.0 || alloc_fail_probability > 0.0 ||
+           slow_write_probability > 0.0;
+  }
+};
+
+/// Parses the comma-separated key=value spec above. Empty spec = disarmed.
+Result<ServiceFaultOptions> ParseServiceFaultSpec(const std::string& spec);
+
+/// MBC_FAULT_INJECT_SERVICE, parsed once per process. A malformed spec
+/// logs one warning and disarms (the service must not fail to start
+/// because a chaos knob has a typo — it must fail to *inject*, loudly).
+const ServiceFaultOptions& EnvServiceFaultOptions();
+
+/// Deterministic, thread-safe fault source. Each Draw* advances the shared
+/// SplitMix64 stream by one position; concurrent draws interleave but the
+/// multiset of draws is reproducible from the seed.
+class ServiceFaultInjector {
+ public:
+  ServiceFaultInjector() : ServiceFaultInjector(ServiceFaultOptions{}) {}
+  explicit ServiceFaultInjector(const ServiceFaultOptions& options);
+
+  bool armed() const { return options_.armed(); }
+  const ServiceFaultOptions& options() const { return options_; }
+
+  /// True when this query's worker should stall for worker_stall_ms.
+  bool DrawWorkerStall();
+  /// True when this query should fail as an injected allocation failure.
+  bool DrawAllocFail();
+  /// Byte cap for one socket write (or read); 0 = uncapped.
+  size_t DrawWriteCap();
+
+ private:
+  bool DrawBelow(uint64_t threshold);
+
+  ServiceFaultOptions options_;
+  uint64_t stall_threshold_ = 0;
+  uint64_t alloc_threshold_ = 0;
+  uint64_t slow_threshold_ = 0;
+  std::atomic<uint64_t> state_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_COMMON_CHAOS_H_

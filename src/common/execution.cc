@@ -79,7 +79,7 @@ Status InterruptStatus(InterruptReason reason) {
     case InterruptReason::kInjectedFault:
       return Status::Cancelled("injected fault tripped");
     case InterruptReason::kDeadline:
-      return Status::ResourceExhausted("deadline exceeded");
+      return Status::DeadlineExceeded("deadline exceeded");
     case InterruptReason::kMemoryBudget:
       return Status::ResourceExhausted("memory budget exceeded");
   }

@@ -35,8 +35,10 @@ enum class InterruptReason : uint8_t {
 const char* InterruptReasonName(InterruptReason reason);
 
 /// Maps an interrupt onto the Status model: kNone -> OK,
-/// kCancelled/kInjectedFault -> Cancelled,
-/// kDeadline/kMemoryBudget -> ResourceExhausted.
+/// kCancelled/kInjectedFault -> Cancelled, kDeadline -> DeadlineExceeded,
+/// kMemoryBudget -> ResourceExhausted. The three codes stay distinct all
+/// the way to the JSONL error field so clients can tell "waited too long"
+/// (not retryable as-is) from "out of capacity" (retryable with backoff).
 Status InterruptStatus(InterruptReason reason);
 
 /// Absolute monotonic wall-clock deadline. Default-constructed = infinite.

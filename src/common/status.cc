@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kUnimplemented = 5,
   kCancelled = 6,
   kResourceExhausted = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Lightweight status: OK is represented by a null payload so that the
@@ -56,6 +57,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -75,6 +79,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
  private:

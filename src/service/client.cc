@@ -1,0 +1,271 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/service/jsonl.h"
+#include "src/service/transport.h"
+
+namespace mbc {
+
+namespace {
+
+struct PendingRequest {
+  std::string line;
+  std::string response;
+  size_t attempts = 0;
+  bool done = false;
+};
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  struct addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               std::to_string(port).c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  Status status = Status::IOError("no usable address for '" + host + "'");
+  int fd = -1;
+  for (struct addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      status = Status::IOError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      status = Status::IOError(std::string("connect: ") +
+                               std::strerror(errno));
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) return status;
+  return fd;
+}
+
+/// The resource_exhausted error code is the protocol's "over capacity right
+/// now" signal (quota shed, overload shed, full admission queue) — the one
+/// outcome a backoff retry can fix. Everything else is final.
+bool IsRetryableResponse(const std::string& line) {
+  Result<JsonlFields> parsed = ParseJsonlLine(line);
+  return parsed.ok() &&
+         JsonlField(parsed.value(), "error") == "resource_exhausted";
+}
+
+/// id of a raw request line, for synthesized error responses; empty when
+/// the line has none (or does not parse).
+std::string RequestId(const std::string& line) {
+  Result<JsonlFields> parsed = ParseJsonlLine(line);
+  return parsed.ok() ? JsonlField(parsed.value(), "id") : std::string();
+}
+
+void Finalize(PendingRequest& request, std::string line,
+              const RetryClientOptions& options) {
+  if (options.annotate_attempts && request.attempts > 1 && !line.empty() &&
+      line.back() == '}') {
+    line.pop_back();
+    line += ",\"attempts\":" + std::to_string(request.attempts) + "}";
+  }
+  request.response = std::move(line);
+  request.done = true;
+}
+
+/// One pass over one connection: pipelines every request in `todo` with a
+/// bounded window, matching responses to requests in order. Returns with
+/// *connection_alive = false when the connection dropped mid-round; the
+/// still-unanswered requests simply stay pending for the next round.
+void PumpRound(int fd, std::vector<PendingRequest>& requests,
+               const std::vector<size_t>& todo,
+               const RetryClientOptions& options, RetryClientStats* stats,
+               bool* connection_alive) {
+  LineFramer framer(1u << 20);
+  std::deque<size_t> inflight;
+  size_t next = 0;
+  std::string send_buffer;
+  size_t send_pos = 0;
+  char buffer[16384];
+  LineFramer::Line line;
+  while (!inflight.empty() || next < todo.size()) {
+    while (next < todo.size() && inflight.size() < options.window) {
+      PendingRequest& request = requests[todo[next]];
+      send_buffer += request.line;
+      send_buffer += '\n';
+      ++request.attempts;
+      if (request.attempts > 1 && stats != nullptr) ++stats->retries;
+      inflight.push_back(todo[next]);
+      ++next;
+    }
+    if (send_pos == send_buffer.size()) {
+      send_buffer.clear();
+      send_pos = 0;
+    }
+
+    struct pollfd poll_fd = {fd, POLLIN, 0};
+    if (send_pos < send_buffer.size()) poll_fd.events |= POLLOUT;
+    if (::poll(&poll_fd, 1, -1) < 0) {
+      if (errno == EINTR) continue;
+      *connection_alive = false;
+      return;
+    }
+
+    if ((poll_fd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        framer.Feed(buffer, static_cast<size_t>(n));
+        while (framer.Next(&line)) {
+          if (inflight.empty()) continue;  // stray frame; drop
+          PendingRequest& request = requests[inflight.front()];
+          inflight.pop_front();
+          const bool retryable = IsRetryableResponse(line.text);
+          if (retryable && request.attempts < options.max_attempts) {
+            continue;  // stays pending; retried next round
+          }
+          // Out of budget: the last resource_exhausted frame is the answer.
+          if (retryable && stats != nullptr) ++stats->gave_up;
+          Finalize(request, std::move(line.text), options);
+        }
+      } else if (n == 0 || !(errno == EAGAIN || errno == EWOULDBLOCK ||
+                             errno == EINTR)) {
+        *connection_alive = false;
+        return;
+      }
+    }
+
+    if (send_pos < send_buffer.size() && (poll_fd.revents & POLLOUT) != 0) {
+      const ssize_t n = ::send(fd, send_buffer.data() + send_pos,
+                               send_buffer.size() - send_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        send_pos += static_cast<size_t>(n);
+      } else if (!(errno == EAGAIN || errno == EWOULDBLOCK ||
+                   errno == EINTR)) {
+        *connection_alive = false;
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status RunRetryingJsonlClient(const std::string& host, uint16_t port,
+                              std::istream& in, std::ostream& out,
+                              const RetryClientOptions& options,
+                              RetryClientStats* stats) {
+  if (options.max_attempts == 0) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  std::vector<PendingRequest> requests;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (IsJsonlSkippableLine(raw)) continue;
+    PendingRequest request;
+    request.line = std::move(raw);
+    requests.push_back(std::move(request));
+  }
+  if (in.bad()) return Status::IOError("failed reading request stream");
+  if (stats != nullptr) stats->requests = requests.size();
+
+  uint64_t jitter_state = options.jitter_seed;
+  int fd = -1;
+  bool first_connection = true;
+  size_t consecutive_connect_failures = 0;
+  size_t round = 1;
+  for (;;) {
+    std::vector<size_t> todo;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      PendingRequest& request = requests[i];
+      if (request.done) continue;
+      if (request.attempts >= options.max_attempts) {
+        // Sent the full budget of times, the response lost to resets each
+        // time: synthesize the terminal error the server never delivered.
+        if (stats != nullptr) ++stats->gave_up;
+        Finalize(request,
+                 JsonlErrorLine(
+                     RequestId(request.line),
+                     Status::IOError(
+                         "no response after " +
+                         std::to_string(request.attempts) + " attempts")),
+                 options);
+        continue;
+      }
+      todo.push_back(i);
+    }
+    if (todo.empty()) break;
+
+    if (round > 1) {
+      // Capped exponential backoff with deterministic jitter: sleep a
+      // uniform draw from [backoff/2, backoff) so a fleet of clients shed
+      // at the same instant does not retry at the same instant.
+      double backoff_ms = options.base_backoff_ms;
+      for (size_t r = 2; r < round && backoff_ms < options.max_backoff_ms;
+           ++r) {
+        backoff_ms *= 2.0;
+      }
+      if (backoff_ms > options.max_backoff_ms) {
+        backoff_ms = options.max_backoff_ms;
+      }
+      const double unit = (SplitMix64(jitter_state) >> 11) * 0x1.0p-53;
+      const double sleep_ms = backoff_ms * (0.5 + 0.5 * unit);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+
+    if (fd < 0) {
+      Result<int> connected = ConnectTcp(host, port);
+      if (!connected.ok()) {
+        if (++consecutive_connect_failures >= options.max_attempts) {
+          return connected.status();
+        }
+        ++round;
+        continue;
+      }
+      fd = connected.value();
+      if (!first_connection && stats != nullptr) ++stats->reconnects;
+      first_connection = false;
+      consecutive_connect_failures = 0;
+    }
+
+    bool connection_alive = true;
+    PumpRound(fd, requests, todo, options, stats, &connection_alive);
+    if (!connection_alive) {
+      ::close(fd);
+      fd = -1;
+    }
+    ++round;
+  }
+  if (fd >= 0) ::close(fd);
+
+  for (const PendingRequest& request : requests) {
+    out << request.response << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing response stream");
+  return Status::OK();
+}
+
+}  // namespace mbc

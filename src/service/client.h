@@ -1,0 +1,63 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Retrying JSONL socket client: the overload-aware counterpart of
+// RunJsonlSocketClient (transport.h). Where the plain client streams bytes
+// and reports whatever the server said, this one understands the protocol:
+// it pipelines requests over a bounded window, matches responses back to
+// requests in order, and retries the retryable outcomes — a
+// resource_exhausted frame (quota shed, load shed, full admission queue)
+// or a dropped connection — with capped exponential backoff and
+// deterministic jitter. Responses are emitted in input order; a response
+// that needed more than one attempt is annotated with ,"attempts":N so
+// batch output surfaces how hard the client had to work.
+#ifndef MBC_SERVICE_CLIENT_H_
+#define MBC_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace mbc {
+
+struct RetryClientOptions {
+  /// Total tries per request (first attempt included). A request still
+  /// failing retryably after this many attempts keeps its last error
+  /// response. Must be >= 1.
+  size_t max_attempts = 4;
+  /// Backoff before retry round r (1-based) is
+  /// min(max_backoff_ms, base_backoff_ms * 2^(r-1)), full-jittered: the
+  /// actual sleep is uniform in [backoff/2, backoff).
+  double base_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  /// Max requests in flight on one connection at once.
+  size_t window = 32;
+  /// Seed of the jitter stream; fixed seed = reproducible schedule.
+  uint64_t jitter_seed = 0x5eed;
+  /// Append ,"attempts":N to responses that took N > 1 attempts.
+  bool annotate_attempts = true;
+};
+
+/// Counters for one RunRetryingJsonlClient call.
+struct RetryClientStats {
+  uint64_t requests = 0;     // protocol frames sent at least once
+  uint64_t retries = 0;      // re-sends (attempts beyond the first)
+  uint64_t reconnects = 0;   // connections opened beyond the first
+  uint64_t gave_up = 0;      // requests that exhausted max_attempts
+};
+
+/// Reads JSONL request lines from `in`, serves them against the daemon at
+/// host:port with retry/backoff as configured, and writes one response
+/// line per request to `out` in input order. Blank lines and '#' comments
+/// are skipped. Returns non-OK only for local failures (unreadable input,
+/// the server unreachable past the retry budget); per-request errors are
+/// response lines.
+Status RunRetryingJsonlClient(const std::string& host, uint16_t port,
+                              std::istream& in, std::ostream& out,
+                              const RetryClientOptions& options,
+                              RetryClientStats* stats = nullptr);
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_CLIENT_H_

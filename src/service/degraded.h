@@ -1,0 +1,32 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// The degraded answer tier served under brownout: a degeneracy-ordered
+// greedy lower bound instead of an exact search. Anchored MBC-Heu runs
+// (Algorithm 3 of the paper, O(m) each) at the densest vertices of the
+// degeneracy order produce a feasible balanced clique whose size lower-
+// bounds the exact MBC answer and whose min side lower-bounds beta(G) —
+// the same well-defined "cheap answer" structure the heuristic-tier
+// literature (Ordozgoiti et al., arXiv:2002.00775) builds on. A degraded
+// response is always tagged "degraded": true on the wire and cached under
+// a separate exactness tag, so it can never masquerade as an exact one.
+#ifndef MBC_SERVICE_DEGRADED_H_
+#define MBC_SERVICE_DEGRADED_H_
+
+#include <cstdint>
+
+#include "src/graph/signed_graph.h"
+#include "src/service/query.h"
+
+namespace mbc {
+
+/// Computes the greedy lower-bound answer for one query. kMbc: the best
+/// anchored greedy clique satisfying tau (possibly empty). kPf: beta
+/// lower bound = the largest min side over the greedy cliques. kGmbc:
+/// that beta bound plus a greedy |C| per tau in [0, beta]. Deterministic
+/// for a given graph; O(k * m) for a handful of anchors.
+QueryResult ComputeDegradedResult(const SignedGraph& graph, QueryKind kind,
+                                  uint32_t tau);
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_DEGRADED_H_

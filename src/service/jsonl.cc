@@ -32,6 +32,8 @@ const char* ErrorName(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -312,6 +314,8 @@ Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
                            FieldAsDouble(name, value));
     } else if (name == "memory_limit_mb") {
       MBC_ASSIGN_OR_RETURN(request.memory_limit_mb, FieldAsUint(name, value));
+    } else if (name == "deadline_ms") {
+      MBC_ASSIGN_OR_RETURN(request.deadline_ms, FieldAsDouble(name, value));
     } else if (name == "no_cache") {
       MBC_ASSIGN_OR_RETURN(request.no_cache, FieldAsBool(name, value));
     } else {
@@ -366,6 +370,10 @@ std::string SerializeResponse(const QueryRequest& request,
       break;
     }
   }
+  // Absent on exact answers, so existing goldens are unchanged; present in
+  // both modes because "this is a lower bound, not the answer" is semantics,
+  // not timing.
+  if (response.degraded) AppendRawField("degraded", "true", &first, &out);
   if (!options.deterministic) {
     AppendRawField("cached", response.cached ? "true" : "false", &first, &out);
     char seconds[32];
@@ -382,7 +390,8 @@ std::string JsonlField(const JsonlFields& fields, const char* name) {
 }
 
 std::string RunJsonlControlOp(QueryService& service, const std::string& op,
-                              const JsonlFields& fields) {
+                              const JsonlFields& fields,
+                              const JsonlOptions& options) {
   const std::string id = JsonlField(fields, "id");
   if (op == "load") {
     const std::string name = JsonlField(fields, "name");
@@ -454,7 +463,8 @@ std::string RunJsonlControlOp(QueryService& service, const std::string& op,
     bool first = true;
     if (!id.empty()) AppendStringField("id", id, &first, &out);
     AppendRawField("ok", "true", &first, &out);
-    AppendRawField("stats", service.StatsJson(), &first, &out);
+    AppendRawField("stats", service.StatsJson(options.deterministic), &first,
+                   &out);
     out += '}';
     return out;
   }

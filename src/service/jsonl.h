@@ -52,11 +52,16 @@ std::string JsonlField(const JsonlFields& fields, const char* name);
 /// this shape, so clients parse one error format.
 std::string JsonlErrorLine(const std::string& id, const Status& status);
 
+struct JsonlOptions;
+
 /// Executes one control op (load / evict / list / stats) against the
 /// service and returns its single response line. The caller has already
 /// established that fields["op"] == `op` and that `op` is not "query".
+/// `options.deterministic` controls whether `stats` includes volatile
+/// fields (uptime); the data-plane options are ignored here.
 std::string RunJsonlControlOp(QueryService& service, const std::string& op,
-                              const JsonlFields& fields);
+                              const JsonlFields& fields,
+                              const JsonlOptions& options);
 
 /// True for lines the protocol skips without a response: blank lines and
 /// '#' comments (for batch files).
@@ -72,6 +77,19 @@ struct JsonlOptions {
   /// a longer line is answered with a single invalid_argument error frame
   /// and its bytes are discarded up to the next newline.
   size_t max_line_bytes = 1 << 20;
+  /// Per-session quota: queries this session may have in flight (submitted,
+  /// response not yet emitted) at once. A query over the cap is answered
+  /// with one resource_exhausted frame instead of being queued. 0 = no cap.
+  /// Control ops are exempt — they are barriers, never a load source.
+  size_t max_inflight = 0;
+  /// Per-session admission rate (queries/second, token bucket with
+  /// `rate_burst` capacity). A query arriving with the bucket empty is shed
+  /// with one resource_exhausted frame. 0 = unlimited.
+  double rate_limit_per_second = 0.0;
+  double rate_burst = 8.0;
+  /// Process-wide token bucket shared by every session (nullptr = none).
+  /// Checked after the per-session bucket; not owned.
+  TokenBucket* global_rate_limiter = nullptr;
 };
 
 /// Serializes one query response (success or error) as a single line,

@@ -1,0 +1,79 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/service/overload.h"
+
+#include <algorithm>
+
+#include "src/common/histogram.h"
+
+namespace mbc {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_per_second_(rate_per_second > 0 ? rate_per_second : 0.0),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      refilled_at_(Clock::now()) {}
+
+bool TokenBucket::TryAcquireAt(Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  if (now > refilled_at_) {
+    const double elapsed =
+        std::chrono::duration<double>(now - refilled_at_).count();
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_second_);
+    refilled_at_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+const char* OverloadStateName(OverloadState state) {
+  switch (state) {
+    case OverloadState::kNormal:
+      return "normal";
+    case OverloadState::kShedding:
+      return "shedding";
+    case OverloadState::kBrownout:
+      return "brownout";
+  }
+  return "unknown";
+}
+
+OverloadMonitor::OverloadMonitor(const OverloadPolicy& policy,
+                                 const LatencyHistogram* latency)
+    : policy_(policy), latency_(latency) {}
+
+bool OverloadMonitor::LatencyTrip() const {
+  if (policy_.brownout_p95_seconds <= 0 || latency_ == nullptr) return false;
+  if (latency_->count() < 32) return false;
+  return latency_->Quantile(0.95) >= policy_.brownout_p95_seconds;
+}
+
+OverloadState OverloadMonitor::Update(size_t queue_depth, size_t max_queue) {
+  if (!policy_.enabled || max_queue == 0) return OverloadState::kNormal;
+  const double fill =
+      static_cast<double>(queue_depth) / static_cast<double>(max_queue);
+  const OverloadState current = state_.load(std::memory_order_relaxed);
+  OverloadState next = current;
+  // Escalation is immediate; de-escalation waits for the queue to drain
+  // past the recover fraction (hysteresis). The latency trip can only
+  // escalate — a slow p95 decays out of the picture as the brownout
+  // serves cheap answers, at which point queue depth governs recovery.
+  if (fill >= policy_.brownout_queue_fraction || LatencyTrip()) {
+    next = OverloadState::kBrownout;
+  } else if (fill >= policy_.shed_queue_fraction) {
+    next = std::max(current, OverloadState::kShedding);
+  } else if (fill <= policy_.recover_queue_fraction) {
+    next = OverloadState::kNormal;
+  }
+  if (next != current) {
+    state_.store(next, std::memory_order_relaxed);
+    if (next == OverloadState::kShedding) {
+      shedding_entered_.fetch_add(1, std::memory_order_relaxed);
+    } else if (next == OverloadState::kBrownout) {
+      brownout_entered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return next;
+}
+
+}  // namespace mbc

@@ -1,0 +1,120 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Overload-control primitives for the query service: a token-bucket rate
+// limiter (per-connection and global quotas) and the three-state overload
+// monitor (normal -> shedding -> brownout) that decides, from queue depth
+// and tail latency, whether new exact work should be admitted, refused,
+// or downgraded to the cheap degraded tier (see degraded.h).
+//
+// The monitor is deliberately hysteretic: it enters shedding/brownout at
+// high queue-fill fractions but only recovers once the queue has drained
+// well below the entry threshold, so a queue hovering at the boundary
+// does not flap between serving exact and degraded answers every poll.
+#ifndef MBC_SERVICE_OVERLOAD_H_
+#define MBC_SERVICE_OVERLOAD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace mbc {
+
+/// Classic token bucket: `rate_per_second` tokens accrue continuously up
+/// to a cap of `burst`. TryAcquire() takes one token or reports the
+/// caller over quota. Thread-safe (one mutex; acquisition is two loads,
+/// a multiply and a compare — never worth sharding).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_second, double burst);
+
+  /// Takes one token if available. Never blocks.
+  bool TryAcquire() { return TryAcquireAt(Clock::now()); }
+
+  double rate_per_second() const { return rate_per_second_; }
+  double burst() const { return burst_; }
+
+  /// Test hook: acquisition at an explicit instant, so refill behavior is
+  /// checkable without sleeping.
+  using Clock = std::chrono::steady_clock;
+  bool TryAcquireAt(Clock::time_point now);
+
+ private:
+  const double rate_per_second_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point refilled_at_;
+};
+
+enum class OverloadState : uint8_t {
+  kNormal = 0,
+  kShedding = 1,  // refuse new exact work with resource_exhausted
+  kBrownout = 2,  // serve cache hits and degraded greedy answers
+};
+
+/// Stable lowercase name for stats output: "normal" / "shedding" /
+/// "brownout".
+const char* OverloadStateName(OverloadState state);
+
+struct OverloadPolicy {
+  /// Master switch; disabled (the default) keeps the service byte-for-byte
+  /// compatible with pre-overload behavior.
+  bool enabled = false;
+  /// Queue-fill fraction (of ServiceOptions::max_queue) at which the
+  /// service starts shedding new exact queries.
+  double shed_queue_fraction = 0.5;
+  /// Queue-fill fraction at which it browns out: new queries get cache
+  /// hits or degraded greedy answers instead of exact work.
+  double brownout_queue_fraction = 0.85;
+  /// Hysteresis: once shedding or browned out, the service returns to
+  /// normal only after the queue drains to this fraction.
+  double recover_queue_fraction = 0.25;
+  /// Optional latency trigger: a p95 at or above this many seconds also
+  /// forces brownout (0 disables; needs >= 32 recorded samples so a cold
+  /// histogram cannot trip it).
+  double brownout_p95_seconds = 0.0;
+};
+
+class LatencyHistogram;
+
+/// Tracks the overload state from queue-depth observations (and the
+/// latency histogram's p95 when configured). Update() is called by the
+/// service with the admission mutex held, so transitions are serialized;
+/// state() is a relaxed atomic read usable from any thread.
+class OverloadMonitor {
+ public:
+  OverloadMonitor(const OverloadPolicy& policy,
+                  const LatencyHistogram* latency);
+
+  /// Re-evaluates the state for the given queue depth. Returns the state
+  /// after the transition (if any).
+  OverloadState Update(size_t queue_depth, size_t max_queue);
+
+  OverloadState state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+  const OverloadPolicy& policy() const { return policy_; }
+
+  /// Monotonic count of entries into each non-normal state.
+  uint64_t shedding_entered() const {
+    return shedding_entered_.load(std::memory_order_relaxed);
+  }
+  uint64_t brownout_entered() const {
+    return brownout_entered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool LatencyTrip() const;
+
+  const OverloadPolicy policy_;
+  const LatencyHistogram* latency_;
+  std::atomic<OverloadState> state_{OverloadState::kNormal};
+  std::atomic<uint64_t> shedding_entered_{0};
+  std::atomic<uint64_t> brownout_entered_{0};
+};
+
+}  // namespace mbc
+
+#endif  // MBC_SERVICE_OVERLOAD_H_

@@ -49,6 +49,11 @@ struct QueryRequest {
   /// Per-request governor budgets; 0 = the service default / unlimited.
   double time_limit_seconds = 0.0;
   uint64_t memory_limit_mb = 0;
+  /// End-to-end deadline in milliseconds, measured from admission. Unlike
+  /// time_limit_seconds (which budgets only the solve), the deadline also
+  /// covers queue wait: a query still queued when it expires is shed with
+  /// deadline_exceeded instead of running uselessly. 0 = none.
+  double deadline_ms = 0.0;
   /// Bypass the result cache (both lookup and insert) for this request.
   bool no_cache = false;
 };
@@ -80,6 +85,9 @@ struct QueryResponse {
   QueryResult result;
   /// Served from the ResultCache without running a solver.
   bool cached = false;
+  /// A brownout answer: a greedy lower bound (see degraded.h), not the
+  /// exact result. Serialized as "degraded":true so clients can tell.
+  bool degraded = false;
   /// Wall-clock seconds spent serving (queue wait + solve).
   double seconds = 0.0;
 };

@@ -12,6 +12,7 @@
 #include "src/core/mdc_solver.h"
 #include "src/gmbc/gmbc.h"
 #include "src/pf/dcc_solver.h"
+#include "src/service/degraded.h"
 #include "src/pf/pf_bs.h"
 #include "src/pf/pf_star.h"
 
@@ -40,7 +41,12 @@ struct QueryService::WorkerState {
 };
 
 QueryService::QueryService(ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity_bytes) {
+    : options_(options),
+      cache_(options.cache_capacity_bytes),
+      overload_(options.overload, &latency_),
+      chaos_(options.fault_injection.has_value() ? *options.fault_injection
+                                                 : EnvServiceFaultOptions()),
+      started_at_(std::chrono::steady_clock::now()) {
   worker_counters_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     worker_counters_.push_back(std::make_unique<WorkerCounters>());
@@ -83,63 +89,126 @@ void QueryService::Shutdown() {
   workers_.clear();
 }
 
-Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
+std::future<QueryResponse> QueryService::ImmediateResponse(
+    Task& task, QueryResponse&& response) {
+  std::future<QueryResponse> future = task.promise.get_future();
+  response.id = task.request.id;
+  task.promise.set_value(std::move(response));
+  return future;
+}
+
+std::optional<std::future<QueryResponse>> QueryService::BrownoutAdmit(
+    Task& task) {
+  // Brownout never runs exact work for a fresh query, but an answer that
+  // already exists is free: prefer the exact cached one, then a degraded
+  // one. Everything else drops to the greedy tier (still queued — the
+  // degeneracy greedy is O(m), cheap but not poll-thread cheap).
+  Result<GraphStore::SnapshotPtr> snapshot = store_.Find(task.request.graph);
+  if (!snapshot.ok()) {
+    QueryResponse response;
+    response.status = snapshot.status();
+    return ImmediateResponse(task, std::move(response));
+  }
+  if (task.request.no_cache) return std::nullopt;
+  CacheKey key;
+  key.graph_fingerprint = snapshot.value()->fingerprint();
+  key.kind = task.request.kind;
+  key.tau = task.request.kind == QueryKind::kMbc ? task.request.tau : 0;
+  key.algo = NormalizedAlgo(task.request);
+  if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
+    QueryResponse response;
+    response.result = std::move(*hit);
+    response.cached = true;
+    return ImmediateResponse(task, std::move(response));
+  }
+  key.exactness = CacheExactness::kDegraded;
+  key.algo = "greedy";
+  if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
+    QueryResponse response;
+    response.result = std::move(*hit);
+    response.cached = true;
+    response.degraded = true;
+    queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+    return ImmediateResponse(task, std::move(response));
+  }
+  return std::nullopt;
+}
+
+Result<std::future<QueryResponse>> QueryService::SubmitInternal(
+    QueryRequest request, SubmitMode mode) {
   Task task;
   task.request = std::move(request);
+  if (task.request.deadline_ms > 0) {
+    task.deadline = Deadline::After(task.request.deadline_ms / 1000.0);
+  }
+
+  if (options_.overload.enabled) {
+    OverloadState state;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return Status::Cancelled("service is shut down");
+      state = overload_.Update(queue_.size(), options_.max_queue);
+    }
+    if (state == OverloadState::kShedding) {
+      queries_shed_overload_.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse response;
+      response.status = Status::ResourceExhausted(
+          "service is shedding load (queue depth over the shed threshold); "
+          "retry with backoff");
+      return ImmediateResponse(task, std::move(response));
+    }
+    if (state == OverloadState::kBrownout) {
+      std::optional<std::future<QueryResponse>> immediate = BrownoutAdmit(task);
+      if (immediate.has_value()) return std::move(*immediate);
+      task.degraded = true;
+    }
+  }
+
   std::future<QueryResponse> future = task.promise.get_future();
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    if (mode == SubmitMode::kBlock) {
+      space_available_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.max_queue;
+      });
+    }
     if (stopping_) {
       return Status::Cancelled("service is shut down");
     }
     if (queue_.size() >= options_.max_queue) {
-      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::ResourceExhausted(
-          "admission queue is full (" + std::to_string(options_.max_queue) +
-          " pending queries)");
+      if (mode == SubmitMode::kFail) {
+        queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "admission queue is full (" + std::to_string(options_.max_queue) +
+            " pending queries)");
+      }
+      return Status::ResourceExhausted("admission queue is full");
     }
-    queue_.push_back(std::move(task));
+    // Degraded (brownout) tasks jump the queue: they exist to drain load,
+    // so they must not wait behind the very backlog that caused them.
+    if (task.degraded) {
+      queue_.push_front(std::move(task));
+    } else {
+      queue_.push_back(std::move(task));
+    }
+    overload_.Update(queue_.size(), options_.max_queue);
   }
   work_available_.notify_one();
   return future;
+}
+
+Result<std::future<QueryResponse>> QueryService::Submit(QueryRequest request) {
+  return SubmitInternal(std::move(request), SubmitMode::kFail);
 }
 
 Result<std::future<QueryResponse>> QueryService::TrySubmit(
     QueryRequest request) {
-  Task task;
-  task.request = std::move(request);
-  std::future<QueryResponse> future = task.promise.get_future();
-  {
-    std::lock_guard lock(mutex_);
-    if (stopping_) {
-      return Status::Cancelled("service is shut down");
-    }
-    if (queue_.size() >= options_.max_queue) {
-      return Status::ResourceExhausted("admission queue is full");
-    }
-    queue_.push_back(std::move(task));
-  }
-  work_available_.notify_one();
-  return future;
+  return SubmitInternal(std::move(request), SubmitMode::kTry);
 }
 
 Result<std::future<QueryResponse>> QueryService::SubmitBlocking(
     QueryRequest request) {
-  Task task;
-  task.request = std::move(request);
-  std::future<QueryResponse> future = task.promise.get_future();
-  {
-    std::unique_lock lock(mutex_);
-    space_available_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.max_queue;
-    });
-    if (stopping_) {
-      return Status::Cancelled("service is shut down");
-    }
-    queue_.push_back(std::move(task));
-  }
-  work_available_.notify_one();
-  return future;
+  return SubmitInternal(std::move(request), SubmitMode::kBlock);
 }
 
 QueryResponse QueryService::Query(QueryRequest request) {
@@ -167,9 +236,24 @@ void QueryService::WorkerLoop(size_t worker_index) {
       if (queue_.empty()) return;  // stopping_, nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      overload_.Update(queue_.size(), options_.max_queue);
     }
     space_available_.notify_one();
-    QueryResponse response = Execute(state, task.request);
+    // Queue shedding: a query whose end-to-end deadline expired while it
+    // waited is answered without running — the client has already given
+    // up on it, so solving it exactly (or at all) helps nobody. Shed
+    // queries are never cached and count as sheds, not serves.
+    if (task.deadline.Expired()) {
+      queries_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse shed;
+      shed.id = task.request.id;
+      shed.status = Status::DeadlineExceeded(
+          "deadline_ms expired while the query was queued");
+      task.promise.set_value(std::move(shed));
+      if (options_.on_task_complete) options_.on_task_complete();
+      continue;
+    }
+    QueryResponse response = Execute(state, task);
     // Publish this worker's counters and arena footprint (as a running
     // max — the mark is monotone by construction even if a solver is
     // ever rebound) BEFORE fulfilling the promise, so a caller that sees
@@ -189,8 +273,36 @@ void QueryService::WorkerLoop(size_t worker_index) {
   }
 }
 
-QueryResponse QueryService::Execute(WorkerState& state,
-                                    const QueryRequest& request) {
+QueryResponse QueryService::ExecuteDegraded(const Task& task) {
+  const QueryRequest& request = task.request;
+  QueryResponse response;
+  response.id = request.id;
+  Result<GraphStore::SnapshotPtr> snapshot = store_.Find(request.graph);
+  if (!snapshot.ok()) {
+    response.status = snapshot.status();
+    return response;
+  }
+  const SignedGraph& graph = snapshot.value()->graph();
+  response.result = ComputeDegradedResult(graph, request.kind, request.tau);
+  response.degraded = true;
+  queries_degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (!request.no_cache) {
+    // Degraded answers live under their own exactness tag (and a fixed
+    // "greedy" algo label — the greedy ignores the algo field): an exact
+    // query can never be satisfied by this entry.
+    CacheKey key;
+    key.graph_fingerprint = snapshot.value()->fingerprint();
+    key.kind = request.kind;
+    key.tau = request.kind == QueryKind::kMbc ? request.tau : 0;
+    key.algo = "greedy";
+    key.exactness = CacheExactness::kDegraded;
+    cache_.Insert(key, response.result);
+  }
+  return response;
+}
+
+QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
+  const QueryRequest& request = task.request;
   const auto start = std::chrono::steady_clock::now();
   QueryResponse response;
   response.id = request.id;
@@ -204,6 +316,23 @@ QueryResponse QueryService::Execute(WorkerState& state,
     }
     return std::move(done);
   };
+
+  // Service-layer chaos: a stalled worker delays this query (and whoever
+  // queues behind it); an injected allocation failure fails it before any
+  // solver runs. Both are deterministic draws from the injector's seed.
+  if (chaos_.armed()) {
+    if (chaos_.DrawWorkerStall()) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          chaos_.options().worker_stall_ms));
+    }
+    if (chaos_.DrawAllocFail()) {
+      response.status = Status::ResourceExhausted(
+          "injected allocation failure (service chaos)");
+      return finish(std::move(response));
+    }
+  }
+
+  if (task.degraded) return finish(ExecuteDegraded(task));
 
   Result<GraphStore::SnapshotPtr> snapshot = store_.Find(request.graph);
   if (!snapshot.ok()) {
@@ -233,7 +362,17 @@ QueryResponse QueryService::Execute(WorkerState& state,
   const double time_limit = request.time_limit_seconds > 0
                                 ? request.time_limit_seconds
                                 : options_.default_time_limit_seconds;
-  if (time_limit > 0) exec.set_deadline(Deadline::After(time_limit));
+  // The solver runs under the tighter of the solve budget and whatever is
+  // left of the end-to-end deadline_ms: a query admitted with 50ms left
+  // must not burn a 10s time limit.
+  Deadline solve_deadline =
+      time_limit > 0 ? Deadline::After(time_limit) : Deadline::Infinite();
+  if (!task.deadline.IsInfinite() &&
+      (solve_deadline.IsInfinite() ||
+       task.deadline.RemainingSeconds() < solve_deadline.RemainingSeconds())) {
+    solve_deadline = task.deadline;
+  }
+  if (!solve_deadline.IsInfinite()) exec.set_deadline(solve_deadline);
   if (request.memory_limit_mb > 0) {
     exec.set_memory_budget(
         MemoryBudget::Limit(request.memory_limit_mb << 20));
@@ -331,6 +470,13 @@ ServiceStats QueryService::Stats() const {
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
   stats.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
   stats.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  stats.queries_shed_deadline =
+      queries_shed_deadline_.load(std::memory_order_relaxed);
+  stats.queries_shed_overload =
+      queries_shed_overload_.load(std::memory_order_relaxed);
+  stats.queries_degraded = queries_degraded_.load(std::memory_order_relaxed);
+  stats.overload_state = overload_.state();
+  stats.uptime_seconds = SecondsSince(started_at_);
   {
     std::lock_guard lock(mutex_);
     stats.queue_depth = queue_.size();
@@ -353,6 +499,10 @@ ServiceStats QueryService::Stats() const {
       transport_counters_.frames_in.load(std::memory_order_relaxed);
   stats.transport.frames_out =
       transport_counters_.frames_out.load(std::memory_order_relaxed);
+  stats.transport.queries_shed_quota =
+      transport_counters_.queries_shed_quota.load(std::memory_order_relaxed);
+  stats.transport.submit_retries =
+      transport_counters_.submit_retries.load(std::memory_order_relaxed);
   stats.workers.reserve(worker_counters_.size());
   for (const auto& counters : worker_counters_) {
     WorkerStats worker;
@@ -366,38 +516,54 @@ ServiceStats QueryService::Stats() const {
   return stats;
 }
 
-std::string QueryService::StatsJson() const {
+std::string QueryService::StatsJson(bool deterministic) const {
   const ServiceStats stats = Stats();
-  char buffer[1024];
+  char buffer[1536];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\":%llu,\"queries_rejected\":%llu,"
-      "\"queries_failed\":%llu,\"queue_depth\":%zu,\"num_workers\":%zu,"
+      "\"queries_failed\":%llu,\"queries_shed_deadline\":%llu,"
+      "\"queries_shed_overload\":%llu,\"queries_degraded\":%llu,"
+      "\"overload_state\":\"%s\",\"queue_depth\":%zu,\"num_workers\":%zu,"
       "\"graphs_loaded\":%zu,\"latency_p50_seconds\":%.6f,"
       "\"latency_p95_seconds\":%.6f,\"latency_mean_seconds\":%.6f,"
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+      "\"degraded_insertions\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
       "\"hit_rate\":%.4f},"
       "\"transport\":{\"connections_accepted\":%llu,"
       "\"connections_rejected\":%llu,\"connections_active\":%lld,"
-      "\"frames_in\":%llu,\"frames_out\":%llu}",
+      "\"frames_in\":%llu,\"frames_out\":%llu,"
+      "\"queries_shed_quota\":%llu,\"submit_retries\":%llu}",
       static_cast<unsigned long long>(stats.queries_served),
       static_cast<unsigned long long>(stats.queries_rejected),
       static_cast<unsigned long long>(stats.queries_failed),
-      stats.queue_depth, stats.num_workers, stats.graphs_loaded,
-      stats.latency_p50_seconds, stats.latency_p95_seconds,
-      stats.latency_mean_seconds,
+      static_cast<unsigned long long>(stats.queries_shed_deadline),
+      static_cast<unsigned long long>(stats.queries_shed_overload),
+      static_cast<unsigned long long>(stats.queries_degraded),
+      OverloadStateName(stats.overload_state), stats.queue_depth,
+      stats.num_workers, stats.graphs_loaded, stats.latency_p50_seconds,
+      stats.latency_p95_seconds, stats.latency_mean_seconds,
       static_cast<unsigned long long>(stats.cache.hits),
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.insertions),
+      static_cast<unsigned long long>(stats.cache.degraded_insertions),
       static_cast<unsigned long long>(stats.cache.evictions),
       stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate(),
       static_cast<unsigned long long>(stats.transport.connections_accepted),
       static_cast<unsigned long long>(stats.transport.connections_rejected),
       static_cast<long long>(stats.transport.connections_active),
       static_cast<unsigned long long>(stats.transport.frames_in),
-      static_cast<unsigned long long>(stats.transport.frames_out));
+      static_cast<unsigned long long>(stats.transport.frames_out),
+      static_cast<unsigned long long>(stats.transport.queries_shed_quota),
+      static_cast<unsigned long long>(stats.transport.submit_retries));
   std::string out = buffer;
+  if (!deterministic) {
+    // Volatile by definition; deterministic output must stay diffable.
+    std::snprintf(buffer, sizeof(buffer), ",\"uptime_seconds\":%.3f",
+                  stats.uptime_seconds);
+    out += buffer;
+  }
   out += ",\"workers\":[";
   for (size_t i = 0; i < stats.workers.size(); ++i) {
     const WorkerStats& worker = stats.workers[i];

@@ -10,6 +10,7 @@
 #define MBC_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,13 +18,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/chaos.h"
+#include "src/common/execution.h"
 #include "src/common/histogram.h"
 #include "src/common/status.h"
 #include "src/service/graph_store.h"
+#include "src/service/overload.h"
 #include "src/service/query.h"
 #include "src/service/result_cache.h"
 
@@ -44,6 +49,12 @@ struct ServiceOptions {
   /// When false the pool starts idle and queued work only runs after
   /// StartWorkers(); lets tests fill the queue deterministically.
   bool start_workers = true;
+  /// Overload state machine (normal -> shedding -> brownout). Disabled by
+  /// default: admission then behaves exactly as before this knob existed.
+  OverloadPolicy overload;
+  /// Service-layer chaos injection (worker stalls, allocation failures).
+  /// Unset = the process-wide MBC_FAULT_INJECT_SERVICE env spec.
+  std::optional<ServiceFaultOptions> fault_injection;
   /// Invoked by a worker after each response future is fulfilled. The
   /// socket event loop points this at its wake pipe so poll() returns as
   /// soon as a pipelined response becomes emittable, instead of on the
@@ -60,6 +71,12 @@ struct TransportCounters {
   std::atomic<int64_t> connections_active{0};
   std::atomic<uint64_t> frames_in{0};   // complete request lines consumed
   std::atomic<uint64_t> frames_out{0};  // response lines written
+  /// Queries refused by a session quota (max-in-flight or token bucket),
+  /// one resource_exhausted frame each.
+  std::atomic<uint64_t> queries_shed_quota{0};
+  /// Backpressure retries: times a session kept a line because the
+  /// admission queue was momentarily full (not sheds — the line ran later).
+  std::atomic<uint64_t> submit_retries{0};
 };
 
 /// Plain-value snapshot of TransportCounters for Stats().
@@ -69,6 +86,8 @@ struct TransportStats {
   int64_t connections_active = 0;
   uint64_t frames_in = 0;
   uint64_t frames_out = 0;
+  uint64_t queries_shed_quota = 0;
+  uint64_t submit_retries = 0;
 };
 
 /// Point-in-time view of one worker's reusable state: how many queries it
@@ -86,6 +105,17 @@ struct ServiceStats {
   uint64_t queries_served = 0;
   uint64_t queries_rejected = 0;
   uint64_t queries_failed = 0;  // served, but with a non-OK status
+  /// Dequeued after their deadline_ms expired: answered deadline_exceeded
+  /// without running, never cached, not counted as served.
+  uint64_t queries_shed_deadline = 0;
+  /// Refused at admission while the overload state was kShedding.
+  uint64_t queries_shed_overload = 0;
+  /// Served from the degraded (brownout greedy) tier.
+  uint64_t queries_degraded = 0;
+  OverloadState overload_state = OverloadState::kNormal;
+  /// Seconds since the service was constructed (volatile: omitted from
+  /// deterministic StatsJson output).
+  double uptime_seconds = 0.0;
   size_t queue_depth = 0;
   size_t num_workers = 0;
   size_t graphs_loaded = 0;
@@ -141,14 +171,24 @@ class QueryService {
 
   ServiceStats Stats() const;
   /// Stats as a single-line JSON object (the `stats` op of the JSONL
-  /// protocol and the mbc_serve exit summary).
-  std::string StatsJson() const;
+  /// protocol and the mbc_serve exit summary). With `deterministic` the
+  /// volatile uptime_seconds field is omitted so output stays diffable.
+  std::string StatsJson(bool deterministic = false) const;
+
+  /// The overload state as of the last admission/completion event.
+  OverloadState overload_state() const { return overload_.state(); }
 
  private:
   struct Task {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// Absolute end-to-end deadline derived from request.deadline_ms at
+    /// admission; infinite when the request carries none.
+    Deadline deadline;
+    /// Brownout admission downgraded this task to the greedy tier.
+    bool degraded = false;
   };
+  enum class SubmitMode { kFail, kTry, kBlock };
   /// Per-worker reusable state: solvers keep their arenas across requests.
   struct WorkerState;
   /// Per-worker counters, written by the owning worker after each request
@@ -160,13 +200,25 @@ class QueryService {
   };
 
   void WorkerLoop(size_t worker_index);
-  QueryResponse Execute(WorkerState& state, const QueryRequest& request);
+  QueryResponse Execute(WorkerState& state, const Task& task);
+  QueryResponse ExecuteDegraded(const Task& task);
+  Result<std::future<QueryResponse>> SubmitInternal(QueryRequest request,
+                                                    SubmitMode mode);
+  /// Brownout admission: serve a cache hit (exact preferred, degraded
+  /// otherwise) or mark the task for the greedy tier. Returns the fulfilled
+  /// future when the task was answered immediately, nullopt otherwise.
+  std::optional<std::future<QueryResponse>> BrownoutAdmit(Task& task);
+  static std::future<QueryResponse> ImmediateResponse(
+      Task& task, QueryResponse&& response);
 
   const ServiceOptions options_;
   GraphStore store_;
   ResultCache cache_;
   LatencyHistogram latency_;
+  OverloadMonitor overload_;
+  ServiceFaultInjector chaos_;
   TransportCounters transport_counters_;
+  const std::chrono::steady_clock::time_point started_at_;
   std::vector<std::unique_ptr<WorkerCounters>> worker_counters_;
 
   mutable std::mutex mutex_;
@@ -180,6 +232,9 @@ class QueryService {
   std::atomic<uint64_t> queries_served_{0};
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> queries_shed_deadline_{0};
+  std::atomic<uint64_t> queries_shed_overload_{0};
+  std::atomic<uint64_t> queries_degraded_{0};
 };
 
 }  // namespace mbc

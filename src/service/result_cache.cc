@@ -23,6 +23,7 @@ size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
   hasher.Mix(key.graph_fingerprint);
   hasher.Mix(static_cast<uint64_t>(key.kind));
   hasher.Mix(static_cast<uint64_t>(key.tau));
+  hasher.Mix(static_cast<uint64_t>(key.exactness));
   hasher.MixBytes(key.algo);
   return static_cast<size_t>(hasher.hash());
 }
@@ -74,6 +75,9 @@ void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
   shard.bytes += bytes;
   MemoryTracker::Global().Add(bytes);
   insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (key.exactness == CacheExactness::kDegraded) {
+    degraded_insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
   EvictOverBudget(shard);
 }
 
@@ -106,6 +110,8 @@ CacheStats ResultCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.degraded_insertions =
+      degraded_insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);

@@ -20,6 +20,15 @@
 
 namespace mbc {
 
+/// Whether a cached payload is the exact answer or a brownout-tier greedy
+/// lower bound. The tag is part of the key: an exact query can never be
+/// satisfied by a degraded entry, and vice versa — the two tiers live in
+/// disjoint key spaces of the same cache.
+enum class CacheExactness : uint8_t {
+  kExact = 0,
+  kDegraded = 1,
+};
+
 /// Everything that influences a query answer. Two requests with equal keys
 /// are guaranteed to produce identical results, so caching is exact.
 struct CacheKey {
@@ -27,10 +36,12 @@ struct CacheKey {
   QueryKind kind = QueryKind::kMbc;
   uint32_t tau = 0;
   std::string algo;
+  CacheExactness exactness = CacheExactness::kExact;
 
   bool operator==(const CacheKey& other) const {
     return graph_fingerprint == other.graph_fingerprint &&
-           kind == other.kind && tau == other.tau && algo == other.algo;
+           kind == other.kind && tau == other.tau && algo == other.algo &&
+           exactness == other.exactness;
   }
 };
 
@@ -38,6 +49,8 @@ struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
+  /// Subset of `insertions` whose key was tagged kDegraded.
+  uint64_t degraded_insertions = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
   size_t memory_bytes = 0;
@@ -107,6 +120,7 @@ class ResultCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> degraded_insertions_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 

@@ -13,7 +13,11 @@ JsonlSession::JsonlSession(QueryService& service, const JsonlOptions& options,
                            bool blocking_submit)
     : service_(service),
       options_(options),
-      blocking_submit_(blocking_submit) {}
+      blocking_submit_(blocking_submit) {
+  if (options_.rate_limit_per_second > 0) {
+    rate_bucket_.emplace(options_.rate_limit_per_second, options_.rate_burst);
+  }
+}
 
 bool JsonlSession::HandleLine(std::string line) {
   if (IsJsonlSkippableLine(line)) return false;
@@ -78,6 +82,41 @@ void JsonlSession::Pump() {
       continue;
     }
     QueryRequest submitted = request.value();
+    // Session quotas: over-quota queries are shed with exactly one
+    // resource_exhausted frame, in request order — unlike a full admission
+    // queue (backpressure: the line is kept and retried), a quota is the
+    // client's own budget, so retrying server-side would defeat it.
+    const auto shed_quota = [&](const std::string& message) {
+      service_.transport_counters().queries_shed_quota.fetch_add(
+          1, std::memory_order_relaxed);
+      pending.kind = Pending::Kind::kImmediate;
+      pending.immediate =
+          JsonlErrorLine(submitted.id, Status::ResourceExhausted(message));
+      pending_.push_back(std::move(pending));
+      backlog_.pop_front();
+      front_token_paid_ = false;
+    };
+    if (options_.max_inflight > 0 &&
+        inflight_queries_ >= options_.max_inflight) {
+      shed_quota("session max-in-flight quota (" +
+                 std::to_string(options_.max_inflight) +
+                 ") exceeded; retry with backoff");
+      continue;
+    }
+    if (!front_token_paid_) {
+      if (rate_bucket_.has_value() && !rate_bucket_->TryAcquire()) {
+        shed_quota("session rate limit exceeded; retry with backoff");
+        continue;
+      }
+      if (options_.global_rate_limiter != nullptr &&
+          !options_.global_rate_limiter->TryAcquire()) {
+        shed_quota("server rate limit exceeded; retry with backoff");
+        continue;
+      }
+      // The draw is remembered so a backpressure retry of this same line
+      // does not pay twice.
+      front_token_paid_ = true;
+    }
     Result<std::future<QueryResponse>> future =
         blocking_submit_ ? service_.SubmitBlocking(std::move(request).value())
                          : service_.TrySubmit(std::move(request).value());
@@ -86,19 +125,24 @@ void JsonlSession::Pump() {
         // Admission queue full: keep the line and retry on the next poll.
         // The transport throttles reads once the backlog builds up, so
         // this is bounded backpressure, not a spin.
+        service_.transport_counters().submit_retries.fetch_add(
+            1, std::memory_order_relaxed);
         return;
       }
       pending.kind = Pending::Kind::kImmediate;
       pending.immediate = JsonlErrorLine(submitted.id, future.status());
       pending_.push_back(std::move(pending));
       backlog_.pop_front();
+      front_token_paid_ = false;
       continue;
     }
     pending.kind = Pending::Kind::kQuery;
     pending.request = std::move(submitted);
     pending.future = std::move(future).value();
     pending_.push_back(std::move(pending));
+    ++inflight_queries_;
     backlog_.pop_front();
+    front_token_paid_ = false;
   }
 }
 
@@ -121,11 +165,13 @@ bool JsonlSession::PollResponses(std::vector<std::string>* out) {
       out->push_back(
           SerializeResponse(front.request, front.future.get(), options_));
       pending_.pop_front();
+      --inflight_queries_;
       continue;
     }
     // kControl at the front: every earlier query has been emitted (and
     // therefore finished), so the per-session barrier holds — run it.
-    out->push_back(RunJsonlControlOp(service_, front.op, front.fields));
+    out->push_back(RunJsonlControlOp(service_, front.op, front.fields,
+                                     options_));
     pending_.pop_front();
     --controls_pending_;
   }

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,10 +85,17 @@ class JsonlSession {
   QueryService& service_;
   const JsonlOptions options_;
   const bool blocking_submit_;
+  /// Per-session token bucket, built iff rate_limit_per_second > 0.
+  std::optional<TokenBucket> rate_bucket_;
   std::deque<std::string> backlog_;
   std::deque<Pending> pending_;
   /// Control ops sitting in pending_; > 0 stalls Pump (barrier).
   size_t controls_pending_ = 0;
+  /// Queries submitted but not yet emitted, against max_inflight.
+  size_t inflight_queries_ = 0;
+  /// The front backlog line already drew its rate-limit token(s); a
+  /// backpressure retry of the same line must not draw again.
+  bool front_token_paid_ = false;
 };
 
 }  // namespace mbc

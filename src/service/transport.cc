@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/service/session.h"
 
 namespace mbc {
@@ -114,6 +115,15 @@ void LineFramer::Feed(const char* data, size_t size) {
     if (!discarding_) {
       if (partial_.size() + span > max_line_bytes_) {
         discarding_ = true;
+        // Rate-limited (power-of-two counts): a client streaming garbage
+        // logs O(log n) warnings, not one per discarded line.
+        ++oversized_lines_;
+        if ((oversized_lines_ & (oversized_lines_ - 1)) == 0) {
+          MBC_LOG(Warning) << "discarding request line over the "
+                           << max_line_bytes_ << " byte frame limit ("
+                           << oversized_lines_
+                           << " oversized so far on this stream)";
+        }
         partial_.clear();
         partial_.shrink_to_fit();  // never hold more than the limit
       } else {
@@ -178,7 +188,10 @@ struct SocketServer::Connection {
 };
 
 SocketServer::SocketServer(SocketServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      chaos_(options_.fault_injection.has_value() ? *options_.fault_injection
+                                                  : EnvServiceFaultOptions()) {
+}
 
 SocketServer::~SocketServer() {
   for (auto& [fd, conn] : connections_) ::close(fd);
@@ -261,12 +274,23 @@ void SocketServer::AcceptPending(QueryService& service) {
 
 bool SocketServer::FlushWrites(Connection& conn) {
   while (conn.outpos < conn.outbuf.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data() + conn.outpos,
-               conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
+    size_t want = conn.outbuf.size() - conn.outpos;
+    bool capped = false;
+    if (chaos_.armed()) {
+      const size_t cap = chaos_.DrawWriteCap();
+      if (cap > 0 && cap < want) {
+        // Slow-loris chaos: trickle a few bytes, then yield to the event
+        // loop; POLLOUT brings us back, so progress is still guaranteed.
+        want = cap;
+        capped = true;
+      }
+    }
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outpos, want,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       conn.outpos += static_cast<size_t>(n);
       conn.last_activity = std::chrono::steady_clock::now();
+      if (capped) break;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -421,11 +445,23 @@ Status SocketServer::Serve(QueryService& service,
       if ((poll_fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
           !conn.read_closed) {
         for (;;) {
-          const ssize_t n = ::recv(conn.fd, read_buffer, sizeof(read_buffer),
-                                   0);
+          size_t read_cap = sizeof(read_buffer);
+          bool read_capped = false;
+          if (chaos_.armed()) {
+            const size_t cap = chaos_.DrawWriteCap();
+            if (cap > 0 && cap < read_cap) {
+              // Symmetric slow-loris on the read side: take a few bytes and
+              // yield; unread input stays in the kernel buffer and POLLIN
+              // fires again.
+              read_cap = cap;
+              read_capped = true;
+            }
+          }
+          const ssize_t n = ::recv(conn.fd, read_buffer, read_cap, 0);
           if (n > 0) {
             conn.framer.Feed(read_buffer, static_cast<size_t>(n));
             conn.last_activity = std::chrono::steady_clock::now();
+            if (read_capped) break;
             if (conn.framer.ready_size() >= kMaxBufferedLines) break;
             continue;
           }

@@ -31,9 +31,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "src/common/chaos.h"
 #include "src/common/status.h"
 #include "src/service/jsonl.h"
 #include "src/service/query_service.h"
@@ -71,6 +73,8 @@ class LineFramer {
   const size_t max_line_bytes_;
   std::string partial_;
   bool discarding_ = false;  // inside an over-long line
+  /// Over-long lines seen so far; drives the rate-limited discard warning.
+  size_t oversized_lines_ = 0;
   std::deque<Line> ready_;
 };
 
@@ -104,6 +108,9 @@ struct SocketServerOptions {
   /// Close a connection with no traffic and no in-flight work for this
   /// long (one cancelled error frame is sent first). 0 = never.
   double idle_timeout_seconds = 0.0;
+  /// Transport-layer chaos (slow-loris capped reads/writes). Unset = the
+  /// process-wide MBC_FAULT_INJECT_SERVICE env spec.
+  std::optional<ServiceFaultOptions> fault_injection;
 };
 
 class SocketServer : public Transport {
@@ -143,6 +150,7 @@ class SocketServer : public Transport {
   void CloseConnection(QueryService& service, int fd);
 
   const SocketServerOptions options_;
+  ServiceFaultInjector chaos_;
   JsonlOptions serve_options_;  // captured by Serve() for AcceptPending
   uint16_t port_ = 0;
   int listen_fd_ = -1;

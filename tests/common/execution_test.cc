@@ -52,7 +52,7 @@ TEST(ExecutionContextTest, ExpiredDeadlineInterruptsAtSetTime) {
   ExecutionContext exec(Deadline::After(0.0));
   EXPECT_TRUE(exec.Interrupted());
   EXPECT_EQ(exec.reason(), InterruptReason::kDeadline);
-  EXPECT_TRUE(exec.status().IsResourceExhausted());
+  EXPECT_TRUE(exec.status().IsDeadlineExceeded());
 }
 
 TEST(ExecutionContextTest, CancellationWinsAndIsSticky) {
@@ -179,6 +179,8 @@ TEST(InterruptReasonTest, NamesAndStatusMapping) {
   EXPECT_TRUE(
       InterruptStatus(InterruptReason::kInjectedFault).IsCancelled());
   EXPECT_TRUE(
+      InterruptStatus(InterruptReason::kDeadline).IsDeadlineExceeded());
+  EXPECT_FALSE(
       InterruptStatus(InterruptReason::kDeadline).IsResourceExhausted());
   EXPECT_TRUE(
       InterruptStatus(InterruptReason::kMemoryBudget).IsResourceExhausted());

@@ -30,6 +30,7 @@ TEST(StatusTest, AllConstructorsSetCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, GovernorCodesRenderDistinctly) {
@@ -49,6 +50,16 @@ TEST(StatusTest, GovernorCodesRenderDistinctly) {
   EXPECT_FALSE(exhausted.IsCancelled());
   EXPECT_FALSE(cancelled.IsIOError());
   EXPECT_FALSE(exhausted.IsCorruption());
+
+  // deadline_exceeded is its own code: "you waited too long" must not be
+  // confused with "the service is out of capacity" (only the latter is
+  // retryable as-is).
+  const Status late = Status::DeadlineExceeded("deadline exceeded");
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "Deadline exceeded: deadline exceeded");
+  EXPECT_FALSE(late.IsResourceExhausted());
+  EXPECT_FALSE(late.IsCancelled());
+  EXPECT_FALSE(exhausted.IsDeadlineExceeded());
 }
 
 TEST(StatusTest, CopyableAndCheap) {

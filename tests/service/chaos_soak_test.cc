@@ -1,0 +1,226 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Seeded chaos soak of the serving stack: worker stalls, injected
+// allocation failures and slow-loris capped socket I/O, all armed at
+// once, with several concurrent client connections. The invariants under
+// chaos are absolute: every request line gets exactly one well-formed
+// response frame, in request order per connection, and the server drains
+// cleanly — no crash, no wedge, no unanswered frame.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/chaos.h"
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+#include "src/service/transport.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+ServiceFaultOptions SoakChaos(uint64_t seed) {
+  ServiceFaultOptions chaos;
+  chaos.worker_stall_probability = 0.2;
+  chaos.worker_stall_ms = 1.0;
+  chaos.alloc_fail_probability = 0.15;
+  chaos.slow_write_probability = 0.5;
+  chaos.slow_write_bytes = 16;
+  chaos.seed = seed;
+  return chaos;
+}
+
+/// One client's request batch: a mix of solvable queries, cache-friendly
+/// repeats, deadline-carrying queries and guaranteed errors (missing
+/// graph), every one of which must be answered exactly once.
+std::vector<std::string> BuildRequests(int client, int count) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < count; ++i) {
+    const std::string id =
+        "c" + std::to_string(client) + "-q" + std::to_string(i);
+    std::string line = "{\"id\":\"" + id + "\",";
+    switch (i % 5) {
+      case 0:
+        line += "\"graph\":\"fig2\",\"tau\":2}";
+        break;
+      case 1:
+        line += "\"graph\":\"rand\",\"tau\":1}";
+        break;
+      case 2:
+        line += "\"graph\":\"fig2\",\"kind\":\"pf\"}";
+        break;
+      case 3:  // generous deadline: covers queue wait under stalls
+        line += "\"graph\":\"fig2\",\"tau\":3,\"deadline_ms\":30000}";
+        break;
+      case 4:  // not loaded: a not_found error frame, exactly one
+        line += "\"graph\":\"missing\"}";
+        break;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+TEST(ChaosSoakTest, EveryRequestGetsExactlyOneWellFormedResponse) {
+  const ServiceFaultOptions chaos = SoakChaos(0x50a6u);
+
+  SocketServerOptions socket_options;
+  socket_options.fault_injection = chaos;
+  SocketServer server(socket_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ServiceOptions service_options;
+  service_options.num_workers = 3;
+  service_options.max_queue = 64;
+  service_options.fault_injection = chaos;
+  service_options.on_task_complete = [&server] { server.Wake(); };
+  QueryService service(service_options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  ASSERT_TRUE(
+      service.store().Load("rand", RandomSignedGraph(24, 130, 0.45, 11)).ok());
+
+  std::thread serving([&] {
+    JsonlOptions jsonl;
+    jsonl.deterministic = true;
+    EXPECT_TRUE(server.Serve(service, jsonl).ok());
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<std::string> requests =
+          BuildRequests(c, kRequestsPerClient);
+      std::string batch;
+      for (const std::string& line : requests) batch += line + "\n";
+      std::istringstream in(batch);
+      std::ostringstream out;
+      const Status status =
+          RunJsonlSocketClient("127.0.0.1", server.port(), in, out);
+      if (!status.ok()) {
+        failures[c] = "client error: " + status.ToString();
+        return;
+      }
+      std::istringstream response_stream(out.str());
+      std::string line;
+      size_t index = 0;
+      while (std::getline(response_stream, line)) {
+        if (index >= requests.size()) {
+          failures[c] = "extra response frame: " + line;
+          return;
+        }
+        // Successful frames carry arrays (clique vertex lists), which the
+        // flat protocol parser deliberately rejects — validate shape by
+        // structure instead: the echoed id leads the frame, the object is
+        // closed, and the frame is either a success or exactly one error.
+        const std::string expected_id =
+            "c" + std::to_string(c) + "-q" + std::to_string(index);
+        if (line.rfind("{\"id\":\"" + expected_id + "\",", 0) != 0) {
+          failures[c] = "out-of-order or mangled frame (wanted " +
+                        expected_id + "): " + line;
+          return;
+        }
+        if (line.empty() || line.back() != '}') {
+          failures[c] = "truncated frame: " + line;
+          return;
+        }
+        const bool ok = line.find("\"ok\":true") != std::string::npos;
+        const bool error = line.find("\"error\":\"") != std::string::npos;
+        if (ok == error) {
+          failures[c] = "frame neither success nor error: " + line;
+          return;
+        }
+        ++index;
+      }
+      if (index != requests.size()) {
+        failures[c] = "only " + std::to_string(index) + " of " +
+                      std::to_string(requests.size()) + " frames answered";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.RequestDrain();
+  serving.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+
+  // The transport's books balance after the drain: every consumed frame
+  // was answered, no connection is left open.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.transport.connections_active, 0);
+  EXPECT_EQ(stats.transport.frames_in,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.transport.frames_in, stats.transport.frames_out);
+}
+
+TEST(ChaosSoakTest, AllocFailuresSurfaceAsResourceExhaustedNotCrashes) {
+  ServiceFaultOptions chaos;
+  chaos.alloc_fail_probability = 1.0;  // every query fails to "allocate"
+  chaos.seed = 7;
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.fault_injection = chaos;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  QueryRequest request;
+  request.id = "a";
+  request.graph = "fig2";
+  request.tau = 2;
+  const QueryResponse response = service.Query(request);
+  EXPECT_TRUE(response.status.IsResourceExhausted())
+      << response.status.ToString();
+  // Injected failures never populate the cache.
+  EXPECT_EQ(service.Stats().cache.insertions, 0u);
+}
+
+TEST(ChaosSoakTest, StdioPathSurvivesWorkerChaosToo) {
+  ServiceFaultOptions chaos;
+  chaos.worker_stall_probability = 0.5;
+  chaos.worker_stall_ms = 1.0;
+  chaos.alloc_fail_probability = 0.3;
+  chaos.seed = 99;
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.fault_injection = chaos;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  std::string batch;
+  for (int i = 0; i < 20; ++i) {
+    batch += "{\"id\":\"q" + std::to_string(i) + "\",\"graph\":\"fig2\"}\n";
+  }
+  std::istringstream in(batch);
+  std::ostringstream out;
+  JsonlOptions jsonl;
+  jsonl.deterministic = true;
+  ASSERT_TRUE(RunJsonlStream(service, in, out, jsonl).ok());
+
+  std::istringstream response_stream(out.str());
+  std::string line;
+  int frames = 0;
+  while (std::getline(response_stream, line)) {
+    const std::string expected_prefix =
+        "{\"id\":\"q" + std::to_string(frames) + "\",";
+    EXPECT_EQ(line.rfind(expected_prefix, 0), 0u) << line;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '}') << line;
+    ++frames;
+  }
+  EXPECT_EQ(frames, 20);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,322 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// RunRetryingJsonlClient against a scriptable fake server (deterministic
+// shed-then-serve schedules, mid-stream connection drops) and against the
+// real SocketServer end to end.
+#include "src/service/client.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/service/jsonl.h"
+#include "src/service/query_service.h"
+#include "src/service/transport.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+
+/// What the fake server does with one request line.
+struct FakeAction {
+  enum Kind {
+    kOk,           // respond {"id":...,"ok":true}
+    kExhausted,    // respond resource_exhausted
+    kDropConnection  // close the connection without responding
+  };
+  Kind kind = kOk;
+};
+
+/// A single-threaded scriptable JSONL server: accepts one connection at a
+/// time, parses request ids, and answers according to a per-id schedule
+/// of actions (consumed one per attempt; the last action repeats).
+class FakeServer {
+ public:
+  using Schedule = std::vector<FakeAction::Kind>;
+
+  FakeServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_,
+                            reinterpret_cast<struct sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~FakeServer() {
+    stop_.store(true);
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  void SetSchedule(const std::string& id, Schedule schedule) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    schedules_[id] = std::move(schedule);
+  }
+
+  size_t attempts_seen(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return attempts_[id];
+  }
+
+ private:
+  FakeAction::Kind NextAction(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t attempt = attempts_[id]++;
+    auto it = schedules_.find(id);
+    if (it == schedules_.end() || it->second.empty()) return FakeAction::kOk;
+    const Schedule& schedule = it->second;
+    return schedule[attempt < schedule.size() ? attempt
+                                              : schedule.size() - 1];
+  }
+
+  void Serve() {
+    while (!stop_.load()) {
+      struct pollfd accept_fd = {listen_fd_, POLLIN, 0};
+      if (::poll(&accept_fd, 1, 20) <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      LineFramer framer(1u << 20);
+      LineFramer::Line line;
+      char buffer[4096];
+      bool open = true;
+      while (open && !stop_.load()) {
+        struct pollfd read_fd = {fd, POLLIN, 0};
+        if (::poll(&read_fd, 1, 20) <= 0) continue;
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0) break;
+        framer.Feed(buffer, static_cast<size_t>(n));
+        while (open && framer.Next(&line)) {
+          Result<JsonlFields> parsed = ParseJsonlLine(line.text);
+          const std::string id =
+              parsed.ok() ? JsonlField(parsed.value(), "id") : "";
+          std::string response;
+          switch (NextAction(id)) {
+            case FakeAction::kOk:
+              response = "{\"id\":\"" + id + "\",\"ok\":true}\n";
+              break;
+            case FakeAction::kExhausted:
+              response = "{\"id\":\"" + id +
+                         "\",\"ok\":false,\"error\":\"resource_exhausted\","
+                         "\"message\":\"try later\"}\n";
+              break;
+            case FakeAction::kDropConnection:
+              open = false;
+              continue;
+          }
+          size_t sent = 0;
+          while (sent < response.size()) {
+            const ssize_t w = ::send(fd, response.data() + sent,
+                                     response.size() - sent, MSG_NOSIGNAL);
+            if (w <= 0) {
+              open = false;
+              break;
+            }
+            sent += static_cast<size_t>(w);
+          }
+        }
+      }
+      ::close(fd);
+    }
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::mutex mutex_;
+  std::map<std::string, Schedule> schedules_;
+  std::map<std::string, size_t> attempts_;
+};
+
+RetryClientOptions FastRetryOptions() {
+  RetryClientOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_ms = 1.0;
+  options.max_backoff_ms = 5.0;
+  return options;
+}
+
+std::vector<std::string> Lines(const std::string& blob) {
+  std::vector<std::string> lines;
+  std::istringstream in(blob);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RetryClientTest, RetriesShedRequestUntilServedAndAnnotatesAttempts) {
+  FakeServer server;
+  server.SetSchedule("b", {FakeAction::kExhausted, FakeAction::kExhausted,
+                           FakeAction::kOk});
+
+  std::istringstream in(
+      "{\"id\":\"a\",\"graph\":\"g\"}\n"
+      "{\"id\":\"b\",\"graph\":\"g\"}\n"
+      "{\"id\":\"c\",\"graph\":\"g\"}\n");
+  std::ostringstream out;
+  RetryClientStats stats;
+  ASSERT_TRUE(RunRetryingJsonlClient("127.0.0.1", server.port(), in, out,
+                                     FastRetryOptions(), &stats)
+                  .ok());
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  // Input order, regardless of retry timing.
+  EXPECT_NE(lines[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":\"b\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"c\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos);
+  // Only the shed request carries the attempts annotation.
+  EXPECT_EQ(lines[0].find("attempts"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"attempts\":3"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].find("attempts"), std::string::npos);
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.reconnects, 0u);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(server.attempts_seen("b"), 3u);
+}
+
+TEST(RetryClientTest, KeepsLastErrorAfterExhaustingAttempts) {
+  FakeServer server;
+  server.SetSchedule("x", {FakeAction::kExhausted});  // repeats forever
+
+  std::istringstream in("{\"id\":\"x\",\"graph\":\"g\"}\n");
+  std::ostringstream out;
+  RetryClientOptions options = FastRetryOptions();
+  options.max_attempts = 3;
+  RetryClientStats stats;
+  ASSERT_TRUE(RunRetryingJsonlClient("127.0.0.1", server.port(), in, out,
+                                     options, &stats)
+                  .ok());
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\":\"resource_exhausted\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"attempts\":3"), std::string::npos);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.gave_up, 1u);
+  EXPECT_EQ(server.attempts_seen("x"), 3u);
+}
+
+TEST(RetryClientTest, ReconnectsWhenServerDropsConnectionMidStream) {
+  FakeServer server;
+  server.SetSchedule("r", {FakeAction::kDropConnection, FakeAction::kOk});
+
+  std::istringstream in("{\"id\":\"r\",\"graph\":\"g\"}\n");
+  std::ostringstream out;
+  RetryClientStats stats;
+  ASSERT_TRUE(RunRetryingJsonlClient("127.0.0.1", server.port(), in, out,
+                                     FastRetryOptions(), &stats)
+                  .ok());
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"attempts\":2"), std::string::npos);
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_EQ(stats.gave_up, 0u);
+}
+
+TEST(RetryClientTest, SynthesizesTerminalErrorWhenEveryAttemptIsDropped) {
+  FakeServer server;
+  server.SetSchedule("gone", {FakeAction::kDropConnection});
+
+  std::istringstream in("{\"id\":\"gone\",\"graph\":\"g\"}\n");
+  std::ostringstream out;
+  RetryClientOptions options = FastRetryOptions();
+  options.max_attempts = 2;
+  RetryClientStats stats;
+  ASSERT_TRUE(RunRetryingJsonlClient("127.0.0.1", server.port(), in, out,
+                                     options, &stats)
+                  .ok());
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  // No server response ever arrived: the client synthesizes the error,
+  // echoing the request id.
+  EXPECT_NE(lines[0].find("\"id\":\"gone\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[0].find("no response after 2 attempts"), std::string::npos);
+  EXPECT_EQ(stats.gave_up, 1u);
+}
+
+TEST(RetryClientTest, UnreachableServerFailsAfterRetryBudget) {
+  // Port 1 on loopback: nothing listens there.
+  std::istringstream in("{\"id\":\"a\",\"graph\":\"g\"}\n");
+  std::ostringstream out;
+  RetryClientOptions options = FastRetryOptions();
+  options.max_attempts = 2;
+  const Status status =
+      RunRetryingJsonlClient("127.0.0.1", 1, in, out, options, nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(RetryClientTest, EndToEndAgainstRealServer) {
+  SocketServer server(SocketServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  ServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.on_task_complete = [&server] { server.Wake(); };
+  QueryService service(service_options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+  std::thread serving([&] {
+    JsonlOptions jsonl;
+    jsonl.deterministic = true;
+    EXPECT_TRUE(server.Serve(service, jsonl).ok());
+  });
+
+  std::istringstream in(
+      "{\"id\":\"q1\",\"graph\":\"fig2\",\"tau\":2}\n"
+      "{\"id\":\"q2\",\"graph\":\"fig2\",\"kind\":\"pf\"}\n");
+  std::ostringstream out;
+  RetryClientStats stats;
+  const Status status = RunRetryingJsonlClient(
+      "127.0.0.1", server.port(), in, out, FastRetryOptions(), &stats);
+  server.RequestDrain();
+  server.Wake();
+  serving.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  const std::vector<std::string> lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\":\"q1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"size\":6"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"beta\":3"), std::string::npos) << lines[1];
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Copyright 2026 The balanced-clique Authors.
+#
+# SIGTERM graceful drain over TCP: a server with a pipeline of queries in
+# flight must, on SIGTERM, stop accepting, finish and flush every
+# already-received query, and exit 0 — and the client must see one
+# response per request.
+#
+#   sigterm_drain_test.sh <mbc_serve> <mbc_cli>
+set -u
+
+MBC_SERVE="$1"
+MBC_CLI="$2"
+NUM_QUERIES=40
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK" || exit 1
+
+"$MBC_CLI" generate --dataset Bitcoin --scale 0.0625 --out g.bin \
+  > /dev/null || { echo "FAIL: generate"; exit 1; }
+
+# no_cache so every query runs a real solve and the drain has work to do.
+: > batch.jsonl
+for i in $(seq 1 "$NUM_QUERIES"); do
+  echo "{\"id\":\"q$i\",\"graph\":\"g\",\"tau\":1,\"no_cache\":true}" \
+    >> batch.jsonl
+done
+
+"$MBC_SERVE" --listen 127.0.0.1:0 --workers 2 --deterministic \
+  --load g=g.bin > port.txt 2> serve.log &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 200); do
+  PORT="$(head -n1 port.txt 2>/dev/null)"
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+[ -n "$PORT" ] || { echo "FAIL: server never printed its port"; exit 1; }
+
+"$MBC_CLI" batch --connect "127.0.0.1:$PORT" --input batch.jsonl \
+  > responses.jsonl &
+CLIENT_PID=$!
+
+# Let the pipeline land on the server, then pull the plug mid-flight.
+sleep 0.1
+kill -TERM "$SERVER_PID"
+
+wait "$CLIENT_PID"
+CLIENT_RC=$?
+wait "$SERVER_PID"
+SERVER_RC=$?
+SERVER_PID=""
+
+[ "$SERVER_RC" -eq 0 ] || {
+  echo "FAIL: server exit code $SERVER_RC after SIGTERM"
+  cat serve.log
+  exit 1
+}
+[ "$CLIENT_RC" -eq 0 ] || { echo "FAIL: client exit code $CLIENT_RC"; exit 1; }
+
+GOT="$(wc -l < responses.jsonl)"
+[ "$GOT" -eq "$NUM_QUERIES" ] || {
+  echo "FAIL: expected $NUM_QUERIES responses, got $GOT"
+  exit 1
+}
+grep -q "\"id\":\"q$NUM_QUERIES\"" responses.jsonl || {
+  echo "FAIL: last response missing"
+  exit 1
+}
+if grep -q '"ok":false' responses.jsonl; then
+  echo "FAIL: a drained query was answered with an error:"
+  grep '"ok":false' responses.jsonl
+  exit 1
+fi
+echo "PASS: $GOT responses drained, server exited 0"

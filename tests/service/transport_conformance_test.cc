@@ -32,8 +32,12 @@ using testing_util::RandomSignedGraph;
 constexpr size_t kMaxLineBytes = 512;
 
 std::string GraphFile(uint32_t g) {
-  const std::string path =
-      ::testing::TempDir() + "/conformance_g" + std::to_string(g) + ".txt";
+  // Pid-unique path: under `ctest -j` every TEST_P instance is its own
+  // process, and concurrent processes rewriting one shared file race a
+  // reader into a partially-written graph.
+  const std::string path = ::testing::TempDir() + "/conformance_g" +
+                           std::to_string(g) + "." +
+                           std::to_string(::getpid()) + ".txt";
   static bool written[2] = {false, false};
   if (!written[g]) {
     const SignedGraph graph =

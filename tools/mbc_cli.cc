@@ -48,6 +48,7 @@
 #include "src/pf/pf_star.h"
 #include "src/related/balanced_subgraph.h"
 #include "src/related/related_cliques.h"
+#include "src/service/client.h"
 #include "src/service/jsonl.h"
 #include "src/service/query_service.h"
 #include "src/service/transport.h"
@@ -89,6 +90,8 @@ int Usage() {
       "  related  --graph FILE [--alpha A --k K]\n"
       "  batch    --input FILE [--workers N] [--deterministic true]\n"
       "           [--connect HOST:PORT]  send to a running mbc_serve\n"
+      "           [--retry N]            retry shed queries up to N attempts\n"
+      "           [--retry-base-ms MS] [--retry-max-ms MS] [--retry-seed S]\n"
       "  datasets\n"
       "global flags (solver commands):\n"
       "  --time-limit SECONDS   wall-clock budget\n"
@@ -397,20 +400,48 @@ int CmdBatch(const Flags& flags) {
                    endpoint.status().ToString().c_str());
       return 2;
     }
+    const size_t retry = static_cast<size_t>(
+        std::strtoul(flags.Get("retry", "0").c_str(), nullptr, 10));
+    const auto run_client = [&](std::istream& in) {
+      if (retry == 0) {
+        // Plain byte-streaming client: no protocol awareness, no retries.
+        return mbc::RunJsonlSocketClient(endpoint.value().first,
+                                         endpoint.value().second, in,
+                                         std::cout);
+      }
+      mbc::RetryClientOptions retry_options;
+      retry_options.max_attempts = retry;
+      retry_options.base_backoff_ms =
+          std::strtod(flags.Get("retry-base-ms", "10").c_str(), nullptr);
+      retry_options.max_backoff_ms =
+          std::strtod(flags.Get("retry-max-ms", "2000").c_str(), nullptr);
+      retry_options.jitter_seed = std::strtoull(
+          flags.Get("retry-seed", "24389").c_str(), nullptr, 10);
+      mbc::RetryClientStats retry_stats;
+      const mbc::Status status = mbc::RunRetryingJsonlClient(
+          endpoint.value().first, endpoint.value().second, in, std::cout,
+          retry_options, &retry_stats);
+      if (flags.Get("stats", "false") == "true") {
+        std::fprintf(stderr,
+                     "{\"requests\":%llu,\"retries\":%llu,"
+                     "\"reconnects\":%llu,\"gave_up\":%llu}\n",
+                     static_cast<unsigned long long>(retry_stats.requests),
+                     static_cast<unsigned long long>(retry_stats.retries),
+                     static_cast<unsigned long long>(retry_stats.reconnects),
+                     static_cast<unsigned long long>(retry_stats.gave_up));
+      }
+      return status;
+    };
     mbc::Status status;
     if (input == "-") {
-      status = mbc::RunJsonlSocketClient(endpoint.value().first,
-                                         endpoint.value().second, std::cin,
-                                         std::cout);
+      status = run_client(std::cin);
     } else {
       std::ifstream in(input);
       if (!in) {
         std::fprintf(stderr, "cannot open '%s'\n", input.c_str());
         return 1;
       }
-      status = mbc::RunJsonlSocketClient(endpoint.value().first,
-                                         endpoint.value().second, in,
-                                         std::cout);
+      status = run_client(in);
     }
     std::cout.flush();
     if (!status.ok()) return Fail(status);

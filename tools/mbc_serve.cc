@@ -12,6 +12,10 @@
 //             [--load NAME=PATH]... [--batch FILE] [--stats]
 //             [--listen HOST:PORT] [--max-connections N]
 //             [--idle-timeout SECONDS] [--max-line-bytes N]
+//             [--max-inflight N] [--rate-limit QPS] [--rate-burst N]
+//             [--global-rate-limit QPS] [--overload]
+//             [--shed-fraction F] [--brownout-fraction F]
+//             [--recover-fraction F] [--brownout-p95 SECONDS]
 //
 //   --load NAME=PATH  preload a graph before serving (repeatable)
 //   --batch FILE      serve the requests in FILE, then exit
@@ -29,12 +33,25 @@
 //   --idle-timeout S  close connections idle this long (default: never)
 //   --max-line-bytes N  frame-size bound; longer request lines are
 //                     rejected with one error frame (default 1 MiB)
+//   --max-inflight N  per-connection quota: queries in flight at once;
+//                     over-quota queries get one resource_exhausted frame
+//   --rate-limit QPS  per-connection token-bucket admission rate
+//                     (--rate-burst tokens of burst, default 8)
+//   --global-rate-limit QPS  one token bucket shared by every connection
+//   --overload        enable the overload state machine (normal ->
+//                     shedding -> brownout) with default thresholds; the
+//                     fraction knobs below imply it
+//   --shed-fraction F      queue fill fraction that starts shedding (0.5)
+//   --brownout-fraction F  queue fill fraction that starts brownout (0.85)
+//   --recover-fraction F   queue fill fraction that restores normal (0.25)
+//   --brownout-p95 S       p95 latency (seconds) that forces brownout
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,7 +68,12 @@ int Usage() {
       "                 [--time-limit SECONDS] [--deterministic]\n"
       "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n"
       "                 [--listen HOST:PORT] [--max-connections N]\n"
-      "                 [--idle-timeout SECONDS] [--max-line-bytes N]\n");
+      "                 [--idle-timeout SECONDS] [--max-line-bytes N]\n"
+      "                 [--max-inflight N] [--rate-limit QPS]\n"
+      "                 [--rate-burst N] [--global-rate-limit QPS]\n"
+      "                 [--overload] [--shed-fraction F]\n"
+      "                 [--brownout-fraction F] [--recover-fraction F]\n"
+      "                 [--brownout-p95 SECONDS]\n");
   return 2;
 }
 
@@ -61,6 +83,9 @@ struct ServeArgs {
   mbc::SocketServerOptions socket;
   std::vector<std::pair<std::string, std::string>> preloads;
   std::string batch_path;  // empty = stdin
+  /// Built in main() (the bucket outlives every session) when > 0.
+  double global_rate_limit = 0.0;
+  double global_rate_burst = 32.0;
   bool listen = false;
   bool print_stats = false;
   bool ok = true;
@@ -119,6 +144,34 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.jsonl.max_line_bytes =
           static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
       if (args.jsonl.max_line_bytes == 0) args.ok = false;
+    } else if (flag == "--max-inflight") {
+      args.jsonl.max_inflight =
+          static_cast<size_t>(std::strtoul(value(i), nullptr, 10));
+    } else if (flag == "--rate-limit") {
+      args.jsonl.rate_limit_per_second = std::strtod(value(i), nullptr);
+    } else if (flag == "--rate-burst") {
+      args.jsonl.rate_burst = std::strtod(value(i), nullptr);
+      if (args.jsonl.rate_burst <= 0) args.ok = false;
+    } else if (flag == "--global-rate-limit") {
+      args.global_rate_limit = std::strtod(value(i), nullptr);
+    } else if (flag == "--overload") {
+      args.service.overload.enabled = true;
+    } else if (flag == "--shed-fraction") {
+      args.service.overload.enabled = true;
+      args.service.overload.shed_queue_fraction = std::strtod(value(i),
+                                                              nullptr);
+    } else if (flag == "--brownout-fraction") {
+      args.service.overload.enabled = true;
+      args.service.overload.brownout_queue_fraction =
+          std::strtod(value(i), nullptr);
+    } else if (flag == "--recover-fraction") {
+      args.service.overload.enabled = true;
+      args.service.overload.recover_queue_fraction =
+          std::strtod(value(i), nullptr);
+    } else if (flag == "--brownout-p95") {
+      args.service.overload.enabled = true;
+      args.service.overload.brownout_p95_seconds = std::strtod(value(i),
+                                                               nullptr);
     } else if (flag == "--load") {
       const std::string spec = value(i);
       const size_t eq = spec.find('=');
@@ -154,6 +207,12 @@ void HandleDrainSignal(int /*signum*/) {
 int main(int argc, char** argv) {
   ServeArgs args = ParseArgs(argc, argv);
   if (!args.ok) return Usage();
+
+  std::optional<mbc::TokenBucket> global_bucket;
+  if (args.global_rate_limit > 0) {
+    global_bucket.emplace(args.global_rate_limit, args.global_rate_burst);
+    args.jsonl.global_rate_limiter = &*global_bucket;
+  }
 
   mbc::SocketServer server(args.socket);
   if (args.listen) {
@@ -209,7 +268,8 @@ int main(int argc, char** argv) {
   }
   std::cout.flush();
   if (args.print_stats) {
-    std::fprintf(stderr, "%s\n", service.StatsJson().c_str());
+    std::fprintf(stderr, "%s\n",
+                 service.StatsJson(args.jsonl.deterministic).c_str());
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
