@@ -1,76 +1,273 @@
 // Copyright 2026 The balanced-clique Authors.
 //
-// Parallel scaling of MBC* (extension; the paper's algorithm is
-// sequential). The per-vertex dichromatic-network searches are
-// embarrassingly parallel given a shared incumbent; this harness measures
-// the wall-clock effect of 1/2/4/8 worker threads at τ = 3 with the
-// heuristic seed disabled (otherwise most datasets are solved by the seed
-// and there is nothing to parallelize).
+// Parallel scaling of the work-stealing MBC* engine (extension; the
+// paper's algorithm is sequential). Three synthetic families are solved
+// at every thread count in {1, 2, 4, 8} with the heuristic seed disabled
+// (otherwise most instances are solved by the seed and there is nothing
+// to parallelize) and a small split threshold so heavy ego networks
+// exercise the top-level branch splitter. Each (family, threads) cell is
+// best-of-3 after 2 warm-up runs.
+//
+// The report is written to BENCH_parallel.json (schema
+// mbc-parallel-bench-v1). Two invariants are asserted on every run,
+// strict mode or not:
+//   * the FNV-1a witness hash is identical across all thread counts of a
+//     family (the engine's determinism contract), and
+//   * the scheduler counters prove real work distribution: at least one
+//     family records steals > 0 and splits > 0 at 4 threads.
+// MBC_BENCH_STRICT=1 additionally enforces a speedup floor of 2.5x at
+// 4 threads on the planted_clique family — only on hosts with at least
+// 4 hardware threads (a 1-core container cannot speed anything up; its
+// honest numbers are still recorded).
+//
+//   MBC_BENCH_PARALLEL_JSON=path  output path (default BENCH_parallel.json)
+//   MBC_BENCH_STRICT=1            enforce the 4-thread speedup floor
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "src/benchlib/experiment.h"
-#include "src/benchlib/table.h"
-#include "src/common/env.h"
 #include "src/common/timer.h"
 #include "src/core/mbc_parallel.h"
-#include "src/core/mbc_star.h"
+#include "src/datasets/generators.h"
 
-int main() {
-  using mbc::TablePrinter;
-  mbc::PrintExperimentHeader("Parallel MBC* scaling (tau = 3, no seed)",
-                             "(extension; no paper counterpart)");
-  // Default to the mid-size datasets whose no-seed searches have enough
-  // parallel work but bounded totals (override with MBC_DATASETS). The
-  // parallel runs accept no deadline, so the giant planted-clique
-  // stand-ins are excluded by default.
-  if (mbc::GetEnvString("MBC_DATASETS", "").empty()) {
-    setenv("MBC_DATASETS", "Reddit,Epinions,Amazon,DBLP,Douban,SN1", 0);
+namespace mbc {
+namespace {
+
+constexpr uint32_t kTau = 3;
+constexpr uint32_t kSplitThreshold = 16;
+constexpr uint32_t kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kWarmups = 2;
+constexpr int kReps = 3;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  return (hash ^ value) * 0x100000001b3ull;
+}
+
+/// FNV-1a over the canonical witness: size first, then every vertex id in
+/// canonical (left then right, each ascending) order. Equal hashes across
+/// thread counts certify the determinism contract.
+uint64_t WitnessHash(const BalancedClique& clique) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  hash = FnvMix(hash, clique.size());
+  for (VertexId v : clique.left) hash = FnvMix(hash, v);
+  for (VertexId v : clique.right) hash = FnvMix(hash, v);
+  return hash;
+}
+
+struct Family {
+  std::string name;
+  SignedGraph graph;
+};
+
+std::vector<Family> MakeFamilies() {
+  std::vector<Family> families;
+  {
+    // Community-structured graph: many mid-weight ego networks, the
+    // bread-and-butter fan-out case.
+    CommunityGraphOptions options;
+    options.num_vertices = 700;
+    options.num_edges = 42000;
+    options.num_communities = 6;
+    options.negative_ratio = 0.35;
+    options.seed = 101;
+    families.push_back({"community", GenerateCommunitySignedGraph(options)});
   }
+  {
+    // Dense core: fewer, heavier ego networks — stresses the split path
+    // and the shared incumbent (late subtasks should prune hard).
+    CommunityGraphOptions options;
+    options.num_vertices = 450;
+    options.num_edges = 36000;
+    options.num_communities = 3;
+    options.negative_ratio = 0.4;
+    options.seed = 202;
+    families.push_back({"dense_core", GenerateCommunitySignedGraph(options)});
+  }
+  {
+    // Planted balanced cliques on a community base: ground-truth optimum,
+    // and the hub-planted cliques create exactly the heavy ego networks
+    // the splitter exists for. This is the strict-mode speedup family.
+    CommunityGraphOptions options;
+    options.num_vertices = 900;
+    options.num_edges = 48000;
+    options.num_communities = 5;
+    options.negative_ratio = 0.35;
+    options.seed = 303;
+    SignedGraph base = GenerateCommunitySignedGraph(options);
+    families.push_back(
+        {"planted_clique",
+         PlantBalancedCliques(base, {{7, 7}, {6, 8}, {5, 7}}, 977)});
+  }
+  return families;
+}
 
-  TablePrinter table({"Dataset", "sequential", "t=1", "t=2", "t=4", "t=8",
-                      "speedup(8)", "|C*|"});
-  for (const mbc::ExperimentDataset& dataset :
-       mbc::LoadExperimentDatasets()) {
-    mbc::Timer timer;
-    mbc::MbcStarOptions seq_options;
-    seq_options.run_heuristic = false;
-    seq_options.time_limit_seconds = mbc::BaselineTimeLimitSeconds() * 6;
-    const mbc::MbcStarResult sequential =
-        mbc::MaxBalancedCliqueStar(dataset.graph, 3, seq_options);
-    const double seq_seconds = timer.ElapsedSeconds();
+struct Cell {
+  uint32_t threads = 0;
+  double seconds = 0.0;  // best of kReps
+  uint64_t witness_hash = 0;
+  uint64_t clique_size = 0;
+  uint64_t steals = 0;
+  uint64_t splits = 0;
+  uint64_t incumbent_updates = 0;
+  uint64_t networks_built = 0;
+};
 
-    std::vector<std::string> row{
-        dataset.spec.name,
-        TablePrinter::MarkIf(sequential.stats.timed_out, '>',
-            TablePrinter::FormatSeconds(seq_seconds))};
-    double t8_seconds = seq_seconds;
-    bool consistent = true;
-    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
-      mbc::ParallelMbcOptions options;
-      options.num_threads = threads;
-      options.run_heuristic = false;
-      timer.Restart();
-      const mbc::ParallelMbcResult result =
-          mbc::ParallelMaxBalancedCliqueStar(dataset.graph, 3, options);
-      const double seconds = timer.ElapsedSeconds();
-      row.push_back(TablePrinter::FormatSeconds(seconds));
-      if (threads == 8) t8_seconds = seconds;
-      if (!sequential.stats.timed_out &&
-          result.clique.size() != sequential.clique.size()) {
-        consistent = false;
+Cell RunCell(const SignedGraph& graph, uint32_t threads) {
+  ParallelMbcOptions options;
+  options.num_threads = threads;
+  options.run_heuristic = false;
+  options.split_threshold = kSplitThreshold;
+
+  Cell cell;
+  cell.threads = threads;
+  cell.seconds = -1.0;
+  for (int rep = 0; rep < kWarmups + kReps; ++rep) {
+    Timer timer;
+    const ParallelMbcResult result =
+        ParallelMaxBalancedCliqueStar(graph, kTau, options);
+    const double seconds = timer.ElapsedSeconds();
+    if (rep < kWarmups) continue;
+    if (cell.seconds < 0.0 || seconds < cell.seconds) cell.seconds = seconds;
+    // The witness is deterministic across reps; the scheduler counters
+    // are schedule-dependent, so the recorded ones are from the last rep.
+    cell.witness_hash = WitnessHash(result.clique);
+    cell.clique_size = result.clique.size();
+    cell.steals = result.num_steals;
+    cell.splits = result.num_splits;
+    cell.incumbent_updates = result.num_incumbent_updates;
+    cell.networks_built = result.num_networks_built;
+  }
+  return cell;
+}
+
+std::string CellJson(const Cell& cell, const char* indent) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%s\"t%u\": {\n"
+      "%s  \"seconds\": %.6f,\n"
+      "%s  \"clique_size\": %llu,\n"
+      "%s  \"steals\": %llu,\n"
+      "%s  \"splits\": %llu,\n"
+      "%s  \"incumbent_updates\": %llu,\n"
+      "%s  \"networks_built\": %llu,\n"
+      "%s  \"solution_hash\": \"%016llx\"\n"
+      "%s}",
+      indent, cell.threads, indent, cell.seconds, indent,
+      static_cast<unsigned long long>(cell.clique_size), indent,
+      static_cast<unsigned long long>(cell.steals), indent,
+      static_cast<unsigned long long>(cell.splits), indent,
+      static_cast<unsigned long long>(cell.incumbent_updates), indent,
+      static_cast<unsigned long long>(cell.networks_built), indent,
+      static_cast<unsigned long long>(cell.witness_hash), indent);
+  return buffer;
+}
+
+int Main() {
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  const char* strict_env = std::getenv("MBC_BENCH_STRICT");
+  const bool strict = strict_env != nullptr && strict_env[0] == '1';
+
+  std::printf("Parallel MBC* scaling — tau=%u, no heuristic seed, "
+              "split_threshold=%u, host_cpus=%u%s\n",
+              kTau, kSplitThreshold, host_cpus, strict ? ", STRICT" : "");
+
+  bool hashes_ok = true;
+  bool counters_ok = false;  // some family must steal AND split at 4t
+  double planted_speedup_4t = 0.0;
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"mbc-parallel-bench-v1\",\n";
+  json += "  \"tau\": " + std::to_string(kTau) + ",\n";
+  json += "  \"split_threshold\": " + std::to_string(kSplitThreshold) + ",\n";
+  json += "  \"warmups\": " + std::to_string(kWarmups) + ",\n";
+  json += "  \"reps\": " + std::to_string(kReps) + ",\n";
+  json += "  \"host_cpus\": " + std::to_string(host_cpus) + ",\n";
+  json += "  \"families\": {\n";
+
+  const std::vector<Family> families = MakeFamilies();
+  for (size_t f = 0; f < families.size(); ++f) {
+    const Family& family = families[f];
+    std::printf("%-16s", family.name.c_str());
+    std::fflush(stdout);
+
+    std::vector<Cell> cells;
+    for (uint32_t threads : kThreadCounts) {
+      cells.push_back(RunCell(family.graph, threads));
+      std::printf("  t%u=%.3fs", threads, cells.back().seconds);
+      std::fflush(stdout);
+    }
+
+    const Cell& t1 = cells.front();
+    for (const Cell& cell : cells) {
+      if (cell.witness_hash != t1.witness_hash) {
+        hashes_ok = false;
+        std::fprintf(stderr,
+                     "\nFAIL %s: witness hash diverges at t=%u "
+                     "(%016llx vs %016llx)\n",
+                     family.name.c_str(), cell.threads,
+                     static_cast<unsigned long long>(cell.witness_hash),
+                     static_cast<unsigned long long>(t1.witness_hash));
       }
     }
-    row.push_back(TablePrinter::FormatDouble(
-                      t8_seconds > 0 ? seq_seconds / t8_seconds : 0.0, 1) +
-                  "x");
-    row.push_back(std::to_string(sequential.clique.size()) +
-                  (consistent ? "" : "!!"));
-    table.AddRow(std::move(row));
+    const Cell& t4 = cells[2];
+    if (t4.steals > 0 && t4.splits > 0) counters_ok = true;
+    const double speedup4 = t4.seconds > 0.0 ? t1.seconds / t4.seconds : 0.0;
+    if (family.name == "planted_clique") planted_speedup_4t = speedup4;
+    std::printf("  speedup(4)=%.2fx  |C*|=%llu\n", speedup4,
+                static_cast<unsigned long long>(t1.clique_size));
+
+    json += "    \"" + family.name + "\": {\n";
+    json += "      \"vertices\": " +
+            std::to_string(family.graph.NumVertices()) + ",\n";
+    json += "      \"edges\": " + std::to_string(family.graph.NumEdges()) +
+            ",\n";
+    for (const Cell& cell : cells) {
+      json += CellJson(cell, "      ") + ",\n";
+    }
+    char speed[64];
+    std::snprintf(speed, sizeof(speed), "      \"speedup_4t\": %.3f\n",
+                  speedup4);
+    json += speed;
+    json += f + 1 < families.size() ? "    },\n" : "    }\n";
   }
-  std::printf("\n");
-  table.Print();
-  std::printf(
-      "(every configuration is exact — '!!' would flag a bug; speedups are\n"
-      " bounded by the share of time outside the sequential preamble)\n");
+  json += "  }\n}\n";
+
+  const char* path_env = std::getenv("MBC_BENCH_PARALLEL_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_parallel.json";
+  std::ofstream out(path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", path.c_str());
+
+  if (!hashes_ok) {
+    std::fprintf(stderr,
+                 "FAIL: witness hashes differ across thread counts — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  if (!counters_ok) {
+    std::fprintf(stderr,
+                 "FAIL: no family recorded both steals and splits at 4 "
+                 "threads — the scheduler is not distributing work\n");
+    return 1;
+  }
+  if (strict && host_cpus >= 4 && planted_speedup_4t < 2.5) {
+    std::fprintf(stderr,
+                 "FAIL (strict): planted_clique speedup at 4 threads is "
+                 "%.2fx, below the 2.5x floor\n",
+                 planted_speedup_4t);
+    return 1;
+  }
   return 0;
 }
+
+}  // namespace
+}  // namespace mbc
+
+int main() { return mbc::Main(); }

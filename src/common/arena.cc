@@ -40,6 +40,20 @@ SearchArena::VectorFrame& SearchArena::VectorFrameAt(size_t depth) {
   return vector_frames_[depth];
 }
 
+void SearchArena::SnapshotFrame(size_t depth, FrameSnapshot* out) {
+  const Frame& frame = frames_.at(depth);
+  out->cand.CopyFrom(frame.cand);
+  out->pool.CopyFrom(frame.pool);
+  out->remaining.CopyFrom(frame.remaining);
+}
+
+void SearchArena::RestoreFrame(size_t depth, const FrameSnapshot& snapshot) {
+  Frame& frame = FrameAt(depth);
+  frame.cand.CopyFrom(snapshot.cand);
+  frame.pool.CopyFrom(snapshot.pool);
+  frame.remaining.CopyFrom(snapshot.remaining);
+}
+
 size_t SearchArena::MemoryBytes() const {
   size_t bytes = 0;
   for (const Frame& frame : frames_) {

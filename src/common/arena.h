@@ -75,6 +75,26 @@ class SearchArena {
   /// rules as FrameAt.
   VectorFrame& VectorFrameAt(size_t depth);
 
+  /// A detached copy of one frame's bitset rows. Snapshots are how the
+  /// work-stealing scheduler ships a branching frontier across threads:
+  /// the splitter captures the pruned root frame of a heavy MDC instance,
+  /// clones per-branch candidate sets out of it, and the executing worker
+  /// restores the clone into its own arena (frames themselves are
+  /// thread-confined; snapshots are plain values that may be moved across
+  /// threads). `degrees` is intentionally not captured — it is derived
+  /// state the kernel recomputes from the candidate set.
+  struct FrameSnapshot {
+    Bitset cand;
+    Bitset pool;
+    Bitset remaining;
+  };
+
+  /// Copies frame `depth`'s bitset rows into *out (storage reused).
+  void SnapshotFrame(size_t depth, FrameSnapshot* out);
+  /// Restores a snapshot into frame `depth` (the inverse of SnapshotFrame;
+  /// the frame's `degrees` stay stale and must be rebuilt before use).
+  void RestoreFrame(size_t depth, const FrameSnapshot& snapshot);
+
   /// Flat scratch shared by the non-recursive helpers (k-core peeling
   /// stacks, coloring order). Never live across a recursive call.
   std::vector<uint32_t>& pending() { return pending_; }

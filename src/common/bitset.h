@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/common/logging.h"
 #include "src/common/simd.h"
 
@@ -257,7 +258,9 @@ class Bitset {
   }
 
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  /// 64-byte-aligned word storage: the avx512vpopcnt kernel table issues
+  /// aligned 512-bit loads against these arrays (see src/common/aligned.h).
+  AlignedWordVector words_;
 };
 
 }  // namespace mbc

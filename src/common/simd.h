@@ -2,9 +2,17 @@
 //
 // Runtime-dispatched SIMD kernels for the 64-bit word loops behind Bitset.
 // The branch-and-bound solvers are memory-bound on a handful of intersect /
-// popcount primitives; this layer provides scalar, AVX2 and AVX-512
-// implementations of exactly those primitives and selects one at process
-// start (CPUID, overridable with MBC_SIMD=scalar|avx2|avx512 for testing).
+// popcount primitives; this layer provides scalar, AVX2, AVX-512 and
+// AVX-512+VPOPCNTDQ implementations of exactly those primitives and selects
+// one at process start (CPUID, overridable with
+// MBC_SIMD=scalar|avx2|avx512|avx512vpopcnt for testing).
+//
+// The avx512vpopcnt table is the only one with an operand contract beyond
+// "valid word arrays": its vector loops use aligned 512-bit loads, so every
+// operand must start on a 64-byte boundary. Bitset guarantees this (its
+// words live in an AlignedWordVector, src/common/aligned.h); code calling
+// kernels directly with its own buffers must either align them or stick to
+// the other tables.
 //
 // All kernels operate on raw uint64_t word arrays and are bit-exact across
 // ISAs: the dispatched choice can never change a search result, only its
@@ -57,7 +65,8 @@ extern const Kernels* g_active;
 /// The kernel table all Bitset operations dispatch through.
 inline const Kernels& Active() { return *internal::g_active; }
 
-/// Name of the active kernel table: "scalar", "avx2" or "avx512".
+/// Name of the active kernel table: "scalar", "avx2", "avx512" or
+/// "avx512vpopcnt".
 const char* ActiveName();
 
 /// Whether this CPU (and build) supports the named ISA.
@@ -67,7 +76,8 @@ bool Supported(const std::string& name);
 /// contains at least "scalar".
 std::vector<std::string> SupportedIsas();
 
-/// Selects the active kernels: "scalar", "avx2", "avx512", or "auto"
+/// Selects the active kernels: "scalar", "avx2", "avx512",
+/// "avx512vpopcnt", or "auto"
 /// (the startup resolution: a valid MBC_SIMD pin if set, else the best
 /// supported ISA). Returns false — and leaves the active kernels unchanged —
 /// if the name is unknown or the ISA is unsupported on this CPU. Not

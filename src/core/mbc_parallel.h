@@ -2,11 +2,19 @@
 //
 // Parallel MBC*: a multi-threaded variant of Algorithm 2 (an extension —
 // the paper's algorithm is sequential). The per-vertex dichromatic-network
-// searches are independent given a shared incumbent size, so worker
-// threads pull vertices (in reverse degeneracy order) from a shared cursor
-// and race to improve an atomic lower bound. Determinism of the *size* is
-// preserved (every run returns a maximum clique); the identity of the
-// returned clique may vary between runs when several optima exist.
+// searches are independent, so they parallelize as a task pool; this
+// engine schedules them with per-worker Chase–Lev deques (work stealing),
+// splits heavy ego networks at the top-level MDC branching frontier into
+// per-branch subtasks, and threads one shared atomic incumbent through
+// every MdcSolver so late subproblems prune against the fleet-wide best.
+//
+// Determinism: the result is byte-identical across thread counts and
+// schedules. Workers run the MDC kernel in tie-preserving mode (no bound
+// discards a clique merely equal to the incumbent), so every maximum
+// clique is offered to the publisher in every run, and the publisher keeps
+// the canonically lexicographically-smallest witness. The returned clique
+// is therefore always the lex-min maximum balanced clique — the same one,
+// whether solved by 1 thread or 8.
 #ifndef MBC_CORE_MBC_PARALLEL_H_
 #define MBC_CORE_MBC_PARALLEL_H_
 
@@ -30,13 +38,32 @@ struct ParallelMbcOptions {
   /// cancelling it (from any thread) stops the whole search; the best
   /// clique found so far is returned. Owned by the caller; may be null.
   ExecutionContext* exec = nullptr;
+  /// Ego networks whose pruned candidate count reaches this many vertices
+  /// are split at the top-level MDC branching frontier into independent
+  /// per-branch subtasks (each carrying its candidate bitset cloned from a
+  /// SearchArena snapshot), so one heavy ego network no longer serializes
+  /// the tail. 0 = the built-in default (96). Tests and the scaling bench
+  /// pin small values to force splits on small instances. Splitting never
+  /// changes the result, only the schedule.
+  uint32_t split_threshold = 0;
 };
 
 struct ParallelMbcResult {
+  /// The lex-min maximum balanced clique (deterministic across runs and
+  /// thread counts; see the file comment).
   BalancedClique clique;
+  /// Threads that executed search tasks. Reported uniformly: the
+  /// degenerate/empty-work path and the pool path use the same clamp, so
+  /// they cannot disagree.
   uint32_t threads_used = 0;
   uint64_t num_networks_built = 0;
   uint64_t num_mdc_instances = 0;
+  /// Work-stealing scheduler counters (see docs/perf.md).
+  uint64_t num_steals = 0;
+  uint64_t num_splits = 0;
+  /// Times the published global incumbent changed (size growth or a
+  /// canonical tie-break replacement), beyond the heuristic seed.
+  uint64_t num_incumbent_updates = 0;
   /// True iff the run was interrupted before completing the search.
   bool timed_out = false;
   /// Why the run stopped early (kNone = ran to completion, exact answer).
@@ -44,8 +71,8 @@ struct ParallelMbcResult {
 };
 
 /// Computes the maximum balanced clique of `graph` under threshold `tau`
-/// using multiple threads. Exact when not interrupted: always returns an
-/// optimum.
+/// using multiple threads. Exact when not interrupted: always returns the
+/// lex-min optimum.
 ParallelMbcResult ParallelMaxBalancedCliqueStar(
     const SignedGraph& graph, uint32_t tau,
     const ParallelMbcOptions& options = {});

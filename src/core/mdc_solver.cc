@@ -30,6 +30,10 @@ bool MdcSolver::Solve(const std::vector<uint32_t>& seed,
   current_.assign(seed.begin(), seed.end());
   best_.clear();
   best_size_ = lower_bound;
+  if (shared_bound_ != nullptr) {
+    const size_t shared = shared_bound_->load(std::memory_order_relaxed);
+    if (shared > best_size_) best_size_ = shared;
+  }
   found_ = false;
   existence_only_ = existence_only;
   stop_ = false;
@@ -47,8 +51,11 @@ void MdcSolver::RecordCliqueShortcut(const Bitset& cand) {
   best_ = current_;
   cand.ForEach(
       [this](size_t v) { best_.push_back(static_cast<uint32_t>(v)); });
-  best_size_ = best_.size();
+  if (best_.size() > best_size_) best_size_ = best_.size();
   found_ = true;
+  // The shortcut clique is the unique maximum clique of its subtree and is
+  // side-feasible, so offering it covers every tie the subtree holds.
+  if (offer_) offer_(best_);
 }
 
 // The allocation-free kernel. The caller owns frame `depth` and has
@@ -65,11 +72,25 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
   }
   if (stop_) return;
 
-  // Line 10: record an improved feasible clique.
-  if (current_.size() > best_size_ && tau_l <= 0 && tau_r <= 0) {
+  // Cross-thread incumbent refresh: a sibling worker's published best is
+  // as good a pruning bound as our own. With a shared incumbent installed
+  // the kernel runs tie-preserving: `tie` relaxes every bound below by one
+  // so a clique merely *equal* to the incumbent is never discarded — every
+  // maximum clique is offered in every run, which is what makes the
+  // published witness deterministic across thread counts.
+  if (shared_bound_ != nullptr) {
+    const size_t shared = shared_bound_->load(std::memory_order_relaxed);
+    if (shared > best_size_) best_size_ = shared;
+  }
+  const size_t tie = shared_bound_ != nullptr ? 1 : 0;
+
+  // Line 10: record an improved (or, tie-preserving, equal) feasible
+  // clique.
+  if (current_.size() + tie > best_size_ && tau_l <= 0 && tau_r <= 0) {
     best_ = current_;
     best_size_ = current_.size();
     found_ = true;
+    if (offer_) offer_(best_);
     if (existence_only_) {
       stop_ = true;
       return;
@@ -86,10 +107,11 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
   // DegreeWithin(v, cand) for every survivor in `degrees`.
   std::vector<uint32_t>& degrees = frame.degrees;
   bool degrees_ready = false;
-  if (options_.use_core_pruning && best_size_ > current_.size()) {
-    KCoreWithinInPlace(*graph_, &cand,
-                       static_cast<uint32_t>(best_size_ - current_.size()),
-                       &arena_.pending(), &cand_count, &degrees);
+  if (options_.use_core_pruning && best_size_ > current_.size() + tie) {
+    KCoreWithinInPlace(
+        *graph_, &cand,
+        static_cast<uint32_t>(best_size_ - current_.size() - tie),
+        &arena_.pending(), &cand_count, &degrees);
     degrees_ready = true;
   }
 
@@ -103,7 +125,7 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
     return;
   }
   if (cand_count == 0) return;
-  if (current_.size() + cand_count <= best_size_) return;
+  if (current_.size() + cand_count + tie <= best_size_) return;
 
   // Candidate degrees within `cand`, shared three ways: their sum is
   // 2|E(cand)| for the clique shortcut, they are the coloring bound's
@@ -138,12 +160,12 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
   // that it may stop early (see ColoringBoundWithin).
   if (options_.use_coloring_bound) {
     const uint32_t needed =
-        best_size_ > current_.size()
-            ? static_cast<uint32_t>(best_size_ - current_.size())
+        best_size_ > current_.size() + tie
+            ? static_cast<uint32_t>(best_size_ - current_.size() - tie)
             : 0;
     const uint32_t color_bound =
         ColoringBoundWithin(*graph_, cand, needed, &arena_, &degrees);
-    if (current_.size() + color_bound <= best_size_) return;
+    if (current_.size() + color_bound + tie <= best_size_) return;
   }
 
   // Lines 14-16: choose the branching pool based on which side still needs
@@ -173,7 +195,7 @@ void MdcSolver::RecurseArena(size_t depth, int32_t tau_l, int32_t tau_r,
   // min-degree pick (this collapses the unwind after a deep successful
   // dive from quadratic to linear).
   while (pool_count > 0) {
-    if (current_.size() + remaining_count <= best_size_) return;
+    if (current_.size() + remaining_count + tie <= best_size_) return;
     uint32_t v = 0;
     uint32_t v_degree = 0;
     bool v_found = false;

@@ -15,7 +15,10 @@
 #ifndef MBC_CORE_MDC_SOLVER_H_
 #define MBC_CORE_MDC_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/common/arena.h"
@@ -77,6 +80,33 @@ class MdcSolver {
     return interrupted_ ? exec_->reason() : InterruptReason::kNone;
   }
 
+  /// Cross-thread incumbent sharing (the work-stealing parallel driver).
+  /// `bound` is the global best clique size: every node-entry refresh
+  /// raises this solver's pruning bound to it, so late subproblems prune
+  /// against the fleet-wide best rather than their thread-local one.
+  /// `offer` receives every feasible clique (seed ∪ C', local ids) whose
+  /// size is >= the pruning bound at the time it is found.
+  ///
+  /// Setting a shared incumbent also switches the kernel to tie-preserving
+  /// pruning: no bound may discard a clique that merely *equals* the
+  /// incumbent, so every maximum clique is offered in every run regardless
+  /// of thread schedule — the publisher's canonical tie-break then makes
+  /// the returned witness deterministic across thread counts. In this mode
+  /// the caller must consume results via `offer`; Solve's return value
+  /// only says whether any offer fired. `bound` and `offer` must outlive
+  /// the solver (or be cleared).
+  void SetSharedIncumbent(
+      const std::atomic<size_t>* bound,
+      std::function<void(const std::vector<uint32_t>&)> offer) {
+    shared_bound_ = bound;
+    offer_ = std::move(offer);
+  }
+  /// Back to single-threaded semantics (exact pruning, no offers).
+  void ClearSharedIncumbent() {
+    shared_bound_ = nullptr;
+    offer_ = nullptr;
+  }
+
   void SetOptions(const MdcOptions& options) { options_ = options; }
   /// Ablation switches (both default on; used by bench_ablation_pruning
   /// to quantify each bound's contribution).
@@ -101,6 +131,10 @@ class MdcSolver {
 
   const DichromaticGraph* graph_ = nullptr;
   SearchArena arena_;
+  /// Non-null while a shared incumbent is installed; implies tie-preserving
+  /// pruning (see SetSharedIncumbent).
+  const std::atomic<size_t>* shared_bound_ = nullptr;
+  std::function<void(const std::vector<uint32_t>&)> offer_;
   std::vector<uint32_t> current_;
   std::vector<uint32_t> best_;
   size_t best_size_ = 0;

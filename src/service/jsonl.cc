@@ -318,6 +318,17 @@ Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
       MBC_ASSIGN_OR_RETURN(request.deadline_ms, FieldAsDouble(name, value));
     } else if (name == "no_cache") {
       MBC_ASSIGN_OR_RETURN(request.no_cache, FieldAsBool(name, value));
+    } else if (name == "parallel_threads") {
+      MBC_ASSIGN_OR_RETURN(const uint64_t threads, FieldAsUint(name, value));
+      // A sanity bound, not a grant: the service clamps to its own
+      // intra-query budget anyway, so huge values are a client bug.
+      if (threads > 256) {
+        return Status::InvalidArgument(
+            "parallel_threads is out of range (max 256)");
+      }
+      request.parallel_threads = static_cast<uint32_t>(threads);
+    } else if (name == "witnesses") {
+      MBC_ASSIGN_OR_RETURN(request.witnesses, FieldAsBool(name, value));
     } else {
       return Status::InvalidArgument("unknown query field '" + name + "'");
     }
@@ -367,6 +378,19 @@ std::string SerializeResponse(const QueryRequest& request,
       }
       sizes += ']';
       AppendRawField("sizes", sizes, &first, &out);
+      // Witness cliques only on request: they can dwarf the size list,
+      // and their absence keeps pre-witness goldens byte-identical.
+      if (request.witnesses) {
+        std::string cliques = "[";
+        for (size_t i = 0; i < response.result.gmbc_cliques.size(); ++i) {
+          const BalancedClique& clique = response.result.gmbc_cliques[i];
+          if (i > 0) cliques += ',';
+          cliques += "{\"left\":" + VerticesJson(clique.left) +
+                     ",\"right\":" + VerticesJson(clique.right) + "}";
+        }
+        cliques += ']';
+        AppendRawField("cliques", cliques, &first, &out);
+      }
       break;
     }
   }

@@ -56,6 +56,18 @@ struct QueryRequest {
   double deadline_ms = 0.0;
   /// Bypass the result cache (both lookup and insert) for this request.
   bool no_cache = false;
+  /// Intra-query parallelism: worker threads this one query may use
+  /// (0 = off, the sequential engine). Valid only for kind=mbc with the
+  /// default ("star") algorithm — anything else is invalid_argument. The
+  /// count is a *request*: the service grants at most its configured
+  /// intra-query budget (ServiceOptions::intra_query_threads) and clamps
+  /// to 1 when the budget is 0 or exhausted. The answer is byte-identical
+  /// whatever is granted (the parallel engine is deterministic across
+  /// thread counts), so the grant affects latency only.
+  uint32_t parallel_threads = 0;
+  /// kGmbc: include the full witness cliques in the response (the default
+  /// reports sizes only, keeping responses and goldens small).
+  bool witnesses = false;
 };
 
 /// The solver payload of a successful response. Which fields are
@@ -66,16 +78,27 @@ struct QueryResult {
   BalancedClique clique;
   /// kPf / kGmbc: beta(G).
   uint32_t beta = 0;
-  /// kGmbc: |C*| per tau in [0, beta] (sizes only; the full cliques would
-  /// bloat cache entries for little monitoring value).
+  /// kGmbc: |C*| per tau in [0, beta].
   std::vector<uint32_t> gmbc_sizes;
+  /// kGmbc: the witness cliques behind gmbc_sizes, in the same tau order.
+  /// Always computed (so a cached entry can serve both witness and
+  /// size-only requests); serialized only when the request set
+  /// `witnesses`. The result cache's per-entry admission cap keeps
+  /// oversized witness payloads from crowding out everything else.
+  std::vector<BalancedClique> gmbc_cliques;
 
   /// Logical size of this payload, for cache accounting.
   size_t MemoryBytes() const {
-    return sizeof(QueryResult) +
-           (clique.left.capacity() + clique.right.capacity() +
-            gmbc_sizes.capacity()) *
+    size_t bytes = sizeof(QueryResult) +
+                   (clique.left.capacity() + clique.right.capacity() +
+                    gmbc_sizes.capacity()) *
+                       sizeof(uint32_t) +
+                   gmbc_cliques.capacity() * sizeof(BalancedClique);
+    for (const BalancedClique& witness : gmbc_cliques) {
+      bytes += (witness.left.capacity() + witness.right.capacity()) *
                sizeof(uint32_t);
+    }
+    return bytes;
   }
 };
 

@@ -1,6 +1,7 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "src/common/execution.h"
 #include "src/core/mbc_adv.h"
 #include "src/core/mbc_baseline.h"
+#include "src/core/mbc_parallel.h"
 #include "src/core/mbc_star.h"
 #include "src/core/mdc_solver.h"
 #include "src/gmbc/gmbc.h"
@@ -33,16 +35,58 @@ std::string NormalizedAlgo(const QueryRequest& request) {
   return "star";
 }
 
+/// Whether this request runs the intra-query parallel engine (assumes
+/// ValidateParallelRequest passed).
+bool IsParallelRequest(const QueryRequest& request) {
+  return request.parallel_threads > 0 && request.kind == QueryKind::kMbc;
+}
+
+/// The cache label. Parallel runs cache under their own "parallel" label:
+/// one entry serves every thread count (the engine is deterministic), but
+/// the witness may legitimately differ from sequential MBC*'s (parallel
+/// returns the canonical lex-min optimum), so the two must not share a key.
+std::string CacheAlgoLabel(const QueryRequest& request) {
+  if (IsParallelRequest(request)) return "parallel";
+  return NormalizedAlgo(request);
+}
+
+/// parallel_threads composes only with kind=mbc and the default (star)
+/// algorithm; "parallel" is not an algo label callers may spell directly
+/// (it would alias the parallel engine's cache entries).
+Status ValidateParallelRequest(const QueryRequest& request) {
+  if (request.algo == "parallel") {
+    return Status::InvalidArgument(
+        "algo 'parallel' is not addressable; request intra-query "
+        "parallelism with the parallel_threads field");
+  }
+  if (request.parallel_threads == 0) return Status::OK();
+  if (request.kind != QueryKind::kMbc) {
+    return Status::InvalidArgument(
+        "parallel_threads is only valid for kind 'mbc'");
+  }
+  if (NormalizedAlgo(request) != "star") {
+    return Status::InvalidArgument(
+        "parallel_threads requires the default (star) algorithm, got '" +
+        request.algo + "'");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 struct QueryService::WorkerState {
   MdcSolver mdc_solver;
   DccSolver dcc_solver;
+  /// Running totals of the intra-query scheduler counters, accumulated by
+  /// Execute and published (relaxed store, single writer) by WorkerLoop.
+  uint64_t steals = 0;
+  uint64_t splits = 0;
+  uint64_t incumbent_updates = 0;
 };
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity_bytes),
+      cache_(options.cache_capacity_bytes, options.cache_max_entry_bytes),
       overload_(options.overload, &latency_),
       chaos_(options.fault_injection.has_value() ? *options.fault_injection
                                                  : EnvServiceFaultOptions()),
@@ -51,7 +95,31 @@ QueryService::QueryService(ServiceOptions options)
   for (size_t i = 0; i < options_.num_workers; ++i) {
     worker_counters_.push_back(std::make_unique<WorkerCounters>());
   }
+  parallel_tokens_.store(static_cast<int64_t>(options_.intra_query_threads),
+                         std::memory_order_relaxed);
   if (options_.start_workers) StartWorkers();
+}
+
+uint32_t QueryService::AcquireParallelTokens(uint32_t want) {
+  if (want == 0) return 0;
+  int64_t available = parallel_tokens_.load(std::memory_order_relaxed);
+  while (available > 0) {
+    const int64_t take =
+        std::min<int64_t>(available, static_cast<int64_t>(want));
+    if (parallel_tokens_.compare_exchange_weak(available, available - take,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+      return static_cast<uint32_t>(take);
+    }
+  }
+  return 0;
+}
+
+void QueryService::ReleaseParallelTokens(uint32_t granted) {
+  if (granted > 0) {
+    parallel_tokens_.fetch_add(static_cast<int64_t>(granted),
+                               std::memory_order_acq_rel);
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -103,6 +171,12 @@ std::optional<std::future<QueryResponse>> QueryService::BrownoutAdmit(
   // already exists is free: prefer the exact cached one, then a degraded
   // one. Everything else drops to the greedy tier (still queued — the
   // degeneracy greedy is O(m), cheap but not poll-thread cheap).
+  if (const Status valid = ValidateParallelRequest(task.request);
+      !valid.ok()) {
+    QueryResponse response;
+    response.status = valid;
+    return ImmediateResponse(task, std::move(response));
+  }
   Result<GraphStore::SnapshotPtr> snapshot = store_.Find(task.request.graph);
   if (!snapshot.ok()) {
     QueryResponse response;
@@ -114,7 +188,7 @@ std::optional<std::future<QueryResponse>> QueryService::BrownoutAdmit(
   key.graph_fingerprint = snapshot.value()->fingerprint();
   key.kind = task.request.kind;
   key.tau = task.request.kind == QueryKind::kMbc ? task.request.tau : 0;
-  key.algo = NormalizedAlgo(task.request);
+  key.algo = CacheAlgoLabel(task.request);
   if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
     QueryResponse response;
     response.result = std::move(*hit);
@@ -268,6 +342,12 @@ void QueryService::WorkerLoop(size_t worker_index) {
     };
     raise(counters.mdc_arena_hwm_bytes, state.mdc_solver.ArenaMemoryBytes());
     raise(counters.dcc_arena_hwm_bytes, state.dcc_solver.ArenaMemoryBytes());
+    // Scheduler counters: single writer (this worker), so plain stores of
+    // the running totals suffice.
+    counters.steals.store(state.steals, std::memory_order_relaxed);
+    counters.splits.store(state.splits, std::memory_order_relaxed);
+    counters.incumbent_updates.store(state.incumbent_updates,
+                                     std::memory_order_relaxed);
     task.promise.set_value(std::move(response));
     if (options_.on_task_complete) options_.on_task_complete();
   }
@@ -334,6 +414,10 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
 
   if (task.degraded) return finish(ExecuteDegraded(task));
 
+  if (const Status valid = ValidateParallelRequest(request); !valid.ok()) {
+    response.status = valid;
+    return finish(std::move(response));
+  }
   Result<GraphStore::SnapshotPtr> snapshot = store_.Find(request.graph);
   if (!snapshot.ok()) {
     response.status = snapshot.status();
@@ -348,7 +432,7 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
   key.graph_fingerprint = snapshot.value()->fingerprint();
   key.kind = request.kind;
   key.tau = request.kind == QueryKind::kMbc ? request.tau : 0;
-  key.algo = algo;
+  key.algo = CacheAlgoLabel(request);
 
   if (!request.no_cache) {
     if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
@@ -381,7 +465,30 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
   InterruptReason interrupt = InterruptReason::kNone;
   switch (request.kind) {
     case QueryKind::kMbc: {
-      if (algo == "star") {
+      if (IsParallelRequest(request)) {
+        // Intra-query parallelism: this pool worker plus whatever extra
+        // threads the shared token budget can lend right now. A zero
+        // grant (budget off or exhausted) degrades to the same engine on
+        // 1 thread — the answer is byte-identical either way, only the
+        // latency changes, so the grant is invisible to clients and the
+        // "parallel" cache entry is safe to share.
+        const uint32_t extra_wanted =
+            options_.intra_query_threads == 0 ? 0
+                                              : request.parallel_threads - 1;
+        const uint32_t granted = AcquireParallelTokens(
+            std::min(extra_wanted, options_.intra_query_threads));
+        ParallelMbcOptions options;
+        options.exec = &exec;
+        options.num_threads = 1 + granted;
+        ParallelMbcResult result =
+            ParallelMaxBalancedCliqueStar(graph, request.tau, options);
+        ReleaseParallelTokens(granted);
+        response.result.clique = std::move(result.clique);
+        interrupt = result.interrupt_reason;
+        state.steals += result.num_steals;
+        state.splits += result.num_splits;
+        state.incumbent_updates += result.num_incumbent_updates;
+      } else if (algo == "star") {
         MbcStarOptions options;
         options.exec = &exec;
         options.shared_solver = &state.mdc_solver;
@@ -450,6 +557,10 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
         response.result.gmbc_sizes.push_back(
             static_cast<uint32_t>(clique.size()));
       }
+      // Witnesses ride along unconditionally (the serializer gates them
+      // on request.witnesses) so one cache entry serves both shapes.
+      for (BalancedClique& clique : result.cliques) clique.Canonicalize();
+      response.result.gmbc_cliques = std::move(result.cliques);
       interrupt = result.interrupt_reason;
       break;
     }
@@ -511,6 +622,10 @@ ServiceStats QueryService::Stats() const {
         counters->mdc_arena_hwm_bytes.load(std::memory_order_relaxed);
     worker.dcc_arena_hwm_bytes =
         counters->dcc_arena_hwm_bytes.load(std::memory_order_relaxed);
+    worker.steals = counters->steals.load(std::memory_order_relaxed);
+    worker.splits = counters->splits.load(std::memory_order_relaxed);
+    worker.incumbent_updates =
+        counters->incumbent_updates.load(std::memory_order_relaxed);
     stats.workers.push_back(worker);
   }
   return stats;
@@ -528,7 +643,7 @@ std::string QueryService::StatsJson(bool deterministic) const {
       "\"graphs_loaded\":%zu,\"latency_p50_seconds\":%.6f,"
       "\"latency_p95_seconds\":%.6f,\"latency_mean_seconds\":%.6f,"
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-      "\"degraded_insertions\":%llu,"
+      "\"degraded_insertions\":%llu,\"admission_skipped\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
       "\"hit_rate\":%.4f},"
       "\"transport\":{\"connections_accepted\":%llu,"
@@ -548,6 +663,7 @@ std::string QueryService::StatsJson(bool deterministic) const {
       static_cast<unsigned long long>(stats.cache.misses),
       static_cast<unsigned long long>(stats.cache.insertions),
       static_cast<unsigned long long>(stats.cache.degraded_insertions),
+      static_cast<unsigned long long>(stats.cache.admission_skipped),
       static_cast<unsigned long long>(stats.cache.evictions),
       stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate(),
       static_cast<unsigned long long>(stats.transport.connections_accepted),
@@ -567,13 +683,17 @@ std::string QueryService::StatsJson(bool deterministic) const {
   out += ",\"workers\":[";
   for (size_t i = 0; i < stats.workers.size(); ++i) {
     const WorkerStats& worker = stats.workers[i];
-    std::snprintf(buffer, sizeof(buffer),
-                  "%s{\"queries\":%llu,\"mdc_arena_hwm_bytes\":%llu,"
-                  "\"dcc_arena_hwm_bytes\":%llu}",
-                  i == 0 ? "" : ",",
-                  static_cast<unsigned long long>(worker.queries),
-                  static_cast<unsigned long long>(worker.mdc_arena_hwm_bytes),
-                  static_cast<unsigned long long>(worker.dcc_arena_hwm_bytes));
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%s{\"queries\":%llu,\"mdc_arena_hwm_bytes\":%llu,"
+        "\"dcc_arena_hwm_bytes\":%llu,\"steals\":%llu,\"splits\":%llu,"
+        "\"incumbent_updates\":%llu}",
+        i == 0 ? "" : ",", static_cast<unsigned long long>(worker.queries),
+        static_cast<unsigned long long>(worker.mdc_arena_hwm_bytes),
+        static_cast<unsigned long long>(worker.dcc_arena_hwm_bytes),
+        static_cast<unsigned long long>(worker.steals),
+        static_cast<unsigned long long>(worker.splits),
+        static_cast<unsigned long long>(worker.incumbent_updates));
     out += buffer;
   }
   out += "]}";

@@ -43,6 +43,18 @@ struct ServiceOptions {
   size_t max_queue = 256;
   /// Result cache budget; 0 disables caching.
   size_t cache_capacity_bytes = 64ull << 20;
+  /// Per-entry cache admission cap (see ResultCache); 0 = no cap. The
+  /// JSONL frontends default to 1 MiB so witness-bearing gMBC payloads
+  /// cannot crowd out the rest of the cache.
+  size_t cache_max_entry_bytes = 0;
+  /// Intra-query parallelism budget: extra threads the whole service may
+  /// lend to queries that set QueryRequest::parallel_threads, beyond the
+  /// pool worker that runs each query. 0 disables intra-query parallelism
+  /// (parallel requests still succeed — clamped to 1 thread, same
+  /// deterministic answer). The budget is a shared token pool: concurrent
+  /// parallel queries split it first-come-first-served and return their
+  /// tokens on completion.
+  uint32_t intra_query_threads = 0;
   /// Applied to requests that don't carry their own time limit;
   /// 0 = unlimited.
   double default_time_limit_seconds = 0.0;
@@ -98,6 +110,12 @@ struct WorkerStats {
   uint64_t queries = 0;
   uint64_t mdc_arena_hwm_bytes = 0;
   uint64_t dcc_arena_hwm_bytes = 0;
+  /// Work-stealing scheduler counters, summed over the intra-query
+  /// parallel runs this worker executed (zero until a query sets
+  /// parallel_threads).
+  uint64_t steals = 0;
+  uint64_t splits = 0;
+  uint64_t incumbent_updates = 0;
 };
 
 /// Point-in-time service counters, exported as JSON by StatsJson().
@@ -197,6 +215,9 @@ class QueryService {
     std::atomic<uint64_t> queries{0};
     std::atomic<uint64_t> mdc_arena_hwm_bytes{0};
     std::atomic<uint64_t> dcc_arena_hwm_bytes{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> splits{0};
+    std::atomic<uint64_t> incumbent_updates{0};
   };
 
   void WorkerLoop(size_t worker_index);
@@ -210,6 +231,11 @@ class QueryService {
   std::optional<std::future<QueryResponse>> BrownoutAdmit(Task& task);
   static std::future<QueryResponse> ImmediateResponse(
       Task& task, QueryResponse&& response);
+  /// Takes up to `want` tokens from the intra-query budget (possibly 0 —
+  /// the caller then runs single-threaded). Every grant must be returned
+  /// via ReleaseParallelTokens when the query finishes.
+  uint32_t AcquireParallelTokens(uint32_t want);
+  void ReleaseParallelTokens(uint32_t granted);
 
   const ServiceOptions options_;
   GraphStore store_;
@@ -235,6 +261,9 @@ class QueryService {
   std::atomic<uint64_t> queries_shed_deadline_{0};
   std::atomic<uint64_t> queries_shed_overload_{0};
   std::atomic<uint64_t> queries_degraded_{0};
+  /// Remaining intra-query thread tokens (seeded from
+  /// options.intra_query_threads; never grows beyond it).
+  std::atomic<int64_t> parallel_tokens_{0};
 };
 
 }  // namespace mbc

@@ -28,9 +28,10 @@ size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(hasher.hash());
 }
 
-ResultCache::ResultCache(size_t capacity_bytes)
+ResultCache::ResultCache(size_t capacity_bytes, size_t max_entry_bytes)
     : capacity_bytes_(capacity_bytes),
-      shard_capacity_bytes_(capacity_bytes / kNumShards) {}
+      shard_capacity_bytes_(capacity_bytes / kNumShards),
+      max_entry_bytes_(max_entry_bytes) {}
 
 ResultCache::~ResultCache() { Clear(); }
 
@@ -61,7 +62,11 @@ std::optional<QueryResult> ResultCache::Lookup(const CacheKey& key) {
 void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
   if (capacity_bytes_ == 0) return;
   const size_t bytes = EntryBytes(key, result);
-  if (bytes > shard_capacity_bytes_) return;
+  if (bytes > shard_capacity_bytes_ ||
+      (max_entry_bytes_ > 0 && bytes > max_entry_bytes_)) {
+    admission_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -112,6 +117,8 @@ CacheStats ResultCache::Stats() const {
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.degraded_insertions =
       degraded_insertions_.load(std::memory_order_relaxed);
+  stats.admission_skipped =
+      admission_skipped_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);

@@ -51,6 +51,10 @@ struct CacheStats {
   uint64_t insertions = 0;
   /// Subset of `insertions` whose key was tagged kDegraded.
   uint64_t degraded_insertions = 0;
+  /// Inserts refused by the admission policy: the entry was larger than
+  /// the per-entry cap (oversized witness payloads) or than a whole shard.
+  /// Not insertions, not evictions — the payload never entered the cache.
+  uint64_t admission_skipped = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
   size_t memory_bytes = 0;
@@ -72,8 +76,12 @@ class ResultCache {
   static constexpr size_t kNumShards = 8;
 
   /// `capacity_bytes` = 0 disables caching entirely (all lookups miss,
-  /// inserts are dropped).
-  explicit ResultCache(size_t capacity_bytes);
+  /// inserts are dropped). `max_entry_bytes` is the admission cap: an
+  /// entry whose accounted size exceeds it is not admitted (counted in
+  /// CacheStats::admission_skipped). 0 = no per-entry cap beyond the
+  /// shard budget. The cap exists for witness-bearing gMBC payloads,
+  /// whose size is graph-dependent and can dwarf every other entry.
+  explicit ResultCache(size_t capacity_bytes, size_t max_entry_bytes = 0);
   ~ResultCache();
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -91,6 +99,7 @@ class ResultCache {
 
   CacheStats Stats() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t max_entry_bytes() const { return max_entry_bytes_; }
 
  private:
   struct Entry {
@@ -115,12 +124,14 @@ class ResultCache {
 
   const size_t capacity_bytes_;
   const size_t shard_capacity_bytes_;
+  const size_t max_entry_bytes_;
   Shard shards_[kNumShards];
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> degraded_insertions_{0};
+  std::atomic<uint64_t> admission_skipped_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 

@@ -80,5 +80,58 @@ TEST(SearchArenaTest, FlatScratchIsReusable) {
   EXPECT_GT(arena.MemoryBytes(), 0u);
 }
 
+
+TEST(SearchArenaTest, SnapshotFrameClonesAndRestores) {
+  SearchArena arena;
+  arena.BindNetwork(70);  // > one word, so multi-word copies are exercised
+  SearchArena::Frame& frame = arena.FrameAt(2);
+  frame.cand.Reshape(70);
+  frame.pool.Reshape(70);
+  frame.remaining.Reshape(70);
+  frame.cand.Set(3);
+  frame.cand.Set(69);
+  frame.pool.Set(7);
+  frame.remaining.Set(68);
+
+  SearchArena::FrameSnapshot snapshot;
+  arena.SnapshotFrame(2, &snapshot);
+  EXPECT_TRUE(snapshot.cand.Test(3));
+  EXPECT_TRUE(snapshot.cand.Test(69));
+  EXPECT_TRUE(snapshot.pool.Test(7));
+  EXPECT_TRUE(snapshot.remaining.Test(68));
+
+  // The snapshot is detached: scribbling over the frame does not touch it,
+  // and RestoreFrame brings the original rows back.
+  frame.cand.ClearAll();
+  frame.pool.SetAll();
+  frame.remaining.ClearAll();
+  EXPECT_TRUE(snapshot.cand.Test(3));
+  arena.RestoreFrame(2, snapshot);
+  SearchArena::Frame& restored = arena.FrameAt(2);
+  EXPECT_TRUE(restored.cand.Test(3));
+  EXPECT_TRUE(restored.cand.Test(69));
+  EXPECT_EQ(restored.cand.Count(), 2u);
+  EXPECT_EQ(restored.pool.Count(), 1u);
+  EXPECT_TRUE(restored.remaining.Test(68));
+}
+
+TEST(SearchArenaTest, SnapshotStorageIsReusedAcrossCaptures) {
+  SearchArena arena;
+  arena.BindNetwork(64);
+  SearchArena::Frame& frame = arena.FrameAt(0);
+  frame.cand.Reshape(64);
+  frame.pool.Reshape(64);
+  frame.remaining.Reshape(64);
+  frame.cand.Set(1);
+
+  SearchArena::FrameSnapshot snapshot;
+  arena.SnapshotFrame(0, &snapshot);
+  frame.cand.Set(2);
+  arena.SnapshotFrame(0, &snapshot);  // second capture overwrites
+  EXPECT_TRUE(snapshot.cand.Test(1));
+  EXPECT_TRUE(snapshot.cand.Test(2));
+  EXPECT_EQ(snapshot.cand.Count(), 2u);
+}
+
 }  // namespace
 }  // namespace mbc

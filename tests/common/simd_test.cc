@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/aligned.h"
 #include "src/common/bitset.h"
 #include "src/common/random.h"
 
@@ -19,9 +20,12 @@ namespace mbc {
 namespace simd {
 namespace {
 
-std::vector<uint64_t> RandomWords(size_t n, uint64_t seed) {
+// Kernel operands use the same 64-byte-aligned storage Bitset does: the
+// avx512vpopcnt table issues aligned loads, so feeding it unaligned
+// std::vector buffers would be a contract violation, not a kernel bug.
+AlignedWordVector RandomWords(size_t n, uint64_t seed) {
   Rng rng(seed);
-  std::vector<uint64_t> words(n);
+  AlignedWordVector words(n);
   for (uint64_t& w : words) w = rng.Next();
   return words;
 }
@@ -40,12 +44,12 @@ TEST_P(SimdKernelTest, BitExactAgainstScalar) {
   const Kernels& tested = Active();
 
   for (size_t n = 0; n <= 21; ++n) {
-    const std::vector<uint64_t> a = RandomWords(n, 1000 + n);
-    const std::vector<uint64_t> b = RandomWords(n, 2000 + n);
-    const std::vector<uint64_t> c = RandomWords(n, 3000 + n);
+    const AlignedWordVector a = RandomWords(n, 1000 + n);
+    const AlignedWordVector b = RandomWords(n, 2000 + n);
+    const AlignedWordVector c = RandomWords(n, 3000 + n);
 
-    std::vector<uint64_t> dst_scalar(n, 0);
-    std::vector<uint64_t> dst_tested(n, 1);
+    AlignedWordVector dst_scalar(n, 0);
+    AlignedWordVector dst_tested(n, 1);
     scalar.assign_and(dst_scalar.data(), a.data(), b.data(), n);
     tested.assign_and(dst_tested.data(), a.data(), b.data(), n);
     EXPECT_EQ(dst_scalar, dst_tested) << "assign_and, n=" << n;
@@ -66,8 +70,8 @@ TEST_P(SimdKernelTest, BitExactAgainstScalar) {
               scalar.count_and_and(a.data(), b.data(), c.data(), n))
         << "count_and_and, n=" << n;
 
-    std::vector<uint64_t> an_scalar = a;
-    std::vector<uint64_t> an_tested = a;
+    AlignedWordVector an_scalar = a;
+    AlignedWordVector an_tested = a;
     scalar.and_not(an_scalar.data(), b.data(), n);
     tested.and_not(an_tested.data(), b.data(), n);
     EXPECT_EQ(an_scalar, an_tested) << "and_not, n=" << n;
@@ -104,6 +108,16 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string>& param_info) {
       return param_info.param;
     });
+
+// The avx512vpopcnt kernels' aligned-load contract rests on this: every
+// AlignedWordVector allocation (and therefore every Bitset word array)
+// starts on a 64-byte boundary, across the growth sizes the arena sees.
+TEST(SimdDispatchTest, WordStorageIs64ByteAligned) {
+  for (const size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 21u, 64u, 1000u}) {
+    AlignedWordVector words(n, 0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(words.data()) % 64, 0u) << n;
+  }
+}
 
 TEST(SimdDispatchTest, ScalarAlwaysSupported) {
   EXPECT_TRUE(Supported("scalar"));

@@ -1,0 +1,137 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// The parallel engine's determinism contract: the returned witness is the
+// canonical lexicographically-smallest maximum balanced clique, byte for
+// byte the same whatever the thread count, split threshold, or steal
+// schedule. These suites hammer that claim from three directions: a wide
+// sweep of seeded instances, forced splits on planted heavy egos, and a
+// steal-storm stress run. The TSan CI leg runs the stress suites.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_parallel.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+void ExpectSameClique(const BalancedClique& want, const BalancedClique& got,
+                      const char* what, uint64_t seed) {
+  EXPECT_EQ(want.left, got.left) << what << " seed=" << seed;
+  EXPECT_EQ(want.right, got.right) << what << " seed=" << seed;
+}
+
+// 200 seeded instances; the 1-thread witness is the reference and every
+// other thread count must reproduce it exactly — not just its size.
+TEST(ParallelDeterminismTest, WitnessIdenticalAcrossThreadCounts) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    // Vary the shape so the sweep hits empty results, singleton ego
+    // survivors, and multi-optimum graphs alike.
+    const uint32_t n = 12 + static_cast<uint32_t>(seed % 7);
+    const uint32_t m = 40 + static_cast<uint32_t>((seed * 7) % 30);
+    const SignedGraph graph = RandomSignedGraph(n, m, 0.45, seed);
+    const uint32_t tau = 1 + static_cast<uint32_t>(seed % 2);
+
+    ParallelMbcOptions options;
+    options.num_threads = 1;
+    const ParallelMbcResult reference =
+        ParallelMaxBalancedCliqueStar(graph, tau, options);
+    if (!reference.clique.empty()) {
+      EXPECT_TRUE(IsBalancedClique(graph, reference.clique));
+      EXPECT_TRUE(reference.clique.SatisfiesThreshold(tau));
+    }
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      options.num_threads = threads;
+      const ParallelMbcResult result =
+          ParallelMaxBalancedCliqueStar(graph, tau, options);
+      ExpectSameClique(reference.clique, result.clique, "threads", seed);
+    }
+    // Forcing splits everywhere must not change the witness either.
+    options.num_threads = 4;
+    options.split_threshold = 2;
+    const ParallelMbcResult split_result =
+        ParallelMaxBalancedCliqueStar(graph, tau, options);
+    ExpectSameClique(reference.clique, split_result.clique, "split", seed);
+  }
+}
+
+// A planted heavy ego network, split threshold pinned low so the split
+// path is guaranteed to execute (num_splits > 0), across thread counts.
+TEST(ParallelDeterminismTest, ForcedSplitsKeepWitnessIdentical) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const SignedGraph base = RandomSignedGraph(400, 3000, 0.45, seed);
+    const SignedGraph graph =
+        PlantBalancedCliques(base, {{5, 5}, {4, 6}}, seed + 9);
+
+    ParallelMbcOptions options;
+    options.num_threads = 1;
+    options.split_threshold = 4;
+    const ParallelMbcResult reference =
+        ParallelMaxBalancedCliqueStar(graph, 3, options);
+    EXPECT_GT(reference.num_splits, 0u) << "seed=" << seed;
+    EXPECT_GE(reference.clique.size(), 10u) << "seed=" << seed;
+    EXPECT_TRUE(IsBalancedClique(graph, reference.clique));
+
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      options.num_threads = threads;
+      const ParallelMbcResult result =
+          ParallelMaxBalancedCliqueStar(graph, 3, options);
+      ExpectSameClique(reference.clique, result.clique, "forced-split",
+                       seed);
+      EXPECT_GT(result.num_splits, 0u)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+// Unbalanced work: one worker's deque holds a split fan-out while the
+// rest start empty-handed, so thieves hammer the deque. Churn graph sizes
+// across rounds to vary the contention pattern; every round must still
+// produce the reference witness. (TSan leg: this is the scheduler's
+// data-race certification.)
+TEST(ParallelStealStressTest, StealStormsPreserveTheWitness) {
+  for (uint64_t round = 1; round <= 6; ++round) {
+    const uint32_t n = 150 + static_cast<uint32_t>(round) * 70;
+    const SignedGraph base =
+        RandomSignedGraph(n, n * 8, 0.45, round * 13);
+    const SignedGraph graph =
+        PlantBalancedCliques(base, {{4, 5}}, round);
+
+    ParallelMbcOptions options;
+    options.num_threads = 1;
+    options.split_threshold = 2;  // max fan-out: every ego splits
+    const ParallelMbcResult reference =
+        ParallelMaxBalancedCliqueStar(graph, 2, options);
+
+    options.num_threads = 8;
+    for (int rep = 0; rep < 3; ++rep) {
+      const ParallelMbcResult result =
+          ParallelMaxBalancedCliqueStar(graph, 2, options);
+      ExpectSameClique(reference.clique, result.clique, "storm", round);
+      EXPECT_GT(result.num_splits, 0u) << "round=" << round;
+    }
+  }
+}
+
+// The incumbent-update counter reflects published improvements: searching
+// without the heuristic seed must publish at least the final witness.
+TEST(ParallelDeterminismTest, IncumbentUpdatesAreCounted) {
+  const SignedGraph base = RandomSignedGraph(300, 2400, 0.45, 5);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 4}}, 17);
+  ParallelMbcOptions options;
+  options.num_threads = 4;
+  options.run_heuristic = false;
+  const ParallelMbcResult result =
+      ParallelMaxBalancedCliqueStar(graph, 2, options);
+  EXPECT_GE(result.clique.size(), 8u);
+  EXPECT_GT(result.num_incumbent_updates, 0u);
+}
+
+}  // namespace
+}  // namespace mbc

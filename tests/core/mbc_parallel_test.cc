@@ -83,6 +83,32 @@ TEST(ParallelMbcTest, EmptyGraphAndDefaults) {
   EXPECT_EQ(result.threads_used, 1u);
 }
 
+TEST(ParallelMbcTest, ThreadsUsedUniformAcrossDegenerateAndPoolPaths) {
+  // Regression: the degenerate/empty-work path and the worker-pool path
+  // once computed threads_used differently and could disagree. Both now
+  // share one clamp: min(requested, max(1, work vertices)).
+  const SignedGraph tiny = testing_util::RandomSignedGraph(6, 12, 0.5, 3);
+  ParallelMbcOptions options;
+  options.num_threads = 64;
+  const ParallelMbcResult pool =
+      ParallelMaxBalancedCliqueStar(tiny, 0, options);
+  EXPECT_GE(pool.threads_used, 1u);
+  EXPECT_LE(pool.threads_used, 6u);
+
+  // tau high enough that vertex reduction empties the graph: same clamp,
+  // so exactly 1, matching the empty-input case below.
+  const ParallelMbcResult reduced_empty =
+      ParallelMaxBalancedCliqueStar(tiny, 4, options);
+  EXPECT_EQ(reduced_empty.threads_used, 1u);
+  const ParallelMbcResult empty =
+      ParallelMaxBalancedCliqueStar(SignedGraph(), 4, options);
+  EXPECT_EQ(empty.threads_used, 1u);
+
+  options.num_threads = 1;
+  EXPECT_EQ(ParallelMaxBalancedCliqueStar(tiny, 0, options).threads_used,
+            1u);
+}
+
 TEST(ParallelMbcTest, WithoutHeuristicStillExact) {
   const SignedGraph graph = RandomSignedGraph(18, 70, 0.45, 31);
   ParallelMbcOptions options;

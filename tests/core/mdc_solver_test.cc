@@ -1,6 +1,7 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/core/mdc_solver.h"
 
+#include <atomic>
 #include <algorithm>
 #include <vector>
 
@@ -204,6 +205,58 @@ TEST(MdcSolverTest, MatchesBruteForceRandomized) {
       EXPECT_GE(right, tau_r);
     }
   }
+}
+
+
+// --- Shared-incumbent (tie-preserving) mode ---
+
+TEST(MdcSolverSharedIncumbentTest, TiesAreOfferedNotSuppressed) {
+  const DichromaticGraph graph = SmallInstance();
+  MdcSolver solver(graph);
+  std::atomic<size_t> bound{0};
+  std::vector<std::vector<uint32_t>> offers;
+  solver.SetSharedIncumbent(&bound, [&offers](
+                                        const std::vector<uint32_t>& clique) {
+    offers.push_back(clique);
+  });
+  std::vector<uint32_t> best;
+  // Exact-mode Solve with lower_bound=4 suppresses the size-4 clique
+  // (LowerBoundSuppressesEqualSolutions above); tie mode must offer it.
+  solver.Solve({0}, CandidatesFor(graph, 0), 0, 1, /*lower_bound=*/4, &best);
+  bool saw_tie = false;
+  for (std::vector<uint32_t> offer : offers) {
+    std::sort(offer.begin(), offer.end());
+    saw_tie |= offer == std::vector<uint32_t>{0, 1, 2, 3};
+  }
+  EXPECT_TRUE(saw_tie);
+}
+
+TEST(MdcSolverSharedIncumbentTest, SharedBoundPrunesStrictlySmaller) {
+  const DichromaticGraph graph = SmallInstance();
+  MdcSolver solver(graph);
+  std::atomic<size_t> bound{10};  // fleet already has a 10-clique
+  std::vector<std::vector<uint32_t>> offers;
+  solver.SetSharedIncumbent(&bound, [&offers](
+                                        const std::vector<uint32_t>& clique) {
+    offers.push_back(clique);
+  });
+  std::vector<uint32_t> best;
+  solver.Solve({0}, CandidatesFor(graph, 0), 0, 1, /*lower_bound=*/0, &best);
+  EXPECT_TRUE(offers.empty());
+}
+
+TEST(MdcSolverSharedIncumbentTest, ClearRestoresExactSemantics) {
+  const DichromaticGraph graph = SmallInstance();
+  MdcSolver solver(graph);
+  std::atomic<size_t> bound{0};
+  solver.SetSharedIncumbent(&bound, [](const std::vector<uint32_t>&) {});
+  solver.ClearSharedIncumbent();
+  std::vector<uint32_t> best;
+  EXPECT_FALSE(solver.Solve({0}, CandidatesFor(graph, 0), 0, 1,
+                            /*lower_bound=*/4, &best));
+  EXPECT_TRUE(solver.Solve({0}, CandidatesFor(graph, 0), 0, 1,
+                           /*lower_bound=*/3, &best));
+  EXPECT_EQ(best.size(), 4u);
 }
 
 }  // namespace

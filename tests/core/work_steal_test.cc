@@ -1,0 +1,173 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/work_steal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbc {
+namespace {
+
+TEST(WorkStealDequeTest, OwnerPopIsLifo) {
+  WorkStealingDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.Push(i);
+  for (int i = 9; i >= 0; --i) {
+    int out = -1;
+    ASSERT_TRUE(deque.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(deque.Pop(&out));
+}
+
+TEST(WorkStealDequeTest, StealIsFifo) {
+  WorkStealingDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.Push(i);
+  for (int i = 0; i < 10; ++i) {
+    int out = -1;
+    ASSERT_TRUE(deque.Steal(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(deque.Steal(&out));
+}
+
+TEST(WorkStealDequeTest, GrowsPastInitialCapacityWithoutLoss) {
+  WorkStealingDeque<int> deque(/*initial_capacity=*/4);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) deque.Push(i);
+  EXPECT_GE(deque.capacity(), static_cast<size_t>(n));
+  EXPECT_EQ(deque.SizeApprox(), static_cast<size_t>(n));
+  // Mixed drain: steal half from the top, pop half from the bottom.
+  std::vector<int> seen;
+  seen.reserve(n);
+  for (int i = 0; i < n / 2; ++i) {
+    int out = -1;
+    ASSERT_TRUE(deque.Steal(&out));
+    seen.push_back(out);
+  }
+  int out = -1;
+  while (deque.Pop(&out)) seen.push_back(out);
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expected(n);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(WorkStealDequeTest, InterleavedPushPopKeepsBalance) {
+  WorkStealingDeque<int> deque(4);
+  int next = 0;
+  int popped = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) deque.Push(next++);
+    int out = -1;
+    if (deque.Pop(&out)) ++popped;
+    if (deque.Pop(&out)) ++popped;
+  }
+  EXPECT_EQ(deque.SizeApprox(), static_cast<size_t>(next - popped));
+}
+
+// Every pushed item is consumed exactly once, split arbitrarily between
+// the owner (popping) and concurrent thieves. The TSan CI leg runs this
+// to certify the deque's memory orderings.
+TEST(WorkStealStressTest, OwnerAndThievesPartitionTheItems) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<int> deque(8);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stolen_sum{0};
+  std::atomic<uint64_t> stolen_count{0};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&deque, &done, &stolen_sum, &stolen_count] {
+      int out = -1;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.Steal(&out)) {
+          stolen_sum.fetch_add(static_cast<uint64_t>(out),
+                               std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      // Final drain so nothing is stranded when the owner finishes first.
+      while (deque.Steal(&out)) {
+        stolen_sum.fetch_add(static_cast<uint64_t>(out),
+                             std::memory_order_relaxed);
+        stolen_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  uint64_t owner_sum = 0;
+  uint64_t owner_count = 0;
+  for (int i = 0; i < kItems; ++i) {
+    deque.Push(i);
+    if ((i & 3) == 0) {
+      int out = -1;
+      if (deque.Pop(&out)) {
+        owner_sum += static_cast<uint64_t>(out);
+        ++owner_count;
+      }
+    }
+  }
+  int out = -1;
+  while (deque.Pop(&out)) {
+    owner_sum += static_cast<uint64_t>(out);
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thief : thieves) thief.join();
+
+  EXPECT_EQ(owner_count + stolen_count.load(),
+            static_cast<uint64_t>(kItems));
+  const uint64_t want_sum =
+      static_cast<uint64_t>(kItems) * (kItems - 1) / 2;
+  EXPECT_EQ(owner_sum + stolen_sum.load(), want_sum);
+}
+
+// Owner keeps producing while thieves chase — exercises ring growth racing
+// concurrent steals (the retired-ring path).
+TEST(WorkStealStressTest, GrowthUnderConcurrentSteals) {
+  constexpr int kRounds = 50;
+  constexpr int kBurst = 400;
+  WorkStealingDeque<int> deque(2);  // tiny: forces many grows
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> consumed{0};
+
+  std::thread thief([&deque, &done, &consumed] {
+    int out = -1;
+    while (!done.load(std::memory_order_acquire)) {
+      if (deque.Steal(&out)) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    while (deque.Steal(&out)) consumed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  uint64_t owner_consumed = 0;
+  int next = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kBurst; ++i) deque.Push(next++);
+    int out = -1;
+    for (int i = 0; i < kBurst / 2; ++i) {
+      if (deque.Pop(&out)) ++owner_consumed;
+    }
+  }
+  int out = -1;
+  while (deque.Pop(&out)) ++owner_consumed;
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  EXPECT_EQ(owner_consumed + consumed.load(), static_cast<uint64_t>(next));
+}
+
+}  // namespace
+}  // namespace mbc

@@ -73,6 +73,23 @@ TEST(JsonlParseTest, BuildsQueryRequest) {
   EXPECT_TRUE(request.value().no_cache);
 }
 
+TEST(JsonlParseTest, ParsesParallelThreadsAndWitnesses) {
+  Result<JsonlFields> fields = ParseJsonlLine(
+      R"({"graph":"g","parallel_threads":4,"witnesses":true})");
+  ASSERT_TRUE(fields.ok());
+  Result<QueryRequest> request = QueryRequestFromFields(fields.value());
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().parallel_threads, 4u);
+  EXPECT_TRUE(request.value().witnesses);
+  // Both default off.
+  Result<JsonlFields> plain = ParseJsonlLine(R"({"graph":"g"})");
+  ASSERT_TRUE(plain.ok());
+  Result<QueryRequest> defaults = QueryRequestFromFields(plain.value());
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().parallel_threads, 0u);
+  EXPECT_FALSE(defaults.value().witnesses);
+}
+
 TEST(JsonlParseTest, RejectsBadQueryFields) {
   const char* bad[] = {
       R"({"graph":"g","kind":"mbk"})",             // unknown kind
@@ -82,6 +99,10 @@ TEST(JsonlParseTest, RejectsBadQueryFields) {
       R"({"graph":"g","time_limit_seconds":-2})",  // negative budget
       R"({"graph":"g","taau":3})",                 // typo must not pass
       R"({"kind":"mbc"})",                         // missing graph
+      R"({"graph":"g","parallel_threads":-1})",    // negative
+      R"({"graph":"g","parallel_threads":257})",   // over the cap
+      R"({"graph":"g","parallel_threads":"x"})",   // non-numeric
+      R"({"graph":"g","witnesses":"yes"})",        // non-boolean
   };
   for (const char* line : bad) {
     Result<JsonlFields> fields = ParseJsonlLine(line);
@@ -193,6 +214,38 @@ TEST(JsonlStreamTest, LoadOpRoundTripsThroughAFile) {
   ASSERT_TRUE(RunJsonlStream(service, in, out, options).ok());
   EXPECT_NE(out.str().find("\"vertices\":8"), std::string::npos) << out.str();
   EXPECT_NE(out.str().find("\"size\":6"), std::string::npos) << out.str();
+}
+
+TEST(JsonlSerializeTest, GmbcWitnessesSerializeOnlyOnRequest) {
+  QueryRequest request;
+  request.id = "g1";
+  request.kind = QueryKind::kGmbc;
+  QueryResponse response;
+  response.id = "g1";
+  response.result.beta = 1;
+  response.result.gmbc_sizes = {4, 2};
+  BalancedClique tau0;
+  tau0.left = {0, 1};
+  tau0.right = {2, 3};
+  BalancedClique tau1;
+  tau1.left = {0};
+  tau1.right = {2};
+  response.result.gmbc_cliques = {tau0, tau1};
+
+  JsonlOptions deterministic;
+  deterministic.deterministic = true;
+  const std::string without =
+      SerializeResponse(request, response, deterministic);
+  EXPECT_EQ(without.find("\"cliques\""), std::string::npos) << without;
+  EXPECT_NE(without.find("\"sizes\":[4,2]"), std::string::npos) << without;
+
+  request.witnesses = true;
+  const std::string with = SerializeResponse(request, response, deterministic);
+  EXPECT_NE(
+      with.find(
+          R"("cliques":[{"left":[0,1],"right":[2,3]},{"left":[0],"right":[2]}])"),
+      std::string::npos)
+      << with;
 }
 
 }  // namespace

@@ -315,5 +315,151 @@ TEST(QueryServiceTest, TrySubmitFullQueueDoesNotCountAsRejected) {
   EXPECT_EQ(service.Stats().queries_rejected, 0u);
 }
 
+// ---------------------------------------------------------------------
+// Intra-query parallelism.
+
+TEST(QueryServiceParallelTest, ParallelAnswerMatchesSequentialStar) {
+  ServiceOptions options;
+  options.intra_query_threads = 3;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(30, 220, 0.45, 19)).ok());
+
+  QueryRequest sequential = MbcRequest("g", 2, "seq");
+  sequential.no_cache = true;
+  const QueryResponse reference = service.Query(sequential);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+
+  QueryRequest parallel = MbcRequest("g", 2, "par");
+  parallel.no_cache = true;
+  parallel.parallel_threads = 4;
+  const QueryResponse answer = service.Query(parallel);
+  ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
+  EXPECT_EQ(answer.result.clique.size(), reference.result.clique.size());
+}
+
+TEST(QueryServiceParallelTest, ThreadCountsShareOneCacheEntry) {
+  // The parallel engine is deterministic across thread counts, so every
+  // parallel request caches under one "parallel" label: asking again with
+  // a different parallel_threads must hit.
+  ServiceOptions options;
+  options.intra_query_threads = 4;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  QueryRequest first = MbcRequest("fig2", 2, "p2");
+  first.parallel_threads = 2;
+  ASSERT_TRUE(service.Query(first).status.ok());
+
+  QueryRequest second = MbcRequest("fig2", 2, "p8");
+  second.parallel_threads = 8;
+  const QueryResponse hit = service.Query(second);
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cached);
+
+  // A plain sequential star request is a different answer contract (its
+  // witness is not canonical-lex-min) and must NOT see that entry.
+  const QueryResponse sequential = service.Query(MbcRequest("fig2", 2, "s"));
+  ASSERT_TRUE(sequential.status.ok());
+  EXPECT_FALSE(sequential.cached);
+}
+
+TEST(QueryServiceParallelTest, InvalidCompositionsAreRejected) {
+  ServiceOptions options;
+  options.intra_query_threads = 2;
+  QueryService service(options);
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  QueryRequest pf;
+  pf.graph = "fig2";
+  pf.kind = QueryKind::kPf;
+  pf.parallel_threads = 2;
+  EXPECT_EQ(service.Query(pf).status.code(), StatusCode::kInvalidArgument);
+
+  QueryRequest baseline = MbcRequest("fig2", 2);
+  baseline.algo = "baseline";
+  baseline.parallel_threads = 2;
+  EXPECT_EQ(service.Query(baseline).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // "parallel" is the engine's internal cache label, never an addressable
+  // algo: spelling it directly must fail even without parallel_threads.
+  QueryRequest direct = MbcRequest("fig2", 2);
+  direct.algo = "parallel";
+  EXPECT_EQ(service.Query(direct).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceParallelTest, ZeroBudgetClampsToOneThreadSameAnswer) {
+  // intra_query_threads defaults to 0: parallel requests still succeed on
+  // one thread and produce the identical answer.
+  QueryService service;
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(26, 160, 0.4, 31)).ok());
+
+  QueryRequest request = MbcRequest("g", 1);
+  request.no_cache = true;
+  request.parallel_threads = 8;
+  const QueryResponse clamped = service.Query(request);
+  ASSERT_TRUE(clamped.status.ok()) << clamped.status.ToString();
+
+  QueryRequest sequential = MbcRequest("g", 1);
+  sequential.no_cache = true;
+  const QueryResponse reference = service.Query(sequential);
+  ASSERT_TRUE(reference.status.ok());
+  EXPECT_EQ(clamped.result.clique.size(), reference.result.clique.size());
+}
+
+TEST(QueryServiceParallelTest, SchedulerCountersSurfaceInStats) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.intra_query_threads = 3;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(40, 500, 0.35, 7)).ok());
+
+  QueryRequest request = MbcRequest("g", 1);
+  request.no_cache = true;
+  request.parallel_threads = 4;
+  ASSERT_TRUE(service.Query(request).status.ok());
+
+  const ServiceStats stats = service.Stats();
+  ASSERT_EQ(stats.workers.size(), 1u);
+  // The counters are cumulative sums over parallel runs; on a graph this
+  // small splits may be zero, but the fields must exist and export.
+  const std::string json = service.StatsJson();
+  EXPECT_NE(json.find("\"steals\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"splits\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"incumbent_updates\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"admission_skipped\":"), std::string::npos) << json;
+}
+
+TEST(QueryServiceParallelTest, GmbcWitnessesAreAlwaysComputedOnceCached) {
+  // One cache entry serves both the size-only and the witness-bearing
+  // shape of the same gmbc query: the witnesses ride in the cached
+  // payload and serialization (not execution) gates them.
+  QueryService service;
+  ASSERT_TRUE(service.store().Load("fig2", Figure2Graph()).ok());
+
+  QueryRequest sizes_only;
+  sizes_only.graph = "fig2";
+  sizes_only.kind = QueryKind::kGmbc;
+  const QueryResponse first = service.Query(sizes_only);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.result.gmbc_cliques.empty());
+
+  QueryRequest with_witnesses = sizes_only;
+  with_witnesses.witnesses = true;
+  const QueryResponse second = service.Query(with_witnesses);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cached);
+  ASSERT_EQ(second.result.gmbc_cliques.size(),
+            second.result.gmbc_sizes.size());
+  for (size_t tau = 0; tau < second.result.gmbc_sizes.size(); ++tau) {
+    EXPECT_EQ(second.result.gmbc_cliques[tau].size(),
+              second.result.gmbc_sizes[tau]);
+  }
+}
+
 }  // namespace
 }  // namespace mbc

@@ -126,5 +126,44 @@ TEST(ResultCacheTest, ReinsertSameKeyKeepsOneEntry) {
   EXPECT_EQ(cache.Stats().insertions, 1u);
 }
 
+TEST(ResultCacheTest, AdmissionCapRefusesOversizedWitnessPayloads) {
+  // Large budget, small per-entry cap: a modest result is admitted, a
+  // witness-heavy one is served-but-not-cached and counted as an
+  // admission skip (not an insertion, not an eviction).
+  ResultCache cache(1 << 20, /*max_entry_bytes=*/512);
+  cache.Insert(KeyFor(1), ResultOfSize(4));
+  EXPECT_TRUE(cache.Lookup(KeyFor(1)).has_value());
+
+  QueryResult big = ResultOfSize(4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    big.gmbc_cliques.push_back(big.clique);
+  }
+  cache.Insert(KeyFor(2), big);
+  EXPECT_FALSE(cache.Lookup(KeyFor(2)).has_value());
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.admission_skipped, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.max_entry_bytes(), 512u);
+}
+
+TEST(ResultCacheTest, ZeroCapMeansNoPerEntryLimit) {
+  ResultCache cache(1 << 20);  // default max_entry_bytes = 0
+  QueryResult big = ResultOfSize(4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    big.gmbc_cliques.push_back(big.clique);
+  }
+  cache.Insert(KeyFor(7), big);
+  EXPECT_TRUE(cache.Lookup(KeyFor(7)).has_value());
+  EXPECT_EQ(cache.Stats().admission_skipped, 0u);
+}
+
+TEST(ResultCacheTest, ShardBudgetSkipsAlsoCountAsAdmissionSkips) {
+  ResultCache cache(1 << 10);  // shard budget = 128 bytes
+  cache.Insert(KeyFor(5), ResultOfSize(1000));
+  EXPECT_EQ(cache.Stats().admission_skipped, 1u);
+}
+
 }  // namespace
 }  // namespace mbc

@@ -453,6 +453,7 @@ int CmdBatch(const Flags& flags) {
   if (options.num_workers == 0) options.num_workers = 1;
   options.cache_capacity_bytes =
       std::strtoull(flags.Get("cache-mb", "64").c_str(), nullptr, 10) << 20;
+  options.cache_max_entry_bytes = 1 << 20;  // JSONL-frontend default
   options.default_time_limit_seconds =
       std::strtod(flags.Get("time-limit", "0").c_str(), nullptr);
   mbc::QueryService service(options);

@@ -8,6 +8,7 @@
 // the transports.
 //
 //   mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]
+//             [--cache-max-entry-bytes N] [--intra-query-threads N]
 //             [--time-limit SECONDS] [--deterministic]
 //             [--load NAME=PATH]... [--batch FILE] [--stats]
 //             [--listen HOST:PORT] [--max-connections N]
@@ -17,6 +18,16 @@
 //             [--shed-fraction F] [--brownout-fraction F]
 //             [--recover-fraction F] [--brownout-p95 SECONDS]
 //
+//   --intra-query-threads N  extra threads the service may lend to a
+//                     single query that asks for intra-query
+//                     parallelism ("parallel_threads" request field);
+//                     0 (default) clamps such queries to one thread.
+//                     The answer is identical either way; only the
+//                     latency changes.
+//   --cache-max-entry-bytes N  per-entry result-cache admission cap;
+//                     oversized entries (typically gmbc witness
+//                     payloads) are served but never cached
+//                     (default 1 MiB; 0 = uncapped)
 //   --load NAME=PATH  preload a graph before serving (repeatable)
 //   --batch FILE      serve the requests in FILE, then exit
 //   --time-limit S    default per-query budget (requests may override)
@@ -65,6 +76,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]\n"
+      "                 [--cache-max-entry-bytes N]\n"
+      "                 [--intra-query-threads N]\n"
       "                 [--time-limit SECONDS] [--deterministic]\n"
       "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n"
       "                 [--listen HOST:PORT] [--max-connections N]\n"
@@ -93,6 +106,9 @@ struct ServeArgs {
 
 ServeArgs ParseArgs(int argc, char** argv) {
   ServeArgs args;
+  // JSONL-frontend default (see ServiceOptions::cache_max_entry_bytes):
+  // witness-bearing gMBC payloads are served but not cached past 1 MiB.
+  args.service.cache_max_entry_bytes = 1 << 20;
   const auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       args.ok = false;
@@ -113,6 +129,12 @@ ServeArgs ParseArgs(int argc, char** argv) {
     } else if (flag == "--cache-mb") {
       args.service.cache_capacity_bytes =
           std::strtoull(value(i), nullptr, 10) << 20;
+    } else if (flag == "--cache-max-entry-bytes") {
+      args.service.cache_max_entry_bytes =
+          static_cast<size_t>(std::strtoull(value(i), nullptr, 10));
+    } else if (flag == "--intra-query-threads") {
+      args.service.intra_query_threads =
+          static_cast<uint32_t>(std::strtoul(value(i), nullptr, 10));
     } else if (flag == "--time-limit") {
       args.service.default_time_limit_seconds =
           std::strtod(value(i), nullptr);
