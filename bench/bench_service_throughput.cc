@@ -1,0 +1,489 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Service-level throughput bench: drives mbc_serve's socket transport end
+// to end — BSCL generation, binary-v2 write, copying vs mmap load, then a
+// closed-loop JSONL client fleet against an in-process SocketServer — and
+// emits BENCH_service.json (schema mbc-service-bench-v1) so the serving
+// layer has a tracked perf trajectory alongside the kernel microbenches.
+//
+// The `large` bench family is defined here: BSCL instances at the scale
+// regime of the paper's evaluation graphs (Epinions/Slashdot-class,
+// 10^6 edges) rather than the n≈160 instances of the solver benches. The
+// short mode (--short or MBC_BENCH_SHORT=1, used by the CI smoke leg)
+// shrinks the family and the measurement window so the harness finishes
+// in seconds while still exercising every code path.
+//
+// Phases, all recorded in the report:
+//   1. gen    — BSCL large-family instance + a small query-mix instance.
+//   2. binary — write binary v2; time the copying reader vs the mmap
+//               loader; RSS deltas via /proc/self/statm and the mapping's
+//               resident bytes via mincore.
+//   3. serve  — SocketServer on an ephemeral port, graphs loaded over the
+//               wire (the large one mmap'ed via format sniffing), then N
+//               closed-loop clients sending a cache-friendly query mix;
+//               qps + p50/p95 from client-side timestamps, cache /shed
+//               counters from the service stats.
+//
+//   MBC_BENCH_SERVICE_JSON=path  output path (default BENCH_service.json)
+//   MBC_BENCH_SHORT=1            same as --short
+//   MBC_BENCH_SECONDS=s          measurement window (default 8; short 2)
+//   MBC_BENCH_CLIENTS=n          closed-loop clients (default 8; short 4)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/datasets/generators.h"
+#include "src/graph/binary_io.h"
+#include "src/service/query_service.h"
+#include "src/service/transport.h"
+
+namespace mbc {
+namespace {
+
+struct BenchConfig {
+  bool short_mode = false;
+  double seconds = 8.0;
+  int clients = 8;
+  // The `large` family instance served under load.
+  VertexId large_vertices = 200000;
+  EdgeCount large_edges = 1200000;
+  // Small instance mixed in so the query stream has sub-millisecond work.
+  VertexId small_vertices = 2000;
+  EdgeCount small_edges = 10000;
+  double query_time_limit = 10.0;
+  size_t workers = 4;
+};
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+BenchConfig MakeConfig(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--short") config.short_mode = true;
+  }
+  const char* short_env = std::getenv("MBC_BENCH_SHORT");
+  if (short_env != nullptr && std::string(short_env) == "1") {
+    config.short_mode = true;
+  }
+  if (config.short_mode) {
+    config.seconds = 2.0;
+    config.clients = 4;
+    config.large_vertices = 20000;
+    config.large_edges = 100000;
+    config.small_vertices = 500;
+    config.small_edges = 2500;
+    config.query_time_limit = 2.0;
+    config.workers = 2;
+  }
+  config.seconds = GetEnvDouble("MBC_BENCH_SECONDS", config.seconds);
+  config.clients = static_cast<int>(
+      GetEnvDouble("MBC_BENCH_CLIENTS", config.clients));
+  if (config.clients < 1) config.clients = 1;
+  return config;
+}
+
+/// Resident set size in bytes, from /proc/self/statm (0 if unreadable —
+/// the report then carries zeros rather than failing the bench).
+size_t ResidentBytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  size_t total_pages = 0;
+  size_t resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  return resident_pages * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+/// One persistent JSONL connection: write a request line, read the
+/// response line. The bench's closed-loop client half.
+class BenchClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendLine(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads up to the next '\n'; returns false on EOF/error.
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  bool RoundTrip(const std::string& request, std::string* response) {
+    return SendLine(request) && ReadLine(response);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct ClientResult {
+  std::vector<int64_t> latency_micros;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+/// Closed loop: issue the next request from the mix, wait for its
+/// response, repeat until the stop flag. The mix interleaves repeated
+/// (graph, tau) keys so the result cache sees both misses and hits.
+void RunClient(uint16_t port, int client_index,
+               const std::vector<std::string>& mix,
+               const std::atomic<bool>& stop, ClientResult* result) {
+  BenchClient client;
+  if (!client.Connect(port)) {
+    ++result->errors;
+    return;
+  }
+  size_t cursor = static_cast<size_t>(client_index);
+  std::string response;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::string& request = mix[cursor % mix.size()];
+    ++cursor;
+    Timer timer;
+    if (!client.RoundTrip(request, &response)) {
+      ++result->errors;
+      return;
+    }
+    result->latency_micros.push_back(timer.ElapsedMicros());
+    ++result->requests;
+    if (response.find("\"ok\":false") != std::string::npos &&
+        response.find("resource_exhausted") == std::string::npos) {
+      ++result->errors;
+    }
+  }
+}
+
+double Percentile(std::vector<int64_t>& sorted_micros, double q) {
+  if (sorted_micros.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_micros.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_micros.size())));
+  return static_cast<double>(sorted_micros[index]) / 1e3;
+}
+
+std::string QueryLine(const char* graph, uint32_t tau, double time_limit) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"op\":\"query\",\"graph\":\"%s\",\"kind\":\"mbc\","
+                "\"tau\":%u,\"time_limit_seconds\":%.1f}",
+                graph, tau, time_limit);
+  return line;
+}
+
+int Run(int argc, char** argv) {
+  const BenchConfig config = MakeConfig(argc, argv);
+  const char* out_env = std::getenv("MBC_BENCH_SERVICE_JSON");
+  const std::string out_path =
+      (out_env != nullptr && *out_env != '\0') ? out_env
+                                               : "BENCH_service.json";
+
+  // Phase 1: generate the `large` family instance and the small mixer.
+  std::fprintf(stderr, "[gen] bscl large: n=%u m=%llu\n",
+               config.large_vertices,
+               static_cast<unsigned long long>(config.large_edges));
+  BsclOptions large_options;
+  large_options.num_vertices = config.large_vertices;
+  large_options.num_edges = config.large_edges;
+  large_options.seed = 7;
+  Timer gen_timer;
+  const SignedGraph large = GenerateBsclSignedGraph(large_options);
+  const double gen_seconds = gen_timer.ElapsedSeconds();
+
+  BsclOptions small_options;
+  small_options.num_vertices = config.small_vertices;
+  small_options.num_edges = config.small_edges;
+  small_options.seed = 11;
+  const SignedGraph small = GenerateBsclSignedGraph(small_options);
+
+  // Phase 2: binary v2 write, then copying read vs mmap load.
+  const std::string dir =
+      std::getenv("TMPDIR") != nullptr ? std::getenv("TMPDIR") : "/tmp";
+  const std::string large_path =
+      dir + "/mbc_bench_service_large_" + std::to_string(::getpid()) +
+      ".mbcg";
+  const std::string small_path =
+      dir + "/mbc_bench_service_small_" + std::to_string(::getpid()) +
+      ".mbcg";
+  Timer write_timer;
+  Status status = WriteSignedGraphBinary(large, large_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double write_seconds = write_timer.ElapsedSeconds();
+  status = WriteSignedGraphBinary(small, small_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::ifstream size_probe(large_path,
+                           std::ios::binary | std::ios::ate);
+  const uint64_t file_bytes =
+      size_probe ? static_cast<uint64_t>(size_probe.tellg()) : 0;
+  size_probe.close();
+
+  const size_t rss_before_read = ResidentBytes();
+  Timer read_timer;
+  Result<SignedGraph> copied = ReadSignedGraphBinary(large_path);
+  const double read_seconds = read_timer.ElapsedSeconds();
+  if (!copied.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 copied.status().ToString().c_str());
+    return 1;
+  }
+  const size_t rss_after_read = ResidentBytes();
+  copied.value() = SignedGraph();  // release the copy before measuring mmap
+
+  const size_t rss_before_mmap = ResidentBytes();
+  Timer mmap_timer;
+  Result<SignedGraph> mapped = MmapSignedGraphBinary(large_path);
+  const double mmap_seconds = mmap_timer.ElapsedSeconds();
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "mmap failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  const size_t rss_after_mmap = ResidentBytes();
+  const size_t mmap_resident = MappedResidentBytes(
+      mapped.value().MappedBase(), mapped.value().MappedBytes());
+  std::fprintf(stderr,
+               "[binary] %llu bytes; read %.3fs, mmap %.4fs, "
+               "mapped-resident %zu\n",
+               static_cast<unsigned long long>(file_bytes), read_seconds,
+               mmap_seconds, mmap_resident);
+  mapped.value() = SignedGraph();  // the service re-maps through GraphStore
+
+  // Phase 3: serve. The server event loop runs on its own thread; the
+  // control client loads both graphs over the wire (the large file is
+  // sniffed as v2 and mmap'ed by GraphStore), then the fleet runs closed
+  // loop for the measurement window.
+  SocketServerOptions server_options;
+  server_options.max_connections =
+      static_cast<size_t>(config.clients) + 8;
+  SocketServer server(server_options);
+  ServiceOptions service_options;
+  service_options.num_workers = config.workers;
+  service_options.cache_capacity_bytes = 64ull << 20;
+  service_options.cache_max_entry_bytes = 1ull << 20;
+  service_options.cache_doorkeeper_bytes = 256u << 10;
+  service_options.on_task_complete = [&server] { server.Wake(); };
+  QueryService service(service_options);
+  status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+  std::thread serve_thread(
+      [&server, &service] { server.Serve(service, JsonlOptions{}); });
+
+  BenchClient control;
+  if (!control.Connect(port)) {
+    std::fprintf(stderr, "control connect failed\n");
+    server.RequestStop();
+    serve_thread.join();
+    return 1;
+  }
+  std::string response;
+  Timer load_timer;
+  bool load_ok =
+      control.RoundTrip("{\"op\":\"load\",\"name\":\"large\",\"path\":\"" +
+                            large_path + "\"}",
+                        &response) &&
+      response.find("\"ok\":true") != std::string::npos;
+  const double service_load_seconds = load_timer.ElapsedSeconds();
+  load_ok =
+      load_ok &&
+      control.RoundTrip("{\"op\":\"load\",\"name\":\"small\",\"path\":\"" +
+                            small_path + "\"}",
+                        &response) &&
+      response.find("\"ok\":true") != std::string::npos;
+  if (!load_ok) {
+    std::fprintf(stderr, "service load failed: %s\n", response.c_str());
+    server.RequestStop();
+    serve_thread.join();
+    return 1;
+  }
+
+  // Query mix: mostly small-graph queries at repeating taus (cache-hot
+  // after the first pass), with large-graph queries salted in so the
+  // mmap'ed CSR actually gets walked under load.
+  std::vector<std::string> mix;
+  for (uint32_t tau = 3; tau <= 5; ++tau) {
+    mix.push_back(QueryLine("small", tau, config.query_time_limit));
+    mix.push_back(QueryLine("small", tau, config.query_time_limit));
+    mix.push_back(QueryLine("small", tau + 3, config.query_time_limit));
+  }
+  mix.push_back(QueryLine("large", 5, config.query_time_limit));
+  mix.push_back(QueryLine("large", 6, config.query_time_limit));
+
+  std::fprintf(stderr, "[serve] port %u, %d clients, %.1fs window\n",
+               port, config.clients, config.seconds);
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(
+      static_cast<size_t>(config.clients));
+  std::vector<std::thread> fleet;
+  Timer window_timer;
+  for (int i = 0; i < config.clients; ++i) {
+    fleet.emplace_back(RunClient, port, i, std::cref(mix),
+                       std::cref(stop), &results[static_cast<size_t>(i)]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      static_cast<int64_t>(config.seconds * 1e3)));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : fleet) t.join();
+  const double window_seconds = window_timer.ElapsedSeconds();
+
+  const ServiceStats stats = service.Stats();
+  const size_t rss_serving = ResidentBytes();
+  control.RoundTrip("{\"op\":\"stats\"}", &response);
+  server.RequestDrain();
+  serve_thread.join();
+
+  std::vector<int64_t> all_micros;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  for (const ClientResult& result : results) {
+    requests += result.requests;
+    errors += result.errors;
+    all_micros.insert(all_micros.end(), result.latency_micros.begin(),
+                      result.latency_micros.end());
+  }
+  std::sort(all_micros.begin(), all_micros.end());
+  const double qps =
+      window_seconds > 0.0 ? static_cast<double>(requests) / window_seconds
+                           : 0.0;
+  double mean_ms = 0.0;
+  for (int64_t micros : all_micros) {
+    mean_ms += static_cast<double>(micros);
+  }
+  mean_ms = all_micros.empty()
+                ? 0.0
+                : mean_ms / static_cast<double>(all_micros.size()) / 1e3;
+
+  std::ofstream out(out_path);
+  char buffer[4096];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"schema\":\"mbc-service-bench-v1\",\"mode\":\"%s\","
+      "\"family\":\"large\",\n"
+      " \"generator\":{\"family\":\"bscl\",\"vertices\":%u,"
+      "\"edges_target\":%llu,\"edges\":%llu,\"pos_edges\":%llu,"
+      "\"neg_edges\":%llu,\"seconds\":%.3f},\n"
+      " \"binary\":{\"file_bytes\":%llu,\"write_seconds\":%.3f,"
+      "\"read_seconds\":%.4f,\"mmap_seconds\":%.5f,"
+      "\"mmap_resident_bytes\":%zu,\"rss_delta_read_bytes\":%lld,"
+      "\"rss_delta_mmap_bytes\":%lld},\n",
+      config.short_mode ? "short" : "full", large.NumVertices(),
+      static_cast<unsigned long long>(config.large_edges),
+      static_cast<unsigned long long>(large.NumEdges()),
+      static_cast<unsigned long long>(large.NumPositiveEdges()),
+      static_cast<unsigned long long>(large.NumNegativeEdges()),
+      gen_seconds, static_cast<unsigned long long>(file_bytes),
+      write_seconds, read_seconds, mmap_seconds, mmap_resident,
+      static_cast<long long>(rss_after_read) -
+          static_cast<long long>(rss_before_read),
+      static_cast<long long>(rss_after_mmap) -
+          static_cast<long long>(rss_before_mmap));
+  out << buffer;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      " \"service\":{\"workers\":%zu,\"clients\":%d,"
+      "\"load_seconds\":%.4f,\"window_seconds\":%.2f,"
+      "\"requests\":%llu,\"errors\":%llu,\"qps\":%.1f,"
+      "\"latency_p50_ms\":%.3f,\"latency_p95_ms\":%.3f,"
+      "\"latency_mean_ms\":%.3f,\"rss_serving_bytes\":%zu,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_hit_rate\":%.4f,"
+      "\"admission_rejected_by_policy\":%llu,"
+      "\"shed_deadline\":%llu,\"shed_overload\":%llu,"
+      "\"shed_quota\":%llu}}\n",
+      config.workers, config.clients, service_load_seconds,
+      window_seconds, static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(errors), qps,
+      Percentile(all_micros, 0.50), Percentile(all_micros, 0.95),
+      mean_ms, rss_serving,
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      stats.cache.HitRate(),
+      static_cast<unsigned long long>(
+          stats.cache.admission_rejected_by_policy),
+      static_cast<unsigned long long>(stats.queries_shed_deadline),
+      static_cast<unsigned long long>(stats.queries_shed_overload),
+      static_cast<unsigned long long>(
+          stats.transport.queries_shed_quota));
+  out << buffer;
+  out.close();
+  std::remove(large_path.c_str());
+  std::remove(small_path.c_str());
+
+  std::fprintf(stderr,
+               "[done] %llu requests (%llu errors), %.1f qps, "
+               "p50 %.3fms p95 %.3fms, hit-rate %.3f -> %s\n",
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(errors), qps,
+               Percentile(all_micros, 0.50), Percentile(all_micros, 0.95),
+               stats.cache.HitRate(), out_path.c_str());
+  if (requests == 0 || errors > requests / 2) {
+    std::fprintf(stderr, "bench failed: no throughput\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mbc
+
+int main(int argc, char** argv) { return mbc::Run(argc, argv); }

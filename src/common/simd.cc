@@ -83,6 +83,16 @@ constexpr Kernels kScalar = {
 
 #if defined(MBC_SIMD_X86)
 
+// Every vector kernel below issues ALIGNED loads/stores, so each operand
+// must start on a 64-byte boundary (AlignedWordVector guarantees it; see
+// the contract note in simd.h). Debug builds fault with a message here
+// instead of a #GP deep inside a solver. Release builds skip the check.
+inline bool Aligned64(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) & 63u) == 0;
+}
+static_assert(sizeof(uint64_t) * 8 == 64,
+              "vector loops step whole cache lines");
+
 // ---------------------------------------------------------------------------
 // AVX2 kernels: 256-bit logical ops; counts popcnt the four lanes directly
 // (no Harley-Seal — dichromatic bitsets rarely exceed a dozen words, where
@@ -93,13 +103,14 @@ __attribute__((target("avx2,popcnt"))) void AssignAndAvx2(uint64_t* dst,
                                                           const uint64_t* a,
                                                           const uint64_t* b,
                                                           size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i));
     const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
                         _mm256_and_si256(va, vb));
   }
   for (; i < n; ++i) dst[i] = a[i] & b[i];
@@ -107,15 +118,16 @@ __attribute__((target("avx2,popcnt"))) void AssignAndAvx2(uint64_t* dst,
 
 __attribute__((target("avx2,popcnt"))) uint64_t AssignAndCountAvx2(
     uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   uint64_t total = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i));
     const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + i));
     const __m256i v = _mm256_and_si256(va, vb);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i), v);
     total += static_cast<uint64_t>(
         __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
     total += static_cast<uint64_t>(
@@ -140,13 +152,14 @@ __attribute__((target("avx2,popcnt"))) uint64_t CountAvx2(const uint64_t* a,
 
 __attribute__((target("avx2,popcnt"))) uint64_t CountAndAvx2(
     const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b));
   uint64_t total = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i));
     const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + i));
     const __m256i v = _mm256_and_si256(va, vb);
     total += static_cast<uint64_t>(
         __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
@@ -165,15 +178,16 @@ __attribute__((target("avx2,popcnt"))) uint64_t CountAndAvx2(
 
 __attribute__((target("avx2,popcnt"))) uint64_t CountAndAndAvx2(
     const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b) && Aligned64(c));
   uint64_t total = 0;
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + i));
     const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + i));
     const __m256i vc =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(c + i));
     const __m256i v = _mm256_and_si256(_mm256_and_si256(va, vb), vc);
     total += static_cast<uint64_t>(
         __builtin_popcountll(static_cast<uint64_t>(_mm256_extract_epi64(v, 0))));
@@ -193,14 +207,15 @@ __attribute__((target("avx2,popcnt"))) uint64_t CountAndAndAvx2(
 __attribute__((target("avx2,popcnt"))) void AndNotAvx2(uint64_t* dst,
                                                        const uint64_t* src,
                                                        size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(src));
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i vd =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
     const __m256i vs =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
     // andnot computes ~first & second.
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
                         _mm256_andnot_si256(vs, vd));
   }
   for (; i < n; ++i) dst[i] &= ~src[i];
@@ -219,24 +234,26 @@ constexpr Kernels kAvx2 = {
 
 __attribute__((target("avx512f,popcnt"))) void AssignAndAvx512(
     uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m512i va = _mm512_loadu_si512(a + i);
-    const __m512i vb = _mm512_loadu_si512(b + i);
-    _mm512_storeu_si512(dst + i, _mm512_and_si512(va, vb));
+    const __m512i va = _mm512_load_si512(a + i);
+    const __m512i vb = _mm512_load_si512(b + i);
+    _mm512_store_si512(dst + i, _mm512_and_si512(va, vb));
   }
   for (; i < n; ++i) dst[i] = a[i] & b[i];
 }
 
 __attribute__((target("avx512f,popcnt"))) uint64_t AssignAndCountAvx512(
     uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   uint64_t total = 0;
   size_t i = 0;
   alignas(64) uint64_t lanes[8];
   for (; i + 8 <= n; i += 8) {
     const __m512i v =
-        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
-    _mm512_storeu_si512(dst + i, v);
+        _mm512_and_si512(_mm512_load_si512(a + i), _mm512_load_si512(b + i));
+    _mm512_store_si512(dst + i, v);
     _mm512_store_si512(lanes, v);
     for (int k = 0; k < 8; ++k) {
       total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
@@ -257,12 +274,13 @@ __attribute__((target("avx512f,popcnt"))) uint64_t CountAvx512(
 
 __attribute__((target("avx512f,popcnt"))) uint64_t CountAndAvx512(
     const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b));
   uint64_t total = 0;
   size_t i = 0;
   alignas(64) uint64_t lanes[8];
   for (; i + 8 <= n; i += 8) {
     const __m512i v =
-        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i));
+        _mm512_and_si512(_mm512_load_si512(a + i), _mm512_load_si512(b + i));
     _mm512_store_si512(lanes, v);
     for (int k = 0; k < 8; ++k) {
       total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
@@ -276,13 +294,14 @@ __attribute__((target("avx512f,popcnt"))) uint64_t CountAndAvx512(
 
 __attribute__((target("avx512f,popcnt"))) uint64_t CountAndAndAvx512(
     const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b) && Aligned64(c));
   uint64_t total = 0;
   size_t i = 0;
   alignas(64) uint64_t lanes[8];
   for (; i + 8 <= n; i += 8) {
     const __m512i v = _mm512_and_si512(
-        _mm512_and_si512(_mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i)),
-        _mm512_loadu_si512(c + i));
+        _mm512_and_si512(_mm512_load_si512(a + i), _mm512_load_si512(b + i)),
+        _mm512_load_si512(c + i));
     _mm512_store_si512(lanes, v);
     for (int k = 0; k < 8; ++k) {
       total += static_cast<uint64_t>(__builtin_popcountll(lanes[k]));
@@ -296,11 +315,12 @@ __attribute__((target("avx512f,popcnt"))) uint64_t CountAndAndAvx512(
 
 __attribute__((target("avx512f,popcnt"))) void AndNotAvx512(
     uint64_t* dst, const uint64_t* src, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(src));
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    const __m512i vd = _mm512_loadu_si512(dst + i);
-    const __m512i vs = _mm512_loadu_si512(src + i);
-    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(vs, vd));
+    const __m512i vd = _mm512_load_si512(dst + i);
+    const __m512i vs = _mm512_load_si512(src + i);
+    _mm512_store_si512(dst + i, _mm512_andnot_si512(vs, vd));
   }
   for (; i < n; ++i) dst[i] &= ~src[i];
 }
@@ -313,10 +333,8 @@ constexpr Kernels kAvx512 = {
 // ---------------------------------------------------------------------------
 // AVX-512 + VPOPCNTDQ kernels: the counts use the hardware per-lane popcount
 // (_mm512_popcnt_epi64) and a single reduce instead of bouncing lanes
-// through the stack. These kernels issue ALIGNED loads: every operand must
-// start on a 64-byte boundary. Bitset guarantees that (AlignedWordVector
-// storage), its vector loops only run above two words, and each iteration
-// consumes exactly 8 words = 64 bytes from the aligned base.
+// through the stack. Same 64-byte operand alignment contract as the other
+// vector tables (see simd.h).
 // ---------------------------------------------------------------------------
 
 #define MBC_TARGET_VPOPCNT "avx512f,avx512vpopcntdq,popcnt"
@@ -335,6 +353,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t HsumEpi64(__m512i v) {
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) void AssignAndAvx512Vp(
     uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m512i va = _mm512_load_si512(a + i);
@@ -346,6 +365,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) void AssignAndAvx512Vp(
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t AssignAndCountAvx512Vp(
     uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(a) && Aligned64(b));
   __m512i acc = _mm512_setzero_si512();
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -365,6 +385,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t AssignAndCountAvx512Vp(
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAvx512Vp(
     const uint64_t* a, size_t n) {
+  MBC_DCHECK(Aligned64(a));
   __m512i acc = _mm512_setzero_si512();
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -379,6 +400,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAvx512Vp(
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAndAvx512Vp(
     const uint64_t* a, const uint64_t* b, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b));
   __m512i acc = _mm512_setzero_si512();
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -395,6 +417,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAndAvx512Vp(
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAndAndAvx512Vp(
     const uint64_t* a, const uint64_t* b, const uint64_t* c, size_t n) {
+  MBC_DCHECK(Aligned64(a) && Aligned64(b) && Aligned64(c));
   __m512i acc = _mm512_setzero_si512();
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -412,6 +435,7 @@ __attribute__((target(MBC_TARGET_VPOPCNT))) uint64_t CountAndAndAvx512Vp(
 
 __attribute__((target(MBC_TARGET_VPOPCNT))) void AndNotAvx512Vp(
     uint64_t* dst, const uint64_t* src, size_t n) {
+  MBC_DCHECK(Aligned64(dst) && Aligned64(src));
   size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m512i vd = _mm512_load_si512(dst + i);

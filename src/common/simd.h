@@ -7,12 +7,15 @@
 // one at process start (CPUID, overridable with
 // MBC_SIMD=scalar|avx2|avx512|avx512vpopcnt for testing).
 //
-// The avx512vpopcnt table is the only one with an operand contract beyond
-// "valid word arrays": its vector loops use aligned 512-bit loads, so every
-// operand must start on a 64-byte boundary. Bitset guarantees this (its
-// words live in an AlignedWordVector, src/common/aligned.h); code calling
-// kernels directly with its own buffers must either align them or stick to
-// the other tables.
+// Operand contract: every vector table (avx2, avx512, avx512vpopcnt) uses
+// ALIGNED loads/stores in its vector loops, so every operand must start on
+// a 64-byte boundary. Bitset guarantees this (its words live in an
+// AlignedWordVector, src/common/aligned.h); code calling kernels directly
+// with its own buffers must align them the same way or stick to the scalar
+// table. Debug builds verify the alignment at kernel entry (MBC_DCHECK);
+// release builds rely on the caller. The loops step 4 words (avx2) or
+// 8 words (avx512*) from the aligned base, so every vector access stays
+// 32- resp. 64-byte aligned; tails run scalar.
 //
 // All kernels operate on raw uint64_t word arrays and are bit-exact across
 // ISAs: the dispatched choice can never change a search result, only its

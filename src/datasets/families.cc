@@ -1,0 +1,164 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/datasets/families.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "src/datasets/generators.h"
+
+namespace mbc {
+namespace {
+
+/// Typed parameter extraction over the string map. Records every key it
+/// is asked about so unknown keys can be rejected afterwards.
+class ParamReader {
+ public:
+  explicit ParamReader(const GeneratorParams& params) : params_(params) {}
+
+  Status status() const { return status_; }
+
+  uint64_t GetUint(const std::string& key, uint64_t fallback) {
+    const std::string* raw = Lookup(key);
+    if (raw == nullptr) return fallback;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw->c_str(), &end, 10);
+    if (end == raw->c_str() || *end != '\0') {
+      Fail(key, *raw, "a non-negative integer");
+      return fallback;
+    }
+    return value;
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string* raw = Lookup(key);
+    if (raw == nullptr) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(raw->c_str(), &end);
+    if (end == raw->c_str() || *end != '\0') {
+      Fail(key, *raw, "a number");
+      return fallback;
+    }
+    return value;
+  }
+
+  /// Must run after all Get* calls: rejects keys nobody asked about.
+  Status FinishWithUnknownKeyCheck() const {
+    if (!status_.ok()) return status_;
+    for (const auto& [key, value] : params_) {
+      if (seen_.find(key) == seen_.end()) {
+        std::string known;
+        for (const std::string& k : seen_) {
+          if (!known.empty()) known += ", ";
+          known += k;
+        }
+        return Status::InvalidArgument("unknown parameter '" + key +
+                                       "'; accepted: " + known);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string* Lookup(const std::string& key) {
+    seen_.insert(key);
+    const auto it = params_.find(key);
+    return it == params_.end() ? nullptr : &it->second;
+  }
+
+  void Fail(const std::string& key, const std::string& raw,
+            const char* expected) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("parameter '" + key + "'=\"" + raw +
+                                        "\" is not " + expected);
+    }
+  }
+
+  const GeneratorParams& params_;
+  std::set<std::string> seen_;
+  Status status_;
+};
+
+Result<SignedGraph> GenerateBscl(const GeneratorParams& params) {
+  ParamReader reader(params);
+  BsclOptions options;
+  options.num_vertices =
+      static_cast<VertexId>(reader.GetUint("vertices", options.num_vertices));
+  options.num_edges = reader.GetUint("edges", options.num_edges);
+  options.powerlaw_alpha = reader.GetDouble("alpha", options.powerlaw_alpha);
+  options.p_positive_sign =
+      reader.GetDouble("p-positive", options.p_positive_sign);
+  options.p_close_triangle =
+      reader.GetDouble("p-close-triangle", options.p_close_triangle);
+  options.p_close_for_balance =
+      reader.GetDouble("p-close-balance", options.p_close_for_balance);
+  options.seed = reader.GetUint("seed", options.seed);
+  if (Status status = reader.FinishWithUnknownKeyCheck(); !status.ok()) {
+    return status;
+  }
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("bscl needs vertices >= 2");
+  }
+  return GenerateBsclSignedGraph(options);
+}
+
+Result<SignedGraph> GenerateCommunity(const GeneratorParams& params) {
+  ParamReader reader(params);
+  CommunityGraphOptions options;
+  options.num_vertices =
+      static_cast<VertexId>(reader.GetUint("vertices", options.num_vertices));
+  options.num_edges = reader.GetUint("edges", options.num_edges);
+  options.num_communities = static_cast<uint32_t>(
+      reader.GetUint("communities", options.num_communities));
+  options.intra_community_bias =
+      reader.GetDouble("intra-bias", options.intra_community_bias);
+  options.negative_ratio =
+      reader.GetDouble("negative-ratio", options.negative_ratio);
+  options.powerlaw_alpha = reader.GetDouble("alpha", options.powerlaw_alpha);
+  options.seed = reader.GetUint("seed", options.seed);
+  if (Status status = reader.FinishWithUnknownKeyCheck(); !status.ok()) {
+    return status;
+  }
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("community needs vertices >= 2");
+  }
+  return GenerateCommunitySignedGraph(options);
+}
+
+}  // namespace
+
+const std::vector<GeneratorFamily>& AllGeneratorFamilies() {
+  static const std::vector<GeneratorFamily>* families =
+      new std::vector<GeneratorFamily>{
+          {"bscl",
+           "balanced signed Chung-Lu: power-law skeleton + balanced "
+           "triangle-closing rewiring",
+           {"vertices=10000", "edges=50000", "alpha=0.75",
+            "p-positive=0.9 — sign of skeleton/random edges",
+            "p-close-triangle=0.2 — rewire closes a two-hop triangle",
+            "p-close-balance=0.8 — closed triangle is balanced",
+            "seed=1"}},
+          {"community",
+           "SRN-style communities: intra edges mostly positive, inter "
+           "mostly negative",
+           {"vertices=1000", "edges=5000", "communities=8",
+            "intra-bias=0.75 — fraction of edges inside a community",
+            "negative-ratio=0.2 — target |E-|/|E|", "alpha=0.65",
+            "seed=1"}},
+      };
+  return *families;
+}
+
+Result<SignedGraph> GenerateFromFamily(const std::string& family,
+                                       const GeneratorParams& params) {
+  if (family == "bscl") return GenerateBscl(params);
+  if (family == "community") return GenerateCommunity(params);
+  std::string known;
+  for (const GeneratorFamily& f : AllGeneratorFamilies()) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  return Status::InvalidArgument("unknown generator family '" + family +
+                                 "'; available: " + known);
+}
+
+}  // namespace mbc

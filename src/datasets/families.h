@@ -1,0 +1,41 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Named generator families: a small registry mapping a family name plus
+// string key=value parameters to a generated SignedGraph. This is the
+// spec-driven entry point behind `mbc_cli gen`, letting corpora (up to
+// million-edge BSCL instances) be reproduced from a one-line invocation
+// instead of ad-hoc code.
+#ifndef MBC_DATASETS_FAMILIES_H_
+#define MBC_DATASETS_FAMILIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+using GeneratorParams = std::map<std::string, std::string>;
+
+struct GeneratorFamily {
+  std::string name;
+  std::string description;
+  /// "key=default — meaning" lines for usage output.
+  std::vector<std::string> param_help;
+};
+
+/// All registered families ("bscl", "community"), in registration order.
+const std::vector<GeneratorFamily>& AllGeneratorFamilies();
+
+/// Generates a graph from `family` with the given parameters. Unknown
+/// family names and unknown or malformed parameters are InvalidArgument
+/// (the message lists what is accepted). Deterministic in the "seed"
+/// parameter.
+Result<SignedGraph> GenerateFromFamily(const std::string& family,
+                                       const GeneratorParams& params);
+
+}  // namespace mbc
+
+#endif  // MBC_DATASETS_FAMILIES_H_

@@ -4,6 +4,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
+#include <unordered_map>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/random.h"
@@ -122,6 +125,150 @@ SignedGraph GenerateCommunitySignedGraph(
     graph = std::move(rebalance).Build();
   }
   return graph;
+}
+
+namespace {
+
+/// Mutable edge-set scaffold used while the BSCL rewiring loop runs. The
+/// final graph is produced through SignedGraphBuilder (which sorts and
+/// canonicalizes), so nothing here needs deterministic iteration order.
+class BsclScaffold {
+ public:
+  explicit BsclScaffold(VertexId n, EdgeCount expected_edges)
+      : adjacency_(n) {
+    edges_.reserve(expected_edges * 2);
+  }
+
+  static uint64_t Key(VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  bool Contains(VertexId u, VertexId v) const {
+    return edges_.find(Key(u, v)) != edges_.end();
+  }
+
+  std::optional<Sign> EdgeSign(VertexId u, VertexId v) const {
+    const auto it = edges_.find(Key(u, v));
+    if (it == edges_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts or re-signs (u, v); matches networkx add_edge semantics.
+  void AddEdge(VertexId u, VertexId v, Sign sign) {
+    const auto [it, inserted] = edges_.insert_or_assign(Key(u, v), sign);
+    (void)it;
+    if (inserted) {
+      // A removed-then-readded edge can leave a stale duplicate in the
+      // adjacency lists until lazy cleanup hits it; the sampling bias is
+      // negligible and every stale entry is dropped at most once.
+      adjacency_[u].push_back(v);
+      adjacency_[v].push_back(u);
+    }
+  }
+
+  void RemoveEdge(VertexId u, VertexId v) { edges_.erase(Key(u, v)); }
+
+  /// Uniform live neighbor of u, dropping stale adjacency entries as they
+  /// are drawn (amortized O(1) per call). nullopt if u is isolated.
+  std::optional<VertexId> SampleNeighbor(VertexId u, Rng& rng) {
+    auto& list = adjacency_[u];
+    while (!list.empty()) {
+      const size_t i = rng.NextBounded(list.size());
+      const VertexId v = list[i];
+      if (Contains(u, v)) return v;
+      list[i] = list.back();
+      list.pop_back();
+    }
+    return std::nullopt;
+  }
+
+  EdgeCount NumEdges() const { return edges_.size(); }
+
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (const auto& [key, sign] : edges_) {
+      fn(static_cast<VertexId>(key >> 32),
+         static_cast<VertexId>(key & 0xffffffffu), sign);
+    }
+  }
+
+ private:
+  std::unordered_map<uint64_t, Sign> edges_;
+  std::vector<std::vector<VertexId>> adjacency_;
+};
+
+}  // namespace
+
+SignedGraph GenerateBsclSignedGraph(const BsclOptions& options) {
+  const VertexId n = options.num_vertices;
+  MBC_CHECK_GT(n, 1u);
+  const double alpha = options.powerlaw_alpha;
+  const double p_pos = std::clamp(options.p_positive_sign, 0.0, 1.0);
+  const double p_close = std::clamp(options.p_close_triangle, 0.0, 1.0);
+  const double p_balance = std::clamp(options.p_close_for_balance, 0.0, 1.0);
+
+  Rng rng(options.seed);
+  BsclScaffold scaffold(n, options.num_edges);
+
+  // Phase 1: Chung-Lu skeleton. Weighted endpoint sampling with rejection
+  // of self-loops and duplicates; the attempt budget bounds the loop on
+  // settings where the pair space is nearly saturated.
+  std::vector<std::pair<VertexId, VertexId>> skeleton_edges;
+  skeleton_edges.reserve(options.num_edges);
+  uint64_t attempts_left = options.num_edges * 4 + 256;
+  while (scaffold.NumEdges() < options.num_edges && attempts_left-- > 0) {
+    const VertexId u = DrawPowerLaw(rng, n, alpha);
+    const VertexId v = DrawPowerLaw(rng, n, alpha);
+    if (u == v || scaffold.Contains(u, v)) continue;
+    const Sign sign =
+        rng.NextBernoulli(p_pos) ? Sign::kPositive : Sign::kNegative;
+    scaffold.AddEdge(u, v, sign);
+    skeleton_edges.emplace_back(u, v);
+  }
+
+  // Phase 2: rewiring. Each skeleton edge is traded for a new one that
+  // either closes a two-hop triangle (balanced with probability
+  // p_close_for_balance: the new sign is the walked signs' product) or is
+  // a fresh weighted-random edge. Fisher-Yates fixes the trade order.
+  const EdgeCount m = skeleton_edges.size();
+  for (EdgeCount i = 0; i + 1 < m; ++i) {
+    const EdgeCount j = i + rng.NextBounded(m - i);
+    std::swap(skeleton_edges[i], skeleton_edges[j]);
+  }
+  for (EdgeCount i = 0; i < m; ++i) {
+    const VertexId u = DrawPowerLaw(rng, n, alpha);
+    if (rng.NextBernoulli(p_close)) {
+      const std::optional<VertexId> v = scaffold.SampleNeighbor(u, rng);
+      if (v.has_value()) {
+        const std::optional<VertexId> w = scaffold.SampleNeighbor(*v, rng);
+        if (w.has_value() && *w != u) {
+          const Sign walk_product =
+              (*scaffold.EdgeSign(u, *v) == *scaffold.EdgeSign(*v, *w))
+                  ? Sign::kPositive
+                  : Sign::kNegative;
+          const Sign sign = rng.NextBernoulli(p_balance)
+                                ? walk_product
+                                : FlipSign(walk_product);
+          scaffold.AddEdge(u, *w, sign);
+        }
+      }
+    } else {
+      const VertexId v = DrawPowerLaw(rng, n, alpha);
+      if (v != u) {
+        const Sign sign =
+            rng.NextBernoulli(p_pos) ? Sign::kPositive : Sign::kNegative;
+        scaffold.AddEdge(u, v, sign);
+      }
+    }
+    scaffold.RemoveEdge(skeleton_edges[i].first, skeleton_edges[i].second);
+  }
+
+  SignedGraphBuilder builder(n);
+  scaffold.ForEachEdge([&builder](VertexId u, VertexId v, Sign sign) {
+    builder.AddEdge(u, v, sign);
+  });
+  return std::move(builder).Build();
 }
 
 SignedGraph PlantBalancedCliques(const SignedGraph& base,

@@ -39,6 +39,32 @@ struct CommunityGraphOptions {
 /// count is slightly below `num_edges` on dense settings.
 SignedGraph GenerateCommunitySignedGraph(const CommunityGraphOptions& options);
 
+struct BsclOptions {
+  VertexId num_vertices = 10000;
+  /// Target edge count for the Chung–Lu skeleton (the rewiring phase
+  /// preserves the count up to self-loop/duplicate losses).
+  EdgeCount num_edges = 50000;
+  /// Degree-weight exponent for endpoint sampling: weight(i) ∝ (i+1)^-alpha.
+  double powerlaw_alpha = 0.75;
+  /// Probability a skeleton / randomly inserted edge is positive.
+  double p_positive_sign = 0.9;
+  /// Probability a rewiring step closes a triangle (vs inserting a random
+  /// edge).
+  double p_close_triangle = 0.2;
+  /// Probability a closed triangle is closed *balanced* (sign of the new
+  /// edge = product of the two walked edges).
+  double p_close_for_balance = 0.8;
+  uint64_t seed = 1;
+};
+
+/// BSCL (Balanced Signed Chung-Lu) generator, after "Signed Network
+/// Modeling Based on Structural Balance Theory": a Chung-Lu power-law
+/// skeleton whose edges are then rewired one-for-one, each step either
+/// closing a two-hop triangle — balanced with probability
+/// p_close_for_balance — or inserting a fresh weighted-random edge.
+/// Deterministic in `seed`; O(m) memory; ~seconds for millions of edges.
+SignedGraph GenerateBsclSignedGraph(const BsclOptions& options);
+
 struct PlantedClique {
   uint32_t left_size = 0;
   uint32_t right_size = 0;

@@ -1,22 +1,41 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/graph/binary_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "src/common/fingerprint.h"
 #include "src/graph/signed_graph_builder.h"
 
 namespace mbc {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'B', 'C', 'G'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion1 = 1;
+constexpr uint32_t kVersion2 = 2;
+constexpr uint64_t kSectionAlignment = 64;
+constexpr int kNumSections = 4;
 
 uint64_t Fnv1aMix(uint64_t hash, uint64_t value) {
   hash ^= value;
   hash *= 0x100000001b3ULL;
+  return hash;
+}
+
+uint64_t Fnv1aBytes(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash = (hash ^ p[i]) * 0x100000001b3ULL;
+  }
   return hash;
 }
 
@@ -35,10 +54,84 @@ bool ReadAll(std::FILE* f, void* data, size_t bytes) {
   return std::fread(data, 1, bytes, f) == bytes;
 }
 
-}  // namespace
+// The 128-byte v2 header. Field order matches the on-disk layout comment
+// in binary_io.h; the struct is already packed (no implicit padding), the
+// static_assert pins that.
+struct HeaderV2 {
+  char magic[4];
+  uint32_t version;
+  uint32_t flags;
+  uint32_t num_vertices;
+  uint64_t pos_entries;
+  uint64_t neg_entries;
+  uint64_t content_fingerprint;
+  uint64_t section_offset[kNumSections];
+  uint64_t section_bytes[kNumSections];
+  uint64_t payload_checksum;
+  uint64_t reserved;
+  uint64_t header_checksum;
 
-Status WriteSignedGraphBinary(const SignedGraph& graph,
-                              const std::string& path) {
+  uint64_t ComputeChecksum() const {
+    return Fnv1aBytes(0xcbf29ce484222325ULL, this,
+                      offsetof(HeaderV2, header_checksum));
+  }
+};
+static_assert(sizeof(HeaderV2) == 128, "v2 header must be exactly 128 bytes");
+static_assert(offsetof(HeaderV2, header_checksum) == 120);
+
+uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+/// Full O(m) well-formedness check shared by the copying reader and the
+/// mmap verify_payload path: every neighbor row strictly increasing (no
+/// duplicates), ids in range, no self-loops, adjacency symmetric.
+Status ValidateCsrPayload(const std::string& path, VertexId n,
+                          std::span<const uint64_t> offsets,
+                          std::span<const VertexId> neighbors,
+                          const char* label) {
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t begin = offsets[v];
+    const uint64_t end = offsets[v + 1];
+    for (uint64_t i = begin; i < end; ++i) {
+      const VertexId w = neighbors[i];
+      if (w >= n || w == v) {
+        return Status::Corruption(path + ": " + label +
+                                  " neighbor id out of range");
+      }
+      if (i > begin && neighbors[i - 1] >= w) {
+        return Status::Corruption(path + ": " + label +
+                                  " neighbor row not strictly sorted");
+      }
+      // Symmetry: w's row must contain v.
+      const auto row = neighbors.subspan(offsets[w], offsets[w + 1] - offsets[w]);
+      if (!std::binary_search(row.begin(), row.end(), v)) {
+        return Status::Corruption(path + ": " + label +
+                                  " adjacency not symmetric");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateOffsets(const std::string& path, VertexId n,
+                       std::span<const uint64_t> offsets, uint64_t entries,
+                       const char* label) {
+  if (offsets.size() != n + size_t{1} || offsets[0] != 0 ||
+      offsets[n] != entries) {
+    return Status::Corruption(path + ": " + label +
+                              " offsets inconsistent with entry count");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::Corruption(path + ": " + label +
+                                " offsets not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteV1(const SignedGraph& graph, const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     return Status::IOError("cannot open " + path + " for writing");
@@ -66,7 +159,7 @@ Status WriteSignedGraphBinary(const SignedGraph& graph,
 
   const bool ok =
       WriteAll(file.get(), kMagic, sizeof(kMagic)) &&
-      WriteAll(file.get(), &kVersion, sizeof(kVersion)) &&
+      WriteAll(file.get(), &kVersion1, sizeof(kVersion1)) &&
       WriteAll(file.get(), &n, sizeof(n)) &&
       WriteAll(file.get(), &num_pos, sizeof(num_pos)) &&
       WriteAll(file.get(), &num_neg, sizeof(num_neg)) &&
@@ -81,28 +174,184 @@ Status WriteSignedGraphBinary(const SignedGraph& graph,
   return Status::OK();
 }
 
-Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
+Status WriteV2(const SignedGraph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
-    return Status::IOError("cannot open " + path);
+    return Status::IOError("cannot open " + path + " for writing");
   }
 
-  char magic[4];
-  uint32_t version = 0;
+  const uint32_t n = graph.NumVertices();
+  // A default-constructed (empty) graph has null CSR views; synthesize
+  // the single-zero offsets array the format requires.
+  const std::vector<uint64_t> zero_offsets(
+      graph.PosOffsets().empty() ? n + size_t{1} : 0, 0);
+  const std::span<const uint64_t> pos_offsets =
+      graph.PosOffsets().empty() ? std::span<const uint64_t>(zero_offsets)
+                                 : graph.PosOffsets();
+  const std::span<const uint64_t> neg_offsets =
+      graph.NegOffsets().empty() ? std::span<const uint64_t>(zero_offsets)
+                                 : graph.NegOffsets();
+  const std::span<const VertexId> pos_neighbors = graph.PosNeighborEntries();
+  const std::span<const VertexId> neg_neighbors = graph.NegNeighborEntries();
+
+  HeaderV2 header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion2;
+  header.flags = 0;
+  header.num_vertices = n;
+  header.pos_entries = pos_neighbors.size();
+  header.neg_entries = neg_neighbors.size();
+  header.content_fingerprint = FingerprintSignedGraph(graph);
+
+  const void* section_data[kNumSections] = {
+      pos_offsets.data(), pos_neighbors.data(), neg_offsets.data(),
+      neg_neighbors.data()};
+  header.section_bytes[0] = pos_offsets.size() * sizeof(uint64_t);
+  header.section_bytes[1] = pos_neighbors.size() * sizeof(VertexId);
+  header.section_bytes[2] = neg_offsets.size() * sizeof(uint64_t);
+  header.section_bytes[3] = neg_neighbors.size() * sizeof(VertexId);
+  uint64_t cursor = sizeof(HeaderV2);
+  uint64_t payload_checksum = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < kNumSections; ++i) {
+    cursor = AlignUp(cursor, kSectionAlignment);
+    header.section_offset[i] = cursor;
+    cursor += header.section_bytes[i];
+    payload_checksum =
+        Fnv1aBytes(payload_checksum, section_data[i], header.section_bytes[i]);
+  }
+  header.payload_checksum = payload_checksum;
+  header.header_checksum = header.ComputeChecksum();
+
+  if (!WriteAll(file.get(), &header, sizeof(header))) {
+    return Status::IOError("short write to " + path);
+  }
+  const char padding[kSectionAlignment] = {};
+  uint64_t written = sizeof(header);
+  for (int i = 0; i < kNumSections; ++i) {
+    const uint64_t pad = header.section_offset[i] - written;
+    if (pad > 0 && !WriteAll(file.get(), padding, pad)) {
+      return Status::IOError("short write to " + path);
+    }
+    if (header.section_bytes[i] > 0 &&
+        !WriteAll(file.get(), section_data[i], header.section_bytes[i])) {
+      return Status::IOError("short write to " + path);
+    }
+    written = header.section_offset[i] + header.section_bytes[i];
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+/// Validates everything about a v2 header that can be checked without
+/// touching the payload: checksum, counts, and section table geometry
+/// (alignment, ordering, containment in `file_size`).
+Status ValidateHeaderV2(const std::string& path, const HeaderV2& header,
+                        uint64_t file_size) {
+  if (header.header_checksum != header.ComputeChecksum()) {
+    return Status::Corruption(path + ": header checksum mismatch");
+  }
+  if (header.pos_entries % 2 != 0 || header.neg_entries % 2 != 0) {
+    return Status::Corruption(path + ": odd directed entry count");
+  }
+  const uint64_t n = header.num_vertices;
+  const uint64_t expected_bytes[kNumSections] = {
+      (n + 1) * sizeof(uint64_t), header.pos_entries * sizeof(VertexId),
+      (n + 1) * sizeof(uint64_t), header.neg_entries * sizeof(VertexId)};
+  uint64_t min_offset = sizeof(HeaderV2);
+  for (int i = 0; i < kNumSections; ++i) {
+    if (header.section_bytes[i] != expected_bytes[i]) {
+      return Status::Corruption(path + ": section size inconsistent");
+    }
+    if (header.section_offset[i] % kSectionAlignment != 0) {
+      return Status::Corruption(path + ": misaligned section offset");
+    }
+    if (header.section_offset[i] < min_offset ||
+        header.section_offset[i] > file_size ||
+        header.section_bytes[i] > file_size - header.section_offset[i]) {
+      return Status::Corruption(path + ": section outside file bounds");
+    }
+    min_offset = header.section_offset[i] + header.section_bytes[i];
+  }
+  return Status::OK();
+}
+
+Result<SignedGraph> ReadV2(const std::string& path, std::FILE* file) {
+  HeaderV2 header;
+  if (std::fseek(file, 0, SEEK_SET) != 0 ||
+      !ReadAll(file, &header, sizeof(header))) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IOError(path + ": not seekable");
+  }
+  const long file_end = std::ftell(file);
+  if (file_end < 0) {
+    return Status::IOError(path + ": not seekable");
+  }
+  if (Status status =
+          ValidateHeaderV2(path, header, static_cast<uint64_t>(file_end));
+      !status.ok()) {
+    return status;
+  }
+
+  const VertexId n = header.num_vertices;
+  std::vector<uint64_t> pos_offsets(n + size_t{1});
+  std::vector<VertexId> pos_neighbors(header.pos_entries);
+  std::vector<uint64_t> neg_offsets(n + size_t{1});
+  std::vector<VertexId> neg_neighbors(header.neg_entries);
+  void* section_data[kNumSections] = {pos_offsets.data(), pos_neighbors.data(),
+                                      neg_offsets.data(),
+                                      neg_neighbors.data()};
+  uint64_t payload_checksum = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < kNumSections; ++i) {
+    if (std::fseek(file, static_cast<long>(header.section_offset[i]),
+                   SEEK_SET) != 0 ||
+        (header.section_bytes[i] > 0 &&
+         !ReadAll(file, section_data[i], header.section_bytes[i]))) {
+      return Status::Corruption(path + ": truncated section");
+    }
+    payload_checksum =
+        Fnv1aBytes(payload_checksum, section_data[i], header.section_bytes[i]);
+  }
+  if (payload_checksum != header.payload_checksum) {
+    return Status::Corruption(path + ": payload checksum mismatch");
+  }
+
+  if (Status status = ValidateOffsets(path, n, pos_offsets,
+                                      header.pos_entries, "positive");
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = ValidateOffsets(path, n, neg_offsets,
+                                      header.neg_entries, "negative");
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = ValidateCsrPayload(path, n, pos_offsets, pos_neighbors,
+                                         "positive");
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = ValidateCsrPayload(path, n, neg_offsets, neg_neighbors,
+                                         "negative");
+      !status.ok()) {
+    return status;
+  }
+  return SignedGraph::FromOwnedCsr(n, std::move(pos_offsets),
+                                   std::move(pos_neighbors),
+                                   std::move(neg_offsets),
+                                   std::move(neg_neighbors));
+}
+
+Result<SignedGraph> ReadV1(const std::string& path, std::FILE* file) {
   uint32_t n = 0;
   uint64_t num_pos = 0;
   uint64_t num_neg = 0;
-  if (!ReadAll(file.get(), magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption(path + ": bad magic");
-  }
-  if (!ReadAll(file.get(), &version, sizeof(version)) ||
-      version != kVersion) {
-    return Status::Corruption(path + ": unsupported version");
-  }
-  if (!ReadAll(file.get(), &n, sizeof(n)) ||
-      !ReadAll(file.get(), &num_pos, sizeof(num_pos)) ||
-      !ReadAll(file.get(), &num_neg, sizeof(num_neg))) {
+  if (!ReadAll(file, &n, sizeof(n)) ||
+      !ReadAll(file, &num_pos, sizeof(num_pos)) ||
+      !ReadAll(file, &num_neg, sizeof(num_neg))) {
     return Status::Corruption(path + ": truncated header");
   }
 
@@ -115,13 +364,12 @@ Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
     return Status::Corruption(path + ": edge count overflows file size");
   }
   const uint64_t payload_bytes = (num_pos + num_neg) * kBytesPerEdge;
-  const long header_end = std::ftell(file.get());
-  if (header_end < 0 || std::fseek(file.get(), 0, SEEK_END) != 0) {
+  const long header_end = std::ftell(file);
+  if (header_end < 0 || std::fseek(file, 0, SEEK_END) != 0) {
     return Status::IOError(path + ": not seekable");
   }
-  const long file_end = std::ftell(file.get());
-  if (file_end < 0 ||
-      std::fseek(file.get(), header_end, SEEK_SET) != 0) {
+  const long file_end = std::ftell(file);
+  if (file_end < 0 || std::fseek(file, header_end, SEEK_SET) != 0) {
     return Status::IOError(path + ": not seekable");
   }
   const uint64_t remaining =
@@ -133,13 +381,13 @@ Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
   std::vector<uint32_t> pos(num_pos * 2);
   std::vector<uint32_t> neg(num_neg * 2);
   if ((!pos.empty() &&
-       !ReadAll(file.get(), pos.data(), pos.size() * sizeof(uint32_t))) ||
+       !ReadAll(file, pos.data(), pos.size() * sizeof(uint32_t))) ||
       (!neg.empty() &&
-       !ReadAll(file.get(), neg.data(), neg.size() * sizeof(uint32_t)))) {
+       !ReadAll(file, neg.data(), neg.size() * sizeof(uint32_t)))) {
     return Status::Corruption(path + ": truncated edge data");
   }
   uint64_t stored_checksum = 0;
-  if (!ReadAll(file.get(), &stored_checksum, sizeof(stored_checksum))) {
+  if (!ReadAll(file, &stored_checksum, sizeof(stored_checksum))) {
     return Status::Corruption(path + ": missing checksum");
   }
 
@@ -167,6 +415,180 @@ Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
     builder.AddEdge(neg[i], neg[i + 1], Sign::kNegative);
   }
   return std::move(builder).BuildValidated();
+}
+
+/// Keeps an mmap'ed region alive; used as the SignedGraph payload.
+struct Mapping {
+  void* base = MAP_FAILED;
+  size_t length = 0;
+
+  ~Mapping() {
+    if (base != MAP_FAILED) ::munmap(base, length);
+  }
+};
+
+}  // namespace
+
+Status WriteSignedGraphBinary(const SignedGraph& graph,
+                              const std::string& path,
+                              const BinaryWriteOptions& options) {
+  switch (options.version) {
+    case kVersion1:
+      return WriteV1(graph, path);
+    case kVersion2:
+      return WriteV2(graph, path);
+    default:
+      return Status::InvalidArgument("unsupported binary graph version " +
+                                     std::to_string(options.version));
+  }
+}
+
+Result<SignedGraph> ReadSignedGraphBinary(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+
+  char magic[4];
+  uint32_t version = 0;
+  if (!ReadAll(file.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (!ReadAll(file.get(), &version, sizeof(version))) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  switch (version) {
+    case kVersion1:
+      return ReadV1(path, file.get());
+    case kVersion2:
+      return ReadV2(path, file.get());
+    default:
+      return Status::Corruption(path + ": unsupported version");
+  }
+}
+
+Result<SignedGraph> MmapSignedGraphBinary(const std::string& path,
+                                          const MmapReadOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const auto file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(HeaderV2)) {
+    ::close(fd);
+    return Status::Corruption(path + ": too small for a v2 header");
+  }
+
+  auto mapping = std::make_shared<Mapping>();
+  mapping->base = ::mmap(nullptr, file_size, PROT_READ, MAP_SHARED, fd, 0);
+  mapping->length = file_size;
+  ::close(fd);  // The mapping holds its own reference to the file.
+  if (mapping->base == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path);
+  }
+  const auto* base = static_cast<const uint8_t*>(mapping->base);
+
+  HeaderV2 header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (header.version == kVersion1) {
+    return Status::InvalidArgument(
+        path + ": v1 files cannot be mapped; convert to v2 first");
+  }
+  if (header.version != kVersion2) {
+    return Status::Corruption(path + ": unsupported version");
+  }
+  if (Status status = ValidateHeaderV2(path, header, file_size);
+      !status.ok()) {
+    return status;
+  }
+
+  const VertexId n = header.num_vertices;
+  const auto* pos_offsets =
+      reinterpret_cast<const uint64_t*>(base + header.section_offset[0]);
+  const auto* pos_neighbors =
+      reinterpret_cast<const VertexId*>(base + header.section_offset[1]);
+  const auto* neg_offsets =
+      reinterpret_cast<const uint64_t*>(base + header.section_offset[2]);
+  const auto* neg_neighbors =
+      reinterpret_cast<const VertexId*>(base + header.section_offset[3]);
+
+  const std::span<const uint64_t> pos_offsets_span(pos_offsets, n + size_t{1});
+  const std::span<const uint64_t> neg_offsets_span(neg_offsets, n + size_t{1});
+  if (Status status = ValidateOffsets(path, n, pos_offsets_span,
+                                      header.pos_entries, "positive");
+      !status.ok()) {
+    return status;
+  }
+  if (Status status = ValidateOffsets(path, n, neg_offsets_span,
+                                      header.neg_entries, "negative");
+      !status.ok()) {
+    return status;
+  }
+  if (options.verify_payload) {
+    uint64_t payload_checksum = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < kNumSections; ++i) {
+      payload_checksum = Fnv1aBytes(payload_checksum,
+                                    base + header.section_offset[i],
+                                    header.section_bytes[i]);
+    }
+    if (payload_checksum != header.payload_checksum) {
+      return Status::Corruption(path + ": payload checksum mismatch");
+    }
+    if (Status status = ValidateCsrPayload(
+            path, n, pos_offsets_span,
+            {pos_neighbors, header.pos_entries}, "positive");
+        !status.ok()) {
+      return status;
+    }
+    if (Status status = ValidateCsrPayload(
+            path, n, neg_offsets_span,
+            {neg_neighbors, header.neg_entries}, "negative");
+        !status.ok()) {
+      return status;
+    }
+  }
+
+  // Adjacency probes are random-access; tell the kernel not to read
+  // ahead aggressively. The offset arrays are touched by nearly every
+  // operation — fault them in eagerly. (Both hints are advisory.)
+  ::madvise(mapping->base, mapping->length, MADV_RANDOM);
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  for (const int section : {0, 2}) {
+    const uint64_t begin = header.section_offset[section] / page * page;
+    const uint64_t end = header.section_offset[section] +
+                         header.section_bytes[section];
+    ::madvise(const_cast<uint8_t*>(base + begin), end - begin, MADV_WILLNEED);
+  }
+
+  // Alias the payload pointer to the mapping base so MappedBase() can be
+  // fed back to mincore; the Mapping object owns the munmap.
+  std::shared_ptr<const void> payload(mapping, mapping->base);
+  return SignedGraph::FromMappedCsr(
+      n, pos_offsets, pos_neighbors, header.pos_entries, neg_offsets,
+      neg_neighbors, header.neg_entries, std::move(payload), file_size,
+      header.content_fingerprint);
+}
+
+size_t MappedResidentBytes(const void* addr, size_t len) {
+  if (addr == nullptr || len == 0) return 0;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t num_pages = (len + page - 1) / page;
+  std::vector<unsigned char> resident(num_pages);
+  if (::mincore(const_cast<void*>(addr), len, resident.data()) != 0) {
+    return 0;
+  }
+  size_t count = 0;
+  for (const unsigned char r : resident) count += (r & 1u);
+  return count * page;
 }
 
 }  // namespace mbc

@@ -1,19 +1,45 @@
 // Copyright 2026 The balanced-clique Authors.
 //
 // Compact binary serialization for signed graphs. Used by the experiment
-// harness to cache generated dataset stand-ins across binaries (generation
-// of the multi-million-edge stand-ins would otherwise be repeated by every
-// experiment), and usable as a fast interchange format.
+// harness to cache generated dataset stand-ins across binaries, by
+// `mbc_cli gen/convert` to materialize corpora, and by GraphStore as the
+// zero-copy load path for multi-GB snapshots.
 //
-// Format (little-endian):
-//   magic "MBCG"  u32 version  u32 num_vertices
+// Two on-disk versions share the "MBCG" magic:
+//
+// v1 (legacy, still readable): edge-pair lists.
+//   magic "MBCG"  u32 version=1  u32 num_vertices
 //   u64 num_pos_edges  u64 num_neg_edges
 //   num_pos_edges x (u32 u, u32 v)   with u < v
 //   num_neg_edges x (u32 u, u32 v)   with u < v
 //   u64 checksum (FNV-1a over the payload words)
+//
+// v2 (default): mmap-ready CSR sections. 128-byte header followed by four
+// sections, each starting at a 64-byte-aligned file offset (zero padding
+// between sections):
+//   header (little-endian, packed):
+//     magic "MBCG"  u32 version=2  u32 flags  u32 num_vertices
+//     u64 pos_entries  u64 neg_entries        (directed entries = 2|E±|)
+//     u64 content_fingerprint                 (FingerprintSignedGraph)
+//     u64 section_offset[4]  u64 section_bytes[4]
+//     u64 payload_checksum   u64 reserved     u64 header_checksum
+//   sections, in order:
+//     [0] pos_offsets   (num_vertices+1) x u64
+//     [1] pos_neighbors pos_entries x u32
+//     [2] neg_offsets   (num_vertices+1) x u64
+//     [3] neg_neighbors neg_entries x u32
+//
+// Edge signs are implicit in the section split: positive adjacency lives
+// in sections 0-1, negative in 2-3. The header checksum (FNV-1a over the
+// first 120 header bytes) lets a reader reject corruption in O(1); the
+// payload checksum covers the section bytes for full verification. The
+// stored content fingerprint lets GraphStore key its caches without
+// touching — i.e. page-faulting — the adjacency sections.
 #ifndef MBC_GRAPH_BINARY_IO_H_
 #define MBC_GRAPH_BINARY_IO_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "src/common/status.h"
@@ -21,13 +47,42 @@
 
 namespace mbc {
 
+struct BinaryWriteOptions {
+  /// On-disk format version to emit. 2 is the default; 1 exists for
+  /// compatibility tests and tooling that must talk to old readers.
+  uint32_t version = 2;
+};
+
 /// Writes `graph` to `path` in the binary format.
 Status WriteSignedGraphBinary(const SignedGraph& graph,
-                              const std::string& path);
+                              const std::string& path,
+                              const BinaryWriteOptions& options = {});
 
-/// Reads a binary signed graph from `path`. Verifies magic, version and
-/// checksum; returns Corruption on any mismatch.
+/// Reads a binary signed graph from `path` into owned heap storage,
+/// accepting either version. Verifies magic, version, checksums and full
+/// CSR well-formedness (monotone offsets, sorted in-range neighbor rows,
+/// symmetric adjacency); returns Corruption on any mismatch.
 Result<SignedGraph> ReadSignedGraphBinary(const std::string& path);
+
+struct MmapReadOptions {
+  /// When true, additionally verify the payload checksum and full CSR
+  /// well-formedness — an O(m) pass that faults every page. By default
+  /// only the header checksum, section table geometry, and the O(n)
+  /// offset arrays are verified, keeping a cold load O(header + n).
+  bool verify_payload = false;
+};
+
+/// Maps a v2 binary graph read-only and returns a SignedGraph whose CSR
+/// views alias the mapping (zero copy; pages fault on demand and are
+/// shared across processes). The mapping lives until the graph and all
+/// its copies are destroyed. Rejects v1 files — convert them first.
+Result<SignedGraph> MmapSignedGraphBinary(const std::string& path,
+                                          const MmapReadOptions& options = {});
+
+/// Bytes of `[addr, addr+len)` currently resident in physical memory
+/// (mincore). `addr` must be the base of an mmap'ed region. Returns 0 on
+/// failure. Used to account mapped graphs' true RSS contribution.
+size_t MappedResidentBytes(const void* addr, size_t len);
 
 }  // namespace mbc
 

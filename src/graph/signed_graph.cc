@@ -72,10 +72,121 @@ SignedGraph::InducedResult SignedGraph::InducedSubgraph(
 }
 
 size_t SignedGraph::MemoryBytes() const {
-  return pos_offsets_.capacity() * sizeof(uint64_t) +
-         neg_offsets_.capacity() * sizeof(uint64_t) +
-         pos_neighbors_.capacity() * sizeof(VertexId) +
-         neg_neighbors_.capacity() * sizeof(VertexId);
+  return owned_pos_offsets_.capacity() * sizeof(uint64_t) +
+         owned_neg_offsets_.capacity() * sizeof(uint64_t) +
+         owned_pos_neighbors_.capacity() * sizeof(VertexId) +
+         owned_neg_neighbors_.capacity() * sizeof(VertexId);
+}
+
+void SignedGraph::BindOwnedViews() {
+  pos_offsets_ = owned_pos_offsets_.data();
+  pos_neighbors_ = owned_pos_neighbors_.data();
+  neg_offsets_ = owned_neg_offsets_.data();
+  neg_neighbors_ = owned_neg_neighbors_.data();
+  pos_entries_ = owned_pos_neighbors_.size();
+  neg_entries_ = owned_neg_neighbors_.size();
+}
+
+void SignedGraph::CopyFrom(const SignedGraph& other) {
+  num_vertices_ = other.num_vertices_;
+  pos_entries_ = other.pos_entries_;
+  neg_entries_ = other.neg_entries_;
+  mapped_bytes_ = other.mapped_bytes_;
+  fingerprint_hint_ = other.fingerprint_hint_;
+  has_fingerprint_hint_ = other.has_fingerprint_hint_;
+  payload_ = other.payload_;
+  if (payload_ != nullptr) {
+    // Mapped: copies share the payload and its views — O(1).
+    owned_pos_offsets_.clear();
+    owned_pos_neighbors_.clear();
+    owned_neg_offsets_.clear();
+    owned_neg_neighbors_.clear();
+    pos_offsets_ = other.pos_offsets_;
+    pos_neighbors_ = other.pos_neighbors_;
+    neg_offsets_ = other.neg_offsets_;
+    neg_neighbors_ = other.neg_neighbors_;
+  } else {
+    owned_pos_offsets_ = other.owned_pos_offsets_;
+    owned_pos_neighbors_ = other.owned_pos_neighbors_;
+    owned_neg_offsets_ = other.owned_neg_offsets_;
+    owned_neg_neighbors_ = other.owned_neg_neighbors_;
+    BindOwnedViews();
+  }
+}
+
+void SignedGraph::MoveFrom(SignedGraph&& other) noexcept {
+  num_vertices_ = other.num_vertices_;
+  pos_entries_ = other.pos_entries_;
+  neg_entries_ = other.neg_entries_;
+  mapped_bytes_ = other.mapped_bytes_;
+  fingerprint_hint_ = other.fingerprint_hint_;
+  has_fingerprint_hint_ = other.has_fingerprint_hint_;
+  payload_ = std::move(other.payload_);
+  owned_pos_offsets_ = std::move(other.owned_pos_offsets_);
+  owned_pos_neighbors_ = std::move(other.owned_pos_neighbors_);
+  owned_neg_offsets_ = std::move(other.owned_neg_offsets_);
+  owned_neg_neighbors_ = std::move(other.owned_neg_neighbors_);
+  if (payload_ != nullptr) {
+    pos_offsets_ = other.pos_offsets_;
+    pos_neighbors_ = other.pos_neighbors_;
+    neg_offsets_ = other.neg_offsets_;
+    neg_neighbors_ = other.neg_neighbors_;
+  } else {
+    // Moved vectors keep their heap blocks, but rebind for clarity (and
+    // for the small-graph case where pointers may differ).
+    BindOwnedViews();
+  }
+  other.num_vertices_ = 0;
+  other.pos_entries_ = 0;
+  other.neg_entries_ = 0;
+  other.mapped_bytes_ = 0;
+  other.has_fingerprint_hint_ = false;
+  other.pos_offsets_ = nullptr;
+  other.pos_neighbors_ = nullptr;
+  other.neg_offsets_ = nullptr;
+  other.neg_neighbors_ = nullptr;
+}
+
+SignedGraph SignedGraph::FromOwnedCsr(VertexId num_vertices,
+                                      std::vector<uint64_t> pos_offsets,
+                                      std::vector<VertexId> pos_neighbors,
+                                      std::vector<uint64_t> neg_offsets,
+                                      std::vector<VertexId> neg_neighbors) {
+  MBC_CHECK_EQ(pos_offsets.size(), num_vertices + size_t{1});
+  MBC_CHECK_EQ(neg_offsets.size(), num_vertices + size_t{1});
+  MBC_CHECK_EQ(pos_offsets.back(), pos_neighbors.size());
+  MBC_CHECK_EQ(neg_offsets.back(), neg_neighbors.size());
+  SignedGraph graph;
+  graph.num_vertices_ = num_vertices;
+  graph.owned_pos_offsets_ = std::move(pos_offsets);
+  graph.owned_pos_neighbors_ = std::move(pos_neighbors);
+  graph.owned_neg_offsets_ = std::move(neg_offsets);
+  graph.owned_neg_neighbors_ = std::move(neg_neighbors);
+  graph.BindOwnedViews();
+  return graph;
+}
+
+SignedGraph SignedGraph::FromMappedCsr(
+    VertexId num_vertices, const uint64_t* pos_offsets,
+    const VertexId* pos_neighbors, uint64_t pos_entries,
+    const uint64_t* neg_offsets, const VertexId* neg_neighbors,
+    uint64_t neg_entries, std::shared_ptr<const void> payload,
+    size_t mapped_bytes, uint64_t fingerprint_hint) {
+  SignedGraph graph;
+  graph.num_vertices_ = num_vertices;
+  graph.pos_offsets_ = pos_offsets;
+  graph.pos_neighbors_ = pos_neighbors;
+  graph.pos_entries_ = pos_entries;
+  graph.neg_offsets_ = neg_offsets;
+  graph.neg_neighbors_ = neg_neighbors;
+  graph.neg_entries_ = neg_entries;
+  graph.payload_ = std::move(payload);
+  graph.mapped_bytes_ = mapped_bytes;
+  graph.fingerprint_hint_ = fingerprint_hint;
+  graph.has_fingerprint_hint_ = true;
+  MBC_CHECK(graph.payload_ != nullptr)
+      << "FromMappedCsr requires a payload keeper";
+  return graph;
 }
 
 }  // namespace mbc

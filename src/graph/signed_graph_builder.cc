@@ -63,41 +63,45 @@ bool SignedGraphBuilder::Finalize(SignedGraph* out) {
   }
 
   out->num_vertices_ = n;
-  out->pos_offsets_.assign(n + 1, 0);
-  out->neg_offsets_.assign(n + 1, 0);
+  out->owned_pos_offsets_.assign(n + 1, 0);
+  out->owned_neg_offsets_.assign(n + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
-    out->pos_offsets_[v + 1] = out->pos_offsets_[v] + pos_degree[v];
-    out->neg_offsets_[v + 1] = out->neg_offsets_[v] + neg_degree[v];
+    out->owned_pos_offsets_[v + 1] = out->owned_pos_offsets_[v] + pos_degree[v];
+    out->owned_neg_offsets_[v + 1] = out->owned_neg_offsets_[v] + neg_degree[v];
   }
-  out->pos_neighbors_.resize(out->pos_offsets_[n]);
-  out->neg_neighbors_.resize(out->neg_offsets_[n]);
+  out->owned_pos_neighbors_.resize(out->owned_pos_offsets_[n]);
+  out->owned_neg_neighbors_.resize(out->owned_neg_offsets_[n]);
 
-  std::vector<uint64_t> pos_cursor(out->pos_offsets_.begin(),
-                                   out->pos_offsets_.end() - 1);
-  std::vector<uint64_t> neg_cursor(out->neg_offsets_.begin(),
-                                   out->neg_offsets_.end() - 1);
+  std::vector<uint64_t> pos_cursor(out->owned_pos_offsets_.begin(),
+                                   out->owned_pos_offsets_.end() - 1);
+  std::vector<uint64_t> neg_cursor(out->owned_neg_offsets_.begin(),
+                                   out->owned_neg_offsets_.end() - 1);
   for (const PendingEdge& e : unique) {
     if (e.sign == Sign::kPositive) {
-      out->pos_neighbors_[pos_cursor[e.u]++] = e.v;
-      out->pos_neighbors_[pos_cursor[e.v]++] = e.u;
+      out->owned_pos_neighbors_[pos_cursor[e.u]++] = e.v;
+      out->owned_pos_neighbors_[pos_cursor[e.v]++] = e.u;
     } else {
-      out->neg_neighbors_[neg_cursor[e.u]++] = e.v;
-      out->neg_neighbors_[neg_cursor[e.v]++] = e.u;
+      out->owned_neg_neighbors_[neg_cursor[e.u]++] = e.v;
+      out->owned_neg_neighbors_[neg_cursor[e.v]++] = e.u;
     }
   }
   // `unique` is sorted by (u, v), which makes each vertex's "u side"
   // insertions sorted, but the "v side" insertions are also ascending in u,
   // interleaved; sort each adjacency range to guarantee order.
   for (VertexId v = 0; v < n; ++v) {
-    std::sort(out->pos_neighbors_.begin() +
-                  static_cast<long>(out->pos_offsets_[v]),
-              out->pos_neighbors_.begin() +
-                  static_cast<long>(out->pos_offsets_[v + 1]));
-    std::sort(out->neg_neighbors_.begin() +
-                  static_cast<long>(out->neg_offsets_[v]),
-              out->neg_neighbors_.begin() +
-                  static_cast<long>(out->neg_offsets_[v + 1]));
+    std::sort(out->owned_pos_neighbors_.begin() +
+                  static_cast<long>(out->owned_pos_offsets_[v]),
+              out->owned_pos_neighbors_.begin() +
+                  static_cast<long>(out->owned_pos_offsets_[v + 1]));
+    std::sort(out->owned_neg_neighbors_.begin() +
+                  static_cast<long>(out->owned_neg_offsets_[v]),
+              out->owned_neg_neighbors_.begin() +
+                  static_cast<long>(out->owned_neg_offsets_[v + 1]));
   }
+  out->payload_.reset();
+  out->mapped_bytes_ = 0;
+  out->has_fingerprint_hint_ = false;
+  out->BindOwnedViews();
   return true;
 }
 

@@ -1,6 +1,8 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/service/graph_store.h"
 
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -11,11 +13,28 @@
 
 namespace mbc {
 
+namespace {
+
+size_t SnapshotMemoryBytes(const SignedGraph& graph) {
+  size_t bytes = graph.MemoryBytes() + sizeof(GraphStore::Snapshot);
+  if (graph.IsMapped()) {
+    // Charge only the pages the load actually faulted (header + offset
+    // arrays for a cold load), not the file size: mapped adjacency is
+    // reclaimable clean page cache, shared across processes.
+    bytes += MappedResidentBytes(graph.MappedBase(), graph.MappedBytes());
+  }
+  return bytes;
+}
+
+}  // namespace
+
 GraphStore::Snapshot::Snapshot(std::string name, SignedGraph graph)
     : name_(std::move(name)),
       graph_(std::move(graph)),
-      fingerprint_(FingerprintSignedGraph(graph_)),
-      memory_bytes_(graph_.MemoryBytes() + sizeof(Snapshot)) {
+      fingerprint_(graph_.FingerprintHint()
+                       ? *graph_.FingerprintHint()
+                       : FingerprintSignedGraph(graph_)),
+      memory_bytes_(SnapshotMemoryBytes(graph_)) {
   MemoryTracker::Global().Add(memory_bytes_);
 }
 
@@ -38,12 +57,46 @@ Status GraphStore::Load(const std::string& name, SignedGraph graph) {
   return Status::OK();
 }
 
+namespace {
+
+// Peeks the magic + version words so binary files of either version are
+// recognized regardless of extension.
+enum class SniffedFormat { kBinaryV2, kBinaryLegacy, kOther };
+
+SniffedFormat SniffFormat(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return SniffedFormat::kOther;
+  char magic[4] = {};
+  uint32_t version = 0;
+  const bool is_binary =
+      std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+      std::memcmp(magic, "MBCG", 4) == 0 &&
+      std::fread(&version, 1, sizeof(version), f) == sizeof(version);
+  std::fclose(f);
+  if (!is_binary) return SniffedFormat::kOther;
+  return version == 2 ? SniffedFormat::kBinaryV2 : SniffedFormat::kBinaryLegacy;
+}
+
+}  // namespace
+
 Status GraphStore::LoadFromFile(const std::string& name,
                                 const std::string& path) {
-  Result<SignedGraph> graph =
-      path.ends_with(".bin") || path.ends_with(".mbcg")
-          ? ReadSignedGraphBinary(path)
-          : ReadSignedEdgeList(path);
+  Result<SignedGraph> graph = [&]() -> Result<SignedGraph> {
+    switch (SniffFormat(path)) {
+      case SniffedFormat::kBinaryV2:
+        return MmapSignedGraphBinary(path);
+      case SniffedFormat::kBinaryLegacy:
+        return ReadSignedGraphBinary(path);
+      case SniffedFormat::kOther:
+        // Binary extensions with non-binary content still go through the
+        // binary reader so the error names the real problem.
+        if (path.ends_with(".bin") || path.ends_with(".mbcg")) {
+          return ReadSignedGraphBinary(path);
+        }
+        return ReadSignedEdgeList(path);
+    }
+    return Status::InvalidArgument("unreachable");
+  }();
   if (!graph.ok()) return graph.status();
   return Load(name, std::move(graph).value());
 }
@@ -74,7 +127,8 @@ std::vector<GraphStore::ListEntry> GraphStore::List() const {
     entries.push_back({name, snapshot->fingerprint(),
                        snapshot->graph().NumVertices(),
                        snapshot->graph().NumEdges(),
-                       snapshot->memory_bytes()});
+                       snapshot->memory_bytes(), snapshot->mapped(),
+                       snapshot->mapped_bytes()});
   }
   return entries;
 }

@@ -36,7 +36,12 @@ class GraphStore {
     const std::string& name() const { return name_; }
     const SignedGraph& graph() const { return graph_; }
     uint64_t fingerprint() const { return fingerprint_; }
+    /// Heap bytes owned by the snapshot plus, for mapped graphs, the
+    /// bytes of the mapping resident at load time. A cold mmap load
+    /// charges only its faulted header/offset pages, not the file size.
     size_t memory_bytes() const { return memory_bytes_; }
+    bool mapped() const { return graph_.IsMapped(); }
+    size_t mapped_bytes() const { return graph_.MappedBytes(); }
 
    private:
     const std::string name_;
@@ -53,6 +58,8 @@ class GraphStore {
     VertexId num_vertices = 0;
     EdgeCount num_edges = 0;
     size_t memory_bytes = 0;
+    bool mapped = false;
+    size_t mapped_bytes = 0;
   };
 
   /// Registers `graph` under `name`. Fails with InvalidArgument if the
@@ -60,7 +67,10 @@ class GraphStore {
   /// same-name responses incomparable).
   Status Load(const std::string& name, SignedGraph graph);
 
-  /// Loads from a graph file (binary .bin/.mbcg or text edge list).
+  /// Loads from a graph file. Sniffs the content: binary-v2 files are
+  /// mmap'ed zero-copy (O(header + offsets) work, adjacency pages fault
+  /// on demand), binary-v1 files go through the copying reader, anything
+  /// else is parsed as a text edge list.
   Status LoadFromFile(const std::string& name, const std::string& path);
 
   /// Unbinds `name`. In-flight queries holding the snapshot are

@@ -475,7 +475,8 @@ std::string RunJsonlControlOp(QueryService& service, const std::string& op,
       AppendEscaped(entry.name, &graphs);
       graphs += "\",\"fingerprint\":\"" + HexFingerprint(entry.fingerprint) +
                 "\",\"vertices\":" + std::to_string(entry.num_vertices) +
-                ",\"edges\":" + std::to_string(entry.num_edges) + "}";
+                ",\"edges\":" + std::to_string(entry.num_edges) +
+                ",\"mapped\":" + (entry.mapped ? "true" : "false") + "}";
     }
     graphs += ']';
     AppendRawField("graphs", graphs, &first, &out);

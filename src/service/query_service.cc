@@ -86,7 +86,8 @@ struct QueryService::WorkerState {
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity_bytes, options.cache_max_entry_bytes),
+      cache_(options.cache_capacity_bytes, options.cache_max_entry_bytes,
+             options.cache_doorkeeper_bytes),
       overload_(options.overload, &latency_),
       chaos_(options.fault_injection.has_value() ? *options.fault_injection
                                                  : EnvServiceFaultOptions()),
@@ -644,6 +645,7 @@ std::string QueryService::StatsJson(bool deterministic) const {
       "\"latency_p95_seconds\":%.6f,\"latency_mean_seconds\":%.6f,"
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"degraded_insertions\":%llu,\"admission_skipped\":%llu,"
+      "\"admission_rejected_by_policy\":%llu,"
       "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
       "\"hit_rate\":%.4f},"
       "\"transport\":{\"connections_accepted\":%llu,"
@@ -664,6 +666,7 @@ std::string QueryService::StatsJson(bool deterministic) const {
       static_cast<unsigned long long>(stats.cache.insertions),
       static_cast<unsigned long long>(stats.cache.degraded_insertions),
       static_cast<unsigned long long>(stats.cache.admission_skipped),
+      static_cast<unsigned long long>(stats.cache.admission_rejected_by_policy),
       static_cast<unsigned long long>(stats.cache.evictions),
       stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate(),
       static_cast<unsigned long long>(stats.transport.connections_accepted),

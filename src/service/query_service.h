@@ -47,6 +47,10 @@ struct ServiceOptions {
   /// JSONL frontends default to 1 MiB so witness-bearing gMBC payloads
   /// cannot crowd out the rest of the cache.
   size_t cache_max_entry_bytes = 0;
+  /// Doorkeeper threshold (see ResultCache): entries above this size are
+  /// admitted only on a repeat insert attempt. 0 disables the policy;
+  /// the mbc_serve frontend defaults to 256 KiB.
+  size_t cache_doorkeeper_bytes = 0;
   /// Intra-query parallelism budget: extra threads the whole service may
   /// lend to queries that set QueryRequest::parallel_threads, beyond the
   /// pool worker that runs each query. 0 disables intra-query parallelism

@@ -28,10 +28,12 @@ size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(hasher.hash());
 }
 
-ResultCache::ResultCache(size_t capacity_bytes, size_t max_entry_bytes)
+ResultCache::ResultCache(size_t capacity_bytes, size_t max_entry_bytes,
+                         size_t doorkeeper_bytes)
     : capacity_bytes_(capacity_bytes),
       shard_capacity_bytes_(capacity_bytes / kNumShards),
-      max_entry_bytes_(max_entry_bytes) {}
+      max_entry_bytes_(max_entry_bytes),
+      doorkeeper_bytes_(doorkeeper_bytes) {}
 
 ResultCache::~ResultCache() { Clear(); }
 
@@ -74,6 +76,23 @@ void ResultCache::Insert(const CacheKey& key, const QueryResult& result) {
     // Same key ⇒ same result; just refresh recency.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
+  }
+  if (doorkeeper_bytes_ > 0 && bytes > doorkeeper_bytes_) {
+    // Counters are bumped only on insert attempts (every insert follows a
+    // miss, so bumping on lookups as well would double-count and admit
+    // everything on its first insert).
+    if (++shard.doorkeeper_ops >= kDoorkeeperAgingOps) {
+      shard.doorkeeper_ops = 0;
+      for (uint8_t& counter : shard.doorkeeper) counter /= 2;
+    }
+    uint8_t& counter =
+        shard.doorkeeper[KeyHash{}(key) % kDoorkeeperSlots];
+    if (counter == 0) {
+      counter = 1;
+      admission_rejected_by_policy_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (counter < UINT8_MAX) ++counter;
   }
   shard.lru.push_front(Entry{key, result, bytes});
   shard.index.emplace(key, shard.lru.begin());
@@ -119,6 +138,8 @@ CacheStats ResultCache::Stats() const {
       degraded_insertions_.load(std::memory_order_relaxed);
   stats.admission_skipped =
       admission_skipped_.load(std::memory_order_relaxed);
+  stats.admission_rejected_by_policy =
+      admission_rejected_by_policy_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);

@@ -55,6 +55,11 @@ struct CacheStats {
   /// the per-entry cap (oversized witness payloads) or than a whole shard.
   /// Not insertions, not evictions — the payload never entered the cache.
   uint64_t admission_skipped = 0;
+  /// Inserts of large entries deferred by the doorkeeper frequency
+  /// sketch: the first attempt only registers the key, so a one-shot
+  /// oversized payload never evicts hot small entries. A repeat attempt
+  /// (evidence of reuse) is admitted normally.
+  uint64_t admission_rejected_by_policy = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
   size_t memory_bytes = 0;
@@ -81,7 +86,15 @@ class ResultCache {
   /// CacheStats::admission_skipped). 0 = no per-entry cap beyond the
   /// shard budget. The cap exists for witness-bearing gMBC payloads,
   /// whose size is graph-dependent and can dwarf every other entry.
-  explicit ResultCache(size_t capacity_bytes, size_t max_entry_bytes = 0);
+  ///
+  /// `doorkeeper_bytes` arms a per-shard frequency doorkeeper (a
+  /// TinyLFU-style counter sketch): an entry larger than the threshold is
+  /// admitted only on its second insert attempt within the sketch's aging
+  /// window; the first attempt just registers the key (counted in
+  /// CacheStats::admission_rejected_by_policy). Smaller entries are
+  /// unaffected. 0 disables the policy.
+  explicit ResultCache(size_t capacity_bytes, size_t max_entry_bytes = 0,
+                       size_t doorkeeper_bytes = 0);
   ~ResultCache();
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -100,6 +113,7 @@ class ResultCache {
   CacheStats Stats() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
   size_t max_entry_bytes() const { return max_entry_bytes_; }
+  size_t doorkeeper_bytes() const { return doorkeeper_bytes_; }
 
  private:
   struct Entry {
@@ -110,12 +124,19 @@ class ResultCache {
   struct KeyHash {
     size_t operator()(const CacheKey& key) const;
   };
+  /// Doorkeeper sketch geometry: 256 saturating counters per shard; the
+  /// whole table halves every kDoorkeeperAgingOps policy decisions so
+  /// stale one-shot keys age out instead of accumulating false admits.
+  static constexpr size_t kDoorkeeperSlots = 256;
+  static constexpr uint32_t kDoorkeeperAgingOps = 1024;
   struct Shard {
     mutable std::mutex mutex;
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
     size_t bytes = 0;
+    uint8_t doorkeeper[kDoorkeeperSlots] = {};
+    uint32_t doorkeeper_ops = 0;
   };
 
   Shard& ShardFor(const CacheKey& key);
@@ -125,6 +146,7 @@ class ResultCache {
   const size_t capacity_bytes_;
   const size_t shard_capacity_bytes_;
   const size_t max_entry_bytes_;
+  const size_t doorkeeper_bytes_;
   Shard shards_[kNumShards];
 
   std::atomic<uint64_t> hits_{0};
@@ -132,6 +154,7 @@ class ResultCache {
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> degraded_insertions_{0};
   std::atomic<uint64_t> admission_skipped_{0};
+  std::atomic<uint64_t> admission_rejected_by_policy_{0};
   std::atomic<uint64_t> evictions_{0};
 };
 

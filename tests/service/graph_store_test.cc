@@ -1,11 +1,20 @@
 // Copyright 2026 The balanced-clique Authors.
 #include "src/service/graph_store.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/fingerprint.h"
 #include "src/common/memory.h"
 #include "src/common/status.h"
+#include "src/datasets/generators.h"
+#include "src/graph/binary_io.h"
 #include "tests/test_util.h"
 
 namespace mbc {
@@ -112,6 +121,96 @@ TEST(GraphStoreTest, LoadFromMissingFileFails) {
   GraphStore store;
   EXPECT_FALSE(store.LoadFromFile("g", "/nonexistent/graph.txt").ok());
   EXPECT_EQ(store.size(), 0u);
+}
+
+std::string TempGraphPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+size_t StatmResidentBytes() {
+  std::ifstream statm("/proc/self/statm");
+  size_t total_pages = 0;
+  size_t resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  return resident_pages * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  return probe ? static_cast<uint64_t>(probe.tellg()) : 0;
+}
+
+TEST(GraphStoreMmapTest, SniffsV2AndLoadsZeroCopy) {
+  BsclOptions options;
+  options.num_vertices = 60000;
+  options.num_edges = 400000;
+  options.seed = 13;
+  const SignedGraph graph = GenerateBsclSignedGraph(options);
+  const std::string path = TempGraphPath("store_mmap.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  const uint64_t file_bytes = FileBytes(path);
+  ASSERT_GT(file_bytes, 0u);
+
+  GraphStore store;
+  const size_t rss_before = StatmResidentBytes();
+  const size_t tracked_before = MemoryTracker::Global().current_bytes();
+  ASSERT_TRUE(store.LoadFromFile("big", path).ok());
+  const size_t tracked_after = MemoryTracker::Global().current_bytes();
+  const size_t rss_after = StatmResidentBytes();
+
+  Result<GraphStore::SnapshotPtr> found = store.Find("big");
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found.value()->mapped());
+  EXPECT_EQ(found.value()->mapped_bytes(), file_bytes);
+  EXPECT_EQ(found.value()->graph().NumEdges(), graph.NumEdges());
+  // Content addressing survives the zero-copy path: the stored
+  // fingerprint hint must equal the full-pass fingerprint.
+  EXPECT_EQ(found.value()->fingerprint(), FingerprintSignedGraph(graph));
+
+  // The acceptance bound: a cold mmap load must keep steady-state RSS
+  // growth under 1.5x the on-disk CSR size (the copying reader adds a
+  // full heap copy; the mapped load faults only header + offsets pages).
+  const uint64_t budget = file_bytes + file_bytes / 2;
+  EXPECT_LT(rss_after - rss_before, budget)
+      << "rss grew " << (rss_after - rss_before) << " for a " << file_bytes
+      << "-byte file";
+  EXPECT_LT(tracked_after - tracked_before, budget);
+  // List surfaces the mapping so `mbc_cli list` can show it.
+  const std::vector<GraphStore::ListEntry> entries = store.List();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].mapped);
+  EXPECT_EQ(entries[0].mapped_bytes, file_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(GraphStoreMmapTest, LegacyV1LoadsViaCopyingReader) {
+  const SignedGraph graph = Figure2Graph();
+  const std::string path = TempGraphPath("store_v1.mbcg");
+  BinaryWriteOptions v1;
+  v1.version = 1;
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path, v1).ok());
+  GraphStore store;
+  ASSERT_TRUE(store.LoadFromFile("old", path).ok());
+  Result<GraphStore::SnapshotPtr> found = store.Find("old");
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(found.value()->mapped());
+  EXPECT_EQ(found.value()->graph().NumEdges(), graph.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphStoreMmapTest, MappedAccountingSettlesOnEvict) {
+  const SignedGraph graph = RandomSignedGraph(2000, 12000, 0.3, 21);
+  const std::string path = TempGraphPath("store_mmap_settle.mbcg");
+  ASSERT_TRUE(WriteSignedGraphBinary(graph, path).ok());
+  const size_t baseline = MemoryTracker::Global().current_bytes();
+  {
+    GraphStore store;
+    ASSERT_TRUE(store.LoadFromFile("m", path).ok());
+    EXPECT_TRUE(store.Find("m").value()->mapped());
+    ASSERT_TRUE(store.Evict("m").ok());
+  }
+  EXPECT_EQ(MemoryTracker::Global().current_bytes(), baseline);
+  std::remove(path.c_str());
 }
 
 TEST(FingerprintTest, HasherIsDeterministicAndOrderSensitive) {

@@ -148,6 +148,59 @@ TEST(ResultCacheTest, AdmissionCapRefusesOversizedWitnessPayloads) {
   EXPECT_EQ(cache.max_entry_bytes(), 512u);
 }
 
+TEST(ResultCacheTest, DoorkeeperDefersFirstLargeInsert) {
+  // Large entries (here: anything over ~0 bytes of payload threshold)
+  // must knock twice; the first attempt only registers the key.
+  ResultCache cache(1 << 20, /*max_entry_bytes=*/0,
+                    /*doorkeeper_bytes=*/256);
+  const CacheKey key = KeyFor(1);
+  const QueryResult large = ResultOfSize(200);  // well over 256 bytes
+  cache.Insert(key, large);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.admission_rejected_by_policy, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+
+  // The repeat attempt is evidence of reuse: admitted.
+  cache.Insert(key, large);
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  stats = cache.Stats();
+  EXPECT_EQ(stats.admission_rejected_by_policy, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, DoorkeeperIgnoresSmallEntries) {
+  ResultCache cache(1 << 20, 0, /*doorkeeper_bytes=*/1 << 16);
+  const CacheKey key = KeyFor(2);
+  cache.Insert(key, ResultOfSize(4));  // far below the threshold
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Stats().admission_rejected_by_policy, 0u);
+}
+
+TEST(ResultCacheTest, DoorkeeperDisabledByDefault) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.doorkeeper_bytes(), 0u);
+  const CacheKey key = KeyFor(3);
+  cache.Insert(key, ResultOfSize(500));
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Stats().admission_rejected_by_policy, 0u);
+}
+
+TEST(ResultCacheTest, DoorkeeperProtectsHotEntriesFromOneShotScan) {
+  // A scan of distinct one-shot large payloads must not evict the hot
+  // small entries: every scan key is stopped at the door.
+  ResultCache cache(1 << 16, 0, /*doorkeeper_bytes=*/512);
+  const CacheKey hot = KeyFor(100);
+  cache.Insert(hot, ResultOfSize(2));
+  for (uint64_t i = 0; i < 64; ++i) {
+    cache.Insert(KeyFor(1000 + i, /*tau=*/3), ResultOfSize(300));
+  }
+  EXPECT_TRUE(cache.Lookup(hot).has_value());
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.admission_rejected_by_policy, 64u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
 TEST(ResultCacheTest, ZeroCapMeansNoPerEntryLimit) {
   ResultCache cache(1 << 20);  // default max_entry_bytes = 0
   QueryResult big = ResultOfSize(4);

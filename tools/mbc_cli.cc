@@ -37,6 +37,7 @@
 #include "src/core/mbc_enum.h"
 #include "src/core/mbc_star.h"
 #include "src/core/verify.h"
+#include "src/datasets/families.h"
 #include "src/datasets/registry.h"
 #include "src/gmbc/gmbc.h"
 #include "src/graph/binary_io.h"
@@ -85,6 +86,8 @@ int Usage() {
       "  gmbc     --graph FILE\n"
       "  enum     --graph FILE --tau T [--limit N]\n"
       "  generate --dataset NAME --scale S --out FILE\n"
+      "  gen      --family bscl|community --out FILE [--PARAM V]...\n"
+      "           (run `mbc_cli gen` for per-family parameters)\n"
       "  convert  --graph FILE --out FILE\n"
       "  balance  --graph FILE\n"
       "  related  --graph FILE [--alpha A --k K]\n"
@@ -120,6 +123,7 @@ class Flags {
     return it == values_.end() ? fallback : it->second;
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::map<std::string, std::string>& values() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
@@ -313,6 +317,51 @@ int CmdGenerate(const Flags& flags) {
   if (!status.ok()) return Fail(status);
   std::printf("wrote %s: n=%u m=%llu\n", out.c_str(), graph.NumVertices(),
               static_cast<unsigned long long>(graph.NumEdges()));
+  return 0;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string family = flags.Get("family", "");
+  if (family.empty()) {
+    std::fprintf(stderr,
+                 "usage: mbc_cli gen --family NAME --out FILE [--PARAM V]...\n"
+                 "families:\n");
+    for (const mbc::GeneratorFamily& f : mbc::AllGeneratorFamilies()) {
+      std::fprintf(stderr, "  %s — %s\n", f.name.c_str(),
+                   f.description.c_str());
+      for (const std::string& line : f.param_help) {
+        std::fprintf(stderr, "      --%s\n", line.c_str());
+      }
+    }
+    return 2;
+  }
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  mbc::GeneratorParams params;
+  for (const auto& [key, value] : flags.values()) {
+    if (key == "family" || key == "out" || key == "time-limit" ||
+        key == "memory-limit-mb") {
+      continue;
+    }
+    params[key] = value;
+  }
+  mbc::Timer timer;
+  Result<SignedGraph> graph = mbc::GenerateFromFamily(family, params);
+  if (!graph.ok()) return Fail(graph.status());
+  const double generate_seconds = timer.ElapsedSeconds();
+  const Status status = SaveGraph(graph.value(), out);
+  if (!status.ok()) return Fail(status);
+  std::printf(
+      "wrote %s: n=%u m=%llu (%llu+, %llu-) neg-ratio=%.4f "
+      "generated in %.2fs\n",
+      out.c_str(), graph.value().NumVertices(),
+      static_cast<unsigned long long>(graph.value().NumEdges()),
+      static_cast<unsigned long long>(graph.value().NumPositiveEdges()),
+      static_cast<unsigned long long>(graph.value().NumNegativeEdges()),
+      graph.value().NegativeEdgeRatio(), generate_seconds);
   return 0;
 }
 
@@ -518,6 +567,7 @@ int main(int argc, char** argv) {
   if (command == "gmbc") return CmdGmbc(flags);
   if (command == "enum") return CmdEnum(flags);
   if (command == "generate") return CmdGenerate(flags);
+  if (command == "gen") return CmdGen(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "balance") return CmdBalance(flags);
   if (command == "related") return CmdRelated(flags);

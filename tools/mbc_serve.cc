@@ -8,7 +8,8 @@
 // the transports.
 //
 //   mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]
-//             [--cache-max-entry-bytes N] [--intra-query-threads N]
+//             [--cache-max-entry-bytes N] [--cache-doorkeeper-bytes N]
+//             [--intra-query-threads N]
 //             [--time-limit SECONDS] [--deterministic]
 //             [--load NAME=PATH]... [--batch FILE] [--stats]
 //             [--listen HOST:PORT] [--max-connections N]
@@ -28,6 +29,11 @@
 //                     oversized entries (typically gmbc witness
 //                     payloads) are served but never cached
 //                     (default 1 MiB; 0 = uncapped)
+//   --cache-doorkeeper-bytes N  admission doorkeeper threshold: entries
+//                     above N bytes enter the cache only on a repeat
+//                     insert attempt, so one-shot large payloads cannot
+//                     evict hot small entries (default 256 KiB;
+//                     0 = disabled)
 //   --load NAME=PATH  preload a graph before serving (repeatable)
 //   --batch FILE      serve the requests in FILE, then exit
 //   --time-limit S    default per-query budget (requests may override)
@@ -77,6 +83,7 @@ int Usage() {
       stderr,
       "usage: mbc_serve [--workers N] [--max-queue N] [--cache-mb MB]\n"
       "                 [--cache-max-entry-bytes N]\n"
+      "                 [--cache-doorkeeper-bytes N]\n"
       "                 [--intra-query-threads N]\n"
       "                 [--time-limit SECONDS] [--deterministic]\n"
       "                 [--load NAME=PATH]... [--batch FILE] [--stats]\n"
@@ -109,6 +116,8 @@ ServeArgs ParseArgs(int argc, char** argv) {
   // JSONL-frontend default (see ServiceOptions::cache_max_entry_bytes):
   // witness-bearing gMBC payloads are served but not cached past 1 MiB.
   args.service.cache_max_entry_bytes = 1 << 20;
+  // Large results must prove reuse before they may evict hot entries.
+  args.service.cache_doorkeeper_bytes = 256 << 10;
   const auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       args.ok = false;
@@ -131,6 +140,9 @@ ServeArgs ParseArgs(int argc, char** argv) {
           std::strtoull(value(i), nullptr, 10) << 20;
     } else if (flag == "--cache-max-entry-bytes") {
       args.service.cache_max_entry_bytes =
+          static_cast<size_t>(std::strtoull(value(i), nullptr, 10));
+    } else if (flag == "--cache-doorkeeper-bytes") {
+      args.service.cache_doorkeeper_bytes =
           static_cast<size_t>(std::strtoull(value(i), nullptr, 10));
     } else if (flag == "--intra-query-threads") {
       args.service.intra_query_threads =
