@@ -24,10 +24,18 @@
 //               qps + p50/p95 from client-side timestamps, cache /shed
 //               counters from the service stats.
 //
+// Mixed read/write mode (--mutation-rate R, R > 0): one mutator client
+// streams add_edges / remove_edges batches against the large graph at R
+// batches/second while the query fleet runs. The report gains a
+// "mutation" block — delta-apply latency percentiles, per-batch op
+// counts, compactions (expected 0: each batch is a tiny fraction of the
+// edge set), and the warmed cache's survival / post-mutation hit rate.
+//
 //   MBC_BENCH_SERVICE_JSON=path  output path (default BENCH_service.json)
 //   MBC_BENCH_SHORT=1            same as --short
 //   MBC_BENCH_SECONDS=s          measurement window (default 8; short 2)
 //   MBC_BENCH_CLIENTS=n          closed-loop clients (default 8; short 4)
+//   MBC_BENCH_MUTATION_RATE=r    same as --mutation-rate (default 0 = off)
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -65,6 +73,12 @@ struct BenchConfig {
   EdgeCount small_edges = 10000;
   double query_time_limit = 10.0;
   size_t workers = 4;
+  /// Mutation batches per second streamed by the mutator client; 0
+  /// disables the mixed read/write mode.
+  double mutation_rate = 0.0;
+  /// Edges per mutation batch — a small fraction of the large graph's
+  /// edge set, so batches stay far below the compaction budget.
+  int mutation_batch_edges = 16;
 };
 
 double GetEnvDouble(const char* name, double fallback) {
@@ -76,7 +90,11 @@ double GetEnvDouble(const char* name, double fallback) {
 BenchConfig MakeConfig(int argc, char** argv) {
   BenchConfig config;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--short") config.short_mode = true;
+    const std::string arg = argv[i];
+    if (arg == "--short") config.short_mode = true;
+    if (arg == "--mutation-rate" && i + 1 < argc) {
+      config.mutation_rate = std::atof(argv[++i]);
+    }
   }
   const char* short_env = std::getenv("MBC_BENCH_SHORT");
   if (short_env != nullptr && std::string(short_env) == "1") {
@@ -96,6 +114,8 @@ BenchConfig MakeConfig(int argc, char** argv) {
   config.clients = static_cast<int>(
       GetEnvDouble("MBC_BENCH_CLIENTS", config.clients));
   if (config.clients < 1) config.clients = 1;
+  config.mutation_rate =
+      GetEnvDouble("MBC_BENCH_MUTATION_RATE", config.mutation_rate);
   return config;
 }
 
@@ -201,6 +221,72 @@ void RunClient(uint16_t port, int client_index,
         response.find("resource_exhausted") == std::string::npos) {
       ++result->errors;
     }
+  }
+}
+
+struct MutatorResult {
+  std::vector<int64_t> latency_micros;
+  uint64_t batches = 0;
+  uint64_t errors = 0;
+};
+
+/// The write half of the mixed mode: one persistent connection streaming
+/// small add_edges / remove_edges batches at `rate` per second. Adds use
+/// fresh random pairs; removes pop previously-added pairs, so the net
+/// drift stays bounded and removals are real (not all noops).
+void RunMutator(uint16_t port, double rate, VertexId num_vertices,
+                int batch_edges, const std::atomic<bool>& stop,
+                MutatorResult* result) {
+  BenchClient client;
+  if (!client.Connect(port)) {
+    ++result->errors;
+    return;
+  }
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const auto interval = std::chrono::microseconds(
+      static_cast<int64_t>(1e6 / rate));
+  std::vector<std::pair<uint32_t, uint32_t>> added;
+  std::string response;
+  uint64_t round = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const bool removing = (round++ % 4 == 3) && !added.empty();
+    std::string edges;
+    for (int e = 0; e < batch_edges; ++e) {
+      if (removing) {
+        if (added.empty()) break;
+        const auto [u, v] = added.back();
+        added.pop_back();
+        edges += std::to_string(u) + " " + std::to_string(v) + ";";
+      } else {
+        const uint32_t u = static_cast<uint32_t>(next() % num_vertices);
+        uint32_t v = static_cast<uint32_t>(next() % num_vertices);
+        if (u == v) v = (v + 1) % num_vertices;
+        edges += std::to_string(u) + " " + std::to_string(v) +
+                 (next() % 4 == 0 ? " -;" : " +;");
+        added.emplace_back(u, v);
+      }
+    }
+    const std::string line =
+        std::string("{\"op\":\"") +
+        (removing ? "remove_edges" : "add_edges") +
+        "\",\"name\":\"large\",\"edges\":\"" + edges + "\"}";
+    Timer timer;
+    if (!client.RoundTrip(line, &response)) {
+      ++result->errors;
+      return;
+    }
+    result->latency_micros.push_back(timer.ElapsedMicros());
+    ++result->batches;
+    if (response.find("\"ok\":true") == std::string::npos) {
+      ++result->errors;
+    }
+    std::this_thread::sleep_for(interval);
   }
 }
 
@@ -369,21 +455,45 @@ int Run(int argc, char** argv) {
   mix.push_back(QueryLine("large", 5, config.query_time_limit));
   mix.push_back(QueryLine("large", 6, config.query_time_limit));
 
-  std::fprintf(stderr, "[serve] port %u, %d clients, %.1fs window\n",
-               port, config.clients, config.seconds);
+  // Warm the result cache before the window opens: one pass over the mix
+  // inserts every (graph, tau) entry, so the mixed mode's invalidation
+  // and post-mutation hit rate are measured against a warmed cache.
+  for (const std::string& request : mix) {
+    if (!control.RoundTrip(request, &response)) {
+      std::fprintf(stderr, "warmup failed\n");
+      server.RequestStop();
+      serve_thread.join();
+      return 1;
+    }
+  }
+  const ServiceStats stats_warm = service.Stats();
+
+  std::fprintf(stderr,
+               "[serve] port %u, %d clients, %.1fs window, "
+               "mutation-rate %.1f/s\n",
+               port, config.clients, config.seconds, config.mutation_rate);
   std::atomic<bool> stop{false};
   std::vector<ClientResult> results(
       static_cast<size_t>(config.clients));
   std::vector<std::thread> fleet;
+  MutatorResult mutator_result;
   Timer window_timer;
   for (int i = 0; i < config.clients; ++i) {
     fleet.emplace_back(RunClient, port, i, std::cref(mix),
                        std::cref(stop), &results[static_cast<size_t>(i)]);
   }
+  std::thread mutator;
+  if (config.mutation_rate > 0.0) {
+    mutator = std::thread(RunMutator, port, config.mutation_rate,
+                          config.large_vertices,
+                          config.mutation_batch_edges, std::cref(stop),
+                          &mutator_result);
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(
       static_cast<int64_t>(config.seconds * 1e3)));
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : fleet) t.join();
+  if (mutator.joinable()) mutator.join();
   const double window_seconds = window_timer.ElapsedSeconds();
 
   const ServiceStats stats = service.Stats();
@@ -417,7 +527,7 @@ int Run(int argc, char** argv) {
   char buffer[4096];
   std::snprintf(
       buffer, sizeof(buffer),
-      "{\"schema\":\"mbc-service-bench-v1\",\"mode\":\"%s\","
+      "{\"schema\":\"mbc-service-bench-v2\",\"mode\":\"%s\","
       "\"family\":\"large\",\n"
       " \"generator\":{\"family\":\"bscl\",\"vertices\":%u,"
       "\"edges_target\":%llu,\"edges\":%llu,\"pos_edges\":%llu,"
@@ -449,7 +559,7 @@ int Run(int argc, char** argv) {
       "\"cache_hit_rate\":%.4f,"
       "\"admission_rejected_by_policy\":%llu,"
       "\"shed_deadline\":%llu,\"shed_overload\":%llu,"
-      "\"shed_quota\":%llu}}\n",
+      "\"shed_quota\":%llu},\n",
       config.workers, config.clients, service_load_seconds,
       window_seconds, static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(errors), qps,
@@ -464,6 +574,70 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(stats.queries_shed_overload),
       static_cast<unsigned long long>(
           stats.transport.queries_shed_quota));
+  out << buffer;
+  if (config.mutation_rate > 0.0) {
+    // Window-scoped cache movement: lookups and hits since the warmed
+    // baseline, plus the invalidation the mutation stream caused.
+    std::vector<int64_t> delta_micros = mutator_result.latency_micros;
+    std::sort(delta_micros.begin(), delta_micros.end());
+    double delta_mean_ms = 0.0;
+    for (int64_t micros : delta_micros) {
+      delta_mean_ms += static_cast<double>(micros);
+    }
+    delta_mean_ms =
+        delta_micros.empty()
+            ? 0.0
+            : delta_mean_ms / static_cast<double>(delta_micros.size()) / 1e3;
+    const uint64_t window_hits = stats.cache.hits - stats_warm.cache.hits;
+    const uint64_t window_lookups = window_hits + stats.cache.misses -
+                                    stats_warm.cache.misses;
+    const uint64_t invalidated = stats.cache.invalidated_by_delta;
+    const uint64_t rekeyed = stats.cache.rekeyed_by_delta;
+    const uint64_t touched = invalidated + rekeyed;
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " \"mutation\":{\"enabled\":true,\"rate_target\":%.1f,"
+        "\"batch_edges\":%d,\"batches\":%llu,\"errors\":%llu,"
+        "\"edges_added\":%llu,\"edges_removed\":%llu,"
+        "\"edges_flipped\":%llu,\"noops\":%llu,\"compactions\":%llu,"
+        "\"core_affected\":%llu,\"core_visited\":%llu,"
+        "\"delta_apply_p50_ms\":%.3f,\"delta_apply_p95_ms\":%.3f,"
+        "\"delta_apply_mean_ms\":%.3f,"
+        "\"cache_warmed_entries\":%zu,\"cache_invalidated\":%llu,"
+        "\"cache_rekeyed\":%llu,\"cache_survival_rate\":%.4f,"
+        "\"per_batch_invalidation_rate\":%.4f,"
+        "\"post_mutation_hit_rate\":%.4f}}\n",
+        config.mutation_rate, config.mutation_batch_edges,
+        static_cast<unsigned long long>(mutator_result.batches),
+        static_cast<unsigned long long>(mutator_result.errors),
+        static_cast<unsigned long long>(stats.mutations.edges_added),
+        static_cast<unsigned long long>(stats.mutations.edges_removed),
+        static_cast<unsigned long long>(stats.mutations.edges_flipped),
+        static_cast<unsigned long long>(stats.mutations.noops),
+        static_cast<unsigned long long>(stats.mutations.compactions),
+        static_cast<unsigned long long>(stats.mutations.core_affected),
+        static_cast<unsigned long long>(stats.mutations.core_visited),
+        Percentile(delta_micros, 0.50), Percentile(delta_micros, 0.95),
+        delta_mean_ms, stats_warm.cache.entries,
+        static_cast<unsigned long long>(invalidated),
+        static_cast<unsigned long long>(rekeyed),
+        touched == 0 ? 1.0
+                     : static_cast<double>(rekeyed) /
+                           static_cast<double>(touched),
+        // Average fraction of the warmed cache one batch invalidates —
+        // the ISSUE's streaming acceptance criterion (< 0.5).
+        mutator_result.batches == 0 || stats_warm.cache.entries == 0
+            ? 0.0
+            : static_cast<double>(invalidated) /
+                  static_cast<double>(mutator_result.batches) /
+                  static_cast<double>(stats_warm.cache.entries),
+        window_lookups == 0 ? 0.0
+                            : static_cast<double>(window_hits) /
+                                  static_cast<double>(window_lookups));
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  " \"mutation\":{\"enabled\":false}}\n");
+  }
   out << buffer;
   out.close();
   std::remove(large_path.c_str());

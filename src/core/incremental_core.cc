@@ -1,0 +1,160 @@
+// Copyright 2026 The balanced-clique Authors.
+#include "src/core/incremental_core.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/graph/cores.h"
+
+namespace mbc {
+
+DynamicCoreTracker::DynamicCoreTracker(const SignedGraph& base) {
+  core_ = DegeneracyDecompose(base).core_number;
+  const VertexId n = base.NumVertices();
+  adj_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto pos = base.PositiveNeighbors(v);
+    const auto neg = base.NegativeNeighbors(v);
+    adj_[v].reserve(pos.size() + neg.size());
+    std::merge(pos.begin(), pos.end(), neg.begin(), neg.end(),
+               std::back_inserter(adj_[v]));
+  }
+  in_sub_.assign(n, 0);
+  local_deg_.assign(n, 0);
+}
+
+uint32_t DynamicCoreTracker::degeneracy() const {
+  uint32_t max_core = 0;
+  for (const uint32_t c : core_) max_core = std::max(max_core, c);
+  return max_core;
+}
+
+size_t DynamicCoreTracker::CollectSubcore(VertexId root, uint32_t core) {
+  if (core_[root] != core || in_sub_[root]) return 0;
+  const size_t before = sub_.size();
+  in_sub_[root] = 1;
+  sub_.push_back(root);
+  stack_.clear();
+  stack_.push_back(root);
+  while (!stack_.empty()) {
+    const VertexId x = stack_.back();
+    stack_.pop_back();
+    for (const VertexId w : adj_[x]) {
+      if (core_[w] == core && !in_sub_[w]) {
+        in_sub_[w] = 1;
+        sub_.push_back(w);
+        stack_.push_back(w);
+      }
+    }
+  }
+  return sub_.size() - before;
+}
+
+void DynamicCoreTracker::ClearSubcore() {
+  for (const VertexId x : sub_) in_sub_[x] = 0;
+  sub_.clear();
+}
+
+DynamicCoreTracker::UpdateStats DynamicCoreTracker::InsertEdge(VertexId u,
+                                                               VertexId v) {
+  MBC_CHECK_LT(u, adj_.size());
+  MBC_CHECK_LT(v, adj_.size());
+  MBC_CHECK(u != v);
+  auto insert_sorted = [this](VertexId from, VertexId to) {
+    auto& row = adj_[from];
+    const auto it = std::lower_bound(row.begin(), row.end(), to);
+    MBC_CHECK(it == row.end() || *it != to) << "InsertEdge on present edge";
+    row.insert(it, to);
+  };
+  insert_sorted(u, v);
+  insert_sorted(v, u);
+
+  UpdateStats stats;
+  const uint32_t c = std::min(core_[u], core_[v]);
+  const VertexId root = core_[u] <= core_[v] ? u : v;
+  // Only the root's subcore (which, when core(u) == core(v), spans both
+  // endpoints through the new edge) can gain: each vertex by at most 1.
+  CollectSubcore(root, c);
+  stats.visited = static_cast<uint32_t>(sub_.size());
+
+  // Local peel toward level c+1: a vertex survives iff it keeps more than
+  // c neighbors among {core > c} ∪ survivors.
+  stack_.clear();
+  for (const VertexId x : sub_) {
+    uint32_t deg = 0;
+    for (const VertexId w : adj_[x]) {
+      if (core_[w] >= c) ++deg;  // core == c neighbors are in the subcore.
+    }
+    local_deg_[x] = deg;
+    if (deg <= c) stack_.push_back(x);
+  }
+  while (!stack_.empty()) {
+    const VertexId x = stack_.back();
+    stack_.pop_back();
+    if (!in_sub_[x]) continue;
+    in_sub_[x] = 0;  // Evicted: stays at core c.
+    for (const VertexId w : adj_[x]) {
+      if (in_sub_[w] && local_deg_[w]-- == c + 1) stack_.push_back(w);
+    }
+  }
+  for (const VertexId x : sub_) {
+    if (in_sub_[x]) {
+      core_[x] = c + 1;
+      ++stats.affected;
+      in_sub_[x] = 0;
+    }
+  }
+  sub_.clear();
+  return stats;
+}
+
+DynamicCoreTracker::UpdateStats DynamicCoreTracker::RemoveEdge(VertexId u,
+                                                               VertexId v) {
+  MBC_CHECK_LT(u, adj_.size());
+  MBC_CHECK_LT(v, adj_.size());
+  auto erase_sorted = [this](VertexId from, VertexId to) {
+    auto& row = adj_[from];
+    const auto it = std::lower_bound(row.begin(), row.end(), to);
+    MBC_CHECK(it != row.end() && *it == to) << "RemoveEdge on absent edge";
+    row.erase(it);
+  };
+  erase_sorted(u, v);
+  erase_sorted(v, u);
+
+  UpdateStats stats;
+  const uint32_t c = std::min(core_[u], core_[v]);
+  if (c == 0) return stats;  // Core numbers cannot drop below zero.
+  // Post-removal, the endpoints' subcores may have split; collect the
+  // union (CollectSubcore de-duplicates via in_sub_). Only the min-core
+  // endpoint(s) can lose: each vertex by at most 1.
+  if (core_[u] == c) CollectSubcore(u, c);
+  if (core_[v] == c) CollectSubcore(v, c);
+  stats.visited = static_cast<uint32_t>(sub_.size());
+
+  // Local peel at level c: a vertex keeps core c iff it retains at least
+  // c neighbors of (current) core >= c after the cascade.
+  stack_.clear();
+  for (const VertexId x : sub_) {
+    uint32_t deg = 0;
+    for (const VertexId w : adj_[x]) {
+      if (core_[w] >= c) ++deg;
+    }
+    local_deg_[x] = deg;
+    if (deg < c) stack_.push_back(x);
+  }
+  while (!stack_.empty()) {
+    const VertexId x = stack_.back();
+    stack_.pop_back();
+    if (!in_sub_[x]) continue;
+    in_sub_[x] = 0;
+    core_[x] = c - 1;
+    ++stats.affected;
+    for (const VertexId w : adj_[x]) {
+      if (in_sub_[w] && local_deg_[w]-- == c) stack_.push_back(w);
+    }
+  }
+  ClearSubcore();
+  return stats;
+}
+
+}  // namespace mbc

@@ -1,0 +1,76 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Dynamic k-core maintenance for the streaming mutation path.
+//
+// The service's peel-based preprocessing (degeneracy orders, (τ_L, τ_R)
+// polar-core pruning) is derived from the unsigned skeleton's core
+// decomposition. Re-peeling the whole graph on every mutation batch is
+// O(n + m); this tracker instead maintains exact core numbers under
+// single-edge inserts/removes with the classic subcore-traversal bound
+// (Sarıyüce et al., "Streaming Algorithms for k-Core Decomposition"):
+// an edge edit can only change the core numbers of vertices in the
+// affected endpoint's subcore — the connected component, through
+// vertices of core exactly c = min(core(u), core(v)), around the edit —
+// and only by ±1. The tracker walks that bounded region, runs a local
+// peel with boundary degrees, and promotes/demotes the survivors.
+//
+// Sign flips never touch the skeleton and cost nothing. A mutation batch
+// is applied as its sequence of effective skeleton edits; the final core
+// numbers are exact regardless of edit order.
+#ifndef MBC_CORE_INCREMENTAL_CORE_H_
+#define MBC_CORE_INCREMENTAL_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/signed_graph.h"
+
+namespace mbc {
+
+class DynamicCoreTracker {
+ public:
+  /// Builds the initial decomposition with one full peel (O(n + m)) and
+  /// copies the unsigned skeleton into a mutable adjacency structure.
+  explicit DynamicCoreTracker(const SignedGraph& base);
+
+  struct UpdateStats {
+    /// Vertices whose core number actually changed.
+    uint32_t affected = 0;
+    /// Candidate vertices examined by the bounded traversal — the size of
+    /// the region that *could* have changed, and the cost of the update.
+    uint32_t visited = 0;
+  };
+
+  /// The edge must be absent / present respectively; GraphStore feeds the
+  /// tracker only effective skeleton edits, which guarantees that.
+  UpdateStats InsertEdge(VertexId u, VertexId v);
+  UpdateStats RemoveEdge(VertexId u, VertexId v);
+
+  uint32_t core(VertexId v) const { return core_[v]; }
+  const std::vector<uint32_t>& cores() const { return core_; }
+  uint32_t degeneracy() const;
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(core_.size());
+  }
+
+ private:
+  /// Collects the subcore of `root` at level `core` — every vertex with
+  /// that core number reachable from `root` through such vertices — into
+  /// sub_, marking in_sub_. Returns its size.
+  size_t CollectSubcore(VertexId root, uint32_t core);
+  void ClearSubcore();
+
+  std::vector<std::vector<VertexId>> adj_;  ///< Unsigned skeleton.
+  std::vector<uint32_t> core_;
+
+  // Reusable scratch to keep per-update allocations off the hot path.
+  std::vector<VertexId> sub_;      ///< Current subcore, BFS order.
+  std::vector<uint8_t> in_sub_;    ///< Per-vertex membership flag.
+  std::vector<uint32_t> local_deg_;  ///< Supporting degree inside the peel.
+  std::vector<VertexId> stack_;
+};
+
+}  // namespace mbc
+
+#endif  // MBC_CORE_INCREMENTAL_CORE_H_

@@ -132,6 +132,15 @@ class SignedGraph {
     return fingerprint_hint_;
   }
 
+  /// Attaches a fingerprint the caller vouches for. The delta layer uses
+  /// this to tag patched heads with a derived (version-lineage)
+  /// fingerprint, and compaction to tag rebased heads with the true
+  /// content fingerprint, without an extra O(m) pass in GraphStore.
+  void SetFingerprintHint(uint64_t fingerprint) {
+    fingerprint_hint_ = fingerprint;
+    has_fingerprint_hint_ = true;
+  }
+
   /// Wraps externally validated CSR arrays (typically sections of an
   /// mmapped binary-v2 file) without copying. `payload` keeps the backing
   /// bytes alive for the lifetime of this graph and all its copies.

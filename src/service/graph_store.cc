@@ -28,18 +28,32 @@ size_t SnapshotMemoryBytes(const SignedGraph& graph) {
 
 }  // namespace
 
-GraphStore::Snapshot::Snapshot(std::string name, SignedGraph graph)
+GraphStore::Snapshot::Snapshot(std::string name, SignedGraph graph,
+                               uint64_t version)
     : name_(std::move(name)),
       graph_(std::move(graph)),
       fingerprint_(graph_.FingerprintHint()
                        ? *graph_.FingerprintHint()
                        : FingerprintSignedGraph(graph_)),
+      version_(version),
       memory_bytes_(SnapshotMemoryBytes(graph_)) {
-  MemoryTracker::Global().Add(memory_bytes_);
+  MemoryTracker::Global().Add(memory_bytes_.load(std::memory_order_relaxed));
 }
 
 GraphStore::Snapshot::~Snapshot() {
-  MemoryTracker::Global().Sub(memory_bytes_);
+  MemoryTracker::Global().Sub(memory_bytes_.load(std::memory_order_relaxed));
+}
+
+void GraphStore::Snapshot::RefreshMemoryAccounting() const {
+  if (!graph_.IsMapped()) return;
+  const size_t current = SnapshotMemoryBytes(graph_);
+  const size_t charged =
+      memory_bytes_.exchange(current, std::memory_order_relaxed);
+  if (current > charged) {
+    MemoryTracker::Global().Add(current - charged);
+  } else if (charged > current) {
+    MemoryTracker::Global().Sub(charged - current);
+  }
 }
 
 Status GraphStore::Load(const std::string& name, SignedGraph graph) {
@@ -103,10 +117,139 @@ Status GraphStore::LoadFromFile(const std::string& name,
 
 Status GraphStore::Evict(const std::string& name) {
   std::unique_lock lock(mutex_);
-  if (snapshots_.erase(name) == 0) {
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
     return Status::NotFound("graph '" + name + "' is not loaded");
   }
+  // Mapped snapshots fault adjacency pages in as queries touch them; the
+  // load-time resident sample understates what eviction gives back, so
+  // re-sample before the uncharge happens.
+  it->second->RefreshMemoryAccounting();
+  snapshots_.erase(it);
+  deltas_.erase(name);
   return Status::OK();
+}
+
+Status GraphStore::AcquireForMutation(const std::string& name,
+                                      SnapshotPtr* head,
+                                      std::shared_ptr<DeltaState>* state) {
+  std::unique_lock lock(mutex_);
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) {
+    return Status::NotFound("graph '" + name + "' is not loaded");
+  }
+  *head = it->second;
+  auto& slot = deltas_[name];
+  if (slot == nullptr) slot = std::make_shared<DeltaState>();
+  *state = slot;
+  return Status::OK();
+}
+
+Status GraphStore::SwapHead(const std::string& name,
+                            const SnapshotPtr& expected, SnapshotPtr next) {
+  std::unique_lock lock(mutex_);
+  const auto it = snapshots_.find(name);
+  if (it == snapshots_.end() || it->second != expected) {
+    return Status::InvalidArgument("graph '" + name +
+                                   "' was evicted or replaced concurrently "
+                                   "with a mutation");
+  }
+  it->second = std::move(next);
+  return Status::OK();
+}
+
+Result<GraphStore::MutationOutcome> GraphStore::Mutate(
+    const std::string& name, const MutationBatch& batch,
+    const DeltaBudget& budget) {
+  SnapshotPtr head;
+  std::shared_ptr<DeltaState> state;
+  MBC_RETURN_NOT_OK(AcquireForMutation(name, &head, &state));
+
+  // Mutations of one name serialize here; queries and other names run on.
+  std::lock_guard delta_lock(state->mutex);
+  {
+    // Re-fetch the head under the mutation lock: a batch that raced us to
+    // the lock swapped it, and our patch must stack on the new head.
+    std::shared_lock lock(mutex_);
+    const auto it = snapshots_.find(name);
+    if (it == snapshots_.end()) {
+      return Status::NotFound("graph '" + name + "' is not loaded");
+    }
+    head = it->second;
+  }
+  if (!state->log) {
+    state->log.emplace(head->fingerprint(), head->version(),
+                       head->graph().NumEdges());
+  }
+  if (!state->cores) state->cores.emplace(head->graph());
+
+  DeltaSignedGraph::Patch patch;
+  {
+    auto result = state->log->Apply(head->graph(), batch, budget);
+    if (!result.ok()) return result.status();
+    patch = std::move(result).value();
+  }
+
+  MutationOutcome outcome;
+  outcome.old_fingerprint = head->fingerprint();
+  for (const auto& [u, v] : patch.stats.skeleton_adds) {
+    const auto stats = state->cores->InsertEdge(u, v);
+    outcome.core_affected += stats.affected;
+    outcome.core_visited += stats.visited;
+  }
+  for (const auto& [u, v] : patch.stats.skeleton_removes) {
+    const auto stats = state->cores->RemoveEdge(u, v);
+    outcome.core_affected += stats.affected;
+    outcome.core_visited += stats.visited;
+  }
+
+  const bool effective =
+      patch.stats.added + patch.stats.removed + patch.stats.flipped > 0;
+  if (effective) {
+    auto next = std::make_shared<const Snapshot>(name, std::move(patch.graph),
+                                                 patch.stats.version);
+    MBC_RETURN_NOT_OK(SwapHead(name, head, std::move(next)));
+  }
+  outcome.stats = std::move(patch.stats);
+  return outcome;
+}
+
+Result<GraphStore::CompactionOutcome> GraphStore::Compact(
+    const std::string& name) {
+  SnapshotPtr head;
+  std::shared_ptr<DeltaState> state;
+  MBC_RETURN_NOT_OK(AcquireForMutation(name, &head, &state));
+
+  std::lock_guard delta_lock(state->mutex);
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = snapshots_.find(name);
+    if (it == snapshots_.end()) {
+      return Status::NotFound("graph '" + name + "' is not loaded");
+    }
+    head = it->second;
+  }
+
+  CompactionOutcome outcome;
+  outcome.old_fingerprint = head->fingerprint();
+  outcome.fingerprint = head->fingerprint();
+  outcome.version = head->version();
+  if (!state->log) return outcome;  // Never mutated: already compact.
+
+  const auto compacted = state->log->Compact(head->graph());
+  if (!compacted.changed) return outcome;
+
+  // Same adjacency, new (content) fingerprint: republish the head under
+  // its true content address so it can share cache entries with fresh
+  // loads of the same bytes.
+  SignedGraph rebased = head->graph();
+  rebased.SetFingerprintHint(compacted.fingerprint);
+  auto next = std::make_shared<const Snapshot>(name, std::move(rebased),
+                                               head->version());
+  MBC_RETURN_NOT_OK(SwapHead(name, head, std::move(next)));
+  outcome.fingerprint = compacted.fingerprint;
+  outcome.changed = true;
+  return outcome;
 }
 
 Result<GraphStore::SnapshotPtr> GraphStore::Find(

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/graph/binary_io.h"
+#include "src/graph/delta_graph.h"
 #include "src/service/graph_store.h"
 
 namespace mbc {
@@ -480,6 +482,86 @@ std::string RunJsonlControlOp(QueryService& service, const std::string& op,
     }
     graphs += ']';
     AppendRawField("graphs", graphs, &first, &out);
+    out += '}';
+    return out;
+  }
+  if (op == "add_edges" || op == "remove_edges") {
+    const std::string name = JsonlField(fields, "name");
+    const std::string edges = JsonlField(fields, "edges");
+    if (name.empty() || edges.empty()) {
+      return JsonlErrorLine(
+          id, Status::InvalidArgument(op +
+                                      " needs 'name' and 'edges' fields"));
+    }
+    MutationBatch batch;
+    const bool adding = op == "add_edges";
+    if (const Status status = ParseMutationEdges(edges, adding, &batch);
+        !status.ok()) {
+      return JsonlErrorLine(id, status);
+    }
+    Result<QueryService::MutationResponse> applied =
+        service.MutateGraph(name, batch);
+    if (!applied.ok()) return JsonlErrorLine(id, applied.status());
+    const QueryService::MutationResponse& m = applied.value();
+    std::string out;
+    bool first = true;
+    if (!id.empty()) AppendStringField("id", id, &first, &out);
+    AppendRawField("ok", "true", &first, &out);
+    AppendStringField("name", name, &first, &out);
+    AppendRawField("version", std::to_string(m.version), &first, &out);
+    AppendStringField("fingerprint", HexFingerprint(m.fingerprint), &first,
+                      &out);
+    AppendRawField("added", std::to_string(m.added), &first, &out);
+    AppendRawField("removed", std::to_string(m.removed), &first, &out);
+    AppendRawField("flipped", std::to_string(m.flipped), &first, &out);
+    AppendRawField("noops", std::to_string(m.noops), &first, &out);
+    AppendRawField("core_affected", std::to_string(m.core_affected), &first,
+                   &out);
+    AppendRawField("core_visited", std::to_string(m.core_visited), &first,
+                   &out);
+    AppendRawField("delta_bytes", std::to_string(m.delta_bytes), &first, &out);
+    AppendRawField("compacted", m.compacted ? "true" : "false", &first, &out);
+    AppendRawField("cache_invalidated", std::to_string(m.cache_invalidated),
+                   &first, &out);
+    AppendRawField("cache_rekeyed", std::to_string(m.cache_rekeyed), &first,
+                   &out);
+    out += '}';
+    return out;
+  }
+  if (op == "snapshot") {
+    const std::string name = JsonlField(fields, "name");
+    if (name.empty()) {
+      return JsonlErrorLine(
+          id, Status::InvalidArgument("snapshot needs a 'name' field"));
+    }
+    Result<QueryService::SnapshotResponse> compacted =
+        service.SnapshotGraph(name);
+    if (!compacted.ok()) return JsonlErrorLine(id, compacted.status());
+    const std::string path = JsonlField(fields, "path");
+    if (!path.empty()) {
+      // Persist the (now content-addressed) head: deltas themselves are
+      // in-memory only, so the snapshot op is the durability point.
+      Result<GraphStore::SnapshotPtr> head = service.store().Find(name);
+      if (!head.ok()) return JsonlErrorLine(id, head.status());
+      if (const Status status =
+              WriteSignedGraphBinary(head.value()->graph(), path);
+          !status.ok()) {
+        return JsonlErrorLine(id, status);
+      }
+    }
+    const QueryService::SnapshotResponse& s = compacted.value();
+    std::string out;
+    bool first = true;
+    if (!id.empty()) AppendStringField("id", id, &first, &out);
+    AppendRawField("ok", "true", &first, &out);
+    AppendStringField("name", name, &first, &out);
+    AppendRawField("version", std::to_string(s.version), &first, &out);
+    AppendStringField("fingerprint", HexFingerprint(s.fingerprint), &first,
+                      &out);
+    AppendRawField("compacted", s.compacted ? "true" : "false", &first, &out);
+    AppendRawField("cache_rekeyed", std::to_string(s.cache_rekeyed), &first,
+                   &out);
+    if (!path.empty()) AppendStringField("path", path, &first, &out);
     out += '}';
     return out;
   }

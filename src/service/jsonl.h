@@ -2,13 +2,27 @@
 //
 // The JSONL wire format of mbc_serve and the mbc_cli batch command: one
 // request object per input line, one response object per output line, in
-// request order. Five ops:
+// request order. Eight ops:
 //
 //   {"op":"load","name":"g","path":"graph.txt"}
 //   {"op":"query","id":"q1","graph":"g","kind":"mbc","tau":3,"algo":"star"}
 //   {"op":"evict","name":"g"}
 //   {"op":"list"}
 //   {"op":"stats"}
+//   {"op":"add_edges","name":"g","edges":"0 1 +;2 3 -"}
+//   {"op":"remove_edges","name":"g","edges":"0 1;2 3"}
+//   {"op":"snapshot","name":"g","path":"g.mbcg"}
+//
+// The mutation ops (add_edges / remove_edges) apply one atomic batch to a
+// loaded graph and answer with the new head version and fingerprint plus
+// apply stats; the edge list is a flat string (the protocol has no nested
+// containers). add_edges with an existing edge of the other sign flips
+// it; matching state is a counted no-op. `snapshot` forces mutation-log
+// compaction (content re-fingerprint) and, with "path", persists the head
+// as a binary-v2 file — deltas themselves are in-memory only. Like every
+// control op, mutations are per-session barriers: queries on earlier
+// lines finish first, queries on later lines see the new head. In-flight
+// queries of other sessions keep the snapshot they resolved.
 //
 // A line without an "op" field is a query — batch files of pure queries
 // need no boilerplate. Query fields other than "graph" are optional
@@ -54,8 +68,9 @@ std::string JsonlErrorLine(const std::string& id, const Status& status);
 
 struct JsonlOptions;
 
-/// Executes one control op (load / evict / list / stats) against the
-/// service and returns its single response line. The caller has already
+/// Executes one control op (load / evict / list / stats / add_edges /
+/// remove_edges / snapshot) against the service and returns its single
+/// response line. The caller has already
 /// established that fields["op"] == `op` and that `op` is not "query".
 /// `options.deterministic` controls whether `stats` includes volatile
 /// fields (uptime); the data-plane options are ignored here.

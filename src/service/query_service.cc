@@ -286,6 +286,77 @@ Result<std::future<QueryResponse>> QueryService::SubmitBlocking(
   return SubmitInternal(std::move(request), SubmitMode::kBlock);
 }
 
+Result<QueryService::MutationResponse> QueryService::MutateGraph(
+    const std::string& name, const MutationBatch& batch) {
+  DeltaBudget budget;
+  budget.max_delta_bytes = options_.max_delta_bytes;
+  budget.compact_ratio = options_.compact_ratio;
+  MBC_ASSIGN_OR_RETURN(const GraphStore::MutationOutcome outcome,
+                       store_.Mutate(name, batch, budget));
+  const DeltaApplyResult& stats = outcome.stats;
+
+  mutation_batches_.fetch_add(1, std::memory_order_relaxed);
+  mutation_edges_added_.fetch_add(stats.added, std::memory_order_relaxed);
+  mutation_edges_removed_.fetch_add(stats.removed, std::memory_order_relaxed);
+  mutation_edges_flipped_.fetch_add(stats.flipped, std::memory_order_relaxed);
+  mutation_noops_.fetch_add(stats.noops, std::memory_order_relaxed);
+  if (stats.compacted) {
+    mutation_compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  mutation_core_affected_.fetch_add(outcome.core_affected,
+                                    std::memory_order_relaxed);
+  mutation_core_visited_.fetch_add(outcome.core_visited,
+                                   std::memory_order_relaxed);
+
+  MutationResponse response;
+  response.version = stats.version;
+  response.fingerprint = stats.fingerprint;
+  response.added = stats.added;
+  response.removed = stats.removed;
+  response.flipped = stats.flipped;
+  response.noops = stats.noops;
+  response.core_affected = outcome.core_affected;
+  response.core_visited = outcome.core_visited;
+  response.delta_bytes = stats.delta_bytes;
+  response.compacted = stats.compacted;
+  if (stats.added + stats.removed + stats.flipped > 0) {
+    // One invalidation pass even when the batch auto-compacted: the
+    // outcome fingerprint is then already the content address, so the
+    // survivors land directly under their final key.
+    CacheDelta delta;
+    delta.old_fingerprint = outcome.old_fingerprint;
+    delta.new_fingerprint = stats.fingerprint;
+    delta.dirty = stats.dirty;
+    delta.add_clique_bound = stats.add_clique_bound;
+    delta.content_changed = true;
+    const CacheDeltaOutcome applied = cache_.ApplyDelta(delta);
+    response.cache_invalidated = applied.invalidated;
+    response.cache_rekeyed = applied.rekeyed;
+  }
+  return response;
+}
+
+Result<QueryService::SnapshotResponse> QueryService::SnapshotGraph(
+    const std::string& name) {
+  MBC_ASSIGN_OR_RETURN(const GraphStore::CompactionOutcome outcome,
+                       store_.Compact(name));
+  SnapshotResponse response;
+  response.version = outcome.version;
+  response.fingerprint = outcome.fingerprint;
+  response.compacted = outcome.changed;
+  if (outcome.changed) {
+    mutation_compactions_.fetch_add(1, std::memory_order_relaxed);
+    // A pure rekey: the adjacency is untouched, only the fingerprint
+    // moved from the derived lineage to the content address.
+    CacheDelta delta;
+    delta.old_fingerprint = outcome.old_fingerprint;
+    delta.new_fingerprint = outcome.fingerprint;
+    delta.content_changed = false;
+    response.cache_rekeyed = cache_.ApplyDelta(delta).rekeyed;
+  }
+  return response;
+}
+
 QueryResponse QueryService::Query(QueryRequest request) {
   const std::string id = request.id;
   Result<std::future<QueryResponse>> submitted =
@@ -601,6 +672,20 @@ ServiceStats QueryService::Stats() const {
   stats.latency_mean_seconds =
       count == 0 ? 0.0 : latency_.total_seconds() / static_cast<double>(count);
   stats.cache = cache_.Stats();
+  stats.mutations.batches = mutation_batches_.load(std::memory_order_relaxed);
+  stats.mutations.edges_added =
+      mutation_edges_added_.load(std::memory_order_relaxed);
+  stats.mutations.edges_removed =
+      mutation_edges_removed_.load(std::memory_order_relaxed);
+  stats.mutations.edges_flipped =
+      mutation_edges_flipped_.load(std::memory_order_relaxed);
+  stats.mutations.noops = mutation_noops_.load(std::memory_order_relaxed);
+  stats.mutations.compactions =
+      mutation_compactions_.load(std::memory_order_relaxed);
+  stats.mutations.core_affected =
+      mutation_core_affected_.load(std::memory_order_relaxed);
+  stats.mutations.core_visited =
+      mutation_core_visited_.load(std::memory_order_relaxed);
   stats.transport.connections_accepted =
       transport_counters_.connections_accepted.load(std::memory_order_relaxed);
   stats.transport.connections_rejected =
@@ -634,7 +719,7 @@ ServiceStats QueryService::Stats() const {
 
 std::string QueryService::StatsJson(bool deterministic) const {
   const ServiceStats stats = Stats();
-  char buffer[1536];
+  char buffer[2560];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"queries_served\":%llu,\"queries_rejected\":%llu,"
@@ -646,8 +731,12 @@ std::string QueryService::StatsJson(bool deterministic) const {
       "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
       "\"degraded_insertions\":%llu,\"admission_skipped\":%llu,"
       "\"admission_rejected_by_policy\":%llu,"
-      "\"evictions\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
+      "\"evictions\":%llu,\"invalidated_by_delta\":%llu,"
+      "\"rekeyed_by_delta\":%llu,\"entries\":%zu,\"memory_bytes\":%zu,"
       "\"hit_rate\":%.4f},"
+      "\"mutations\":{\"batches\":%llu,\"edges_added\":%llu,"
+      "\"edges_removed\":%llu,\"edges_flipped\":%llu,\"noops\":%llu,"
+      "\"compactions\":%llu,\"core_affected\":%llu,\"core_visited\":%llu},"
       "\"transport\":{\"connections_accepted\":%llu,"
       "\"connections_rejected\":%llu,\"connections_active\":%lld,"
       "\"frames_in\":%llu,\"frames_out\":%llu,"
@@ -668,7 +757,17 @@ std::string QueryService::StatsJson(bool deterministic) const {
       static_cast<unsigned long long>(stats.cache.admission_skipped),
       static_cast<unsigned long long>(stats.cache.admission_rejected_by_policy),
       static_cast<unsigned long long>(stats.cache.evictions),
+      static_cast<unsigned long long>(stats.cache.invalidated_by_delta),
+      static_cast<unsigned long long>(stats.cache.rekeyed_by_delta),
       stats.cache.entries, stats.cache.memory_bytes, stats.cache.HitRate(),
+      static_cast<unsigned long long>(stats.mutations.batches),
+      static_cast<unsigned long long>(stats.mutations.edges_added),
+      static_cast<unsigned long long>(stats.mutations.edges_removed),
+      static_cast<unsigned long long>(stats.mutations.edges_flipped),
+      static_cast<unsigned long long>(stats.mutations.noops),
+      static_cast<unsigned long long>(stats.mutations.compactions),
+      static_cast<unsigned long long>(stats.mutations.core_affected),
+      static_cast<unsigned long long>(stats.mutations.core_visited),
       static_cast<unsigned long long>(stats.transport.connections_accepted),
       static_cast<unsigned long long>(stats.transport.connections_rejected),
       static_cast<long long>(stats.transport.connections_active),

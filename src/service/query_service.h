@@ -62,6 +62,13 @@ struct ServiceOptions {
   /// Applied to requests that don't carry their own time limit;
   /// 0 = unlimited.
   double default_time_limit_seconds = 0.0;
+  /// Mutation-log compaction budget (see DeltaBudget): a graph's log is
+  /// compacted — O(m) content re-fingerprint, log re-base — when its
+  /// footprint exceeds this many bytes...
+  size_t max_delta_bytes = 8ull << 20;
+  /// ...or when its net entries exceed this fraction of the base edge
+  /// count, whichever comes first.
+  double compact_ratio = 0.25;
   /// When false the pool starts idle and queued work only runs after
   /// StartWorkers(); lets tests fill the queue deterministically.
   bool start_workers = true;
@@ -122,6 +129,22 @@ struct WorkerStats {
   uint64_t incumbent_updates = 0;
 };
 
+/// Streaming-mutation counters, accumulated across every graph name.
+struct MutationStats {
+  uint64_t batches = 0;  ///< Applied batches (including all-noop ones).
+  uint64_t edges_added = 0;
+  uint64_t edges_removed = 0;
+  uint64_t edges_flipped = 0;
+  uint64_t noops = 0;  ///< Requested ops that matched existing state.
+  /// Compactions, whether budget-triggered inside a batch or forced by
+  /// the `snapshot` op.
+  uint64_t compactions = 0;
+  /// Vertices whose core number changed / were examined by the bounded
+  /// incremental core-maintenance traversals.
+  uint64_t core_affected = 0;
+  uint64_t core_visited = 0;
+};
+
 /// Point-in-time service counters, exported as JSON by StatsJson().
 struct ServiceStats {
   uint64_t queries_served = 0;
@@ -145,6 +168,7 @@ struct ServiceStats {
   double latency_p95_seconds = 0.0;
   double latency_mean_seconds = 0.0;
   CacheStats cache;
+  MutationStats mutations;
   TransportStats transport;
   /// One entry per worker, in worker index order.
   std::vector<WorkerStats> workers;
@@ -182,6 +206,42 @@ class QueryService {
   /// Submit + wait. Admission failures come back as an error response
   /// with the request id echoed, so callers have one result shape.
   QueryResponse Query(QueryRequest request);
+
+  /// Everything the mutation protocol ops report back to the client.
+  struct MutationResponse {
+    uint64_t version = 0;      ///< Head version after the batch.
+    uint64_t fingerprint = 0;  ///< Head fingerprint after the batch.
+    uint32_t added = 0;
+    uint32_t removed = 0;
+    uint32_t flipped = 0;
+    uint32_t noops = 0;
+    uint32_t core_affected = 0;
+    uint32_t core_visited = 0;
+    size_t delta_bytes = 0;  ///< Mutation-log footprint after the batch.
+    bool compacted = false;  ///< The batch tripped the compaction budget.
+    uint64_t cache_invalidated = 0;
+    uint64_t cache_rekeyed = 0;
+  };
+
+  struct SnapshotResponse {
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;  ///< Content fingerprint after compaction.
+    /// False when the name had no drift (already content-addressed).
+    bool compacted = false;
+    uint64_t cache_rekeyed = 0;
+  };
+
+  /// Applies one mutation batch to the named graph (a per-session barrier
+  /// at the protocol layer; here it only serializes against other
+  /// mutations of the same name — queries are never blocked) and runs
+  /// witness-based invalidation over the result cache. Uses the service's
+  /// delta budget (ServiceOptions::max_delta_bytes / compact_ratio).
+  Result<MutationResponse> MutateGraph(const std::string& name,
+                                       const MutationBatch& batch);
+
+  /// Forces compaction of the named graph's mutation log and re-keys the
+  /// surviving cache entries to the content fingerprint.
+  Result<SnapshotResponse> SnapshotGraph(const std::string& name);
 
   /// Starts the pool when constructed with start_workers = false. No-op
   /// if already running.
@@ -265,6 +325,14 @@ class QueryService {
   std::atomic<uint64_t> queries_shed_deadline_{0};
   std::atomic<uint64_t> queries_shed_overload_{0};
   std::atomic<uint64_t> queries_degraded_{0};
+  std::atomic<uint64_t> mutation_batches_{0};
+  std::atomic<uint64_t> mutation_edges_added_{0};
+  std::atomic<uint64_t> mutation_edges_removed_{0};
+  std::atomic<uint64_t> mutation_edges_flipped_{0};
+  std::atomic<uint64_t> mutation_noops_{0};
+  std::atomic<uint64_t> mutation_compactions_{0};
+  std::atomic<uint64_t> mutation_core_affected_{0};
+  std::atomic<uint64_t> mutation_core_visited_{0};
   /// Remaining intra-query thread tokens (seeded from
   /// options.intra_query_threads; never grows beyond it).
   std::atomic<int64_t> parallel_tokens_{0};

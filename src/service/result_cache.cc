@@ -16,6 +16,35 @@ size_t EntryBytes(const CacheKey& key, const QueryResult& result) {
   return sizeof(CacheKey) + key.algo.capacity() + result.MemoryBytes() + 64;
 }
 
+bool SortedIntersect(const std::vector<VertexId>& a,
+                     const std::vector<VertexId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The witness-based survival rule documented on ApplyDelta.
+bool SurvivesDelta(const CacheKey& key, const QueryResult& result,
+                   const CacheDelta& delta) {
+  if (!delta.content_changed) return true;
+  if (key.kind != QueryKind::kMbc ||
+      key.exactness != CacheExactness::kExact) {
+    return false;
+  }
+  if (result.clique.size() < delta.add_clique_bound) return false;
+  return !SortedIntersect(result.clique.left, delta.dirty) &&
+         !SortedIntersect(result.clique.right, delta.dirty);
+}
+
 }  // namespace
 
 size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
@@ -116,6 +145,60 @@ void ResultCache::EvictOverBudget(Shard& shard) {
   }
 }
 
+CacheDeltaOutcome ResultCache::ApplyDelta(const CacheDelta& delta) {
+  CacheDeltaOutcome outcome;
+  if (capacity_bytes_ == 0 ||
+      delta.old_fingerprint == delta.new_fingerprint) {
+    return outcome;
+  }
+  // Phase 1: unlink every old-fingerprint entry, keeping survivors aside.
+  // Rekeying moves an entry to a different shard (the fingerprint feeds
+  // the shard hash), so reinsertion happens outside the scan locks.
+  std::vector<Entry> survivors;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.graph_fingerprint != delta.old_fingerprint) {
+        ++it;
+        continue;
+      }
+      const bool keep = SurvivesDelta(it->key, it->result, delta);
+      shard.bytes -= it->bytes;
+      MemoryTracker::Global().Sub(it->bytes);
+      shard.index.erase(it->key);
+      if (keep) {
+        survivors.push_back(std::move(*it));
+      } else {
+        ++outcome.invalidated;
+      }
+      it = shard.lru.erase(it);
+    }
+  }
+  // Phase 2: reinsert survivors under the head fingerprint. No doorkeeper
+  // pass — these entries already earned admission once.
+  for (Entry& entry : survivors) {
+    entry.key.graph_fingerprint = delta.new_fingerprint;
+    Shard& shard = ShardFor(entry.key);
+    std::lock_guard lock(shard.mutex);
+    if (shard.index.find(entry.key) != shard.index.end()) {
+      // A racing query already cached this key at the head; same answer.
+      ++outcome.rekeyed;
+      continue;
+    }
+    const size_t bytes = entry.bytes;
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(shard.lru.begin()->key, shard.lru.begin());
+    shard.bytes += bytes;
+    MemoryTracker::Global().Add(bytes);
+    ++outcome.rekeyed;
+    EvictOverBudget(shard);
+  }
+  invalidated_by_delta_.fetch_add(outcome.invalidated,
+                                  std::memory_order_relaxed);
+  rekeyed_by_delta_.fetch_add(outcome.rekeyed, std::memory_order_relaxed);
+  return outcome;
+}
+
 void ResultCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
@@ -141,6 +224,9 @@ CacheStats ResultCache::Stats() const {
   stats.admission_rejected_by_policy =
       admission_rejected_by_policy_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidated_by_delta =
+      invalidated_by_delta_.load(std::memory_order_relaxed);
+  stats.rekeyed_by_delta = rekeyed_by_delta_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
     stats.entries += shard.lru.size();

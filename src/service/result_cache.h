@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/service/query.h"
 
@@ -61,6 +62,13 @@ struct CacheStats {
   /// (evidence of reuse) is admitted normally.
   uint64_t admission_rejected_by_policy = 0;
   uint64_t evictions = 0;
+  /// Entries dropped by ApplyDelta because a mutation batch could have
+  /// changed their answer (witness touched the dirty region, or the batch
+  /// could create a clique at least as large as the cached one).
+  uint64_t invalidated_by_delta = 0;
+  /// Entries that survived a mutation batch and were re-keyed to the new
+  /// head fingerprint (including compaction rekeys).
+  uint64_t rekeyed_by_delta = 0;
   size_t entries = 0;
   size_t memory_bytes = 0;
 
@@ -70,6 +78,28 @@ struct CacheStats {
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
   }
+};
+
+/// Describes one applied mutation batch (or compaction) to the cache.
+/// Entries under `old_fingerprint` are either invalidated or re-keyed to
+/// `new_fingerprint` based on their recorded witness vertex set.
+struct CacheDelta {
+  uint64_t old_fingerprint = 0;
+  uint64_t new_fingerprint = 0;
+  /// Sorted endpoints of every effective edge edit in the batch.
+  std::vector<VertexId> dirty;
+  /// Upper bound on the size of any clique that is new at the head
+  /// version (0 for removal-only batches; see DeltaApplyResult).
+  uint32_t add_clique_bound = 0;
+  /// False for a compaction rekey: the graph content is unchanged, only
+  /// the fingerprint moved (derived lineage -> content address), so every
+  /// entry survives verbatim.
+  bool content_changed = true;
+};
+
+struct CacheDeltaOutcome {
+  uint64_t invalidated = 0;
+  uint64_t rekeyed = 0;
 };
 
 /// Thread-safe LRU cache, sharded by key hash so concurrent workers rarely
@@ -106,6 +136,24 @@ class ResultCache {
   /// until the shard is back under budget. An entry larger than the whole
   /// shard budget is dropped immediately.
   void Insert(const CacheKey& key, const QueryResult& result);
+
+  /// Applies one mutation batch: walks every entry keyed under
+  /// `delta.old_fingerprint` and either drops it (counted in
+  /// CacheStats::invalidated_by_delta) or re-keys it to the new head
+  /// fingerprint (rekeyed_by_delta). The survival rule is conservative
+  /// and sound for the *size and validity* of exact MBC entries:
+  ///
+  ///  * every clique destroyed by the batch contains a dirty vertex, so a
+  ///    witness disjoint from the dirty region is still a balanced clique
+  ///    at the head;
+  ///  * every clique created by the batch contains both endpoints of an
+  ///    added or flipped edge, so its size is at most
+  ///    `delta.add_clique_bound` — a cached optimum at least that large
+  ///    is still an optimum.
+  ///
+  /// Everything else (PF / gMBC / degraded entries, whose answers depend
+  /// on global structure) is always invalidated on a content change.
+  CacheDeltaOutcome ApplyDelta(const CacheDelta& delta);
 
   /// Drops every entry (counted as evictions).
   void Clear();
@@ -156,6 +204,8 @@ class ResultCache {
   std::atomic<uint64_t> admission_skipped_{0};
   std::atomic<uint64_t> admission_rejected_by_policy_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidated_by_delta_{0};
+  std::atomic<uint64_t> rekeyed_by_delta_{0};
 };
 
 }  // namespace mbc

@@ -1,0 +1,150 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Differential tests for DynamicCoreTracker: every insert/remove must
+// leave the tracker's core numbers identical to a from-scratch degeneracy
+// re-peel of the materialized graph.
+#include "src/core/incremental_core.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/graph/cores.h"
+#include "src/graph/signed_graph.h"
+#include "src/graph/signed_graph_builder.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using EdgeMap = std::map<std::pair<VertexId, VertexId>, Sign>;
+
+SignedGraph Materialize(VertexId n, const EdgeMap& edges) {
+  SignedGraphBuilder builder(n);
+  for (const auto& [key, sign] : edges) {
+    builder.AddEdge(key.first, key.second, sign);
+  }
+  return std::move(builder).Build();
+}
+
+void ExpectCoresMatchRepeel(const DynamicCoreTracker& tracker, VertexId n,
+                            const EdgeMap& edges) {
+  const DegeneracyResult want = DegeneracyDecompose(Materialize(n, edges));
+  ASSERT_EQ(tracker.cores().size(), want.core_number.size());
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(tracker.core(v), want.core_number[v]) << "core of " << v;
+  }
+  EXPECT_EQ(tracker.degeneracy(), want.degeneracy);
+}
+
+TEST(DynamicCoreTrackerTest, InsertGrowsTriangleCore) {
+  EdgeMap edges = {{{0, 1}, Sign::kPositive}, {{1, 2}, Sign::kNegative}};
+  SignedGraph base = Materialize(4, edges);
+  DynamicCoreTracker tracker(base);
+  EXPECT_EQ(tracker.core(0), 1u);
+  EXPECT_EQ(tracker.degeneracy(), 1u);
+
+  // Closing the triangle lifts all three vertices to core 2.
+  const auto stats = tracker.InsertEdge(0, 2);
+  edges[{0, 2}] = Sign::kPositive;
+  EXPECT_EQ(stats.affected, 3u);
+  ExpectCoresMatchRepeel(tracker, 4, edges);
+  EXPECT_EQ(tracker.core(3), 0u);  // isolated vertex untouched
+}
+
+TEST(DynamicCoreTrackerTest, RemoveCascadesDemotions) {
+  // A 4-clique: every vertex at core 3. Removing one edge drops all four
+  // to core 2 (the two endpoints lose a neighbor; the others cascade).
+  EdgeMap edges;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) edges[{u, v}] = Sign::kPositive;
+  }
+  DynamicCoreTracker tracker(Materialize(4, edges));
+  EXPECT_EQ(tracker.degeneracy(), 3u);
+
+  tracker.RemoveEdge(0, 1);
+  edges.erase({0, 1});
+  ExpectCoresMatchRepeel(tracker, 4, edges);
+  EXPECT_EQ(tracker.degeneracy(), 2u);
+}
+
+TEST(DynamicCoreTrackerTest, BoundedTraversalSkipsHigherCores) {
+  // A 4-clique (core 3) plus a pendant path. Inserting an edge inside the
+  // path must not visit the clique: the subcore traversal is bounded to
+  // the min-core region.
+  EdgeMap edges;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) edges[{u, v}] = Sign::kPositive;
+  }
+  edges[{3, 4}] = Sign::kPositive;
+  edges[{4, 5}] = Sign::kPositive;
+  DynamicCoreTracker tracker(Materialize(7, edges));
+
+  const auto stats = tracker.InsertEdge(5, 6);
+  edges[{5, 6}] = Sign::kPositive;
+  ExpectCoresMatchRepeel(tracker, 7, edges);
+  // Visited vertices are limited to the core-1 subcore, far below n.
+  EXPECT_LE(stats.visited, 4u);
+}
+
+TEST(DynamicCoreTrackerTest, RandomizedDifferentialAgainstRepeel) {
+  const VertexId n = 48;
+  SignedGraph base = testing_util::RandomSignedGraph(n, 140, 0.3, 11);
+  EdgeMap edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : base.PositiveNeighbors(u)) {
+      if (u < v) edges[{u, v}] = Sign::kPositive;
+    }
+    for (const VertexId v : base.NegativeNeighbors(u)) {
+      if (u < v) edges[{u, v}] = Sign::kNegative;
+    }
+  }
+  // Rebuild from the map so the tracker and the oracle share one base.
+  DynamicCoreTracker tracker(Materialize(n, edges));
+
+  uint64_t rng = 0x2545f4914f6cdd1dull;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  int checked = 0;
+  for (int op = 0; op < 400; ++op) {
+    VertexId u = static_cast<VertexId>(next() % n);
+    VertexId v = static_cast<VertexId>(next() % n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const auto it = edges.find({u, v});
+    if (it == edges.end()) {
+      tracker.InsertEdge(u, v);
+      edges[{u, v}] = Sign::kPositive;
+    } else {
+      tracker.RemoveEdge(u, v);
+      edges.erase(it);
+    }
+    ExpectCoresMatchRepeel(tracker, n, edges);
+    ++checked;
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  EXPECT_GT(checked, 300);
+}
+
+TEST(DynamicCoreTrackerTest, ChurnReturningToStartRestoresInitialCores) {
+  EdgeMap edges = {{{0, 1}, Sign::kPositive},
+                   {{1, 2}, Sign::kPositive},
+                   {{2, 0}, Sign::kNegative},
+                   {{2, 3}, Sign::kPositive}};
+  DynamicCoreTracker tracker(Materialize(5, edges));
+  const std::vector<uint32_t> initial = tracker.cores();
+
+  tracker.InsertEdge(3, 4);
+  tracker.InsertEdge(0, 3);
+  tracker.RemoveEdge(0, 3);
+  tracker.RemoveEdge(3, 4);
+  EXPECT_EQ(tracker.cores(), initial);
+}
+
+}  // namespace
+}  // namespace mbc

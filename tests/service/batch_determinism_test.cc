@@ -59,8 +59,9 @@ std::string RunBatch(const std::string& batch, size_t workers,
   options.max_queue = 128;
   QueryService service(options);
   for (uint32_t g = 0; g < kNumGraphs; ++g) {
-    EXPECT_TRUE(
-        service.store().Load("g" + std::to_string(g), MakeGraph(g)).ok());
+    std::string name = "g";
+    name += std::to_string(g);
+    EXPECT_TRUE(service.store().Load(name, MakeGraph(g)).ok());
   }
   std::istringstream in(batch);
   std::ostringstream out;

@@ -42,8 +42,10 @@ ServiceFaultOptions SoakChaos(uint64_t seed) {
 std::vector<std::string> BuildRequests(int client, int count) {
   std::vector<std::string> lines;
   for (int i = 0; i < count; ++i) {
-    const std::string id =
-        "c" + std::to_string(client) + "-q" + std::to_string(i);
+    std::string id = "c";
+    id += std::to_string(client);
+    id += "-q";
+    id += std::to_string(i);
     std::string line = "{\"id\":\"" + id + "\",";
     switch (i % 5) {
       case 0:
@@ -121,8 +123,10 @@ TEST(ChaosSoakTest, EveryRequestGetsExactlyOneWellFormedResponse) {
         // flat protocol parser deliberately rejects — validate shape by
         // structure instead: the echoed id leads the frame, the object is
         // closed, and the frame is either a success or exactly one error.
-        const std::string expected_id =
-            "c" + std::to_string(c) + "-q" + std::to_string(index);
+        std::string expected_id = "c";
+        expected_id += std::to_string(c);
+        expected_id += "-q";
+        expected_id += std::to_string(index);
         if (line.rfind("{\"id\":\"" + expected_id + "\",", 0) != 0) {
           failures[c] = "out-of-order or mangled frame (wanted " +
                         expected_id + "): " + line;

@@ -1,0 +1,294 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Randomized equivalence suite for the streaming mutation path: seeded
+// batches interleaved with queries must answer exactly as a from-scratch
+// solve of the graph materialized at that version. no_cache responses are
+// compared clique-for-clique; cached-path responses are held to size and
+// validity (a survivor entry guarantees the optimum size, not the bytes
+// of one particular witness).
+#include <atomic>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/fingerprint.h"
+#include "src/core/brute_force.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/graph/signed_graph_builder.h"
+#include "src/service/query_service.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using EdgeMap = std::map<std::pair<VertexId, VertexId>, Sign>;
+
+SignedGraph Materialize(VertexId n, const EdgeMap& edges) {
+  SignedGraphBuilder builder(n);
+  for (const auto& [key, sign] : edges) {
+    builder.AddEdge(key.first, key.second, sign);
+  }
+  return std::move(builder).Build();
+}
+
+EdgeMap ExtractEdges(const SignedGraph& graph) {
+  EdgeMap edges;
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (const VertexId v : graph.PositiveNeighbors(u)) {
+      if (u < v) edges[{u, v}] = Sign::kPositive;
+    }
+    for (const VertexId v : graph.NegativeNeighbors(u)) {
+      if (u < v) edges[{u, v}] = Sign::kNegative;
+    }
+  }
+  return edges;
+}
+
+void ExpectSameGraph(const SignedGraph& got, const SignedGraph& want) {
+  ASSERT_EQ(got.NumVertices(), want.NumVertices());
+  ASSERT_EQ(got.NumEdges(), want.NumEdges());
+  for (VertexId v = 0; v < want.NumVertices(); ++v) {
+    const auto gp = got.PositiveNeighbors(v);
+    const auto wp = want.PositiveNeighbors(v);
+    ASSERT_TRUE(std::equal(gp.begin(), gp.end(), wp.begin(), wp.end()))
+        << "positive row of " << v;
+    const auto gn = got.NegativeNeighbors(v);
+    const auto wn = want.NegativeNeighbors(v);
+    ASSERT_TRUE(std::equal(gn.begin(), gn.end(), wn.begin(), wn.end()))
+        << "negative row of " << v;
+  }
+}
+
+/// Deterministic churn source. Each batch has 1-4 ops with distinct edge
+/// keys (a batch may not touch one edge twice); the reference map is
+/// updated with the same add/flip/remove/noop semantics the delta layer
+/// implements.
+class Churn {
+ public:
+  explicit Churn(uint64_t seed) : rng_(seed) {}
+
+  MutationBatch NextBatch(VertexId n, EdgeMap* edges) {
+    MutationBatch batch;
+    std::map<std::pair<VertexId, VertexId>, bool> used;
+    const int ops = 1 + static_cast<int>(Next() % 4);
+    for (int i = 0; i < ops; ++i) {
+      VertexId u = static_cast<VertexId>(Next() % n);
+      VertexId v = static_cast<VertexId>(Next() % n);
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      if (!used.emplace(std::make_pair(u, v), true).second) continue;
+      if (Next() % 3 == 0) {
+        batch.remove.emplace_back(u, v);
+        edges->erase({u, v});  // noop when absent, like the delta layer
+      } else {
+        const Sign sign = (Next() % 2 == 0) ? Sign::kPositive
+                                            : Sign::kNegative;
+        batch.add.push_back({u, v, sign});
+        (*edges)[{u, v}] = sign;  // insert or flip; noop when same sign
+      }
+    }
+    return batch;
+  }
+
+ private:
+  uint64_t Next() {
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return rng_;
+  }
+  uint64_t rng_;
+};
+
+QueryRequest MbcRequest(uint32_t tau, bool no_cache) {
+  QueryRequest request;
+  request.graph = "g";
+  request.kind = QueryKind::kMbc;
+  request.tau = tau;
+  request.no_cache = no_cache;
+  return request;
+}
+
+/// Interleaves seeded mutation batches with queries; every no_cache
+/// answer must equal a from-scratch MaxBalancedCliqueStar solve of the
+/// reference graph at that version, and the head CSR must be identical
+/// to a clean build. Exercised at 1 worker (the determinism reference)
+/// and 4 workers.
+void RunSeededEquivalence(size_t num_workers, uint64_t seed) {
+  ServiceOptions options;
+  options.num_workers = num_workers;
+  QueryService service(options);
+
+  const VertexId n = 30;
+  SignedGraph base = testing_util::RandomSignedGraph(n, 90, 0.3, seed);
+  EdgeMap edges = ExtractEdges(base);
+  // Load the re-materialized map so service and reference share one base.
+  ASSERT_TRUE(service.store().Load("g", Materialize(n, edges)).ok());
+
+  Churn churn(seed * 0x9e3779b97f4a7c15ull + 1);
+  for (int round = 0; round < 12; ++round) {
+    const MutationBatch batch = churn.NextBatch(n, &edges);
+    const auto applied = service.MutateGraph("g", batch);
+    ASSERT_TRUE(applied.ok()) << applied.status().message();
+
+    const SignedGraph reference = Materialize(n, edges);
+    const auto head = service.store().Find("g");
+    ASSERT_TRUE(head.ok());
+    ExpectSameGraph(head.value()->graph(), reference);
+    EXPECT_EQ(applied.value().version, head.value()->version());
+    EXPECT_EQ(applied.value().fingerprint, head.value()->fingerprint());
+
+    for (const uint32_t tau : {1u, 2u}) {
+      MbcStarResult want = MaxBalancedCliqueStar(reference, tau);
+      want.clique.Canonicalize();
+
+      QueryResponse fresh = service.Query(MbcRequest(tau, true));
+      ASSERT_TRUE(fresh.status.ok()) << fresh.status.message();
+      fresh.result.clique.Canonicalize();
+      EXPECT_EQ(fresh.result.clique.left, want.clique.left)
+          << "round " << round << " tau " << tau;
+      EXPECT_EQ(fresh.result.clique.right, want.clique.right)
+          << "round " << round << " tau " << tau;
+
+      // Cached path: may be served by a rekeyed survivor, which
+      // guarantees optimum size and validity but not witness bytes.
+      QueryResponse cached = service.Query(MbcRequest(tau, false));
+      ASSERT_TRUE(cached.status.ok()) << cached.status.message();
+      EXPECT_EQ(cached.result.clique.size(), want.clique.size());
+      if (cached.result.clique.size() > 0) {
+        EXPECT_TRUE(IsBalancedClique(reference, cached.result.clique));
+      }
+    }
+
+    if (round % 4 == 3) {
+      // Force compaction mid-stream: the head fingerprint becomes the
+      // content address and surviving cache entries are rekeyed.
+      const auto snap = service.SnapshotGraph("g");
+      ASSERT_TRUE(snap.ok());
+      EXPECT_EQ(snap.value().fingerprint, FingerprintSignedGraph(reference));
+    }
+  }
+}
+
+TEST(MutationEquivalenceTest, SeededInterleavingOneWorker) {
+  RunSeededEquivalence(1, 5);
+}
+
+TEST(MutationEquivalenceTest, SeededInterleavingFourWorkers) {
+  RunSeededEquivalence(4, 6);
+}
+
+TEST(MutationEquivalenceTest, BruteForceOracleOnSmallGraph) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(options);
+
+  const VertexId n = 12;
+  EdgeMap edges = ExtractEdges(testing_util::RandomSignedGraph(n, 26, 0.3, 3));
+  ASSERT_TRUE(service.store().Load("g", Materialize(n, edges)).ok());
+
+  Churn churn(0xabcdef12345ull);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(service.MutateGraph("g", churn.NextBatch(n, &edges)).ok());
+    const SignedGraph reference = Materialize(n, edges);
+    const BalancedClique oracle = BruteForceMaxBalancedClique(reference, 1);
+
+    const QueryResponse got = service.Query(MbcRequest(1, true));
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_EQ(got.result.clique.size(), oracle.size()) << "round " << round;
+    if (got.result.clique.size() > 0) {
+      EXPECT_TRUE(IsBalancedClique(reference, got.result.clique));
+    }
+  }
+}
+
+TEST(MutationEquivalenceTest, HeldSnapshotKeepsItsVersionAcrossMutations) {
+  QueryService service{ServiceOptions{}};
+  const VertexId n = 10;
+  EdgeMap edges = ExtractEdges(testing_util::RandomSignedGraph(n, 20, 0.3, 9));
+  ASSERT_TRUE(service.store().Load("g", Materialize(n, edges)).ok());
+
+  const auto held = service.store().Find("g");
+  ASSERT_TRUE(held.ok());
+  const SignedGraph before = Materialize(n, edges);
+  const uint64_t held_fingerprint = held.value()->fingerprint();
+
+  Churn churn(77);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.MutateGraph("g", churn.NextBatch(n, &edges)).ok());
+  }
+
+  // The in-flight handle still reads its own version, bit for bit.
+  EXPECT_EQ(held.value()->version(), 0u);
+  EXPECT_EQ(held.value()->fingerprint(), held_fingerprint);
+  ExpectSameGraph(held.value()->graph(), before);
+
+  const auto head = service.store().Find("g");
+  ASSERT_TRUE(head.ok());
+  EXPECT_GT(head.value()->version(), 0u);
+  ExpectSameGraph(head.value()->graph(), Materialize(n, edges));
+}
+
+/// Concurrency smoke for TSan: one mutator thread streams batches while
+/// reader threads query the same name. Every response must be OK (or a
+/// clean admission error never surfaces here — the queue is deep enough),
+/// and the head must converge to the reference map once the mutator is
+/// done. Run under -DMBC_SANITIZE=thread this doubles as the data-race
+/// check on the head-swap / snapshot-handle path.
+TEST(MutationEquivalenceTest, ConcurrentMutatorAndReaders) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(options);
+
+  const VertexId n = 40;
+  EdgeMap edges =
+      ExtractEdges(testing_util::RandomSignedGraph(n, 120, 0.3, 21));
+  ASSERT_TRUE(service.store().Load("g", Materialize(n, edges)).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread mutator([&] {
+    Churn churn(4242);
+    for (int i = 0; i < 60; ++i) {
+      if (!service.MutateGraph("g", churn.NextBatch(n, &edges)).ok()) {
+        failures.fetch_add(1);
+      }
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      int i = 0;
+      while (!done.load()) {
+        const QueryResponse response =
+            service.Query(MbcRequest(1, (r + i++) % 2 == 0));
+        if (!response.status.ok()) failures.fetch_add(1);
+        const size_t size = response.result.clique.size();
+        if (size != response.result.clique.left.size() +
+                        response.result.clique.right.size()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  mutator.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto head = service.store().Find("g");
+  ASSERT_TRUE(head.ok());
+  ExpectSameGraph(head.value()->graph(), Materialize(n, edges));
+  const QueryResponse final_answer = service.Query(MbcRequest(1, true));
+  ASSERT_TRUE(final_answer.status.ok());
+  MbcStarResult want = MaxBalancedCliqueStar(Materialize(n, edges), 1);
+  EXPECT_EQ(final_answer.result.clique.size(), want.clique.size());
+}
+
+}  // namespace
+}  // namespace mbc

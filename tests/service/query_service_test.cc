@@ -296,7 +296,9 @@ TEST(QueryServiceTest, TrySubmitFullQueueDoesNotCountAsRejected) {
   std::vector<std::future<QueryResponse>> inflight;
   Status full = Status::OK();
   for (uint32_t i = 0; i < 64; ++i) {
-    QueryRequest request = MbcRequest("fig2", 1 + i % 3, "t" + std::to_string(i));
+    std::string id = "t";
+    id += std::to_string(i);
+    QueryRequest request = MbcRequest("fig2", 1 + i % 3, id);
     request.no_cache = true;
     Result<std::future<QueryResponse>> submitted =
         service.TrySubmit(std::move(request));

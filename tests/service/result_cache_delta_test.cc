@@ -1,0 +1,172 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Tests for fingerprint-delta cache invalidation: witness-disjoint exact
+// MBC entries survive a mutation batch (re-keyed to the head fingerprint),
+// everything else is dropped, and compaction rekeys verbatim.
+#include <optional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/service/result_cache.h"
+
+namespace mbc {
+namespace {
+
+constexpr uint64_t kOldFp = 0x1111111111111111ull;
+constexpr uint64_t kNewFp = 0x2222222222222222ull;
+
+CacheKey MbcKey(uint64_t fingerprint, uint32_t tau = 1) {
+  CacheKey key;
+  key.graph_fingerprint = fingerprint;
+  key.kind = QueryKind::kMbc;
+  key.tau = tau;
+  key.algo = "star";
+  return key;
+}
+
+QueryResult MbcResult(std::vector<VertexId> left,
+                      std::vector<VertexId> right) {
+  QueryResult result;
+  result.clique.left = std::move(left);
+  result.clique.right = std::move(right);
+  return result;
+}
+
+CacheDelta Delta(std::vector<VertexId> dirty, uint32_t add_clique_bound) {
+  CacheDelta delta;
+  delta.old_fingerprint = kOldFp;
+  delta.new_fingerprint = kNewFp;
+  delta.dirty = std::move(dirty);
+  delta.add_clique_bound = add_clique_bound;
+  return delta;
+}
+
+TEST(ResultCacheDeltaTest, WitnessDisjointEntrySurvivesAndRekeys) {
+  ResultCache cache(1 << 20);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2, 3}, {9}));
+
+  const CacheDeltaOutcome outcome = cache.ApplyDelta(Delta({20, 21}, 3));
+  EXPECT_EQ(outcome.invalidated, 0u);
+  EXPECT_EQ(outcome.rekeyed, 1u);
+
+  EXPECT_FALSE(cache.Lookup(MbcKey(kOldFp)).has_value());
+  std::optional<QueryResult> hit = cache.Lookup(MbcKey(kNewFp));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->clique.left, (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(hit->clique.right, (std::vector<VertexId>{9}));
+}
+
+TEST(ResultCacheDeltaTest, DirtyWitnessIsInvalidated) {
+  ResultCache cache(1 << 20);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2, 3}, {9}));
+
+  // Dirty vertex 9 sits in the right side of the witness.
+  const CacheDeltaOutcome outcome = cache.ApplyDelta(Delta({9}, 0));
+  EXPECT_EQ(outcome.invalidated, 1u);
+  EXPECT_EQ(outcome.rekeyed, 0u);
+  EXPECT_FALSE(cache.Lookup(MbcKey(kNewFp)).has_value());
+}
+
+TEST(ResultCacheDeltaTest, AddCliqueBoundAboveCachedSizeInvalidates) {
+  ResultCache cache(1 << 20);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2}, {9}));  // size 3
+
+  // The batch could create a clique of size 4 somewhere outside the
+  // witness, so a size-3 optimum is no longer provably optimal.
+  EXPECT_EQ(cache.ApplyDelta(Delta({20, 21}, 4)).invalidated, 1u);
+
+  // A bound at or below the cached size keeps the entry.
+  cache.Insert(MbcKey(kNewFp), MbcResult({1, 2}, {9}));
+  CacheDelta delta = Delta({20, 21}, 3);
+  delta.old_fingerprint = kNewFp;
+  delta.new_fingerprint = 0x3333333333333333ull;
+  EXPECT_EQ(cache.ApplyDelta(delta).rekeyed, 1u);
+}
+
+TEST(ResultCacheDeltaTest, NonMbcAndDegradedEntriesAlwaysInvalidate) {
+  ResultCache cache(1 << 20);
+  CacheKey pf_key;
+  pf_key.graph_fingerprint = kOldFp;
+  pf_key.kind = QueryKind::kPf;
+  pf_key.algo = "star";
+  QueryResult pf;
+  pf.beta = 5;
+  cache.Insert(pf_key, pf);
+
+  CacheKey degraded = MbcKey(kOldFp);
+  degraded.exactness = CacheExactness::kDegraded;
+  degraded.algo = "greedy";
+  cache.Insert(degraded, MbcResult({1}, {2}));
+
+  // Untouched witnesses, zero bound — still dropped: PF/gMBC/degraded
+  // answers depend on global structure the witness does not capture.
+  const CacheDeltaOutcome outcome = cache.ApplyDelta(Delta({50}, 0));
+  EXPECT_EQ(outcome.invalidated, 2u);
+  EXPECT_EQ(outcome.rekeyed, 0u);
+}
+
+TEST(ResultCacheDeltaTest, CompactionRekeysEverythingVerbatim) {
+  ResultCache cache(1 << 20);
+  CacheKey pf_key;
+  pf_key.graph_fingerprint = kOldFp;
+  pf_key.kind = QueryKind::kPf;
+  pf_key.algo = "star";
+  QueryResult pf;
+  pf.beta = 7;
+  cache.Insert(pf_key, pf);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2}, {9}));
+
+  CacheDelta rekey;
+  rekey.old_fingerprint = kOldFp;
+  rekey.new_fingerprint = kNewFp;
+  rekey.content_changed = false;  // compaction: same bytes, new address
+  const CacheDeltaOutcome outcome = cache.ApplyDelta(rekey);
+  EXPECT_EQ(outcome.invalidated, 0u);
+  EXPECT_EQ(outcome.rekeyed, 2u);
+
+  pf_key.graph_fingerprint = kNewFp;
+  std::optional<QueryResult> hit = cache.Lookup(pf_key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->beta, 7u);
+}
+
+TEST(ResultCacheDeltaTest, OtherFingerprintsAreUntouched) {
+  ResultCache cache(1 << 20);
+  const uint64_t other = 0x4444444444444444ull;
+  cache.Insert(MbcKey(kOldFp), MbcResult({1}, {9}));
+  cache.Insert(MbcKey(other), MbcResult({2}, {8}));
+
+  cache.ApplyDelta(Delta({1}, 0));
+  EXPECT_TRUE(cache.Lookup(MbcKey(other)).has_value());
+  EXPECT_FALSE(cache.Lookup(MbcKey(kOldFp)).has_value());
+}
+
+TEST(ResultCacheDeltaTest, RekeyCollisionKeepsRacingEntry) {
+  ResultCache cache(1 << 20);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2, 3}, {9}));
+  // A "racing query" already cached the key at the head fingerprint.
+  cache.Insert(MbcKey(kNewFp), MbcResult({1, 2, 3}, {9}));
+
+  const CacheDeltaOutcome outcome = cache.ApplyDelta(Delta({20}, 0));
+  EXPECT_EQ(outcome.rekeyed, 1u);
+  EXPECT_TRUE(cache.Lookup(MbcKey(kNewFp)).has_value());
+}
+
+TEST(ResultCacheDeltaTest, StatsExposeDeltaCounters) {
+  ResultCache cache(1 << 20);
+  cache.Insert(MbcKey(kOldFp), MbcResult({1, 2, 3}, {9}));
+  cache.Insert(MbcKey(kOldFp, 2), MbcResult({1}, {9}));  // size 2 < bound
+
+  cache.ApplyDelta(Delta({20}, 3));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.rekeyed_by_delta, 1u);    // tau=1 entry, size 4... survives
+  EXPECT_EQ(stats.invalidated_by_delta, 1u);  // tau=2 entry under the bound
+}
+
+TEST(ResultCacheDeltaTest, DisabledCacheIsNoop) {
+  ResultCache cache(0);
+  EXPECT_EQ(cache.ApplyDelta(Delta({1}, 0)).invalidated, 0u);
+}
+
+}  // namespace
+}  // namespace mbc

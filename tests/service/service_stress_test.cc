@@ -33,7 +33,11 @@ struct ReferenceAnswers {
 constexpr uint32_t kNumGraphs = 3;
 constexpr uint32_t kMaxTau = 3;
 
-std::string GraphName(uint32_t g) { return "g" + std::to_string(g); }
+std::string GraphName(uint32_t g) {
+  std::string name = "g";
+  name += std::to_string(g);
+  return name;
+}
 
 SignedGraph MakeGraph(uint32_t g) {
   return RandomSignedGraph(28 + 4 * g, 160 + 30 * g, 0.45, 100 + g);

@@ -78,8 +78,9 @@ std::string SequentialReference(uint32_t c) {
   options.num_workers = 1;
   QueryService service(options);
   for (uint32_t g = 0; g < kNumGraphs; ++g) {
-    EXPECT_TRUE(
-        service.store().Load("g" + std::to_string(g), MakeGraph(g)).ok());
+    std::string name = "g";
+    name += std::to_string(g);
+    EXPECT_TRUE(service.store().Load(name, MakeGraph(g)).ok());
   }
   std::istringstream in(ClientBatch(c));
   std::ostringstream out;
@@ -97,8 +98,9 @@ TEST(SocketStressTest, ConcurrentClientsChurnAndDisconnects) {
   options.on_task_complete = [&server] { server.Wake(); };
   QueryService service(options);
   for (uint32_t g = 0; g < kNumGraphs; ++g) {
-    ASSERT_TRUE(
-        service.store().Load("g" + std::to_string(g), MakeGraph(g)).ok());
+    std::string name = "g";
+    name += std::to_string(g);
+    ASSERT_TRUE(service.store().Load(name, MakeGraph(g)).ok());
   }
   // The churn graph lives on disk so the load op can re-read it.
   const std::string churn_path = ::testing::TempDir() + "/stress_churn.txt";

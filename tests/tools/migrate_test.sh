@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Copyright 2026 The balanced-clique Authors.
+#
+# End-to-end test of `mbc_cli migrate`: a corpus of v1 binaries is
+# rewritten to v2 (glob input, round-trip fingerprint check), already-v2
+# and non-binary files are skipped, and --in-place replaces atomically.
+#
+#   migrate_test.sh <mbc_cli>
+set -u
+
+MBC_CLI="$1"
+
+WORK="$(mktemp -d)"
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+cd "$WORK" || exit 1
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+# A small signed graph with both edge signs.
+cat > g.txt <<'EOF'
+0 1 1
+0 2 1
+1 2 1
+2 3 -1
+3 4 1
+1 4 -1
+EOF
+
+mkdir corpus
+"$MBC_CLI" convert --graph g.txt --out corpus/a.mbcg --format v1 \
+  > /dev/null || fail "convert a (v1)"
+"$MBC_CLI" convert --graph g.txt --out corpus/b.mbcg --format v1 \
+  > /dev/null || fail "convert b (v1)"
+"$MBC_CLI" convert --graph g.txt --out corpus/c.mbcg --format v2 \
+  > /dev/null || fail "convert c (v2)"
+echo "not a graph" > corpus/junk.mbcg
+
+# Copy-mode migration: v1 files gain a .v2 sibling, v2 and junk are
+# skipped, nothing fails.
+"$MBC_CLI" migrate --input 'corpus/*.mbcg' > migrate.log \
+  || fail "migrate exited non-zero"
+grep -q '# migrated 2, skipped 2, failed 0' migrate.log \
+  || fail "unexpected summary: $(tail -1 migrate.log)"
+[ -f corpus/a.mbcg.v2 ] || fail "a.mbcg.v2 missing"
+[ -f corpus/b.mbcg.v2 ] || fail "b.mbcg.v2 missing"
+[ ! -f corpus/c.mbcg.v2 ] || fail "v2 input was migrated"
+[ ! -f corpus/junk.mbcg.v2 ] || fail "junk was migrated"
+
+# The migrated file must load and convert back to the identical edge
+# list. (mbc_cli sniffs binaries by extension, so give the copy one.)
+cp corpus/a.mbcg.v2 migrated_a.mbcg
+"$MBC_CLI" convert --graph migrated_a.mbcg --out rt_v2.txt > /dev/null \
+  || fail "migrated file does not load"
+"$MBC_CLI" convert --graph corpus/a.mbcg --out rt_v1.txt > /dev/null \
+  || fail "v1 file does not load"
+diff -q rt_v1.txt rt_v2.txt > /dev/null \
+  || fail "migrated graph differs from the v1 original"
+
+# The log's fingerprint lines for identical content must agree.
+FPS="$(grep -o 'fp=[0-9a-f]*' migrate.log | sort -u | wc -l)"
+[ "$FPS" = "1" ] || fail "expected one distinct fingerprint, got $FPS"
+
+# In-place migration: the path is replaced, a re-run skips it as v2.
+"$MBC_CLI" migrate --input 'corpus/b.mbcg' --in-place true > inplace.log \
+  || fail "in-place migrate exited non-zero"
+grep -q 'migrated corpus/b.mbcg -> corpus/b.mbcg ' inplace.log \
+  || fail "in-place did not rewrite the original path"
+"$MBC_CLI" migrate --input 'corpus/b.mbcg' > rerun.log \
+  || fail "re-run exited non-zero"
+grep -q 'skip     corpus/b.mbcg (already v2)' rerun.log \
+  || fail "re-run did not skip the migrated file"
+
+# A glob with no matches is an error, not a silent success.
+if "$MBC_CLI" migrate --input 'corpus/*.nope' > /dev/null 2>&1; then
+  fail "empty glob should exit non-zero"
+fi
+
+echo "PASS"
+exit 0

@@ -8,6 +8,8 @@
 //   mbc_cli gmbc     --graph g.txt
 //   mbc_cli enum     --graph g.txt --tau 2 [--limit 100]
 //   mbc_cli batch    --input queries.jsonl --workers 4
+//   mbc_cli mutate   --name g --add "0 1 +;2 3 -" --connect HOST:PORT
+//   mbc_cli migrate  --input 'corpus/*.mbcg' --in-place true
 //   mbc_cli generate --dataset Bitcoin --scale 0.0625 --out g.bin
 //   mbc_cli convert  --graph g.txt --out g.bin
 //
@@ -20,6 +22,8 @@
 // and Ctrl-C (SIGINT), which cancels the run cooperatively: the solver
 // unwinds at its next checkpoint and the best result found so far is
 // printed, annotated with the interrupt reason.
+#include <glob.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +31,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,7 +45,9 @@
 #include "src/datasets/families.h"
 #include "src/datasets/registry.h"
 #include "src/gmbc/gmbc.h"
+#include "src/common/fingerprint.h"
 #include "src/graph/binary_io.h"
+#include "src/graph/delta_graph.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/balance.h"
 #include "src/graph/statistics.h"
@@ -88,13 +95,19 @@ int Usage() {
       "  generate --dataset NAME --scale S --out FILE\n"
       "  gen      --family bscl|community --out FILE [--PARAM V]...\n"
       "           (run `mbc_cli gen` for per-family parameters)\n"
-      "  convert  --graph FILE --out FILE\n"
+      "  convert  --graph FILE --out FILE [--format v1|v2]\n"
       "  balance  --graph FILE\n"
       "  related  --graph FILE [--alpha A --k K]\n"
       "  batch    --input FILE [--workers N] [--deterministic true]\n"
       "           [--connect HOST:PORT]  send to a running mbc_serve\n"
       "           [--retry N]            retry shed queries up to N attempts\n"
       "           [--retry-base-ms MS] [--retry-max-ms MS] [--retry-seed S]\n"
+      "  mutate   --name G --connect HOST:PORT [--add \"u v s;...\"]\n"
+      "           [--remove \"u v;...\"] [--snapshot true] [--path FILE]\n"
+      "           [--emit true]  print the op lines instead of sending\n"
+      "  migrate  --input GLOB [--in-place true]\n"
+      "           rewrite v1 .mbcg/.bin corpora as mmap-ready v2 files\n"
+      "           (default: alongside as FILE.v2; verifies round-trip)\n"
       "  datasets\n"
       "global flags (solver commands):\n"
       "  --time-limit SECONDS   wall-clock budget\n"
@@ -373,7 +386,21 @@ int CmdConvert(const Flags& flags) {
     std::fprintf(stderr, "--out is required\n");
     return 2;
   }
-  const Status status = SaveGraph(graph.value(), out);
+  // --format v1 forces the legacy edge-list binary (compat tooling and
+  // `migrate` test fixtures); the default picks by extension as before.
+  const std::string format = flags.Get("format", "");
+  Status status;
+  if (format == "v1" || format == "v2") {
+    mbc::BinaryWriteOptions options;
+    options.version = format == "v1" ? 1 : 2;
+    status = mbc::WriteSignedGraphBinary(graph.value(), out, options);
+  } else if (format.empty()) {
+    status = SaveGraph(graph.value(), out);
+  } else {
+    std::fprintf(stderr, "unknown --format %s (want v1 or v2)\n",
+                 format.c_str());
+    return 2;
+  }
   if (!status.ok()) return Fail(status);
   std::printf("wrote %s\n", out.c_str());
   return 0;
@@ -527,6 +554,172 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+// Builds one JSONL mutation conversation (add_edges / remove_edges /
+// snapshot lines) and sends it to a running mbc_serve, or prints it with
+// --emit true for scripting. Edge lists are validated locally before
+// anything is sent, so a typo fails fast instead of burning a round trip.
+int CmdMutate(const Flags& flags) {
+  const std::string name = flags.Get("name", "");
+  if (name.empty()) {
+    std::fprintf(stderr, "--name is required\n");
+    return 2;
+  }
+  const std::string add = flags.Get("add", "");
+  const std::string remove = flags.Get("remove", "");
+  const bool snapshot = flags.Get("snapshot", "false") == "true";
+  const std::string path = flags.Get("path", "");
+  if (add.empty() && remove.empty() && !snapshot) {
+    std::fprintf(stderr,
+                 "nothing to do: give --add, --remove or --snapshot true\n");
+    return 2;
+  }
+  // The protocol carries edges as flat strings; the strings contain only
+  // digits, spaces, signs and ';', so they embed into JSON verbatim.
+  mbc::MutationBatch parsed;
+  if (!add.empty()) {
+    const Status status = mbc::ParseMutationEdges(add, true, &parsed);
+    if (!status.ok()) return Fail(status);
+  }
+  if (!remove.empty()) {
+    const Status status = mbc::ParseMutationEdges(remove, false, &parsed);
+    if (!status.ok()) return Fail(status);
+  }
+  std::string requests;
+  if (!add.empty()) {
+    requests += "{\"op\":\"add_edges\",\"name\":\"" + name +
+                "\",\"edges\":\"" + add + "\"}\n";
+  }
+  if (!remove.empty()) {
+    requests += "{\"op\":\"remove_edges\",\"name\":\"" + name +
+                "\",\"edges\":\"" + remove + "\"}\n";
+  }
+  if (snapshot) {
+    requests += "{\"op\":\"snapshot\",\"name\":\"" + name + "\"";
+    if (!path.empty()) requests += ",\"path\":\"" + path + "\"";
+    requests += "}\n";
+  }
+  if (flags.Get("emit", "false") == "true") {
+    std::fputs(requests.c_str(), stdout);
+    return 0;
+  }
+  const std::string connect = flags.Get("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "--connect HOST:PORT is required (or --emit true)\n");
+    return 2;
+  }
+  mbc::Result<std::pair<std::string, uint16_t>> endpoint =
+      mbc::ParseHostPort(connect);
+  if (!endpoint.ok()) return Fail(endpoint.status());
+  std::istringstream in(requests);
+  const Status status = mbc::RunJsonlSocketClient(
+      endpoint.value().first, endpoint.value().second, in, std::cout);
+  std::cout.flush();
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+// Peeks the binary header version; 0 for anything that is not an MBCG
+// binary file.
+uint32_t SniffBinaryVersion(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  char magic[4] = {};
+  uint32_t version = 0;
+  const bool is_binary =
+      std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+      std::memcmp(magic, "MBCG", 4) == 0 &&
+      std::fread(&version, 1, sizeof(version), f) == sizeof(version);
+  std::fclose(f);
+  return is_binary ? version : 0;
+}
+
+// Batch-rewrites v1 binary graphs as mmap-ready v2 files. Each file is
+// written to a temp sibling, re-read and fingerprint-compared against the
+// original, and only then moved into place (atomic rename), so an
+// interrupted run never leaves a half-written corpus member.
+int CmdMigrate(const Flags& flags) {
+  const std::string pattern = flags.Get("input", "");
+  if (pattern.empty()) {
+    std::fprintf(stderr, "--input GLOB is required\n");
+    return 2;
+  }
+  const bool in_place = flags.Get("in-place", "false") == "true";
+  glob_t matches;
+  const int rc = ::glob(pattern.c_str(), 0, nullptr, &matches);
+  if (rc == GLOB_NOMATCH) {
+    std::fprintf(stderr, "no files match '%s'\n", pattern.c_str());
+    return 1;
+  }
+  if (rc != 0) {
+    std::fprintf(stderr, "glob('%s') failed\n", pattern.c_str());
+    return 1;
+  }
+  int migrated = 0;
+  int skipped = 0;
+  int failed = 0;
+  for (size_t i = 0; i < matches.gl_pathc; ++i) {
+    const std::string path = matches.gl_pathv[i];
+    const uint32_t version = SniffBinaryVersion(path);
+    if (version == 2) {
+      std::printf("skip     %s (already v2)\n", path.c_str());
+      ++skipped;
+      continue;
+    }
+    if (version == 0) {
+      std::printf("skip     %s (not an MBCG binary)\n", path.c_str());
+      ++skipped;
+      continue;
+    }
+    const auto fail = [&](const Status& status) {
+      std::printf("FAIL     %s: %s\n", path.c_str(),
+                  status.ToString().c_str());
+      ++failed;
+    };
+    Result<SignedGraph> original = mbc::ReadSignedGraphBinary(path);
+    if (!original.ok()) {
+      fail(original.status());
+      continue;
+    }
+    const uint64_t fingerprint =
+        mbc::FingerprintSignedGraph(original.value());
+    const std::string temp = path + ".migrate.tmp";
+    if (const Status status =
+            mbc::WriteSignedGraphBinary(original.value(), temp);
+        !status.ok()) {
+      fail(status);
+      continue;
+    }
+    // Round-trip check: the rewritten bytes must decode to a graph with
+    // the same content fingerprint before they may replace anything.
+    Result<SignedGraph> reread = mbc::ReadSignedGraphBinary(temp);
+    if (!reread.ok()) {
+      std::remove(temp.c_str());
+      fail(reread.status());
+      continue;
+    }
+    if (mbc::FingerprintSignedGraph(reread.value()) != fingerprint) {
+      std::remove(temp.c_str());
+      fail(Status::Corruption("round-trip fingerprint mismatch"));
+      continue;
+    }
+    const std::string dest = in_place ? path : path + ".v2";
+    if (std::rename(temp.c_str(), dest.c_str()) != 0) {
+      std::remove(temp.c_str());
+      fail(Status::IOError("rename to '" + dest + "' failed"));
+      continue;
+    }
+    std::printf("migrated %s -> %s (n=%u m=%llu fp=%016llx)\n", path.c_str(),
+                dest.c_str(), original.value().NumVertices(),
+                static_cast<unsigned long long>(original.value().NumEdges()),
+                static_cast<unsigned long long>(fingerprint));
+    ++migrated;
+  }
+  ::globfree(&matches);
+  std::printf("# migrated %d, skipped %d, failed %d\n", migrated, skipped,
+              failed);
+  return failed == 0 ? 0 : 1;
+}
+
 int CmdDatasets() {
   std::printf("%-14s %-10s %12s %14s %8s %6s\n", "name", "category",
               "paper |V|", "paper |E|", "|C*|t3", "beta");
@@ -572,6 +765,8 @@ int main(int argc, char** argv) {
   if (command == "balance") return CmdBalance(flags);
   if (command == "related") return CmdRelated(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "mutate") return CmdMutate(flags);
+  if (command == "migrate") return CmdMigrate(flags);
   if (command == "datasets") return CmdDatasets();
   return Usage();
 }

@@ -18,7 +18,14 @@
 //             [--global-rate-limit QPS] [--overload]
 //             [--shed-fraction F] [--brownout-fraction F]
 //             [--recover-fraction F] [--brownout-p95 SECONDS]
+//             [--max-delta-bytes N] [--compact-ratio F]
 //
+//   --max-delta-bytes N  mutation-log compaction budget: a graph whose
+//                     net delta exceeds N bytes is compacted (O(m)
+//                     content re-fingerprint) at the end of the batch
+//                     that crossed the line (default 8 MiB)
+//   --compact-ratio F  also compact when net delta entries exceed F x
+//                     the base edge count (default 0.25)
 //   --intra-query-threads N  extra threads the service may lend to a
 //                     single query that asks for intra-query
 //                     parallelism ("parallel_threads" request field);
@@ -93,7 +100,8 @@ int Usage() {
       "                 [--rate-burst N] [--global-rate-limit QPS]\n"
       "                 [--overload] [--shed-fraction F]\n"
       "                 [--brownout-fraction F] [--recover-fraction F]\n"
-      "                 [--brownout-p95 SECONDS]\n");
+      "                 [--brownout-p95 SECONDS]\n"
+      "                 [--max-delta-bytes N] [--compact-ratio F]\n");
   return 2;
 }
 
@@ -202,6 +210,12 @@ ServeArgs ParseArgs(int argc, char** argv) {
       args.service.overload.enabled = true;
       args.service.overload.recover_queue_fraction =
           std::strtod(value(i), nullptr);
+    } else if (flag == "--max-delta-bytes") {
+      args.service.max_delta_bytes =
+          static_cast<size_t>(std::strtoull(value(i), nullptr, 10));
+    } else if (flag == "--compact-ratio") {
+      args.service.compact_ratio = std::strtod(value(i), nullptr);
+      if (args.service.compact_ratio <= 0) args.ok = false;
     } else if (flag == "--brownout-p95") {
       args.service.overload.enabled = true;
       args.service.overload.brownout_p95_seconds = std::strtod(value(i),
