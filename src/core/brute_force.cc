@@ -42,6 +42,59 @@ BalancedClique BruteForceMaxBalancedClique(const SignedGraph& graph,
   return found ? best : BalancedClique{};
 }
 
+size_t BruteForceMaxTolerantCliqueSize(const SignedGraph& graph, uint32_t tau,
+                                       uint32_t tolerance) {
+  const VertexId n = graph.NumVertices();
+  MBC_CHECK_LE(n, 25u) << "brute force is exponential; graph too large";
+  std::vector<VertexId> members;
+  size_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    members.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) members.push_back(v);
+    }
+    const size_t c = members.size();
+    if (c <= best || c < 2 * static_cast<size_t>(tau)) continue;
+    // Frustration only makes sense over a clique of the underlying graph.
+    bool is_clique = true;
+    for (size_t i = 0; i < c && is_clique; ++i) {
+      for (size_t j = i + 1; j < c; ++j) {
+        if (!graph.HasPositiveEdge(members[i], members[j]) &&
+            !graph.HasNegativeEdge(members[i], members[j])) {
+          is_clique = false;
+          break;
+        }
+      }
+    }
+    if (!is_clique) continue;
+    // All side assignments with member 0 pinned left (side-swap symmetry).
+    const uint32_t num_splits = c > 0 ? (1u << (c - 1)) : 1;
+    for (uint32_t split = 0; split < num_splits; ++split) {
+      size_t left = 1;
+      uint32_t frustrated = 0;
+      for (size_t i = 1; i < c; ++i) {
+        if (!(split & (1u << (i - 1)))) ++left;
+      }
+      const size_t right = c - left;
+      if (left < tau || right < tau) continue;
+      for (size_t i = 0; i < c && frustrated <= tolerance; ++i) {
+        const bool i_left = i == 0 || !(split & (1u << (i - 1)));
+        for (size_t j = i + 1; j < c; ++j) {
+          const bool j_left = !(split & (1u << (j - 1)));
+          const bool positive =
+              graph.HasPositiveEdge(members[i], members[j]);
+          if ((i_left == j_left) != positive) ++frustrated;
+        }
+      }
+      if (frustrated <= tolerance) {
+        best = c;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
 uint32_t BruteForcePolarizationFactor(const SignedGraph& graph) {
   uint32_t beta = 0;
   ForEachBalancedSubset(graph, [&beta](const BalancedClique& clique) {

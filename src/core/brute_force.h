@@ -20,6 +20,15 @@ BalancedClique BruteForceMaxBalancedClique(const SignedGraph& graph,
 /// Polarization factor β(G) by subset enumeration.
 uint32_t BruteForcePolarizationFactor(const SignedGraph& graph);
 
+/// Maximum clique of the underlying unsigned graph admitting a side split
+/// with ≤ `tolerance` frustrated edges and both sides ≥ τ, by enumerating
+/// all vertex subsets and all side assignments of each. The tolerant
+/// ground truth for mbc_tolerant differential tests. Returns the maximum
+/// feasible size (0 if none); the witness itself is not defined uniquely
+/// by size, so only the size is reported.
+size_t BruteForceMaxTolerantCliqueSize(const SignedGraph& graph, uint32_t tau,
+                                       uint32_t tolerance);
+
 }  // namespace mbc
 
 #endif  // MBC_CORE_BRUTE_FORCE_H_

@@ -142,7 +142,7 @@ MbcAdvResult MaxBalancedCliqueAdv(const SignedGraph& graph, uint32_t tau,
 
   BalancedClique best;
   if (options.run_heuristic && reduced.graph.NumVertices() > 0) {
-    best = MbcHeuristic(reduced.graph, tau);
+    best = MbcHeuristic(reduced.graph, tau, exec);
     best.MapToOriginal(reduced.to_original);
   }
   size_t prune_bound = best.size();

@@ -2,84 +2,92 @@
 #include "src/core/mbc_heu.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/bitset.h"
+#include "src/common/random.h"
 #include "src/dichromatic/network_builder.h"
 #include "src/dichromatic/reductions.h"
+#include "src/graph/cores.h"
 #include "src/pf/pdecompose.h"
 
 namespace mbc {
+namespace {
 
-BalancedClique MbcHeuristicAt(const SignedGraph& graph, VertexId anchor,
-                              uint32_t tau) {
-  DichromaticNetworkBuilder builder(graph);
-  // Full neighborhood: no ordering filter, no alive filter.
-  const DichromaticNetwork net = builder.Build(anchor);
-  const DichromaticGraph& g = net.graph;
-  const uint32_t k = g.NumVertices();
-
-  // Growing clique; local vertex 0 (= anchor) is an L-vertex.
-  std::vector<uint32_t> clique_local{0};
-  size_t left_size = 1;
-  size_t right_size = 0;
-
-  // Candidates: vertices adjacent to every clique member.
-  Bitset candidates(k);
-  candidates.SetAll();
-  candidates.Reset(0);
-  candidates &= g.AdjacencyOf(0);
-
+/// Alternating-side greedy growth (Algorithm 3 Lines 5-7) from the current
+/// clique state. Consumes `*candidates`; members join `*members` and the
+/// side counters. Without `rng` the first max-degree candidate (ascending
+/// local id) wins — the paper's deterministic rule, and the exact behavior
+/// of the original MbcHeuristicAt loop. With `rng`, ties among max-degree
+/// candidates of the chosen side break uniformly at random (the
+/// local-search move randomization); `ties` is caller-owned scratch.
+void GrowAlternating(const DichromaticGraph& g, Bitset* candidates,
+                     Bitset* members, size_t* left_size, size_t* right_size,
+                     Rng* rng, std::vector<uint32_t>* ties,
+                     ExecutionContext* exec) {
   const Bitset& left_mask = g.LeftMask();
-  while (candidates.Any()) {
-    const size_t left_avail = candidates.CountAnd(left_mask);
-    const size_t total_avail = candidates.Count();
+  while (candidates->Any()) {
+    if (exec != nullptr && exec->Checkpoint()) return;
+    const size_t left_avail = candidates->CountAnd(left_mask);
+    const size_t total_avail = candidates->Count();
     const size_t right_avail = total_avail - left_avail;
 
     // Algorithm 3 Lines 5-7: pick from the right side when the left side is
     // exhausted or already at least as large as the right side.
     const bool pick_right =
-        left_avail == 0 || (right_avail != 0 && left_size >= right_size);
+        left_avail == 0 || (right_avail != 0 && *left_size >= *right_size);
 
     uint32_t best = 0;
     uint32_t best_degree = 0;
     bool found = false;
-    candidates.ForEach([&](size_t v) {
+    if (rng != nullptr) ties->clear();
+    candidates->ForEach([&](size_t v) {
       const bool is_left = left_mask.Test(v);
       if (pick_right == is_left) return;
       const uint32_t degree =
-          g.DegreeWithin(static_cast<uint32_t>(v), candidates);
+          g.DegreeWithin(static_cast<uint32_t>(v), *candidates);
       if (!found || degree > best_degree) {
         found = true;
         best = static_cast<uint32_t>(v);
         best_degree = degree;
+        if (rng != nullptr) {
+          ties->clear();
+          ties->push_back(best);
+        }
+      } else if (rng != nullptr && degree == best_degree) {
+        ties->push_back(static_cast<uint32_t>(v));
       }
     });
     MBC_CHECK(found);
+    if (rng != nullptr && ties->size() > 1) {
+      best = (*ties)[rng->NextBounded(ties->size())];
+    }
 
-    clique_local.push_back(best);
-    (g.IsLeft(best) ? left_size : right_size) += 1;
-    candidates &= g.AdjacencyOf(best);
-    candidates.Reset(best);
+    members->Set(best);
+    (g.IsLeft(best) ? *left_size : *right_size) += 1;
+    *candidates &= g.AdjacencyOf(best);
+    candidates->Reset(best);
   }
+}
 
+/// Turns a member bitset of `net` into a canonical BalancedClique in the
+/// ids of the graph the network was built from.
+BalancedClique MaterializeLocal(const DichromaticNetwork& net,
+                                const Bitset& members) {
   BalancedClique result;
-  for (uint32_t local : clique_local) {
-    auto& side = g.IsLeft(local) ? result.left : result.right;
+  members.ForEach([&](size_t local) {
+    auto& side = net.graph.IsLeft(local) ? result.left : result.right;
     side.push_back(net.to_original[local]);
-  }
+  });
   result.Canonicalize();
-  if (!result.SatisfiesThreshold(tau)) return BalancedClique{};
   return result;
 }
 
-BalancedClique MbcHeuristic(const SignedGraph& graph, uint32_t tau) {
+/// The five degree/polar anchors of MbcHeuristic (see the comments there).
+void DegreeAndPolarAnchors(const SignedGraph& graph,
+                           std::vector<VertexId>* anchors) {
   const VertexId n = graph.NumVertices();
-  if (n == 0) return BalancedClique{};
-  // The paper anchors at the vertex with the largest min{d+(u), d-(u)}.
-  // We additionally try the vertices maximizing d+, d- and the total
-  // degree: a large balanced clique with skewed sides (e.g. TripAdvisor's
-  // 45|1871 optimum) is anchored by a big-d+ or big-d- member rather than
-  // a balanced one, and a greedy run costs only O(m).
   VertexId by_min = 0;
   VertexId by_pos = 0;
   VertexId by_neg = 0;
@@ -108,11 +116,6 @@ BalancedClique MbcHeuristic(const SignedGraph& graph, uint32_t tau) {
       by_total = v;
     }
   }
-  // The raw-degree anchors can all be "saturated hubs" whose neighborhoods
-  // hold no large balanced clique. The polar-core number pn(u) (Lemma 5)
-  // upper-bounds the threshold achievable through u's network, so the
-  // vertex of maximum pn is the principled anchor for a *balanced* core;
-  // one O(m) decomposition buys it.
   const PolarDecomposition polar = PDecompose(graph);
   VertexId by_polar = 0;
   uint32_t best_pn = 0;
@@ -122,13 +125,238 @@ BalancedClique MbcHeuristic(const SignedGraph& graph, uint32_t tau) {
       by_polar = v;
     }
   }
-
-  BalancedClique best;
   for (VertexId anchor : {by_min, by_pos, by_neg, by_total, by_polar}) {
-    BalancedClique clique = MbcHeuristicAt(graph, anchor, tau);
+    anchors->push_back(anchor);
+  }
+}
+
+}  // namespace
+
+BalancedClique MbcHeuristicAt(const SignedGraph& graph, VertexId anchor,
+                              uint32_t tau, ExecutionContext* exec) {
+  DichromaticNetworkBuilder builder(graph);
+  // Full neighborhood: no ordering filter, no alive filter.
+  const DichromaticNetwork net = builder.Build(anchor);
+  const DichromaticGraph& g = net.graph;
+  const uint32_t k = g.NumVertices();
+  if (k == 0) return BalancedClique{};  // unreachable: the net holds anchor
+
+  // Growing clique; local vertex 0 (= anchor) is an L-vertex.
+  Bitset members(k);
+  members.Set(0);
+  size_t left_size = 1;
+  size_t right_size = 0;
+
+  // Candidates: vertices adjacent to every clique member.
+  Bitset candidates(k);
+  candidates.SetAll();
+  candidates.Reset(0);
+  candidates &= g.AdjacencyOf(0);
+
+  GrowAlternating(g, &candidates, &members, &left_size, &right_size,
+                  /*rng=*/nullptr, /*ties=*/nullptr, exec);
+
+  BalancedClique result = MaterializeLocal(net, members);
+  if (!result.SatisfiesThreshold(tau)) return BalancedClique{};
+  return result;
+}
+
+BalancedClique MbcHeuristic(const SignedGraph& graph, uint32_t tau,
+                            ExecutionContext* exec) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return BalancedClique{};
+  // The paper anchors at the vertex with the largest min{d+(u), d-(u)}.
+  // We additionally try the vertices maximizing d+, d- and the total
+  // degree: a large balanced clique with skewed sides (e.g. TripAdvisor's
+  // 45|1871 optimum) is anchored by a big-d+ or big-d- member rather than
+  // a balanced one, and a greedy run costs only O(m). The raw-degree
+  // anchors can all be "saturated hubs" whose neighborhoods hold no large
+  // balanced clique, so the vertex of maximum polar-core number pn
+  // (Lemma 5, the principled anchor for a *balanced* core) rides along;
+  // one O(m) decomposition buys it.
+  std::vector<VertexId> anchors;
+  anchors.reserve(5);
+  DegreeAndPolarAnchors(graph, &anchors);
+
+  // The first anchor always runs to completion: the greedy is the O(m)
+  // fallback tier, so even a pre-expired budget yields a valid (possibly
+  // partial) clique rather than nothing. The probe between anchors bounds
+  // the overrun at one greedy pass.
+  BalancedClique best;
+  for (VertexId anchor : anchors) {
+    BalancedClique clique = MbcHeuristicAt(graph, anchor, tau, exec);
     if (clique.size() > best.size()) best = std::move(clique);
+    if (exec != nullptr && exec->Probe()) break;
   }
   return best;
+}
+
+MbcHeuResult MbcHeuristicSearch(const SignedGraph& graph, uint32_t tau,
+                                const MbcHeuOptions& options) {
+  MbcHeuResult result;
+  ExecutionScope scope(options.exec, options.time_limit_seconds);
+  ExecutionContext* exec = scope.get();
+  const auto finish = [&]() -> MbcHeuResult& {
+    result.stats.interrupt_reason = exec->reason();
+    result.stats.timed_out = exec->Interrupted();
+    return result;
+  };
+  if (graph.NumVertices() == 0) return finish();
+
+  // ---- Anchor pool: degree/polar anchors + the densest tail of the
+  // degeneracy order (promoted from the brownout tier — the last vertices
+  // of the peeling order live in the region of highest core numbers, the
+  // natural place to grow a large dichromatic neighborhood).
+  std::vector<VertexId> anchors;
+  DegreeAndPolarAnchors(graph, &anchors);
+  if (options.degeneracy_anchors > 0) {
+    const DegeneracyResult degeneracy = DegeneracyDecompose(graph);
+    const size_t n = degeneracy.order.size();
+    const size_t take = std::min<size_t>(options.degeneracy_anchors, n);
+    for (size_t i = 0; i < take; ++i) {
+      anchors.push_back(degeneracy.order[n - 1 - i]);
+    }
+  }
+  // Dedupe, preserving first-seen order (the pool is tiny).
+  {
+    std::vector<VertexId> unique;
+    unique.reserve(anchors.size());
+    for (VertexId anchor : anchors) {
+      if (std::find(unique.begin(), unique.end(), anchor) == unique.end()) {
+        unique.push_back(anchor);
+      }
+    }
+    anchors.swap(unique);
+  }
+
+  // ---- Per-anchor state, hoisted and arena-backed: after the largest
+  // network has been seen, an entire anchor (greedy + every local-search
+  // round) runs without heap allocation.
+  DichromaticNetworkBuilder builder(graph);
+  DichromaticNetwork net;
+  SearchArena arena;
+  Rng rng;
+  std::vector<uint32_t> ties;
+  BalancedClique best;
+
+  bool first_anchor = true;
+  for (VertexId anchor : anchors) {
+    // The first anchor's greedy runs ungoverned: one O(m) pass is bounded
+    // work, and a degraded answer beats an empty one even when the budget
+    // is already expired (the interrupt still reports through stats).
+    ExecutionContext* grow_exec = first_anchor ? nullptr : exec;
+    first_anchor = false;
+    builder.BuildInto(anchor, nullptr, nullptr, &net);
+    const DichromaticGraph& g = net.graph;
+    const uint32_t k = g.NumVertices();
+    arena.BindNetwork(k);
+    SearchArena::Frame& frame = arena.FrameAt(0);
+    SearchArena::Frame& scratch = arena.FrameAt(1);
+    Bitset& members = frame.cand;       // current clique
+    Bitset& candidates = frame.pool;    // growth frontier
+    Bitset& anchor_best = frame.remaining;
+    Bitset& backup = scratch.cand;      // revert state for rejected moves
+
+    // Greedy seed (identical to MbcHeuristicAt).
+    members.Reshape(k);
+    members.Set(0);
+    size_t left_size = 1;
+    size_t right_size = 0;
+    candidates.CopyFrom(g.AdjacencyOf(0));
+    candidates.Reset(0);
+    GrowAlternating(g, &candidates, &members, &left_size, &right_size,
+                    /*rng=*/nullptr, /*ties=*/nullptr, grow_exec);
+    result.stats.greedy_size =
+        std::max(result.stats.greedy_size, left_size + right_size);
+
+    size_t anchor_best_size = 0;
+    if (std::min(left_size, right_size) >= tau) {
+      anchor_best.CopyFrom(members);
+      anchor_best_size = left_size + right_size;
+    } else {
+      anchor_best.Reshape(k);
+    }
+
+    // ---- Local search: seeded drop-and-regrow. Each round removes one
+    // random member, regrows with randomized degree tie-breaks (the
+    // removed vertex tabu for the round), then closes with the
+    // deterministic add pass — a (1, ≥1) swap when the regrowth finds a
+    // different filling, a no-op plateau step otherwise. The current
+    // state never shrinks (worse moves revert), so the per-anchor best is
+    // monotone in the iteration count and a shorter run is a prefix of a
+    // longer one under the same seed.
+    rng.Reseed(options.seed ^
+               (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(anchor) + 1)));
+    bool interrupted = false;
+    for (uint32_t iter = 0; iter < options.local_search_iterations; ++iter) {
+      if (exec->Checkpoint()) {
+        interrupted = true;
+        break;
+      }
+      const size_t size_before = left_size + right_size;
+      if (size_before == 0 || size_before >= k) break;  // nothing to swap
+      ++result.stats.ls_iterations;
+      backup.CopyFrom(members);
+      const size_t backup_left = left_size;
+      const size_t backup_right = right_size;
+
+      // Drop a uniformly random member.
+      size_t drop_index = rng.NextBounded(size_before);
+      uint32_t drop = 0;
+      members.ForEach([&](size_t v) {
+        if (drop_index == 0) drop = static_cast<uint32_t>(v);
+        --drop_index;
+      });
+      members.Reset(drop);
+      (g.IsLeft(drop) ? left_size : right_size) -= 1;
+
+      // Regrow (drop is tabu) with randomized tie-breaks.
+      candidates.ReshapeUninit(k);
+      candidates.SetAll();
+      members.ForEach(
+          [&](size_t m) { candidates &= g.AdjacencyOf(m); });
+      candidates.AndNot(members);
+      candidates.Reset(drop);
+      GrowAlternating(g, &candidates, &members, &left_size, &right_size, &rng,
+                      &ties, exec);
+
+      // Closing add pass: the tabu lifts, so `drop` (or anything the new
+      // filling made compatible) can re-join deterministically.
+      candidates.ReshapeUninit(k);
+      candidates.SetAll();
+      members.ForEach(
+          [&](size_t m) { candidates &= g.AdjacencyOf(m); });
+      candidates.AndNot(members);
+      GrowAlternating(g, &candidates, &members, &left_size, &right_size,
+                      /*rng=*/nullptr, /*ties=*/nullptr, exec);
+
+      const size_t size_after = left_size + right_size;
+      if (size_after < size_before) {
+        // Worse move: revert (plateau moves — equal size, different
+        // members — are kept, they are how the search drifts).
+        members.CopyFrom(backup);
+        left_size = backup_left;
+        right_size = backup_right;
+        continue;
+      }
+      if (std::min(left_size, right_size) >= tau &&
+          size_after > anchor_best_size) {
+        anchor_best.CopyFrom(members);
+        anchor_best_size = size_after;
+        ++result.stats.ls_improvements;
+      }
+    }
+
+    if (anchor_best_size > best.size()) {
+      best = MaterializeLocal(net, anchor_best);
+    }
+    // As in MbcHeuristic: the first anchor's greedy always completes, so
+    // a pre-expired budget still yields a valid lower bound.
+    if (interrupted || exec->Probe()) break;
+  }
+
+  result.clique = std::move(best);
+  return finish();
 }
 
 }  // namespace mbc

@@ -376,9 +376,21 @@ ParallelMbcResult ParallelMaxBalancedCliqueStar(
   ReducedSignedGraph reduced = ApplyVertexReduction(graph, tau);
   BalancedClique best;
   if (options.run_heuristic && reduced.graph.NumVertices() > 0) {
-    best = MbcHeuristic(reduced.graph, tau);
+    best = MbcHeuristic(reduced.graph, tau, exec);
     best.MapToOriginal(reduced.to_original);
     best.Canonicalize();
+  }
+  if (options.initial_clique != nullptr && !options.initial_clique->empty()) {
+    // Warm start: adopt the caller's incumbent when it beats the built-in
+    // heuristic (equal sizes keep the canonically smaller witness, so the
+    // preamble stays deterministic whatever the caller passes).
+    MBC_CHECK(options.initial_clique->SatisfiesThreshold(tau));
+    BalancedClique seed = *options.initial_clique;
+    seed.Canonicalize();
+    if (seed.size() > best.size() ||
+        (seed.size() == best.size() && CanonicalLess(seed, best))) {
+      best = std::move(seed);
+    }
   }
   size_t prune_bound = best.size();
   if (tau >= 1) {

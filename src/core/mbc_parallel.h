@@ -31,6 +31,13 @@ struct ParallelMbcOptions {
   uint32_t num_threads = 0;
   /// Seed the search with MBC-Heu (as in MBC*).
   bool run_heuristic = true;
+  /// A known valid balanced clique (original vertex ids, satisfies τ) used
+  /// as the initial shared incumbent — the heuristic tier's warm start. A
+  /// better incumbent means more pruning from the first task onward.
+  /// Witness-neutral: the tie-preserving kernel still offers every maximum
+  /// clique, so the published result stays the lex-min optimum whatever
+  /// the seed. Owned by the caller; may be null.
+  const BalancedClique* initial_clique = nullptr;
   /// Wall-clock safety budget (unset = unlimited). Ignored when `exec`
   /// is supplied.
   std::optional<double> time_limit_seconds;

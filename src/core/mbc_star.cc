@@ -61,7 +61,7 @@ MbcStarResult MaxBalancedCliqueStar(const SignedGraph& graph, uint32_t tau,
   // ---- Phase 2: heuristic lower bound (Line 2). ----
   phase.Restart();
   if (options.run_heuristic && reduced.graph.NumVertices() > 0) {
-    BalancedClique heu = MbcHeuristic(reduced.graph, tau);
+    BalancedClique heu = MbcHeuristic(reduced.graph, tau, exec);
     stats.heuristic_size = heu.size();
     if (heu.size() > best.size()) {
       heu.MapToOriginal(reduced.to_original);

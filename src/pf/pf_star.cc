@@ -27,10 +27,18 @@ PfStarResult PolarizationFactorStar(const SignedGraph& graph,
   // Line 1: heuristic lower bound τ* = min side of MBC-Heu(G, 0).
   uint32_t tau = 0;
   if (options.run_heuristic && graph.NumVertices() > 0) {
-    BalancedClique heu = MbcHeuristic(graph, /*tau=*/0);
+    BalancedClique heu = MbcHeuristic(graph, /*tau=*/0, exec);
     tau = static_cast<uint32_t>(heu.MinSide());
     stats.heuristic_tau = tau;
     result.witness = std::move(heu);
+  }
+  if (options.initial_clique != nullptr &&
+      options.initial_clique->MinSide() > tau) {
+    // Warm start: a caller-supplied clique with a wider min side raises
+    // the starting lower bound (and becomes the witness to beat).
+    tau = static_cast<uint32_t>(options.initial_clique->MinSide());
+    result.witness = *options.initial_clique;
+    result.witness.Canonicalize();
   }
 
   // Line 2: VertexReduction for threshold τ* + 1 — we are only searching

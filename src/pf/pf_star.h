@@ -28,6 +28,12 @@ struct PfStarOptions {
   /// Seed τ* with MBC-Heu(G, 0) (Line 1). Disable only in tests.
   bool run_heuristic = true;
 
+  /// A known valid balanced clique (original vertex ids) whose min side
+  /// seeds τ* in addition to the built-in heuristic — the heuristic
+  /// tier's warm start. A higher starting τ* means fewer DCC checks.
+  /// Owned by the caller; may be null.
+  const BalancedClique* initial_clique = nullptr;
+
   /// Wall-clock safety budget (unset = unlimited, the paper's setting).
   /// On expiry the current τ* is returned (a valid lower bound of β) with
   /// stats.timed_out set. Ignored when `exec` is supplied.

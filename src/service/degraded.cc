@@ -40,14 +40,17 @@ QueryResult ComputeDegradedResult(const SignedGraph& graph, QueryKind kind,
   if (graph.NumVertices() == 0) return result;
   const std::vector<VertexId> anchors = DenseAnchors(graph);
 
-  if (kind == QueryKind::kMbc) {
-    BalancedClique best = MbcHeuristic(graph, tau);
-    for (const VertexId anchor : anchors) {
-      BalancedClique candidate = MbcHeuristicAt(graph, anchor, tau);
-      if (candidate.size() > best.size()) best = std::move(candidate);
-    }
-    best.Canonicalize();
-    result.clique = std::move(best);
+  if (kind == QueryKind::kMbc || kind == QueryKind::kMbcHeu ||
+      kind == QueryKind::kMbcTol) {
+    // The promoted heuristic tier with local search off: exactly the
+    // historical brownout sweep (the five degree/polar anchors plus the
+    // degeneracy tail), O(m) per anchor. A balanced clique frustrates no
+    // edge, so the same lower bound serves the tolerant kind for any
+    // budget (result.frustrated stays 0).
+    MbcHeuOptions options;
+    options.local_search_iterations = 0;
+    options.degeneracy_anchors = kNumAnchors;
+    result.clique = MbcHeuristicSearch(graph, tau, options).clique;
     return result;
   }
 

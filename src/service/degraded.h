@@ -19,11 +19,14 @@
 
 namespace mbc {
 
-/// Computes the greedy lower-bound answer for one query. kMbc: the best
-/// anchored greedy clique satisfying tau (possibly empty). kPf: beta
-/// lower bound = the largest min side over the greedy cliques. kGmbc:
-/// that beta bound plus a greedy |C| per tau in [0, beta]. Deterministic
-/// for a given graph; O(k * m) for a handful of anchors.
+/// Computes the greedy lower-bound answer for one query. kMbc (and
+/// kMbcHeu / kMbcTol, whose degraded answer is the same greedy clique —
+/// a balanced clique frustrates no edge, so it is feasible under every
+/// tolerance budget): the best anchored greedy clique satisfying tau
+/// (possibly empty). kPf: beta lower bound = the largest min side over
+/// the greedy cliques. kGmbc: that beta bound plus a greedy |C| per tau
+/// in [0, beta]. Deterministic for a given graph; O(k * m) for a handful
+/// of anchors.
 QueryResult ComputeDegradedResult(const SignedGraph& graph, QueryKind kind,
                                   uint32_t tau);
 

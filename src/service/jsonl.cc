@@ -285,6 +285,8 @@ Result<JsonlFields> ParseJsonlLine(const std::string& line) {
 
 Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
   QueryRequest request;
+  bool has_tolerance = false;
+  bool has_warm_start = false;
   for (const auto& [name, value] : fields) {
     if (name == "op") {
       // Validated by the caller.
@@ -299,9 +301,14 @@ Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
         request.kind = QueryKind::kPf;
       } else if (value == "gmbc") {
         request.kind = QueryKind::kGmbc;
+      } else if (value == "mbc_heu") {
+        request.kind = QueryKind::kMbcHeu;
+      } else if (value == "mbc_tol") {
+        request.kind = QueryKind::kMbcTol;
       } else {
-        return Status::InvalidArgument("unknown kind '" + value +
-                                       "' (want mbc, pf or gmbc)");
+        return Status::InvalidArgument(
+            "unknown kind '" + value +
+            "' (want mbc, pf, gmbc, mbc_heu or mbc_tol)");
       }
     } else if (name == "tau") {
       MBC_ASSIGN_OR_RETURN(const uint64_t tau, FieldAsUint(name, value));
@@ -309,6 +316,17 @@ Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
         return Status::InvalidArgument("tau is out of range");
       }
       request.tau = static_cast<uint32_t>(tau);
+    } else if (name == "tolerance") {
+      MBC_ASSIGN_OR_RETURN(const uint64_t tolerance,
+                           FieldAsUint(name, value));
+      if (tolerance > UINT32_MAX) {
+        return Status::InvalidArgument("tolerance is out of range");
+      }
+      request.tolerance = static_cast<uint32_t>(tolerance);
+      has_tolerance = true;
+    } else if (name == "warm_start") {
+      MBC_ASSIGN_OR_RETURN(request.warm_start, FieldAsBool(name, value));
+      has_warm_start = true;
     } else if (name == "algo") {
       request.algo = value;
     } else if (name == "time_limit_seconds") {
@@ -338,6 +356,16 @@ Result<QueryRequest> QueryRequestFromFields(const JsonlFields& fields) {
   if (request.graph.empty()) {
     return Status::InvalidArgument("query needs a 'graph' field");
   }
+  // Field order inside a JSON object is arbitrary, so kind-dependent
+  // validation has to wait until every field has been read.
+  if (has_tolerance && request.kind != QueryKind::kMbcTol) {
+    return Status::InvalidArgument(
+        "'tolerance' is only valid for kind mbc_tol");
+  }
+  if (has_warm_start && request.kind != QueryKind::kMbc) {
+    return Status::InvalidArgument(
+        "'warm_start' is only valid for kind mbc");
+  }
   return request;
 }
 
@@ -357,6 +385,33 @@ std::string SerializeResponse(const QueryRequest& request,
   switch (request.kind) {
     case QueryKind::kMbc: {
       AppendRawField("tau", std::to_string(request.tau), &first, &out);
+      AppendRawField("size", std::to_string(response.result.clique.size()),
+                     &first, &out);
+      AppendRawField("left", VerticesJson(response.result.clique.left), &first,
+                     &out);
+      AppendRawField("right", VerticesJson(response.result.clique.right),
+                     &first, &out);
+      break;
+    }
+    case QueryKind::kMbcHeu: {
+      AppendRawField("tau", std::to_string(request.tau), &first, &out);
+      AppendRawField("size", std::to_string(response.result.clique.size()),
+                     &first, &out);
+      AppendRawField("left", VerticesJson(response.result.clique.left), &first,
+                     &out);
+      AppendRawField("right", VerticesJson(response.result.clique.right),
+                     &first, &out);
+      // A heuristic answer is a lower bound by construction; say so in
+      // every frame so clients never mistake it for the optimum.
+      AppendRawField("exact", "false", &first, &out);
+      break;
+    }
+    case QueryKind::kMbcTol: {
+      AppendRawField("tau", std::to_string(request.tau), &first, &out);
+      AppendRawField("tolerance", std::to_string(request.tolerance), &first,
+                     &out);
+      AppendRawField("frustrated", std::to_string(response.result.frustrated),
+                     &first, &out);
       AppendRawField("size", std::to_string(response.result.clique.size()),
                      &first, &out);
       AppendRawField("left", VerticesJson(response.result.clique.left), &first,

@@ -18,9 +18,11 @@
 namespace mbc {
 
 enum class QueryKind : uint8_t {
-  kMbc = 0,   // maximum balanced clique under tau
-  kPf = 1,    // polarization factor beta(G)
-  kGmbc = 2,  // one maximum clique per tau in [0, beta]
+  kMbc = 0,     // maximum balanced clique under tau
+  kPf = 1,      // polarization factor beta(G)
+  kGmbc = 2,    // one maximum clique per tau in [0, beta]
+  kMbcHeu = 3,  // heuristic-tier lower bound (never exact; milliseconds)
+  kMbcTol = 4,  // maximum clique with <= `tolerance` frustrated edges
 };
 
 inline const char* QueryKindName(QueryKind kind) {
@@ -31,8 +33,18 @@ inline const char* QueryKindName(QueryKind kind) {
       return "pf";
     case QueryKind::kGmbc:
       return "gmbc";
+    case QueryKind::kMbcHeu:
+      return "mbc_heu";
+    case QueryKind::kMbcTol:
+      return "mbc_tol";
   }
   return "unknown";
+}
+
+/// Kinds whose semantics (and cache identity) depend on the request tau.
+inline bool KindUsesTau(QueryKind kind) {
+  return kind == QueryKind::kMbc || kind == QueryKind::kMbcHeu ||
+         kind == QueryKind::kMbcTol;
 }
 
 struct QueryRequest {
@@ -41,8 +53,16 @@ struct QueryRequest {
   /// Name of the graph in the GraphStore.
   std::string graph;
   QueryKind kind = QueryKind::kMbc;
-  /// Polarization threshold (kMbc only).
+  /// Polarization threshold (kMbc / kMbcHeu / kMbcTol).
   uint32_t tau = 1;
+  /// Frustration budget (kMbcTol only; rejected on other kinds).
+  uint32_t tolerance = 0;
+  /// kMbc only: run the heuristic tier inline and feed its clique to the
+  /// exact solver as the initial incumbent. Deterministic (the warm-start
+  /// clique is recomputed, never taken from the cache) and witness-neutral
+  /// for the parallel engine; cached under a distinct algo label so warm
+  /// and cold entries never collide.
+  bool warm_start = false;
   /// Algorithm variant: kMbc accepts "star" (default), "baseline", "adv";
   /// kPf accepts "star" (default), "bs".
   std::string algo;
@@ -74,10 +94,12 @@ struct QueryRequest {
 /// meaningful depends on the request kind; unused ones keep their
 /// defaults and are omitted from the JSON encoding.
 struct QueryResult {
-  /// kMbc: the maximum balanced clique (empty = none satisfies tau).
+  /// kMbc / kMbcHeu / kMbcTol: the clique (empty = none satisfies tau).
   BalancedClique clique;
   /// kPf / kGmbc: beta(G).
   uint32_t beta = 0;
+  /// kMbcTol: frustrated edges of `clique` under its returned split.
+  uint32_t frustrated = 0;
   /// kGmbc: |C*| per tau in [0, beta].
   std::vector<uint32_t> gmbc_sizes;
   /// kGmbc: the witness cliques behind gmbc_sizes, in the same tau order.

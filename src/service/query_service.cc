@@ -9,8 +9,10 @@
 #include "src/common/execution.h"
 #include "src/core/mbc_adv.h"
 #include "src/core/mbc_baseline.h"
+#include "src/core/mbc_heu.h"
 #include "src/core/mbc_parallel.h"
 #include "src/core/mbc_star.h"
+#include "src/core/mbc_tolerant.h"
 #include "src/core/mdc_solver.h"
 #include "src/gmbc/gmbc.h"
 #include "src/pf/dcc_solver.h"
@@ -45,9 +47,19 @@ bool IsParallelRequest(const QueryRequest& request) {
 /// one entry serves every thread count (the engine is deterministic), but
 /// the witness may legitimately differ from sequential MBC*'s (parallel
 /// returns the canonical lex-min optimum), so the two must not share a key.
+/// Warm-started runs likewise get a "+warm" suffix: the parallel engine's
+/// witness is warm-start-neutral, but sequential MBC*'s first-found-max
+/// witness can legitimately differ with a better starting incumbent, so
+/// warm and cold entries never share a key. The heuristic and tolerant
+/// kinds have exactly one engine each; their fixed labels keep the key
+/// independent of how the (absent) algo field was spelled.
 std::string CacheAlgoLabel(const QueryRequest& request) {
-  if (IsParallelRequest(request)) return "parallel";
-  return NormalizedAlgo(request);
+  if (request.kind == QueryKind::kMbcHeu) return "heu";
+  if (request.kind == QueryKind::kMbcTol) return "tol";
+  std::string label =
+      IsParallelRequest(request) ? "parallel" : NormalizedAlgo(request);
+  if (request.warm_start) label += "+warm";
+  return label;
 }
 
 /// parallel_threads composes only with kind=mbc and the default (star)
@@ -67,6 +79,22 @@ Status ValidateParallelRequest(const QueryRequest& request) {
   if (NormalizedAlgo(request) != "star") {
     return Status::InvalidArgument(
         "parallel_threads requires the default (star) algorithm, got '" +
+        request.algo + "'");
+  }
+  return Status::OK();
+}
+
+/// warm_start composes only with engines that accept an initial incumbent
+/// (MBC* and the parallel engine — both behind the default algo). The
+/// kind restriction is already enforced at the protocol layer.
+Status ValidateWarmStartRequest(const QueryRequest& request) {
+  if (!request.warm_start) return Status::OK();
+  if (request.kind != QueryKind::kMbc) {
+    return Status::InvalidArgument("warm_start is only valid for kind 'mbc'");
+  }
+  if (NormalizedAlgo(request) != "star") {
+    return Status::InvalidArgument(
+        "warm_start requires the default (star) algorithm, got '" +
         request.algo + "'");
   }
   return Status::OK();
@@ -178,6 +206,12 @@ std::optional<std::future<QueryResponse>> QueryService::BrownoutAdmit(
     response.status = valid;
     return ImmediateResponse(task, std::move(response));
   }
+  if (const Status valid = ValidateWarmStartRequest(task.request);
+      !valid.ok()) {
+    QueryResponse response;
+    response.status = valid;
+    return ImmediateResponse(task, std::move(response));
+  }
   Result<GraphStore::SnapshotPtr> snapshot = store_.Find(task.request.graph);
   if (!snapshot.ok()) {
     QueryResponse response;
@@ -188,8 +222,13 @@ std::optional<std::future<QueryResponse>> QueryService::BrownoutAdmit(
   CacheKey key;
   key.graph_fingerprint = snapshot.value()->fingerprint();
   key.kind = task.request.kind;
-  key.tau = task.request.kind == QueryKind::kMbc ? task.request.tau : 0;
+  key.tau = KindUsesTau(task.request.kind) ? task.request.tau : 0;
+  key.tolerance =
+      task.request.kind == QueryKind::kMbcTol ? task.request.tolerance : 0;
   key.algo = CacheAlgoLabel(task.request);
+  if (task.request.kind == QueryKind::kMbcHeu) {
+    key.exactness = CacheExactness::kDegraded;
+  }
   if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
     QueryResponse response;
     response.result = std::move(*hit);
@@ -445,7 +484,11 @@ QueryResponse QueryService::ExecuteDegraded(const Task& task) {
     CacheKey key;
     key.graph_fingerprint = snapshot.value()->fingerprint();
     key.kind = request.kind;
-    key.tau = request.kind == QueryKind::kMbc ? request.tau : 0;
+    key.tau = KindUsesTau(request.kind) ? request.tau : 0;
+    // Keyed per-tolerance for symmetry with BrownoutAdmit's fallback
+    // lookup, although the greedy answer itself ignores the budget.
+    key.tolerance =
+        request.kind == QueryKind::kMbcTol ? request.tolerance : 0;
     key.algo = "greedy";
     key.exactness = CacheExactness::kDegraded;
     cache_.Insert(key, response.result);
@@ -490,6 +533,10 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
     response.status = valid;
     return finish(std::move(response));
   }
+  if (const Status valid = ValidateWarmStartRequest(request); !valid.ok()) {
+    response.status = valid;
+    return finish(std::move(response));
+  }
   Result<GraphStore::SnapshotPtr> snapshot = store_.Find(request.graph);
   if (!snapshot.ok()) {
     response.status = snapshot.status();
@@ -503,8 +550,15 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
   CacheKey key;
   key.graph_fingerprint = snapshot.value()->fingerprint();
   key.kind = request.kind;
-  key.tau = request.kind == QueryKind::kMbc ? request.tau : 0;
+  key.tau = KindUsesTau(request.kind) ? request.tau : 0;
+  key.tolerance =
+      request.kind == QueryKind::kMbcTol ? request.tolerance : 0;
   key.algo = CacheAlgoLabel(request);
+  if (request.kind == QueryKind::kMbcHeu) {
+    // The heuristic tier is inexact by definition; its entries live under
+    // the degraded tag so they can never answer an exact query.
+    key.exactness = CacheExactness::kDegraded;
+  }
 
   if (!request.no_cache) {
     if (std::optional<QueryResult> hit = cache_.Lookup(key)) {
@@ -537,6 +591,22 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
   InterruptReason interrupt = InterruptReason::kNone;
   switch (request.kind) {
     case QueryKind::kMbc: {
+      // Warm start: run the heuristic tier inline (under the same
+      // execution budget) and hand its clique to the exact engine as the
+      // initial incumbent. Recomputed per query rather than pulled from
+      // the cache — a degraded entry's provenance is the brownout sweep,
+      // not necessarily the full local-search heuristic.
+      BalancedClique warm_clique;
+      if (request.warm_start) {
+        MbcHeuOptions heu_options;
+        heu_options.exec = &exec;
+        warm_clique =
+            MbcHeuristicSearch(graph, request.tau, heu_options).clique;
+      }
+      const BalancedClique* initial =
+          (!warm_clique.empty() && warm_clique.SatisfiesThreshold(request.tau))
+              ? &warm_clique
+              : nullptr;
       if (IsParallelRequest(request)) {
         // Intra-query parallelism: this pool worker plus whatever extra
         // threads the shared token budget can lend right now. A zero
@@ -552,6 +622,7 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
         ParallelMbcOptions options;
         options.exec = &exec;
         options.num_threads = 1 + granted;
+        options.initial_clique = initial;
         ParallelMbcResult result =
             ParallelMaxBalancedCliqueStar(graph, request.tau, options);
         ReleaseParallelTokens(granted);
@@ -564,6 +635,7 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
         MbcStarOptions options;
         options.exec = &exec;
         options.shared_solver = &state.mdc_solver;
+        options.initial_clique = initial;
         MbcStarResult result =
             MaxBalancedCliqueStar(graph, request.tau, options);
         response.result.clique = std::move(result.clique);
@@ -587,6 +659,37 @@ QueryResponse QueryService::Execute(WorkerState& state, const Task& task) {
         return finish(std::move(response));
       }
       response.result.clique.Canonicalize();
+      break;
+    }
+    case QueryKind::kMbcHeu: {
+      if (!request.algo.empty() && request.algo != "heu") {
+        response.status =
+            Status::InvalidArgument("unknown mbc_heu algo '" + request.algo +
+                                    "'");
+        return finish(std::move(response));
+      }
+      MbcHeuOptions options;
+      options.exec = &exec;
+      MbcHeuResult result = MbcHeuristicSearch(graph, request.tau, options);
+      // MbcHeuristicSearch already canonicalizes its witness.
+      response.result.clique = std::move(result.clique);
+      interrupt = result.stats.interrupt_reason;
+      break;
+    }
+    case QueryKind::kMbcTol: {
+      if (!request.algo.empty() && request.algo != "tol") {
+        response.status =
+            Status::InvalidArgument("unknown mbc_tol algo '" + request.algo +
+                                    "'");
+        return finish(std::move(response));
+      }
+      MbcTolerantOptions options;
+      options.exec = &exec;
+      MbcTolerantResult result = MaxTolerantBalancedClique(
+          graph, request.tau, request.tolerance, options);
+      response.result.clique = std::move(result.clique);
+      response.result.frustrated = result.frustrated_edges;
+      interrupt = result.stats.interrupt_reason;
       break;
     }
     case QueryKind::kPf: {

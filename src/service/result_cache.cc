@@ -52,6 +52,7 @@ size_t ResultCache::KeyHash::operator()(const CacheKey& key) const {
   hasher.Mix(key.graph_fingerprint);
   hasher.Mix(static_cast<uint64_t>(key.kind));
   hasher.Mix(static_cast<uint64_t>(key.tau));
+  hasher.Mix(static_cast<uint64_t>(key.tolerance));
   hasher.Mix(static_cast<uint64_t>(key.exactness));
   hasher.MixBytes(key.algo);
   return static_cast<size_t>(hasher.hash());

@@ -36,12 +36,15 @@ struct CacheKey {
   uint64_t graph_fingerprint = 0;
   QueryKind kind = QueryKind::kMbc;
   uint32_t tau = 0;
+  /// Frustration budget; 0 for every kind except kMbcTol.
+  uint32_t tolerance = 0;
   std::string algo;
   CacheExactness exactness = CacheExactness::kExact;
 
   bool operator==(const CacheKey& other) const {
     return graph_fingerprint == other.graph_fingerprint &&
-           kind == other.kind && tau == other.tau && algo == other.algo &&
+           kind == other.kind && tau == other.tau &&
+           tolerance == other.tolerance && algo == other.algo &&
            exactness == other.exactness;
   }
 };

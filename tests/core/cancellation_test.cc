@@ -11,8 +11,10 @@
 
 #include "src/common/execution.h"
 #include "src/common/timer.h"
+#include "src/core/mbc_heu.h"
 #include "src/core/mbc_parallel.h"
 #include "src/core/mbc_star.h"
+#include "src/core/mbc_tolerant.h"
 #include "src/core/verify.h"
 #include "src/datasets/generators.h"
 #include "tests/test_util.h"
@@ -94,6 +96,73 @@ TEST(CancellationTest, SequentialSolverSeesCancelFromOtherThread) {
   EXPECT_TRUE(IsBalancedClique(graph, result.clique));
   EXPECT_TRUE(result.stats.timed_out);
   EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kCancelled);
+}
+
+TEST(CancellationTest, HeuristicTierObservesPreCancelledContext) {
+  // The heuristic tier reports the cancel but still completes its first
+  // greedy anchor (an O(m) pass): a brownout caller always gets at least
+  // one valid lower-bound clique, never an empty hand.
+  const SignedGraph base = RandomSignedGraph(500, 4000, 0.4, 19);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 4}}, 7);
+  ExecutionContext exec;
+  exec.RequestCancel();
+  MbcHeuOptions options;
+  options.exec = &exec;
+  const MbcHeuResult result = MbcHeuristicSearch(graph, 0, options);
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kCancelled);
+  EXPECT_FALSE(result.clique.empty());
+  EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+}
+
+TEST(CancellationTest, HeuristicTierSeesCancelFromOtherThread) {
+  const SignedGraph base = RandomSignedGraph(2000, 120000, 0.45, 31);
+  const SignedGraph graph = PlantBalancedCliques(base, {{5, 5}}, 17);
+  ExecutionContext exec;
+  exec.set_deadline(Deadline::After(30.0));
+  std::thread canceller([&exec] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    exec.RequestCancel();
+  });
+  MbcHeuOptions options;
+  options.exec = &exec;
+  options.local_search_iterations = 100000;  // far beyond the cancel point
+  const MbcHeuResult result = MbcHeuristicSearch(graph, 1, options);
+  canceller.join();
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kCancelled);
+  if (!result.clique.empty()) {
+    EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+    EXPECT_TRUE(result.clique.SatisfiesThreshold(1));
+  }
+}
+
+TEST(CancellationTest, TolerantSolverSeesCancelFromOtherThread) {
+  // The tolerant branch-and-bound explores a much larger space than the
+  // exact solver on the same instance (the budget admits frustrated
+  // cliques), so a moderate graph is already slow enough to cancel.
+  const SignedGraph base = RandomSignedGraph(600, 60000, 0.5, 37);
+  const SignedGraph graph = PlantBalancedCliques(base, {{4, 4}}, 19);
+  ExecutionContext exec;
+  exec.set_deadline(Deadline::After(30.0));
+  std::thread canceller([&exec] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    exec.RequestCancel();
+  });
+  MbcTolerantOptions options;
+  options.exec = &exec;
+  const MbcTolerantResult result =
+      MaxTolerantBalancedClique(graph, 2, /*tolerance=*/2, options);
+  canceller.join();
+  EXPECT_TRUE(result.stats.timed_out);
+  EXPECT_EQ(result.stats.interrupt_reason, InterruptReason::kCancelled);
+  if (!result.clique.empty()) {
+    const std::optional<uint32_t> frustration =
+        CountFrustratedEdges(graph, result.clique);
+    ASSERT_TRUE(frustration.has_value());
+    EXPECT_EQ(*frustration, result.frustrated_edges);
+    EXPECT_LE(*frustration, 2u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,130 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Property harness for the heuristic tier (MbcHeuristicSearch): every
+// answer is a valid balanced clique, never larger than the exact optimum,
+// monotone non-decreasing in local-search iterations for a fixed seed,
+// and byte-deterministic per seed regardless of the calling context
+// (repeated calls, or four threads racing the same query).
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/mbc_heu.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::RandomSignedGraph;
+
+TEST(HeuPropertyTest, AlwaysValidAndNeverExceedsExactOptimum) {
+  size_t graphs_checked = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(40, 220, 0.4, seed);
+    for (uint32_t tau : {0u, 1u, 2u, 3u}) {
+      const MbcHeuResult heu = MbcHeuristicSearch(graph, tau);
+      if (!heu.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, heu.clique))
+            << "seed=" << seed << " tau=" << tau;
+        EXPECT_TRUE(heu.clique.SatisfiesThreshold(tau));
+      }
+      const MbcStarResult exact = MaxBalancedCliqueStar(graph, tau);
+      EXPECT_LE(heu.clique.size(), exact.clique.size())
+          << "seed=" << seed << " tau=" << tau;
+      ++graphs_checked;
+    }
+  }
+  EXPECT_GE(graphs_checked, 100u);
+}
+
+TEST(HeuPropertyTest, MonotoneInLocalSearchIterations) {
+  // With a fixed seed the move stream of a shorter run is a prefix of a
+  // longer one, and every accepted move keeps size >= before: the final
+  // size can only grow with the iteration budget.
+  for (uint64_t seed : {1ull, 7ull, 23ull}) {
+    const SignedGraph graph = RandomSignedGraph(80, 600, 0.45, seed * 11);
+    for (uint32_t tau : {1u, 2u}) {
+      size_t previous = 0;
+      for (uint32_t iterations : {0u, 4u, 12u, 24u, 48u}) {
+        MbcHeuOptions options;
+        options.seed = seed;
+        options.local_search_iterations = iterations;
+        const MbcHeuResult result =
+            MbcHeuristicSearch(graph, tau, options);
+        EXPECT_GE(result.clique.size(), previous)
+            << "seed=" << seed << " tau=" << tau
+            << " iterations=" << iterations;
+        previous = result.clique.size();
+      }
+    }
+  }
+}
+
+TEST(HeuPropertyTest, LocalSearchImprovesOverPureGreedyOnSomeGraph) {
+  // The harness is only meaningful if local search actually moves the
+  // needle somewhere: at least one (graph, tau) in this sweep must see a
+  // strictly better clique with iterations on than off.
+  bool improved = false;
+  for (uint64_t seed = 1; seed <= 20 && !improved; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(100, 900, 0.45, seed);
+    MbcHeuOptions off;
+    off.local_search_iterations = 0;
+    MbcHeuOptions on;
+    on.local_search_iterations = 48;
+    improved = MbcHeuristicSearch(graph, 1, on).clique.size() >
+               MbcHeuristicSearch(graph, 1, off).clique.size();
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(HeuPropertyTest, ByteDeterministicPerSeedAcrossThreads) {
+  const SignedGraph graph = RandomSignedGraph(120, 900, 0.4, 99);
+  for (uint64_t seed : {0ull, 42ull}) {
+    MbcHeuOptions options;
+    options.seed = seed;
+    const MbcHeuResult reference = MbcHeuristicSearch(graph, 2, options);
+    // Repeated sequential calls.
+    const MbcHeuResult again = MbcHeuristicSearch(graph, 2, options);
+    EXPECT_EQ(again.clique, reference.clique) << "seed=" << seed;
+    EXPECT_EQ(again.stats.ls_iterations, reference.stats.ls_iterations);
+    // Four threads racing the same query must all get the same bytes —
+    // the solver owns all its state, so the calling context is invisible.
+    std::vector<BalancedClique> results(4);
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+    for (size_t t = 0; t < results.size(); ++t) {
+      threads.emplace_back([&, t] {
+        results[t] = MbcHeuristicSearch(graph, 2, options).clique;
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (const BalancedClique& clique : results) {
+      EXPECT_EQ(clique, reference.clique) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(HeuPropertyTest, DifferentSeedsStillValidOnPlantedFamily) {
+  CommunityGraphOptions options;
+  options.num_vertices = 400;
+  options.num_edges = 4000;
+  options.negative_ratio = 0.35;
+  options.seed = 17;
+  const SignedGraph base = GenerateCommunitySignedGraph(options);
+  const SignedGraph graph = PlantBalancedCliques(base, {{6, 7}}, 53);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    MbcHeuOptions heu_options;
+    heu_options.seed = seed;
+    const MbcHeuResult result = MbcHeuristicSearch(graph, 3, heu_options);
+    ASSERT_FALSE(result.clique.empty()) << "seed=" << seed;
+    EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+    EXPECT_TRUE(result.clique.SatisfiesThreshold(3));
+  }
+}
+
+}  // namespace
+}  // namespace mbc

@@ -1,0 +1,210 @@
+// Copyright 2026 The balanced-clique Authors.
+//
+// Differential suite for the tolerance solver: the budgeted kernel against
+// a subset+assignment brute-force oracle over hundreds of seeded small
+// graphs, plus the k = 0 exactness contracts (both the delegated MBC* path
+// and the forced general kernel).
+#include "src/core/mbc_tolerant.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/brute_force.h"
+#include "src/core/mbc_star.h"
+#include "src/core/verify.h"
+#include "src/datasets/generators.h"
+#include "src/graph/signed_graph_builder.h"
+#include "tests/test_util.h"
+
+namespace mbc {
+namespace {
+
+using testing_util::Figure2Graph;
+using testing_util::RandomSignedGraph;
+
+/// Every witness must be a feasible tolerant clique: an underlying clique
+/// whose stored split frustrates at most `tolerance` edges, sides ≥ τ.
+void ExpectFeasible(const SignedGraph& graph, const MbcTolerantResult& result,
+                    uint32_t tau, uint32_t tolerance) {
+  if (result.clique.empty()) return;
+  const std::optional<uint32_t> frustrated =
+      CountFrustratedEdges(graph, result.clique);
+  ASSERT_TRUE(frustrated.has_value())
+      << "witness is not an underlying clique: " << result.clique.ToString();
+  EXPECT_EQ(*frustrated, result.frustrated_edges);
+  EXPECT_LE(*frustrated, tolerance);
+  EXPECT_TRUE(result.clique.SatisfiesThreshold(tau));
+}
+
+TEST(TolerantDifferentialTest, MatchesOracleOnSeededSmallGraphs) {
+  // ≥ 200 seeded graphs; every (graph, tau, k) cell checked for exact
+  // optimality of the size and feasibility of the witness.
+  int graphs_checked = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    for (const auto& [n, m, neg] :
+         {std::tuple<VertexId, EdgeCount, double>{10, 24, 0.5},
+          {12, 38, 0.45},
+          {14, 52, 0.35},
+          {15, 70, 0.55}}) {
+      const SignedGraph graph = RandomSignedGraph(n, m, neg, seed * 97 + n);
+      ++graphs_checked;
+      for (uint32_t tau : {0u, 1u, 2u}) {
+        for (uint32_t k : {0u, 1u, 2u, 3u}) {
+          const size_t oracle = BruteForceMaxTolerantCliqueSize(graph, tau, k);
+          // Both the production path (MBC*-seeded incumbent) and the
+          // bare kernel must match the oracle.
+          for (bool seeded : {true, false}) {
+            MbcTolerantOptions options;
+            options.delegate_exact = false;  // exercise the budgeted kernel
+            options.seed_exact = seeded;
+            const MbcTolerantResult result =
+                MaxTolerantBalancedClique(graph, tau, k, options);
+            ASSERT_EQ(result.clique.size(), oracle)
+                << "seed=" << seed << " n=" << n << " tau=" << tau
+                << " k=" << k << " seeded=" << seeded;
+            ExpectFeasible(graph, result, tau, k);
+          }
+        }
+      }
+    }
+  }
+  ASSERT_GE(graphs_checked, 200);
+}
+
+TEST(TolerantDifferentialTest, ZeroToleranceDelegatesByteIdenticalToStar) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(16, 60, 0.45, seed);
+    for (uint32_t tau : {0u, 1u, 2u}) {
+      const MbcStarResult star = MaxBalancedCliqueStar(graph, tau);
+      const MbcTolerantResult tolerant =
+          MaxTolerantBalancedClique(graph, tau, /*tolerance=*/0);
+      // Same witness, field by field — not merely the same size.
+      EXPECT_EQ(tolerant.clique, star.clique)
+          << "seed=" << seed << " tau=" << tau;
+      EXPECT_EQ(tolerant.frustrated_edges, 0u);
+      EXPECT_EQ(tolerant.stats.branches, star.stats.mdc_branches);
+    }
+  }
+}
+
+TEST(TolerantDifferentialTest, ZeroToleranceKernelMatchesExactSize) {
+  // The general kernel at k = 0 must agree with the exact solver on size
+  // and produce a genuinely balanced (0 frustrated edges) witness.
+  for (uint64_t seed = 30; seed <= 40; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(15, 55, 0.4, seed);
+    for (uint32_t tau : {1u, 2u}) {
+      MbcTolerantOptions options;
+      options.delegate_exact = false;
+      const MbcTolerantResult result =
+          MaxTolerantBalancedClique(graph, tau, 0, options);
+      EXPECT_EQ(result.clique.size(),
+                BruteForceMaxBalancedClique(graph, tau).size())
+          << "seed=" << seed << " tau=" << tau;
+      if (!result.clique.empty()) {
+        EXPECT_TRUE(IsBalancedClique(graph, result.clique));
+      }
+    }
+  }
+}
+
+TEST(TolerantDifferentialTest, BudgetIsMonotone) {
+  // A larger budget never shrinks the optimum.
+  for (uint64_t seed = 60; seed <= 75; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(14, 48, 0.5, seed);
+    size_t previous = 0;
+    for (uint32_t k = 0; k <= 4; ++k) {
+      MbcTolerantOptions options;
+      options.delegate_exact = false;
+      const MbcTolerantResult result =
+          MaxTolerantBalancedClique(graph, 1, k, options);
+      EXPECT_GE(result.clique.size(), previous) << "seed=" << seed
+                                                << " k=" << k;
+      previous = result.clique.size();
+      ExpectFeasible(graph, result, 1, k);
+    }
+  }
+}
+
+TEST(TolerantDifferentialTest, DenseOneSidedCoreStaysTractable) {
+  // A complete all-positive core is the adversarial shape for the
+  // budgeted kernel: one side extends for free but the other can never
+  // reach τ, and without the per-side τ knapsacks the search enumerates
+  // subsets of the positive clique (10^8+ branches on a ~90-vertex core
+  // before the bounds landed). The planted balanced clique is the only
+  // feasible optimum; the bounds must find it in a handful of branches.
+  const SignedGraph base = RandomSignedGraph(60, 1770, 0.0, 7);
+  const SignedGraph graph = PlantBalancedCliques(base, {{5, 5}}, 11);
+  MbcTolerantOptions options;
+  options.delegate_exact = false;
+  const MbcTolerantResult result =
+      MaxTolerantBalancedClique(graph, /*tau=*/5, /*tolerance=*/2, options);
+  EXPECT_GE(result.clique.size(), 10u);
+  ExpectFeasible(graph, result, 5, 2);
+  EXPECT_LT(result.stats.branches, 100000u);
+
+  // The bare kernel (no exact seed) must stay tractable too — the
+  // per-side knapsacks do not depend on the incumbent.
+  MbcTolerantOptions bare = options;
+  bare.seed_exact = false;
+  const MbcTolerantResult from_scratch =
+      MaxTolerantBalancedClique(graph, 5, 2, bare);
+  EXPECT_EQ(from_scratch.clique.size(), result.clique.size());
+  ExpectFeasible(graph, from_scratch, 5, 2);
+  EXPECT_LT(from_scratch.stats.branches, 200000u);
+}
+
+TEST(TolerantDifferentialTest, WarmStartKeepsOptimalityAndPrunesMore) {
+  for (uint64_t seed = 80; seed <= 90; ++seed) {
+    const SignedGraph graph = RandomSignedGraph(15, 58, 0.45, seed);
+    MbcTolerantOptions cold;
+    cold.delegate_exact = false;
+    const MbcTolerantResult cold_result =
+        MaxTolerantBalancedClique(graph, 1, 2, cold);
+    if (cold_result.clique.empty()) continue;
+
+    MbcTolerantOptions warm = cold;
+    warm.initial_clique = &cold_result.clique;
+    const MbcTolerantResult warm_result =
+        MaxTolerantBalancedClique(graph, 1, 2, warm);
+    EXPECT_EQ(warm_result.clique.size(), cold_result.clique.size());
+    EXPECT_LE(warm_result.stats.branches, cold_result.stats.branches)
+        << "seed=" << seed;
+    ExpectFeasible(graph, warm_result, 1, 2);
+  }
+}
+
+TEST(TolerantDifferentialTest, PaperExampleGainsFromTolerance) {
+  // Figure 2's exact optimum at τ=2 is 6; a small budget can only help.
+  const SignedGraph graph = Figure2Graph();
+  const MbcTolerantResult exact = MaxTolerantBalancedClique(graph, 2, 0);
+  EXPECT_EQ(exact.clique.size(), 6u);
+  MbcTolerantOptions options;
+  options.delegate_exact = false;
+  const MbcTolerantResult relaxed =
+      MaxTolerantBalancedClique(graph, 2, 2, options);
+  EXPECT_GE(relaxed.clique.size(), 6u);
+  ExpectFeasible(graph, relaxed, 2, 2);
+}
+
+TEST(TolerantDifferentialTest, EmptyAndTinyGraphs) {
+  const SignedGraph empty = SignedGraphBuilder(0).Build();
+  EXPECT_TRUE(MaxTolerantBalancedClique(empty, 1, 2).clique.empty());
+
+  SignedGraphBuilder builder(2);
+  builder.AddEdge(0, 1, Sign::kNegative);
+  const SignedGraph pair = std::move(builder).Build();
+  MbcTolerantOptions options;
+  options.delegate_exact = false;
+  // One negative edge: τ=1 feasible with budget 0 ({0 | 1}).
+  const MbcTolerantResult split = MaxTolerantBalancedClique(pair, 1, 0,
+                                                            options);
+  EXPECT_EQ(split.clique.size(), 2u);
+  EXPECT_EQ(split.frustrated_edges, 0u);
+  // τ=0: both on one side costs one frustrated edge; budget 1 allows the
+  // pair, budget 0 also allows it via the split assignment.
+  const MbcTolerantResult same = MaxTolerantBalancedClique(pair, 0, 1,
+                                                           options);
+  EXPECT_EQ(same.clique.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mbc

@@ -89,6 +89,20 @@ std::string BuildBatch() {
   batch << "{\"id\":\"before\",\"graph\":\"b\",\"kind\":\"pf\"}\n";
   batch << "{\"op\":\"evict\",\"name\":\"b\"}\n";
   batch << "{\"id\":\"after\",\"graph\":\"b\",\"kind\":\"pf\"}\n";
+  // The heuristic / tolerant tier: a heuristic answer (tagged inexact on
+  // the wire), a tolerant answer (reports its frustration), a tolerance
+  // on a non-tolerant kind (rejected), warm_start on a non-mbc kind
+  // (rejected), and a warm-started exact query (same answer as cold).
+  batch << "{\"id\":\"h1\",\"graph\":\"a\",\"kind\":\"mbc_heu\","
+           "\"tau\":2}\n";
+  batch << "{\"id\":\"t1\",\"graph\":\"a\",\"kind\":\"mbc_tol\","
+           "\"tau\":2,\"tolerance\":2}\n";
+  batch << "{\"id\":\"badtol\",\"graph\":\"a\",\"kind\":\"mbc\","
+           "\"tau\":2,\"tolerance\":1}\n";
+  batch << "{\"id\":\"badwarm\",\"graph\":\"a\",\"kind\":\"pf\","
+           "\"warm_start\":true}\n";
+  batch << "{\"id\":\"w1\",\"graph\":\"a\",\"kind\":\"mbc\",\"tau\":2,"
+           "\"warm_start\":true}\n";
   return batch.str();
 }
 
@@ -154,7 +168,7 @@ TEST_P(TransportConformanceTest, MatchesSingleWorkerStdioReference) {
   for (std::string line; std::getline(splitter, line);) {
     lines.push_back(line);
   }
-  ASSERT_EQ(lines.size(), 2u + 1u + 24u + 4u + 3u);
+  ASSERT_EQ(lines.size(), 2u + 1u + 24u + 4u + 3u + 5u);
   EXPECT_NE(lines[2].find("\"graphs\":["), std::string::npos);
   for (uint32_t i = 0; i < 24; ++i) {
     EXPECT_NE(lines[3 + i].find("\"id\":\"q" + std::to_string(i) + "\""),
@@ -172,6 +186,20 @@ TEST_P(TransportConformanceTest, MatchesSingleWorkerStdioReference) {
   EXPECT_NE(lines[31].find("\"ok\":true"), std::string::npos);
   EXPECT_NE(lines[33].find("\"id\":\"after\""), std::string::npos);
   EXPECT_NE(lines[33].find("\"error\":\"not_found\""), std::string::npos);
+  EXPECT_NE(lines[34].find("\"id\":\"h1\""), std::string::npos);
+  EXPECT_NE(lines[34].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[34].find("\"exact\":false"), std::string::npos);
+  EXPECT_NE(lines[35].find("\"id\":\"t1\""), std::string::npos);
+  EXPECT_NE(lines[35].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[35].find("\"frustrated\":"), std::string::npos);
+  EXPECT_NE(lines[36].find("\"id\":\"badtol\""), std::string::npos);
+  EXPECT_NE(lines[36].find("\"error\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(lines[37].find("\"id\":\"badwarm\""), std::string::npos);
+  EXPECT_NE(lines[37].find("\"error\":\"invalid_argument\""),
+            std::string::npos);
+  EXPECT_NE(lines[38].find("\"id\":\"w1\""), std::string::npos);
+  EXPECT_NE(lines[38].find("\"ok\":true"), std::string::npos);
 
   const Variant variant = GetParam();
   EXPECT_EQ(variant.run(batch, variant.workers), reference) << variant.name;
@@ -186,6 +214,69 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Variant>& param_info) {
       return std::string(param_info.param.name);
     });
+
+// Exactness-tag cache isolation: a heuristic answer is cached under the
+// degraded exactness tag (and its own algo label), so an exact query for
+// the same (graph, kind-family, tau) must miss the cache and run the
+// exact engine — and vice versa. Likewise tolerant entries are keyed per
+// budget.
+TEST(TransportConformanceTest, HeuristicCacheEntriesNeverAnswerExactQueries) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.store().Load("g", RandomSignedGraph(60, 500, 0.4, 77)).ok());
+
+  QueryRequest heu;
+  heu.graph = "g";
+  heu.kind = QueryKind::kMbcHeu;
+  heu.tau = 2;
+  ASSERT_TRUE(service.Query(heu).status.ok());
+  const CacheStats after_heu = service.Stats().cache;
+  EXPECT_EQ(after_heu.hits, 0u);
+  EXPECT_EQ(after_heu.degraded_insertions, 1u);
+
+  // The exact query must not be served from the heuristic's entry.
+  QueryRequest exact;
+  exact.graph = "g";
+  exact.kind = QueryKind::kMbc;
+  exact.tau = 2;
+  QueryResponse exact_response = service.Query(exact);
+  ASSERT_TRUE(exact_response.status.ok());
+  EXPECT_FALSE(exact_response.cached);
+  EXPECT_EQ(service.Stats().cache.hits, 0u);
+
+  // Re-asking each kind hits its own entry; the answers stay distinct
+  // keys even when the cliques coincide.
+  EXPECT_TRUE(service.Query(heu).cached);
+  EXPECT_TRUE(service.Query(exact).cached);
+
+  // Tolerant entries are keyed per budget: a different tolerance misses.
+  QueryRequest tol;
+  tol.graph = "g";
+  tol.kind = QueryKind::kMbcTol;
+  tol.tau = 2;
+  tol.tolerance = 1;
+  ASSERT_TRUE(service.Query(tol).status.ok());
+  EXPECT_TRUE(service.Query(exact).cached);  // exact entry undisturbed
+  QueryRequest tol2 = tol;
+  tol2.tolerance = 2;
+  QueryResponse tol2_response = service.Query(tol2);
+  ASSERT_TRUE(tol2_response.status.ok());
+  EXPECT_FALSE(tol2_response.cached);
+  EXPECT_TRUE(service.Query(tol).cached);
+
+  // A warm-started exact run caches under its own "+warm" label (the
+  // sequential engine's witness may differ), so it misses the cold entry.
+  QueryRequest warm = exact;
+  warm.warm_start = true;
+  QueryResponse warm_response = service.Query(warm);
+  ASSERT_TRUE(warm_response.status.ok());
+  EXPECT_FALSE(warm_response.cached);
+  EXPECT_EQ(warm_response.result.clique.size(),
+            exact_response.result.clique.size());
+  EXPECT_TRUE(service.Query(warm).cached);
+}
 
 // Two sequential connections to one server: sessions are independent
 // (each gets its own barrier pipeline) but share the worker pool and

@@ -40,7 +40,9 @@
 #include "src/core/mbc_adv.h"
 #include "src/core/mbc_baseline.h"
 #include "src/core/mbc_enum.h"
+#include "src/core/mbc_heu.h"
 #include "src/core/mbc_star.h"
+#include "src/core/mbc_tolerant.h"
 #include "src/core/verify.h"
 #include "src/datasets/families.h"
 #include "src/datasets/registry.h"
@@ -89,6 +91,11 @@ int Usage() {
       "commands:\n"
       "  stats    --graph FILE\n"
       "  mbc      --graph FILE --tau T [--algo star|baseline|adv]\n"
+      "           [--warm true]  seed MBC* with the heuristic incumbent\n"
+      "  heu      --graph FILE --tau T [--seed S] [--ls-iters N]\n"
+      "           [--anchors N]  heuristic tier (greedy + local search)\n"
+      "  tol      --graph FILE --tau T --k K  max clique with at most K\n"
+      "           frustrated edges (k=0 is exact MBC)\n"
       "  pf       --graph FILE [--algo star|bs|enum]\n"
       "  gmbc     --graph FILE\n"
       "  enum     --graph FILE --tau T [--limit N]\n"
@@ -210,11 +217,28 @@ int CmdMbc(const Flags& flags) {
       static_cast<uint32_t>(std::strtoul(flags.Get("tau", "3").c_str(),
                                          nullptr, 10));
   const std::string algo = flags.Get("algo", "star");
+  const bool warm = flags.Get("warm", "false") == "true";
+  if (warm && algo != "star") {
+    std::fprintf(stderr, "--warm requires --algo star\n");
+    return 2;
+  }
   mbc::Timer timer;
   mbc::BalancedClique clique;
   if (algo == "star") {
+    mbc::BalancedClique warm_clique;
     mbc::MbcStarOptions options;
     options.exec = &g_execution;
+    if (warm) {
+      mbc::MbcHeuOptions heu_options;
+      heu_options.exec = &g_execution;
+      warm_clique =
+          mbc::MbcHeuristicSearch(graph.value(), tau, heu_options).clique;
+      if (!warm_clique.empty() && warm_clique.SatisfiesThreshold(tau)) {
+        options.initial_clique = &warm_clique;
+        std::printf("warm start: heuristic incumbent of size %zu\n",
+                    warm_clique.size());
+      }
+    }
     clique = mbc::MaxBalancedCliqueStar(graph.value(), tau, options).clique;
   } else if (algo == "baseline") {
     mbc::MbcBaselineOptions options;
@@ -239,6 +263,74 @@ int CmdMbc(const Flags& flags) {
   PrintClique(clique);
   std::printf("verified: %s\n",
               mbc::IsBalancedClique(graph.value(), clique) ? "yes" : "NO");
+  return 0;
+}
+
+int CmdHeu(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const auto tau =
+      static_cast<uint32_t>(std::strtoul(flags.Get("tau", "3").c_str(),
+                                         nullptr, 10));
+  mbc::MbcHeuOptions options;
+  options.exec = &g_execution;
+  options.seed = std::strtoull(flags.Get("seed", "0").c_str(), nullptr, 10);
+  options.local_search_iterations = static_cast<uint32_t>(
+      std::strtoul(flags.Get("ls-iters", "24").c_str(), nullptr, 10));
+  options.degeneracy_anchors = static_cast<uint32_t>(
+      std::strtoul(flags.Get("anchors", "4").c_str(), nullptr, 10));
+  mbc::Timer timer;
+  const mbc::MbcHeuResult result =
+      mbc::MbcHeuristicSearch(graph.value(), tau, options);
+  std::printf("heuristic  tau: %u  time: %.3fs\n", tau,
+              timer.ElapsedSeconds());
+  std::printf("greedy size: %zu  ls iterations: %llu  improvements: %llu\n",
+              result.stats.greedy_size,
+              static_cast<unsigned long long>(result.stats.ls_iterations),
+              static_cast<unsigned long long>(result.stats.ls_improvements));
+  ReportInterrupt();
+  if (result.clique.empty()) {
+    std::printf("no balanced clique found for tau=%u\n", tau);
+    return 0;
+  }
+  PrintClique(result.clique);
+  std::printf("verified: %s\n",
+              mbc::IsBalancedClique(graph.value(), result.clique) ? "yes"
+                                                                  : "NO");
+  return 0;
+}
+
+int CmdTol(const Flags& flags) {
+  Result<SignedGraph> graph = LoadGraph(flags.Get("graph", ""));
+  if (!graph.ok()) return Fail(graph.status());
+  const auto tau =
+      static_cast<uint32_t>(std::strtoul(flags.Get("tau", "3").c_str(),
+                                         nullptr, 10));
+  const auto k =
+      static_cast<uint32_t>(std::strtoul(flags.Get("k", "0").c_str(),
+                                         nullptr, 10));
+  mbc::MbcTolerantOptions options;
+  options.exec = &g_execution;
+  mbc::Timer timer;
+  const mbc::MbcTolerantResult result =
+      mbc::MaxTolerantBalancedClique(graph.value(), tau, k, options);
+  std::printf("tolerant  tau: %u  k: %u  time: %.3fs  branches: %llu\n", tau,
+              k, timer.ElapsedSeconds(),
+              static_cast<unsigned long long>(result.stats.branches));
+  ReportInterrupt();
+  if (result.clique.empty()) {
+    std::printf("no clique satisfies tau=%u within budget k=%u\n", tau, k);
+    return 0;
+  }
+  std::printf("frustrated edges: %u\n", result.frustrated_edges);
+  PrintClique(result.clique);
+  const std::optional<uint32_t> frustration =
+      mbc::CountFrustratedEdges(graph.value(), result.clique);
+  std::printf("verified: %s\n",
+              frustration.has_value() && *frustration == result.frustrated_edges &&
+                      *frustration <= k
+                  ? "yes"
+                  : "NO");
   return 0;
 }
 
@@ -756,6 +848,8 @@ int main(int argc, char** argv) {
 
   if (command == "stats") return CmdStats(flags);
   if (command == "mbc") return CmdMbc(flags);
+  if (command == "heu") return CmdHeu(flags);
+  if (command == "tol") return CmdTol(flags);
   if (command == "pf") return CmdPf(flags);
   if (command == "gmbc") return CmdGmbc(flags);
   if (command == "enum") return CmdEnum(flags);
